@@ -1,0 +1,115 @@
+//===- bench/bench_bodycost_ablation.cpp -----------------------*- C++ -*-===//
+//
+// The second axis of the Sec. 6 profitability model. The variance
+// ablation fixes the body and varies trip-count spread; this one fixes
+// the spread and varies the BODY's cost: flattening trades fewer body
+// steps for a couple of control operations per step, so the cycle-level
+// win grows with body cost and can invert for near-free bodies ("we can
+// relatively safely assume profitability whenever the inner loop bounds
+// may vary" - true for step counts; cycles also need the body to
+// outweigh two flag manipulations).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdInterp.h"
+#include "ir/Builder.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "transform/Pipeline.h"
+#include "workloads/TripCounts.h"
+
+#include <cstdio>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+namespace {
+
+/// EXAMPLE-shaped nest whose body calls an extern Work() routine.
+Program makeWorkNest(int64_t K, int64_t MaxL) {
+  Program P("BODYCOST");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {K}, Dist::Distributed);
+  P.addVar("Acc", ScalarKind::Real, {K}, Dist::Distributed);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addExtern("Work", ScalarKind::Real, /*Pure=*/true);
+  Builder B(P);
+  (void)MaxL;
+  std::vector<ExprPtr> Args;
+  Args.push_back(B.var("i"));
+  Args.push_back(B.var("j"));
+  Body Inner = Builder::body(B.assign(
+      B.at("Acc", B.var("i")),
+      B.add(B.at("Acc", B.var("i")), B.callFn("Work", std::move(Args)))));
+  Body Outer = Builder::body(
+      B.doLoop("j", B.lit(1), B.at("L", B.var("i")), std::move(Inner)));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"),
+                              std::move(Outer), nullptr,
+                              /*IsParallel=*/true));
+  return P;
+}
+
+} // namespace
+
+int main() {
+  const int64_t K = 1024;
+  std::vector<int64_t> L =
+      generateTripCounts(TripDist::Geometric, K, 8, 11);
+
+  machine::MachineConfig M;
+  M.Name = "bodycost";
+  M.Processors = 64;
+  M.Gran = 64;
+  M.DataLayout = machine::Layout::Cyclic;
+
+  std::printf("Body-cost ablation: K = %lld geometric rows (mean 8), "
+              "64 lanes\n\n",
+              static_cast<long long>(K));
+
+  Program F77 = makeWorkNest(K, 0);
+  TextTable T;
+  T.setHeader({"Work() cycles", "unflat cycles", "flat cycles",
+               "speedup"});
+  double Crossover = -1.0, PrevCost = 0.0, PrevSpeedup = 0.0;
+  for (double Cost : {0.0, 2.0, 8.0, 32.0, 128.0, 512.0}) {
+    double Cycles[2];
+    for (bool Flatten : {false, true}) {
+      transform::PipelineOptions PO;
+      PO.Flatten = Flatten;
+      PO.AssumeInnerMinOneTrip = true;
+      Program Simd = transform::compileForSimd(F77, PO);
+      ExternRegistry Reg;
+      Reg.bind("Work",
+               [](std::span<const ScalVal>) {
+                 return ScalVal::makeReal(1.0);
+               },
+               Cost);
+      SimdInterp Interp(Simd, M, &Reg, {});
+      Interp.store().setInt("K", K);
+      Interp.store().setIntArray("L", L);
+      Cycles[Flatten] = Interp.run().Stats.Cycles;
+    }
+    double Speedup = Cycles[0] / Cycles[1];
+    if (Crossover < 0.0 && Speedup >= 1.0 && PrevSpeedup > 0.0 &&
+        PrevSpeedup < 1.0)
+      Crossover = PrevCost;
+    PrevCost = Cost;
+    PrevSpeedup = Speedup;
+    T.addRow({formatf("%.0f", Cost), formatf("%.0f", Cycles[0]),
+              formatf("%.0f", Cycles[1]), formatf("%.2fx", Speedup)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf(
+      "\nReading: the step-count win is fixed by the trip variance; the "
+      "cycle win grows with the body's cost as the flattened control "
+      "overhead amortizes%s.\n",
+      Crossover >= 0.0
+          ? formatf(" (crossover between %.0f and the next tier)",
+                    Crossover)
+                .c_str()
+          : "");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- bench/bench_coalesce_vs_flatten.cpp ---------------------*- C++ -*-===//
+//
+// Sec. 7 related work: loop coalescing (Polychronopoulos '87) vs loop
+// flattening. Coalescing achieves perfect load balance by repartitioning
+// the iteration space - but needs an O(total) inspector and moves
+// iterations away from the data's owners (communication!), whereas
+// flattening keeps each processor's iterations and only changes WHEN
+// they run ("it does not change which loop iterations a processor
+// executes. Instead, it gives it more freedom as to when").
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdInterp.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "transform/Coalesce.h"
+#include "transform/Flatten.h"
+#include "transform/Simdize.h"
+#include "workloads/PaperKernels.h"
+#include "workloads/TripCounts.h"
+
+#include <cstdio>
+#include <numeric>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+int main() {
+  ExampleSpec Spec;
+  Spec.K = 1024;
+  Spec.L = generateTripCounts(TripDist::Geometric, Spec.K, 12, 41);
+  int64_t Total =
+      std::accumulate(Spec.L.begin(), Spec.L.end(), int64_t{0});
+  std::printf("EXAMPLE with K = %lld rows, %lld total inner iterations "
+              "(geometric trip counts)\n\n",
+              static_cast<long long>(Spec.K),
+              static_cast<long long>(Total));
+
+  TextTable T;
+  T.setHeader({"lanes", "version", "work steps", "comm accesses",
+               "extra memory"});
+  for (int64_t Lanes : {32, 128}) {
+    machine::MachineConfig M;
+    M.Name = "simd";
+    M.Processors = Lanes;
+    M.Gran = Lanes;
+    M.DataLayout = machine::Layout::Cyclic;
+    RunOptions Opts;
+    Opts.WorkTargets = {"X"};
+
+    auto Run = [&](Program &Simd) {
+      SimdInterp Interp(Simd, M, nullptr, Opts);
+      Interp.store().setInt("K", Spec.K);
+      Interp.store().setIntArray("L", Spec.L);
+      return Interp.run();
+    };
+
+    // Unflattened baseline.
+    Program PU = makeExample(Spec);
+    transform::SimdizeOptions SOpts;
+    SOpts.DoAllLayout = machine::Layout::Cyclic;
+    Program SU = transform::simdize(PU, SOpts);
+    SimdRunResult RU = Run(SU);
+
+    // Flattened.
+    Program PF = makeExample(Spec);
+    transform::FlattenOptions FOpts;
+    FOpts.AssumeInnerMinOneTrip = true;
+    FOpts.DistributeOuter = machine::Layout::Cyclic;
+    transform::flattenNest(PF, FOpts);
+    Program SF = transform::simdize(PF);
+    SimdRunResult RF = Run(SF);
+
+    // Coalesced (inspector/executor).
+    Program PC = makeExample(Spec);
+    transform::CoalesceResult CR =
+        transform::coalesceNest(PC, Spec.K, Total);
+    if (!CR.Changed) {
+      std::printf("coalescing failed: %s\n", CR.Reason.c_str());
+      return 1;
+    }
+    Program SC = transform::simdize(PC, SOpts);
+    SimdRunResult RC = Run(SC);
+
+    T.addRow({std::to_string(Lanes), "unflattened",
+              std::to_string(RU.Stats.WorkSteps),
+              std::to_string(RU.Stats.CommAccesses), "0"});
+    T.addRow({"", "flattened", std::to_string(RF.Stats.WorkSteps),
+              std::to_string(RF.Stats.CommAccesses), "0"});
+    T.addRow({"", "coalesced", std::to_string(RC.Stats.WorkSteps),
+              std::to_string(RC.Stats.CommAccesses),
+              formatf("%lld words", static_cast<long long>(
+                                        Total + Spec.K + 1))});
+    T.addSeparator();
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf(
+      "\nReading: coalescing reaches the balanced ceil(total/P) step "
+      "count, but pays inspector memory and per-access communication; "
+      "flattening reaches the owner-computes optimum (Eq. 1) with "
+      "neither.\n");
+  return 0;
+}

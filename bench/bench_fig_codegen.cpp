@@ -1,0 +1,93 @@
+//===- bench/bench_fig_codegen.cpp -----------------------------*- C++ -*-===//
+//
+// Prints every transformation stage of the paper's code figures, derived
+// automatically by the simdflat passes from the F77 sources:
+// Fig. 1 (EXAMPLE), Fig. 8 (normalized), Fig. 9 (guard flags),
+// Figs. 10/11/12 (the three flattening levels), Fig. 5 (SIMDized
+// unflattened), Fig. 7 (SIMDized flattened), and the NBFORCE pipeline
+// Fig. 13 -> Fig. 14 / Fig. 15.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "md/NBForce.h"
+#include "transform/Flatten.h"
+#include "transform/GuardIntro.h"
+#include "transform/Normalize.h"
+#include "transform/Simdize.h"
+#include "workloads/PaperKernels.h"
+
+#include <cstdio>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+namespace {
+
+void show(const char *Title, const Program &P) {
+  std::printf("---- %s ----\n%s\n", Title, printBody(P.body()).c_str());
+}
+
+} // namespace
+
+int main() {
+  ExampleSpec Spec = paperExampleSpec();
+
+  show("Fig. 1: EXAMPLE (F77D source)", makeExample(Spec));
+
+  {
+    Program P = makeExample(Spec);
+    NormalizeOptions NOpts;
+    NOpts.SkipParallel = false;
+    normalizeLoops(P, NOpts);
+    show("Fig. 8: after loop normalization", P);
+    introduceGuards(P);
+    show("Fig. 9: after guard introduction", P);
+  }
+
+  for (auto [Level, Title] :
+       {std::pair{FlattenLevel::General,
+                  "Fig. 10: general flattening (conservative)"},
+        std::pair{FlattenLevel::Optimized,
+                  "Fig. 11: optimized flattening (pure control, >=1 trip)"},
+        std::pair{FlattenLevel::DoneTest,
+                  "Fig. 12: done-test flattening"}}) {
+    Program P = makeExample(Spec);
+    FlattenOptions Opts;
+    Opts.Force = Level;
+    Opts.AssumeInnerMinOneTrip = Level != FlattenLevel::General;
+    FlattenResult R = flattenNest(P, Opts);
+    if (!R.Changed) {
+      std::printf("---- %s ----\nREJECTED: %s\n\n", Title,
+                  R.Reason.c_str());
+      continue;
+    }
+    show(Title, P);
+  }
+
+  {
+    Program P = makeExample(Spec);
+    SimdizeOptions SOpts;
+    SOpts.DoAllLayout = machine::Layout::Block;
+    Program Simd = simdize(P, SOpts);
+    show("Fig. 5: naive SIMDized EXAMPLE (F90simd)", Simd);
+  }
+  {
+    Program P = makeExample(Spec);
+    FlattenOptions Opts;
+    Opts.AssumeInnerMinOneTrip = true;
+    Opts.DistributeOuter = machine::Layout::Cyclic;
+    flattenNest(P, Opts);
+    Program Simd = simdize(P);
+    show("Fig. 7: flattened SIMDized EXAMPLE (F90simd)", Simd);
+  }
+
+  show("Fig. 13: NBFORCE (F77D source)", md::nbforceF77(8192, 256));
+  show("Fig. 14: NBFORCE SIMDized, unflattened",
+       md::nbforceUnflattenedSimd(8192, 256, machine::Layout::Cyclic));
+  show("Fig. 15: NBFORCE flattened + SIMDized",
+       md::nbforceFlattenedSimd(8192, 256, machine::Layout::Cyclic));
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- bench/bench_flatten_levels.cpp --------------------------*- C++ -*-===//
+//
+// Design-choice ablation: the three flattening levels of Sec. 4. The
+// general form (Fig. 10) buys full conservatism (impure guards,
+// zero-trip inner loops) with guard flags and a catch-up loop; Fig. 11
+// drops them when control is pure and trips >= 1; Fig. 12 additionally
+// replaces the guard with a done test. This bench quantifies what each
+// restriction saves on the SIMD machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdInterp.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "transform/Pipeline.h"
+#include "workloads/PaperKernels.h"
+#include "workloads/TripCounts.h"
+
+#include <cstdio>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+int main() {
+  ExampleSpec Spec;
+  Spec.K = 2048;
+  Spec.L = generateTripCounts(TripDist::Geometric, Spec.K, 10, 77);
+
+  machine::MachineConfig M;
+  M.Name = "ablate";
+  M.Processors = 128;
+  M.Gran = 128;
+  M.DataLayout = machine::Layout::Cyclic;
+
+  std::printf("Flattening-level ablation: EXAMPLE, K = %lld geometric "
+              "rows, 128 lanes\n\n",
+              static_cast<long long>(Spec.K));
+
+  TextTable T;
+  T.setHeader({"level", "body steps", "vector instrs", "cycles",
+               "vs done-test"});
+  double DoneCycles = 0.0;
+  struct Row {
+    FlattenLevel Level;
+    const char *Name;
+  };
+  for (auto [Level, Name] :
+       {Row{FlattenLevel::DoneTest, "done-test (Fig. 12)"},
+        Row{FlattenLevel::Optimized, "optimized (Fig. 11)"},
+        Row{FlattenLevel::General, "general (Fig. 10)"}}) {
+    Program P = makeExample(Spec);
+    PipelineOptions PO;
+    PO.ForceLevel = Level;
+    PO.AssumeInnerMinOneTrip = true;
+    PipelineReport Rep;
+    Program Simd = compileForSimd(P, PO, &Rep);
+    if (!Rep.Flattened) {
+      std::printf("%s rejected: %s\n", Name,
+                  Rep.FlattenSkipReason.c_str());
+      continue;
+    }
+    RunOptions Opts;
+    Opts.WorkTargets = {"X"};
+    SimdInterp Interp(Simd, M, nullptr, Opts);
+    Interp.store().setInt("K", Spec.K);
+    Interp.store().setIntArray("L", Spec.L);
+    SimdRunResult R = Interp.run();
+    if (Level == FlattenLevel::DoneTest)
+      DoneCycles = R.Stats.Cycles;
+    T.addRow({Name, std::to_string(R.Stats.WorkSteps),
+              std::to_string(R.Stats.Instructions),
+              formatf("%.0f", R.Stats.Cycles),
+              formatf("%.2fx", R.Stats.Cycles / DoneCycles)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::printf(
+      "\nReading: the general form's guard flags and catch-up control "
+      "cost extra vector instructions per iteration; the Sec. 4 "
+      "conditions buy them back. All three compute identical stores "
+      "(verified in the test suite).\n");
+  return 0;
+}

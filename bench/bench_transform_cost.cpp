@@ -1,0 +1,124 @@
+//===- bench/bench_transform_cost.cpp --------------------------*- C++ -*-===//
+//
+// google-benchmark measurement of the compile-time cost of the passes
+// themselves (Sec. 6: "the transformation itself is relatively
+// straightforward ... there are no parameters to adjust"): microseconds
+// to flatten and SIMDize a loop nest, and how the cost scales with the
+// number of nests in a program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Flatten.h"
+#include "transform/GuardIntro.h"
+#include "transform/Normalize.h"
+#include "transform/Simdize.h"
+#include "workloads/PaperKernels.h"
+
+#include <benchmark/benchmark.h>
+
+#include "ir/Builder.h"
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+namespace {
+
+/// A program with \p Nests independent DOALL/DO nests.
+Program makeManyNests(int64_t Nests) {
+  Program P("many");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {64}, Dist::Distributed);
+  Builder B(P);
+  for (int64_t N = 0; N < Nests; ++N) {
+    std::string I = "i" + std::to_string(N);
+    std::string J = "j" + std::to_string(N);
+    std::string X = "X" + std::to_string(N);
+    P.addVar(I, ScalarKind::Int);
+    P.addVar(J, ScalarKind::Int);
+    P.addVar(X, ScalarKind::Int, {64, 64}, Dist::Distributed);
+    Body Inner = Builder::body(B.assign(
+        B.at(X, B.var(I), B.var(J)), B.mul(B.var(I), B.var(J))));
+    Body Outer = Builder::body(
+        B.doLoop(J, B.lit(1), B.at("L", B.var(I)), std::move(Inner)));
+    P.body().push_back(B.doLoop(I, B.lit(1), B.var("K"),
+                                std::move(Outer), nullptr,
+                                /*IsParallel=*/true));
+  }
+  return P;
+}
+
+void BM_FlattenNest(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    Program P = makeExample(paperExampleSpec());
+    State.ResumeTiming();
+    FlattenOptions Opts;
+    Opts.AssumeInnerMinOneTrip = true;
+    FlattenResult R = flattenNest(P, Opts);
+    benchmark::DoNotOptimize(R.Changed);
+  }
+}
+
+void BM_Simdize(benchmark::State &State) {
+  Program P = makeExample(paperExampleSpec());
+  for (auto _ : State) {
+    Program S = simdize(P);
+    benchmark::DoNotOptimize(S.body().size());
+  }
+}
+
+void BM_FullPipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    Program P = makeExample(paperExampleSpec());
+    State.ResumeTiming();
+    FlattenOptions Opts;
+    Opts.AssumeInnerMinOneTrip = true;
+    Opts.DistributeOuter = machine::Layout::Cyclic;
+    flattenNest(P, Opts);
+    Program S = simdize(P);
+    benchmark::DoNotOptimize(S.body().size());
+  }
+}
+
+void BM_NormalizeAndGuards(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    Program P = makeExample(paperExampleSpec());
+    State.ResumeTiming();
+    NormalizeOptions NOpts;
+    NOpts.SkipParallel = false;
+    normalizeLoops(P, NOpts);
+    int N = introduceGuards(P);
+    benchmark::DoNotOptimize(N);
+  }
+}
+
+void BM_FlattenManyNests(benchmark::State &State) {
+  int64_t Nests = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    Program P = makeManyNests(Nests);
+    State.ResumeTiming();
+    FlattenOptions Opts;
+    Opts.AssumeInnerMinOneTrip = true;
+    // Flatten every nest in the program.
+    int Flattened = 0;
+    while (flattenNest(P, Opts).Changed)
+      ++Flattened;
+    benchmark::DoNotOptimize(Flattened);
+  }
+  State.SetItemsProcessed(State.iterations() * Nests);
+}
+
+} // namespace
+
+BENCHMARK(BM_FlattenNest);
+BENCHMARK(BM_Simdize);
+BENCHMARK(BM_FullPipeline);
+BENCHMARK(BM_NormalizeAndGuards);
+BENCHMARK(BM_FlattenManyNests)->Arg(1)->Arg(8)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,18 @@
+! The paper's Sec. 3 EXAMPLE (Fig. 1), in flattenc's mini-Fortran.
+! Try:
+!   flattenc --emit=flat --assume-min-one example.f
+!   flattenc --assume-min-one --run --lanes=2 \
+!            --set K=8 --set-array L=4,1,2,1,1,3,1,3 example.f
+PROGRAM EXAMPLE
+INTEGER K
+DISTRIBUTED INTEGER L(8)
+DISTRIBUTED INTEGER X(8, 4)
+INTEGER i
+INTEGER j
+BEGIN
+  DOALL i = 1, K
+    DO j = 1, L(i)
+      X(i, j) = i * j
+    ENDDO
+  ENDDO
+END

@@ -1,0 +1,94 @@
+//===- examples/mandelbrot.cpp - Irregular escape-time kernel --*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+// Renders the Mandelbrot set with the escape-time kernel executed on the
+// SIMD machine simulator - first naively SIMDized, then flattened - and
+// prints the ASCII image plus the step counts. This is the Sec. 7
+// related-work application (Tomboulian & Pappas's indirect-addressing
+// trick is a special case of loop flattening).
+//
+//   $ ./examples/mandelbrot
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdInterp.h"
+#include "transform/Flatten.h"
+#include "transform/Simdize.h"
+#include "workloads/Mandelbrot.h"
+
+#include <cstdio>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+int main() {
+  MandelbrotSpec Spec;
+  Spec.Width = 72;
+  Spec.Height = 28;
+  Spec.MaxIter = 96;
+
+  machine::MachineConfig M;
+  M.Name = "simd-32";
+  M.Processors = 32;
+  M.Gran = 32;
+  M.DataLayout = machine::Layout::Cyclic;
+  RunOptions Opts;
+  Opts.WorkTargets = {"tmp"};
+
+  // Unflattened pipeline.
+  Program PU = mandelbrotF77(Spec);
+  transform::SimdizeOptions SOpts;
+  SOpts.DoAllLayout = machine::Layout::Cyclic;
+  Program SU = transform::simdize(PU, SOpts);
+  SimdInterp IU(SU, M, nullptr, Opts);
+  IU.store().setInt("maxIter", Spec.MaxIter);
+  SimdRunResult RU = IU.run();
+
+  // Flattened pipeline.
+  Program PF = mandelbrotF77(Spec);
+  transform::FlattenOptions FOpts;
+  FOpts.AssumeInnerMinOneTrip = true;
+  FOpts.DistributeOuter = machine::Layout::Cyclic;
+  transform::FlattenResult FR = transform::flattenNest(PF, FOpts);
+  if (!FR.Changed) {
+    std::printf("flattening failed: %s\n", FR.Reason.c_str());
+    return 1;
+  }
+  Program SF = transform::simdize(PF);
+  SimdInterp IF_(SF, M, nullptr, Opts);
+  IF_.store().setInt("maxIter", Spec.MaxIter);
+  SimdRunResult RF = IF_.run();
+
+  std::vector<int64_t> It = IF_.store().getIntArray("IT");
+  bool Same = It == IU.store().getIntArray("IT");
+
+  // ASCII rendering from the simulator's output.
+  const char Shades[] = " .:-=+*#%@";
+  for (int64_t Y = 0; Y < Spec.Height; ++Y) {
+    for (int64_t X = 0; X < Spec.Width; ++X) {
+      int64_t V = It[static_cast<size_t>(Y * Spec.Width + X)];
+      size_t Idx = V >= Spec.MaxIter
+                       ? sizeof(Shades) - 2
+                       : static_cast<size_t>(V * 9 / Spec.MaxIter);
+      std::putchar(Shades[Idx]);
+    }
+    std::putchar('\n');
+  }
+
+  std::printf("\ncomputed on a %lld-lane SIMD machine (both versions "
+              "agree: %s)\n",
+              static_cast<long long>(M.Gran), Same ? "yes" : "NO");
+  std::printf("unflattened: %6lld steps (%2.0f%% lanes useful)\n"
+              "flattened:   %6lld steps (%2.0f%% lanes useful) -> "
+              "%.2fx fewer steps\n",
+              static_cast<long long>(RU.Stats.WorkSteps),
+              100.0 * RU.Stats.workUtilization(),
+              static_cast<long long>(RF.Stats.WorkSteps),
+              100.0 * RF.Stats.workUtilization(),
+              static_cast<double>(RU.Stats.WorkSteps) /
+                  static_cast<double>(RF.Stats.WorkSteps));
+  return Same ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+! The paper's Sec. 5 nonbonded-force kernel (Fig. 13) in flattenc's
+! mini-Fortran. Try:
+!   flattenc --analyze nbforce.f
+!   flattenc --assume-min-one nbforce.f        (emits Fig. 15)
+!   flattenc --no-flatten nbforce.f            (emits Fig. 14)
+PROGRAM NBFORCE
+EXTERN REAL FUNCTION Force
+INTEGER nAtoms
+DISTRIBUTED INTEGER pCnt(8192)
+DISTRIBUTED INTEGER partners(8192, 256)
+DISTRIBUTED REAL F(8192)
+INTEGER at1
+INTEGER at2
+INTEGER pr
+BEGIN
+  DOALL at1 = 1, nAtoms
+    DO pr = 1, pCnt(at1)
+      at2 = partners(at1, pr)
+      F(at1) = F(at1) + Force(at1, at2)
+    ENDDO
+  ENDDO
+END

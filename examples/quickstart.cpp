@@ -1,0 +1,97 @@
+//===- examples/quickstart.cpp - simdflat in five minutes ------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+// Builds the paper's Sec. 3 EXAMPLE loop nest, shows what the SIMD
+// control-flow restriction costs, applies loop flattening, and verifies
+// the flattened program reaches the MIMD bound - the paper's Figs. 1-7
+// in one runnable file.
+//
+//   $ ./examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdInterp.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "transform/Flatten.h"
+#include "transform/Simdize.h"
+
+#include <cstdio>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+int main() {
+  // --- 1. Write the F77 loop nest (Fig. 1). --------------------------
+  // The outer loop is parallel (DOALL); the inner trip count L(i)
+  // varies per outer iteration - the SIMD-hostile pattern.
+  Program P("EXAMPLE");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {8}, Dist::Distributed);
+  P.addVar("X", ScalarKind::Int, {8, 4}, Dist::Distributed);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.doLoop(
+      "i", B.lit(1), B.var("K"),
+      Builder::body(B.doLoop(
+          "j", B.lit(1), B.at("L", B.var("i")),
+          Builder::body(B.assign(B.at("X", B.var("i"), B.var("j")),
+                                 B.mul(B.var("i"), B.var("j")))))),
+      nullptr, /*IsParallel=*/true));
+  std::printf("The F77 source (Fig. 1):\n%s\n",
+              printBody(P.body()).c_str());
+
+  // --- 2. The naive SIMD version (Fig. 5) wastes lane slots. ---------
+  auto RunOn2Lanes = [](Program &Simd, const char *What) {
+    machine::MachineConfig M;
+    M.Name = "two-lane-simd";
+    M.Processors = 2;
+    M.Gran = 2;
+    M.DataLayout = machine::Layout::Block;
+    interp::RunOptions Opts;
+    Opts.WorkTargets = {"X"};
+    interp::SimdInterp Interp(Simd, M, nullptr, Opts);
+    Interp.store().setInt("K", 8);
+    std::vector<int64_t> L = {4, 1, 2, 1, 1, 3, 1, 3};
+    Interp.store().setIntArray("L", L);
+    interp::SimdRunResult R = Interp.run();
+    std::printf("%s: %lld steps, %.0f%% of lane slots useful\n", What,
+                static_cast<long long>(R.Stats.WorkSteps),
+                100.0 * R.Stats.workUtilization());
+    return R.Stats.WorkSteps;
+  };
+
+  transform::SimdizeOptions SOpts;
+  SOpts.DoAllLayout = machine::Layout::Block;
+  Program Naive = transform::simdize(P, SOpts);
+  std::printf("Naive SIMDized program (Fig. 5):\n%s\n",
+              printBody(Naive.body()).c_str());
+  int64_t Unflat = RunOn2Lanes(Naive, "unflattened");
+
+  // --- 3. Flatten (Fig. 12), distribute, SIMDize (Fig. 7). -----------
+  transform::FlattenOptions FOpts;
+  FOpts.AssumeInnerMinOneTrip = true; // L(i) >= 1 in this workload
+  FOpts.DistributeOuter = machine::Layout::Block;
+  transform::FlattenResult FR = transform::flattenNest(P, FOpts);
+  if (!FR.Changed) {
+    std::printf("flattening failed: %s\n", FR.Reason.c_str());
+    return 1;
+  }
+  std::printf("\nFlattened at the '%s' level (Fig. 12 shape):\n%s\n",
+              transform::flattenLevelName(FR.Applied),
+              printBody(P.body()).c_str());
+  Program Flat = transform::simdize(P);
+  std::printf("Flattened SIMD program (Fig. 7):\n%s\n",
+              printBody(Flat.body()).c_str());
+  int64_t Flattened = RunOn2Lanes(Flat, "flattened  ");
+
+  // --- 4. The paper's headline numbers. -------------------------------
+  std::printf("\nEq. 2 (sum of maxima):  %lld steps\n"
+              "Eq. 1 (max of sums):    %lld steps  <- loop flattening "
+              "reaches the MIMD bound\n",
+              static_cast<long long>(Unflat),
+              static_cast<long long>(Flattened));
+  return Unflat == 12 && Flattened == 8 ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+//===- examples/region_growing.cpp - Image-processing workload -*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+// The paper's opening citation (Willebeek-LeMair & Reeves): region
+// growing on a SIMD machine is "dominated by the largest region in the
+// image." This example segments a synthetic image, shows the region
+// size histogram, and runs the growth kernel unflattened vs flattened.
+//
+//   $ ./examples/region_growing
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdInterp.h"
+#include "transform/Flatten.h"
+#include "transform/Simdize.h"
+#include "workloads/RegionGrow.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+int main() {
+  RegionGrowSpec Spec;
+  Spec.Width = 120;
+  Spec.Height = 80;
+  Spec.NumRegions = 32;
+  std::vector<int64_t> Sizes = regionSizes(Spec);
+  int64_t MaxSize = *std::max_element(Sizes.begin(), Sizes.end());
+
+  std::printf("segmented a %lldx%lld image into %lld regions\n\n",
+              static_cast<long long>(Spec.Width),
+              static_cast<long long>(Spec.Height),
+              static_cast<long long>(Spec.NumRegions));
+  std::printf("region size histogram (each # = 20 pixels):\n");
+  for (size_t R = 0; R < Sizes.size(); ++R) {
+    std::printf("  region %2zu %5lld ", R + 1,
+                static_cast<long long>(Sizes[R]));
+    for (int64_t I = 0; I < Sizes[R] / 20; ++I)
+      std::putchar('#');
+    std::putchar('\n');
+  }
+
+  machine::MachineConfig M;
+  M.Name = "simd-16";
+  M.Processors = 16;
+  M.Gran = 16;
+  M.DataLayout = machine::Layout::Cyclic;
+  RunOptions Opts;
+  Opts.WorkTargets = {"GROWN"};
+
+  auto Run = [&](bool Flatten) {
+    Program P = regionGrowF77(Spec.NumRegions, MaxSize);
+    if (Flatten) {
+      transform::FlattenOptions FOpts;
+      FOpts.AssumeInnerMinOneTrip = true; // every region has >= 1 pixel
+      FOpts.DistributeOuter = machine::Layout::Cyclic;
+      transform::flattenNest(P, FOpts);
+      P = transform::simdize(P);
+    } else {
+      transform::SimdizeOptions SOpts;
+      SOpts.DoAllLayout = machine::Layout::Cyclic;
+      P = transform::simdize(P, SOpts);
+    }
+    SimdInterp Interp(P, M, nullptr, Opts);
+    Interp.store().setInt("nRegions", Spec.NumRegions);
+    Interp.store().setIntArray("SIZE", Sizes);
+    SimdRunResult R = Interp.run();
+    return std::make_pair(R.Stats.WorkSteps,
+                          Interp.store().getIntArray("GROWN"));
+  };
+
+  auto [StepsU, GrownU] = Run(false);
+  auto [StepsF, GrownF] = Run(true);
+  bool Same = GrownU == GrownF;
+
+  std::printf("\ngrowth kernel on a 16-lane SIMD machine:\n");
+  std::printf("  unflattened: %lld steps (inner loop padded to each "
+              "lane group's largest region)\n",
+              static_cast<long long>(StepsU));
+  std::printf("  flattened:   %lld steps -> %.2fx\n",
+              static_cast<long long>(StepsF),
+              static_cast<double>(StepsU) /
+                  static_cast<double>(StepsF));
+  std::printf("  results identical: %s\n", Same ? "yes" : "NO");
+  return Same ? 0 : 1;
+}

@@ -1,0 +1,118 @@
+//===- analysis/LoopNests.cpp ---------------------------------*- C++ -*-===//
+
+#include "analysis/LoopNests.h"
+
+#include "analysis/NormalForm.h"
+#include "ir/Walk.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+int LoopNestNode::depth() const {
+  int D = 0;
+  for (const LoopNestNode &C : Children)
+    D = std::max(D, C.depth());
+  return D + 1;
+}
+
+namespace {
+
+void collectLoops(const Body &B, std::vector<LoopNestNode> &Out);
+
+LoopNestNode makeNode(const Stmt &S) {
+  LoopNestNode N;
+  N.Loop = &S;
+  const Body *LoopBody = nullptr;
+  switch (S.kind()) {
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(&S);
+    N.Kind = D->isParallel() ? "DOALL" : "DO";
+    N.IndexVar = D->indexVar();
+    N.Parallel = D->isParallel();
+    LoopBody = &D->body();
+    break;
+  }
+  case Stmt::Kind::While:
+    N.Kind = "WHILE";
+    LoopBody = &cast<WhileStmt>(&S)->body();
+    break;
+  case Stmt::Kind::Repeat:
+    N.Kind = "REPEAT";
+    LoopBody = &cast<RepeatStmt>(&S)->body();
+    break;
+  default:
+    break;
+  }
+  if (LoopBody) {
+    collectLoops(*LoopBody, N.Children);
+    // The flattenable shape: exactly one child loop at the top level of
+    // the body, and every loop in the body is that child (nothing
+    // hiding inside IFs).
+    size_t TopLevelLoops = 0;
+    for (const StmtPtr &C : *LoopBody)
+      TopLevelLoops += isLoopStmt(*C);
+    N.FlattenableShape =
+        TopLevelLoops == 1 && N.Children.size() == 1;
+  }
+  return N;
+}
+
+void collectLoops(const Body &B, std::vector<LoopNestNode> &Out) {
+  for (const StmtPtr &SP : B) {
+    const Stmt &S = *SP;
+    switch (S.kind()) {
+    case Stmt::Kind::Do:
+    case Stmt::Kind::While:
+    case Stmt::Kind::Repeat:
+      Out.push_back(makeNode(S));
+      break;
+    case Stmt::Kind::If:
+      collectLoops(cast<IfStmt>(&S)->thenBody(), Out);
+      collectLoops(cast<IfStmt>(&S)->elseBody(), Out);
+      break;
+    case Stmt::Kind::Where:
+      collectLoops(cast<WhereStmt>(&S)->thenBody(), Out);
+      collectLoops(cast<WhereStmt>(&S)->elseBody(), Out);
+      break;
+    case Stmt::Kind::Forall:
+      collectLoops(cast<ForallStmt>(&S)->body(), Out);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+void render(const std::vector<LoopNestNode> &Nodes, int Indent,
+            std::string &Out) {
+  for (const LoopNestNode &N : Nodes) {
+    Out += std::string(static_cast<size_t>(Indent) * 2, ' ');
+    Out += N.Kind;
+    if (!N.IndexVar.empty()) {
+      Out += ' ';
+      Out += N.IndexVar;
+    }
+    Out += formatf(" [depth %d%s]\n", N.depth(),
+                   N.FlattenableShape ? ", flattenable shape" : "");
+    render(N.Children, Indent + 1, Out);
+  }
+}
+
+} // namespace
+
+std::vector<LoopNestNode> analysis::findLoopNests(const Program &P) {
+  std::vector<LoopNestNode> Roots;
+  collectLoops(P.body(), Roots);
+  return Roots;
+}
+
+std::string
+analysis::renderLoopNests(const std::vector<LoopNestNode> &Roots) {
+  std::string Out;
+  render(Roots, 0, Out);
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- analysis/LoopNests.h - Loop tree discovery --------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the loop tree of a program and classifies each nest the way
+/// the flattener's applicability test does (Sec. 6: "applicability is
+/// ensured whenever there are multiple loops fully contained in each
+/// other ... easily derived from the abstract syntax tree"). Used by
+/// `flattenc --analyze` and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_ANALYSIS_LOOPNESTS_H
+#define SIMDFLAT_ANALYSIS_LOOPNESTS_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace analysis {
+
+/// One loop in the tree.
+struct LoopNestNode {
+  /// The loop statement (owned by the program).
+  const ir::Stmt *Loop = nullptr;
+  /// "DOALL", "DO", "WHILE" or "REPEAT".
+  std::string Kind;
+  /// Counted-loop index variable (empty otherwise).
+  std::string IndexVar;
+  bool Parallel = false;
+  /// True if this loop's body has the flattenable [Pre..., child,
+  /// Post...] shape: exactly one child loop and no other loops hiding in
+  /// the straight-line code.
+  bool FlattenableShape = false;
+  std::vector<LoopNestNode> Children;
+
+  /// Depth of the subtree rooted here (1 for a leaf loop).
+  int depth() const;
+};
+
+/// Returns the roots of the program's loop tree.
+std::vector<LoopNestNode> findLoopNests(const ir::Program &P);
+
+/// Renders the tree as indented text, one loop per line, e.g.
+/// `DOALL i [flattenable, depth 2]`.
+std::string renderLoopNests(const std::vector<LoopNestNode> &Roots);
+
+} // namespace analysis
+} // namespace simdflat
+
+#endif // SIMDFLAT_ANALYSIS_LOOPNESTS_H

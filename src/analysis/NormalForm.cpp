@@ -1,0 +1,96 @@
+//===- analysis/NormalForm.cpp --------------------------------*- C++ -*-===//
+
+#include "analysis/NormalForm.h"
+
+#include "analysis/SideEffects.h"
+#include "ir/Walk.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+bool analysis::isLoopStmt(const Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Do:
+  case Stmt::Kind::While:
+  case Stmt::Kind::Repeat:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<LoopNormalForm> analysis::normalFormOf(const Stmt &Loop,
+                                                     const Program &P) {
+  LoopNormalForm NF;
+  switch (Loop.kind()) {
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(&Loop);
+    int64_t Step = 1;
+    if (D->step()) {
+      const auto *Lit = dyn_cast<IntLit>(D->step());
+      if (!Lit || Lit->value() == 0)
+        return std::nullopt; // Sign of the step is unknown.
+      Step = Lit->value();
+    }
+    const std::string &IV = D->indexVar();
+    const VarDecl *IVDecl = P.lookupVar(IV);
+    assert(IVDecl && "undeclared DO index");
+    auto IVRef = [&] {
+      return std::make_unique<VarRef>(IV, IVDecl->Kind);
+    };
+    // init: i = lo
+    NF.Init.push_back(
+        std::make_unique<AssignStmt>(IVRef(), cloneExpr(D->lo())));
+    // test: i <= hi (or >= for negative step)
+    NF.Test = std::make_unique<BinaryExpr>(
+        Step > 0 ? BinOp::Le : BinOp::Ge, IVRef(), cloneExpr(D->hi()),
+        ScalarKind::Bool);
+    // increment: i = i + step
+    NF.Increment.push_back(std::make_unique<AssignStmt>(
+        IVRef(),
+        std::make_unique<BinaryExpr>(BinOp::Add, IVRef(),
+                                     std::make_unique<IntLit>(Step),
+                                     ScalarKind::Int)));
+    // done: i >= hi, unit step only (Sec. 4 condition 3).
+    if (Step == 1)
+      NF.Done = std::make_unique<BinaryExpr>(BinOp::Ge, IVRef(),
+                                             cloneExpr(D->hi()),
+                                             ScalarKind::Bool);
+    NF.BodyStmts = cloneBody(D->body());
+    NF.IndexVar = IV;
+    // Provably >= 1 trip for constant bounds.
+    const auto *LoLit = dyn_cast<IntLit>(&D->lo());
+    const auto *HiLit = dyn_cast<IntLit>(&D->hi());
+    if (LoLit && HiLit)
+      NF.ProvablyMinOneTrip = Step > 0 ? LoLit->value() <= HiLit->value()
+                                       : LoLit->value() >= HiLit->value();
+    NF.ControlIsPure = !exprHasSideEffects(D->lo(), P) &&
+                       !exprHasSideEffects(D->hi(), P);
+    return NF;
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(&Loop);
+    NF.Test = cloneExpr(W->cond());
+    NF.BodyStmts = cloneBody(W->body());
+    NF.ControlIsPure = !exprHasSideEffects(W->cond(), P);
+    return NF;
+  }
+  case Stmt::Kind::Repeat: {
+    const auto *R = cast<RepeatStmt>(&Loop);
+    // Pre-test form of `REPEAT B UNTIL c` continues while .NOT. c; the
+    // first test is skipped structurally (PostTest).
+    NF.Test = std::make_unique<UnaryExpr>(
+        UnOp::Not, cloneExpr(R->untilCond()), ScalarKind::Bool);
+    NF.BodyStmts = cloneBody(R->body());
+    NF.PostTest = true;
+    NF.ProvablyMinOneTrip = true;
+    NF.ControlIsPure = !exprHasSideEffects(R->untilCond(), P);
+    return NF;
+  }
+  default:
+    return std::nullopt;
+  }
+}

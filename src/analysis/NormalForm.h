@@ -1,0 +1,72 @@
+//===- analysis/NormalForm.h - init/test/increment extraction --*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Breaks a loop's control pattern into the three phases of Sec. 4 /
+/// Fig. 8 - an initialization phase `init`, a guard `test`, and an
+/// incrementing step `increment` - plus, when available, the `done`
+/// last-iteration test that enables the Fig. 12 optimization. Handles
+/// DO, WHILE and REPEAT (DO-WHILE) loops; GOTO loops are recovered into
+/// WHILEs by the front end before analysis (Sec. 6 "GOTO loops:
+/// identify the phases by their position between labels and jumps").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_ANALYSIS_NORMALFORM_H
+#define SIMDFLAT_ANALYSIS_NORMALFORM_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace simdflat {
+namespace analysis {
+
+/// The normal form of one loop. All expressions/statements are fresh
+/// clones owned by this object.
+struct LoopNormalForm {
+  /// Statements establishing the loop's control state (`i = lo`). Empty
+  /// for WHILE/REPEAT loops, whose initialization happens before the
+  /// loop in user code.
+  ir::Body Init;
+  /// The pre-test guard: iteration continues while this holds.
+  ir::ExprPtr Test;
+  /// The loop body excluding control (for WHILE/REPEAT loops the
+  /// increment is inside the body and "stays with BODY", Sec. 6).
+  ir::Body BodyStmts;
+  /// Control-advance statements (`i = i + step`); empty for WHILE/REPEAT.
+  ir::Body Increment;
+  /// Last-iteration test (`i >= hi`), present only for unit-step counted
+  /// loops (Sec. 4 condition 3).
+  ir::ExprPtr Done;
+  /// The counted loop's index variable, if any.
+  std::string IndexVar;
+  /// True for REPEAT loops: the body runs before the first test, so the
+  /// loop is guaranteed at least one trip (Sec. 4 condition 2 holds
+  /// structurally).
+  bool PostTest = false;
+  /// True if Test/Init/Increment call no impure externs.
+  bool ControlIsPure = true;
+  /// True if the loop provably runs at least once (constant bounds or
+  /// post-test form).
+  bool ProvablyMinOneTrip = false;
+};
+
+/// Extracts the normal form of \p Loop (a DoStmt, WhileStmt or
+/// RepeatStmt). Returns nullopt for other statement kinds, or for DO
+/// loops with a non-literal step (the phase split would need the step's
+/// sign). Label/Goto loops must be structured first.
+std::optional<LoopNormalForm> normalFormOf(const ir::Stmt &Loop,
+                                           const ir::Program &P);
+
+/// True if \p S is a loop statement normalFormOf understands.
+bool isLoopStmt(const ir::Stmt &S);
+
+} // namespace analysis
+} // namespace simdflat
+
+#endif // SIMDFLAT_ANALYSIS_NORMALFORM_H

@@ -1,0 +1,96 @@
+//===- analysis/Profitability.cpp -----------------------------*- C++ -*-===//
+
+#include "analysis/Profitability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+
+ProfitEstimate analysis::estimateProfit(std::span<const int64_t> TripCounts,
+                                        int64_t NumProcs,
+                                        machine::Layout PartLayout) {
+  assert(NumProcs >= 1 && "need at least one processor");
+  ProfitEstimate E;
+  int64_t K = static_cast<int64_t>(TripCounts.size());
+  if (K == 0)
+    return E;
+
+  // Owner of outer iteration k (0-based) and its local position.
+  int64_t Chunk = (K + NumProcs - 1) / NumProcs;
+  auto OwnerOf = [&](int64_t Iter) {
+    return PartLayout == machine::Layout::Block ? Iter / Chunk
+                                                : Iter % NumProcs;
+  };
+  auto LocalOf = [&](int64_t Iter) {
+    return PartLayout == machine::Layout::Block ? Iter % Chunk
+                                                : Iter / NumProcs;
+  };
+
+  std::vector<int64_t> PerProcSum(static_cast<size_t>(NumProcs), 0);
+  std::vector<int64_t> PerRowMax(static_cast<size_t>(Chunk), 0);
+  int64_t Total = 0, MaxTrip = 0;
+  for (int64_t Iter = 0; Iter < K; ++Iter) {
+    int64_t L = TripCounts[static_cast<size_t>(Iter)];
+    assert(L >= 0 && "negative trip count");
+    PerProcSum[static_cast<size_t>(OwnerOf(Iter))] += L;
+    int64_t Row = LocalOf(Iter);
+    PerRowMax[static_cast<size_t>(Row)] =
+        std::max(PerRowMax[static_cast<size_t>(Row)], L);
+    Total += L;
+    MaxTrip = std::max(MaxTrip, L);
+  }
+
+  for (int64_t S : PerProcSum)
+    E.FlattenedSteps = std::max(E.FlattenedSteps, S);
+  for (int64_t M : PerRowMax)
+    E.UnflattenedSteps += M;
+
+  E.Speedup = E.FlattenedSteps == 0
+                  ? 1.0
+                  : static_cast<double>(E.UnflattenedSteps) /
+                        static_cast<double>(E.FlattenedSteps);
+  double Avg = static_cast<double>(Total) / static_cast<double>(K);
+  E.MaxOverAvg = Avg == 0.0 ? 1.0 : static_cast<double>(MaxTrip) / Avg;
+  return E;
+}
+
+int64_t analysis::estimateMsimdSteps(std::span<const int64_t> TripCounts,
+                                     int64_t NumProcs, int64_t Groups,
+                                     machine::Layout PartLayout) {
+  assert(Groups >= 1 && NumProcs >= Groups && NumProcs % Groups == 0 &&
+         "lanes must split evenly into clusters");
+  int64_t K = static_cast<int64_t>(TripCounts.size());
+  if (K == 0)
+    return 0;
+  int64_t Chunk = (K + NumProcs - 1) / NumProcs;
+  int64_t LanesPerGroup = NumProcs / Groups;
+  auto OwnerOf = [&](int64_t Iter) {
+    return PartLayout == machine::Layout::Block ? Iter / Chunk
+                                                : Iter % NumProcs;
+  };
+  auto LocalOf = [&](int64_t Iter) {
+    return PartLayout == machine::Layout::Block ? Iter % Chunk
+                                                : Iter / NumProcs;
+  };
+  // PerGroupRowMax[g * Chunk + row] = max trip among the group's lanes
+  // at that local row.
+  std::vector<int64_t> PerGroupRowMax(
+      static_cast<size_t>(Groups * Chunk), 0);
+  for (int64_t Iter = 0; Iter < K; ++Iter) {
+    int64_t G = OwnerOf(Iter) / LanesPerGroup;
+    int64_t Row = LocalOf(Iter);
+    int64_t &Slot = PerGroupRowMax[static_cast<size_t>(G * Chunk + Row)];
+    Slot = std::max(Slot, TripCounts[static_cast<size_t>(Iter)]);
+  }
+  int64_t Worst = 0;
+  for (int64_t G = 0; G < Groups; ++G) {
+    int64_t Sum = 0;
+    for (int64_t Row = 0; Row < Chunk; ++Row)
+      Sum += PerGroupRowMax[static_cast<size_t>(G * Chunk + Row)];
+    Worst = std::max(Worst, Sum);
+  }
+  return Worst;
+}

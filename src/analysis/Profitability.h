@@ -1,0 +1,68 @@
+//===- analysis/Profitability.h - Eq. 1/2 cost prediction ------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predicts the benefit of loop flattening from a vector of inner trip
+/// counts, evaluating the paper's closed forms exactly:
+///
+///   TIME_MIMD = max_p  sum_i L_p^i          (Eq. 1, = flattened SIMD)
+///   TIME_SIMD = sum_i  max_p L_p^i          (Eq. 2, unflattened SIMD)
+///
+/// Sec. 6: "we can relatively safely assume profitability whenever the
+/// inner loop bounds may vary across the processors" - the predicted
+/// speedup is bounded by max/avg of the trip counts, and degenerates to
+/// 1 at zero variance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_ANALYSIS_PROFITABILITY_H
+#define SIMDFLAT_ANALYSIS_PROFITABILITY_H
+
+#include "machine/Machine.h"
+
+#include <cstdint>
+#include <span>
+
+namespace simdflat {
+namespace analysis {
+
+/// Step-count predictions for one workload/partitioning.
+struct ProfitEstimate {
+  /// Eq. 1: steps of the MIMD schedule == flattened SIMD schedule.
+  int64_t FlattenedSteps = 0;
+  /// Eq. 2: steps of the unflattened (SIMDized) schedule.
+  int64_t UnflattenedSteps = 0;
+  /// UnflattenedSteps / FlattenedSteps (1.0 when both are 0).
+  double Speedup = 1.0;
+  /// max_i L_i / avg_i L_i: the paper's upper bound on the speedup
+  /// (Sec. 5.5: "the given Lu/Lf ratios are bounded by the
+  /// pCntmax/pCntavg ratios").
+  double MaxOverAvg = 1.0;
+};
+
+/// Evaluates Eq. 1 and Eq. 2 for outer iterations with inner trip counts
+/// \p TripCounts distributed over \p NumProcs processors under
+/// \p PartLayout. Processors with no iterations contribute 0.
+ProfitEstimate estimateProfit(std::span<const int64_t> TripCounts,
+                              int64_t NumProcs,
+                              machine::Layout PartLayout);
+
+/// Step count of an MSIMD machine (Philippsen & Tichy, cited in Sec. 7):
+/// \p NumProcs lanes partitioned into \p Groups clusters, each with its
+/// own program counter. Every cluster runs the *unflattened* schedule
+/// over its own lanes (sum of within-cluster maxima); clusters proceed
+/// independently, so the machine finishes after the slowest cluster.
+/// Groups == 1 degenerates to Eq. 2 (pure SIMD); Groups == NumProcs to
+/// Eq. 1 (MIMD). Lanes are clustered contiguously; \p NumProcs must be
+/// divisible by \p Groups.
+int64_t estimateMsimdSteps(std::span<const int64_t> TripCounts,
+                           int64_t NumProcs, int64_t Groups,
+                           machine::Layout PartLayout);
+
+} // namespace analysis
+} // namespace simdflat
+
+#endif // SIMDFLAT_ANALYSIS_PROFITABILITY_H

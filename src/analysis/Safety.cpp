@@ -1,0 +1,187 @@
+//===- analysis/Safety.cpp ------------------------------------*- C++ -*-===//
+
+#include "analysis/Safety.h"
+
+#include "analysis/SideEffects.h"
+#include "ir/Walk.h"
+
+#include <set>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+namespace {
+
+/// Collects write targets of \p B, separated into scalars and arrays.
+void collectWrites(const Body &B, std::set<std::string> &Scalars,
+                   std::set<std::string> &Arrays) {
+  forEachStmt(B, [&](const Stmt &S) {
+    if (const auto *A = dyn_cast<AssignStmt>(&S)) {
+      if (const auto *V = dyn_cast<VarRef>(&A->target()))
+        Scalars.insert(V->name());
+      else if (const auto *AR = dyn_cast<ArrayRef>(&A->target()))
+        Arrays.insert(AR->name());
+    }
+  });
+}
+
+/// Checker state threaded through the recursive scan.
+struct Scan {
+  const std::string &IV;
+  const std::set<std::string> &WrittenScalars;
+  const std::set<std::string> &WrittenArrays;
+  std::string Reason;
+
+  bool fail(const std::string &R) {
+    if (Reason.empty())
+      Reason = R;
+    return false;
+  }
+
+  /// All reads in \p E must be of privatized-safe scalars, and reads of
+  /// written arrays must be subscripted by the loop index.
+  bool checkExprReads(const Expr &E, const std::set<std::string> &Safe) {
+    bool OK = true;
+    forEachExpr(E, [&](const Expr &Sub) {
+      if (!OK)
+        return;
+      if (const auto *V = dyn_cast<VarRef>(&Sub)) {
+        if (V->name() != IV && WrittenScalars.count(V->name()) &&
+            !Safe.count(V->name()))
+          OK = fail("scalar '" + V->name() +
+                    "' carries a value across outer iterations");
+      } else if (const auto *A = dyn_cast<ArrayRef>(&Sub)) {
+        if (WrittenArrays.count(A->name())) {
+          const auto *First =
+              A->indices().empty()
+                  ? nullptr
+                  : dyn_cast<VarRef>(A->indices()[0].get());
+          if (!First || First->name() != IV)
+            OK = fail("array '" + A->name() +
+                      "' is written and accessed with a subscript other "
+                      "than the loop index");
+        }
+      }
+    });
+    return OK;
+  }
+
+  bool checkBody(const Body &B, std::set<std::string> Safe) {
+    for (const StmtPtr &SP : B) {
+      const Stmt &S = *SP;
+      switch (S.kind()) {
+      case Stmt::Kind::Assign: {
+        const auto *A = cast<AssignStmt>(&S);
+        if (!checkExprReads(A->value(), Safe))
+          return false;
+        if (const auto *AR = dyn_cast<ArrayRef>(&A->target())) {
+          for (const ExprPtr &I : AR->indices())
+            if (!checkExprReads(*I, Safe))
+              return false;
+          const auto *First =
+              AR->indices().empty()
+                  ? nullptr
+                  : dyn_cast<VarRef>(AR->indices()[0].get());
+          if (!First || First->name() != IV)
+            return fail("array '" + AR->name() +
+                        "' is written with a first subscript other than "
+                        "the loop index");
+        } else {
+          const auto *V = cast<VarRef>(&A->target());
+          if (V->name() == IV)
+            return fail("the loop index is modified inside the loop");
+          Safe.insert(V->name());
+        }
+        break;
+      }
+      case Stmt::Kind::Do: {
+        const auto *D = cast<DoStmt>(&S);
+        if (!checkExprReads(D->lo(), Safe) || !checkExprReads(D->hi(), Safe))
+          return false;
+        if (D->step() && !checkExprReads(*D->step(), Safe))
+          return false;
+        if (D->indexVar() == IV)
+          return fail("the loop index is rebound by an inner loop");
+        std::set<std::string> Inner = Safe;
+        Inner.insert(D->indexVar());
+        if (!checkBody(D->body(), std::move(Inner)))
+          return false;
+        break;
+      }
+      case Stmt::Kind::Forall: {
+        const auto *F = cast<ForallStmt>(&S);
+        if (!checkExprReads(F->lo(), Safe) || !checkExprReads(F->hi(), Safe))
+          return false;
+        std::set<std::string> Inner = Safe;
+        Inner.insert(F->indexVar());
+        if (F->mask() && !checkExprReads(*F->mask(), Inner))
+          return false;
+        if (!checkBody(F->body(), std::move(Inner)))
+          return false;
+        break;
+      }
+      case Stmt::Kind::While: {
+        const auto *W = cast<WhileStmt>(&S);
+        if (!checkExprReads(W->cond(), Safe))
+          return false;
+        if (!checkBody(W->body(), Safe))
+          return false;
+        break;
+      }
+      case Stmt::Kind::Repeat: {
+        const auto *R = cast<RepeatStmt>(&S);
+        if (!checkBody(R->body(), Safe))
+          return false;
+        if (!checkExprReads(R->untilCond(), Safe))
+          return false;
+        break;
+      }
+      case Stmt::Kind::If: {
+        const auto *I = cast<IfStmt>(&S);
+        if (!checkExprReads(I->cond(), Safe))
+          return false;
+        if (!checkBody(I->thenBody(), Safe) ||
+            !checkBody(I->elseBody(), Safe))
+          return false;
+        break;
+      }
+      case Stmt::Kind::Where: {
+        const auto *W = cast<WhereStmt>(&S);
+        if (!checkExprReads(W->cond(), Safe))
+          return false;
+        if (!checkBody(W->thenBody(), Safe) ||
+            !checkBody(W->elseBody(), Safe))
+          return false;
+        break;
+      }
+      case Stmt::Kind::Call:
+        return fail("subroutine call with unknown effects");
+      case Stmt::Kind::Label:
+      case Stmt::Kind::Goto:
+        return fail("unstructured control flow; recover GOTO loops first");
+      }
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+SafetyResult analysis::checkParallelizable(const DoStmt &Loop,
+                                           const Program &P) {
+  SafetyResult R;
+  if (bodyCallsImpure(Loop.body(), P)) {
+    R.Reason = "the loop calls an impure or undeclared routine";
+    return R;
+  }
+  std::set<std::string> Scalars, Arrays;
+  collectWrites(Loop.body(), Scalars, Arrays);
+  Scan S{Loop.indexVar(), Scalars, Arrays, {}};
+  if (!S.checkBody(Loop.body(), {})) {
+    R.Reason = S.Reason;
+    return R;
+  }
+  R.Parallelizable = true;
+  return R;
+}

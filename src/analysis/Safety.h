@@ -1,0 +1,52 @@
+//===- analysis/Safety.h - Parallelizability checking ----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conservative dependence checking for loop flattening (Sec. 6: "A
+/// sufficient condition is that the loop into which we lift an inner
+/// loop body can be parallelized"). Safety can come from user assertion
+/// (a DOALL header) or from this analysis; the paper notes the same
+/// technology parallelizing compilers use applies, so we implement the
+/// standard conservative subset:
+///
+///  * every array assignment inside the loop must subscript its first
+///    dimension with exactly the loop index variable (owner-computes
+///    disjointness across iterations);
+///  * an array that is written may only be read with the same
+///    first-dimension subscript;
+///  * scalars assigned inside the loop must be privatizable: they are
+///    either inner-loop index variables or are assigned before being
+///    read on every path (we check the simple syntactic case: assigned
+///    at statement level before any use in the iteration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_ANALYSIS_SAFETY_H
+#define SIMDFLAT_ANALYSIS_SAFETY_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace simdflat {
+namespace analysis {
+
+/// Outcome of the parallelizability check.
+struct SafetyResult {
+  bool Parallelizable = false;
+  /// Human-readable reason when not parallelizable.
+  std::string Reason;
+};
+
+/// Checks whether the iterations of \p Loop (a DO loop) can run in
+/// parallel, conservatively.
+SafetyResult checkParallelizable(const ir::DoStmt &Loop,
+                                 const ir::Program &P);
+
+} // namespace analysis
+} // namespace simdflat
+
+#endif // SIMDFLAT_ANALYSIS_SAFETY_H

@@ -1,0 +1,86 @@
+//===- analysis/SideEffects.cpp -------------------------------*- C++ -*-===//
+
+#include "analysis/SideEffects.h"
+
+#include "ir/Walk.h"
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+bool analysis::exprHasSideEffects(const Expr &E, const Program &P) {
+  bool Impure = false;
+  forEachExpr(E, [&](const Expr &Sub) {
+    if (const auto *C = dyn_cast<CallExpr>(&Sub)) {
+      const ExternDecl *D = P.lookupExtern(C->callee());
+      if (!D || !D->Pure)
+        Impure = true;
+    }
+  });
+  return Impure;
+}
+
+bool analysis::bodyCallsImpure(const Body &B, const Program &P) {
+  bool Impure = false;
+  forEachStmt(B, [&](const Stmt &S) {
+    if (const auto *C = dyn_cast<CallStmt>(&S)) {
+      const ExternDecl *D = P.lookupExtern(C->callee());
+      if (!D || !D->Pure)
+        Impure = true;
+    }
+    forEachExprInStmt(S, [&](const Expr &E) {
+      if (const auto *C = dyn_cast<CallExpr>(&E)) {
+        const ExternDecl *D = P.lookupExtern(C->callee());
+        if (!D || !D->Pure)
+          Impure = true;
+      }
+    });
+  });
+  return Impure;
+}
+
+std::set<std::string> analysis::namesWritten(const Body &B) {
+  std::set<std::string> Out;
+  forEachStmt(B, [&](const Stmt &S) {
+    if (const auto *A = dyn_cast<AssignStmt>(&S)) {
+      if (const auto *V = dyn_cast<VarRef>(&A->target()))
+        Out.insert(V->name());
+      else if (const auto *AR = dyn_cast<ArrayRef>(&A->target()))
+        Out.insert(AR->name());
+    } else if (const auto *D = dyn_cast<DoStmt>(&S)) {
+      Out.insert(D->indexVar());
+    } else if (const auto *F = dyn_cast<ForallStmt>(&S)) {
+      Out.insert(F->indexVar());
+    }
+  });
+  return Out;
+}
+
+std::set<std::string> analysis::namesRead(const Expr &E) {
+  std::set<std::string> Out;
+  forEachExpr(E, [&](const Expr &Sub) {
+    if (const auto *V = dyn_cast<VarRef>(&Sub))
+      Out.insert(V->name());
+    else if (const auto *A = dyn_cast<ArrayRef>(&Sub))
+      Out.insert(A->name());
+  });
+  return Out;
+}
+
+std::set<std::string> analysis::namesRead(const Body &B) {
+  std::set<std::string> Out;
+  forEachStmt(B, [&](const Stmt &S) {
+    forEachExprInStmt(S, [&](const Expr &E) {
+      if (const auto *V = dyn_cast<VarRef>(&E)) {
+        Out.insert(V->name());
+      } else if (const auto *A = dyn_cast<ArrayRef>(&E)) {
+        // The array name itself counts as read only for loads; for an
+        // assignment target only the subscripts are reads. forEachExpr
+        // visits the target including its name; we cannot distinguish
+        // here, so be conservative: count it as read.
+        Out.insert(A->name());
+      }
+    });
+  });
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- analysis/SideEffects.h - Purity and read/write sets -----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Side-effect and access-set analyses. Sec. 4 of the paper introduces
+/// guard flags precisely because loop tests may have side effects; the
+/// optimized flattenings (Figs. 11/12) require side-effect-free control
+/// phases. These helpers answer those questions conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_ANALYSIS_SIDEEFFECTS_H
+#define SIMDFLAT_ANALYSIS_SIDEEFFECTS_H
+
+#include "ir/Program.h"
+
+#include <set>
+#include <string>
+
+namespace simdflat {
+namespace analysis {
+
+/// True if evaluating \p E may have observable side effects (calls an
+/// impure or unknown extern).
+bool exprHasSideEffects(const ir::Expr &E, const ir::Program &P);
+
+/// True if executing \p B may call an impure or unknown extern. Writes
+/// to variables are reported separately through namesWritten.
+bool bodyCallsImpure(const ir::Body &B, const ir::Program &P);
+
+/// Names of variables and arrays assigned anywhere in \p B (including
+/// DO/FORALL index variables).
+std::set<std::string> namesWritten(const ir::Body &B);
+
+/// Names of variables and arrays read anywhere in \p E.
+std::set<std::string> namesRead(const ir::Expr &E);
+
+/// Names of variables and arrays read anywhere in \p B (conditions,
+/// bounds, subscripts - including subscripts of assignment targets - and
+/// right-hand sides).
+std::set<std::string> namesRead(const ir::Body &B);
+
+} // namespace analysis
+} // namespace simdflat
+
+#endif // SIMDFLAT_ANALYSIS_SIDEEFFECTS_H

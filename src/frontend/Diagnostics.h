@@ -1,0 +1,60 @@
+//===- frontend/Diagnostics.h - Parse/sema error reporting -----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the mini-Fortran front end. Errors are
+/// recoverable: the parser records them and keeps going so one run
+/// reports as many problems as possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FRONTEND_DIAGNOSTICS_H
+#define SIMDFLAT_FRONTEND_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace frontend {
+
+/// A source position (1-based).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+};
+
+/// One reported problem.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  /// "line L, col C: message" (error-message style: lowercase start, no
+  /// trailing period).
+  std::string render() const;
+};
+
+/// Ordered diagnostic sink.
+class Diagnostics {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Loc, std::move(Message)});
+  }
+
+  bool empty() const { return Diags.empty(); }
+  size_t count() const { return Diags.size(); }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics joined with newlines.
+  std::string renderAll() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace frontend
+} // namespace simdflat
+
+#endif // SIMDFLAT_FRONTEND_DIAGNOSTICS_H

@@ -1,0 +1,134 @@
+//===- frontend/GotoRecovery.cpp ------------------------------*- C++ -*-===//
+
+#include "frontend/GotoRecovery.h"
+
+#include "ir/Builder.h"
+#include "ir/Walk.h"
+
+#include <map>
+
+using namespace simdflat;
+using namespace simdflat::frontend;
+using namespace simdflat::ir;
+
+namespace {
+
+/// Counts GOTO references per label over the whole program.
+void countGotoRefs(const Body &B, std::map<int, int> &Refs) {
+  forEachStmt(B, [&Refs](const Stmt &S) {
+    if (const auto *G = dyn_cast<GotoStmt>(&S))
+      Refs[G->label()] += 1;
+  });
+}
+
+class Recovery {
+public:
+  explicit Recovery(Program &P) : P(P) {
+    countGotoRefs(P.body(), Refs);
+  }
+
+  int run() {
+    processBody(P.body());
+    return Count;
+  }
+
+private:
+  Program &P;
+  std::map<int, int> Refs;
+  int Count = 0;
+
+  void processBody(Body &B) {
+    // Recurse into nested bodies first (innermost loops recover first).
+    for (StmtPtr &SP : B) {
+      switch (SP->kind()) {
+      case Stmt::Kind::If:
+        processBody(cast<IfStmt>(SP.get())->thenBody());
+        processBody(cast<IfStmt>(SP.get())->elseBody());
+        break;
+      case Stmt::Kind::Where:
+        processBody(cast<WhereStmt>(SP.get())->thenBody());
+        processBody(cast<WhereStmt>(SP.get())->elseBody());
+        break;
+      case Stmt::Kind::Do:
+        processBody(cast<DoStmt>(SP.get())->body());
+        break;
+      case Stmt::Kind::While:
+        processBody(cast<WhileStmt>(SP.get())->body());
+        break;
+      case Stmt::Kind::Repeat:
+        processBody(cast<RepeatStmt>(SP.get())->body());
+        break;
+      case Stmt::Kind::Forall:
+        processBody(cast<ForallStmt>(SP.get())->body());
+        break;
+      default:
+        break;
+      }
+    }
+    // Repeatedly recover the innermost label/goto cycle in this list.
+    while (recoverOne(B))
+      ++Count;
+  }
+
+  /// Finds a label L at index i and a conditional GOTO L at index j > i
+  /// with no other reference to L anywhere and no other label between
+  /// them with references from outside the range; rewrites to REPEAT.
+  bool recoverOne(Body &B) {
+    for (size_t LabelIdx = 0; LabelIdx < B.size(); ++LabelIdx) {
+      const auto *L = dyn_cast<LabelStmt>(B[LabelIdx].get());
+      if (!L)
+        continue;
+      if (Refs[L->label()] != 1)
+        continue;
+      for (size_t GotoIdx = LabelIdx + 1; GotoIdx < B.size(); ++GotoIdx) {
+        const auto *G = dyn_cast<GotoStmt>(B[GotoIdx].get());
+        if (!G || G->label() != L->label())
+          continue;
+        if (!G->cond())
+          return false; // unconditional backward jump: leave it
+        // The loop body must not contain other labels or gotos (they
+        // would be jumps into/out of the region).
+        bool Clean = true;
+        for (size_t I = LabelIdx + 1; I < GotoIdx && Clean; ++I) {
+          Body One;
+          One.push_back(cloneStmt(*B[I]));
+          forEachStmt(One, [&Clean](const Stmt &S) {
+            if (S.kind() == Stmt::Kind::Label ||
+                S.kind() == Stmt::Kind::Goto)
+              Clean = false;
+          });
+        }
+        if (!Clean)
+          continue;
+        // Build REPEAT body UNTIL (.NOT. cond).
+        Body LoopBody;
+        for (size_t I = LabelIdx + 1; I < GotoIdx; ++I)
+          LoopBody.push_back(std::move(B[I]));
+        ExprPtr Until = std::make_unique<UnaryExpr>(
+            UnOp::Not, cloneExpr(*G->cond()), ScalarKind::Bool);
+        StmtPtr Loop = std::make_unique<RepeatStmt>(std::move(LoopBody),
+                                                    std::move(Until));
+        Refs[L->label()] = 0;
+        B.erase(B.begin() + static_cast<long>(LabelIdx),
+                B.begin() + static_cast<long>(GotoIdx) + 1);
+        B.insert(B.begin() + static_cast<long>(LabelIdx),
+                 std::move(Loop));
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+int frontend::recoverGotoLoops(Program &P) { return Recovery(P).run(); }
+
+bool frontend::hasUnstructuredControl(const Program &P) {
+  bool Found = false;
+  forEachStmt(P.body(), [&Found](const Stmt &S) {
+    if (S.kind() == Stmt::Kind::Label || S.kind() == Stmt::Kind::Goto)
+      Found = true;
+  });
+  return Found;
+}

@@ -1,0 +1,46 @@
+//===- frontend/GotoRecovery.h - Structure GOTO loops ----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recovers dusty-deck GOTO loops into structured REPEAT loops so the
+/// analyses and transformations (which require structured control flow)
+/// can handle them - the paper's Sec. 6: "GOTO loops: similarly to
+/// WHILE loops, we can identify the phases by their position between
+/// labels and jumps."
+///
+/// Recognized pattern (within a single statement list):
+/// \code
+///   10 CONTINUE
+///      <body>
+///      IF (cond) GOTO 10        ! or an unconditional GOTO elsewhere? no
+/// \endcode
+/// becomes `REPEAT <body> UNTIL (.NOT. cond)`. The label must have
+/// exactly one referencing GOTO, the GOTO must be conditional (a
+/// backward unconditional jump is an infinite loop) and must appear
+/// after the label at the same nesting level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FRONTEND_GOTORECOVERY_H
+#define SIMDFLAT_FRONTEND_GOTORECOVERY_H
+
+#include "ir/Program.h"
+
+namespace simdflat {
+namespace frontend {
+
+/// Rewrites recoverable GOTO loops in \p P; returns how many loops were
+/// structured. Unrecoverable labels/GOTOs are left in place (the SIMD
+/// pipeline will reject them with a diagnostic).
+int recoverGotoLoops(ir::Program &P);
+
+/// True if \p P still contains any Label or Goto statement.
+bool hasUnstructuredControl(const ir::Program &P);
+
+} // namespace frontend
+} // namespace simdflat
+
+#endif // SIMDFLAT_FRONTEND_GOTORECOVERY_H

@@ -1,0 +1,262 @@
+//===- frontend/Lexer.cpp -------------------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace simdflat;
+using namespace simdflat::frontend;
+
+std::string Diagnostic::render() const {
+  return formatf("line %d, col %d: %s", Loc.Line, Loc.Col,
+                 Message.c_str());
+}
+
+std::string Diagnostics::renderAll() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.render();
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool Token::isKeyword(const char *KW) const {
+  if (Kind != TokKind::Identifier)
+    return false;
+  size_t I = 0;
+  for (; KW[I] != '\0'; ++I) {
+    if (I >= Text.size() ||
+        std::toupper(static_cast<unsigned char>(Text[I])) != KW[I])
+      return false;
+  }
+  return I == Text.size();
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, Diagnostics &Diags)
+      : Src(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      Token T = next();
+      bool IsEof = T.Kind == TokKind::Eof;
+      // Collapse duplicate newlines.
+      if (T.Kind == TokKind::Newline && !Out.empty() &&
+          Out.back().Kind == TokKind::Newline)
+        continue;
+      Out.push_back(std::move(T));
+      if (IsEof)
+        return Out;
+    }
+  }
+
+private:
+  const std::string &Src;
+  Diagnostics &Diags;
+  size_t Pos = 0;
+  int Line = 1, Col = 1;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char bump() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  SourceLoc here() const { return {Line, Col}; }
+
+  Token make(TokKind K) {
+    Token T;
+    T.Kind = K;
+    T.Loc = here();
+    return T;
+  }
+
+  /// Matches a dot-keyword like .AND. starting at the current '.'.
+  bool tryDotWord(const char *Word, TokKind K, Token &Out) {
+    size_t Len = 0;
+    while (Word[Len] != '\0')
+      ++Len;
+    if (peek() != '.')
+      return false;
+    for (size_t I = 0; I < Len; ++I)
+      if (std::toupper(static_cast<unsigned char>(peek(1 + I))) != Word[I])
+        return false;
+    if (peek(1 + Len) != '.')
+      return false;
+    Out = make(K);
+    for (size_t I = 0; I < Len + 2; ++I)
+      bump();
+    return true;
+  }
+
+  Token next() {
+    // Skip spaces, tabs and comments.
+    while (true) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r') {
+        bump();
+        continue;
+      }
+      if (C == '!') {
+        while (peek() != '\n' && peek() != '\0')
+          bump();
+        continue;
+      }
+      break;
+    }
+
+    char C = peek();
+    if (C == '\0')
+      return make(TokKind::Eof);
+    if (C == '\n') {
+      Token T = make(TokKind::Newline);
+      bump();
+      return T;
+    }
+
+    // Dot keywords and dot-leading reals (.5).
+    if (C == '.') {
+      Token T;
+      if (tryDotWord("AND", TokKind::DotAnd, T) ||
+          tryDotWord("OR", TokKind::DotOr, T) ||
+          tryDotWord("NOT", TokKind::DotNot, T) ||
+          tryDotWord("TRUE", TokKind::DotTrue, T) ||
+          tryDotWord("FALSE", TokKind::DotFalse, T))
+        return T;
+      if (std::isdigit(static_cast<unsigned char>(peek(1))))
+        return lexNumber();
+      Token Bad = make(TokKind::Eof);
+      Diags.error(here(), "stray '.' in input");
+      bump();
+      return next();
+      (void)Bad;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Token T = make(TokKind::Identifier);
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        T.Text += bump();
+      return T;
+    }
+
+    switch (C) {
+    case '(':
+      bump();
+      return make(TokKind::LParen);
+    case ')':
+      bump();
+      return make(TokKind::RParen);
+    case ',':
+      bump();
+      return make(TokKind::Comma);
+    case ':':
+      bump();
+      return make(TokKind::Colon);
+    case '+':
+      bump();
+      return make(TokKind::Plus);
+    case '-':
+      bump();
+      return make(TokKind::Minus);
+    case '*':
+      bump();
+      return make(TokKind::Star);
+    case '=':
+      bump();
+      if (peek() == '=') {
+        bump();
+        return make(TokKind::Eq);
+      }
+      return make(TokKind::Assign);
+    case '/':
+      bump();
+      if (peek() == '=') {
+        bump();
+        return make(TokKind::Ne);
+      }
+      return make(TokKind::Slash);
+    case '<':
+      bump();
+      if (peek() == '=') {
+        bump();
+        return make(TokKind::Le);
+      }
+      return make(TokKind::Lt);
+    case '>':
+      bump();
+      if (peek() == '=') {
+        bump();
+        return make(TokKind::Ge);
+      }
+      return make(TokKind::Gt);
+    default:
+      Diags.error(here(), formatf("unexpected character '%c'", C));
+      bump();
+      return next();
+    }
+  }
+
+  Token lexNumber() {
+    Token T = make(TokKind::IntLiteral);
+    std::string Digits;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits += bump();
+    bool IsReal = false;
+    // A '.' starts a fraction only if not a dot-keyword (e.g. `4.AND.`
+    // cannot occur in our grammar, but `1.5` and `2.` can).
+    if (peek() == '.' &&
+        !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+      IsReal = true;
+      Digits += bump();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits += bump();
+    }
+    if (std::toupper(static_cast<unsigned char>(peek())) == 'E' &&
+        (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+         ((peek(1) == '+' || peek(1) == '-') &&
+          std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+      IsReal = true;
+      Digits += bump();
+      if (peek() == '+' || peek() == '-')
+        Digits += bump();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Digits += bump();
+    }
+    if (IsReal) {
+      T.Kind = TokKind::RealLiteral;
+      T.RealValue = std::strtod(Digits.c_str(), nullptr);
+    } else {
+      T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+    }
+    return T;
+  }
+};
+
+} // namespace
+
+std::vector<Token> frontend::tokenize(const std::string &Source,
+                                      Diagnostics &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

@@ -1,0 +1,77 @@
+//===- frontend/Lexer.h - Mini-Fortran tokenizer ---------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the pseudo-Fortran concrete syntax (exactly what
+/// ir::printProgram emits, so print -> parse round-trips). Keywords are
+/// case-insensitive; newlines are statement separators and are reported
+/// as tokens; `!` starts a comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FRONTEND_LEXER_H
+#define SIMDFLAT_FRONTEND_LEXER_H
+
+#include "frontend/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace frontend {
+
+/// Token kinds. Keywords carry their spelling in Text (uppercased).
+enum class TokKind {
+  Eof,
+  Newline,
+  Identifier, ///< includes keywords; see isKeyword()
+  IntLiteral,
+  RealLiteral,
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  Assign, ///< =
+  Eq,     ///< ==
+  Ne,     ///< /=
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  DotAnd, ///< .AND.
+  DotOr,  ///< .OR.
+  DotNot, ///< .NOT.
+  DotTrue,
+  DotFalse,
+};
+
+/// One token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  /// Identifier/keyword spelling (identifiers keep their case; keyword
+  /// comparison uses the uppercased form).
+  std::string Text;
+  int64_t IntValue = 0;
+  double RealValue = 0.0;
+  SourceLoc Loc;
+
+  /// True if this is an identifier whose uppercased spelling is \p KW.
+  bool isKeyword(const char *KW) const;
+};
+
+/// Tokenizes \p Source; lexical errors go to \p Diags (the bad character
+/// is skipped).
+std::vector<Token> tokenize(const std::string &Source, Diagnostics &Diags);
+
+} // namespace frontend
+} // namespace simdflat
+
+#endif // SIMDFLAT_FRONTEND_LEXER_H

@@ -1,0 +1,58 @@
+//===- frontend/Parser.h - Mini-Fortran parser -----------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser and semantic checker for the pseudo-Fortran
+/// concrete syntax:
+///
+/// \code
+///   PROGRAM name
+///   EXTERN [IMPURE] REAL FUNCTION Force
+///   EXTERN [IMPURE] SUBROUTINE Dump
+///   INTEGER K
+///   DISTRIBUTED INTEGER L(8)
+///   REPLICATED INTEGER i
+///   BEGIN
+///     <statements>
+///   END
+/// \endcode
+///
+/// Statements cover every loop form of Sec. 4/6: DO/DOALL, WHILE,
+/// REPEAT/UNTIL, FORALL, IF/WHERE, CALL, labels and (conditional)
+/// GOTOs. Semantic checks: declared symbols, array ranks, index and
+/// operand types, call targets. Errors are collected (with source
+/// locations) and parsing continues at the next statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FRONTEND_PARSER_H
+#define SIMDFLAT_FRONTEND_PARSER_H
+
+#include "frontend/Diagnostics.h"
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+
+namespace simdflat {
+namespace frontend {
+
+/// Outcome of parsing: the program (present even with recoverable
+/// errors, for tooling) plus diagnostics.
+struct ParseResult {
+  std::optional<ir::Program> Prog;
+  Diagnostics Diags;
+
+  bool ok() const { return Prog.has_value() && Diags.empty(); }
+};
+
+/// Parses a full `PROGRAM ... BEGIN ... END` unit.
+ParseResult parseProgram(const std::string &Source);
+
+} // namespace frontend
+} // namespace simdflat
+
+#endif // SIMDFLAT_FRONTEND_PARSER_H

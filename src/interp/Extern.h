@@ -1,0 +1,65 @@
+//===- interp/Extern.h - External function registry ------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bindings for extern functions/subroutines the IR calls (the paper's
+/// `Force(At1, At2)` routine, impure test stubs, recording probes).
+/// Implementations are elementwise: on the SIMD machine they are invoked
+/// once per active lane but charged once per vector call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_INTERP_EXTERN_H
+#define SIMDFLAT_INTERP_EXTERN_H
+
+#include "interp/Value.h"
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+namespace simdflat {
+namespace interp {
+
+/// One extern binding.
+struct ExternImpl {
+  /// Elementwise implementation; receives one scalar value per declared
+  /// argument. Subroutines ignore the return value.
+  std::function<ScalVal(std::span<const ScalVal>)> Fn;
+  /// Cycles charged per (vector) invocation.
+  double Cost = 0.0;
+};
+
+/// Name -> implementation map shared by all interpreters of a run.
+class ExternRegistry {
+public:
+  /// Registers \p Name; overwrites an existing binding.
+  void bind(const std::string &Name, ExternImpl Impl) {
+    Impls[Name] = std::move(Impl);
+  }
+
+  /// Convenience for pure elementwise functions.
+  void bind(const std::string &Name,
+            std::function<ScalVal(std::span<const ScalVal>)> Fn,
+            double Cost = 0.0) {
+    bind(Name, ExternImpl{std::move(Fn), Cost});
+  }
+
+  /// Returns the binding or null.
+  const ExternImpl *lookup(const std::string &Name) const {
+    auto It = Impls.find(Name);
+    return It == Impls.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::unordered_map<std::string, ExternImpl> Impls;
+};
+
+} // namespace interp
+} // namespace simdflat
+
+#endif // SIMDFLAT_INTERP_EXTERN_H

@@ -1,0 +1,97 @@
+//===- interp/RunStats.h - Execution statistics and traces -----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters the experiments report: work-step counts (the paper's
+/// Eq. 1/2 iteration counts and Table 2's Force-call counts), cycle/time
+/// accounting (Table 1), lane utilization (idle masked lanes are the
+/// effect under study) and execution traces (Figs. 4 and 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_INTERP_RUNSTATS_H
+#define SIMDFLAT_INTERP_RUNSTATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace interp {
+
+/// Counters accumulated by one execution.
+struct RunStats {
+  /// Executions of designated "work" statements (assignments to
+  /// WorkTargets arrays, calls to WorkCalls externs). On the SIMD
+  /// machine this counts vector steps; on MIMD/scalar, executions.
+  int64_t WorkSteps = 0;
+  /// Vector instructions issued (SIMD) / operations executed (scalar).
+  int64_t Instructions = 0;
+  /// Sum over work steps of the number of active lanes.
+  int64_t WorkActiveLanes = 0;
+  /// Sum over work steps of the lane width (Gran).
+  int64_t WorkTotalLanes = 0;
+  /// Accesses to distributed array elements homed on another lane. The
+  /// paper excludes communication; our kernels keep this zero (tested).
+  int64_t CommAccesses = 0;
+  /// Model cycles consumed.
+  double Cycles = 0.0;
+  /// Cycles scaled by the machine's SecondsPerCycle.
+  double Seconds = 0.0;
+
+  /// Fraction of work-step lane slots doing useful work (1.0 = no idle
+  /// processors). The paper's Fig. 6 trace shows exactly these gaps.
+  double workUtilization() const {
+    return WorkTotalLanes == 0
+               ? 1.0
+               : static_cast<double>(WorkActiveLanes) /
+                     static_cast<double>(WorkTotalLanes);
+  }
+};
+
+/// A recorded execution trace: one entry per work step with the values of
+/// the watched (integer) variables on every lane plus the activity mask.
+struct Trace {
+  /// Names of watched variables (set via RunOptions::Watch).
+  std::vector<std::string> Watch;
+  int64_t Lanes = 1;
+
+  struct Step {
+    /// Values indexed [watchIdx * Lanes + lane].
+    std::vector<int64_t> Values;
+    /// Activity per lane (scalar machine: always 1).
+    std::vector<uint8_t> Active;
+  };
+  std::vector<Step> Steps;
+
+  int64_t value(size_t StepIdx, size_t WatchIdx, int64_t Lane) const {
+    return Steps[StepIdx]
+        .Values[WatchIdx * static_cast<size_t>(Lanes) +
+                static_cast<size_t>(Lane)];
+  }
+  bool active(size_t StepIdx, int64_t Lane) const {
+    return Steps[StepIdx].Active[static_cast<size_t>(Lane)] != 0;
+  }
+};
+
+/// Options controlling statistics collection and safety limits.
+struct RunOptions {
+  /// Array/variable names whose assignments count as work steps.
+  std::vector<std::string> WorkTargets;
+  /// Extern function names whose calls count as work steps.
+  std::vector<std::string> WorkCalls;
+  /// Integer variables snapshotted into the trace at each work step.
+  /// Empty disables tracing.
+  std::vector<std::string> Watch;
+  /// Abort after this many loop iterations (guards against transformed
+  /// code that fails to terminate).
+  int64_t MaxLoopIterations = 200'000'000;
+};
+
+} // namespace interp
+} // namespace simdflat
+
+#endif // SIMDFLAT_INTERP_RUNSTATS_H

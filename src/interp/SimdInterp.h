@@ -1,0 +1,73 @@
+//===- interp/SimdInterp.h - Lockstep SIMD machine executor ----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes F90simd-dialect programs the way a SIMD machine does: one
+/// control unit, Gran lanes stepping in lockstep through every vector
+/// instruction, a WHERE mask stack deciding which lanes commit stores.
+/// Masked-out lanes pay full instruction time - the restriction the
+/// paper's loop flattening attacks.
+///
+/// Semantics notes:
+///  * IF / WHILE / REPEAT conditions and DO bounds must be
+///    control-uniform (identical on all lanes); lane-varying conditionals
+///    must use WHERE, lane-varying loops WHILE ANY(...). Violations
+///    abort with a diagnostic - they are exactly the "SIMDization" bugs
+///    the transform must avoid.
+///  * Lane reductions (ANY/ALL/MAXRED/SUMRED) reduce over the currently
+///    *active* lanes and broadcast the result.
+///  * FORALL (e = 1 : N) sweeps the distributed index space; when N
+///    exceeds the granularity the sweep serializes over memory layers,
+///    charging each layer (Sec. 5.2/5.3).
+///  * Reads/writes of distributed array elements homed on another lane
+///    are counted as communication (the paper's measurements exclude
+///    comm; our kernels keep the count at zero and tests assert it).
+///  * Out-of-bounds subscripts abort if the lane is active and yield 0 on
+///    idle lanes (idle lanes still execute gathers with whatever garbage
+///    indices they hold - that is faithful to the hardware).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_INTERP_SIMDINTERP_H
+#define SIMDFLAT_INTERP_SIMDINTERP_H
+
+#include "interp/Extern.h"
+#include "interp/RunStats.h"
+#include "interp/Store.h"
+#include "machine/Machine.h"
+#include "machine/MaskStack.h"
+
+namespace simdflat {
+namespace interp {
+
+/// Result of one SIMD execution.
+struct SimdRunResult {
+  RunStats Stats;
+  Trace Tr;
+};
+
+/// Lockstep interpreter over Gran lanes.
+class SimdInterp {
+public:
+  SimdInterp(const ir::Program &P, const machine::MachineConfig &Machine,
+             const ExternRegistry *Externs, RunOptions Opts = {});
+  ~SimdInterp();
+
+  DataStore &store();
+  const machine::MachineConfig &machineConfig() const;
+
+  /// Executes the program body once. May be called once per interpreter.
+  SimdRunResult run();
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace interp
+} // namespace simdflat
+
+#endif // SIMDFLAT_INTERP_SIMDINTERP_H

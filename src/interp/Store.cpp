@@ -1,0 +1,174 @@
+//===- interp/Store.cpp ---------------------------------------*- C++ -*-===//
+
+#include "interp/Store.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+
+DataStore::DataStore(const Program &P, int64_t NumLanes)
+    : Prog(&P), Lanes(NumLanes) {
+  assert(NumLanes >= 1 && "store needs at least one lane");
+  for (const VarDecl &V : P.vars()) {
+    Slot S;
+    S.Decl = &V;
+    if (V.isArray())
+      S.Width = V.numElements();
+    else
+      S.Width = V.Distribution == Dist::Replicated ? Lanes : 1;
+    if (V.Kind == ScalarKind::Real)
+      S.R.assign(static_cast<size_t>(S.Width), 0.0);
+    else
+      S.I.assign(static_cast<size_t>(S.Width), 0);
+    Slots.emplace(V.Name, std::move(S));
+  }
+}
+
+Slot &DataStore::slot(const std::string &Name) {
+  auto It = Slots.find(Name);
+  if (It == Slots.end())
+    reportFatalError("store: undeclared variable '" + Name + "'");
+  return It->second;
+}
+
+const Slot &DataStore::slot(const std::string &Name) const {
+  auto It = Slots.find(Name);
+  if (It == Slots.end())
+    reportFatalError("store: undeclared variable '" + Name + "'");
+  return It->second;
+}
+
+void DataStore::setInt(const std::string &Name, int64_t V) {
+  Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && !S.isReal() && "setInt on wrong slot");
+  S.I.assign(S.I.size(), V);
+}
+
+void DataStore::setReal(const std::string &Name, double V) {
+  Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && S.isReal() && "setReal on wrong slot");
+  S.R.assign(S.R.size(), V);
+}
+
+void DataStore::setBool(const std::string &Name, bool V) {
+  Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && S.Decl->Kind == ScalarKind::Bool &&
+         "setBool on wrong slot");
+  S.I.assign(S.I.size(), V ? 1 : 0);
+}
+
+int64_t DataStore::getInt(const std::string &Name) const {
+  const Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && !S.isReal() && "getInt on wrong slot");
+  return S.I[0];
+}
+
+double DataStore::getReal(const std::string &Name) const {
+  const Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && S.isReal() && "getReal on wrong slot");
+  return S.R[0];
+}
+
+bool DataStore::getBool(const std::string &Name) const {
+  const Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && S.Decl->Kind == ScalarKind::Bool &&
+         "getBool on wrong slot");
+  return S.I[0] != 0;
+}
+
+int64_t DataStore::getIntLane(const std::string &Name, int64_t Lane) const {
+  const Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && !S.isReal() && "getIntLane on wrong slot");
+  assert(Lane >= 0 && Lane < S.Width && "lane out of range");
+  return S.I[static_cast<size_t>(Lane)];
+}
+
+void DataStore::setIntLane(const std::string &Name, int64_t Lane, int64_t V) {
+  Slot &S = slot(Name);
+  assert(S.Decl->isScalar() && !S.isReal() && "setIntLane on wrong slot");
+  assert(Lane >= 0 && Lane < S.Width && "lane out of range");
+  S.I[static_cast<size_t>(Lane)] = V;
+}
+
+void DataStore::setIntArray(const std::string &Name,
+                            std::span<const int64_t> Values) {
+  Slot &S = slot(Name);
+  assert(S.Decl->isArray() && !S.isReal() && "setIntArray on wrong slot");
+  if (static_cast<int64_t>(Values.size()) != S.Width)
+    reportFatalError("store: size mismatch filling '" + Name + "'");
+  S.I.assign(Values.begin(), Values.end());
+}
+
+void DataStore::setRealArray(const std::string &Name,
+                             std::span<const double> Values) {
+  Slot &S = slot(Name);
+  assert(S.Decl->isArray() && S.isReal() && "setRealArray on wrong slot");
+  if (static_cast<int64_t>(Values.size()) != S.Width)
+    reportFatalError("store: size mismatch filling '" + Name + "'");
+  S.R.assign(Values.begin(), Values.end());
+}
+
+std::vector<int64_t> DataStore::getIntArray(const std::string &Name) const {
+  const Slot &S = slot(Name);
+  assert(S.Decl->isArray() && !S.isReal() && "getIntArray on wrong slot");
+  return S.I;
+}
+
+std::vector<double> DataStore::getRealArray(const std::string &Name) const {
+  const Slot &S = slot(Name);
+  assert(S.Decl->isArray() && S.isReal() && "getRealArray on wrong slot");
+  return S.R;
+}
+
+int64_t DataStore::getIntAt(const std::string &Name,
+                            std::span<const int64_t> Indices) const {
+  const Slot &S = slot(Name);
+  int64_t Flat = flatIndex(*S.Decl, Indices);
+  if (Flat < 0)
+    reportFatalError("store: index out of bounds reading '" + Name + "'");
+  return S.I[static_cast<size_t>(Flat)];
+}
+
+double DataStore::getRealAt(const std::string &Name,
+                            std::span<const int64_t> Indices) const {
+  const Slot &S = slot(Name);
+  int64_t Flat = flatIndex(*S.Decl, Indices);
+  if (Flat < 0)
+    reportFatalError("store: index out of bounds reading '" + Name + "'");
+  return S.R[static_cast<size_t>(Flat)];
+}
+
+void DataStore::setIntAt(const std::string &Name,
+                         std::span<const int64_t> Indices, int64_t V) {
+  Slot &S = slot(Name);
+  int64_t Flat = flatIndex(*S.Decl, Indices);
+  if (Flat < 0)
+    reportFatalError("store: index out of bounds writing '" + Name + "'");
+  S.I[static_cast<size_t>(Flat)] = V;
+}
+
+void DataStore::setRealAt(const std::string &Name,
+                          std::span<const int64_t> Indices, double V) {
+  Slot &S = slot(Name);
+  int64_t Flat = flatIndex(*S.Decl, Indices);
+  if (Flat < 0)
+    reportFatalError("store: index out of bounds writing '" + Name + "'");
+  S.R[static_cast<size_t>(Flat)] = V;
+}
+
+int64_t DataStore::flatIndex(const VarDecl &Decl,
+                             std::span<const int64_t> Indices) {
+  assert(Indices.size() == Decl.Dims.size() && "rank mismatch");
+  int64_t Flat = 0;
+  for (size_t D = 0; D < Indices.size(); ++D) {
+    int64_t Idx = Indices[D];
+    if (Idx < 1 || Idx > Decl.Dims[D])
+      return -1;
+    Flat = Flat * Decl.Dims[D] + (Idx - 1);
+  }
+  return Flat;
+}

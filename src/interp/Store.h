@@ -1,0 +1,107 @@
+//===- interp/Store.h - Logical data store ----------------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for a program's variables. Arrays are stored *logically*
+/// (flat, machine-independent) so that results can be compared across the
+/// scalar, MIMD and SIMD executions bit for bit; the SIMD interpreter
+/// separately consults the machine layout for cost and communication
+/// accounting. Replicated scalars hold one value per lane.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_INTERP_STORE_H
+#define SIMDFLAT_INTERP_STORE_H
+
+#include "interp/Value.h"
+#include "ir/Program.h"
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace simdflat {
+namespace interp {
+
+/// Storage of one variable.
+struct Slot {
+  const ir::VarDecl *Decl = nullptr;
+  /// Number of stored values: scalars hold 1 (Control) or Lanes
+  /// (Replicated); arrays hold numElements().
+  int64_t Width = 0;
+  std::vector<int64_t> I;
+  std::vector<double> R;
+
+  bool isReal() const { return Decl->Kind == ir::ScalarKind::Real; }
+};
+
+/// All variables of one program instance. Lanes is 1 on the scalar
+/// machine (Replicated degenerates to Control) and Gran on the SIMD
+/// machine.
+class DataStore {
+public:
+  DataStore(const ir::Program &P, int64_t Lanes);
+
+  const ir::Program &program() const { return *Prog; }
+  int64_t lanes() const { return Lanes; }
+
+  /// Returns the slot for \p Name; fatal if undeclared.
+  Slot &slot(const std::string &Name);
+  const Slot &slot(const std::string &Name) const;
+
+  /// \name Whole-value access (tests and harnesses)
+  /// @{
+
+  /// Sets a scalar integer/logical; broadcasts across lanes if the
+  /// variable is replicated.
+  void setInt(const std::string &Name, int64_t V);
+  void setReal(const std::string &Name, double V);
+  void setBool(const std::string &Name, bool V);
+
+  /// Reads a scalar; for replicated scalars returns lane 0.
+  int64_t getInt(const std::string &Name) const;
+  double getReal(const std::string &Name) const;
+  bool getBool(const std::string &Name) const;
+
+  /// Per-lane scalar access (replicated variables).
+  int64_t getIntLane(const std::string &Name, int64_t Lane) const;
+  void setIntLane(const std::string &Name, int64_t Lane, int64_t V);
+
+  /// Fills an integer array from \p Values (must match numElements()).
+  void setIntArray(const std::string &Name, std::span<const int64_t> Values);
+  void setRealArray(const std::string &Name, std::span<const double> Values);
+
+  /// Copies array contents out.
+  std::vector<int64_t> getIntArray(const std::string &Name) const;
+  std::vector<double> getRealArray(const std::string &Name) const;
+
+  /// Single-element array access with 1-based Fortran indices.
+  int64_t getIntAt(const std::string &Name,
+                   std::span<const int64_t> Indices) const;
+  double getRealAt(const std::string &Name,
+                   std::span<const int64_t> Indices) const;
+  void setIntAt(const std::string &Name, std::span<const int64_t> Indices,
+                int64_t V);
+  void setRealAt(const std::string &Name, std::span<const int64_t> Indices,
+                 double V);
+  /// @}
+
+  /// Row-major flat index for 1-based \p Indices into \p Decl; returns -1
+  /// if any index is out of bounds.
+  static int64_t flatIndex(const ir::VarDecl &Decl,
+                           std::span<const int64_t> Indices);
+
+private:
+  const ir::Program *Prog;
+  int64_t Lanes;
+  std::unordered_map<std::string, Slot> Slots;
+};
+
+} // namespace interp
+} // namespace simdflat
+
+#endif // SIMDFLAT_INTERP_STORE_H

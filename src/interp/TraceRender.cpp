@@ -1,0 +1,63 @@
+//===- interp/TraceRender.cpp ---------------------------------*- C++ -*-===//
+
+#include "interp/TraceRender.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+namespace {
+
+/// Removes trailing spaces before the newline.
+void endLine(std::string &Out) {
+  while (!Out.empty() && Out.back() == ' ')
+    Out.pop_back();
+  Out += '\n';
+}
+
+} // namespace
+
+using namespace simdflat;
+using namespace simdflat::interp;
+
+std::string interp::renderSimdTrace(const Trace &Tr) {
+  std::string Out = padRight("Time", 6);
+  for (size_t S = 1; S <= Tr.Steps.size(); ++S)
+    Out += padLeft(std::to_string(S), 4);
+  endLine(Out);
+  for (int64_t Lane = 0; Lane < Tr.Lanes; ++Lane) {
+    for (size_t W = 0; W < Tr.Watch.size(); ++W) {
+      Out += padRight(Tr.Watch[W] + std::to_string(Lane + 1), 6);
+      for (size_t S = 0; S < Tr.Steps.size(); ++S)
+        Out += padLeft(Tr.active(S, Lane)
+                           ? std::to_string(Tr.value(S, W, Lane))
+                           : std::string("-"),
+                       4);
+      endLine(Out);
+    }
+  }
+  return Out;
+}
+
+std::string interp::renderMimdTrace(const std::vector<Trace> &PerProc) {
+  size_t MaxSteps = 0;
+  for (const Trace &T : PerProc)
+    MaxSteps = std::max(MaxSteps, T.Steps.size());
+  std::string Out = padRight("Time", 6);
+  for (size_t S = 1; S <= MaxSteps; ++S)
+    Out += padLeft(std::to_string(S), 4);
+  endLine(Out);
+  for (size_t P = 0; P < PerProc.size(); ++P) {
+    const Trace &T = PerProc[P];
+    for (size_t W = 0; W < T.Watch.size(); ++W) {
+      Out += padRight(T.Watch[W] + std::to_string(P + 1), 6);
+      for (size_t S = 0; S < MaxSteps; ++S)
+        Out += padLeft(S < T.Steps.size()
+                           ? std::to_string(T.value(S, W, 0))
+                           : std::string(""),
+                       4);
+      endLine(Out);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- interp/TraceRender.h - Paper-style trace rendering ------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders execution traces in the row layout of the paper's Figs. 4
+/// and 6: one column per time step, one row per watched variable per
+/// processor, '-' marking masked/idle slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_INTERP_TRACERENDER_H
+#define SIMDFLAT_INTERP_TRACERENDER_H
+
+#include "interp/RunStats.h"
+
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace interp {
+
+/// Renders a lockstep SIMD trace (lanes share the time axis; idle lanes
+/// print '-').
+std::string renderSimdTrace(const Trace &Tr);
+
+/// Renders per-processor MIMD traces on a common time axis (processors
+/// that finished early leave blank columns).
+std::string renderMimdTrace(const std::vector<Trace> &PerProc);
+
+} // namespace interp
+} // namespace simdflat
+
+#endif // SIMDFLAT_INTERP_TRACERENDER_H

@@ -1,0 +1,353 @@
+//===- ir/Builder.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Builder.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+static bool isNumeric(ScalarKind K) {
+  return K == ScalarKind::Int || K == ScalarKind::Real;
+}
+
+static ScalarKind promote(ScalarKind A, ScalarKind B) {
+  assert(isNumeric(A) && isNumeric(B) && "promotion of non-numeric kinds");
+  if (A == ScalarKind::Real || B == ScalarKind::Real)
+    return ScalarKind::Real;
+  return ScalarKind::Int;
+}
+
+ExprPtr Builder::lit(int64_t V) const { return std::make_unique<IntLit>(V); }
+
+ExprPtr Builder::lit(double V) const { return std::make_unique<RealLit>(V); }
+
+ExprPtr Builder::lit(bool V) const { return std::make_unique<BoolLit>(V); }
+
+ScalarKind Builder::varKind(const std::string &Name) const {
+  const VarDecl *D = P.lookupVar(Name);
+  if (!D)
+    reportFatalError("builder: reference to undeclared variable '" + Name +
+                     "' in program '" + P.name() + "'");
+  return D->Kind;
+}
+
+ExprPtr Builder::var(const std::string &Name) const {
+  return std::make_unique<VarRef>(Name, varKind(Name));
+}
+
+ExprPtr Builder::at(const std::string &Name,
+                    std::vector<ExprPtr> Indices) const {
+  const VarDecl *D = P.lookupVar(Name);
+  if (!D)
+    reportFatalError("builder: reference to undeclared array '" + Name + "'");
+  if (D->Dims.size() != Indices.size())
+    reportFatalError("builder: rank mismatch subscripting '" + Name + "'");
+  for (const ExprPtr &I : Indices)
+    assert(I->type() == ScalarKind::Int && "array index must be integer");
+  return std::make_unique<ArrayRef>(Name, D->Kind, std::move(Indices));
+}
+
+ExprPtr Builder::at(const std::string &Name, ExprPtr I0) const {
+  std::vector<ExprPtr> Indices;
+  Indices.push_back(std::move(I0));
+  return at(Name, std::move(Indices));
+}
+
+ExprPtr Builder::at(const std::string &Name, ExprPtr I0, ExprPtr I1) const {
+  std::vector<ExprPtr> Indices;
+  Indices.push_back(std::move(I0));
+  Indices.push_back(std::move(I1));
+  return at(Name, std::move(Indices));
+}
+
+ExprPtr Builder::at(const std::string &Name, ExprPtr I0, ExprPtr I1,
+                    ExprPtr I2) const {
+  std::vector<ExprPtr> Indices;
+  Indices.push_back(std::move(I0));
+  Indices.push_back(std::move(I1));
+  Indices.push_back(std::move(I2));
+  return at(Name, std::move(Indices));
+}
+
+ExprPtr Builder::binary(BinOp Op, ExprPtr L, ExprPtr R) const {
+  ScalarKind LK = L->type(), RK = R->type();
+  ScalarKind Ty = ScalarKind::Int;
+  switch (Op) {
+  case BinOp::Add:
+  case BinOp::Sub:
+  case BinOp::Mul:
+  case BinOp::Div:
+    Ty = promote(LK, RK);
+    break;
+  case BinOp::Mod:
+    assert(LK == ScalarKind::Int && RK == ScalarKind::Int &&
+           "MOD requires integers");
+    Ty = ScalarKind::Int;
+    break;
+  case BinOp::Eq:
+  case BinOp::Ne:
+    assert((LK == RK || (isNumeric(LK) && isNumeric(RK))) &&
+           "comparison of incompatible kinds");
+    Ty = ScalarKind::Bool;
+    break;
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+    assert(isNumeric(LK) && isNumeric(RK) && "ordering of non-numerics");
+    Ty = ScalarKind::Bool;
+    break;
+  case BinOp::And:
+  case BinOp::Or:
+    assert(LK == ScalarKind::Bool && RK == ScalarKind::Bool &&
+           "logical op on non-logicals");
+    Ty = ScalarKind::Bool;
+    break;
+  }
+  return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R), Ty);
+}
+
+ExprPtr Builder::add(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Add, std::move(L), std::move(R));
+}
+ExprPtr Builder::sub(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Sub, std::move(L), std::move(R));
+}
+ExprPtr Builder::mul(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Mul, std::move(L), std::move(R));
+}
+ExprPtr Builder::div(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Div, std::move(L), std::move(R));
+}
+ExprPtr Builder::mod(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Mod, std::move(L), std::move(R));
+}
+ExprPtr Builder::eq(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Eq, std::move(L), std::move(R));
+}
+ExprPtr Builder::ne(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Ne, std::move(L), std::move(R));
+}
+ExprPtr Builder::lt(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Lt, std::move(L), std::move(R));
+}
+ExprPtr Builder::le(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Le, std::move(L), std::move(R));
+}
+ExprPtr Builder::gt(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Gt, std::move(L), std::move(R));
+}
+ExprPtr Builder::ge(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Ge, std::move(L), std::move(R));
+}
+ExprPtr Builder::land(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::And, std::move(L), std::move(R));
+}
+ExprPtr Builder::lor(ExprPtr L, ExprPtr R) const {
+  return binary(BinOp::Or, std::move(L), std::move(R));
+}
+
+ExprPtr Builder::lnot(ExprPtr E) const {
+  assert(E->type() == ScalarKind::Bool && ".NOT. on a non-logical");
+  return std::make_unique<UnaryExpr>(UnOp::Not, std::move(E),
+                                     ScalarKind::Bool);
+}
+
+ExprPtr Builder::neg(ExprPtr E) const {
+  assert(isNumeric(E->type()) && "negation of a non-numeric");
+  ScalarKind Ty = E->type();
+  return std::make_unique<UnaryExpr>(UnOp::Neg, std::move(E), Ty);
+}
+
+ExprPtr Builder::max(ExprPtr L, ExprPtr R) const {
+  ScalarKind Ty = promote(L->type(), R->type());
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(L));
+  Args.push_back(std::move(R));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::Max, std::move(Args),
+                                         Ty);
+}
+
+ExprPtr Builder::min(ExprPtr L, ExprPtr R) const {
+  ScalarKind Ty = promote(L->type(), R->type());
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(L));
+  Args.push_back(std::move(R));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::Min, std::move(Args),
+                                         Ty);
+}
+
+ExprPtr Builder::abs(ExprPtr E) const {
+  ScalarKind Ty = E->type();
+  assert(isNumeric(Ty) && "ABS of a non-numeric");
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(E));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::Abs, std::move(Args),
+                                         Ty);
+}
+
+ExprPtr Builder::sqrt(ExprPtr E) const {
+  assert(E->type() == ScalarKind::Real && "SQRT requires a real operand");
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(E));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::Sqrt, std::move(Args),
+                                         ScalarKind::Real);
+}
+
+ExprPtr Builder::laneIndex() const {
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::LaneIndex,
+                                         std::vector<ExprPtr>{},
+                                         ScalarKind::Int);
+}
+
+ExprPtr Builder::numLanes() const {
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::NumLanes,
+                                         std::vector<ExprPtr>{},
+                                         ScalarKind::Int);
+}
+
+ExprPtr Builder::any(ExprPtr E) const {
+  assert(E->type() == ScalarKind::Bool && "ANY of a non-logical");
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(E));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::Any, std::move(Args),
+                                         ScalarKind::Bool);
+}
+
+ExprPtr Builder::all(ExprPtr E) const {
+  assert(E->type() == ScalarKind::Bool && "ALL of a non-logical");
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(E));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::All, std::move(Args),
+                                         ScalarKind::Bool);
+}
+
+ExprPtr Builder::maxRed(ExprPtr E) const {
+  ScalarKind Ty = E->type();
+  assert(isNumeric(Ty) && "MAXRED of a non-numeric");
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(E));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::MaxRed, std::move(Args),
+                                         Ty);
+}
+
+ExprPtr Builder::minRed(ExprPtr E) const {
+  ScalarKind Ty = E->type();
+  assert(isNumeric(Ty) && "MINRED of a non-numeric");
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(E));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::MinRed, std::move(Args),
+                                         Ty);
+}
+
+ExprPtr Builder::sumRed(ExprPtr E) const {
+  ScalarKind Ty = E->type();
+  assert(isNumeric(Ty) && "SUMRED of a non-numeric");
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(E));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::SumRed, std::move(Args),
+                                         Ty);
+}
+
+ExprPtr Builder::maxVal(const std::string &ArrayName) const {
+  const VarDecl *D = P.lookupVar(ArrayName);
+  if (!D || !D->isArray())
+    reportFatalError("builder: MAXVAL of non-array '" + ArrayName + "'");
+  std::vector<ExprPtr> Args;
+  Args.push_back(var(ArrayName));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::MaxVal, std::move(Args),
+                                         D->Kind);
+}
+
+ExprPtr Builder::sumVal(const std::string &ArrayName) const {
+  const VarDecl *D = P.lookupVar(ArrayName);
+  if (!D || !D->isArray())
+    reportFatalError("builder: SUMVAL of non-array '" + ArrayName + "'");
+  std::vector<ExprPtr> Args;
+  Args.push_back(var(ArrayName));
+  return std::make_unique<IntrinsicExpr>(IntrinsicOp::SumVal, std::move(Args),
+                                         D->Kind);
+}
+
+ExprPtr Builder::callFn(const std::string &Callee,
+                        std::vector<ExprPtr> Args) const {
+  const ExternDecl *E = P.lookupExtern(Callee);
+  if (!E || E->IsSubroutine)
+    reportFatalError("builder: call to undeclared function '" + Callee + "'");
+  return std::make_unique<CallExpr>(Callee, std::move(Args), E->Ret);
+}
+
+StmtPtr Builder::assign(ExprPtr Target, ExprPtr Value) const {
+  assert((isa<VarRef>(Target.get()) || isa<ArrayRef>(Target.get())) &&
+         "assignment target must be a variable or array element");
+  assert((Target->type() == Value->type() ||
+          (isNumeric(Target->type()) && isNumeric(Value->type()))) &&
+         "assignment of incompatible kinds");
+  return std::make_unique<AssignStmt>(std::move(Target), std::move(Value));
+}
+
+StmtPtr Builder::set(const std::string &Name, ExprPtr Value) const {
+  return assign(var(Name), std::move(Value));
+}
+
+StmtPtr Builder::ifStmt(ExprPtr Cond, Body Then, Body Else) const {
+  assert(Cond->type() == ScalarKind::Bool && "IF condition must be logical");
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+StmtPtr Builder::where(ExprPtr Cond, Body Then, Body Else) const {
+  assert(Cond->type() == ScalarKind::Bool &&
+         "WHERE condition must be logical");
+  return std::make_unique<WhereStmt>(std::move(Cond), std::move(Then),
+                                     std::move(Else));
+}
+
+StmtPtr Builder::doLoop(const std::string &IndexVar, ExprPtr Lo, ExprPtr Hi,
+                        Body B, ExprPtr Step, bool IsParallel) const {
+  assert(varKind(IndexVar) == ScalarKind::Int && "DO index must be integer");
+  return std::make_unique<DoStmt>(IndexVar, std::move(Lo), std::move(Hi),
+                                  std::move(Step), std::move(B), IsParallel);
+}
+
+StmtPtr Builder::whileLoop(ExprPtr Cond, Body B) const {
+  assert(Cond->type() == ScalarKind::Bool &&
+         "WHILE condition must be logical");
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(B));
+}
+
+StmtPtr Builder::repeatUntil(Body B, ExprPtr UntilCond) const {
+  assert(UntilCond->type() == ScalarKind::Bool &&
+         "UNTIL condition must be logical");
+  return std::make_unique<RepeatStmt>(std::move(B), std::move(UntilCond));
+}
+
+StmtPtr Builder::forall(const std::string &IndexVar, ExprPtr Lo, ExprPtr Hi,
+                        ExprPtr MaskOrNull, Body B) const {
+  assert(varKind(IndexVar) == ScalarKind::Int &&
+         "FORALL index must be integer");
+  return std::make_unique<ForallStmt>(IndexVar, std::move(Lo), std::move(Hi),
+                                      std::move(MaskOrNull), std::move(B));
+}
+
+StmtPtr Builder::callSub(const std::string &Callee,
+                         std::vector<ExprPtr> Args) const {
+  const ExternDecl *E = P.lookupExtern(Callee);
+  if (!E || !E->IsSubroutine)
+    reportFatalError("builder: CALL to undeclared subroutine '" + Callee +
+                     "'");
+  return std::make_unique<CallStmt>(Callee, std::move(Args));
+}
+
+StmtPtr Builder::label(int Label) const {
+  return std::make_unique<LabelStmt>(Label);
+}
+
+StmtPtr Builder::gotoStmt(int Label, ExprPtr CondOrNull) const {
+  assert((!CondOrNull || CondOrNull->type() == ScalarKind::Bool) &&
+         "GOTO condition must be logical");
+  return std::make_unique<GotoStmt>(Label, std::move(CondOrNull));
+}

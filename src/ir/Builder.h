@@ -1,0 +1,129 @@
+//===- ir/Builder.h - Convenience construction of IR nodes -----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Builder is bound to a Program and constructs type-checked expression
+/// and statement nodes, resolving variable kinds through the program's
+/// symbol table. All kernels in this repository (EXAMPLE, GENNEST,
+/// NBFORCE, Mandelbrot, ...) are assembled through this API; the front
+/// end's parser uses it too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_BUILDER_H
+#define SIMDFLAT_IR_BUILDER_H
+
+#include "ir/Program.h"
+
+namespace simdflat {
+namespace ir {
+
+/// Type-checked IR node factory bound to one Program.
+class Builder {
+public:
+  explicit Builder(Program &P) : P(P) {}
+
+  Program &program() { return P; }
+
+  /// \name Literals
+  /// @{
+  ExprPtr lit(int64_t V) const;
+  ExprPtr lit(int V) const { return lit(static_cast<int64_t>(V)); }
+  ExprPtr lit(double V) const;
+  ExprPtr lit(bool V) const;
+  /// @}
+
+  /// \name References
+  /// @{
+
+  /// Reference to a declared variable. For arrays this is a whole-array
+  /// reference (only valid inside MAXVAL/SUMVAL or as a call argument).
+  ExprPtr var(const std::string &Name) const;
+
+  /// Subscripted reference `Name(Indices...)`.
+  ExprPtr at(const std::string &Name, std::vector<ExprPtr> Indices) const;
+  ExprPtr at(const std::string &Name, ExprPtr I0) const;
+  ExprPtr at(const std::string &Name, ExprPtr I0, ExprPtr I1) const;
+  ExprPtr at(const std::string &Name, ExprPtr I0, ExprPtr I1,
+             ExprPtr I2) const;
+  /// @}
+
+  /// \name Arithmetic and logic (types checked, int/real promoted)
+  /// @{
+  ExprPtr add(ExprPtr L, ExprPtr R) const;
+  ExprPtr sub(ExprPtr L, ExprPtr R) const;
+  ExprPtr mul(ExprPtr L, ExprPtr R) const;
+  ExprPtr div(ExprPtr L, ExprPtr R) const;
+  ExprPtr mod(ExprPtr L, ExprPtr R) const;
+  ExprPtr eq(ExprPtr L, ExprPtr R) const;
+  ExprPtr ne(ExprPtr L, ExprPtr R) const;
+  ExprPtr lt(ExprPtr L, ExprPtr R) const;
+  ExprPtr le(ExprPtr L, ExprPtr R) const;
+  ExprPtr gt(ExprPtr L, ExprPtr R) const;
+  ExprPtr ge(ExprPtr L, ExprPtr R) const;
+  ExprPtr land(ExprPtr L, ExprPtr R) const;
+  ExprPtr lor(ExprPtr L, ExprPtr R) const;
+  ExprPtr lnot(ExprPtr E) const;
+  ExprPtr neg(ExprPtr E) const;
+  /// @}
+
+  /// \name Intrinsics
+  /// @{
+  ExprPtr max(ExprPtr L, ExprPtr R) const;
+  ExprPtr min(ExprPtr L, ExprPtr R) const;
+  ExprPtr abs(ExprPtr E) const;
+  ExprPtr sqrt(ExprPtr E) const;
+  ExprPtr laneIndex() const;
+  ExprPtr numLanes() const;
+  ExprPtr any(ExprPtr E) const;
+  ExprPtr all(ExprPtr E) const;
+  ExprPtr maxRed(ExprPtr E) const;
+  ExprPtr minRed(ExprPtr E) const;
+  ExprPtr sumRed(ExprPtr E) const;
+  ExprPtr maxVal(const std::string &ArrayName) const;
+  ExprPtr sumVal(const std::string &ArrayName) const;
+  /// @}
+
+  /// Call to a declared extern function.
+  ExprPtr callFn(const std::string &Callee, std::vector<ExprPtr> Args) const;
+
+  /// \name Statements
+  /// @{
+  StmtPtr assign(ExprPtr Target, ExprPtr Value) const;
+  /// Shorthand for `assign(var(Name), Value)`.
+  StmtPtr set(const std::string &Name, ExprPtr Value) const;
+  StmtPtr ifStmt(ExprPtr Cond, Body Then, Body Else = {}) const;
+  StmtPtr where(ExprPtr Cond, Body Then, Body Else = {}) const;
+  StmtPtr doLoop(const std::string &IndexVar, ExprPtr Lo, ExprPtr Hi, Body B,
+                 ExprPtr Step = nullptr, bool IsParallel = false) const;
+  StmtPtr whileLoop(ExprPtr Cond, Body B) const;
+  StmtPtr repeatUntil(Body B, ExprPtr UntilCond) const;
+  StmtPtr forall(const std::string &IndexVar, ExprPtr Lo, ExprPtr Hi,
+                 ExprPtr MaskOrNull, Body B) const;
+  StmtPtr callSub(const std::string &Callee,
+                  std::vector<ExprPtr> Args) const;
+  StmtPtr label(int Label) const;
+  StmtPtr gotoStmt(int Label, ExprPtr CondOrNull = nullptr) const;
+  /// @}
+
+  /// Builds a Body from statements.
+  template <typename... Ts> static Body body(Ts &&...Stmts) {
+    Body B;
+    (B.push_back(std::forward<Ts>(Stmts)), ...);
+    return B;
+  }
+
+private:
+  ScalarKind varKind(const std::string &Name) const;
+  ExprPtr binary(BinOp Op, ExprPtr L, ExprPtr R) const;
+
+  Program &P;
+};
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_BUILDER_H

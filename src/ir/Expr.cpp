@@ -1,0 +1,127 @@
+//===- ir/Expr.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Expr.h"
+
+#include "support/Error.h"
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+const char *ir::scalarKindName(ScalarKind K) {
+  switch (K) {
+  case ScalarKind::Int:
+    return "integer";
+  case ScalarKind::Real:
+    return "real";
+  case ScalarKind::Bool:
+    return "logical";
+  }
+  SIMDFLAT_UNREACHABLE("bad ScalarKind");
+}
+
+const char *ir::distName(Dist D) {
+  switch (D) {
+  case Dist::Control:
+    return "control";
+  case Dist::Replicated:
+    return "replicated";
+  case Dist::Distributed:
+    return "distributed";
+  }
+  SIMDFLAT_UNREACHABLE("bad Dist");
+}
+
+const char *ir::binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Mul:
+    return "*";
+  case BinOp::Div:
+    return "/";
+  case BinOp::Mod:
+    return "MOD";
+  case BinOp::Eq:
+    return "=";
+  case BinOp::Ne:
+    return "/=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::And:
+    return ".AND.";
+  case BinOp::Or:
+    return ".OR.";
+  }
+  SIMDFLAT_UNREACHABLE("bad BinOp");
+}
+
+bool ir::isComparison(BinOp Op) {
+  switch (Op) {
+  case BinOp::Eq:
+  case BinOp::Ne:
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *ir::intrinsicName(IntrinsicOp Op) {
+  switch (Op) {
+  case IntrinsicOp::Max:
+    return "MAX";
+  case IntrinsicOp::Min:
+    return "MIN";
+  case IntrinsicOp::Abs:
+    return "ABS";
+  case IntrinsicOp::Sqrt:
+    return "SQRT";
+  case IntrinsicOp::LaneIndex:
+    return "LANEINDEX";
+  case IntrinsicOp::NumLanes:
+    return "NUMLANES";
+  case IntrinsicOp::Any:
+    return "ANY";
+  case IntrinsicOp::All:
+    return "ALL";
+  case IntrinsicOp::MaxRed:
+    return "MAXRED";
+  case IntrinsicOp::MinRed:
+    return "MINRED";
+  case IntrinsicOp::SumRed:
+    return "SUMRED";
+  case IntrinsicOp::MaxVal:
+    return "MAXVAL";
+  case IntrinsicOp::SumVal:
+    return "SUMVAL";
+  }
+  SIMDFLAT_UNREACHABLE("bad IntrinsicOp");
+}
+
+bool ir::isLaneReduction(IntrinsicOp Op) {
+  switch (Op) {
+  case IntrinsicOp::Any:
+  case IntrinsicOp::All:
+  case IntrinsicOp::MaxRed:
+  case IntrinsicOp::MinRed:
+  case IntrinsicOp::SumRed:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ir::isArrayReduction(IntrinsicOp Op) {
+  return Op == IntrinsicOp::MaxVal || Op == IntrinsicOp::SumVal;
+}

@@ -1,0 +1,276 @@
+//===- ir/Expr.h - Expression nodes of the loop-nest IR --------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression AST for the pseudo-Fortran IR. Expressions are typed at
+/// construction (the builder and the front-end sema enforce consistency).
+/// Lane-reduction intrinsics (ANY/ALL/MAXRED/...) and the LANEINDEX /
+/// NUMLANES intrinsics only make sense at the F90simd level; the scalar
+/// interpreter treats them as single-lane degenerate forms so that F77
+/// programs containing them still have a sequential meaning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_EXPR_H
+#define SIMDFLAT_IR_EXPR_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace ir {
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of all expression nodes.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    RealLit,
+    BoolLit,
+    VarRef,
+    ArrayRef,
+    Unary,
+    Binary,
+    Intrinsic,
+    Call,
+  };
+
+  Kind kind() const { return K; }
+  ScalarKind type() const { return Ty; }
+
+  virtual ~Expr() = default;
+  Expr(const Expr &) = delete;
+  Expr &operator=(const Expr &) = delete;
+
+protected:
+  Expr(Kind K, ScalarKind Ty) : K(K), Ty(Ty) {}
+
+private:
+  const Kind K;
+  const ScalarKind Ty;
+};
+
+/// Integer literal.
+class IntLit : public Expr {
+public:
+  explicit IntLit(int64_t Value) : Expr(Kind::IntLit, ScalarKind::Int),
+                                   Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+private:
+  int64_t Value;
+};
+
+/// Real (double) literal.
+class RealLit : public Expr {
+public:
+  explicit RealLit(double Value) : Expr(Kind::RealLit, ScalarKind::Real),
+                                   Value(Value) {}
+
+  double value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::RealLit; }
+
+private:
+  double Value;
+};
+
+/// Logical literal (.true. / .false.).
+class BoolLit : public Expr {
+public:
+  explicit BoolLit(bool Value) : Expr(Kind::BoolLit, ScalarKind::Bool),
+                                 Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+private:
+  bool Value;
+};
+
+/// Reference to a scalar variable, or to a whole array when used as the
+/// operand of a whole-array reduction intrinsic (MAXVAL/SUMVAL) or as a
+/// subroutine argument. The stored type is the element kind.
+class VarRef : public Expr {
+public:
+  VarRef(std::string Name, ScalarKind Ty)
+      : Expr(Kind::VarRef, Ty), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+/// Subscripted array reference `A(i1, ..., ik)` with 1-based Fortran
+/// index semantics. Indices may be arbitrary integer expressions
+/// (indirect addressing, e.g. `partners(At1, pr)` in Fig. 13).
+class ArrayRef : public Expr {
+public:
+  ArrayRef(std::string Name, ScalarKind ElemTy, std::vector<ExprPtr> Indices)
+      : Expr(Kind::ArrayRef, ElemTy), Name(std::move(Name)),
+        Indices(std::move(Indices)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<ExprPtr> &indices() const { return Indices; }
+  std::vector<ExprPtr> &indices() { return Indices; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::ArrayRef; }
+
+private:
+  std::string Name;
+  std::vector<ExprPtr> Indices;
+};
+
+/// Unary operator kinds.
+enum class UnOp { Neg, Not };
+
+/// Unary expression.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnOp Op, ExprPtr Operand, ScalarKind Ty)
+      : Expr(Kind::Unary, Ty), Op(Op), Operand(std::move(Operand)) {}
+
+  UnOp op() const { return Op; }
+  const Expr &operand() const { return *Operand; }
+  ExprPtr &operandPtr() { return Operand; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnOp Op;
+  ExprPtr Operand;
+};
+
+/// Binary operator kinds.
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+/// Returns the Fortran-ish spelling of \p Op ("+", ".AND.", "<=", ...).
+const char *binOpSpelling(BinOp Op);
+
+/// Returns true for Eq/Ne/Lt/Le/Gt/Ge.
+bool isComparison(BinOp Op);
+
+/// Binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOp Op, ExprPtr LHS, ExprPtr RHS, ScalarKind Ty)
+      : Expr(Kind::Binary, Ty), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinOp op() const { return Op; }
+  const Expr &lhs() const { return *LHS; }
+  const Expr &rhs() const { return *RHS; }
+  ExprPtr &lhsPtr() { return LHS; }
+  ExprPtr &rhsPtr() { return RHS; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// Built-in intrinsics.
+enum class IntrinsicOp {
+  // Elementwise.
+  Max,       ///< max(a, b)
+  Min,       ///< min(a, b)
+  Abs,       ///< abs(a)
+  Sqrt,      ///< sqrt(a), real only
+  // SIMD machine queries (control values).
+  LaneIndex, ///< 1-based id of the executing lane; 1 on the scalar machine
+  NumLanes,  ///< number of lanes P; 1 on the scalar machine
+  // Lane reductions over a replicated operand (F90simd level).
+  Any,       ///< OR-reduction of a lane-varying logical
+  All,       ///< AND-reduction of a lane-varying logical
+  MaxRed,    ///< max-reduction of a lane-varying numeric
+  MinRed,    ///< min-reduction of a lane-varying numeric
+  SumRed,    ///< sum-reduction of a lane-varying numeric
+  // Whole-array reductions; operand is a VarRef naming the array.
+  MaxVal,    ///< maxval(A)
+  SumVal,    ///< sum(A)
+};
+
+/// Returns the source spelling of \p Op ("MAX", "ANY", "MAXVAL", ...).
+const char *intrinsicName(IntrinsicOp Op);
+
+/// Returns true for ANY/ALL/MAXRED/SUMRED (reductions across lanes).
+bool isLaneReduction(IntrinsicOp Op);
+
+/// Returns true for MAXVAL/SUMVAL (reductions across a whole array).
+bool isArrayReduction(IntrinsicOp Op);
+
+/// Intrinsic application.
+class IntrinsicExpr : public Expr {
+public:
+  IntrinsicExpr(IntrinsicOp Op, std::vector<ExprPtr> Args, ScalarKind Ty)
+      : Expr(Kind::Intrinsic, Ty), Op(Op), Args(std::move(Args)) {}
+
+  IntrinsicOp op() const { return Op; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  std::vector<ExprPtr> &args() { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Intrinsic; }
+
+private:
+  IntrinsicOp Op;
+  std::vector<ExprPtr> Args;
+};
+
+/// Call to an externally provided function (e.g. `Force(At1, At2)` in the
+/// NBFORCE kernel). Purity is declared in the enclosing Program's extern
+/// table; impure calls constrain the transformations (Sec. 4).
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, ScalarKind Ty)
+      : Expr(Kind::Call, Ty), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  std::vector<ExprPtr> &args() { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_EXPR_H

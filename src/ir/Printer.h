@@ -1,0 +1,48 @@
+//===- ir/Printer.h - Pseudo-Fortran pretty-printer ------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR back to the pseudo-Fortran notation the paper's figures
+/// use (DO/ENDDO, WHILE/ENDWHILE, WHERE/ELSEWHERE/ENDWHERE, ...). The
+/// printer output is also the concrete syntax the front end parses, so
+/// print -> parse round-trips (tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_PRINTER_H
+#define SIMDFLAT_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace simdflat {
+namespace ir {
+
+/// Pretty-printing options.
+struct PrintOptions {
+  /// Spaces per nesting level.
+  int IndentWidth = 2;
+  /// Emit declaration lines before the body.
+  bool ShowDecls = true;
+};
+
+/// Renders a full program (declarations + body).
+std::string printProgram(const Program &P, PrintOptions Opts = {});
+
+/// Renders a statement list at indent level 0.
+std::string printBody(const Body &B, PrintOptions Opts = {});
+
+/// Renders a single statement (and its nested bodies).
+std::string printStmt(const Stmt &S, PrintOptions Opts = {});
+
+/// Renders an expression.
+std::string printExpr(const Expr &E);
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_PRINTER_H

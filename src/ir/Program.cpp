@@ -1,0 +1,55 @@
+//===- ir/Program.cpp -----------------------------------------*- C++ -*-===//
+
+#include "ir/Program.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+VarDecl &Program::addVar(const std::string &VarName, ScalarKind Kind,
+                         std::vector<int64_t> Dims, Dist Distribution) {
+  assert(!lookupVar(VarName) && "variable redeclared");
+  Vars.push_back({VarName, Kind, std::move(Dims), Distribution});
+  return Vars.back();
+}
+
+VarDecl &Program::addFreshVar(const std::string &Hint, ScalarKind Kind) {
+  if (!lookupVar(Hint))
+    return addVar(Hint, Kind);
+  for (int I = 1;; ++I) {
+    std::string Candidate = Hint + std::to_string(I);
+    if (!lookupVar(Candidate))
+      return addVar(Candidate, Kind);
+  }
+}
+
+const VarDecl *Program::lookupVar(const std::string &VarName) const {
+  for (const VarDecl &V : Vars)
+    if (V.Name == VarName)
+      return &V;
+  return nullptr;
+}
+
+VarDecl *Program::lookupVar(const std::string &VarName) {
+  for (VarDecl &V : Vars)
+    if (V.Name == VarName)
+      return &V;
+  return nullptr;
+}
+
+ExternDecl &Program::addExtern(const std::string &FnName, ScalarKind Ret,
+                               bool Pure, bool IsSubroutine) {
+  assert(!lookupExtern(FnName) && "extern redeclared");
+  Externs.push_back({FnName, Ret, Pure, IsSubroutine});
+  return Externs.back();
+}
+
+const ExternDecl *Program::lookupExtern(const std::string &FnName) const {
+  for (const ExternDecl &E : Externs)
+    if (E.Name == FnName)
+      return &E;
+  return nullptr;
+}

@@ -1,0 +1,118 @@
+//===- ir/Program.h - Program container with symbol table ------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is a flat symbol table (variables with shapes and
+/// distribution attributes, extern functions with purity) plus a
+/// top-level statement body. Programs exist in two dialects sharing this
+/// representation: F77 (sequential; every variable Control) and F90simd
+/// (lane-parallel; produced by transform::Simdize).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_PROGRAM_H
+#define SIMDFLAT_IR_PROGRAM_H
+
+#include "ir/Stmt.h"
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace ir {
+
+/// Declaration of one variable.
+struct VarDecl {
+  std::string Name;
+  ScalarKind Kind = ScalarKind::Int;
+  /// Array extents (Fortran 1-based dims); empty means scalar.
+  std::vector<int64_t> Dims;
+  Dist Distribution = Dist::Control;
+
+  bool isScalar() const { return Dims.empty(); }
+  bool isArray() const { return !Dims.empty(); }
+  /// Total number of elements (1 for scalars).
+  int64_t numElements() const {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+};
+
+/// Declaration of an externally provided function or subroutine.
+struct ExternDecl {
+  std::string Name;
+  /// Result kind for functions; ignored for subroutines.
+  ScalarKind Ret = ScalarKind::Real;
+  /// True if calls have no side effects and depend only on arguments and
+  /// read-only captured state. Impure externs block the Fig. 11/12
+  /// flattening optimizations (Sec. 4 conditions).
+  bool Pure = true;
+  bool IsSubroutine = false;
+};
+
+/// The program dialect. Transformations check this to reject misuse
+/// (e.g. running Simdize twice).
+enum class Dialect { F77, F90Simd };
+
+/// A complete program: declarations plus a top-level body.
+class Program {
+public:
+  explicit Program(std::string Name) : Name(std::move(Name)) {}
+
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  Dialect dialect() const { return Dia; }
+  void setDialect(Dialect D) { Dia = D; }
+
+  /// Adds a variable; asserts the name is fresh.
+  VarDecl &addVar(const std::string &VarName, ScalarKind Kind,
+                  std::vector<int64_t> Dims = {},
+                  Dist Distribution = Dist::Control);
+
+  /// Adds a variable whose name is \p Hint if free, else Hint1, Hint2...
+  /// Used by transformations to introduce guard flags t1, t2 (Fig. 9).
+  VarDecl &addFreshVar(const std::string &Hint, ScalarKind Kind);
+
+  /// Returns the declaration of \p VarName or null.
+  const VarDecl *lookupVar(const std::string &VarName) const;
+  VarDecl *lookupVar(const std::string &VarName);
+
+  /// Declares an extern function/subroutine; asserts the name is fresh.
+  ExternDecl &addExtern(const std::string &FnName, ScalarKind Ret,
+                        bool Pure = true, bool IsSubroutine = false);
+
+  /// Returns the extern declaration of \p FnName or null.
+  const ExternDecl *lookupExtern(const std::string &FnName) const;
+
+  const std::vector<VarDecl> &vars() const { return Vars; }
+  std::vector<VarDecl> &vars() { return Vars; }
+  const std::vector<ExternDecl> &externs() const { return Externs; }
+
+  const Body &body() const { return B; }
+  Body &body() { return B; }
+  void setBody(Body NewBody) { B = std::move(NewBody); }
+
+private:
+  std::string Name;
+  Dialect Dia = Dialect::F77;
+  std::vector<VarDecl> Vars;
+  std::vector<ExternDecl> Externs;
+  Body B;
+};
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_PROGRAM_H

@@ -1,0 +1,288 @@
+//===- ir/Stmt.h - Statement nodes of the loop-nest IR ---------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement AST for the pseudo-Fortran IR. Supports every loop form the
+/// paper's Sec. 4/6 handles: DO, WHILE, DO-WHILE (RepeatStmt), FORALL and
+/// GOTO loops (LabelStmt/GotoStmt, recovered into WHILEs by the front
+/// end). WHERE/ELSEWHERE is the F90simd masked conditional.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_STMT_H
+#define SIMDFLAT_IR_STMT_H
+
+#include "ir/Expr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace ir {
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+/// An ordered statement list ("block"). Bodies are stored inline in their
+/// parent statements; there is no separate block node.
+using Body = std::vector<StmtPtr>;
+
+/// Base class of all statement nodes.
+class Stmt {
+public:
+  enum class Kind {
+    Assign,
+    If,
+    Where,
+    Do,
+    While,
+    Repeat,
+    Forall,
+    Call,
+    Label,
+    Goto,
+  };
+
+  Kind kind() const { return K; }
+
+  virtual ~Stmt() = default;
+  Stmt(const Stmt &) = delete;
+  Stmt &operator=(const Stmt &) = delete;
+
+protected:
+  explicit Stmt(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+/// Assignment `target = value`; target is a VarRef or ArrayRef.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr Target, ExprPtr Value)
+      : Stmt(Kind::Assign), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+
+  const Expr &target() const { return *Target; }
+  const Expr &value() const { return *Value; }
+  ExprPtr &targetPtr() { return Target; }
+  ExprPtr &valuePtr() { return Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  ExprPtr Target;
+  ExprPtr Value;
+};
+
+/// IF (cond) THEN ... [ELSE ...] ENDIF. On the SIMD machine the condition
+/// must be control-uniform (identical on all active lanes); Simdize turns
+/// lane-varying IFs into WHEREs.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, Body Then, Body Else)
+      : Stmt(Kind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr &cond() const { return *Cond; }
+  ExprPtr &condPtr() { return Cond; }
+  const Body &thenBody() const { return Then; }
+  const Body &elseBody() const { return Else; }
+  Body &thenBody() { return Then; }
+  Body &elseBody() { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  Body Then;
+  Body Else;
+};
+
+/// WHERE (mask) ... [ELSEWHERE ...] ENDWHERE. Lanes where the mask is
+/// false sit idle but still pay the instruction time - this is exactly
+/// the SIMD inefficiency the paper studies.
+class WhereStmt : public Stmt {
+public:
+  WhereStmt(ExprPtr Cond, Body Then, Body Else)
+      : Stmt(Kind::Where), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr &cond() const { return *Cond; }
+  ExprPtr &condPtr() { return Cond; }
+  const Body &thenBody() const { return Then; }
+  const Body &elseBody() const { return Else; }
+  Body &thenBody() { return Then; }
+  Body &elseBody() { return Else; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Where; }
+
+private:
+  ExprPtr Cond;
+  Body Then;
+  Body Else;
+};
+
+/// DO var = lo, hi [, step] ... ENDDO. `isParallel` marks a loop the
+/// programmer asserted parallel (F77D FORALL-style header); this is the
+/// safety information loop flattening needs (Sec. 6).
+class DoStmt : public Stmt {
+public:
+  DoStmt(std::string IndexVar, ExprPtr Lo, ExprPtr Hi, ExprPtr StepOrNull,
+         Body B, bool IsParallel = false)
+      : Stmt(Kind::Do), IndexVar(std::move(IndexVar)), Lo(std::move(Lo)),
+        Hi(std::move(Hi)), Step(std::move(StepOrNull)), B(std::move(B)),
+        IsParallel(IsParallel) {}
+
+  const std::string &indexVar() const { return IndexVar; }
+  const Expr &lo() const { return *Lo; }
+  const Expr &hi() const { return *Hi; }
+  /// Null means step 1.
+  const Expr *step() const { return Step.get(); }
+  ExprPtr &loPtr() { return Lo; }
+  ExprPtr &hiPtr() { return Hi; }
+  ExprPtr &stepPtr() { return Step; }
+  const Body &body() const { return B; }
+  Body &body() { return B; }
+  bool isParallel() const { return IsParallel; }
+  void setParallel(bool P) { IsParallel = P; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Do; }
+
+private:
+  std::string IndexVar;
+  ExprPtr Lo;
+  ExprPtr Hi;
+  ExprPtr Step;
+  Body B;
+  bool IsParallel;
+};
+
+/// WHILE (cond) ... ENDWHILE (pre-test).
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, Body B)
+      : Stmt(Kind::While), Cond(std::move(Cond)), B(std::move(B)) {}
+
+  const Expr &cond() const { return *Cond; }
+  ExprPtr &condPtr() { return Cond; }
+  const Body &body() const { return B; }
+  Body &body() { return B; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  Body B;
+};
+
+/// REPEAT ... UNTIL (cond) - a post-test loop (Fortran DO-WHILE in the
+/// paper's terminology). The body runs at least once; iteration continues
+/// while the condition is FALSE (i.e. `until`).
+class RepeatStmt : public Stmt {
+public:
+  RepeatStmt(Body B, ExprPtr UntilCond)
+      : Stmt(Kind::Repeat), B(std::move(B)), Until(std::move(UntilCond)) {}
+
+  const Body &body() const { return B; }
+  Body &body() { return B; }
+  const Expr &untilCond() const { return *Until; }
+  ExprPtr &untilCondPtr() { return Until; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Repeat; }
+
+private:
+  Body B;
+  ExprPtr Until;
+};
+
+/// FORALL (var = lo : hi [, mask]) assignments ENDFORALL. Iterations are
+/// independent by construction; the SIMD interpreter executes them
+/// elementwise across lanes (this is how Fig. 16 expresses indirect
+/// per-lane addressing).
+class ForallStmt : public Stmt {
+public:
+  ForallStmt(std::string IndexVar, ExprPtr Lo, ExprPtr Hi, ExprPtr MaskOrNull,
+             Body B)
+      : Stmt(Kind::Forall), IndexVar(std::move(IndexVar)), Lo(std::move(Lo)),
+        Hi(std::move(Hi)), Mask(std::move(MaskOrNull)), B(std::move(B)) {}
+
+  const std::string &indexVar() const { return IndexVar; }
+  const Expr &lo() const { return *Lo; }
+  const Expr &hi() const { return *Hi; }
+  ExprPtr &loPtr() { return Lo; }
+  ExprPtr &hiPtr() { return Hi; }
+  /// Null means no mask.
+  const Expr *mask() const { return Mask.get(); }
+  ExprPtr &maskPtr() { return Mask; }
+  const Body &body() const { return B; }
+  Body &body() { return B; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Forall; }
+
+private:
+  std::string IndexVar;
+  ExprPtr Lo;
+  ExprPtr Hi;
+  ExprPtr Mask;
+  Body B;
+};
+
+/// CALL callee(args). The callee is an extern subroutine; it may write
+/// array arguments (see interp/Extern.h).
+class CallStmt : public Stmt {
+public:
+  CallStmt(std::string Callee, std::vector<ExprPtr> Args)
+      : Stmt(Kind::Call), Callee(std::move(Callee)), Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+  std::vector<ExprPtr> &args() { return Args; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// A numeric statement label (`10 CONTINUE`). Only meaningful as a GOTO
+/// target; the front end recovers label/goto cycles into WHILE loops
+/// before any transformation runs.
+class LabelStmt : public Stmt {
+public:
+  explicit LabelStmt(int Label) : Stmt(Kind::Label), Label(Label) {}
+
+  int label() const { return Label; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Label; }
+
+private:
+  int Label;
+};
+
+/// GOTO label, or IF (cond) GOTO label when a condition is present.
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(int Label, ExprPtr CondOrNull)
+      : Stmt(Kind::Goto), Label(Label), Cond(std::move(CondOrNull)) {}
+
+  int label() const { return Label; }
+  /// Null means an unconditional jump.
+  const Expr *cond() const { return Cond.get(); }
+  ExprPtr &condPtr() { return Cond; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Goto; }
+
+private:
+  int Label;
+  ExprPtr Cond;
+};
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_STMT_H

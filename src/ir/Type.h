@@ -1,0 +1,47 @@
+//===- ir/Type.h - Scalar kinds and distribution attributes ----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type and data-distribution vocabulary for the loop-nest IR. The IR
+/// models the paper's pseudo-Fortran dialects (Sec. 2): a variable has a
+/// scalar element kind, an optional array shape, and a distribution
+/// attribute that only becomes meaningful at the F90simd level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_TYPE_H
+#define SIMDFLAT_IR_TYPE_H
+
+namespace simdflat {
+namespace ir {
+
+/// Element type of a value. Ints are 64-bit, reals are doubles.
+enum class ScalarKind { Int, Real, Bool };
+
+/// Returns a printable name ("integer", "real", "logical").
+const char *scalarKindName(ScalarKind K);
+
+/// How a variable is laid out when the program runs on the SIMD machine
+/// (F90simd level). At the F77 level every variable is Control.
+enum class Dist {
+  /// One value, held by the array control unit / front end.
+  Control,
+  /// One private copy per lane. The paper's default for F77 scalars after
+  /// SIMDization ("scalars ... will be replicated", Sec. 2).
+  Replicated,
+  /// Dimension 0 spread across lanes using the machine layout (block on
+  /// the CM-2, cyclic "cut-and-stack" on the DECmpp, Sec. 5.2). Elements
+  /// beyond the data granularity go to serial memory layers.
+  Distributed,
+};
+
+/// Returns a printable name ("control", "replicated", "distributed").
+const char *distName(Dist D);
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_TYPE_H

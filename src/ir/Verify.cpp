@@ -1,0 +1,277 @@
+//===- ir/Verify.cpp ------------------------------------------*- C++ -*-===//
+
+#include "ir/Verify.h"
+
+#include "support/Format.h"
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+namespace {
+
+bool isNumeric(ScalarKind K) {
+  return K == ScalarKind::Int || K == ScalarKind::Real;
+}
+
+class Verifier {
+public:
+  explicit Verifier(const Program &P) : P(P) {}
+
+  std::vector<std::string> Issues;
+
+  void run() {
+    checkBody(P.body());
+    if (P.dialect() == Dialect::F90Simd && HasUnstructured)
+      Issues.push_back("F90simd program contains GOTO-form control flow");
+  }
+
+private:
+  const Program &P;
+  bool HasUnstructured = false;
+
+  void issue(std::string Msg) { Issues.push_back(std::move(Msg)); }
+
+  /// Recomputes the type of \p E bottom-up, reporting inconsistencies.
+  /// Returns the recomputed type (the stored one on failure, to limit
+  /// cascades).
+  ScalarKind checkExpr(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLit:
+      return ScalarKind::Int;
+    case Expr::Kind::RealLit:
+      return ScalarKind::Real;
+    case Expr::Kind::BoolLit:
+      return ScalarKind::Bool;
+    case Expr::Kind::VarRef: {
+      const auto *V = cast<VarRef>(&E);
+      const VarDecl *D = P.lookupVar(V->name());
+      if (!D) {
+        issue("reference to undeclared variable '" + V->name() + "'");
+        return E.type();
+      }
+      if (D->Kind != E.type())
+        issue("VarRef '" + V->name() + "' caches the wrong type");
+      return D->Kind;
+    }
+    case Expr::Kind::ArrayRef: {
+      const auto *A = cast<ArrayRef>(&E);
+      const VarDecl *D = P.lookupVar(A->name());
+      if (!D) {
+        issue("reference to undeclared array '" + A->name() + "'");
+        return E.type();
+      }
+      if (!D->isArray())
+        issue("subscripted reference to scalar '" + A->name() + "'");
+      else if (D->Dims.size() != A->indices().size())
+        issue(formatf("'%s' has rank %zu but %zu subscripts",
+                      A->name().c_str(), D->Dims.size(),
+                      A->indices().size()));
+      for (const ExprPtr &I : A->indices())
+        if (checkExpr(*I) != ScalarKind::Int)
+          issue("non-integer subscript on '" + A->name() + "'");
+      if (D->Kind != E.type())
+        issue("ArrayRef '" + A->name() + "' caches the wrong type");
+      return D->Kind;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(&E);
+      ScalarKind Op = checkExpr(U->operand());
+      if (U->op() == UnOp::Not) {
+        if (Op != ScalarKind::Bool)
+          issue(".NOT. applied to a non-logical");
+        return ScalarKind::Bool;
+      }
+      if (!isNumeric(Op))
+        issue("negation of a non-numeric");
+      return Op;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(&E);
+      ScalarKind L = checkExpr(B->lhs());
+      ScalarKind R = checkExpr(B->rhs());
+      switch (B->op()) {
+      case BinOp::And:
+      case BinOp::Or:
+        if (L != ScalarKind::Bool || R != ScalarKind::Bool)
+          issue("logical operator on non-logicals");
+        return check(E, ScalarKind::Bool);
+      case BinOp::Eq:
+      case BinOp::Ne:
+        if (!((L == ScalarKind::Bool && R == ScalarKind::Bool) ||
+              (isNumeric(L) && isNumeric(R))))
+          issue("comparison of incompatible kinds");
+        return check(E, ScalarKind::Bool);
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        if (!isNumeric(L) || !isNumeric(R))
+          issue("ordering of non-numerics");
+        return check(E, ScalarKind::Bool);
+      case BinOp::Mod:
+        if (L != ScalarKind::Int || R != ScalarKind::Int)
+          issue("MOD of non-integers");
+        return check(E, ScalarKind::Int);
+      default:
+        if (!isNumeric(L) || !isNumeric(R))
+          issue("arithmetic on non-numerics");
+        return check(E, L == ScalarKind::Real || R == ScalarKind::Real
+                            ? ScalarKind::Real
+                            : ScalarKind::Int);
+      }
+    }
+    case Expr::Kind::Intrinsic: {
+      const auto *I = cast<IntrinsicExpr>(&E);
+      for (const ExprPtr &A : I->args())
+        checkExpr(*A);
+      if (isArrayReduction(I->op())) {
+        if (I->args().size() != 1 ||
+            !isa<VarRef>(I->args()[0].get())) {
+          issue("array reduction needs a whole-array argument");
+        } else {
+          const auto *V = cast<VarRef>(I->args()[0].get());
+          const VarDecl *D = P.lookupVar(V->name());
+          if (!D || !D->isArray())
+            issue("array reduction of a non-array");
+        }
+      }
+      return E.type();
+    }
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(&E);
+      const ExternDecl *D = P.lookupExtern(C->callee());
+      if (!D)
+        issue("call to undeclared extern '" + C->callee() + "'");
+      else if (D->IsSubroutine)
+        issue("subroutine '" + C->callee() + "' used as a function");
+      else if (D->Ret != E.type())
+        issue("CallExpr '" + C->callee() + "' caches the wrong type");
+      for (const ExprPtr &A : C->args())
+        checkExpr(*A);
+      return E.type();
+    }
+    }
+    return E.type();
+  }
+
+  ScalarKind check(const Expr &E, ScalarKind Want) {
+    if (E.type() != Want)
+      issue("expression caches the wrong type");
+    return Want;
+  }
+
+  void checkCond(const Expr &E, const char *What) {
+    if (checkExpr(E) != ScalarKind::Bool)
+      issue(std::string(What) + " is not logical");
+  }
+
+  void checkIndexVar(const std::string &Name, const char *What) {
+    const VarDecl *D = P.lookupVar(Name);
+    if (!D)
+      issue(std::string(What) + " index '" + Name + "' is undeclared");
+    else if (D->Kind != ScalarKind::Int || D->isArray())
+      issue(std::string(What) + " index '" + Name +
+            "' must be an integer scalar");
+  }
+
+  void checkBody(const Body &B) {
+    for (const StmtPtr &SP : B)
+      checkStmt(*SP);
+  }
+
+  void checkStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Assign: {
+      const auto *A = cast<AssignStmt>(&S);
+      if (!isa<VarRef>(&A->target()) && !isa<ArrayRef>(&A->target())) {
+        issue("assignment target is not a variable or array element");
+        return;
+      }
+      if (const auto *V = dyn_cast<VarRef>(&A->target())) {
+        const VarDecl *D = P.lookupVar(V->name());
+        if (D && D->isArray())
+          issue("assignment to whole array '" + V->name() + "'");
+      }
+      ScalarKind T = checkExpr(A->target());
+      ScalarKind V = checkExpr(A->value());
+      if (T != V && !(isNumeric(T) && isNumeric(V)))
+        issue("assignment of incompatible kinds");
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *I = cast<IfStmt>(&S);
+      checkCond(I->cond(), "IF condition");
+      checkBody(I->thenBody());
+      checkBody(I->elseBody());
+      return;
+    }
+    case Stmt::Kind::Where: {
+      const auto *W = cast<WhereStmt>(&S);
+      checkCond(W->cond(), "WHERE mask");
+      checkBody(W->thenBody());
+      checkBody(W->elseBody());
+      return;
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(&S);
+      checkIndexVar(D->indexVar(), "DO");
+      if (checkExpr(D->lo()) != ScalarKind::Int)
+        issue("non-integer DO lower bound");
+      if (checkExpr(D->hi()) != ScalarKind::Int)
+        issue("non-integer DO upper bound");
+      if (D->step() && checkExpr(*D->step()) != ScalarKind::Int)
+        issue("non-integer DO step");
+      checkBody(D->body());
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(&S);
+      checkCond(W->cond(), "WHILE condition");
+      checkBody(W->body());
+      return;
+    }
+    case Stmt::Kind::Repeat: {
+      const auto *R = cast<RepeatStmt>(&S);
+      checkBody(R->body());
+      checkCond(R->untilCond(), "UNTIL condition");
+      return;
+    }
+    case Stmt::Kind::Forall: {
+      const auto *F = cast<ForallStmt>(&S);
+      checkIndexVar(F->indexVar(), "FORALL");
+      if (checkExpr(F->lo()) != ScalarKind::Int ||
+          checkExpr(F->hi()) != ScalarKind::Int)
+        issue("non-integer FORALL bounds");
+      if (F->mask())
+        checkCond(*F->mask(), "FORALL mask");
+      checkBody(F->body());
+      return;
+    }
+    case Stmt::Kind::Call: {
+      const auto *C = cast<CallStmt>(&S);
+      const ExternDecl *D = P.lookupExtern(C->callee());
+      if (!D)
+        issue("CALL of undeclared extern '" + C->callee() + "'");
+      else if (!D->IsSubroutine)
+        issue("CALL of function '" + C->callee() + "'");
+      for (const ExprPtr &A : C->args())
+        checkExpr(*A);
+      return;
+    }
+    case Stmt::Kind::Label:
+    case Stmt::Kind::Goto:
+      HasUnstructured = true;
+      if (const auto *G = dyn_cast<GotoStmt>(&S); G && G->cond())
+        checkCond(*G->cond(), "GOTO condition");
+      return;
+    }
+  }
+};
+
+} // namespace
+
+std::vector<std::string> ir::verifyProgram(const Program &P) {
+  Verifier V(P);
+  V.run();
+  return V.Issues;
+}

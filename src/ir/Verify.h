@@ -1,0 +1,37 @@
+//===- ir/Verify.h - Program well-formedness checking ----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and type verification of a whole program: every reference
+/// resolves, every node's cached type matches a bottom-up recomputation,
+/// control-flow conditions are logical, subscript ranks match, calls
+/// target declared externs of the right kind, and dialect invariants
+/// hold (an F90simd program has no unstructured control flow). The
+/// transformations run this after themselves in the test suite, so a
+/// transform that builds an inconsistent tree fails loudly instead of
+/// mis-executing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_VERIFY_H
+#define SIMDFLAT_IR_VERIFY_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace ir {
+
+/// Returns all well-formedness violations (empty means the program is
+/// valid). Messages are human-readable, one per problem.
+std::vector<std::string> verifyProgram(const Program &P);
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_VERIFY_H

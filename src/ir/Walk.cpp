@@ -1,0 +1,541 @@
+//===- ir/Walk.cpp --------------------------------------------*- C++ -*-===//
+
+#include "ir/Walk.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+ExprPtr ir::cloneExpr(const Expr &E) {
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+    return std::make_unique<IntLit>(cast<IntLit>(&E)->value());
+  case Expr::Kind::RealLit:
+    return std::make_unique<RealLit>(cast<RealLit>(&E)->value());
+  case Expr::Kind::BoolLit:
+    return std::make_unique<BoolLit>(cast<BoolLit>(&E)->value());
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRef>(&E);
+    return std::make_unique<VarRef>(V->name(), V->type());
+  }
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    std::vector<ExprPtr> Indices;
+    Indices.reserve(A->indices().size());
+    for (const ExprPtr &I : A->indices())
+      Indices.push_back(cloneExpr(*I));
+    return std::make_unique<ArrayRef>(A->name(), A->type(),
+                                      std::move(Indices));
+  }
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    return std::make_unique<UnaryExpr>(U->op(), cloneExpr(U->operand()),
+                                       U->type());
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    return std::make_unique<BinaryExpr>(B->op(), cloneExpr(B->lhs()),
+                                        cloneExpr(B->rhs()), B->type());
+  }
+  case Expr::Kind::Intrinsic: {
+    const auto *I = cast<IntrinsicExpr>(&E);
+    std::vector<ExprPtr> Args;
+    Args.reserve(I->args().size());
+    for (const ExprPtr &A : I->args())
+      Args.push_back(cloneExpr(*A));
+    return std::make_unique<IntrinsicExpr>(I->op(), std::move(Args),
+                                           I->type());
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    std::vector<ExprPtr> Args;
+    Args.reserve(C->args().size());
+    for (const ExprPtr &A : C->args())
+      Args.push_back(cloneExpr(*A));
+    return std::make_unique<CallExpr>(C->callee(), std::move(Args),
+                                      C->type());
+  }
+  }
+  SIMDFLAT_UNREACHABLE("bad Expr kind");
+}
+
+StmtPtr ir::cloneStmt(const Stmt &S) {
+  switch (S.kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(&S);
+    return std::make_unique<AssignStmt>(cloneExpr(A->target()),
+                                        cloneExpr(A->value()));
+  }
+  case Stmt::Kind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    return std::make_unique<IfStmt>(cloneExpr(I->cond()),
+                                    cloneBody(I->thenBody()),
+                                    cloneBody(I->elseBody()));
+  }
+  case Stmt::Kind::Where: {
+    const auto *W = cast<WhereStmt>(&S);
+    return std::make_unique<WhereStmt>(cloneExpr(W->cond()),
+                                       cloneBody(W->thenBody()),
+                                       cloneBody(W->elseBody()));
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(&S);
+    return std::make_unique<DoStmt>(
+        D->indexVar(), cloneExpr(D->lo()), cloneExpr(D->hi()),
+        D->step() ? cloneExpr(*D->step()) : nullptr, cloneBody(D->body()),
+        D->isParallel());
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    return std::make_unique<WhileStmt>(cloneExpr(W->cond()),
+                                       cloneBody(W->body()));
+  }
+  case Stmt::Kind::Repeat: {
+    const auto *R = cast<RepeatStmt>(&S);
+    return std::make_unique<RepeatStmt>(cloneBody(R->body()),
+                                        cloneExpr(R->untilCond()));
+  }
+  case Stmt::Kind::Forall: {
+    const auto *F = cast<ForallStmt>(&S);
+    return std::make_unique<ForallStmt>(
+        F->indexVar(), cloneExpr(F->lo()), cloneExpr(F->hi()),
+        F->mask() ? cloneExpr(*F->mask()) : nullptr, cloneBody(F->body()));
+  }
+  case Stmt::Kind::Call: {
+    const auto *C = cast<CallStmt>(&S);
+    std::vector<ExprPtr> Args;
+    Args.reserve(C->args().size());
+    for (const ExprPtr &A : C->args())
+      Args.push_back(cloneExpr(*A));
+    return std::make_unique<CallStmt>(C->callee(), std::move(Args));
+  }
+  case Stmt::Kind::Label:
+    return std::make_unique<LabelStmt>(cast<LabelStmt>(&S)->label());
+  case Stmt::Kind::Goto: {
+    const auto *G = cast<GotoStmt>(&S);
+    return std::make_unique<GotoStmt>(
+        G->label(), G->cond() ? cloneExpr(*G->cond()) : nullptr);
+  }
+  }
+  SIMDFLAT_UNREACHABLE("bad Stmt kind");
+}
+
+Body ir::cloneBody(const Body &B) {
+  Body Out;
+  Out.reserve(B.size());
+  for (const StmtPtr &S : B)
+    Out.push_back(cloneStmt(*S));
+  return Out;
+}
+
+bool ir::exprEquals(const Expr &A, const Expr &B) {
+  if (A.kind() != B.kind() || A.type() != B.type())
+    return false;
+  switch (A.kind()) {
+  case Expr::Kind::IntLit:
+    return cast<IntLit>(&A)->value() == cast<IntLit>(&B)->value();
+  case Expr::Kind::RealLit:
+    return cast<RealLit>(&A)->value() == cast<RealLit>(&B)->value();
+  case Expr::Kind::BoolLit:
+    return cast<BoolLit>(&A)->value() == cast<BoolLit>(&B)->value();
+  case Expr::Kind::VarRef:
+    return cast<VarRef>(&A)->name() == cast<VarRef>(&B)->name();
+  case Expr::Kind::ArrayRef: {
+    const auto *AA = cast<ArrayRef>(&A), *BA = cast<ArrayRef>(&B);
+    if (AA->name() != BA->name() ||
+        AA->indices().size() != BA->indices().size())
+      return false;
+    for (size_t I = 0; I < AA->indices().size(); ++I)
+      if (!exprEquals(*AA->indices()[I], *BA->indices()[I]))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Unary: {
+    const auto *AU = cast<UnaryExpr>(&A), *BU = cast<UnaryExpr>(&B);
+    return AU->op() == BU->op() && exprEquals(AU->operand(), BU->operand());
+  }
+  case Expr::Kind::Binary: {
+    const auto *AB = cast<BinaryExpr>(&A), *BB = cast<BinaryExpr>(&B);
+    return AB->op() == BB->op() && exprEquals(AB->lhs(), BB->lhs()) &&
+           exprEquals(AB->rhs(), BB->rhs());
+  }
+  case Expr::Kind::Intrinsic: {
+    const auto *AI = cast<IntrinsicExpr>(&A), *BI = cast<IntrinsicExpr>(&B);
+    if (AI->op() != BI->op() || AI->args().size() != BI->args().size())
+      return false;
+    for (size_t I = 0; I < AI->args().size(); ++I)
+      if (!exprEquals(*AI->args()[I], *BI->args()[I]))
+        return false;
+    return true;
+  }
+  case Expr::Kind::Call: {
+    const auto *AC = cast<CallExpr>(&A), *BC = cast<CallExpr>(&B);
+    if (AC->callee() != BC->callee() ||
+        AC->args().size() != BC->args().size())
+      return false;
+    for (size_t I = 0; I < AC->args().size(); ++I)
+      if (!exprEquals(*AC->args()[I], *BC->args()[I]))
+        return false;
+    return true;
+  }
+  }
+  SIMDFLAT_UNREACHABLE("bad Expr kind");
+}
+
+bool ir::stmtEquals(const Stmt &A, const Stmt &B) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *AA = cast<AssignStmt>(&A), *BA = cast<AssignStmt>(&B);
+    return exprEquals(AA->target(), BA->target()) &&
+           exprEquals(AA->value(), BA->value());
+  }
+  case Stmt::Kind::If: {
+    const auto *AI = cast<IfStmt>(&A), *BI = cast<IfStmt>(&B);
+    return exprEquals(AI->cond(), BI->cond()) &&
+           bodyEquals(AI->thenBody(), BI->thenBody()) &&
+           bodyEquals(AI->elseBody(), BI->elseBody());
+  }
+  case Stmt::Kind::Where: {
+    const auto *AW = cast<WhereStmt>(&A), *BW = cast<WhereStmt>(&B);
+    return exprEquals(AW->cond(), BW->cond()) &&
+           bodyEquals(AW->thenBody(), BW->thenBody()) &&
+           bodyEquals(AW->elseBody(), BW->elseBody());
+  }
+  case Stmt::Kind::Do: {
+    const auto *AD = cast<DoStmt>(&A), *BD = cast<DoStmt>(&B);
+    if (AD->indexVar() != BD->indexVar() ||
+        AD->isParallel() != BD->isParallel())
+      return false;
+    if (static_cast<bool>(AD->step()) != static_cast<bool>(BD->step()))
+      return false;
+    if (AD->step() && !exprEquals(*AD->step(), *BD->step()))
+      return false;
+    return exprEquals(AD->lo(), BD->lo()) && exprEquals(AD->hi(), BD->hi()) &&
+           bodyEquals(AD->body(), BD->body());
+  }
+  case Stmt::Kind::While: {
+    const auto *AW = cast<WhileStmt>(&A), *BW = cast<WhileStmt>(&B);
+    return exprEquals(AW->cond(), BW->cond()) &&
+           bodyEquals(AW->body(), BW->body());
+  }
+  case Stmt::Kind::Repeat: {
+    const auto *AR = cast<RepeatStmt>(&A), *BR = cast<RepeatStmt>(&B);
+    return exprEquals(AR->untilCond(), BR->untilCond()) &&
+           bodyEquals(AR->body(), BR->body());
+  }
+  case Stmt::Kind::Forall: {
+    const auto *AF = cast<ForallStmt>(&A), *BF = cast<ForallStmt>(&B);
+    if (AF->indexVar() != BF->indexVar())
+      return false;
+    if (static_cast<bool>(AF->mask()) != static_cast<bool>(BF->mask()))
+      return false;
+    if (AF->mask() && !exprEquals(*AF->mask(), *BF->mask()))
+      return false;
+    return exprEquals(AF->lo(), BF->lo()) && exprEquals(AF->hi(), BF->hi()) &&
+           bodyEquals(AF->body(), BF->body());
+  }
+  case Stmt::Kind::Call: {
+    const auto *AC = cast<CallStmt>(&A), *BC = cast<CallStmt>(&B);
+    if (AC->callee() != BC->callee() ||
+        AC->args().size() != BC->args().size())
+      return false;
+    for (size_t I = 0; I < AC->args().size(); ++I)
+      if (!exprEquals(*AC->args()[I], *BC->args()[I]))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::Label:
+    return cast<LabelStmt>(&A)->label() == cast<LabelStmt>(&B)->label();
+  case Stmt::Kind::Goto: {
+    const auto *AG = cast<GotoStmt>(&A), *BG = cast<GotoStmt>(&B);
+    if (AG->label() != BG->label())
+      return false;
+    if (static_cast<bool>(AG->cond()) != static_cast<bool>(BG->cond()))
+      return false;
+    return !AG->cond() || exprEquals(*AG->cond(), *BG->cond());
+  }
+  }
+  SIMDFLAT_UNREACHABLE("bad Stmt kind");
+}
+
+bool ir::bodyEquals(const Body &A, const Body &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (!stmtEquals(*A[I], *B[I]))
+      return false;
+  return true;
+}
+
+/// Rewrites \p Slot in place if it is a matching VarRef, else recurses.
+static void substituteIn(ExprPtr &Slot, const std::string &Name,
+                         const Expr &Replacement) {
+  if (const auto *V = dyn_cast<VarRef>(Slot.get())) {
+    if (V->name() == Name) {
+      Slot = cloneExpr(Replacement);
+      return;
+    }
+  }
+  switch (Slot->kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::RealLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::ArrayRef:
+    for (ExprPtr &I : cast<ArrayRef>(Slot.get())->indices())
+      substituteIn(I, Name, Replacement);
+    return;
+  case Expr::Kind::Unary:
+    substituteIn(cast<UnaryExpr>(Slot.get())->operandPtr(), Name,
+                 Replacement);
+    return;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(Slot.get());
+    substituteIn(B->lhsPtr(), Name, Replacement);
+    substituteIn(B->rhsPtr(), Name, Replacement);
+    return;
+  }
+  case Expr::Kind::Intrinsic:
+    for (ExprPtr &A : cast<IntrinsicExpr>(Slot.get())->args())
+      substituteIn(A, Name, Replacement);
+    return;
+  case Expr::Kind::Call:
+    for (ExprPtr &A : cast<CallExpr>(Slot.get())->args())
+      substituteIn(A, Name, Replacement);
+    return;
+  }
+  SIMDFLAT_UNREACHABLE("bad Expr kind");
+}
+
+ExprPtr ir::substituteVar(const Expr &E, const std::string &Name,
+                          const Expr &Replacement) {
+  ExprPtr Copy = cloneExpr(E);
+  substituteIn(Copy, Name, Replacement);
+  return Copy;
+}
+
+void ir::substituteVarInStmt(Stmt &S, const std::string &Name,
+                             const Expr &Replacement) {
+  switch (S.kind()) {
+  case Stmt::Kind::Assign: {
+    auto *A = cast<AssignStmt>(&S);
+    substituteIn(A->targetPtr(), Name, Replacement);
+    substituteIn(A->valuePtr(), Name, Replacement);
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(&S);
+    substituteIn(I->condPtr(), Name, Replacement);
+    substituteVarInBody(I->thenBody(), Name, Replacement);
+    substituteVarInBody(I->elseBody(), Name, Replacement);
+    return;
+  }
+  case Stmt::Kind::Where: {
+    auto *W = cast<WhereStmt>(&S);
+    substituteIn(W->condPtr(), Name, Replacement);
+    substituteVarInBody(W->thenBody(), Name, Replacement);
+    substituteVarInBody(W->elseBody(), Name, Replacement);
+    return;
+  }
+  case Stmt::Kind::Do: {
+    auto *D = cast<DoStmt>(&S);
+    assert(D->indexVar() != Name &&
+           "substituting a variable rebound by a DO loop");
+    substituteIn(D->loPtr(), Name, Replacement);
+    substituteIn(D->hiPtr(), Name, Replacement);
+    if (D->step())
+      substituteIn(D->stepPtr(), Name, Replacement);
+    substituteVarInBody(D->body(), Name, Replacement);
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(&S);
+    substituteIn(W->condPtr(), Name, Replacement);
+    substituteVarInBody(W->body(), Name, Replacement);
+    return;
+  }
+  case Stmt::Kind::Repeat: {
+    auto *R = cast<RepeatStmt>(&S);
+    substituteVarInBody(R->body(), Name, Replacement);
+    substituteIn(R->untilCondPtr(), Name, Replacement);
+    return;
+  }
+  case Stmt::Kind::Forall: {
+    auto *F = cast<ForallStmt>(&S);
+    assert(F->indexVar() != Name &&
+           "substituting a variable rebound by a FORALL");
+    substituteIn(F->loPtr(), Name, Replacement);
+    substituteIn(F->hiPtr(), Name, Replacement);
+    if (F->mask())
+      substituteIn(F->maskPtr(), Name, Replacement);
+    substituteVarInBody(F->body(), Name, Replacement);
+    return;
+  }
+  case Stmt::Kind::Call:
+    for (ExprPtr &A : cast<CallStmt>(&S)->args())
+      substituteIn(A, Name, Replacement);
+    return;
+  case Stmt::Kind::Label:
+    return;
+  case Stmt::Kind::Goto: {
+    auto *G = cast<GotoStmt>(&S);
+    if (G->cond())
+      substituteIn(G->condPtr(), Name, Replacement);
+    return;
+  }
+  }
+  SIMDFLAT_UNREACHABLE("bad Stmt kind");
+}
+
+void ir::substituteVarInBody(Body &B, const std::string &Name,
+                             const Expr &Replacement) {
+  for (StmtPtr &S : B)
+    substituteVarInStmt(*S, Name, Replacement);
+}
+
+void ir::forEachExpr(const Expr &E,
+                     const std::function<void(const Expr &)> &Fn) {
+  Fn(E);
+  switch (E.kind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::RealLit:
+  case Expr::Kind::BoolLit:
+  case Expr::Kind::VarRef:
+    return;
+  case Expr::Kind::ArrayRef:
+    for (const ExprPtr &I : cast<ArrayRef>(&E)->indices())
+      forEachExpr(*I, Fn);
+    return;
+  case Expr::Kind::Unary:
+    forEachExpr(cast<UnaryExpr>(&E)->operand(), Fn);
+    return;
+  case Expr::Kind::Binary:
+    forEachExpr(cast<BinaryExpr>(&E)->lhs(), Fn);
+    forEachExpr(cast<BinaryExpr>(&E)->rhs(), Fn);
+    return;
+  case Expr::Kind::Intrinsic:
+    for (const ExprPtr &A : cast<IntrinsicExpr>(&E)->args())
+      forEachExpr(*A, Fn);
+    return;
+  case Expr::Kind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(&E)->args())
+      forEachExpr(*A, Fn);
+    return;
+  }
+  SIMDFLAT_UNREACHABLE("bad Expr kind");
+}
+
+void ir::forEachExprInStmt(const Stmt &S,
+                           const std::function<void(const Expr &)> &Fn) {
+  auto WalkBody = [&](const Body &B) {
+    for (const StmtPtr &Child : B)
+      forEachExprInStmt(*Child, Fn);
+  };
+  switch (S.kind()) {
+  case Stmt::Kind::Assign:
+    forEachExpr(cast<AssignStmt>(&S)->target(), Fn);
+    forEachExpr(cast<AssignStmt>(&S)->value(), Fn);
+    return;
+  case Stmt::Kind::If:
+    forEachExpr(cast<IfStmt>(&S)->cond(), Fn);
+    WalkBody(cast<IfStmt>(&S)->thenBody());
+    WalkBody(cast<IfStmt>(&S)->elseBody());
+    return;
+  case Stmt::Kind::Where:
+    forEachExpr(cast<WhereStmt>(&S)->cond(), Fn);
+    WalkBody(cast<WhereStmt>(&S)->thenBody());
+    WalkBody(cast<WhereStmt>(&S)->elseBody());
+    return;
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(&S);
+    forEachExpr(D->lo(), Fn);
+    forEachExpr(D->hi(), Fn);
+    if (D->step())
+      forEachExpr(*D->step(), Fn);
+    WalkBody(D->body());
+    return;
+  }
+  case Stmt::Kind::While:
+    forEachExpr(cast<WhileStmt>(&S)->cond(), Fn);
+    WalkBody(cast<WhileStmt>(&S)->body());
+    return;
+  case Stmt::Kind::Repeat:
+    WalkBody(cast<RepeatStmt>(&S)->body());
+    forEachExpr(cast<RepeatStmt>(&S)->untilCond(), Fn);
+    return;
+  case Stmt::Kind::Forall: {
+    const auto *F = cast<ForallStmt>(&S);
+    forEachExpr(F->lo(), Fn);
+    forEachExpr(F->hi(), Fn);
+    if (F->mask())
+      forEachExpr(*F->mask(), Fn);
+    WalkBody(F->body());
+    return;
+  }
+  case Stmt::Kind::Call:
+    for (const ExprPtr &A : cast<CallStmt>(&S)->args())
+      forEachExpr(*A, Fn);
+    return;
+  case Stmt::Kind::Label:
+    return;
+  case Stmt::Kind::Goto:
+    if (cast<GotoStmt>(&S)->cond())
+      forEachExpr(*cast<GotoStmt>(&S)->cond(), Fn);
+    return;
+  }
+  SIMDFLAT_UNREACHABLE("bad Stmt kind");
+}
+
+void ir::forEachStmt(const Body &B,
+                     const std::function<void(const Stmt &)> &Fn) {
+  for (const StmtPtr &S : B) {
+    Fn(*S);
+    switch (S->kind()) {
+    case Stmt::Kind::If:
+      forEachStmt(cast<IfStmt>(S.get())->thenBody(), Fn);
+      forEachStmt(cast<IfStmt>(S.get())->elseBody(), Fn);
+      break;
+    case Stmt::Kind::Where:
+      forEachStmt(cast<WhereStmt>(S.get())->thenBody(), Fn);
+      forEachStmt(cast<WhereStmt>(S.get())->elseBody(), Fn);
+      break;
+    case Stmt::Kind::Do:
+      forEachStmt(cast<DoStmt>(S.get())->body(), Fn);
+      break;
+    case Stmt::Kind::While:
+      forEachStmt(cast<WhileStmt>(S.get())->body(), Fn);
+      break;
+    case Stmt::Kind::Repeat:
+      forEachStmt(cast<RepeatStmt>(S.get())->body(), Fn);
+      break;
+    case Stmt::Kind::Forall:
+      forEachStmt(cast<ForallStmt>(S.get())->body(), Fn);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+size_t ir::countStmts(const Body &B) {
+  size_t N = 0;
+  forEachStmt(B, [&N](const Stmt &) { ++N; });
+  return N;
+}
+
+Program ir::cloneProgram(const Program &P) {
+  Program Out(P.name());
+  Out.setDialect(P.dialect());
+  for (const VarDecl &V : P.vars())
+    Out.addVar(V.Name, V.Kind, V.Dims, V.Distribution);
+  for (const ExternDecl &E : P.externs())
+    Out.addExtern(E.Name, E.Ret, E.Pure, E.IsSubroutine);
+  Out.setBody(cloneBody(P.body()));
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- ir/Walk.h - Clone, compare, substitute, traverse --------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural utilities over the AST: deep cloning (the transformations
+/// duplicate init/test/increment phases, Sec. 4), structural equality
+/// (tests), variable substitution (SIMDization renames induction
+/// variables), and generic traversal callbacks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_IR_WALK_H
+#define SIMDFLAT_IR_WALK_H
+
+#include "ir/Program.h"
+
+#include <functional>
+
+namespace simdflat {
+namespace ir {
+
+/// Deep-copies an expression tree.
+ExprPtr cloneExpr(const Expr &E);
+
+/// Deep-copies a statement tree.
+StmtPtr cloneStmt(const Stmt &S);
+
+/// Deep-copies a statement list.
+Body cloneBody(const Body &B);
+
+/// Structural equality of expressions (kinds, operators, names, values).
+bool exprEquals(const Expr &A, const Expr &B);
+
+/// Structural equality of statements.
+bool stmtEquals(const Stmt &A, const Stmt &B);
+
+/// Structural equality of statement lists.
+bool bodyEquals(const Body &A, const Body &B);
+
+/// Returns a copy of \p E in which every scalar VarRef named \p Name is
+/// replaced by a clone of \p Replacement. Array names are not touched;
+/// subscript expressions are rewritten.
+ExprPtr substituteVar(const Expr &E, const std::string &Name,
+                      const Expr &Replacement);
+
+/// In-place substitution of scalar VarRefs named \p Name inside \p S
+/// (conditions, bounds, subscripts, values). DO/FORALL index-variable
+/// *bindings* are left alone; callers must not substitute a variable that
+/// is rebound inside \p S (asserted).
+void substituteVarInStmt(Stmt &S, const std::string &Name,
+                         const Expr &Replacement);
+
+/// In-place substitution over a whole body.
+void substituteVarInBody(Body &B, const std::string &Name,
+                         const Expr &Replacement);
+
+/// Invokes \p Fn on \p E and every sub-expression, pre-order.
+void forEachExpr(const Expr &E, const std::function<void(const Expr &)> &Fn);
+
+/// Invokes \p Fn on every expression occurring in \p S (recursively
+/// through nested statements), pre-order within each expression.
+void forEachExprInStmt(const Stmt &S,
+                       const std::function<void(const Expr &)> &Fn);
+
+/// Invokes \p Fn on every statement in \p B, pre-order, recursing into
+/// nested bodies.
+void forEachStmt(const Body &B, const std::function<void(const Stmt &)> &Fn);
+
+/// Counts all statements in \p B recursively.
+size_t countStmts(const Body &B);
+
+/// Deep-copies a whole program (declarations, externs, body, dialect).
+Program cloneProgram(const Program &P);
+
+} // namespace ir
+} // namespace simdflat
+
+#endif // SIMDFLAT_IR_WALK_H

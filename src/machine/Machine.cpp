@@ -1,0 +1,78 @@
+//===- machine/Machine.cpp ------------------------------------*- C++ -*-===//
+
+#include "machine/Machine.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::machine;
+
+int64_t MachineConfig::layersFor(int64_t Elements) const {
+  assert(Elements >= 0 && "negative extent");
+  if (Elements <= 0)
+    return 1;
+  return (Elements + Gran - 1) / Gran;
+}
+
+int64_t MachineConfig::laneOf(int64_t Index, int64_t Extent) const {
+  assert(Index >= 1 && Index <= Extent && "element index out of range");
+  switch (DataLayout) {
+  case Layout::Cyclic:
+    return (Index - 1) % Gran;
+  case Layout::Block: {
+    int64_t Chunk = layersFor(Extent);
+    return (Index - 1) / Chunk;
+  }
+  }
+  return 0;
+}
+
+int64_t MachineConfig::layerOf(int64_t Index, int64_t Extent) const {
+  assert(Index >= 1 && Index <= Extent && "element index out of range");
+  switch (DataLayout) {
+  case Layout::Cyclic:
+    return (Index - 1) / Gran;
+  case Layout::Block: {
+    int64_t Chunk = layersFor(Extent);
+    return (Index - 1) % Chunk;
+  }
+  }
+  return 0;
+}
+
+MachineConfig MachineConfig::cm2(int64_t Processors) {
+  assert(Processors % 8 == 0 && "CM-2 slicewise needs P divisible by 8");
+  MachineConfig M;
+  M.Name = "CM-2";
+  M.Processors = Processors;
+  // Slicewise model: 32 PEs per FPA node pair, vector length 4
+  // => Gran = P * 4 / 32 = P / 8 (Sec. 5.2).
+  M.Gran = Processors / 8;
+  M.DataLayout = Layout::Block;
+  M.VirtualProcessorSweep = true;
+  M.SecondsPerCycle = 0.35e-5;
+  return M;
+}
+
+MachineConfig MachineConfig::decmpp(int64_t Processors) {
+  MachineConfig M;
+  M.Name = "DECmpp-12000";
+  M.Processors = Processors;
+  M.Gran = Processors; // Sec. 5.2: Gran = P on the DECmpp.
+  M.DataLayout = Layout::Cyclic;
+  M.VirtualProcessorSweep = false;
+  M.SecondsPerCycle = 0.95e-5;
+  return M;
+}
+
+MachineConfig MachineConfig::sparc2() {
+  MachineConfig M;
+  M.Name = "Sparc-2";
+  M.Processors = 1;
+  M.Gran = 1;
+  M.DataLayout = Layout::Cyclic;
+  M.VirtualProcessorSweep = false;
+  // 28 Mips workstation (Sec. 5.2).
+  M.SecondsPerCycle = 1.0 / 28.0e6;
+  return M;
+}

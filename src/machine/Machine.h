@@ -1,0 +1,104 @@
+//===- machine/Machine.h - SIMD machine configuration ----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models of the machines from the paper's Sec. 5.2:
+///
+///  * CM-2 (Thinking Machines): 8192 one-bit PEs + 64-bit FPAs, slicewise
+///    compiler => data granularity Gran = P/8, blockwise layout, and a
+///    virtual-processor model that cycles through ALL memory layers even
+///    when only a prefix is active.
+///  * DECmpp 12000 / MasPar MP-1200: Gran = P, cyclic "cut-and-stack"
+///    layout, prunes inactive memory layers at a small per-layer checking
+///    cost.
+///  * Sparc 2: the sequential reference (Gran = 1).
+///
+/// The cost model charges per executed vector instruction; masked-out
+/// lanes pay anyway, which is precisely the effect loop flattening
+/// attacks. Costs are expressed in "machine cycles"; `secondsPerCycle`
+/// scales them to wall-clock-shaped numbers. We reproduce the paper's
+/// *shape* (who wins, by what factor, where crossovers are), not 1992
+/// absolute seconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_MACHINE_MACHINE_H
+#define SIMDFLAT_MACHINE_MACHINE_H
+
+#include <cstdint>
+#include <string>
+
+namespace simdflat {
+namespace machine {
+
+/// How the distributed dimension of an array maps to lanes.
+enum class Layout {
+  /// Contiguous chunks per lane (CM-2 slicewise).
+  Block,
+  /// Element e lives on lane (e-1) mod Gran, layer (e-1) / Gran
+  /// ("cut-and-stack", DECmpp).
+  Cyclic,
+};
+
+/// Per-operation cycle costs of one vector instruction (all lanes step
+/// together, so these do not depend on how many lanes are active).
+struct CostTable {
+  double IntOp = 1.0;      ///< integer add/sub/mul/...
+  double RealOp = 4.0;     ///< floating-point op
+  double CmpOp = 1.0;      ///< comparison
+  double LogicOp = 0.5;    ///< mask/logical op
+  double MoveOp = 1.0;     ///< register move / literal broadcast
+  double GatherOp = 6.0;   ///< indexed load (indirect addressing)
+  double ScatterOp = 6.0;  ///< indexed masked store
+  double ReduceOp = 12.0;  ///< ANY/ALL/MAXRED/... (log-tree across lanes)
+  double LayerCheck = 2.0; ///< testing whether a memory layer is active
+  double LoopOverhead = 2.0; ///< per-iteration control (branch + counter)
+};
+
+/// A complete machine description.
+struct MachineConfig {
+  std::string Name;
+  /// Marketing processor count P (1-bit PEs on the CM-2).
+  int64_t Processors = 1;
+  /// Data granularity: number of lanes a vector instruction covers; the
+  /// smallest economical distributed-array extent (Sec. 5.2).
+  int64_t Gran = 1;
+  Layout DataLayout = Layout::Cyclic;
+  /// True if the compiler's virtual-processor model sweeps all declared
+  /// memory layers even when only a prefix holds live data (CM-2
+  /// slicewise; Sec. 5.3: "the processors will always cycle through all
+  /// layers of memory").
+  bool VirtualProcessorSweep = false;
+  /// Seconds per cycle: scales model cycles into reported "seconds".
+  double SecondsPerCycle = 1e-6;
+  CostTable Costs;
+
+  /// Memory layers needed for \p Elements elements of a distributed
+  /// dimension (ceil(Elements / Gran)); at least 1.
+  int64_t layersFor(int64_t Elements) const;
+
+  /// Home lane (0-based) of 1-based element \p Index of a distributed
+  /// dimension with \p Extent elements.
+  int64_t laneOf(int64_t Index, int64_t Extent) const;
+
+  /// Memory layer (0-based) of 1-based element \p Index.
+  int64_t layerOf(int64_t Index, int64_t Extent) const;
+
+  /// The CM-2 model at \p Processors one-bit PEs (Gran = P/8).
+  static MachineConfig cm2(int64_t Processors);
+
+  /// The DECmpp 12000 / MasPar MP-1200 model at \p Processors PEs
+  /// (Gran = P).
+  static MachineConfig decmpp(int64_t Processors);
+
+  /// The Sparc 2 sequential reference (Gran = 1).
+  static MachineConfig sparc2();
+};
+
+} // namespace machine
+} // namespace simdflat
+
+#endif // SIMDFLAT_MACHINE_MACHINE_H

@@ -1,0 +1,38 @@
+//===- machine/MaskStack.cpp ----------------------------------*- C++ -*-===//
+
+#include "machine/MaskStack.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::machine;
+
+void MaskStack::pushAnd(const std::vector<uint8_t> &Cond) {
+  assert(Cond.size() == Current.size() && "mask width mismatch");
+  Level L;
+  L.Parent = Current;
+  L.Cond = Cond;
+  for (size_t I = 0; I < Current.size(); ++I)
+    Current[I] = static_cast<uint8_t>(Current[I] & Cond[I]);
+  Saved.push_back(std::move(L));
+}
+
+void MaskStack::flipTop() {
+  assert(!Saved.empty() && "flipTop at top level");
+  const Level &L = Saved.back();
+  for (size_t I = 0; I < Current.size(); ++I)
+    Current[I] = static_cast<uint8_t>(L.Parent[I] & !L.Cond[I]);
+}
+
+void MaskStack::pop() {
+  assert(!Saved.empty() && "pop at top level");
+  Current = Saved.back().Parent;
+  Saved.pop_back();
+}
+
+int64_t MaskStack::activeCount() const {
+  int64_t N = 0;
+  for (uint8_t M : Current)
+    N += M != 0;
+  return N;
+}

@@ -1,0 +1,162 @@
+//===- md/Molecule.cpp ----------------------------------------*- C++ -*-===//
+
+#include "md/Molecule.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+using namespace simdflat;
+using namespace simdflat::md;
+
+double Molecule::dist2(int64_t I, int64_t J) const {
+  const Atom &A = atom(I), &B = atom(J);
+  double DX = A.X - B.X, DY = A.Y - B.Y, DZ = A.Z - B.Z;
+  return DX * DX + DY * DY + DZ * DZ;
+}
+
+namespace {
+
+/// Hash grid used for the excluded-volume checks while growing a chain.
+class ExclusionGrid {
+public:
+  explicit ExclusionGrid(double Cell) : Cell(Cell) {}
+
+  void insert(double X, double Y, double Z) {
+    Points.push_back({X, Y, Z});
+    Cells[keyOf(X, Y, Z)].push_back(Points.size() - 1);
+  }
+
+  /// Squared distance from (X,Y,Z) to the nearest inserted point,
+  /// considering the 27 surrounding cells (exact for distances < Cell).
+  double nearest2(double X, double Y, double Z) const {
+    double Best = std::numeric_limits<double>::infinity();
+    int64_t CX = coord(X), CY = coord(Y), CZ = coord(Z);
+    for (int64_t DX = -1; DX <= 1; ++DX)
+      for (int64_t DY = -1; DY <= 1; ++DY)
+        for (int64_t DZ = -1; DZ <= 1; ++DZ) {
+          auto It = Cells.find(key(CX + DX, CY + DY, CZ + DZ));
+          if (It == Cells.end())
+            continue;
+          for (size_t Idx : It->second) {
+            const P &Q = Points[Idx];
+            double Dx = Q.X - X, Dy = Q.Y - Y, Dz = Q.Z - Z;
+            Best = std::min(Best, Dx * Dx + Dy * Dy + Dz * Dz);
+          }
+        }
+    return Best;
+  }
+
+private:
+  struct P {
+    double X, Y, Z;
+  };
+  double Cell;
+  std::vector<P> Points;
+  std::unordered_map<int64_t, std::vector<size_t>> Cells;
+
+  int64_t coord(double V) const {
+    return static_cast<int64_t>(std::floor(V / Cell));
+  }
+  static int64_t key(int64_t X, int64_t Y, int64_t Z) {
+    // Pack three 21-bit signed coordinates.
+    auto M = [](int64_t V) { return (V + (1 << 20)) & 0x1FFFFF; };
+    return (M(X) << 42) | (M(Y) << 21) | M(Z);
+  }
+  int64_t keyOf(double X, double Y, double Z) const {
+    return key(coord(X), coord(Y), coord(Z));
+  }
+};
+
+/// Generates one globular subunit: a bond-length chain confined to a
+/// sphere of radius \p Radius around (CX, 0, 0), with excluded-volume
+/// rejection so the fill is protein-like rather than clumpy. The chain
+/// folds back toward the center when it hits the surface.
+void growSubunit(Rng &R, std::vector<Atom> &Out, int64_t Count,
+                 double Radius, const SodParams &Par, double CX) {
+  ExclusionGrid Grid(std::max(Par.MinSeparation, 1.0));
+  double X = CX, Y = 0.0, Z = 0.0;
+  double Min2 = Par.MinSeparation * Par.MinSeparation;
+  for (int64_t I = 0; I < Count; ++I) {
+    Atom A;
+    A.X = X;
+    A.Y = Y;
+    A.Z = Z;
+    A.Charge = (I % 3 == 0) ? 0.2 : ((I % 3 == 1) ? -0.15 : -0.05);
+    Out.push_back(A);
+    // The grid intentionally excludes the current chain head: proposals
+    // are one bond away from it by construction, and including it would
+    // make every proposal look like a separation violation.
+
+    double BestX = X, BestY = Y, BestZ = Z, BestScore = -1.0;
+    for (int T = 0; T < Par.MaxTries; ++T) {
+      // Uniform random direction.
+      double DX, DY, DZ, Norm2;
+      do {
+        DX = R.uniformReal(-1.0, 1.0);
+        DY = R.uniformReal(-1.0, 1.0);
+        DZ = R.uniformReal(-1.0, 1.0);
+        Norm2 = DX * DX + DY * DY + DZ * DZ;
+      } while (Norm2 > 1.0 || Norm2 < 1e-6);
+      double Scale = Par.BondLength / std::sqrt(Norm2);
+      double NX = X + DX * Scale, NY = Y + DY * Scale, NZ = Z + DZ * Scale;
+      // Stay inside the subunit sphere.
+      double RX = NX - CX;
+      if (RX * RX + NY * NY + NZ * NZ > Radius * Radius)
+        continue;
+      double Sep2 = Grid.nearest2(NX, NY, NZ);
+      if (Sep2 >= Min2) {
+        BestX = NX;
+        BestY = NY;
+        BestZ = NZ;
+        BestScore = Sep2;
+        break;
+      }
+      if (Sep2 > BestScore) {
+        BestScore = Sep2;
+        BestX = NX;
+        BestY = NY;
+        BestZ = NZ;
+      }
+    }
+    if (BestScore < 0.0) {
+      // Every proposal left the sphere: fold straight back inward.
+      double OX = X - CX;
+      double ONorm = std::sqrt(OX * OX + Y * Y + Z * Z);
+      if (ONorm < 1e-9) {
+        BestX = X + Par.BondLength;
+        BestY = Y;
+        BestZ = Z;
+      } else {
+        BestX = X - OX / ONorm * Par.BondLength;
+        BestY = Y - Y / ONorm * Par.BondLength;
+        BestZ = Z - Z / ONorm * Par.BondLength;
+      }
+    }
+    Grid.insert(X, Y, Z);
+    X = BestX;
+    Y = BestY;
+    Z = BestZ;
+  }
+}
+
+} // namespace
+
+Molecule Molecule::syntheticSOD(SodParams Params) {
+  assert(Params.NumAtoms >= 2 && "molecule too small");
+  Rng R(Params.Seed);
+  int64_t Half = Params.NumAtoms / 2;
+  // Subunit radius from the target density: (3V / 4pi)^(1/3).
+  double Volume = static_cast<double>(Half) / Params.Density;
+  double Radius = std::cbrt(3.0 * Volume / (4.0 * M_PI));
+  std::vector<Atom> Atoms;
+  Atoms.reserve(static_cast<size_t>(Params.NumAtoms));
+  // Two touching subunits along the x axis (the dimer interface).
+  growSubunit(R, Atoms, Half, Radius, Params, -Radius * 0.95);
+  growSubunit(R, Atoms, Params.NumAtoms - Half, Radius, Params,
+              Radius * 0.95);
+  return Molecule(std::move(Atoms));
+}

@@ -1,0 +1,80 @@
+//===- md/Molecule.h - Synthetic protein geometry --------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A stand-in for the paper's test molecule: bovine superoxide dismutase
+/// (SOD), N = 6968 atoms, "a catalytic enzyme composed of two identical
+/// subunits" (Sec. 5.4). The original pairlist data came from GROMOS
+/// and is not available, so we synthesize a geometrically comparable
+/// molecule: two touching globular subunits, each a bond-length chain
+/// compacted into a sphere at protein-like atom density. Atom indices
+/// follow the chain, giving the index-space locality a real PDB file has
+/// - which is what makes the j > i half-counted pairlist's max/avg
+/// ratio land in the paper's 2.6-3.3 band (Fig. 18).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_MD_MOLECULE_H
+#define SIMDFLAT_MD_MOLECULE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace simdflat {
+namespace md {
+
+/// One atom position (Angstroms) and partial charge.
+struct Atom {
+  double X = 0.0, Y = 0.0, Z = 0.0;
+  double Charge = 0.0;
+};
+
+/// Parameters of the synthetic SOD surrogate.
+struct SodParams {
+  int64_t NumAtoms = 6968; ///< Sec. 5.4
+  uint64_t Seed = 1992;
+  /// Target mean atom density (atoms per cubic Angstrom). Calibrated so
+  /// the pairs-per-atom curve tracks the paper's Fig. 18 (avg ~11/75/
+  /// 216/437 vs the paper's ~10/80/243/510 at 4/8/12/16 A; max at 16 A
+  /// 1525 vs 1504).
+  double Density = 0.085;
+  /// Chain step length (Angstroms); protein-bond-like.
+  double BondLength = 1.4;
+  /// Excluded-volume radius: proposed steps landing closer than this to
+  /// an existing atom are rejected (approximate self-avoidance). Keeps
+  /// the local density protein-like instead of random-walk-clumpy.
+  double MinSeparation = 2.4;
+  /// Direction proposals per step before accepting the best rejected
+  /// candidate (prevents deadlock when the sphere fills up).
+  int MaxTries = 30;
+};
+
+/// An immutable collection of atoms.
+class Molecule {
+public:
+  explicit Molecule(std::vector<Atom> Atoms) : Atoms(std::move(Atoms)) {}
+
+  int64_t size() const { return static_cast<int64_t>(Atoms.size()); }
+  const Atom &atom(int64_t I) const {
+    return Atoms[static_cast<size_t>(I)];
+  }
+  const std::vector<Atom> &atoms() const { return Atoms; }
+
+  /// Squared distance between atoms \p I and \p J.
+  double dist2(int64_t I, int64_t J) const;
+
+  /// Builds the two-subunit synthetic SOD molecule.
+  static Molecule syntheticSOD(SodParams Params = SodParams());
+
+private:
+  std::vector<Atom> Atoms;
+};
+
+} // namespace md
+} // namespace simdflat
+
+#endif // SIMDFLAT_MD_MOLECULE_H

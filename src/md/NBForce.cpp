@@ -1,0 +1,164 @@
+//===- md/NBForce.cpp -----------------------------------------*- C++ -*-===//
+
+#include "md/NBForce.h"
+
+#include "ir/Builder.h"
+#include "support/Error.h"
+#include "transform/Flatten.h"
+#include "transform/Simdize.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::md;
+
+ir::Program md::nbforceF77(int64_t NMax, int64_t MaxPCnt) {
+  Program P("NBFORCE");
+  P.addVar("nAtoms", ScalarKind::Int);
+  P.addVar("at1", ScalarKind::Int);
+  P.addVar("at2", ScalarKind::Int);
+  P.addVar("pr", ScalarKind::Int);
+  P.addVar("pCnt", ScalarKind::Int, {NMax}, Dist::Distributed);
+  P.addVar("partners", ScalarKind::Int, {NMax, MaxPCnt}, Dist::Distributed);
+  P.addVar("F", ScalarKind::Real, {NMax}, Dist::Distributed);
+  P.addExtern("Force", ScalarKind::Real, /*Pure=*/true);
+  Builder B(P);
+
+  std::vector<ExprPtr> ForceArgs;
+  ForceArgs.push_back(B.var("at1"));
+  ForceArgs.push_back(B.var("at2"));
+  Body Inner = Builder::body(
+      B.set("at2", B.at("partners", B.var("at1"), B.var("pr"))),
+      B.assign(B.at("F", B.var("at1")),
+               B.add(B.at("F", B.var("at1")),
+                     B.callFn("Force", std::move(ForceArgs)))));
+
+  Body Outer = Builder::body(
+      B.doLoop("pr", B.lit(1), B.at("pCnt", B.var("at1")),
+               std::move(Inner)));
+  P.body().push_back(B.doLoop("at1", B.lit(1), B.var("nAtoms"),
+                              std::move(Outer), nullptr,
+                              /*IsParallel=*/true));
+  return P;
+}
+
+/// Shared scaffold for the two hand-tuned unflattened variants.
+static Program makeLayered(const char *Name, int64_t NMax, int64_t MaxPCnt,
+                           bool WithLayerCheck) {
+  Program P(Name);
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("nAtoms", ScalarKind::Int);
+  P.addVar("sweep", ScalarKind::Int);
+  P.addVar("maxP", ScalarKind::Int);
+  P.addVar("pr", ScalarKind::Int);
+  P.addVar("a", ScalarKind::Int, {}, Dist::Replicated);
+  P.addVar("pCnt", ScalarKind::Int, {NMax}, Dist::Distributed);
+  P.addVar("partners", ScalarKind::Int, {NMax, MaxPCnt}, Dist::Distributed);
+  P.addVar("F", ScalarKind::Real, {NMax}, Dist::Distributed);
+  P.addExtern("Force", ScalarKind::Real, /*Pure=*/true);
+  P.addExtern("LayerCheck", ScalarKind::Int, /*Pure=*/true,
+              /*IsSubroutine=*/true);
+  Builder B(P);
+
+  std::vector<ExprPtr> ForceArgs;
+  ForceArgs.push_back(B.var("a"));
+  ForceArgs.push_back(B.at("partners", B.var("a"), B.var("pr")));
+  Body ForallBody = Builder::body(
+      B.assign(B.at("F", B.var("a")),
+               B.add(B.at("F", B.var("a")),
+                     B.callFn("Force", std::move(ForceArgs)))));
+  StmtPtr Sweep = B.forall(
+      "a", B.lit(1), B.var("sweep"),
+      B.le(B.var("pr"), B.at("pCnt", B.var("a"))), std::move(ForallBody));
+
+  Body PrBody;
+  if (WithLayerCheck)
+    PrBody.push_back(B.callSub("LayerCheck", {}));
+  PrBody.push_back(std::move(Sweep));
+
+  P.body().push_back(B.set("maxP", B.maxVal("pCnt")));
+  P.body().push_back(
+      B.doLoop("pr", B.lit(1), B.var("maxP"), std::move(PrBody)));
+  return P;
+}
+
+ir::Program md::nbforceL1u(int64_t NMax, int64_t MaxPCnt) {
+  return makeLayered("NBFORCE_L1U", NMax, MaxPCnt, /*WithLayerCheck=*/true);
+}
+
+ir::Program md::nbforceL2u(int64_t NMax, int64_t MaxPCnt) {
+  return makeLayered("NBFORCE_L2U", NMax, MaxPCnt, /*WithLayerCheck=*/false);
+}
+
+ir::Program md::nbforceFlattenedSimd(int64_t NMax, int64_t MaxPCnt,
+                                     machine::Layout Layout) {
+  Program F77 = nbforceF77(NMax, MaxPCnt);
+  transform::FlattenOptions FOpts;
+  FOpts.AssumeInnerMinOneTrip = true; // pCnt(i) >= 1 (Fig. 15 caption)
+  FOpts.DistributeOuter = Layout;
+  transform::FlattenResult FR = transform::flattenNest(F77, FOpts);
+  if (!FR.Changed)
+    reportFatalError("nbforce: flattening failed: " + FR.Reason);
+  transform::SimdizeOptions SOpts;
+  SOpts.DoAllLayout = Layout;
+  Program Simd = transform::simdize(F77, SOpts);
+  Simd.setName("NBFORCE_FLAT");
+  return Simd;
+}
+
+ir::Program md::nbforceUnflattenedSimd(int64_t NMax, int64_t MaxPCnt,
+                                       machine::Layout Layout) {
+  Program F77 = nbforceF77(NMax, MaxPCnt);
+  transform::SimdizeOptions SOpts;
+  SOpts.DoAllLayout = Layout;
+  Program Simd = transform::simdize(F77, SOpts);
+  Simd.setName("NBFORCE_UNFLAT");
+  return Simd;
+}
+
+double md::pairForce(const Molecule &Mol, int64_t A1, int64_t A2) {
+  if (A1 == A2)
+    return 0.0; // self-pair padding (ensureMinOnePartner)
+  assert(A1 >= 1 && A1 <= Mol.size() && A2 >= 1 && A2 <= Mol.size() &&
+         "atom id out of range");
+  double R2 = Mol.dist2(A1 - 1, A2 - 1);
+  if (R2 < 0.25)
+    R2 = 0.25; // clamp chain-bonded contacts
+  const double Sigma2 = 3.0 * 3.0;
+  const double Eps = 0.2;
+  double S2 = Sigma2 / R2;
+  double S6 = S2 * S2 * S2;
+  double R = std::sqrt(R2);
+  double LJ = 24.0 * Eps * (2.0 * S6 * S6 - S6) / R;
+  double Q1 = Mol.atom(A1 - 1).Charge, Q2 = Mol.atom(A2 - 1).Charge;
+  double Coulomb = 332.0636 * Q1 * Q2 / R2;
+  return LJ + Coulomb;
+}
+
+void md::bindForceExterns(interp::ExternRegistry &Reg, const Molecule &Mol,
+                          double ForceCost, double LayerCheckCost) {
+  Reg.bind("Force",
+           [&Mol](std::span<const interp::ScalVal> Args) {
+             assert(Args.size() == 2 && "Force takes two atom ids");
+             return interp::ScalVal::makeReal(
+                 pairForce(Mol, Args[0].I, Args[1].I));
+           },
+           ForceCost);
+  Reg.bind("LayerCheck",
+           [](std::span<const interp::ScalVal>) {
+             return interp::ScalVal::makeInt(0);
+           },
+           LayerCheckCost);
+}
+
+void md::setNBForceInputs(interp::DataStore &Store, const PairList &PL,
+                          int64_t NMax, int64_t MaxPCnt,
+                          int64_t SweepAtoms) {
+  Store.setInt("nAtoms", PL.numAtoms());
+  Store.setIntArray("pCnt", PL.paddedPCnt(NMax));
+  Store.setIntArray("partners", PL.rectangularPartners(NMax, MaxPCnt));
+  if (Store.program().lookupVar("sweep"))
+    Store.setInt("sweep", SweepAtoms);
+}

@@ -1,0 +1,97 @@
+//===- md/NBForce.h - Nonbonded force kernels (Sec. 5) ---------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR builders for the GROMOS nonbonded-force kernel of Sec. 5 and the
+/// runtime pieces the experiments need.
+///
+/// Program variants (all use arrays dimensioned for NMax atoms, filled
+/// for the actual nAtoms, exactly like the paper's "provision for
+/// maximal problem sizes"):
+///
+///  * nbforceF77 - Fig. 13, the F77(D) source with a DOALL over atoms.
+///    Feed it to transform::flattenNest + transform::simdize to derive
+///    the Fig. 15 flattened SIMD version automatically, or to
+///    transform::simdize alone for the Fig. 14 unflattened version.
+///  * nbforceL1u / nbforceL2u - the two hand-tuned unflattened variants
+///    the paper measures (Sec. 5.3): L1u restricts work to the active
+///    memory layers 1:Lrs (paying a per-layer activity check, modeled by
+///    the LayerCheck extern whose cost the harness sets), L2u sweeps all
+///    maxLrs declared layers. The `sweep` control variable selects how
+///    many atoms-slots each pr iteration touches; on a machine whose
+///    virtual-processor model cannot prune (the CM-2), the harness sets
+///    L1u's sweep to NMax as well.
+///
+/// The `Force(a1, a2)` extern computes a Lennard-Jones + Coulomb pair
+/// force magnitude from the molecule's coordinates; its cycle cost is
+/// the machine-calibrated dominant term (Sec. 5.1: the kernel is ~90% of
+/// simulation cost).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_MD_NBFORCE_H
+#define SIMDFLAT_MD_NBFORCE_H
+
+#include "interp/Extern.h"
+#include "interp/Store.h"
+#include "ir/Program.h"
+#include "machine/Machine.h"
+#include "md/PairList.h"
+
+namespace simdflat {
+namespace md {
+
+/// Fig. 13: the sequential F77 kernel with a parallelizable outer loop.
+///
+/// \code
+///   DOALL at1 = 1, nAtoms
+///     DO pr = 1, pCnt(at1)
+///       at2 = partners(at1, pr)
+///       F(at1) = F(at1) + Force(at1, at2)
+///     ENDDO
+///   ENDDO
+/// \endcode
+ir::Program nbforceF77(int64_t NMax, int64_t MaxPCnt);
+
+/// The unflattened layer-explicit SIMD variants (Sec. 5.3). Control
+/// inputs at run time: `nAtoms`, `sweep` (how many atom slots each pr
+/// iteration processes: N for a pruning machine's L1u, NMax otherwise).
+/// L1u additionally calls `LayerCheck()` once per pr iteration; bind its
+/// cost to Costs.LayerCheck * layers swept.
+ir::Program nbforceL1u(int64_t NMax, int64_t MaxPCnt);
+ir::Program nbforceL2u(int64_t NMax, int64_t MaxPCnt);
+
+/// Derives the flattened SIMD kernel (Fig. 15) from nbforceF77 via
+/// flattenNest(DoneTest, min-one-trip) + simdize under \p Layout.
+ir::Program nbforceFlattenedSimd(int64_t NMax, int64_t MaxPCnt,
+                                 machine::Layout Layout);
+
+/// Derives the Fig. 14 unflattened SIMD kernel from nbforceF77 via
+/// simdize under \p Layout.
+ir::Program nbforceUnflattenedSimd(int64_t NMax, int64_t MaxPCnt,
+                                   machine::Layout Layout);
+
+/// Binds the `Force` extern (LJ + Coulomb magnitude over \p Mol, zero
+/// for self-pairs) at \p ForceCost cycles per vector call, and the
+/// `LayerCheck` extern at \p LayerCheckCost cycles. The molecule must
+/// outlive the registry.
+void bindForceExterns(interp::ExternRegistry &Reg, const Molecule &Mol,
+                      double ForceCost, double LayerCheckCost);
+
+/// Computes the scalar LJ + Coulomb pair force magnitude between
+/// 1-based atoms \p A1 and \p A2 (0 for self-pairs); exposed for tests
+/// and the native-engine comparison.
+double pairForce(const Molecule &Mol, int64_t A1, int64_t A2);
+
+/// Fills a store with the kernel inputs: nAtoms, pCnt, partners (and
+/// sweep if the variable exists).
+void setNBForceInputs(interp::DataStore &Store, const PairList &PL,
+                      int64_t NMax, int64_t MaxPCnt, int64_t SweepAtoms);
+
+} // namespace md
+} // namespace simdflat
+
+#endif // SIMDFLAT_MD_NBFORCE_H

@@ -1,0 +1,126 @@
+//===- md/PairList.cpp ----------------------------------------*- C++ -*-===//
+
+#include "md/PairList.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace simdflat;
+using namespace simdflat::md;
+
+int64_t PairList::maxPCnt() const {
+  int64_t M = 0;
+  for (int64_t C : PCnt)
+    M = std::max(M, C);
+  return M;
+}
+
+double PairList::avgPCnt() const {
+  if (PCnt.empty())
+    return 0.0;
+  return static_cast<double>(total()) / static_cast<double>(PCnt.size());
+}
+
+int64_t PairList::ensureMinOnePartner() {
+  int64_t Padded = 0;
+  std::vector<int64_t> NewPartners;
+  std::vector<int64_t> NewOffsets(1, 0);
+  NewPartners.reserve(Partners.size() + 16);
+  for (int64_t I = 0; I < numAtoms(); ++I) {
+    if (PCnt[static_cast<size_t>(I)] == 0) {
+      NewPartners.push_back(I + 1); // self-pair (1-based)
+      PCnt[static_cast<size_t>(I)] = 1;
+      ++Padded;
+    } else {
+      for (int64_t K = 1; K <= PCnt[static_cast<size_t>(I)]; ++K)
+        NewPartners.push_back(partner(I, K));
+    }
+    NewOffsets.push_back(static_cast<int64_t>(NewPartners.size()));
+  }
+  Partners = std::move(NewPartners);
+  Offsets = std::move(NewOffsets);
+  return Padded;
+}
+
+std::vector<int64_t> PairList::rectangularPartners(int64_t NMax,
+                                                   int64_t MaxPCnt) const {
+  assert(NMax >= numAtoms() && "NMax smaller than the molecule");
+  assert(MaxPCnt >= maxPCnt() && "MaxPCnt smaller than the largest row");
+  std::vector<int64_t> Out(static_cast<size_t>(NMax * MaxPCnt), 0);
+  for (int64_t I = 0; I < numAtoms(); ++I)
+    for (int64_t K = 1; K <= PCnt[static_cast<size_t>(I)]; ++K)
+      Out[static_cast<size_t>(I * MaxPCnt + (K - 1))] = partner(I, K);
+  return Out;
+}
+
+std::vector<int64_t> PairList::paddedPCnt(int64_t NMax) const {
+  assert(NMax >= numAtoms() && "NMax smaller than the molecule");
+  std::vector<int64_t> Out(static_cast<size_t>(NMax), 0);
+  std::copy(PCnt.begin(), PCnt.end(), Out.begin());
+  return Out;
+}
+
+PairList md::buildPairList(const Molecule &Mol, double CutoffAngstrom) {
+  assert(CutoffAngstrom > 0.0 && "cutoff must be positive");
+  int64_t N = Mol.size();
+  PairList PL;
+  PL.PCnt.assign(static_cast<size_t>(N), 0);
+  PL.Offsets.assign(1, 0);
+  if (N == 0)
+    return PL;
+
+  // Cell grid keyed by integer cell coordinates.
+  double Cell = CutoffAngstrom;
+  auto CellOf = [&](const Atom &A) {
+    return std::make_tuple(static_cast<int64_t>(std::floor(A.X / Cell)),
+                           static_cast<int64_t>(std::floor(A.Y / Cell)),
+                           static_cast<int64_t>(std::floor(A.Z / Cell)));
+  };
+  std::map<std::tuple<int64_t, int64_t, int64_t>, std::vector<int64_t>>
+      Cells;
+  for (int64_t I = 0; I < N; ++I)
+    Cells[CellOf(Mol.atom(I))].push_back(I);
+
+  double Cut2 = CutoffAngstrom * CutoffAngstrom;
+  std::vector<int64_t> Row;
+  for (int64_t I = 0; I < N; ++I) {
+    Row.clear();
+    auto [CX, CY, CZ] = CellOf(Mol.atom(I));
+    for (int64_t DX = -1; DX <= 1; ++DX)
+      for (int64_t DY = -1; DY <= 1; ++DY)
+        for (int64_t DZ = -1; DZ <= 1; ++DZ) {
+          auto It = Cells.find({CX + DX, CY + DY, CZ + DZ});
+          if (It == Cells.end())
+            continue;
+          for (int64_t J : It->second)
+            if (J > I && Mol.dist2(I, J) <= Cut2)
+              Row.push_back(J + 1); // 1-based partner ids
+        }
+    std::sort(Row.begin(), Row.end());
+    PL.PCnt[static_cast<size_t>(I)] = static_cast<int64_t>(Row.size());
+    PL.Partners.insert(PL.Partners.end(), Row.begin(), Row.end());
+    PL.Offsets.push_back(static_cast<int64_t>(PL.Partners.size()));
+  }
+  return PL;
+}
+
+PairList md::buildPairListBruteForce(const Molecule &Mol,
+                                     double CutoffAngstrom) {
+  int64_t N = Mol.size();
+  double Cut2 = CutoffAngstrom * CutoffAngstrom;
+  PairList PL;
+  PL.PCnt.assign(static_cast<size_t>(N), 0);
+  PL.Offsets.assign(1, 0);
+  for (int64_t I = 0; I < N; ++I) {
+    for (int64_t J = I + 1; J < N; ++J)
+      if (Mol.dist2(I, J) <= Cut2)
+        PL.Partners.push_back(J + 1);
+    PL.Offsets.push_back(static_cast<int64_t>(PL.Partners.size()));
+    PL.PCnt[static_cast<size_t>(I)] =
+        PL.Offsets[static_cast<size_t>(I + 1)] -
+        PL.Offsets[static_cast<size_t>(I)];
+  }
+  return PL;
+}

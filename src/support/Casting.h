@@ -1,0 +1,51 @@
+//===- support/Casting.h - isa/cast/dyn_cast helpers -----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style opt-in RTTI. A class hierarchy participates by giving each
+/// concrete class a `static bool classof(const Base *)` predicate keyed on
+/// a kind discriminator stored in the base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SUPPORT_CASTING_H
+#define SIMDFLAT_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace simdflat {
+
+/// Returns true if \p Val is an instance of \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts on kind mismatch.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast (const); asserts on kind mismatch.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> to incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast returning null on kind mismatch.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Downcast returning null on kind mismatch (const).
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace simdflat
+
+#endif // SIMDFLAT_SUPPORT_CASTING_H

@@ -1,0 +1,11 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void simdflat::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "simdflat fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,37 @@
+//===- support/Error.h - Fatal errors and unreachable markers --*- C++ -*-===//
+//
+// Part of simdflat, a reproduction of "Relaxing SIMD Control Flow
+// Constraints using Loop Transformations" (v. Hanxleden & Kennedy,
+// PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal fatal-error reporting used throughout the library. Programmatic
+/// errors (broken invariants) use assert/SIMDFLAT_UNREACHABLE; user-facing
+/// recoverable errors are reported through module-specific diagnostics
+/// (see frontend/Diagnostics.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SUPPORT_ERROR_H
+#define SIMDFLAT_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace simdflat {
+
+/// Prints \p Message to stderr and aborts. Used for invariant violations
+/// that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace simdflat
+
+/// Marks a point in the code that must never be reached. Aborts with a
+/// message including the source location.
+#define SIMDFLAT_UNREACHABLE(MSG)                                             \
+  ::simdflat::reportFatalError(std::string("unreachable reached at ") +       \
+                               __FILE__ + ":" + std::to_string(__LINE__) +    \
+                               ": " + (MSG))
+
+#endif // SIMDFLAT_SUPPORT_ERROR_H

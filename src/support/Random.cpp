@@ -1,0 +1,58 @@
+//===- support/Random.cpp -------------------------------------*- C++ -*-===//
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace simdflat;
+
+uint64_t Rng::next() {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+int64_t Rng::uniformInt(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % Span;
+  uint64_t Draw;
+  do {
+    Draw = next();
+  } while (Draw >= Limit);
+  return Lo + static_cast<int64_t>(Draw % Span);
+}
+
+double Rng::uniformReal() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * uniformReal();
+}
+
+double Rng::normal() {
+  if (HasSpareNormal) {
+    HasSpareNormal = false;
+    return SpareNormal;
+  }
+  double U1, U2;
+  do {
+    U1 = uniformReal();
+  } while (U1 <= 0.0);
+  U2 = uniformReal();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  SpareNormal = R * std::sin(Theta);
+  HasSpareNormal = true;
+  return R * std::cos(Theta);
+}
+
+bool Rng::chance(double P) { return uniformReal() < P; }

@@ -1,0 +1,65 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A splitmix64-based PRNG with convenience draws. All stochastic parts of
+/// the reproduction (synthetic molecule, workload generators, property
+/// tests) use this generator so results are bit-reproducible across
+/// platforms, unlike std::mt19937 distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SUPPORT_RANDOM_H
+#define SIMDFLAT_SUPPORT_RANDOM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace simdflat {
+
+/// Deterministic splitmix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit draw.
+  uint64_t next();
+
+  /// Returns a uniform integer in [Lo, Hi] (inclusive). Requires Lo <= Hi.
+  int64_t uniformInt(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform real in [0, 1).
+  double uniformReal();
+
+  /// Returns a uniform real in [Lo, Hi).
+  double uniformReal(double Lo, double Hi);
+
+  /// Returns a standard normal draw (Box-Muller, deterministic).
+  double normal();
+
+  /// Returns true with probability \p P.
+  bool chance(double P);
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (std::size_t I = Values.size(); I > 1; --I) {
+      std::size_t J = static_cast<std::size_t>(
+          uniformInt(0, static_cast<int64_t>(I) - 1));
+      std::swap(Values[I - 1], Values[J]);
+    }
+  }
+
+private:
+  uint64_t State;
+  bool HasSpareNormal = false;
+  double SpareNormal = 0.0;
+};
+
+} // namespace simdflat
+
+#endif // SIMDFLAT_SUPPORT_RANDOM_H

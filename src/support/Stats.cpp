@@ -1,0 +1,47 @@
+//===- support/Stats.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace simdflat;
+
+void Summary::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+  ++N;
+  Total += X;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double Summary::min() const {
+  assert(N > 0 && "no observations");
+  return Min;
+}
+
+double Summary::max() const {
+  assert(N > 0 && "no observations");
+  return Max;
+}
+
+double Summary::mean() const {
+  assert(N > 0 && "no observations");
+  return Mean;
+}
+
+double Summary::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }

@@ -1,0 +1,48 @@
+//===- support/Stats.h - Streaming summary statistics ----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Welford-style streaming summary (count/min/max/mean/variance) used by
+/// the profitability model (Sec. 6 of the paper: the expected benefit of
+/// flattening is governed by the spread of inner trip counts) and by the
+/// benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SUPPORT_STATS_H
+#define SIMDFLAT_SUPPORT_STATS_H
+
+#include <cstddef>
+
+namespace simdflat {
+
+/// Streaming min/max/mean/variance accumulator.
+class Summary {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  size_t count() const { return N; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Population variance (0 for fewer than two observations).
+  double variance() const;
+  double stddev() const;
+  double sum() const { return Total; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Total = 0.0;
+};
+
+} // namespace simdflat
+
+#endif // SIMDFLAT_SUPPORT_STATS_H

@@ -1,0 +1,65 @@
+//===- support/Table.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace simdflat;
+
+void TextTable::setHeader(const std::vector<std::string> &Cells) {
+  Header = Cells;
+  Aligns.assign(Cells.size(), Align::Right);
+  if (!Aligns.empty())
+    Aligns[0] = Align::Left;
+}
+
+void TextTable::setAlign(size_t Col, Align A) {
+  assert(Col < Aligns.size() && "column out of range");
+  Aligns[Col] = A;
+}
+
+void TextTable::addRow(const std::vector<std::string> &Cells) {
+  assert(Cells.size() <= Header.size() &&
+         "row has more cells than the header");
+  Rows.push_back({Cells, /*IsSeparator=*/false});
+}
+
+void TextTable::addSeparator() { Rows.push_back({{}, /*IsSeparator=*/true}); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t C = 0; C < Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const Row &R : Rows)
+    for (size_t C = 0; C < R.Cells.size(); ++C)
+      Widths[C] = std::max(Widths[C], R.Cells[C].size());
+
+  auto RenderCells = [&](const std::vector<std::string> &Cells) {
+    std::string Line;
+    for (size_t C = 0; C < Header.size(); ++C) {
+      if (C != 0)
+        Line += "  ";
+      std::string Cell = C < Cells.size() ? Cells[C] : "";
+      Line += Aligns[C] == Align::Left ? padRight(Cell, Widths[C])
+                                       : padLeft(Cell, Widths[C]);
+    }
+    // Trim trailing spaces so rendered tables are whitespace-clean.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  size_t Total = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    Total += Widths[C] + (C == 0 ? 0 : 2);
+  std::string Sep = repeat("-", Total) + "\n";
+
+  std::string Out = RenderCells(Header);
+  Out += Sep;
+  for (const Row &R : Rows)
+    Out += R.IsSeparator ? Sep : RenderCells(R.Cells);
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- support/Table.h - Fixed-width text table writer ---------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small text-table renderer used by the benchmark harnesses to print
+/// paper-style tables (Table 1, Table 2, Figure 18/19 series).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SUPPORT_TABLE_H
+#define SIMDFLAT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace simdflat {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+///
+/// Usage:
+/// \code
+///   TextTable T;
+///   T.setHeader({"Gran", "Lu", "Lf", "Lu/Lf"});
+///   T.addRow({"1024", "1512", "906", "1.669"});
+///   std::string S = T.render();
+/// \endcode
+class TextTable {
+public:
+  enum class Align { Left, Right };
+
+  /// Sets the header row. Columns default to right alignment except the
+  /// first, which is left aligned.
+  void setHeader(const std::vector<std::string> &Cells);
+
+  /// Overrides the alignment of column \p Col.
+  void setAlign(size_t Col, Align A);
+
+  /// Appends a data row; rows may have fewer cells than the header
+  /// (missing cells render empty, like the paper's sparse Table 1).
+  void addRow(const std::vector<std::string> &Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders the table with a separator below the header.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsSeparator = false;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<Align> Aligns;
+  std::vector<Row> Rows;
+};
+
+} // namespace simdflat
+
+#endif // SIMDFLAT_SUPPORT_TABLE_H

@@ -1,0 +1,124 @@
+//===- transform/Coalesce.cpp ---------------------------------*- C++ -*-===//
+
+#include "transform/Coalesce.h"
+
+#include "ir/Builder.h"
+#include "ir/Walk.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::transform;
+using namespace simdflat::ir;
+
+namespace {
+
+/// Finds the first DOALL at any nesting depth.
+DoStmt *findDoAll(Body &B, Body *&Parent, size_t &Idx) {
+  for (size_t I = 0; I < B.size(); ++I) {
+    Stmt &S = *B[I];
+    if (auto *D = dyn_cast<DoStmt>(&S)) {
+      if (D->isParallel()) {
+        Parent = &B;
+        Idx = I;
+        return D;
+      }
+      if (DoStmt *Found = findDoAll(D->body(), Parent, Idx))
+        return Found;
+    } else if (auto *W = dyn_cast<WhileStmt>(&S)) {
+      if (DoStmt *Found = findDoAll(W->body(), Parent, Idx))
+        return Found;
+    } else if (auto *I2 = dyn_cast<IfStmt>(&S)) {
+      if (DoStmt *Found = findDoAll(I2->thenBody(), Parent, Idx))
+        return Found;
+      if (DoStmt *Found = findDoAll(I2->elseBody(), Parent, Idx))
+        return Found;
+    }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+CoalesceResult transform::coalesceNest(Program &P,
+                                       int64_t MaxOuterIterations,
+                                       int64_t MaxTotalIterations) {
+  CoalesceResult R;
+  Body *Parent = nullptr;
+  size_t Idx = 0;
+  DoStmt *Outer = findDoAll(P.body(), Parent, Idx);
+  if (!Outer) {
+    R.Reason = "no parallel (DOALL) loop found";
+    return R;
+  }
+  if (Outer->step() || !isa<IntLit>(&Outer->lo()) ||
+      cast<IntLit>(&Outer->lo())->value() != 1) {
+    R.Reason = "coalescing needs DOALL i = 1, K with unit step";
+    return R;
+  }
+  if (Outer->body().size() != 1 ||
+      Outer->body()[0]->kind() != Stmt::Kind::Do) {
+    R.Reason = "coalescing needs a perfect DOALL/DO nest";
+    return R;
+  }
+  auto *Inner = cast<DoStmt>(Outer->body()[0].get());
+  if (Inner->step()) {
+    R.Reason = "coalescing needs a unit-step inner loop";
+    return R;
+  }
+
+  Builder B(P);
+  const std::string &IV = Outer->indexVar();
+  const std::string &JV = Inner->indexVar();
+  VarDecl &Total = P.addFreshVar("coalT", ScalarKind::Int);
+  VarDecl &Offs = P.addFreshVar("coalOffs", ScalarKind::Int);
+  Offs.Dims = {MaxOuterIterations};
+  Offs.Distribution = Dist::Distributed;
+  VarDecl &Row = P.addFreshVar("coalRow", ScalarKind::Int);
+  Row.Dims = {MaxTotalIterations};
+  Row.Distribution = Dist::Distributed;
+  VarDecl &T = P.addFreshVar("coalt", ScalarKind::Int);
+
+  // trips(i) = MAX(0, hi - lo + 1)
+  auto Trips = [&]() {
+    return B.max(B.lit(0),
+                 B.add(B.sub(cloneExpr(Inner->hi()), cloneExpr(Inner->lo())),
+                       B.lit(1)));
+  };
+
+  Body Out;
+  // Inspector: prefix offsets and total.
+  Out.push_back(B.set(Total.Name, B.lit(0)));
+  Out.push_back(B.doLoop(
+      IV, B.lit(1), cloneExpr(Outer->hi()),
+      Builder::body(
+          B.assign(B.at(Offs.Name, B.var(IV)), B.var(Total.Name)),
+          B.set(Total.Name, B.add(B.var(Total.Name), Trips())))));
+  // Row map: coalRow(offs(i) + j) = i for local j = 1..trips(i).
+  Out.push_back(B.doLoop(
+      IV, B.lit(1), cloneExpr(Outer->hi()),
+      Builder::body(B.doLoop(
+          T.Name, B.lit(1), Trips(),
+          Builder::body(B.assign(
+              B.at(Row.Name, B.add(B.at(Offs.Name, B.var(IV)), B.var(T.Name))),
+              B.var(IV)))))));
+  // Executor: a single coalesced DOALL over 1..coalT.
+  Body Exec;
+  Exec.push_back(B.set(IV, B.at(Row.Name, B.var(T.Name))));
+  Exec.push_back(B.set(
+      JV, B.sub(B.add(cloneExpr(Inner->lo()),
+                      B.sub(B.var(T.Name), B.at(Offs.Name, B.var(IV)))),
+                B.lit(1))));
+  for (const StmtPtr &S : Inner->body())
+    Exec.push_back(cloneStmt(*S));
+  Out.push_back(B.doLoop(T.Name, B.lit(1), B.var(Total.Name),
+                         std::move(Exec), nullptr, /*IsParallel=*/true));
+
+  Parent->erase(Parent->begin() + static_cast<long>(Idx));
+  for (size_t I = 0; I < Out.size(); ++I)
+    Parent->insert(Parent->begin() + static_cast<long>(Idx + I),
+                   std::move(Out[I]));
+  R.Changed = true;
+  R.TotalVar = Total.Name;
+  return R;
+}

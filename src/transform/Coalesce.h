@@ -1,0 +1,76 @@
+//===- transform/Coalesce.h - Loop coalescing baseline ---------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop coalescing (Polychronopoulos 1987), the related transformation
+/// Sec. 7 contrasts with flattening: it merges the iteration variables
+/// into a single loop to redistribute iterations freely. For irregular
+/// inner bounds it needs an inspector that materializes prefix offsets
+/// and a row map (O(total iterations) memory and precompute) - and it
+/// changes WHICH iterations a processor executes, so owner-computes
+/// locality is lost (our SIMD interpreter counts the resulting
+/// communication). Flattening, by contrast, keeps each processor's
+/// iterations and only changes WHEN they run.
+///
+/// Input shape (perfect nest):
+/// \code
+///   DOALL i = 1, K
+///     DO j = 1, H(i)     ! any expression in i
+///       BODY
+///     ENDDO
+///   ENDDO
+/// \endcode
+///
+/// Output:
+/// \code
+///   coalT = 0
+///   DO i = 1, K                    ! inspector
+///     coalOffs(i) = coalT
+///     coalT = coalT + MAX(0, H(i))
+///   ENDDO
+///   DO i = 1, K
+///     DO j = 1, MAX(0, H(i))
+///       coalRow(coalOffs(i) + j) = i
+///     ENDDO
+///   ENDDO
+///   DOALL t = 1, coalT             ! executor
+///     i = coalRow(t)
+///     j = t - coalOffs(i)
+///     BODY
+///   ENDDO
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TRANSFORM_COALESCE_H
+#define SIMDFLAT_TRANSFORM_COALESCE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+
+namespace simdflat {
+namespace transform {
+
+/// Result of a coalescing attempt.
+struct CoalesceResult {
+  bool Changed = false;
+  std::string Reason;
+  /// Name of the introduced total-iterations variable.
+  std::string TotalVar;
+};
+
+/// Coalesces the first DOALL nest in \p P. The inspector arrays must be
+/// dimensioned statically, like any Fortran array: \p MaxOuterIterations
+/// bounds coalOffs, \p MaxTotalIterations bounds coalRow.
+CoalesceResult coalesceNest(ir::Program &P, int64_t MaxOuterIterations,
+                            int64_t MaxTotalIterations);
+
+} // namespace transform
+} // namespace simdflat
+
+#endif // SIMDFLAT_TRANSFORM_COALESCE_H

@@ -1,0 +1,545 @@
+//===- transform/Flatten.cpp ----------------------------------*- C++ -*-===//
+
+#include "transform/Flatten.h"
+
+#include "analysis/NormalForm.h"
+#include "analysis/Safety.h"
+#include "analysis/SideEffects.h"
+#include "ir/Builder.h"
+#include "ir/Walk.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::transform;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+const char *transform::flattenLevelName(FlattenLevel L) {
+  switch (L) {
+  case FlattenLevel::General:
+    return "general";
+  case FlattenLevel::Optimized:
+    return "optimized";
+  case FlattenLevel::DoneTest:
+    return "done-test";
+  }
+  SIMDFLAT_UNREACHABLE("bad FlattenLevel");
+}
+
+namespace {
+
+/// True if any statement in \p B is a loop or unstructured control.
+bool containsLoopOrGoto(const Body &B) {
+  bool Found = false;
+  forEachStmt(B, [&](const Stmt &S) {
+    if (isLoopStmt(S) || S.kind() == Stmt::Kind::Label ||
+        S.kind() == Stmt::Kind::Goto)
+      Found = true;
+  });
+  return Found;
+}
+
+/// True if any expression in \p B subscripts an array (used to decide
+/// whether re-initialization must be guarded against a finished outer
+/// induction reading out of bounds).
+bool containsArrayRef(const Body &B) {
+  bool Found = false;
+  forEachStmt(B, [&](const Stmt &S) {
+    forEachExprInStmt(S, [&](const Expr &E) {
+      if (isa<ArrayRef>(&E))
+        Found = true;
+    });
+  });
+  return Found;
+}
+
+/// The [Pre..., inner, Post...] decomposition of an outer loop body.
+struct NestShape {
+  size_t InnerIdx = 0;
+  const Stmt *Inner = nullptr;
+};
+
+/// Matches the outer body shape: exactly one loop statement at the top
+/// level, no loops hidden inside Pre/Post, no GOTOs anywhere.
+std::optional<NestShape> matchShape(const Body &OuterBody,
+                                    std::string &Reason) {
+  NestShape Shape;
+  size_t LoopCount = 0;
+  for (size_t I = 0; I < OuterBody.size(); ++I) {
+    if (isLoopStmt(*OuterBody[I])) {
+      ++LoopCount;
+      Shape.InnerIdx = I;
+      Shape.Inner = OuterBody[I].get();
+    }
+  }
+  if (LoopCount == 0) {
+    Reason = "the loop contains no inner loop to flatten";
+    return std::nullopt;
+  }
+  if (LoopCount > 1) {
+    Reason = "several inner loops on the same nesting level (the paper "
+             "requires loops fully contained in each other)";
+    return std::nullopt;
+  }
+  for (size_t I = 0; I < OuterBody.size(); ++I) {
+    if (I == Shape.InnerIdx)
+      continue;
+    Body One;
+    One.push_back(cloneStmt(*OuterBody[I]));
+    if (containsLoopOrGoto(One)) {
+      Reason = "a loop or GOTO is nested inside the surrounding "
+               "straight-line code";
+      return std::nullopt;
+    }
+  }
+  return Shape;
+}
+
+/// Control phases of the outer loop, possibly rewritten for a
+/// lane-distributed induction.
+struct OuterControl {
+  Body Prelude; ///< one-time statements before init (chunk computation)
+  Body Init;
+  ExprPtr Test;
+  Body Increment;
+  std::string IndexVar;
+};
+
+class Flattener {
+public:
+  Flattener(Program &P, const FlattenOptions &Opts) : P(P), B(P),
+                                                      Opts(Opts) {}
+
+  FlattenResult run(Body &Parent, size_t OuterIdx, bool RequireParallel) {
+    FlattenResult R;
+    Stmt &Outer = *Parent[OuterIdx];
+    if (!isLoopStmt(Outer)) {
+      R.Reason = "statement is not a loop";
+      return R;
+    }
+    if (Outer.kind() == Stmt::Kind::Repeat) {
+      R.Reason = "post-test outer loops are not supported";
+      return R;
+    }
+    if (RequireParallel) {
+      const auto *D = dyn_cast<DoStmt>(&Outer);
+      if (!D || !D->isParallel()) {
+        R.Reason = "outer loop is not marked parallel (DOALL)";
+        return R;
+      }
+    }
+    if (Opts.CheckSafety) {
+      if (const auto *D = dyn_cast<DoStmt>(&Outer)) {
+        if (D->isParallel()) {
+          SafetyResult SR = checkParallelizable(*D, P);
+          if (!SR.Parallelizable) {
+            R.Reason = "outer loop is not parallelizable: " + SR.Reason;
+            return R;
+          }
+        }
+      }
+    }
+
+    const Body &OuterBody = Outer.kind() == Stmt::Kind::Do
+                                ? cast<DoStmt>(&Outer)->body()
+                                : cast<WhileStmt>(&Outer)->body();
+    std::optional<NestShape> Shape = matchShape(OuterBody, R.Reason);
+    if (!Shape)
+      return R;
+
+    std::optional<LoopNormalForm> InnerNF = normalFormOf(*Shape->Inner, P);
+    if (!InnerNF) {
+      R.Reason = "inner loop has no normal form (non-literal step?)";
+      return R;
+    }
+
+    // Pre / Post regions around the inner loop.
+    Body Pre, Post;
+    for (size_t I = 0; I < Shape->InnerIdx; ++I)
+      Pre.push_back(cloneStmt(*OuterBody[I]));
+    for (size_t I = Shape->InnerIdx + 1; I < OuterBody.size(); ++I)
+      Post.push_back(cloneStmt(*OuterBody[I]));
+
+    OuterControl OC;
+    if (!buildOuterControl(Outer, OC, R.Reason))
+      return R;
+
+    // init2 of the paper = Pre followed by the inner loop's own init.
+    Body Init2 = std::move(Pre);
+    for (const StmtPtr &S : InnerNF->Init)
+      Init2.push_back(cloneStmt(*S));
+
+    // Condition inventory for level selection (Sec. 4).
+    bool Test1Pure = !exprHasSideEffects(*OC.Test, P);
+    bool Init2Pure = !bodyCallsImpure(Init2, P);
+    bool Test2Pure = !exprHasSideEffects(*InnerNF->Test, P);
+    bool ControlPure = Test1Pure && Init2Pure && Test2Pure;
+    bool MinOneTrip = InnerNF->ProvablyMinOneTrip ||
+                      Opts.AssumeInnerMinOneTrip || InnerNF->PostTest;
+    bool HasDone = InnerNF->Done != nullptr;
+
+    FlattenLevel Level;
+    if (Opts.Force) {
+      Level = *Opts.Force;
+      std::string Why;
+      if (!levelValid(Level, *InnerNF, ControlPure, MinOneTrip, HasDone,
+                      Why)) {
+        R.Reason = Why;
+        return R;
+      }
+    } else if (levelValid(FlattenLevel::DoneTest, *InnerNF, ControlPure,
+                          MinOneTrip, HasDone, R.Reason)) {
+      Level = FlattenLevel::DoneTest;
+    } else if (levelValid(FlattenLevel::Optimized, *InnerNF, ControlPure,
+                          MinOneTrip, HasDone, R.Reason)) {
+      Level = FlattenLevel::Optimized;
+    } else if (levelValid(FlattenLevel::General, *InnerNF, ControlPure,
+                          MinOneTrip, HasDone, R.Reason)) {
+      Level = FlattenLevel::General;
+    } else {
+      return R; // Reason already set (impure post-test inner).
+    }
+    R.Reason.clear();
+
+    Body Out = emit(Level, OC, Init2, Post, *InnerNF);
+
+    // Splice the flattened sequence in place of the outer loop.
+    Parent.erase(Parent.begin() + static_cast<long>(OuterIdx));
+    for (size_t I = 0; I < Out.size(); ++I)
+      Parent.insert(Parent.begin() + static_cast<long>(OuterIdx + I),
+                    std::move(Out[I]));
+
+    R.Changed = true;
+    R.Applied = Level;
+    R.OuterIndexVar = OC.IndexVar;
+    return R;
+  }
+
+private:
+  Program &P;
+  Builder B;
+  const FlattenOptions &Opts;
+
+  static bool levelValid(FlattenLevel L, const LoopNormalForm &InnerNF,
+                         bool ControlPure, bool MinOneTrip, bool HasDone,
+                         std::string &Why) {
+    switch (L) {
+    case FlattenLevel::General:
+      if (InnerNF.PostTest) {
+        Why = "a post-test inner loop with impure control cannot be "
+              "flattened conservatively (its first guard evaluation "
+              "would move before the body)";
+        return false;
+      }
+      return true;
+    case FlattenLevel::Optimized:
+      if (!ControlPure) {
+        Why = "Fig. 11 requires side-effect-free loop control "
+              "(Sec. 4 condition 1)";
+        return false;
+      }
+      if (!MinOneTrip) {
+        Why = "Fig. 11 requires at least one inner iteration per outer "
+              "iteration (Sec. 4 condition 2); pass "
+              "AssumeInnerMinOneTrip if the workload guarantees it";
+        return false;
+      }
+      return true;
+    case FlattenLevel::DoneTest:
+      if (!ControlPure || !MinOneTrip) {
+        Why = "Fig. 12 requires the Fig. 11 conditions";
+        return false;
+      }
+      if (!HasDone) {
+        Why = "Fig. 12 requires a last-iteration test (unit-step counted "
+              "inner loop; Sec. 4 condition 3)";
+        return false;
+      }
+      return true;
+    }
+    SIMDFLAT_UNREACHABLE("bad FlattenLevel");
+  }
+
+  /// Derives init1/test1/increment1, rewriting for a distributed outer
+  /// induction when requested.
+  bool buildOuterControl(const Stmt &Outer, OuterControl &OC,
+                         std::string &Reason) {
+    if (const auto *W = dyn_cast<WhileStmt>(&Outer)) {
+      if (Opts.DistributeOuter) {
+        Reason = "only counted (DO) outer loops can be distributed "
+                 "across lanes";
+        return false;
+      }
+      OC.Test = cloneExpr(W->cond());
+      return true;
+    }
+    const auto *D = cast<DoStmt>(&Outer);
+    OC.IndexVar = D->indexVar();
+    int64_t Step = 1;
+    if (D->step()) {
+      const auto *Lit = dyn_cast<IntLit>(D->step());
+      if (!Lit || Lit->value() == 0) {
+        Reason = "outer loop step must be a non-zero literal";
+        return false;
+      }
+      Step = Lit->value();
+    }
+    const std::string &IV = OC.IndexVar;
+    if (!Opts.DistributeOuter) {
+      OC.Init.push_back(B.set(IV, cloneExpr(D->lo())));
+      OC.Test = Step > 0 ? B.le(B.var(IV), cloneExpr(D->hi()))
+                         : B.ge(B.var(IV), cloneExpr(D->hi()));
+      OC.Increment.push_back(
+          B.set(IV, B.add(B.var(IV), B.lit(Step))));
+      return true;
+    }
+    if (Step != 1) {
+      Reason = "a distributed outer loop must have unit step";
+      return false;
+    }
+    if (*Opts.DistributeOuter == machine::Layout::Cyclic) {
+      // Lane p handles lo+p-1, lo+p-1+P, ... ("cut-and-stack").
+      OC.Init.push_back(B.set(
+          IV, B.add(cloneExpr(D->lo()), B.sub(B.laneIndex(), B.lit(1)))));
+      OC.Test = B.le(B.var(IV), cloneExpr(D->hi()));
+      OC.Increment.push_back(B.set(IV, B.add(B.var(IV), B.numLanes())));
+      return true;
+    }
+    // Block: lane p handles a contiguous chunk with a per-lane bound.
+    VarDecl &Chunk = P.addFreshVar(IV + "chunk", ScalarKind::Int);
+    VarDecl &MyHi = P.addFreshVar(IV + "hi", ScalarKind::Int);
+    Chunk.Distribution = Dist::Control;
+    MyHi.Distribution = Dist::Control;
+    // chunk = (hi - lo + NUMLANES()) / NUMLANES()   (= ceil(count / P))
+    OC.Prelude.push_back(B.set(
+        Chunk.Name,
+        B.div(B.add(B.sub(cloneExpr(D->hi()), cloneExpr(D->lo())),
+                    B.numLanes()),
+              B.numLanes())));
+    OC.Init.push_back(B.set(
+        IV, B.add(cloneExpr(D->lo()),
+                  B.mul(B.sub(B.laneIndex(), B.lit(1)),
+                        B.var(Chunk.Name)))));
+    OC.Init.push_back(B.set(
+        MyHi.Name,
+        B.min(cloneExpr(D->hi()),
+              B.sub(B.add(B.var(IV), B.var(Chunk.Name)), B.lit(1)))));
+    OC.Test = B.le(B.var(IV), B.var(MyHi.Name));
+    OC.Increment.push_back(B.set(IV, B.add(B.var(IV), B.lit(1))));
+    return true;
+  }
+
+  /// Assembles the flattened statement sequence.
+  Body emit(FlattenLevel Level, OuterControl &OC, const Body &Init2,
+            const Body &Post, const LoopNormalForm &InnerNF) {
+    switch (Level) {
+    case FlattenLevel::General:
+      return emitGeneral(OC, Init2, Post, InnerNF);
+    case FlattenLevel::Optimized:
+    case FlattenLevel::DoneTest:
+      return emitOptimized(Level, OC, Init2, Post, InnerNF);
+    }
+    SIMDFLAT_UNREACHABLE("bad FlattenLevel");
+  }
+
+  /// advance := Post; increment1; [IF test1] { init2 } - the [IF] guard
+  /// protects array subscripts in init2 from a finished induction.
+  Body makeAdvance(const OuterControl &OC, const Body &Init2,
+                   const Body &Post, bool GuardReinit) {
+    Body Advance = cloneBody(Post);
+    for (const StmtPtr &S : OC.Increment)
+      Advance.push_back(cloneStmt(*S));
+    if (GuardReinit && !Init2.empty()) {
+      Advance.push_back(B.ifStmt(cloneExpr(*OC.Test), cloneBody(Init2)));
+    } else {
+      for (const StmtPtr &S : Init2)
+        Advance.push_back(cloneStmt(*S));
+    }
+    return Advance;
+  }
+
+  Body emitOptimized(FlattenLevel Level, OuterControl &OC,
+                     const Body &Init2, const Body &Post,
+                     const LoopNormalForm &InnerNF) {
+    bool GuardReinit = containsArrayRef(Init2);
+    Body Out = std::move(OC.Prelude);
+    for (StmtPtr &S : OC.Init)
+      Out.push_back(std::move(S));
+    // The initial init2 needs the same guard as the re-init: with a
+    // distributed induction a lane may own no iterations at all and its
+    // initial index is already past the bound, so an init2 that touches
+    // arrays would read out of range.
+    if (GuardReinit && !Init2.empty())
+      Out.push_back(B.ifStmt(cloneExpr(*OC.Test), cloneBody(Init2)));
+    else
+      for (const StmtPtr &S : Init2)
+        Out.push_back(cloneStmt(*S));
+
+    Body LoopBody = cloneBody(InnerNF.BodyStmts);
+    if (Level == FlattenLevel::DoneTest) {
+      // IF (done2) { advance } ELSE { increment2 }
+      assert(InnerNF.Done && "DoneTest without a done expression");
+      LoopBody.push_back(B.ifStmt(cloneExpr(*InnerNF.Done),
+                                  makeAdvance(OC, Init2, Post, GuardReinit),
+                                  cloneBody(InnerNF.Increment)));
+    } else {
+      // increment2; IF (.NOT. test2) { advance }
+      for (const StmtPtr &S : InnerNF.Increment)
+        LoopBody.push_back(cloneStmt(*S));
+      LoopBody.push_back(
+          B.ifStmt(B.lnot(cloneExpr(*InnerNF.Test)),
+                   makeAdvance(OC, Init2, Post, GuardReinit)));
+    }
+    Out.push_back(B.whileLoop(std::move(OC.Test), std::move(LoopBody)));
+    return Out;
+  }
+
+  Body emitGeneral(OuterControl &OC, const Body &Init2, const Body &Post,
+                   const LoopNormalForm &InnerNF) {
+    VarDecl &T1 = P.addFreshVar("t1", ScalarKind::Bool);
+    VarDecl &T2 = P.addFreshVar("t2", ScalarKind::Bool);
+
+    Body Out = std::move(OC.Prelude);
+    for (StmtPtr &S : OC.Init)
+      Out.push_back(std::move(S));
+    // t1 = test1 ; IF (t1) init2
+    Out.push_back(B.set(T1.Name, cloneExpr(*OC.Test)));
+    if (!Init2.empty())
+      Out.push_back(B.ifStmt(B.var(T1.Name), cloneBody(Init2)));
+
+    // Catch-up: advance outer control until useful work or exhaustion.
+    Body CatchUp = cloneBody(Post);
+    for (const StmtPtr &S : OC.Increment)
+      CatchUp.push_back(cloneStmt(*S));
+    CatchUp.push_back(B.set(T1.Name, cloneExpr(*OC.Test)));
+    {
+      Body Reinit = cloneBody(Init2);
+      Reinit.push_back(B.set(T2.Name, cloneExpr(*InnerNF.Test)));
+      CatchUp.push_back(B.ifStmt(B.var(T1.Name), std::move(Reinit)));
+    }
+
+    Body WorkStmts = cloneBody(InnerNF.BodyStmts);
+    for (const StmtPtr &S : InnerNF.Increment)
+      WorkStmts.push_back(cloneStmt(*S));
+
+    Body MainBody;
+    MainBody.push_back(B.set(T2.Name, cloneExpr(*InnerNF.Test)));
+    MainBody.push_back(B.whileLoop(
+        B.land(B.var(T1.Name), B.lnot(B.var(T2.Name))),
+        std::move(CatchUp)));
+    MainBody.push_back(B.ifStmt(B.var(T1.Name), std::move(WorkStmts)));
+
+    Out.push_back(B.whileLoop(B.var(T1.Name), std::move(MainBody)));
+    return Out;
+  }
+};
+
+/// Recursively looks for the first DOALL loop whose body matches the
+/// flattenable shape. Returns the containing body and index.
+bool findParallelCandidate(Body &B, Body *&Parent, size_t &Idx) {
+  for (size_t I = 0; I < B.size(); ++I) {
+    Stmt &S = *B[I];
+    if (const auto *D = dyn_cast<DoStmt>(&S); D && D->isParallel()) {
+      Parent = &B;
+      Idx = I;
+      return true;
+    }
+    switch (S.kind()) {
+    case Stmt::Kind::Do:
+      if (findParallelCandidate(cast<DoStmt>(&S)->body(), Parent, Idx))
+        return true;
+      break;
+    case Stmt::Kind::While:
+      if (findParallelCandidate(cast<WhileStmt>(&S)->body(), Parent, Idx))
+        return true;
+      break;
+    case Stmt::Kind::Repeat:
+      if (findParallelCandidate(cast<RepeatStmt>(&S)->body(), Parent, Idx))
+        return true;
+      break;
+    case Stmt::Kind::If:
+      if (findParallelCandidate(cast<IfStmt>(&S)->thenBody(), Parent,
+                                Idx) ||
+          findParallelCandidate(cast<IfStmt>(&S)->elseBody(), Parent, Idx))
+        return true;
+      break;
+    default:
+      break;
+    }
+  }
+  return false;
+}
+
+/// Flattens inner [Pre, loop, Post] pairs inside \p LoopBody,
+/// innermost-first, so a deep nest collapses bottom-up. Returns the
+/// number of pairs flattened.
+int flattenInnerPairs(Program &P, Body &LoopBody,
+                      const FlattenOptions &Opts) {
+  // Find the unique inner loop; recurse into it first.
+  for (size_t I = 0; I < LoopBody.size(); ++I) {
+    Stmt &S = *LoopBody[I];
+    if (!isLoopStmt(S))
+      continue;
+    Body *InnerBody = nullptr;
+    if (auto *D = dyn_cast<DoStmt>(&S))
+      InnerBody = &D->body();
+    else if (auto *W = dyn_cast<WhileStmt>(&S))
+      InnerBody = &W->body();
+    else if (auto *R = dyn_cast<RepeatStmt>(&S))
+      InnerBody = &R->body();
+    int N = InnerBody ? flattenInnerPairs(P, *InnerBody, Opts) : 0;
+    // Now try to flatten (this loop, its inner loop) as a pair.
+    bool HasInnerLoop = false;
+    for (const StmtPtr &C : *InnerBody)
+      if (isLoopStmt(*C))
+        HasInnerLoop = true;
+    if (!HasInnerLoop)
+      return N;
+    FlattenOptions Inner = Opts;
+    Inner.DistributeOuter.reset(); // only the outermost is distributed
+    Inner.CheckSafety = false;     // sequential restructuring
+    Flattener F(P, Inner);
+    FlattenResult R = F.run(LoopBody, I, /*RequireParallel=*/false);
+    return N + (R.Changed ? 1 : 0);
+  }
+  return 0;
+}
+
+} // namespace
+
+FlattenResult transform::flattenLoopPairAt(Program &P, Body &Parent,
+                                           size_t OuterIdx,
+                                           FlattenOptions Opts) {
+  assert(OuterIdx < Parent.size() && "index out of range");
+  Flattener F(P, Opts);
+  return F.run(Parent, OuterIdx, /*RequireParallel=*/false);
+}
+
+FlattenResult transform::flattenNest(Program &P, FlattenOptions Opts) {
+  Body *Parent = nullptr;
+  size_t Idx = 0;
+  if (!findParallelCandidate(P.body(), Parent, Idx)) {
+    FlattenResult R;
+    R.Reason = "no parallel (DOALL) loop found";
+    return R;
+  }
+  Flattener F(P, Opts);
+  return F.run(*Parent, Idx, /*RequireParallel=*/true);
+}
+
+FlattenResult transform::flattenNestDeep(Program &P, FlattenOptions Opts) {
+  Body *Parent = nullptr;
+  size_t Idx = 0;
+  if (!findParallelCandidate(P.body(), Parent, Idx)) {
+    FlattenResult R;
+    R.Reason = "no parallel (DOALL) loop found";
+    return R;
+  }
+  // Collapse deeper pairs inside the parallel loop first.
+  auto *D = cast<DoStmt>((*Parent)[Idx].get());
+  flattenInnerPairs(P, D->body(), Opts);
+  Flattener F(P, Opts);
+  return F.run(*Parent, Idx, /*RequireParallel=*/true);
+}

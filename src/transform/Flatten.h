@@ -1,0 +1,104 @@
+//===- transform/Flatten.h - Loop flattening (Figs. 10-12) -----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central transformation. Given a nest
+///
+/// \code
+///   DOALL i = lo, hi          ! outer, parallelizable
+///     <Pre>                   ! per-iteration setup ("init2" region)
+///     <inner loop>            ! DO / WHILE / REPEAT, trip count varies
+///     <Post>                  ! per-iteration wrap-up
+///   ENDDO
+/// \endcode
+///
+/// loop flattening lifts the inner loop's BODY into the outer loop and
+/// turns the residual inner loop into pure control that advances each
+/// (conceptual) processor to its next useful iteration:
+///
+///  * FlattenLevel::General (Fig. 10) - fully conservative: guard flags
+///    t1/t2 cache the test values so guards with side effects are
+///    evaluated exactly as often, and in the same order, as in the
+///    original nest.
+///  * FlattenLevel::Optimized (Fig. 11) - requires side-effect-free
+///    control phases and an inner loop that runs at least once per outer
+///    iteration; the catch-up loop collapses into a single IF.
+///  * FlattenLevel::DoneTest (Fig. 12) - additionally replaces the guard
+///    with a last-iteration test, saving the final increment (this is
+///    the form Fig. 7 / Fig. 15 SIMDize to).
+///
+/// With DistributeOuter set, the outer induction is rewritten to a
+/// per-lane induction using the LANEINDEX()/NUMLANES() intrinsics
+/// (cyclic: start at lane id, stride NUMLANES(); block: contiguous
+/// chunks with a per-lane upper bound). On a 1-lane machine these
+/// intrinsics are 1, so the distributed program still has the original
+/// sequential meaning - which the equivalence tests exploit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TRANSFORM_FLATTEN_H
+#define SIMDFLAT_TRANSFORM_FLATTEN_H
+
+#include "ir/Program.h"
+#include "machine/Machine.h"
+
+#include <optional>
+#include <string>
+
+namespace simdflat {
+namespace transform {
+
+/// Which of the paper's three forms to emit.
+enum class FlattenLevel { General, Optimized, DoneTest };
+
+/// Returns "general" / "optimized" / "done-test".
+const char *flattenLevelName(FlattenLevel L);
+
+/// Options for flattenNest.
+struct FlattenOptions {
+  /// Pin a specific level; by default the best valid one is chosen
+  /// (DoneTest > Optimized > General).
+  std::optional<FlattenLevel> Force;
+  /// User assertion that the inner loop runs at least once per outer
+  /// iteration (the paper asserts pCnt(i) >= 1 for NBFORCE).
+  bool AssumeInnerMinOneTrip = false;
+  /// Distribute the outer induction across lanes with this layout.
+  std::optional<machine::Layout> DistributeOuter;
+  /// Verify outer-loop parallelizability with analysis::checkParallelizable
+  /// in addition to the DOALL marker.
+  bool CheckSafety = true;
+};
+
+/// Result of a flattening attempt.
+struct FlattenResult {
+  bool Changed = false;
+  FlattenLevel Applied = FlattenLevel::General;
+  /// Failure diagnosis when !Changed.
+  std::string Reason;
+  /// The outer induction variable (empty for non-counted outer loops).
+  std::string OuterIndexVar;
+};
+
+/// Finds the first parallel (DOALL) loop in \p P whose body has the
+/// [Pre..., inner-loop, Post...] shape and flattens it in place.
+FlattenResult flattenNest(ir::Program &P, FlattenOptions Opts = {});
+
+/// Flattens the loop at \p Parent[OuterIdx] (any loop kind; no
+/// parallel-marker requirement - the caller asserts safety). Used for
+/// GENNEST-shaped WHILE nests and for inner pairs of deep nests.
+FlattenResult flattenLoopPairAt(ir::Program &P, ir::Body &Parent,
+                                size_t OuterIdx, FlattenOptions Opts = {});
+
+/// Deep variant: flattens inner pairs innermost-first inside the
+/// candidate parallel loop, then the outer pair, collapsing a depth-k
+/// perfect-ish nest into a single flat loop (Sec. 4: "an extension ...
+/// to deeper loop nests is straightforward").
+FlattenResult flattenNestDeep(ir::Program &P, FlattenOptions Opts = {});
+
+} // namespace transform
+} // namespace simdflat
+
+#endif // SIMDFLAT_TRANSFORM_FLATTEN_H

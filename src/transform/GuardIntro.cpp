@@ -1,0 +1,78 @@
+//===- transform/GuardIntro.cpp -------------------------------*- C++ -*-===//
+
+#include "transform/GuardIntro.h"
+
+#include "ir/Builder.h"
+#include "ir/Walk.h"
+
+using namespace simdflat;
+using namespace simdflat::transform;
+using namespace simdflat::ir;
+
+namespace {
+
+class GuardIntroducer {
+public:
+  explicit GuardIntroducer(Program &P) : P(P), B(P) {}
+
+  int Count = 0;
+
+  void processBody(Body &Stmts) {
+    Body Out;
+    for (StmtPtr &SP : Stmts) {
+      Stmt &S = *SP;
+      switch (S.kind()) {
+      case Stmt::Kind::While: {
+        auto *W = cast<WhileStmt>(&S);
+        processBody(W->body());
+        ++Count;
+        VarDecl &T = P.addFreshVar("t", ScalarKind::Bool);
+        // t = test ; WHILE (t) { body ; t = test }
+        Out.push_back(B.set(T.Name, cloneExpr(W->cond())));
+        Body WB = std::move(W->body());
+        WB.push_back(B.set(T.Name, cloneExpr(W->cond())));
+        Out.push_back(B.whileLoop(B.var(T.Name), std::move(WB)));
+        break;
+      }
+      case Stmt::Kind::Do:
+        processBody(cast<DoStmt>(&S)->body());
+        Out.push_back(std::move(SP));
+        break;
+      case Stmt::Kind::Repeat:
+        processBody(cast<RepeatStmt>(&S)->body());
+        Out.push_back(std::move(SP));
+        break;
+      case Stmt::Kind::If:
+        processBody(cast<IfStmt>(&S)->thenBody());
+        processBody(cast<IfStmt>(&S)->elseBody());
+        Out.push_back(std::move(SP));
+        break;
+      case Stmt::Kind::Where:
+        processBody(cast<WhereStmt>(&S)->thenBody());
+        processBody(cast<WhereStmt>(&S)->elseBody());
+        Out.push_back(std::move(SP));
+        break;
+      case Stmt::Kind::Forall:
+        processBody(cast<ForallStmt>(&S)->body());
+        Out.push_back(std::move(SP));
+        break;
+      default:
+        Out.push_back(std::move(SP));
+        break;
+      }
+    }
+    Stmts = std::move(Out);
+  }
+
+private:
+  Program &P;
+  Builder B;
+};
+
+} // namespace
+
+int transform::introduceGuards(Program &P) {
+  GuardIntroducer G(P);
+  G.processBody(P.body());
+  return G.Count;
+}

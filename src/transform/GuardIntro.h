@@ -1,0 +1,45 @@
+//===- transform/GuardIntro.h - Guard flags (Fig. 9) -----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Since we do not know whether the evaluation of test_l has any side
+/// effects, we introduce flags t_l to store the results of evaluating
+/// the conditions" (Sec. 4, Fig. 9). Rewrites each WHILE loop
+///
+/// \code
+///   WHILE (test) { BODY }
+/// \endcode
+///
+/// into
+///
+/// \code
+///   t = test
+///   WHILE (t) { BODY ; t = test }
+/// \endcode
+///
+/// so the guard value is a plain flag and the test expression is
+/// evaluated exactly as often, and in the same order, as before - the
+/// invariant the flattener then preserves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TRANSFORM_GUARDINTRO_H
+#define SIMDFLAT_TRANSFORM_GUARDINTRO_H
+
+#include "ir/Program.h"
+
+namespace simdflat {
+namespace transform {
+
+/// Introduces guard flags for every WHILE loop in \p P (innermost
+/// first). Returns the number of loops rewritten. Run normalizeLoops
+/// first to cover DO and REPEAT loops.
+int introduceGuards(ir::Program &P);
+
+} // namespace transform
+} // namespace simdflat
+
+#endif // SIMDFLAT_TRANSFORM_GUARDINTRO_H

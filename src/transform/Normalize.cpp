@@ -1,0 +1,100 @@
+//===- transform/Normalize.cpp --------------------------------*- C++ -*-===//
+
+#include "transform/Normalize.h"
+
+#include "analysis/NormalForm.h"
+#include "ir/Builder.h"
+#include "ir/Walk.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::transform;
+using namespace simdflat::ir;
+
+namespace {
+
+class Normalizer {
+public:
+  Normalizer(Program &P, const NormalizeOptions &Opts) : P(P), B(P),
+                                                         Opts(Opts) {}
+
+  int Count = 0;
+
+  void normalizeBody(Body &Stmts) {
+    Body Out;
+    for (StmtPtr &SP : Stmts) {
+      Stmt &S = *SP;
+      switch (S.kind()) {
+      case Stmt::Kind::Do: {
+        auto *D = cast<DoStmt>(&S);
+        normalizeBody(D->body());
+        if (D->isParallel() && Opts.SkipParallel) {
+          Out.push_back(std::move(SP));
+          break;
+        }
+        auto NF = analysis::normalFormOf(*D, P);
+        if (!NF) { // e.g. variable step: leave as-is
+          Out.push_back(std::move(SP));
+          break;
+        }
+        ++Count;
+        for (StmtPtr &I : NF->Init)
+          Out.push_back(std::move(I));
+        Body WB = std::move(NF->BodyStmts);
+        for (StmtPtr &I : NF->Increment)
+          WB.push_back(std::move(I));
+        Out.push_back(B.whileLoop(std::move(NF->Test), std::move(WB)));
+        break;
+      }
+      case Stmt::Kind::Repeat: {
+        auto *R = cast<RepeatStmt>(&S);
+        normalizeBody(R->body());
+        ++Count;
+        // Peel the first execution: B ; WHILE (.NOT. c) { B }.
+        Body First = cloneBody(R->body());
+        for (StmtPtr &I : First)
+          Out.push_back(std::move(I));
+        Out.push_back(B.whileLoop(
+            B.lnot(cloneExpr(R->untilCond())), cloneBody(R->body())));
+        break;
+      }
+      case Stmt::Kind::While:
+        normalizeBody(cast<WhileStmt>(&S)->body());
+        Out.push_back(std::move(SP));
+        break;
+      case Stmt::Kind::If:
+        normalizeBody(cast<IfStmt>(&S)->thenBody());
+        normalizeBody(cast<IfStmt>(&S)->elseBody());
+        Out.push_back(std::move(SP));
+        break;
+      case Stmt::Kind::Where:
+        normalizeBody(cast<WhereStmt>(&S)->thenBody());
+        normalizeBody(cast<WhereStmt>(&S)->elseBody());
+        Out.push_back(std::move(SP));
+        break;
+      case Stmt::Kind::Forall:
+        normalizeBody(cast<ForallStmt>(&S)->body());
+        Out.push_back(std::move(SP));
+        break;
+      default:
+        Out.push_back(std::move(SP));
+        break;
+      }
+    }
+    Stmts = std::move(Out);
+  }
+
+private:
+  Program &P;
+  Builder B;
+  const NormalizeOptions &Opts;
+};
+
+} // namespace
+
+int transform::normalizeLoops(Program &P, NormalizeOptions Opts) {
+  Normalizer N(P, Opts);
+  N.normalizeBody(P.body());
+  return N.Count;
+}

@@ -1,0 +1,40 @@
+//===- transform/Normalize.h - Loop normalization (Fig. 8) -----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites every loop into the conservative pre-test normal form of
+/// Fig. 8: `init; WHILE (test) { BODY; increment }`. Counted DO loops
+/// expand their three phases; post-test REPEAT loops peel the first
+/// body execution so the residual loop pre-tests. This pass exists to
+/// present and test the paper's normalization stage explicitly; the
+/// flattener extracts the same phases non-destructively through
+/// analysis::normalFormOf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TRANSFORM_NORMALIZE_H
+#define SIMDFLAT_TRANSFORM_NORMALIZE_H
+
+#include "ir/Program.h"
+
+namespace simdflat {
+namespace transform {
+
+/// Options for normalizeLoops.
+struct NormalizeOptions {
+  /// Keep DOALL loops intact (their parallel marker has no WHILE
+  /// equivalent); only their bodies are normalized.
+  bool SkipParallel = true;
+};
+
+/// Normalizes all loops in \p P in place. Returns the number of loops
+/// rewritten.
+int normalizeLoops(ir::Program &P, NormalizeOptions Opts = {});
+
+} // namespace transform
+} // namespace simdflat
+
+#endif // SIMDFLAT_TRANSFORM_NORMALIZE_H

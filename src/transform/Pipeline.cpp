@@ -1,0 +1,66 @@
+//===- transform/Pipeline.cpp ---------------------------------*- C++ -*-===//
+
+#include "transform/Pipeline.h"
+
+#include "frontend/GotoRecovery.h"
+#include "ir/Verify.h"
+#include "ir/Walk.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "transform/Simdize.h"
+#include "transform/Simplify.h"
+
+using namespace simdflat;
+using namespace simdflat::transform;
+
+std::string PipelineReport::summary() const {
+  std::string Out;
+  if (GotoLoopsRecovered > 0)
+    Out += formatf("recovered %d GOTO loop(s)\n", GotoLoopsRecovered);
+  if (Flattened)
+    Out += formatf("flattened at the %s level\n",
+                   flattenLevelName(LevelApplied));
+  else if (!FlattenSkipReason.empty())
+    Out += "not flattened: " + FlattenSkipReason + "\n";
+  Out += "SIMDized\n";
+  return Out;
+}
+
+ir::Program transform::compileForSimd(const ir::Program &P,
+                                      PipelineOptions Opts,
+                                      PipelineReport *Report) {
+  PipelineReport Local;
+  PipelineReport &R = Report ? *Report : Local;
+
+  ir::Program Work = ir::cloneProgram(P);
+  R.GotoLoopsRecovered = frontend::recoverGotoLoops(Work);
+
+  if (Opts.Flatten) {
+    FlattenOptions FOpts;
+    FOpts.Force = Opts.ForceLevel;
+    FOpts.AssumeInnerMinOneTrip = Opts.AssumeInnerMinOneTrip;
+    FOpts.CheckSafety = Opts.CheckSafety;
+    FOpts.DistributeOuter = Opts.Layout;
+    FlattenResult FR = flattenNest(Work, FOpts);
+    R.Flattened = FR.Changed;
+    R.LevelApplied = FR.Applied;
+    if (!FR.Changed)
+      R.FlattenSkipReason = FR.Reason;
+  }
+
+  SimdizeOptions SOpts;
+  SOpts.DoAllLayout = Opts.Layout;
+  ir::Program Out = simdize(Work, SOpts);
+  simplifyProgram(Out);
+
+  // A transformation that produced an ill-formed tree is a compiler
+  // bug; fail loudly rather than mis-execute.
+  std::vector<std::string> Issues = ir::verifyProgram(Out);
+  if (!Issues.empty()) {
+    std::string Msg = "pipeline produced an invalid program:";
+    for (const std::string &I : Issues)
+      Msg += "\n  " + I;
+    reportFatalError(Msg);
+  }
+  return Out;
+}

@@ -1,0 +1,58 @@
+//===- transform/Pipeline.h - One-call compilation driver ------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole Sec. 6 story as one entry point: given an F77(D) program,
+/// recover GOTO loops, verify safety, flatten the parallel nest at the
+/// best valid level, distribute the induction per the machine layout,
+/// and SIMDize - producing the program the SIMD interpreter executes,
+/// plus a report of what each stage decided (for tools and logs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TRANSFORM_PIPELINE_H
+#define SIMDFLAT_TRANSFORM_PIPELINE_H
+
+#include "machine/Machine.h"
+#include "transform/Flatten.h"
+
+namespace simdflat {
+namespace transform {
+
+/// Options for compileForSimd.
+struct PipelineOptions {
+  /// Lane layout for the parallel dimension (match the target machine).
+  machine::Layout Layout = machine::Layout::Cyclic;
+  /// Skip flattening (produce the Fig. 5/14 unflattened SIMD program).
+  bool Flatten = true;
+  /// Forwarded to flattenNest.
+  std::optional<FlattenLevel> ForceLevel;
+  bool AssumeInnerMinOneTrip = false;
+  bool CheckSafety = true;
+};
+
+/// What the pipeline did.
+struct PipelineReport {
+  int GotoLoopsRecovered = 0;
+  bool Flattened = false;
+  FlattenLevel LevelApplied = FlattenLevel::General;
+  /// Non-empty when flattening was requested but skipped.
+  std::string FlattenSkipReason;
+
+  /// Human-readable one-liner per stage.
+  std::string summary() const;
+};
+
+/// Runs the full pipeline on a copy of \p P and returns the F90simd
+/// program. \p Report (optional) receives the stage decisions.
+ir::Program compileForSimd(const ir::Program &P,
+                           PipelineOptions Opts = {},
+                           PipelineReport *Report = nullptr);
+
+} // namespace transform
+} // namespace simdflat
+
+#endif // SIMDFLAT_TRANSFORM_PIPELINE_H

@@ -1,0 +1,37 @@
+//===- transform/Simplify.h - Algebraic cleanup ----------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constant folding and identity elimination over the IR. The
+/// SIMDization rewrites generate index arithmetic like
+/// `1 + (LANEINDEX() - 1)` and `1 + ((blk - 1) * NUMLANES() +
+/// LANEINDEX() - 1)`; this pass folds the literal fringe so the emitted
+/// programs read like the paper's figures (and cost fewer vector
+/// instructions on the simulated machine). Rules only ever drop
+/// *literal* subtrees, so calls and other effects are preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TRANSFORM_SIMPLIFY_H
+#define SIMDFLAT_TRANSFORM_SIMPLIFY_H
+
+#include "ir/Program.h"
+
+namespace simdflat {
+namespace transform {
+
+/// Simplifies one expression tree (consuming it). Applied bottom-up to
+/// a fixpoint.
+ir::ExprPtr simplifyExpr(ir::ExprPtr E);
+
+/// Simplifies every expression in \p P and folds constant-condition
+/// IF/WHERE statements. Returns the number of rewrites applied.
+int simplifyProgram(ir::Program &P);
+
+} // namespace transform
+} // namespace simdflat
+
+#endif // SIMDFLAT_TRANSFORM_SIMPLIFY_H

@@ -1,0 +1,90 @@
+//===- workloads/Mandelbrot.cpp -------------------------------*- C++ -*-===//
+
+#include "workloads/Mandelbrot.h"
+
+#include "ir/Builder.h"
+
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+std::vector<int64_t>
+workloads::mandelbrotIterations(const MandelbrotSpec &Spec) {
+  std::vector<int64_t> Out;
+  Out.reserve(static_cast<size_t>(Spec.numPixels()));
+  double DX = (Spec.XMax - Spec.XMin) / static_cast<double>(Spec.Width);
+  double DY = (Spec.YMax - Spec.YMin) / static_cast<double>(Spec.Height);
+  for (int64_t P = 0; P < Spec.numPixels(); ++P) {
+    double CX = Spec.XMin + static_cast<double>(P % Spec.Width) * DX;
+    double CY = Spec.YMin + static_cast<double>(P / Spec.Width) * DY;
+    double ZX = 0.0, ZY = 0.0;
+    int64_t It = 0;
+    while (It < Spec.MaxIter && ZX * ZX + ZY * ZY <= 4.0) {
+      double Tmp = ZX * ZX - ZY * ZY + CX;
+      ZY = 2.0 * ZX * ZY + CY;
+      ZX = Tmp;
+      ++It;
+    }
+    Out.push_back(It);
+  }
+  return Out;
+}
+
+ir::Program workloads::mandelbrotF77(const MandelbrotSpec &Spec) {
+  assert(Spec.MaxIter >= 1 && "MaxIter must be positive");
+  Program P("MANDELBROT");
+  int64_t N = Spec.numPixels();
+  P.addVar("maxIter", ScalarKind::Int);
+  P.addVar("p", ScalarKind::Int);
+  P.addVar("it", ScalarKind::Int);
+  P.addVar("cx", ScalarKind::Real);
+  P.addVar("cy", ScalarKind::Real);
+  P.addVar("zx", ScalarKind::Real);
+  P.addVar("zy", ScalarKind::Real);
+  P.addVar("tmp", ScalarKind::Real);
+  P.addVar("IT", ScalarKind::Int, {N}, Dist::Distributed);
+  Builder B(P);
+
+  double DX = (Spec.XMax - Spec.XMin) / static_cast<double>(Spec.Width);
+  double DY = (Spec.YMax - Spec.YMin) / static_cast<double>(Spec.Height);
+
+  Body WhileBody = Builder::body(
+      B.set("tmp", B.add(B.sub(B.mul(B.var("zx"), B.var("zx")),
+                               B.mul(B.var("zy"), B.var("zy"))),
+                         B.var("cx"))),
+      B.set("zy", B.add(B.mul(B.mul(B.lit(2.0), B.var("zx")),
+                              B.var("zy")),
+                        B.var("cy"))),
+      B.set("zx", B.var("tmp")),
+      B.set("it", B.add(B.var("it"), B.lit(1))));
+
+  ExprPtr Cond = B.land(
+      B.lt(B.var("it"), B.var("maxIter")),
+      B.le(B.add(B.mul(B.var("zx"), B.var("zx")),
+                 B.mul(B.var("zy"), B.var("zy"))),
+           B.lit(4.0)));
+
+  // cx = XMin + MOD(p - 1, W) * DX ; cy = YMin + ((p - 1) / W) * DY
+  Body OuterBody = Builder::body(
+      B.set("cx",
+            B.add(B.lit(Spec.XMin),
+                  B.mul(B.mod(B.sub(B.var("p"), B.lit(1)),
+                              B.lit(Spec.Width)),
+                        B.lit(DX)))),
+      B.set("cy",
+            B.add(B.lit(Spec.YMin),
+                  B.mul(B.div(B.sub(B.var("p"), B.lit(1)),
+                              B.lit(Spec.Width)),
+                        B.lit(DY)))),
+      B.set("zx", B.lit(0.0)), B.set("zy", B.lit(0.0)),
+      B.set("it", B.lit(0)),
+      B.whileLoop(std::move(Cond), std::move(WhileBody)),
+      B.assign(B.at("IT", B.var("p")), B.var("it")));
+
+  P.body().push_back(B.doLoop("p", B.lit(1), B.lit(N),
+                              std::move(OuterBody), nullptr,
+                              /*IsParallel=*/true));
+  return P;
+}

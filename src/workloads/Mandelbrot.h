@@ -1,0 +1,63 @@
+//===- workloads/Mandelbrot.h - Escape-time workload -----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mandelbrot set as an irregular SIMD workload: per-pixel iteration
+/// counts vary wildly, which is why Tomboulian & Pappas used indirect
+/// addressing to speed it up on SIMD machines - the paper cites their
+/// technique as a special case of loop flattening (Sec. 7). We provide
+/// both a native escape-time evaluator (ground truth) and the F77
+/// kernel (DOALL over pixels, inner WHILE of varying trip count) that
+/// the flattening pipeline consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_WORKLOADS_MANDELBROT_H
+#define SIMDFLAT_WORKLOADS_MANDELBROT_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simdflat {
+namespace workloads {
+
+/// View rectangle and iteration cap.
+struct MandelbrotSpec {
+  int64_t Width = 40;
+  int64_t Height = 32;
+  double XMin = -2.1, XMax = 0.7;
+  double YMin = -1.2, YMax = 1.2;
+  int64_t MaxIter = 64;
+
+  int64_t numPixels() const { return Width * Height; }
+};
+
+/// Ground truth: per-pixel escape iteration counts (1..MaxIter), pixel
+/// order row-major, 0-based vector.
+std::vector<int64_t> mandelbrotIterations(const MandelbrotSpec &Spec);
+
+/// Builds the F77 kernel:
+/// \code
+///   DOALL p = 1, W*H
+///     cx, cy from p ; zx = zy = 0 ; it = 0
+///     WHILE (it < maxIter .AND. zx*zx + zy*zy <= 4.0)
+///       tmp = zx*zx - zy*zy + cx ; zy = 2*zx*zy + cy ; zx = tmp
+///       it = it + 1
+///     ENDWHILE
+///     IT(p) = it
+///   ENDDO
+/// \endcode
+/// Inputs at run time: maxIter. The first loop iteration always runs
+/// (z = 0 is inside the escape circle and MaxIter >= 1), so flattening
+/// may assume one trip.
+ir::Program mandelbrotF77(const MandelbrotSpec &Spec);
+
+} // namespace workloads
+} // namespace simdflat
+
+#endif // SIMDFLAT_WORKLOADS_MANDELBROT_H

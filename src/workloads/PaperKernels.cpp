@@ -1,0 +1,132 @@
+//===- workloads/PaperKernels.cpp ------------------------------*- C++ -*-===//
+
+#include "workloads/PaperKernels.h"
+
+#include "ir/Builder.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+int64_t ExampleSpec::maxL() const {
+  int64_t M = 0;
+  for (int64_t V : L)
+    M = std::max(M, V);
+  return M;
+}
+
+ExampleSpec workloads::paperExampleSpec() {
+  return {8, {4, 1, 2, 1, 1, 3, 1, 3}};
+}
+
+/// Wraps `BodyStmts` in the loop form \p Form iterating \p IndexVar from
+/// 1 while <= \p Limit. The GotoLoop and Repeat forms are post-test and
+/// require Limit >= 1 at run time.
+static StmtPtr makeCountedLoop(Builder &B, LoopForm Form,
+                               const std::string &IndexVar, ExprPtr Limit,
+                               Body BodyStmts, bool IsParallel,
+                               Body &Prologue, int GotoLabel) {
+  switch (Form) {
+  case LoopForm::Do:
+    return B.doLoop(IndexVar, B.lit(1), std::move(Limit),
+                    std::move(BodyStmts), nullptr, IsParallel);
+  case LoopForm::While: {
+    Prologue.push_back(B.set(IndexVar, B.lit(1)));
+    Body WB = std::move(BodyStmts);
+    WB.push_back(B.set(IndexVar, B.add(B.var(IndexVar), B.lit(1))));
+    return B.whileLoop(B.le(B.var(IndexVar), std::move(Limit)),
+                       std::move(WB));
+  }
+  case LoopForm::Repeat: {
+    Prologue.push_back(B.set(IndexVar, B.lit(1)));
+    Body RB = std::move(BodyStmts);
+    RB.push_back(B.set(IndexVar, B.add(B.var(IndexVar), B.lit(1))));
+    return B.repeatUntil(std::move(RB),
+                         B.gt(B.var(IndexVar), std::move(Limit)));
+  }
+  case LoopForm::GotoLoop: {
+    // j = 1; <label> CONTINUE; body; j = j + 1; IF (j <= Limit) GOTO label
+    // The caller splices the returned statements via the prologue trick:
+    // we return the trailing GOTO and push everything before it into
+    // Prologue. GOTO loops cannot nest another statement inside
+    // themselves structurally, so the caller receives a flat sequence.
+    Prologue.push_back(B.set(IndexVar, B.lit(1)));
+    Prologue.push_back(B.label(GotoLabel));
+    for (StmtPtr &S : BodyStmts)
+      Prologue.push_back(std::move(S));
+    Prologue.push_back(B.set(IndexVar, B.add(B.var(IndexVar), B.lit(1))));
+    return B.gotoStmt(GotoLabel, B.le(B.var(IndexVar), std::move(Limit)));
+  }
+  }
+  SIMDFLAT_UNREACHABLE("bad LoopForm");
+}
+
+ir::Program workloads::makeExample(const ExampleSpec &Spec, LoopForm Inner,
+                                   LoopForm Outer) {
+  assert(Spec.K >= 1 && static_cast<int64_t>(Spec.L.size()) == Spec.K &&
+         "spec must provide one inner trip count per outer iteration");
+  Program P("EXAMPLE");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {Spec.K}, Dist::Distributed);
+  P.addVar("X", ScalarKind::Int, {Spec.K, std::max<int64_t>(Spec.maxL(), 1)},
+           Dist::Distributed);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  Builder B(P);
+
+  Body InnerBody = Builder::body(
+      B.assign(B.at("X", B.var("i"), B.var("j")),
+               B.mul(B.var("i"), B.var("j"))));
+
+  Body OuterBody;
+  StmtPtr InnerLoop =
+      makeCountedLoop(B, Inner, "j", B.at("L", B.var("i")),
+                      std::move(InnerBody), /*IsParallel=*/false, OuterBody,
+                      /*GotoLabel=*/20);
+  OuterBody.push_back(std::move(InnerLoop));
+
+  Body TopLevel;
+  StmtPtr OuterLoop =
+      makeCountedLoop(B, Outer, "i", B.var("K"), std::move(OuterBody),
+                      /*IsParallel=*/true, TopLevel, /*GotoLabel=*/10);
+  TopLevel.push_back(std::move(OuterLoop));
+  P.setBody(std::move(TopLevel));
+  return P;
+}
+
+ir::Program workloads::makeExampleImpureGuard(const ExampleSpec &Spec) {
+  assert(Spec.K >= 1 && static_cast<int64_t>(Spec.L.size()) == Spec.K);
+  Program P("EXAMPLE_IMPURE");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {Spec.K}, Dist::Distributed);
+  P.addVar("X", ScalarKind::Int, {Spec.K, std::max<int64_t>(Spec.maxL(), 1)},
+           Dist::Distributed);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addExtern("Bump", ScalarKind::Int, /*Pure=*/false);
+  Builder B(P);
+
+  // DO i = 1, K
+  //   j = 1
+  //   WHILE (Bump() <= L(i))    <- impure guard; Bump() returns j's value
+  //     X(i, j) = i * j         <- and advances internal state.
+  //     j = j + 1
+  //   ENDWHILE
+  // ENDDO
+  Body InnerBody = Builder::body(
+      B.assign(B.at("X", B.var("i"), B.var("j")),
+               B.mul(B.var("i"), B.var("j"))),
+      B.set("j", B.add(B.var("j"), B.lit(1))));
+  StmtPtr InnerLoop = B.whileLoop(
+      B.le(B.callFn("Bump", {}), B.at("L", B.var("i"))), std::move(InnerBody));
+  Body OuterBody =
+      Builder::body(B.set("j", B.lit(1)), std::move(InnerLoop));
+  P.setBody(Builder::body(B.doLoop("i", B.lit(1), B.var("K"),
+                                   std::move(OuterBody), nullptr,
+                                   /*IsParallel=*/true)));
+  return P;
+}

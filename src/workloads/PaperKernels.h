@@ -1,0 +1,73 @@
+//===- workloads/PaperKernels.h - Loop nests from the paper ----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the loop nests that appear as figures in the paper:
+/// EXAMPLE (Fig. 1/2) and GENNEST-shaped nests over arbitrary loop forms.
+/// These are shared by the unit tests, the trace benchmarks and the
+/// examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_WORKLOADS_PAPERKERNELS_H
+#define SIMDFLAT_WORKLOADS_PAPERKERNELS_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simdflat {
+namespace workloads {
+
+/// Problem instance for the EXAMPLE nest: outer trip count K and inner
+/// trip counts L(1:K).
+struct ExampleSpec {
+  int64_t K = 0;
+  std::vector<int64_t> L;
+
+  /// Largest inner trip count (0 for empty L).
+  int64_t maxL() const;
+};
+
+/// The instance used throughout Sec. 3: K = 8, L = 4,1,2,1,1,3,1,3.
+ExampleSpec paperExampleSpec();
+
+/// Which loop form the nest uses; the paper's Sec. 4 requires the
+/// transformation to handle all of them.
+enum class LoopForm {
+  Do,      ///< DO j = 1, L(i)
+  While,   ///< j = 1; WHILE (j <= L(i)) { ...; j = j + 1 }
+  Repeat,  ///< j = 1; REPEAT { ...; j = j + 1 } UNTIL (j > L(i)) - needs L >= 1
+  GotoLoop ///< j = 1; 10 CONTINUE; ...; IF (j <= L(i)) GOTO 10
+};
+
+/// Builds the F77 EXAMPLE program of Fig. 1:
+/// \code
+///   DO i = 1, K          (parallelizable)
+///     DO j = 1, L(i)
+///       X(i, j) = i * j
+///     ENDDO
+///   ENDDO
+/// \endcode
+/// Declares K (control), L(K) and X(K, maxL) (distributed), i, j.
+/// \p Inner selects the syntactic form of the inner loop; \p Outer of the
+/// outer loop (GotoLoop outer not supported for Do/Forall-only callers).
+ir::Program makeExample(const ExampleSpec &Spec,
+                        LoopForm Inner = LoopForm::Do,
+                        LoopForm Outer = LoopForm::Do);
+
+/// Builds a variant of EXAMPLE whose inner loop guard calls an *impure*
+/// extern function `Bump()` (integer, side-effecting): the inner loop is
+/// `WHILE (Bump() <= L(i))`. Used to test that guard introduction
+/// (Fig. 9) preserves the number and order of guard evaluations and that
+/// the Fig. 11/12 optimizations are rejected.
+ir::Program makeExampleImpureGuard(const ExampleSpec &Spec);
+
+} // namespace workloads
+} // namespace simdflat
+
+#endif // SIMDFLAT_WORKLOADS_PAPERKERNELS_H

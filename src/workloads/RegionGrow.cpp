@@ -1,0 +1,75 @@
+//===- workloads/RegionGrow.cpp -------------------------------*- C++ -*-===//
+
+#include "workloads/RegionGrow.h"
+
+#include "ir/Builder.h"
+#include "support/Random.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+std::vector<int64_t> workloads::regionSizes(const RegionGrowSpec &Spec) {
+  assert(Spec.NumRegions >= 1 &&
+         Spec.NumRegions <= Spec.Width * Spec.Height &&
+         "too many regions for the image");
+  Rng R(Spec.Seed);
+  int64_t W = Spec.Width, H = Spec.Height;
+  std::vector<int64_t> Owner(static_cast<size_t>(W * H), -1);
+  std::deque<std::pair<int64_t, int64_t>> Frontier; // (pixel, region)
+
+  // Place distinct random seeds.
+  for (int64_t Reg = 0; Reg < Spec.NumRegions; ++Reg) {
+    int64_t Pix;
+    do {
+      Pix = R.uniformInt(0, W * H - 1);
+    } while (Owner[static_cast<size_t>(Pix)] != -1);
+    Owner[static_cast<size_t>(Pix)] = Reg;
+    Frontier.emplace_back(Pix, Reg);
+  }
+
+  // Multi-source BFS: regions expand one ring per wave.
+  std::vector<int64_t> Sizes(static_cast<size_t>(Spec.NumRegions), 1);
+  while (!Frontier.empty()) {
+    auto [Pix, Reg] = Frontier.front();
+    Frontier.pop_front();
+    int64_t X = Pix % W, Y = Pix / W;
+    const int64_t DX[4] = {1, -1, 0, 0};
+    const int64_t DY[4] = {0, 0, 1, -1};
+    for (int Dir = 0; Dir < 4; ++Dir) {
+      int64_t NX = X + DX[Dir], NY = Y + DY[Dir];
+      if (NX < 0 || NX >= W || NY < 0 || NY >= H)
+        continue;
+      int64_t NPix = NY * W + NX;
+      if (Owner[static_cast<size_t>(NPix)] != -1)
+        continue;
+      Owner[static_cast<size_t>(NPix)] = Reg;
+      Sizes[static_cast<size_t>(Reg)] += 1;
+      Frontier.emplace_back(NPix, Reg);
+    }
+  }
+  return Sizes;
+}
+
+ir::Program workloads::regionGrowF77(int64_t NumRegions, int64_t MaxSize) {
+  Program P("REGIONGROW");
+  P.addVar("nRegions", ScalarKind::Int);
+  P.addVar("r", ScalarKind::Int);
+  P.addVar("s", ScalarKind::Int);
+  P.addVar("SIZE", ScalarKind::Int, {NumRegions}, Dist::Distributed);
+  P.addVar("GROWN", ScalarKind::Int, {NumRegions}, Dist::Distributed);
+  (void)MaxSize;
+  Builder B(P);
+  Body Inner = Builder::body(B.assign(
+      B.at("GROWN", B.var("r")),
+      B.add(B.at("GROWN", B.var("r")), B.var("s"))));
+  Body Outer = Builder::body(
+      B.doLoop("s", B.lit(1), B.at("SIZE", B.var("r")), std::move(Inner)));
+  P.body().push_back(B.doLoop("r", B.lit(1), B.var("nRegions"),
+                              std::move(Outer), nullptr,
+                              /*IsParallel=*/true));
+  return P;
+}

@@ -1,0 +1,57 @@
+//===- workloads/RegionGrow.h - Image region growing -----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Sec. 1 motivating citation (Willebeek-LeMair & Reeves, region
+/// growing on the MPP): "the complexity of each iteration in the SIMD
+/// environment is dominated by the largest region in the image". We
+/// synthesize an image segmentation by multi-seed BFS flood fill; each
+/// region's pixel count becomes the trip count of its growth loop, and
+/// the growth kernel is the same outer-parallel / inner-varying nest the
+/// paper studies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_WORKLOADS_REGIONGROW_H
+#define SIMDFLAT_WORKLOADS_REGIONGROW_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simdflat {
+namespace workloads {
+
+/// Synthetic image segmentation parameters.
+struct RegionGrowSpec {
+  int64_t Width = 96;
+  int64_t Height = 96;
+  int64_t NumRegions = 48;
+  uint64_t Seed = 1990; // Frontiers '90
+};
+
+/// Segments the image by breadth-first growth from randomly placed
+/// seeds (seeds expand at uniform speed; randomly sized Voronoi-like
+/// cells result). Returns per-region pixel counts; all counts are >= 1
+/// and sum to Width*Height.
+std::vector<int64_t> regionSizes(const RegionGrowSpec &Spec);
+
+/// Builds the F77 growth kernel: each region r grows for SIZE(r) steps,
+/// accumulating its perimeter-merge work into GROWN(r).
+/// \code
+///   DOALL r = 1, nRegions
+///     DO s = 1, SIZE(r)
+///       GROWN(r) = GROWN(r) + s
+///     ENDDO
+///   ENDDO
+/// \endcode
+ir::Program regionGrowF77(int64_t NumRegions, int64_t MaxSize);
+
+} // namespace workloads
+} // namespace simdflat
+
+#endif // SIMDFLAT_WORKLOADS_REGIONGROW_H

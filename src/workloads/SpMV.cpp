@@ -1,0 +1,115 @@
+//===- workloads/SpMV.cpp -------------------------------------*- C++ -*-===//
+
+#include "workloads/SpMV.h"
+
+#include "ir/Builder.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+int64_t CsrMatrix::maxRowLength() const {
+  int64_t M = 0;
+  for (int64_t R = 1; R <= Rows; ++R)
+    M = std::max(M, rowLength(R));
+  return M;
+}
+
+std::vector<int64_t> CsrMatrix::rowLengths() const {
+  std::vector<int64_t> Out;
+  Out.reserve(static_cast<size_t>(Rows));
+  for (int64_t R = 1; R <= Rows; ++R)
+    Out.push_back(rowLength(R));
+  return Out;
+}
+
+std::vector<double> CsrMatrix::multiply(const std::vector<double> &X) const {
+  assert(static_cast<int64_t>(X.size()) == Cols && "dimension mismatch");
+  std::vector<double> Y(static_cast<size_t>(Rows), 0.0);
+  for (int64_t R = 1; R <= Rows; ++R)
+    for (int64_t K = RowPtr[static_cast<size_t>(R - 1)];
+         K < RowPtr[static_cast<size_t>(R)]; ++K)
+      Y[static_cast<size_t>(R - 1)] +=
+          Val[static_cast<size_t>(K - 1)] *
+          X[static_cast<size_t>(Col[static_cast<size_t>(K - 1)] - 1)];
+  return Y;
+}
+
+CsrMatrix workloads::makeSparseMatrix(const SpMVSpec &Spec) {
+  assert(Spec.Rows >= 1 && Spec.Cols >= 1 && Spec.MeanRowNnz >= 1);
+  Rng R(Spec.Seed);
+  CsrMatrix M;
+  M.Rows = Spec.Rows;
+  M.Cols = Spec.Cols;
+  M.RowPtr.push_back(1);
+  for (int64_t Row = 1; Row <= Spec.Rows; ++Row) {
+    // Power-law row length (graph-like degree distribution).
+    double U = std::max(R.uniformReal(), 1e-9);
+    int64_t Len = static_cast<int64_t>(std::llround(
+        0.45 * static_cast<double>(Spec.MeanRowNnz) * std::pow(U, -0.55)));
+    Len = std::clamp<int64_t>(Len, 1, Spec.Cols);
+    std::set<int64_t> Cols;
+    // Diagonal element first (keeps every row nonempty and the matrix
+    // banded-ish like a mesh).
+    Cols.insert(std::min(Row, Spec.Cols));
+    while (static_cast<int64_t>(Cols.size()) < Len) {
+      int64_t C;
+      if (R.chance(0.7)) {
+        // Band neighbor.
+        C = std::min(Row, Spec.Cols) + R.uniformInt(-8, 8);
+      } else {
+        // Long-range coupling.
+        C = R.uniformInt(1, Spec.Cols);
+      }
+      if (C >= 1 && C <= Spec.Cols)
+        Cols.insert(C);
+    }
+    for (int64_t C : Cols) {
+      M.Col.push_back(C);
+      M.Val.push_back(R.uniformReal(-1.0, 1.0));
+    }
+    M.RowPtr.push_back(static_cast<int64_t>(M.Col.size()) + 1);
+  }
+  return M;
+}
+
+ir::Program workloads::spmvF77(int64_t MaxRows, int64_t MaxNnz) {
+  Program P("SPMV");
+  P.addVar("nRows", ScalarKind::Int);
+  P.addVar("r", ScalarKind::Int);
+  P.addVar("k2", ScalarKind::Int);
+  P.addVar("k", ScalarKind::Int);
+  P.addVar("len", ScalarKind::Int);
+  P.addVar("rowPtr", ScalarKind::Int, {MaxRows + 1}, Dist::Distributed);
+  P.addVar("col", ScalarKind::Int, {MaxNnz}, Dist::Distributed);
+  P.addVar("val", ScalarKind::Real, {MaxNnz}, Dist::Distributed);
+  P.addVar("x", ScalarKind::Real, {MaxRows}, Dist::Distributed);
+  P.addVar("y", ScalarKind::Real, {MaxRows}, Dist::Distributed);
+  Builder B(P);
+
+  // len = rowPtr(r+1) - rowPtr(r)
+  // DO k2 = 1, len:
+  //   k = rowPtr(r) + k2 - 1
+  //   y(r) = y(r) + val(k) * x(col(k))
+  Body Inner = Builder::body(
+      B.set("k", B.sub(B.add(B.at("rowPtr", B.var("r")), B.var("k2")),
+                       B.lit(1))),
+      B.assign(B.at("y", B.var("r")),
+               B.add(B.at("y", B.var("r")),
+                     B.mul(B.at("val", B.var("k")),
+                           B.at("x", B.at("col", B.var("k")))))));
+  Body Outer = Builder::body(
+      B.set("len", B.sub(B.at("rowPtr", B.add(B.var("r"), B.lit(1))),
+                         B.at("rowPtr", B.var("r")))),
+      B.doLoop("k2", B.lit(1), B.var("len"), std::move(Inner)));
+  P.body().push_back(B.doLoop("r", B.lit(1), B.var("nRows"),
+                              std::move(Outer), nullptr,
+                              /*IsParallel=*/true));
+  return P;
+}

@@ -1,0 +1,84 @@
+//===- workloads/SpMV.h - Sparse matrix-vector product ---------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSR sparse matrix-vector multiply: the canonical irregular kernel of
+/// the Krylov-solver work the paper cites (Berryman/Saltz on the CM-2,
+/// refs [2, 19]). Row lengths vary wildly in real matrices, so the
+/// row-parallel nest
+///
+/// \code
+///   DOALL r = 1, nRows
+///     DO k = rowPtr(r), rowPtr(r+1) - 1
+///       y(r) = y(r) + val(k) * x(col(k))
+///     ENDDO
+///   ENDDO
+/// \endcode
+///
+/// is exactly the paper's shape, with *indirect addressing* in the body
+/// (the x(col(k)) gather) on top. We synthesize matrices with power-law
+/// row lengths (mesh/graph-like) and run the kernel through the full
+/// pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_WORKLOADS_SPMV_H
+#define SIMDFLAT_WORKLOADS_SPMV_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace simdflat {
+namespace workloads {
+
+/// A CSR matrix with double values.
+struct CsrMatrix {
+  int64_t Rows = 0;
+  int64_t Cols = 0;
+  /// 1-based CSR: row r's entries are RowPtr[r-1] .. RowPtr[r]-1
+  /// (1-based positions into Col/Val); RowPtr has Rows+1 entries.
+  std::vector<int64_t> RowPtr;
+  std::vector<int64_t> Col; ///< 1-based column ids
+  std::vector<double> Val;
+
+  int64_t nnz() const { return static_cast<int64_t>(Col.size()); }
+  int64_t rowLength(int64_t R) const {
+    return RowPtr[static_cast<size_t>(R)] -
+           RowPtr[static_cast<size_t>(R - 1)];
+  }
+  /// Largest row length.
+  int64_t maxRowLength() const;
+  /// Per-row lengths (for profitability analysis).
+  std::vector<int64_t> rowLengths() const;
+
+  /// y = A x computed directly in C++ (the oracle).
+  std::vector<double> multiply(const std::vector<double> &X) const;
+};
+
+/// Parameters of the synthetic matrix.
+struct SpMVSpec {
+  int64_t Rows = 256;
+  int64_t Cols = 256;
+  /// Mean nonzeros per row; actual lengths follow a power law with a
+  /// diagonal band (graph/mesh-like).
+  int64_t MeanRowNnz = 8;
+  uint64_t Seed = 2;
+};
+
+/// Builds a synthetic power-law CSR matrix. Every row has at least one
+/// entry (the diagonal), columns are sorted and distinct per row.
+CsrMatrix makeSparseMatrix(const SpMVSpec &Spec);
+
+/// Builds the F77 SpMV kernel for matrices up to \p MaxNnz nonzeros.
+/// Runtime inputs: nRows, rowPtr, col, val, x.
+ir::Program spmvF77(int64_t MaxRows, int64_t MaxNnz);
+
+} // namespace workloads
+} // namespace simdflat
+
+#endif // SIMDFLAT_WORKLOADS_SPMV_H

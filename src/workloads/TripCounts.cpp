@@ -1,0 +1,86 @@
+//===- workloads/TripCounts.cpp -------------------------------*- C++ -*-===//
+
+#include "workloads/TripCounts.h"
+
+#include "support/Error.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace simdflat;
+using namespace simdflat::workloads;
+
+const char *workloads::tripDistName(TripDist D) {
+  switch (D) {
+  case TripDist::Constant:
+    return "constant";
+  case TripDist::Uniform:
+    return "uniform";
+  case TripDist::Geometric:
+    return "geometric";
+  case TripDist::Bimodal:
+    return "bimodal";
+  case TripDist::Zipf:
+    return "zipf";
+  }
+  SIMDFLAT_UNREACHABLE("bad TripDist");
+}
+
+std::vector<int64_t> workloads::generateTripCounts(TripDist D, int64_t K,
+                                                   int64_t Mean,
+                                                   uint64_t Seed) {
+  assert(K >= 1 && Mean >= 1 && "degenerate workload");
+  Rng R(Seed);
+  std::vector<int64_t> Out;
+  Out.reserve(static_cast<size_t>(K));
+  switch (D) {
+  case TripDist::Constant:
+    Out.assign(static_cast<size_t>(K), Mean);
+    return Out;
+  case TripDist::Uniform:
+    for (int64_t I = 0; I < K; ++I)
+      Out.push_back(R.uniformInt(1, 2 * Mean - 1));
+    return Out;
+  case TripDist::Geometric: {
+    // P(X = k) = p (1-p)^(k-1), k >= 1, mean = 1/p.
+    double P = 1.0 / static_cast<double>(Mean);
+    for (int64_t I = 0; I < K; ++I) {
+      double U = R.uniformReal();
+      if (U >= 1.0)
+        U = 1.0 - 1e-12;
+      int64_t V = 1 + static_cast<int64_t>(std::floor(
+                          std::log1p(-U) / std::log1p(-P)));
+      Out.push_back(std::max<int64_t>(1, V));
+    }
+    return Out;
+  }
+  case TripDist::Bimodal: {
+    // 90% light (1), 10% heavy so the mean still lands at Mean.
+    int64_t Heavy = std::max<int64_t>(
+        1, static_cast<int64_t>(std::llround(
+               (static_cast<double>(Mean) - 0.9) / 0.1)));
+    for (int64_t I = 0; I < K; ++I)
+      Out.push_back(R.chance(0.1) ? Heavy : 1);
+    return Out;
+  }
+  case TripDist::Zipf: {
+    // Row count for rank r is proportional to 1/r^1.2, scaled so the
+    // mean matches, then shuffled so ranks do not correlate with lanes.
+    const double S = 1.2;
+    double Norm = 0.0;
+    for (int64_t I = 1; I <= K; ++I)
+      Norm += 1.0 / std::pow(static_cast<double>(I), S);
+    double Scale =
+        static_cast<double>(Mean) * static_cast<double>(K) / Norm;
+    for (int64_t I = 1; I <= K; ++I)
+      Out.push_back(std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(
+                 Scale / std::pow(static_cast<double>(I), S)))));
+    R.shuffle(Out);
+    return Out;
+  }
+  }
+  SIMDFLAT_UNREACHABLE("bad TripDist");
+}

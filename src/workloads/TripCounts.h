@@ -1,0 +1,48 @@
+//===- workloads/TripCounts.h - Inner trip-count generators ----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parametric inner-trip-count distributions for the variance ablation
+/// (the paper's conclusion: "the relative performance difference ...
+/// will depend on the variance of the cost of the inner loops").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_WORKLOADS_TRIPCOUNTS_H
+#define SIMDFLAT_WORKLOADS_TRIPCOUNTS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace simdflat {
+namespace workloads {
+
+/// Shape of the trip-count distribution. All generators produce strictly
+/// positive counts with (approximately) the requested mean.
+enum class TripDist {
+  Constant,  ///< zero variance: flattening's break-even case
+  Uniform,   ///< uniform on [1, 2*mean - 1]
+  Geometric, ///< memoryless decay, long tail
+  Bimodal,   ///< 90% tiny rows, 10% heavy rows
+  Zipf,      ///< power-law row weights
+};
+
+/// Printable name of \p D.
+const char *tripDistName(TripDist D);
+
+/// All distributions, for parameter sweeps.
+inline const TripDist AllTripDists[] = {
+    TripDist::Constant, TripDist::Uniform, TripDist::Geometric,
+    TripDist::Bimodal, TripDist::Zipf};
+
+/// Generates \p K trip counts with target mean \p Mean (>= 1).
+std::vector<int64_t> generateTripCounts(TripDist D, int64_t K, int64_t Mean,
+                                        uint64_t Seed);
+
+} // namespace workloads
+} // namespace simdflat
+
+#endif // SIMDFLAT_WORKLOADS_TRIPCOUNTS_H

@@ -1,0 +1,99 @@
+//===- tests/analysis/LoopNestsTest.cpp ------------------------*- C++ -*-===//
+
+#include "analysis/LoopNests.h"
+
+#include "ir/Builder.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+namespace {
+
+TEST(LoopNests, PaperExampleTree) {
+  Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  std::vector<LoopNestNode> Roots = findLoopNests(Ex);
+  ASSERT_EQ(Roots.size(), 1u);
+  EXPECT_EQ(Roots[0].Kind, "DOALL");
+  EXPECT_EQ(Roots[0].IndexVar, "i");
+  EXPECT_TRUE(Roots[0].Parallel);
+  EXPECT_TRUE(Roots[0].FlattenableShape);
+  EXPECT_EQ(Roots[0].depth(), 2);
+  ASSERT_EQ(Roots[0].Children.size(), 1u);
+  EXPECT_EQ(Roots[0].Children[0].Kind, "DO");
+  EXPECT_EQ(Roots[0].Children[0].depth(), 1);
+  EXPECT_FALSE(Roots[0].Children[0].FlattenableShape); // no child loop
+}
+
+TEST(LoopNests, RenderTree) {
+  Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  std::string Out = renderLoopNests(findLoopNests(Ex));
+  EXPECT_EQ(Out, "DOALL i [depth 2, flattenable shape]\n"
+                 "  DO j [depth 1]\n");
+}
+
+TEST(LoopNests, SiblingsBreakTheShape) {
+  Program P("sib");
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  Body Outer = Builder::body(
+      B.doLoop("j", B.lit(1), B.lit(2),
+               Builder::body(B.set("n", B.var("j")))),
+      B.doLoop("j", B.lit(1), B.lit(3),
+               Builder::body(B.set("n", B.var("j")))));
+  P.body().push_back(
+      B.doLoop("i", B.lit(1), B.lit(4), std::move(Outer), nullptr, true));
+  std::vector<LoopNestNode> Roots = findLoopNests(P);
+  ASSERT_EQ(Roots.size(), 1u);
+  EXPECT_FALSE(Roots[0].FlattenableShape); // two inner loops
+  EXPECT_EQ(Roots[0].Children.size(), 2u);
+}
+
+TEST(LoopNests, LoopsInsideIfAreFoundButNotFlattenable) {
+  Program P("cond");
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  Body Then = Builder::body(B.whileLoop(
+      B.lt(B.var("j"), B.lit(2)),
+      Builder::body(B.set("j", B.add(B.var("j"), B.lit(1))))));
+  Body Outer =
+      Builder::body(B.ifStmt(B.gt(B.var("n"), B.lit(0)), std::move(Then)));
+  P.body().push_back(
+      B.doLoop("i", B.lit(1), B.lit(4), std::move(Outer), nullptr, true));
+  std::vector<LoopNestNode> Roots = findLoopNests(P);
+  ASSERT_EQ(Roots.size(), 1u);
+  // The WHILE is discovered as a child...
+  ASSERT_EQ(Roots[0].Children.size(), 1u);
+  EXPECT_EQ(Roots[0].Children[0].Kind, "WHILE");
+  // ...but the shape is not flattenable (the loop hides inside an IF).
+  EXPECT_FALSE(Roots[0].FlattenableShape);
+}
+
+TEST(LoopNests, DeepNestDepth) {
+  Program P("deep");
+  P.addVar("a", ScalarKind::Int);
+  P.addVar("b", ScalarKind::Int);
+  P.addVar("c", ScalarKind::Int);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  Body Innermost = Builder::body(B.set("n", B.lit(1)));
+  Body Mid = Builder::body(
+      B.doLoop("c", B.lit(1), B.lit(2), std::move(Innermost)));
+  Body Top =
+      Builder::body(B.doLoop("b", B.lit(1), B.lit(2), std::move(Mid)));
+  P.body().push_back(B.doLoop("a", B.lit(1), B.lit(2), std::move(Top)));
+  std::vector<LoopNestNode> Roots = findLoopNests(P);
+  ASSERT_EQ(Roots.size(), 1u);
+  EXPECT_EQ(Roots[0].depth(), 3);
+  EXPECT_TRUE(Roots[0].FlattenableShape);
+  EXPECT_TRUE(Roots[0].Children[0].FlattenableShape);
+}
+
+} // namespace

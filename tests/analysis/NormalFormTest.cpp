@@ -1,0 +1,113 @@
+//===- tests/analysis/NormalFormTest.cpp -----------------------*- C++ -*-===//
+
+#include "analysis/NormalForm.h"
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+namespace {
+
+class NormalFormTest : public ::testing::Test {
+protected:
+  NormalFormTest() : P("t"), B(P) {
+    P.addVar("i", ScalarKind::Int);
+    P.addVar("K", ScalarKind::Int);
+    P.addVar("L", ScalarKind::Int, {8});
+    P.addVar("n", ScalarKind::Int);
+    P.addExtern("Impure", ScalarKind::Int, /*Pure=*/false);
+  }
+  Program P;
+  Builder B;
+};
+
+TEST_F(NormalFormTest, DoLoopPhases) {
+  StmtPtr Loop = B.doLoop("i", B.lit(1), B.var("K"),
+                          Builder::body(B.set("n", B.var("i"))));
+  auto NF = normalFormOf(*Loop, P);
+  ASSERT_TRUE(NF.has_value());
+  ASSERT_EQ(NF->Init.size(), 1u);
+  EXPECT_EQ(printStmt(*NF->Init[0]), "i = 1\n");
+  EXPECT_EQ(printExpr(*NF->Test), "i <= K");
+  ASSERT_EQ(NF->Increment.size(), 1u);
+  EXPECT_EQ(printStmt(*NF->Increment[0]), "i = i + 1\n");
+  ASSERT_NE(NF->Done, nullptr);
+  EXPECT_EQ(printExpr(*NF->Done), "i >= K");
+  EXPECT_EQ(NF->IndexVar, "i");
+  EXPECT_FALSE(NF->PostTest);
+  EXPECT_TRUE(NF->ControlIsPure);
+  EXPECT_FALSE(NF->ProvablyMinOneTrip); // K unknown
+}
+
+TEST_F(NormalFormTest, DoLoopWithStep) {
+  StmtPtr Loop = B.doLoop("i", B.lit(2), B.lit(10),
+                          Builder::body(B.set("n", B.var("i"))), B.lit(3));
+  auto NF = normalFormOf(*Loop, P);
+  ASSERT_TRUE(NF.has_value());
+  EXPECT_EQ(printStmt(*NF->Increment[0]), "i = i + 3\n");
+  EXPECT_EQ(NF->Done, nullptr); // done-test only for unit step
+  EXPECT_TRUE(NF->ProvablyMinOneTrip);
+}
+
+TEST_F(NormalFormTest, NegativeStep) {
+  StmtPtr Loop = B.doLoop("i", B.lit(10), B.lit(1),
+                          Builder::body(B.set("n", B.var("i"))), B.lit(-1));
+  auto NF = normalFormOf(*Loop, P);
+  ASSERT_TRUE(NF.has_value());
+  EXPECT_EQ(printExpr(*NF->Test), "i >= 1");
+  EXPECT_TRUE(NF->ProvablyMinOneTrip);
+}
+
+TEST_F(NormalFormTest, NonLiteralStepRejected) {
+  StmtPtr Loop = B.doLoop("i", B.lit(1), B.lit(10),
+                          Builder::body(B.set("n", B.var("i"))), B.var("n"));
+  EXPECT_FALSE(normalFormOf(*Loop, P).has_value());
+}
+
+TEST_F(NormalFormTest, WhileLoopPhases) {
+  StmtPtr Loop =
+      B.whileLoop(B.le(B.var("i"), B.at("L", B.var("n"))),
+                  Builder::body(B.set("i", B.add(B.var("i"), B.lit(1)))));
+  auto NF = normalFormOf(*Loop, P);
+  ASSERT_TRUE(NF.has_value());
+  EXPECT_TRUE(NF->Init.empty());
+  EXPECT_TRUE(NF->Increment.empty());
+  EXPECT_EQ(printExpr(*NF->Test), "i <= L(n)");
+  EXPECT_EQ(NF->BodyStmts.size(), 1u);
+  EXPECT_EQ(NF->Done, nullptr);
+  EXPECT_FALSE(NF->ProvablyMinOneTrip);
+}
+
+TEST_F(NormalFormTest, RepeatLoopIsPostTest) {
+  StmtPtr Loop = B.repeatUntil(
+      Builder::body(B.set("i", B.add(B.var("i"), B.lit(1)))),
+      B.gt(B.var("i"), B.var("K")));
+  auto NF = normalFormOf(*Loop, P);
+  ASSERT_TRUE(NF.has_value());
+  EXPECT_TRUE(NF->PostTest);
+  EXPECT_TRUE(NF->ProvablyMinOneTrip);
+  EXPECT_EQ(printExpr(*NF->Test), ".NOT. i > K");
+}
+
+TEST_F(NormalFormTest, ImpureGuardDetected) {
+  StmtPtr Loop = B.whileLoop(B.le(B.callFn("Impure", {}), B.var("K")),
+                             Builder::body(B.set("n", B.lit(1))));
+  auto NF = normalFormOf(*Loop, P);
+  ASSERT_TRUE(NF.has_value());
+  EXPECT_FALSE(NF->ControlIsPure);
+}
+
+TEST_F(NormalFormTest, NonLoopRejected) {
+  StmtPtr S = B.set("n", B.lit(1));
+  EXPECT_FALSE(normalFormOf(*S, P).has_value());
+  EXPECT_FALSE(isLoopStmt(*S));
+  StmtPtr W = B.whileLoop(B.lt(B.var("i"), B.lit(2)), {});
+  EXPECT_TRUE(isLoopStmt(*W));
+}
+
+} // namespace

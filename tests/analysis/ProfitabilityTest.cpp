@@ -1,0 +1,119 @@
+//===- tests/analysis/ProfitabilityTest.cpp --------------------*- C++ -*-===//
+
+#include "analysis/Profitability.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+
+namespace {
+
+TEST(Profitability, PaperExampleNumbers) {
+  // Sec. 3: K = 8, L = 4,1,2,1,1,3,1,3, P = 2, block distribution:
+  // TIME_MIMD = 8 (Eq. 1), TIME_SIMD = 12 (Eq. 2).
+  std::vector<int64_t> L = {4, 1, 2, 1, 1, 3, 1, 3};
+  ProfitEstimate E = estimateProfit(L, 2, machine::Layout::Block);
+  EXPECT_EQ(E.FlattenedSteps, 8);
+  EXPECT_EQ(E.UnflattenedSteps, 12);
+  EXPECT_DOUBLE_EQ(E.Speedup, 1.5);
+  EXPECT_DOUBLE_EQ(E.MaxOverAvg, 2.0); // max 4 / avg 2
+}
+
+TEST(Profitability, SpeedupBoundedByMaxOverAvg) {
+  // Sec. 5.5: "the given Lu/Lf ratios are bounded by the
+  // pCntmax/pCntavg ratios." (Exact when the flattened schedule is
+  // perfectly balanced.)
+  std::vector<int64_t> L = {10, 1, 7, 3, 9, 2, 8, 4, 6, 5, 1, 10};
+  for (int64_t P : {1, 2, 3, 4, 6}) {
+    for (auto Layout : {machine::Layout::Block, machine::Layout::Cyclic}) {
+      ProfitEstimate E = estimateProfit(L, P, Layout);
+      EXPECT_LE(E.Speedup, E.MaxOverAvg + 1e-9)
+          << "P=" << P;
+      EXPECT_GE(E.Speedup, 1.0 - 1e-9);
+    }
+  }
+}
+
+TEST(Profitability, ZeroVarianceGivesNoSpeedup) {
+  std::vector<int64_t> L(16, 5);
+  ProfitEstimate E = estimateProfit(L, 4, machine::Layout::Cyclic);
+  EXPECT_EQ(E.FlattenedSteps, E.UnflattenedSteps);
+  EXPECT_DOUBLE_EQ(E.Speedup, 1.0);
+  EXPECT_DOUBLE_EQ(E.MaxOverAvg, 1.0);
+}
+
+TEST(Profitability, SingleProcessorDegenerate) {
+  // P = 1: both schedules execute every iteration: no speedup.
+  std::vector<int64_t> L = {4, 1, 2, 1};
+  ProfitEstimate E = estimateProfit(L, 1, machine::Layout::Block);
+  EXPECT_EQ(E.FlattenedSteps, 8);
+  EXPECT_EQ(E.UnflattenedSteps, 8);
+  EXPECT_DOUBLE_EQ(E.Speedup, 1.0);
+}
+
+TEST(Profitability, EmptyTripCounts) {
+  ProfitEstimate E = estimateProfit({}, 4, machine::Layout::Block);
+  EXPECT_EQ(E.FlattenedSteps, 0);
+  EXPECT_EQ(E.UnflattenedSteps, 0);
+  EXPECT_DOUBLE_EQ(E.Speedup, 1.0);
+}
+
+TEST(Profitability, ZeroTripIterationsAllowed) {
+  std::vector<int64_t> L = {0, 0, 3, 0};
+  ProfitEstimate E = estimateProfit(L, 2, machine::Layout::Block);
+  // Block: proc0 {0,0}=0, proc1 {3,0}=3 -> flattened 3.
+  EXPECT_EQ(E.FlattenedSteps, 3);
+  // Rows: max(0,3)=3, max(0,0)=0 -> 3.
+  EXPECT_EQ(E.UnflattenedSteps, 3);
+}
+
+TEST(Profitability, MoreProcessorsRaiseSpeedupOnSkewedLoad) {
+  // With one heavy iteration per P-block, the unflattened schedule pays
+  // the max every row; flattening lets light lanes catch up.
+  // Period 9 is co-prime with every P below, so the heavy iterations
+  // rotate across lanes instead of piling onto one.
+  std::vector<int64_t> L;
+  for (int I = 0; I < 64; ++I)
+    L.push_back(I % 9 == 0 ? 16 : 1);
+  double PrevSpeedup = 0.0;
+  for (int64_t P : {2, 4, 8}) {
+    ProfitEstimate E = estimateProfit(L, P, machine::Layout::Cyclic);
+    EXPECT_GE(E.Speedup, PrevSpeedup - 1e-9) << "P=" << P;
+    PrevSpeedup = E.Speedup;
+  }
+  EXPECT_GT(PrevSpeedup, 1.5);
+}
+
+TEST(Profitability, MsimdInterpolatesBetweenEq2AndEq1) {
+  std::vector<int64_t> L;
+  for (int I = 0; I < 128; ++I)
+    L.push_back(1 + (I * 37) % 23);
+  for (auto Lay : {machine::Layout::Block, machine::Layout::Cyclic}) {
+    ProfitEstimate E = estimateProfit(L, 16, Lay);
+    EXPECT_EQ(estimateMsimdSteps(L, 16, 1, Lay), E.UnflattenedSteps);
+    EXPECT_EQ(estimateMsimdSteps(L, 16, 16, Lay), E.FlattenedSteps);
+    // Monotone: more program counters never hurt.
+    int64_t Prev = E.UnflattenedSteps;
+    for (int64_t G : {2, 4, 8, 16}) {
+      int64_t S = estimateMsimdSteps(L, 16, G, Lay);
+      EXPECT_LE(S, Prev) << "G=" << G;
+      Prev = S;
+    }
+  }
+}
+
+TEST(Profitability, MsimdPaperExample) {
+  // K = 8, L = 4,1,2,1,1,3,1,3, P = 2, block: G=1 -> 12, G=2 -> 8.
+  std::vector<int64_t> L = {4, 1, 2, 1, 1, 3, 1, 3};
+  EXPECT_EQ(estimateMsimdSteps(L, 2, 1, machine::Layout::Block), 12);
+  EXPECT_EQ(estimateMsimdSteps(L, 2, 2, machine::Layout::Block), 8);
+}
+
+TEST(Profitability, MsimdEmpty) {
+  EXPECT_EQ(estimateMsimdSteps({}, 8, 2, machine::Layout::Cyclic), 0);
+}
+
+} // namespace

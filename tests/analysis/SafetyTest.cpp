@@ -1,0 +1,125 @@
+//===- tests/analysis/SafetyTest.cpp ---------------------------*- C++ -*-===//
+
+#include "analysis/Safety.h"
+
+#include "ir/Builder.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+namespace {
+
+class SafetyTest : public ::testing::Test {
+protected:
+  SafetyTest() : P("t"), B(P) {
+    P.addVar("i", ScalarKind::Int);
+    P.addVar("j", ScalarKind::Int);
+    P.addVar("K", ScalarKind::Int);
+    P.addVar("s", ScalarKind::Int);
+    P.addVar("A", ScalarKind::Int, {8});
+    P.addVar("C", ScalarKind::Int, {8});
+    P.addVar("L", ScalarKind::Int, {8});
+    P.addExtern("Impure", ScalarKind::Int, /*Pure=*/false);
+  }
+
+  SafetyResult check(StmtPtr Loop) {
+    return checkParallelizable(*cast<DoStmt>(Loop.get()), P);
+  }
+
+  Program P;
+  Builder B;
+};
+
+TEST_F(SafetyTest, PaperExampleIsParallelizable) {
+  ir::Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  const auto *Outer = cast<DoStmt>(Ex.body()[0].get());
+  SafetyResult R = checkParallelizable(*Outer, Ex);
+  EXPECT_TRUE(R.Parallelizable) << R.Reason;
+}
+
+TEST_F(SafetyTest, OwnerComputesWrite) {
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.var("K"),
+      Builder::body(B.assign(B.at("A", B.var("i")), B.var("i"))));
+  EXPECT_TRUE(check(std::move(Loop)).Parallelizable);
+}
+
+TEST_F(SafetyTest, ShiftedWriteRejected) {
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.var("K"),
+      Builder::body(
+          B.assign(B.at("A", B.add(B.var("i"), B.lit(1))), B.var("i"))));
+  SafetyResult R = check(std::move(Loop));
+  EXPECT_FALSE(R.Parallelizable);
+  EXPECT_NE(R.Reason.find("A"), std::string::npos);
+}
+
+TEST_F(SafetyTest, ReadOfWrittenArrayAtOtherIndexRejected) {
+  // A(i) = A(i-1): loop-carried flow dependence.
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(2), B.var("K"),
+      Builder::body(B.assign(B.at("A", B.var("i")),
+                             B.at("A", B.sub(B.var("i"), B.lit(1))))));
+  EXPECT_FALSE(check(std::move(Loop)).Parallelizable);
+}
+
+TEST_F(SafetyTest, ReadOnlyArrayAtAnyIndexIsFine) {
+  // A(i) = L(C(i)): indirect read of a read-only array is fine.
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.lit(8),
+      Builder::body(
+          B.assign(B.at("A", B.var("i")), B.at("L", B.at("C", B.var("i"))))));
+  EXPECT_TRUE(check(std::move(Loop)).Parallelizable);
+}
+
+TEST_F(SafetyTest, ScalarReductionRejected) {
+  // s = s + A(i): carried scalar dependence.
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.var("K"),
+      Builder::body(B.set("s", B.add(B.var("s"), B.at("A", B.var("i"))))));
+  SafetyResult R = check(std::move(Loop));
+  EXPECT_FALSE(R.Parallelizable);
+  EXPECT_NE(R.Reason.find("s"), std::string::npos);
+}
+
+TEST_F(SafetyTest, PrivatizableScalarAccepted) {
+  // s = A(i); A(i) = s * 2 - s is defined before use each iteration.
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.lit(8),
+      Builder::body(B.set("s", B.at("A", B.var("i"))),
+                    B.assign(B.at("A", B.var("i")),
+                             B.mul(B.var("s"), B.lit(2)))));
+  EXPECT_TRUE(check(std::move(Loop)).Parallelizable);
+}
+
+TEST_F(SafetyTest, InnerLoopIndexIsPrivate) {
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.lit(8),
+      Builder::body(B.doLoop(
+          "j", B.lit(1), B.at("L", B.var("i")),
+          Builder::body(B.assign(B.at("A", B.var("i")), B.var("j"))))));
+  EXPECT_TRUE(check(std::move(Loop)).Parallelizable);
+}
+
+TEST_F(SafetyTest, ImpureCallRejected) {
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.lit(8),
+      Builder::body(B.assign(B.at("A", B.var("i")),
+                             B.callFn("Impure", {}))));
+  SafetyResult R = check(std::move(Loop));
+  EXPECT_FALSE(R.Parallelizable);
+  EXPECT_NE(R.Reason.find("impure"), std::string::npos);
+}
+
+TEST_F(SafetyTest, IndexModificationRejected) {
+  StmtPtr Loop = B.doLoop(
+      "i", B.lit(1), B.lit(8),
+      Builder::body(B.set("i", B.add(B.var("i"), B.lit(1)))));
+  EXPECT_FALSE(check(std::move(Loop)).Parallelizable);
+}
+
+} // namespace

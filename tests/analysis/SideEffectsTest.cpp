@@ -1,0 +1,78 @@
+//===- tests/analysis/SideEffectsTest.cpp ----------------------*- C++ -*-===//
+
+#include "analysis/SideEffects.h"
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::analysis;
+using namespace simdflat::ir;
+
+namespace {
+
+class SideEffectsTest : public ::testing::Test {
+protected:
+  SideEffectsTest() : P("t"), B(P) {
+    P.addVar("i", ScalarKind::Int);
+    P.addVar("j", ScalarKind::Int);
+    P.addVar("A", ScalarKind::Int, {8});
+    P.addExtern("Pure", ScalarKind::Int, /*Pure=*/true);
+    P.addExtern("Impure", ScalarKind::Int, /*Pure=*/false);
+  }
+  Program P;
+  Builder B;
+};
+
+TEST_F(SideEffectsTest, PureExpressions) {
+  EXPECT_FALSE(exprHasSideEffects(*B.add(B.var("i"), B.lit(1)), P));
+  EXPECT_FALSE(exprHasSideEffects(*B.at("A", B.var("i")), P));
+  EXPECT_FALSE(exprHasSideEffects(*B.callFn("Pure", {}), P));
+}
+
+TEST_F(SideEffectsTest, ImpureCallDetected) {
+  EXPECT_TRUE(exprHasSideEffects(*B.callFn("Impure", {}), P));
+  // Nested deep inside an expression.
+  EXPECT_TRUE(exprHasSideEffects(
+      *B.add(B.lit(1), B.mul(B.callFn("Impure", {}), B.lit(2))), P));
+}
+
+TEST_F(SideEffectsTest, BodyCallsImpure) {
+  Body Pure = Builder::body(B.set("i", B.callFn("Pure", {})));
+  EXPECT_FALSE(bodyCallsImpure(Pure, P));
+  Body Impure = Builder::body(
+      B.ifStmt(B.gt(B.var("i"), B.lit(0)),
+               Builder::body(B.set("j", B.callFn("Impure", {})))));
+  EXPECT_TRUE(bodyCallsImpure(Impure, P));
+}
+
+TEST_F(SideEffectsTest, NamesWritten) {
+  Body Bd = Builder::body(
+      B.set("i", B.lit(1)),
+      B.doLoop("j", B.lit(1), B.lit(4),
+               Builder::body(B.assign(B.at("A", B.var("j")), B.var("j")))));
+  auto W = namesWritten(Bd);
+  EXPECT_TRUE(W.count("i"));
+  EXPECT_TRUE(W.count("j")); // loop index counts as written
+  EXPECT_TRUE(W.count("A"));
+  EXPECT_EQ(W.size(), 3u);
+}
+
+TEST_F(SideEffectsTest, NamesReadInExpr) {
+  auto R = namesRead(*B.add(B.at("A", B.var("i")), B.var("j")));
+  EXPECT_TRUE(R.count("A"));
+  EXPECT_TRUE(R.count("i"));
+  EXPECT_TRUE(R.count("j"));
+}
+
+TEST_F(SideEffectsTest, NamesReadInBody) {
+  Body Bd = Builder::body(
+      B.whileLoop(B.le(B.var("i"), B.lit(4)),
+                  Builder::body(B.set("i", B.add(B.var("i"), B.var("j"))))));
+  auto R = namesRead(Bd);
+  EXPECT_TRUE(R.count("i"));
+  EXPECT_TRUE(R.count("j"));
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/frontend/FrontendEdgeTest.cpp ---------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::frontend;
+
+namespace {
+
+TEST(FrontendEdge, IntFollowedByDotKeyword) {
+  // `1.AND.` must lex as IntLiteral(1) + .AND., not a real literal.
+  Diagnostics D;
+  auto T = tokenize("f = 3 > 1.AND.f", D);
+  EXPECT_TRUE(D.empty()) << D.renderAll();
+  bool SawAnd = false, SawInt = false;
+  for (const Token &Tok : T) {
+    SawAnd |= Tok.Kind == TokKind::DotAnd;
+    SawInt |= Tok.Kind == TokKind::IntLiteral && Tok.IntValue == 1;
+  }
+  EXPECT_TRUE(SawAnd);
+  EXPECT_TRUE(SawInt);
+}
+
+TEST(FrontendEdge, NegativeLiteralInExpression) {
+  ParseResult R = parseProgram("PROGRAM p\nINTEGER i\nBEGIN\n"
+                               "  i = -3 + -i\nEND\n");
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+  EXPECT_EQ(ir::printBody(R.Prog->body()), "i = -3 + -i\n");
+}
+
+TEST(FrontendEdge, NestedRepeatParses) {
+  const char *Src = R"(PROGRAM p
+INTEGER a
+INTEGER b
+BEGIN
+  REPEAT
+    a = a + 1
+    b = 0
+    REPEAT
+      b = b + 1
+    UNTIL (b >= 2)
+  UNTIL (a >= 3)
+END
+)";
+  ParseResult R = parseProgram(Src);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+  std::string Printed = ir::printProgram(*R.Prog);
+  ParseResult R2 = parseProgram(Printed);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(ir::printProgram(*R2.Prog), Printed);
+}
+
+TEST(FrontendEdge, ForallWithoutMask) {
+  ParseResult R = parseProgram("PROGRAM p\nINTEGER e\n"
+                               "DISTRIBUTED INTEGER A(8)\nBEGIN\n"
+                               "  FORALL (e = 1 : 8)\n"
+                               "    A(e) = e\n"
+                               "  ENDFORALL\nEND\n");
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+}
+
+TEST(FrontendEdge, CallWithoutParens) {
+  ParseResult R = parseProgram("PROGRAM p\nEXTERN SUBROUTINE Tick\n"
+                               "BEGIN\n  CALL Tick\nEND\n");
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+}
+
+TEST(FrontendEdge, EmptyBodyProgram) {
+  ParseResult R = parseProgram("PROGRAM empty\nBEGIN\nEND\n");
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+  EXPECT_TRUE(R.Prog->body().empty());
+}
+
+TEST(FrontendEdge, CommentsEverywhere) {
+  const char *Src = "PROGRAM p ! name\n"
+                    "INTEGER i ! counter\n"
+                    "BEGIN ! body starts\n"
+                    "  i = 1 ! set\n"
+                    "END ! done\n";
+  ParseResult R = parseProgram(Src);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+}
+
+TEST(FrontendEdge, KeywordsNotReservedAsPrefixes) {
+  // Identifiers that merely start with keyword letters are fine.
+  ParseResult R = parseProgram("PROGRAM p\nINTEGER dot\nINTEGER whileX\n"
+                               "BEGIN\n  dot = 1\n  whileX = dot\nEND\n");
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+}
+
+TEST(FrontendEdge, MissingParenRecovered) {
+  ParseResult R = parseProgram("PROGRAM p\nINTEGER i\nBEGIN\n"
+                               "  WHILE (i < 2\n  ENDWHILE\n  i = 5\nEND\n");
+  EXPECT_FALSE(R.ok());
+  // But the parser recovered and saw the later assignment.
+  ASSERT_TRUE(R.Prog.has_value());
+  EXPECT_FALSE(R.Prog->body().empty());
+}
+
+TEST(FrontendEdge, DeepNestingRoundTrips) {
+  const char *Src = R"(PROGRAM deep
+INTEGER a
+INTEGER b
+INTEGER c
+LOGICAL f
+BEGIN
+  DO a = 1, 2
+    WHILE (b < 3)
+      IF (f) THEN
+        REPEAT
+          c = c + 1
+        UNTIL (c > 1)
+      ELSE
+        b = b + 1
+      ENDIF
+    ENDWHILE
+  ENDDO
+END
+)";
+  ParseResult R = parseProgram(Src);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+  std::string P1 = ir::printProgram(*R.Prog);
+  ParseResult R2 = parseProgram(P1);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(ir::printProgram(*R2.Prog), P1);
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- tests/frontend/LexerTest.cpp ----------------------------*- C++ -*-===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::frontend;
+
+namespace {
+
+std::vector<Token> lex(const std::string &S) {
+  Diagnostics D;
+  std::vector<Token> T = tokenize(S, D);
+  EXPECT_TRUE(D.empty()) << D.renderAll();
+  return T;
+}
+
+TEST(Lexer, Identifiers) {
+  auto T = lex("foo Bar_9 DOALL");
+  ASSERT_GE(T.size(), 4u);
+  EXPECT_EQ(T[0].Kind, TokKind::Identifier);
+  EXPECT_EQ(T[0].Text, "foo");
+  EXPECT_EQ(T[1].Text, "Bar_9");
+  EXPECT_TRUE(T[2].isKeyword("DOALL"));
+  EXPECT_FALSE(T[2].isKeyword("DO")); // prefix is not a match
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  auto T = lex("while While WHILE");
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(T[static_cast<size_t>(I)].isKeyword("WHILE"));
+}
+
+TEST(Lexer, IntAndRealLiterals) {
+  auto T = lex("42 3.5 2. 1e3 2.5e-2");
+  EXPECT_EQ(T[0].Kind, TokKind::IntLiteral);
+  EXPECT_EQ(T[0].IntValue, 42);
+  EXPECT_EQ(T[1].Kind, TokKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(T[1].RealValue, 3.5);
+  EXPECT_EQ(T[2].Kind, TokKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(T[2].RealValue, 2.0);
+  EXPECT_EQ(T[3].Kind, TokKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(T[3].RealValue, 1000.0);
+  EXPECT_EQ(T[4].Kind, TokKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(T[4].RealValue, 0.025);
+}
+
+TEST(Lexer, Operators) {
+  auto T = lex("= == /= < <= > >= + - * / ( ) , :");
+  TokKind Want[] = {TokKind::Assign, TokKind::Eq,     TokKind::Ne,
+                    TokKind::Lt,     TokKind::Le,     TokKind::Gt,
+                    TokKind::Ge,     TokKind::Plus,   TokKind::Minus,
+                    TokKind::Star,   TokKind::Slash,  TokKind::LParen,
+                    TokKind::RParen, TokKind::Comma,  TokKind::Colon};
+  for (size_t I = 0; I < std::size(Want); ++I)
+    EXPECT_EQ(T[I].Kind, Want[I]) << I;
+}
+
+TEST(Lexer, DotKeywords) {
+  auto T = lex(".AND. .or. .NOT. .TRUE. .false.");
+  EXPECT_EQ(T[0].Kind, TokKind::DotAnd);
+  EXPECT_EQ(T[1].Kind, TokKind::DotOr);
+  EXPECT_EQ(T[2].Kind, TokKind::DotNot);
+  EXPECT_EQ(T[3].Kind, TokKind::DotTrue);
+  EXPECT_EQ(T[4].Kind, TokKind::DotFalse);
+}
+
+TEST(Lexer, NewlinesCollapseAndComments) {
+  auto T = lex("a ! comment here\n\n\nb");
+  ASSERT_EQ(T.size(), 4u); // a, NL, b, EOF
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Kind, TokKind::Newline);
+  EXPECT_EQ(T[2].Text, "b");
+  EXPECT_EQ(T[3].Kind, TokKind::Eof);
+}
+
+TEST(Lexer, SourceLocations) {
+  auto T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1);
+  EXPECT_EQ(T[0].Loc.Col, 1);
+  EXPECT_EQ(T[2].Loc.Line, 2);
+  EXPECT_EQ(T[2].Loc.Col, 3);
+}
+
+TEST(Lexer, BadCharacterReported) {
+  Diagnostics D;
+  auto T = tokenize("a # b", D);
+  EXPECT_EQ(D.count(), 1u);
+  ASSERT_GE(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b"); // '#' skipped
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- tests/interp/MimdInterpTest.cpp -------------------------*- C++ -*-===//
+
+#include "interp/MimdInterp.h"
+
+#include "ir/Builder.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+namespace {
+
+TEST(MimdInterp, PaperExampleEq1) {
+  // Sec. 3 / Eq. 1: with P = 2 and blockwise distribution the MIMD
+  // version needs max(4+1+2+1, 1+3+1+3) = 8 inner iterations.
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  RunOptions Opts;
+  Opts.WorkTargets = {"X"};
+  MimdInterp Interp(P, M, nullptr, /*NumProcs=*/2, machine::Layout::Block,
+                    Opts);
+  MimdRunResult R = Interp.run([&](DataStore &S) {
+    S.setInt("K", Spec.K);
+    S.setIntArray("L", Spec.L);
+  });
+  EXPECT_EQ(R.TimeSteps, 8);
+  ASSERT_EQ(R.PerProc.size(), 2u);
+  EXPECT_EQ(R.PerProc[0].WorkSteps, 8);
+  EXPECT_EQ(R.PerProc[1].WorkSteps, 8);
+}
+
+TEST(MimdInterp, Figure4Trace) {
+  // The exact MIMD execution trace of Fig. 4 (global row numbers; the
+  // paper renames rows 5..8 to a local 1..4 name space on processor 2).
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  RunOptions Opts;
+  Opts.WorkTargets = {"X"};
+  Opts.Watch = {"i", "j"};
+  MimdInterp Interp(P, M, nullptr, 2, machine::Layout::Block, Opts);
+  MimdRunResult R = Interp.run([&](DataStore &S) {
+    S.setInt("K", Spec.K);
+    S.setIntArray("L", Spec.L);
+  });
+  const int64_t Proc1[8][2] = {{1, 1}, {1, 2}, {1, 3}, {1, 4},
+                               {2, 1}, {3, 1}, {3, 2}, {4, 1}};
+  const int64_t Proc2[8][2] = {{5, 1}, {6, 1}, {6, 2}, {6, 3},
+                               {7, 1}, {8, 1}, {8, 2}, {8, 3}};
+  ASSERT_EQ(R.PerProcTrace[0].Steps.size(), 8u);
+  ASSERT_EQ(R.PerProcTrace[1].Steps.size(), 8u);
+  for (size_t S = 0; S < 8; ++S) {
+    EXPECT_EQ(R.PerProcTrace[0].value(S, 0, 0), Proc1[S][0]);
+    EXPECT_EQ(R.PerProcTrace[0].value(S, 1, 0), Proc1[S][1]);
+    EXPECT_EQ(R.PerProcTrace[1].value(S, 0, 0), Proc2[S][0]);
+    EXPECT_EQ(R.PerProcTrace[1].value(S, 1, 0), Proc2[S][1]);
+  }
+}
+
+TEST(MimdInterp, MergedStoreMatchesSequential) {
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  auto Init = [&](DataStore &S) {
+    S.setInt("K", Spec.K);
+    S.setIntArray("L", Spec.L);
+  };
+
+  ScalarInterp Seq(P, M, nullptr);
+  Init(Seq.store());
+  Seq.run();
+
+  for (int64_t Procs : {1, 2, 4, 8}) {
+    for (machine::Layout L :
+         {machine::Layout::Block, machine::Layout::Cyclic}) {
+      MimdInterp Par(P, M, nullptr, Procs, L);
+      MimdRunResult R = Par.run(Init);
+      EXPECT_EQ(R.Merged->getIntArray("X"), Seq.store().getIntArray("X"))
+          << Procs << " procs";
+    }
+  }
+}
+
+TEST(MimdInterp, MoreProcsNeverSlower) {
+  // Perfect-information bound: adding processors cannot increase the
+  // max-of-sums time.
+  ExampleSpec Spec{12, {5, 1, 2, 7, 1, 1, 3, 2, 8, 1, 1, 4}};
+  Program P = makeExample(Spec);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  RunOptions Opts;
+  Opts.WorkTargets = {"X"};
+  auto Init = [&](DataStore &S) {
+    S.setInt("K", Spec.K);
+    S.setIntArray("L", Spec.L);
+  };
+  int64_t Prev = std::numeric_limits<int64_t>::max();
+  for (int64_t Procs : {1, 2, 3, 4, 6, 12}) {
+    MimdInterp Par(P, M, nullptr, Procs, machine::Layout::Block, Opts);
+    MimdRunResult R = Par.run(Init);
+    EXPECT_LE(R.TimeSteps, Prev) << Procs << " procs";
+    Prev = R.TimeSteps;
+  }
+}
+
+TEST(MimdInterp, CyclicPartitioningBalancesSkew) {
+  // All the work is in the first half of the rows: block partitioning
+  // puts it all on processor 0; cyclic spreads it.
+  ExampleSpec Spec{8, {9, 9, 9, 9, 1, 1, 1, 1}};
+  Program P = makeExample(Spec);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  RunOptions Opts;
+  Opts.WorkTargets = {"X"};
+  auto Init = [&](DataStore &S) {
+    S.setInt("K", Spec.K);
+    S.setIntArray("L", Spec.L);
+  };
+  MimdInterp Block(P, M, nullptr, 2, machine::Layout::Block, Opts);
+  MimdInterp Cyclic(P, M, nullptr, 2, machine::Layout::Cyclic, Opts);
+  int64_t BlockTime = Block.run(Init).TimeSteps;
+  int64_t CyclicTime = Cyclic.run(Init).TimeSteps;
+  EXPECT_EQ(BlockTime, 36);
+  EXPECT_EQ(CyclicTime, 20);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+//===- tests/interp/ScalarInterpEdgeTest.cpp -------------------*- C++ -*-===//
+
+#include "interp/ScalarInterp.h"
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+
+namespace {
+
+machine::MachineConfig sparc() { return machine::MachineConfig::sparc2(); }
+
+TEST(ScalarInterpEdge, ForwardConditionalGotoSkips) {
+  // IF (cond) GOTO 10 jumping forward skips the middle statements.
+  Program P("fwd");
+  P.addVar("n", ScalarKind::Int);
+  P.addVar("m", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.set("n", B.lit(1)));
+  P.body().push_back(B.gotoStmt(10, B.gt(B.var("n"), B.lit(0))));
+  P.body().push_back(B.set("m", B.lit(99))); // skipped
+  P.body().push_back(B.label(10));
+  P.body().push_back(B.set("n", B.add(B.var("n"), B.lit(1))));
+  ScalarInterp I(P, sparc(), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getInt("n"), 2);
+  EXPECT_EQ(I.store().getInt("m"), 0);
+}
+
+TEST(ScalarInterpEdge, NotTakenConditionalGotoFallsThrough) {
+  Program P("nt");
+  P.addVar("n", ScalarKind::Int);
+  P.addVar("m", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.gotoStmt(10, B.gt(B.var("n"), B.lit(0))));
+  P.body().push_back(B.set("m", B.lit(5))); // executed: n == 0
+  P.body().push_back(B.label(10));
+  ScalarInterp I(P, sparc(), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getInt("m"), 5);
+}
+
+TEST(ScalarInterpEdge, GotoToMissingLabelAborts) {
+  Program P("miss");
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.gotoStmt(42, B.eq(B.var("n"), B.lit(0))));
+  ScalarInterp I(P, sparc(), nullptr);
+  EXPECT_DEATH(I.run(), "GOTO target");
+}
+
+TEST(ScalarInterpEdge, DivisionByZeroAborts) {
+  Program P("dz");
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.set("n", B.div(B.lit(1), B.var("n"))));
+  ScalarInterp I(P, sparc(), nullptr);
+  EXPECT_DEATH(I.run(), "division by zero");
+}
+
+TEST(ScalarInterpEdge, RealToIntAssignmentTruncates) {
+  Program P("rt");
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.set("n", B.lit(3.9)));
+  ScalarInterp I(P, sparc(), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getInt("n"), 3);
+}
+
+TEST(ScalarInterpEdge, IntToRealAssignmentWidens) {
+  Program P("ir");
+  P.addVar("x", ScalarKind::Real);
+  Builder B(P);
+  P.body().push_back(B.set("x", B.lit(7)));
+  ScalarInterp I(P, sparc(), nullptr);
+  I.run();
+  EXPECT_DOUBLE_EQ(I.store().getReal("x"), 7.0);
+}
+
+TEST(ScalarInterpEdge, LaneIntrinsicsDegenerate) {
+  Program P("li");
+  P.addVar("a", ScalarKind::Int);
+  P.addVar("b", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.set("a", B.laneIndex()));
+  P.body().push_back(B.set("b", B.numLanes()));
+  ScalarInterp I(P, sparc(), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getInt("a"), 1);
+  EXPECT_EQ(I.store().getInt("b"), 1);
+}
+
+TEST(ScalarInterpEdge, RunTwiceAsserts) {
+  Program P("twice");
+  P.addVar("n", ScalarKind::Int);
+  ScalarInterp I(P, sparc(), nullptr);
+  I.run();
+  EXPECT_DEATH(I.run(), "once");
+}
+
+TEST(ScalarInterpEdge, SlicePartitionsEveryTopLevelParallelLoop) {
+  // Two DOALL phases: the slice partitions both (each phase runs
+  // distributed under the owner-computes rule).
+  Program P("two");
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("A", ScalarKind::Int, {4}, Dist::Distributed);
+  P.addVar("B", ScalarKind::Int, {4}, Dist::Distributed);
+  Builder B(P);
+  P.body().push_back(B.doLoop(
+      "i", B.lit(1), B.lit(4),
+      Builder::body(B.assign(B.at("A", B.var("i")), B.var("i"))), nullptr,
+      true));
+  P.body().push_back(B.doLoop(
+      "i", B.lit(1), B.lit(4),
+      Builder::body(B.assign(B.at("B", B.var("i")), B.var("i"))), nullptr,
+      true));
+  ScalarInterp I(P, sparc(), nullptr);
+  I.setSlice({/*Proc=*/0, /*NumProcs=*/2, machine::Layout::Block});
+  I.run();
+  // Processor 0 owns the first block of both phases.
+  EXPECT_EQ(I.store().getIntArray("A"),
+            (std::vector<int64_t>{1, 2, 0, 0}));
+  EXPECT_EQ(I.store().getIntArray("B"),
+            (std::vector<int64_t>{1, 2, 0, 0}));
+}
+
+} // namespace

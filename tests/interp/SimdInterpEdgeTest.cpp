@@ -1,0 +1,215 @@
+//===- tests/interp/SimdInterpEdgeTest.cpp ---------------------*- C++ -*-===//
+//
+// Corner cases of the lockstep executor: layouts, uniform loops,
+// extern subroutines, reductions on reals, runaway-loop guards, and the
+// defining SIMD property that masked-out lanes still pay instruction
+// time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/SimdInterp.h"
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+
+namespace {
+
+machine::MachineConfig lanes(int64_t N, machine::Layout L) {
+  machine::MachineConfig M;
+  M.Name = "edge";
+  M.Processors = N;
+  M.Gran = N;
+  M.DataLayout = L;
+  M.SecondsPerCycle = 1.0;
+  return M;
+}
+
+TEST(SimdInterpEdge, NegativeStepControlDo) {
+  Program P("neg");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("l", ScalarKind::Int);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.doLoop(
+      "l", B.lit(4), B.lit(1),
+      Builder::body(B.set("n", B.add(B.var("n"), B.var("l")))),
+      B.lit(-1)));
+  SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getInt("n"), 10); // 4+3+2+1
+  EXPECT_EQ(I.store().getInt("l"), 0);  // one step past
+}
+
+TEST(SimdInterpEdge, UniformRepeatLoop) {
+  Program P("rep");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.repeatUntil(
+      Builder::body(B.set("n", B.add(B.var("n"), B.lit(1)))),
+      B.ge(B.var("n"), B.lit(3))));
+  SimdInterp I(P, lanes(4, machine::Layout::Cyclic), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getInt("n"), 3);
+}
+
+TEST(SimdInterpEdge, SubroutineCalledPerActiveLane) {
+  Program P("sub");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("v", ScalarKind::Int, {}, Dist::Replicated);
+  P.addExtern("Probe", ScalarKind::Int, /*Pure=*/false,
+              /*IsSubroutine=*/true);
+  Builder B(P);
+  P.body().push_back(B.set("v", B.laneIndex()));
+  std::vector<ExprPtr> Args;
+  Args.push_back(B.var("v"));
+  P.body().push_back(B.where(B.le(B.var("v"), B.lit(2)),
+                             Builder::body(B.callSub("Probe",
+                                                     std::move(Args)))));
+  ExternRegistry Reg;
+  std::vector<int64_t> Seen;
+  Reg.bind("Probe", [&Seen](std::span<const ScalVal> A) {
+    Seen.push_back(A[0].I);
+    return ScalVal::makeInt(0);
+  });
+  SimdInterp I(P, lanes(4, machine::Layout::Cyclic), &Reg);
+  I.run();
+  EXPECT_EQ(Seen, (std::vector<int64_t>{1, 2})); // lanes 3,4 masked
+}
+
+TEST(SimdInterpEdge, ForallBlockLayoutWritesAllElements) {
+  Program P("fb");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("A", ScalarKind::Int, {10}, Dist::Distributed);
+  P.addVar("e", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  P.body().push_back(B.forall(
+      "e", B.lit(1), B.lit(10), nullptr,
+      Builder::body(B.assign(B.at("A", B.var("e")),
+                             B.mul(B.var("e"), B.lit(3))))));
+  SimdInterp I(P, lanes(4, machine::Layout::Block), nullptr);
+  SimdRunResult R = I.run();
+  std::vector<int64_t> Want;
+  for (int64_t E = 1; E <= 10; ++E)
+    Want.push_back(3 * E);
+  EXPECT_EQ(I.store().getIntArray("A"), Want);
+  // Block FORALL aligns with the block layout: no communication.
+  EXPECT_EQ(R.Stats.CommAccesses, 0);
+}
+
+TEST(SimdInterpEdge, ForallNestedInWhere) {
+  Program P("fw");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("A", ScalarKind::Int, {4}, Dist::Distributed);
+  P.addVar("e", ScalarKind::Int, {}, Dist::Replicated);
+  P.addVar("g", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  P.body().push_back(B.set("g", B.laneIndex()));
+  // Lanes 1-2 active; the FORALL inside re-masks by element id. Lanes
+  // 3-4 stay masked even for elements they own.
+  P.body().push_back(B.where(
+      B.le(B.var("g"), B.lit(2)),
+      Builder::body(B.forall(
+          "e", B.lit(1), B.lit(4), nullptr,
+          Builder::body(B.assign(B.at("A", B.var("e")), B.lit(9)))))));
+  SimdInterp I(P, lanes(4, machine::Layout::Cyclic), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getIntArray("A"),
+            (std::vector<int64_t>{9, 9, 0, 0}));
+}
+
+TEST(SimdInterpEdge, NumLanesBroadcast) {
+  Program P("nl");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.set("n", B.numLanes()));
+  SimdInterp I(P, lanes(8, machine::Layout::Cyclic), nullptr);
+  I.run();
+  EXPECT_EQ(I.store().getInt("n"), 8);
+}
+
+TEST(SimdInterpEdge, RealArrayReductions) {
+  Program P("rr");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("V", ScalarKind::Real, {5}, Dist::Distributed);
+  P.addVar("m", ScalarKind::Real);
+  P.addVar("s", ScalarKind::Real);
+  Builder B(P);
+  P.body().push_back(B.set("m", B.maxVal("V")));
+  P.body().push_back(B.set("s", B.sumVal("V")));
+  SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr);
+  std::vector<double> V = {1.5, -2.0, 7.25, 0.0, 3.0};
+  I.store().setRealArray("V", V);
+  I.run();
+  EXPECT_DOUBLE_EQ(I.store().getReal("m"), 7.25);
+  EXPECT_DOUBLE_EQ(I.store().getReal("s"), 9.75);
+}
+
+TEST(SimdInterpEdge, RunawayLoopGuardAborts) {
+  Program P("run");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.whileLoop(
+      B.lt(B.var("n"), B.lit(1)),
+      Builder::body(B.set("n", B.sub(B.var("n"), B.lit(1))))));
+  RunOptions Opts;
+  Opts.MaxLoopIterations = 1000;
+  SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr, Opts);
+  EXPECT_DEATH(I.run(), "loop iteration limit");
+}
+
+TEST(SimdInterpEdge, MaskedLanesStillPayInstructionTime) {
+  // The core SIMD cost property the paper studies: the same program
+  // with 1 active lane or all lanes active issues exactly the same
+  // instructions and cycles.
+  auto Run = [&](int64_t Bound) {
+    Program P("pay");
+    P.setDialect(Dialect::F90Simd);
+    P.addVar("v", ScalarKind::Int, {}, Dist::Replicated);
+    P.addVar("w", ScalarKind::Int, {}, Dist::Replicated);
+    Builder B(P);
+    P.body().push_back(B.set("v", B.laneIndex()));
+    P.body().push_back(B.where(
+        B.le(B.var("v"), B.lit(Bound)),
+        Builder::body(B.set("w", B.add(B.mul(B.var("v"), B.lit(3)),
+                                       B.lit(1))))));
+    SimdInterp I(P, lanes(8, machine::Layout::Cyclic), nullptr);
+    return I.run().Stats;
+  };
+  RunStats OneActive = Run(1);
+  RunStats AllActive = Run(8);
+  EXPECT_EQ(OneActive.Instructions, AllActive.Instructions);
+  EXPECT_DOUBLE_EQ(OneActive.Cycles, AllActive.Cycles);
+}
+
+TEST(SimdInterpEdge, ControlVarInTraceBroadcasts) {
+  Program P("tr");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("c", ScalarKind::Int);
+  P.addVar("A", ScalarKind::Int, {2}, Dist::Distributed);
+  P.addVar("e", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  P.body().push_back(B.set("c", B.lit(7)));
+  P.body().push_back(B.forall(
+      "e", B.lit(1), B.lit(2), nullptr,
+      Builder::body(B.assign(B.at("A", B.var("e")), B.var("c")))));
+  RunOptions Opts;
+  Opts.WorkTargets = {"A"};
+  Opts.Watch = {"c", "e"};
+  SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr, Opts);
+  SimdRunResult R = I.run();
+  ASSERT_EQ(R.Tr.Steps.size(), 1u);
+  EXPECT_EQ(R.Tr.value(0, 0, 0), 7); // c broadcast on lane 0
+  EXPECT_EQ(R.Tr.value(0, 0, 1), 7); // and lane 1
+  EXPECT_EQ(R.Tr.value(0, 1, 0), 1); // e per lane
+  EXPECT_EQ(R.Tr.value(0, 1, 1), 2);
+}
+
+} // namespace

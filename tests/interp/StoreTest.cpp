@@ -1,0 +1,99 @@
+//===- tests/interp/StoreTest.cpp ------------------------------*- C++ -*-===//
+
+#include "interp/Store.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+
+namespace {
+
+Program makeProg() {
+  Program P("p");
+  P.addVar("c", ScalarKind::Int); // control
+  P.addVar("r", ScalarKind::Int, {}, Dist::Replicated);
+  P.addVar("x", ScalarKind::Real, {}, Dist::Replicated);
+  P.addVar("A", ScalarKind::Int, {6}, Dist::Distributed);
+  P.addVar("M", ScalarKind::Real, {2, 3}, Dist::Distributed);
+  return P;
+}
+
+TEST(Store, Widths) {
+  Program P = makeProg();
+  DataStore S(P, /*Lanes=*/4);
+  EXPECT_EQ(S.slot("c").Width, 1);
+  EXPECT_EQ(S.slot("r").Width, 4);
+  EXPECT_EQ(S.slot("A").Width, 6);
+  EXPECT_EQ(S.slot("M").Width, 6);
+}
+
+TEST(Store, ScalarMachineCollapsesReplication) {
+  Program P = makeProg();
+  DataStore S(P, /*Lanes=*/1);
+  EXPECT_EQ(S.slot("r").Width, 1);
+}
+
+TEST(Store, ZeroInitialized) {
+  Program P = makeProg();
+  DataStore S(P, 2);
+  EXPECT_EQ(S.getInt("c"), 0);
+  EXPECT_EQ(S.getReal("x"), 0.0);
+  for (int64_t V : S.getIntArray("A"))
+    EXPECT_EQ(V, 0);
+}
+
+TEST(Store, ScalarBroadcast) {
+  Program P = makeProg();
+  DataStore S(P, 4);
+  S.setInt("r", 7);
+  for (int64_t L = 0; L < 4; ++L)
+    EXPECT_EQ(S.getIntLane("r", L), 7);
+  S.setIntLane("r", 2, 9);
+  EXPECT_EQ(S.getIntLane("r", 2), 9);
+  EXPECT_EQ(S.getIntLane("r", 1), 7);
+}
+
+TEST(Store, ArrayRoundTrip) {
+  Program P = makeProg();
+  DataStore S(P, 2);
+  std::vector<int64_t> Vals = {1, 2, 3, 4, 5, 6};
+  S.setIntArray("A", Vals);
+  EXPECT_EQ(S.getIntArray("A"), Vals);
+  std::vector<int64_t> Idx = {3};
+  EXPECT_EQ(S.getIntAt("A", Idx), 3);
+  S.setIntAt("A", Idx, 42);
+  EXPECT_EQ(S.getIntAt("A", Idx), 42);
+}
+
+TEST(Store, RowMajorFlatIndex) {
+  Program P = makeProg();
+  const VarDecl *M = P.lookupVar("M");
+  std::vector<int64_t> I11 = {1, 1}, I13 = {1, 3}, I21 = {2, 1},
+                       I23 = {2, 3};
+  EXPECT_EQ(DataStore::flatIndex(*M, I11), 0);
+  EXPECT_EQ(DataStore::flatIndex(*M, I13), 2);
+  EXPECT_EQ(DataStore::flatIndex(*M, I21), 3);
+  EXPECT_EQ(DataStore::flatIndex(*M, I23), 5);
+}
+
+TEST(Store, FlatIndexBoundsChecking) {
+  Program P = makeProg();
+  const VarDecl *M = P.lookupVar("M");
+  std::vector<int64_t> Zero = {0, 1}, High = {1, 4}, Neg = {-1, 2};
+  EXPECT_EQ(DataStore::flatIndex(*M, Zero), -1);
+  EXPECT_EQ(DataStore::flatIndex(*M, High), -1);
+  EXPECT_EQ(DataStore::flatIndex(*M, Neg), -1);
+}
+
+TEST(Store, RealArray) {
+  Program P = makeProg();
+  DataStore S(P, 2);
+  std::vector<double> Vals = {0.5, 1.5, 2.5, 3.5, 4.5, 5.5};
+  S.setRealArray("M", Vals);
+  std::vector<int64_t> I = {2, 1};
+  EXPECT_EQ(S.getRealAt("M", I), 3.5);
+}
+
+} // namespace

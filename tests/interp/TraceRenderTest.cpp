@@ -1,0 +1,62 @@
+//===- tests/interp/TraceRenderTest.cpp ------------------------*- C++ -*-===//
+
+#include "interp/TraceRender.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+
+namespace {
+
+Trace makeSimdTrace() {
+  Trace T;
+  T.Watch = {"i", "j"};
+  T.Lanes = 2;
+  // Two steps; lane 2 idle in step 2.
+  Trace::Step S1;
+  S1.Values = {1, 5, /* j: */ 1, 1};
+  S1.Active = {1, 1};
+  Trace::Step S2;
+  S2.Values = {1, 5, /* j: */ 2, 2};
+  S2.Active = {1, 0};
+  T.Steps = {std::move(S1), std::move(S2)};
+  return T;
+}
+
+TEST(TraceRender, SimdLayoutMatchesFigure6Style) {
+  std::string Out = renderSimdTrace(makeSimdTrace());
+  EXPECT_EQ(Out, "Time     1   2\n"
+                 "i1       1   1\n"
+                 "j1       1   2\n"
+                 "i2       5   -\n"
+                 "j2       1   -\n");
+}
+
+TEST(TraceRender, EmptyTrace) {
+  Trace T;
+  T.Watch = {"i"};
+  T.Lanes = 1;
+  std::string Out = renderSimdTrace(T);
+  EXPECT_EQ(Out, "Time\ni1\n");
+}
+
+TEST(TraceRender, MimdUnevenProcessors) {
+  Trace P1;
+  P1.Watch = {"i"};
+  P1.Lanes = 1;
+  for (int64_t V : {1, 2, 3}) {
+    Trace::Step S;
+    S.Values = {V};
+    S.Active = {1};
+    P1.Steps.push_back(std::move(S));
+  }
+  Trace P2 = P1;
+  P2.Steps.pop_back(); // processor 2 finishes earlier
+  std::string Out = renderMimdTrace({P1, P2});
+  EXPECT_EQ(Out, "Time     1   2   3\n"
+                 "i1       1   2   3\n"
+                 "i2       1   2\n");
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/ir/BuilderTest.cpp --------------------------------*- C++ -*-===//
+
+#include "ir/Builder.h"
+
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+namespace {
+
+class BuilderTest : public ::testing::Test {
+protected:
+  BuilderTest() : P("test"), B(P) {
+    P.addVar("i", ScalarKind::Int);
+    P.addVar("x", ScalarKind::Real);
+    P.addVar("f", ScalarKind::Bool);
+    P.addVar("A", ScalarKind::Int, {10});
+    P.addVar("M", ScalarKind::Real, {4, 5});
+    P.addExtern("Force", ScalarKind::Real, /*Pure=*/true);
+    P.addExtern("Dump", ScalarKind::Real, /*Pure=*/false,
+                /*IsSubroutine=*/true);
+  }
+
+  Program P;
+  Builder B;
+};
+
+TEST_F(BuilderTest, Literals) {
+  EXPECT_EQ(B.lit(int64_t{5})->type(), ScalarKind::Int);
+  EXPECT_EQ(B.lit(2.5)->type(), ScalarKind::Real);
+  EXPECT_EQ(B.lit(true)->type(), ScalarKind::Bool);
+  EXPECT_EQ(cast<IntLit>(B.lit(int64_t{-3}).get())->value(), -3);
+  EXPECT_EQ(cast<RealLit>(B.lit(0.5).get())->value(), 0.5);
+  EXPECT_TRUE(cast<BoolLit>(B.lit(true).get())->value());
+}
+
+TEST_F(BuilderTest, VarRefTypeComesFromDecl) {
+  EXPECT_EQ(B.var("i")->type(), ScalarKind::Int);
+  EXPECT_EQ(B.var("x")->type(), ScalarKind::Real);
+  EXPECT_EQ(B.var("f")->type(), ScalarKind::Bool);
+}
+
+TEST_F(BuilderTest, ArrayRefRankChecked) {
+  ExprPtr E = B.at("A", B.lit(3));
+  EXPECT_EQ(E->type(), ScalarKind::Int);
+  ExprPtr E2 = B.at("M", B.var("i"), B.lit(2));
+  EXPECT_EQ(E2->type(), ScalarKind::Real);
+  const auto *AR = cast<ArrayRef>(E2.get());
+  EXPECT_EQ(AR->name(), "M");
+  EXPECT_EQ(AR->indices().size(), 2u);
+}
+
+TEST_F(BuilderTest, ArithmeticPromotion) {
+  EXPECT_EQ(B.add(B.var("i"), B.lit(1))->type(), ScalarKind::Int);
+  EXPECT_EQ(B.add(B.var("i"), B.var("x"))->type(), ScalarKind::Real);
+  EXPECT_EQ(B.mul(B.var("x"), B.var("x"))->type(), ScalarKind::Real);
+  EXPECT_EQ(B.div(B.var("i"), B.lit(2))->type(), ScalarKind::Int);
+  EXPECT_EQ(B.mod(B.var("i"), B.lit(2))->type(), ScalarKind::Int);
+}
+
+TEST_F(BuilderTest, ComparisonsAreBool) {
+  EXPECT_EQ(B.le(B.var("i"), B.lit(4))->type(), ScalarKind::Bool);
+  EXPECT_EQ(B.eq(B.var("x"), B.lit(0.0))->type(), ScalarKind::Bool);
+  EXPECT_EQ(B.land(B.var("f"), B.lit(true))->type(), ScalarKind::Bool);
+  EXPECT_EQ(B.lnot(B.var("f"))->type(), ScalarKind::Bool);
+}
+
+TEST_F(BuilderTest, Intrinsics) {
+  EXPECT_EQ(B.max(B.var("i"), B.lit(3))->type(), ScalarKind::Int);
+  EXPECT_EQ(B.max(B.var("i"), B.var("x"))->type(), ScalarKind::Real);
+  EXPECT_EQ(B.sqrt(B.var("x"))->type(), ScalarKind::Real);
+  EXPECT_EQ(B.laneIndex()->type(), ScalarKind::Int);
+  EXPECT_EQ(B.numLanes()->type(), ScalarKind::Int);
+  EXPECT_EQ(B.any(B.var("f"))->type(), ScalarKind::Bool);
+  EXPECT_EQ(B.maxRed(B.var("i"))->type(), ScalarKind::Int);
+  EXPECT_EQ(B.maxVal("A")->type(), ScalarKind::Int);
+  EXPECT_EQ(B.sumVal("M")->type(), ScalarKind::Real);
+}
+
+TEST_F(BuilderTest, CallTypes) {
+  ExprPtr C = B.callFn("Force", {});
+  EXPECT_EQ(C->type(), ScalarKind::Real);
+  StmtPtr S = B.callSub("Dump", {});
+  EXPECT_EQ(S->kind(), Stmt::Kind::Call);
+}
+
+TEST_F(BuilderTest, StatementKinds) {
+  EXPECT_EQ(B.set("i", B.lit(1))->kind(), Stmt::Kind::Assign);
+  EXPECT_EQ(B.ifStmt(B.var("f"), {})->kind(), Stmt::Kind::If);
+  EXPECT_EQ(B.where(B.var("f"), {})->kind(), Stmt::Kind::Where);
+  EXPECT_EQ(B.doLoop("i", B.lit(1), B.lit(4), {})->kind(), Stmt::Kind::Do);
+  EXPECT_EQ(B.whileLoop(B.var("f"), {})->kind(), Stmt::Kind::While);
+  EXPECT_EQ(B.repeatUntil({}, B.var("f"))->kind(), Stmt::Kind::Repeat);
+  EXPECT_EQ(B.forall("i", B.lit(1), B.lit(4), nullptr, {})->kind(),
+            Stmt::Kind::Forall);
+  EXPECT_EQ(B.label(10)->kind(), Stmt::Kind::Label);
+  EXPECT_EQ(B.gotoStmt(10)->kind(), Stmt::Kind::Goto);
+}
+
+TEST_F(BuilderTest, DoLoopDefaults) {
+  StmtPtr S = B.doLoop("i", B.lit(1), B.lit(8), {});
+  const auto *D = cast<DoStmt>(S.get());
+  EXPECT_EQ(D->step(), nullptr);
+  EXPECT_FALSE(D->isParallel());
+  StmtPtr S2 = B.doLoop("i", B.lit(1), B.lit(8), {}, B.lit(2),
+                        /*IsParallel=*/true);
+  const auto *D2 = cast<DoStmt>(S2.get());
+  EXPECT_NE(D2->step(), nullptr);
+  EXPECT_TRUE(D2->isParallel());
+}
+
+TEST_F(BuilderTest, BodyHelper) {
+  Body Bd = Builder::body(B.set("i", B.lit(1)), B.set("i", B.lit(2)));
+  EXPECT_EQ(Bd.size(), 2u);
+}
+
+} // namespace

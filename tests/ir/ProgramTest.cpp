@@ -1,0 +1,63 @@
+//===- tests/ir/ProgramTest.cpp --------------------------------*- C++ -*-===//
+
+#include "ir/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+TEST(Program, AddAndLookupVars) {
+  Program P("p");
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("X", ScalarKind::Real, {4, 5}, Dist::Distributed);
+  ASSERT_NE(P.lookupVar("i"), nullptr);
+  EXPECT_EQ(P.lookupVar("i")->Kind, ScalarKind::Int);
+  EXPECT_TRUE(P.lookupVar("i")->isScalar());
+  ASSERT_NE(P.lookupVar("X"), nullptr);
+  EXPECT_TRUE(P.lookupVar("X")->isArray());
+  EXPECT_EQ(P.lookupVar("X")->numElements(), 20);
+  EXPECT_EQ(P.lookupVar("X")->Distribution, Dist::Distributed);
+  EXPECT_EQ(P.lookupVar("missing"), nullptr);
+}
+
+TEST(Program, FreshVarNaming) {
+  Program P("p");
+  VarDecl &T1 = P.addFreshVar("t1", ScalarKind::Bool);
+  EXPECT_EQ(T1.Name, "t1");
+  // Now t1 is taken: the next request gets a suffixed name.
+  VarDecl &T1b = P.addFreshVar("t1", ScalarKind::Bool);
+  EXPECT_EQ(T1b.Name, "t11");
+  VarDecl &T1c = P.addFreshVar("t1", ScalarKind::Bool);
+  EXPECT_EQ(T1c.Name, "t12");
+}
+
+TEST(Program, Externs) {
+  Program P("p");
+  P.addExtern("Force", ScalarKind::Real, /*Pure=*/true);
+  P.addExtern("Bump", ScalarKind::Int, /*Pure=*/false);
+  ASSERT_NE(P.lookupExtern("Force"), nullptr);
+  EXPECT_TRUE(P.lookupExtern("Force")->Pure);
+  EXPECT_FALSE(P.lookupExtern("Bump")->Pure);
+  EXPECT_EQ(P.lookupExtern("nope"), nullptr);
+}
+
+TEST(Program, DialectDefaultsToF77) {
+  Program P("p");
+  EXPECT_EQ(P.dialect(), Dialect::F77);
+  P.setDialect(Dialect::F90Simd);
+  EXPECT_EQ(P.dialect(), Dialect::F90Simd);
+}
+
+TEST(Program, ScalarNumElements) {
+  VarDecl D{"s", ScalarKind::Real, {}, Dist::Control};
+  EXPECT_EQ(D.numElements(), 1);
+}
+
+TEST(Program, MoveSemantics) {
+  Program P("p");
+  P.addVar("i", ScalarKind::Int);
+  Program Q = std::move(P);
+  EXPECT_EQ(Q.name(), "p");
+  ASSERT_NE(Q.lookupVar("i"), nullptr);
+}

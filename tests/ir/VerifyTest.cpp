@@ -1,0 +1,122 @@
+//===- tests/ir/VerifyTest.cpp ---------------------------------*- C++ -*-===//
+
+#include "ir/Verify.h"
+
+#include "ir/Builder.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+namespace {
+
+TEST(Verify, CleanProgramsPass) {
+  Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  EXPECT_TRUE(verifyProgram(Ex).empty());
+}
+
+TEST(Verify, UndeclaredVariable) {
+  Program P("v");
+  P.addVar("i", ScalarKind::Int);
+  P.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<VarRef>("i", ScalarKind::Int),
+      std::make_unique<VarRef>("ghost", ScalarKind::Int)));
+  std::vector<std::string> I = verifyProgram(P);
+  ASSERT_EQ(I.size(), 1u);
+  EXPECT_NE(I[0].find("ghost"), std::string::npos);
+}
+
+TEST(Verify, WrongCachedType) {
+  Program P("v");
+  P.addVar("x", ScalarKind::Real);
+  P.addVar("i", ScalarKind::Int);
+  // VarRef claims x is an integer.
+  P.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<VarRef>("i", ScalarKind::Int),
+      std::make_unique<VarRef>("x", ScalarKind::Int)));
+  std::vector<std::string> I = verifyProgram(P);
+  ASSERT_FALSE(I.empty());
+  EXPECT_NE(I[0].find("wrong type"), std::string::npos);
+}
+
+TEST(Verify, RankMismatch) {
+  Program P("v");
+  P.addVar("A", ScalarKind::Int, {4, 4});
+  P.addVar("i", ScalarKind::Int);
+  std::vector<ExprPtr> Idx;
+  Idx.push_back(std::make_unique<IntLit>(1));
+  P.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<ArrayRef>("A", ScalarKind::Int, std::move(Idx)),
+      std::make_unique<IntLit>(0)));
+  std::vector<std::string> I = verifyProgram(P);
+  ASSERT_FALSE(I.empty());
+  EXPECT_NE(I[0].find("rank"), std::string::npos);
+}
+
+TEST(Verify, NonLogicalCondition) {
+  Program P("v");
+  P.addVar("i", ScalarKind::Int);
+  Builder B(P);
+  // Hand-build a WHILE with an integer condition (the builder would
+  // assert, so construct the node directly).
+  P.body().push_back(std::make_unique<WhileStmt>(
+      std::make_unique<VarRef>("i", ScalarKind::Int), Body{}));
+  std::vector<std::string> I = verifyProgram(P);
+  ASSERT_FALSE(I.empty());
+  EXPECT_NE(I[0].find("WHILE condition"), std::string::npos);
+}
+
+TEST(Verify, SubroutineUsedAsFunction) {
+  Program P("v");
+  P.addExtern("S", ScalarKind::Int, true, /*IsSubroutine=*/true);
+  P.addVar("i", ScalarKind::Int);
+  P.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<VarRef>("i", ScalarKind::Int),
+      std::make_unique<CallExpr>("S", std::vector<ExprPtr>{},
+                                 ScalarKind::Int)));
+  std::vector<std::string> I = verifyProgram(P);
+  ASSERT_FALSE(I.empty());
+  EXPECT_NE(I[0].find("subroutine"), std::string::npos);
+}
+
+TEST(Verify, SimdDialectRejectsGoto) {
+  Program P("v");
+  P.setDialect(Dialect::F90Simd);
+  P.body().push_back(std::make_unique<LabelStmt>(10));
+  P.body().push_back(std::make_unique<GotoStmt>(10, nullptr));
+  std::vector<std::string> I = verifyProgram(P);
+  ASSERT_FALSE(I.empty());
+  EXPECT_NE(I.back().find("GOTO"), std::string::npos);
+}
+
+TEST(Verify, F77DialectAllowsGoto) {
+  Program P("v");
+  P.body().push_back(std::make_unique<LabelStmt>(10));
+  P.body().push_back(std::make_unique<GotoStmt>(10, nullptr));
+  EXPECT_TRUE(verifyProgram(P).empty());
+}
+
+TEST(Verify, UndeclaredDoIndex) {
+  Program P("v");
+  P.body().push_back(std::make_unique<DoStmt>(
+      "phantom", std::make_unique<IntLit>(1), std::make_unique<IntLit>(4),
+      nullptr, Body{}, false));
+  std::vector<std::string> I = verifyProgram(P);
+  ASSERT_FALSE(I.empty());
+  EXPECT_NE(I[0].find("phantom"), std::string::npos);
+}
+
+TEST(Verify, CollectsMultipleIssues) {
+  Program P("v");
+  P.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<VarRef>("a", ScalarKind::Int),
+      std::make_unique<VarRef>("b", ScalarKind::Int)));
+  P.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<VarRef>("c", ScalarKind::Int),
+      std::make_unique<VarRef>("d", ScalarKind::Int)));
+  EXPECT_GE(verifyProgram(P).size(), 4u);
+}
+
+} // namespace

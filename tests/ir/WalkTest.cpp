@@ -1,0 +1,124 @@
+//===- tests/ir/WalkTest.cpp -----------------------------------*- C++ -*-===//
+
+#include "ir/Walk.h"
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+namespace {
+
+class WalkTest : public ::testing::Test {
+protected:
+  WalkTest() : P("t"), B(P) {
+    P.addVar("i", ScalarKind::Int);
+    P.addVar("j", ScalarKind::Int);
+    P.addVar("K", ScalarKind::Int);
+    P.addVar("A", ScalarKind::Int, {8});
+  }
+
+  Program P;
+  Builder B;
+};
+
+TEST_F(WalkTest, CloneExprIsEqualButDistinct) {
+  ExprPtr E = B.add(B.at("A", B.var("i")), B.mul(B.var("j"), B.lit(2)));
+  ExprPtr C = cloneExpr(*E);
+  EXPECT_TRUE(exprEquals(*E, *C));
+  EXPECT_NE(E.get(), C.get());
+}
+
+TEST_F(WalkTest, CloneStmtDeep) {
+  StmtPtr S = B.doLoop(
+      "i", B.lit(1), B.var("K"),
+      Builder::body(B.whileLoop(
+          B.le(B.var("j"), B.lit(4)),
+          Builder::body(B.assign(B.at("A", B.var("j")), B.var("i"))))));
+  StmtPtr C = cloneStmt(*S);
+  EXPECT_TRUE(stmtEquals(*S, *C));
+  EXPECT_EQ(printStmt(*S), printStmt(*C));
+}
+
+TEST_F(WalkTest, ClonePreservesParallelFlagAndStep) {
+  StmtPtr S = B.doLoop("i", B.lit(1), B.lit(8), {}, B.lit(2), true);
+  StmtPtr C = cloneStmt(*S);
+  const auto *D = cast<DoStmt>(C.get());
+  EXPECT_TRUE(D->isParallel());
+  ASSERT_NE(D->step(), nullptr);
+  EXPECT_TRUE(exprEquals(*D->step(), *B.lit(2)));
+}
+
+TEST_F(WalkTest, EqualsDistinguishes) {
+  EXPECT_FALSE(exprEquals(*B.lit(1), *B.lit(2)));
+  EXPECT_FALSE(exprEquals(*B.var("i"), *B.var("j")));
+  EXPECT_FALSE(exprEquals(*B.add(B.var("i"), B.lit(1)),
+                          *B.sub(B.var("i"), B.lit(1))));
+  EXPECT_FALSE(stmtEquals(*B.set("i", B.lit(1)), *B.set("j", B.lit(1))));
+  // Different kinds.
+  EXPECT_FALSE(exprEquals(*B.lit(1), *B.var("i")));
+}
+
+TEST_F(WalkTest, SubstituteVarInExpr) {
+  ExprPtr E = B.add(B.var("i"), B.at("A", B.var("i")));
+  ExprPtr R = B.add(B.var("j"), B.lit(4));
+  ExprPtr Out = substituteVar(*E, "i", *R);
+  EXPECT_EQ(printExpr(*Out), "j + 4 + A(j + 4)");
+  // Original untouched.
+  EXPECT_EQ(printExpr(*E), "i + A(i)");
+}
+
+TEST_F(WalkTest, SubstituteDoesNotTouchArrayNames) {
+  ExprPtr E2 = B.at("A", B.var("i"));
+  ExprPtr Out = substituteVar(*E2, "A", *B.lit(0));
+  EXPECT_EQ(printExpr(*Out), "A(i)"); // array name preserved
+}
+
+TEST_F(WalkTest, SubstituteInsideStmt) {
+  StmtPtr S = B.whileLoop(
+      B.le(B.var("i"), B.var("K")),
+      Builder::body(B.assign(B.at("A", B.var("i")), B.var("i"))));
+  substituteVarInStmt(*S, "i", *B.var("j"));
+  EXPECT_EQ(printStmt(*S), "WHILE (j <= K)\n"
+                           "  A(j) = j\n"
+                           "ENDWHILE\n");
+}
+
+TEST_F(WalkTest, ForEachExprVisitsAllNodes) {
+  ExprPtr E = B.add(B.var("i"), B.mul(B.var("j"), B.lit(2)));
+  int Count = 0;
+  forEachExpr(*E, [&Count](const Expr &) { ++Count; });
+  EXPECT_EQ(Count, 5); // add, i, mul, j, 2
+}
+
+TEST_F(WalkTest, ForEachStmtRecurses) {
+  ir::Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  size_t N = countStmts(Ex.body());
+  EXPECT_EQ(N, 3u); // outer DO, inner DO, assignment
+}
+
+TEST_F(WalkTest, ForEachExprInStmtFindsLoopBounds) {
+  ir::Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  bool SawL = false;
+  forEachExprInStmt(*Ex.body()[0], [&](const Expr &E) {
+    if (const auto *A = dyn_cast<ArrayRef>(&E); A && A->name() == "L")
+      SawL = true;
+  });
+  EXPECT_TRUE(SawL);
+}
+
+TEST_F(WalkTest, MixedLoopFormsBuild) {
+  using workloads::LoopForm;
+  for (LoopForm Inner : {LoopForm::Do, LoopForm::While, LoopForm::Repeat,
+                         LoopForm::GotoLoop}) {
+    ir::Program Ex =
+        workloads::makeExample(workloads::paperExampleSpec(), Inner);
+    EXPECT_GE(countStmts(Ex.body()), 3u);
+  }
+}
+
+} // namespace

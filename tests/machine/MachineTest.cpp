@@ -1,0 +1,83 @@
+//===- tests/machine/MachineTest.cpp ---------------------------*- C++ -*-===//
+
+#include "machine/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace simdflat;
+using namespace simdflat::machine;
+
+TEST(Machine, Cm2Granularity) {
+  // Sec. 5.2: slicewise Gran = P * 4 / 32 = P / 8.
+  MachineConfig M = MachineConfig::cm2(8192);
+  EXPECT_EQ(M.Gran, 1024);
+  EXPECT_EQ(M.DataLayout, Layout::Block);
+  EXPECT_TRUE(M.VirtualProcessorSweep);
+  EXPECT_EQ(MachineConfig::cm2(1024).Gran, 128);
+}
+
+TEST(Machine, DecmppGranularity) {
+  MachineConfig M = MachineConfig::decmpp(8192);
+  EXPECT_EQ(M.Gran, 8192);
+  EXPECT_EQ(M.DataLayout, Layout::Cyclic);
+  EXPECT_FALSE(M.VirtualProcessorSweep);
+}
+
+TEST(Machine, SparcIsScalar) {
+  MachineConfig M = MachineConfig::sparc2();
+  EXPECT_EQ(M.Gran, 1);
+  EXPECT_EQ(M.Processors, 1);
+}
+
+TEST(Machine, LayersFor) {
+  MachineConfig M = MachineConfig::decmpp(1024);
+  EXPECT_EQ(M.layersFor(1), 1);
+  EXPECT_EQ(M.layersFor(1024), 1);
+  EXPECT_EQ(M.layersFor(1025), 2);
+  // Paper Sec. 5.3: N = 6968, Gran = 128 => Lrs = 55.
+  MachineConfig C = MachineConfig::cm2(1024);
+  EXPECT_EQ(C.Gran, 128);
+  EXPECT_EQ(C.layersFor(6968), 55);
+  // Gran = 8192 => Lrs = 1.
+  EXPECT_EQ(MachineConfig::decmpp(8192).layersFor(6968), 1);
+}
+
+TEST(Machine, CyclicLayoutMapping) {
+  MachineConfig M = MachineConfig::decmpp(4);
+  // Cut-and-stack: element e -> lane (e-1) mod 4, layer (e-1) / 4.
+  EXPECT_EQ(M.laneOf(1, 10), 0);
+  EXPECT_EQ(M.laneOf(4, 10), 3);
+  EXPECT_EQ(M.laneOf(5, 10), 0);
+  EXPECT_EQ(M.layerOf(5, 10), 1);
+  EXPECT_EQ(M.layerOf(10, 10), 2);
+}
+
+TEST(Machine, BlockLayoutMapping) {
+  MachineConfig M = MachineConfig::cm2(32); // Gran = 4
+  ASSERT_EQ(M.Gran, 4);
+  // 10 elements over 4 lanes: chunk = ceil(10/4) = 3.
+  EXPECT_EQ(M.laneOf(1, 10), 0);
+  EXPECT_EQ(M.laneOf(3, 10), 0);
+  EXPECT_EQ(M.laneOf(4, 10), 1);
+  EXPECT_EQ(M.laneOf(10, 10), 3);
+  EXPECT_EQ(M.layerOf(4, 10), 0);
+  EXPECT_EQ(M.layerOf(6, 10), 2);
+}
+
+TEST(Machine, LayoutsAreInjective) {
+  for (MachineConfig M : {MachineConfig::cm2(32), MachineConfig::decmpp(4)}) {
+    const int64_t Extent = 11;
+    std::set<std::pair<int64_t, int64_t>> Seen;
+    for (int64_t E = 1; E <= Extent; ++E) {
+      auto Key = std::make_pair(M.laneOf(E, Extent), M.layerOf(E, Extent));
+      EXPECT_TRUE(Seen.insert(Key).second)
+          << M.Name << ": element " << E << " collides";
+      EXPECT_GE(Key.first, 0);
+      EXPECT_LT(Key.first, M.Gran);
+      EXPECT_GE(Key.second, 0);
+      EXPECT_LT(Key.second, M.layersFor(Extent));
+    }
+  }
+}

@@ -1,0 +1,70 @@
+//===- tests/machine/MaskStackTest.cpp -------------------------*- C++ -*-===//
+
+#include "machine/MaskStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::machine;
+
+TEST(MaskStack, StartsAllActive) {
+  MaskStack M(4);
+  EXPECT_EQ(M.activeCount(), 4);
+  EXPECT_EQ(M.depth(), 0u);
+  for (int64_t L = 0; L < 4; ++L)
+    EXPECT_TRUE(M.isActive(L));
+}
+
+TEST(MaskStack, PushAndRestricts) {
+  MaskStack M(4);
+  M.pushAnd({1, 0, 1, 0});
+  EXPECT_EQ(M.activeCount(), 2);
+  EXPECT_TRUE(M.isActive(0));
+  EXPECT_FALSE(M.isActive(1));
+  M.pop();
+  EXPECT_EQ(M.activeCount(), 4);
+}
+
+TEST(MaskStack, NestedAnd) {
+  MaskStack M(4);
+  M.pushAnd({1, 1, 0, 0});
+  M.pushAnd({1, 0, 1, 0});
+  EXPECT_TRUE(M.isActive(0));
+  EXPECT_FALSE(M.isActive(1));
+  EXPECT_FALSE(M.isActive(2)); // parent masked it out
+  EXPECT_FALSE(M.isActive(3));
+  M.pop();
+  EXPECT_EQ(M.activeCount(), 2);
+  M.pop();
+  EXPECT_EQ(M.activeCount(), 4);
+}
+
+TEST(MaskStack, FlipTopIsElsewhere) {
+  MaskStack M(4);
+  M.pushAnd({1, 1, 0, 0});
+  M.pushAnd({1, 0, 1, 0}); // WHERE: lanes {0}
+  EXPECT_EQ(M.activeCount(), 1);
+  M.flipTop(); // ELSEWHERE: parent {0,1} minus cond {0,2} = {1}
+  EXPECT_FALSE(M.isActive(0));
+  EXPECT_TRUE(M.isActive(1));
+  EXPECT_FALSE(M.isActive(2));
+  EXPECT_EQ(M.activeCount(), 1);
+  M.pop();
+  EXPECT_EQ(M.activeCount(), 2);
+}
+
+TEST(MaskStack, NoneActive) {
+  MaskStack M(2);
+  EXPECT_FALSE(M.noneActive());
+  M.pushAnd({0, 0});
+  EXPECT_TRUE(M.noneActive());
+}
+
+TEST(MaskStack, FlipInsideEmptyParent) {
+  MaskStack M(2);
+  M.pushAnd({0, 0});
+  M.pushAnd({1, 1});
+  EXPECT_TRUE(M.noneActive());
+  M.flipTop();
+  EXPECT_TRUE(M.noneActive()); // parent empty => elsewhere empty too
+}

@@ -1,0 +1,81 @@
+//===- tests/md/MoleculeTest.cpp -------------------------------*- C++ -*-===//
+
+#include "md/Molecule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace simdflat;
+using namespace simdflat::md;
+
+TEST(Molecule, SodHasPaperSize) {
+  Molecule M = Molecule::syntheticSOD();
+  EXPECT_EQ(M.size(), 6968); // Sec. 5.4
+}
+
+TEST(Molecule, Deterministic) {
+  SodParams P;
+  P.NumAtoms = 500;
+  Molecule A = Molecule::syntheticSOD(P);
+  Molecule B = Molecule::syntheticSOD(P);
+  ASSERT_EQ(A.size(), B.size());
+  for (int64_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A.atom(I).X, B.atom(I).X);
+    EXPECT_EQ(A.atom(I).Y, B.atom(I).Y);
+    EXPECT_EQ(A.atom(I).Z, B.atom(I).Z);
+  }
+}
+
+TEST(Molecule, DifferentSeedsDiffer) {
+  SodParams P1, P2;
+  P1.NumAtoms = P2.NumAtoms = 200;
+  P2.Seed = 7;
+  Molecule A = Molecule::syntheticSOD(P1);
+  Molecule B = Molecule::syntheticSOD(P2);
+  bool AnyDiff = false;
+  for (int64_t I = 0; I < A.size(); ++I)
+    AnyDiff |= A.atom(I).X != B.atom(I).X;
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Molecule, ChainStepsAreBondLength) {
+  SodParams P;
+  P.NumAtoms = 400;
+  Molecule M = Molecule::syntheticSOD(P);
+  // Consecutive atoms within a subunit sit one bond apart.
+  int64_t Half = P.NumAtoms / 2;
+  for (int64_t I = 0; I + 1 < Half; ++I) {
+    double D = std::sqrt(M.dist2(I, I + 1));
+    EXPECT_NEAR(D, P.BondLength, 1e-9) << "atom " << I;
+  }
+}
+
+TEST(Molecule, TwoSubunitsAreSpatiallySeparated) {
+  Molecule M = Molecule::syntheticSOD();
+  int64_t Half = M.size() / 2;
+  double Mean1 = 0, Mean2 = 0;
+  for (int64_t I = 0; I < Half; ++I)
+    Mean1 += M.atom(I).X;
+  for (int64_t I = Half; I < M.size(); ++I)
+    Mean2 += M.atom(I).X;
+  Mean1 /= static_cast<double>(Half);
+  Mean2 /= static_cast<double>(M.size() - Half);
+  EXPECT_LT(Mean1, 0.0);
+  EXPECT_GT(Mean2, 0.0);
+  EXPECT_GT(Mean2 - Mean1, 15.0); // well-separated subunit centroids
+}
+
+TEST(Molecule, DensityRoughlyMatchesTarget) {
+  // All atoms of subunit 1 stay within its confinement sphere.
+  SodParams P;
+  Molecule M = Molecule::syntheticSOD(P);
+  int64_t Half = M.size() / 2;
+  double Volume = static_cast<double>(Half) / P.Density;
+  double Radius = std::cbrt(3.0 * Volume / (4.0 * M_PI));
+  double CX = -Radius * 0.95;
+  for (int64_t I = 0; I < Half; ++I) {
+    double DX = M.atom(I).X - CX, DY = M.atom(I).Y, DZ = M.atom(I).Z;
+    EXPECT_LE(std::sqrt(DX * DX + DY * DY + DZ * DZ), Radius + 1e-6);
+  }
+}

@@ -1,0 +1,228 @@
+//===- tests/md/NBForceTest.cpp --------------------------------*- C++ -*-===//
+//
+// End-to-end NBFORCE checks on a small molecule: the scalar, MIMD,
+// unflattened-SIMD, L1u/L2u and flattened-SIMD executions must all
+// compute the same forces; the step counts must obey Eq. 1'/2'.
+//
+//===----------------------------------------------------------------------===//
+
+#include "md/NBForce.h"
+
+#include "analysis/Profitability.h"
+#include "interp/MimdInterp.h"
+#include "interp/ScalarInterp.h"
+#include "interp/SimdInterp.h"
+#include "ir/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::md;
+
+namespace {
+
+constexpr int64_t NMax = 256;
+
+struct Fixture {
+  Molecule Mol;
+  PairList PL;
+  int64_t MaxP;
+  ExternRegistry Reg;
+
+  explicit Fixture(double Cutoff = 6.0)
+      : Mol(Molecule::syntheticSOD([] {
+          SodParams P;
+          P.NumAtoms = 200;
+          return P;
+        }())),
+        PL(buildPairList(Mol, Cutoff)) {
+    PL.ensureMinOnePartner();
+    MaxP = PL.maxPCnt();
+    bindForceExterns(Reg, Mol, /*ForceCost=*/200.0, /*LayerCheckCost=*/4.0);
+  }
+};
+
+machine::MachineConfig simdMachine(int64_t Lanes, machine::Layout L) {
+  machine::MachineConfig M;
+  M.Name = "test";
+  M.Processors = Lanes;
+  M.Gran = Lanes;
+  M.DataLayout = L;
+  M.SecondsPerCycle = 1.0;
+  return M;
+}
+
+/// Reference force accumulation computed directly in C++.
+std::vector<double> referenceForces(const Fixture &F) {
+  std::vector<double> Out(static_cast<size_t>(NMax), 0.0);
+  for (int64_t I = 0; I < F.PL.numAtoms(); ++I)
+    for (int64_t K = 1; K <= F.PL.PCnt[static_cast<size_t>(I)]; ++K)
+      Out[static_cast<size_t>(I)] +=
+          pairForce(F.Mol, I + 1, F.PL.partner(I, K));
+  return Out;
+}
+
+void expectForcesNear(const std::vector<double> &Got,
+                      const std::vector<double> &Want) {
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Got.size(); ++I)
+    EXPECT_NEAR(Got[I], Want[I], 1e-9) << "atom " << I + 1;
+}
+
+TEST(NBForce, ScalarMatchesReference) {
+  Fixture F;
+  Program P = nbforceF77(NMax, F.MaxP);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  ScalarInterp Interp(P, M, &F.Reg);
+  setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, /*Sweep=*/NMax);
+  Interp.run();
+  expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
+}
+
+TEST(NBForce, MimdMatchesReferenceAndEq1) {
+  Fixture F;
+  Program P = nbforceF77(NMax, F.MaxP);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  RunOptions Opts;
+  Opts.WorkCalls = {"Force"};
+  MimdInterp Interp(P, M, &F.Reg, /*NumProcs=*/4, machine::Layout::Cyclic,
+                    Opts);
+  MimdRunResult R = Interp.run([&](DataStore &S) {
+    setNBForceInputs(S, F.PL, NMax, F.MaxP, NMax);
+  });
+  expectForcesNear(R.Merged->getRealArray("F"), referenceForces(F));
+  // Eq. 1: max over processors of their pair-count sums.
+  analysis::ProfitEstimate E = analysis::estimateProfit(
+      F.PL.PCnt, 4, machine::Layout::Cyclic);
+  EXPECT_EQ(R.TimeSteps, E.FlattenedSteps);
+}
+
+TEST(NBForce, FlattenedSimdMatchesFig15) {
+  Fixture F;
+  Program P = nbforceFlattenedSimd(NMax, F.MaxP, machine::Layout::Cyclic);
+  machine::MachineConfig M = simdMachine(8, machine::Layout::Cyclic);
+  RunOptions Opts;
+  Opts.WorkCalls = {"Force"};
+  SimdInterp Interp(P, M, &F.Reg, Opts);
+  setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, NMax);
+  SimdRunResult R = Interp.run();
+  expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
+  EXPECT_EQ(R.Stats.CommAccesses, 0);
+  // Eq. 1': the flattened SIMD step count reaches the MIMD bound.
+  analysis::ProfitEstimate E = analysis::estimateProfit(
+      F.PL.PCnt, 8, machine::Layout::Cyclic);
+  EXPECT_EQ(R.Stats.WorkSteps, E.FlattenedSteps);
+}
+
+TEST(NBForce, UnflattenedSimdMatchesEq2) {
+  Fixture F;
+  Program P = nbforceUnflattenedSimd(NMax, F.MaxP, machine::Layout::Cyclic);
+  machine::MachineConfig M = simdMachine(8, machine::Layout::Cyclic);
+  RunOptions Opts;
+  Opts.WorkCalls = {"Force"};
+  SimdInterp Interp(P, M, &F.Reg, Opts);
+  setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, NMax);
+  SimdRunResult R = Interp.run();
+  expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
+  // Eq. 2': sum over atom blocks of the max pCnt in the block.
+  analysis::ProfitEstimate E = analysis::estimateProfit(
+      F.PL.PCnt, 8, machine::Layout::Cyclic);
+  EXPECT_EQ(R.Stats.WorkSteps, E.UnflattenedSteps);
+}
+
+TEST(NBForce, L1uCountsAreMaxPTimesLayers) {
+  Fixture F;
+  Program P = nbforceL1u(NMax, F.MaxP);
+  machine::MachineConfig M = simdMachine(16, machine::Layout::Cyclic);
+  RunOptions Opts;
+  Opts.WorkCalls = {"Force"};
+  SimdInterp Interp(P, M, &F.Reg, Opts);
+  // Pruning machine: sweep only the active atoms.
+  setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP,
+                   /*Sweep=*/F.PL.numAtoms());
+  SimdRunResult R = Interp.run();
+  expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
+  int64_t Lrs = M.layersFor(F.PL.numAtoms());
+  EXPECT_EQ(R.Stats.WorkSteps, F.MaxP * Lrs);
+}
+
+TEST(NBForce, L2uSweepsAllDeclaredLayers) {
+  Fixture F;
+  Program P = nbforceL2u(NMax, F.MaxP);
+  machine::MachineConfig M = simdMachine(16, machine::Layout::Cyclic);
+  RunOptions Opts;
+  Opts.WorkCalls = {"Force"};
+  SimdInterp Interp(P, M, &F.Reg, Opts);
+  setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, /*Sweep=*/NMax);
+  SimdRunResult R = Interp.run();
+  expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
+  int64_t MaxLrs = M.layersFor(NMax);
+  EXPECT_EQ(R.Stats.WorkSteps, F.MaxP * MaxLrs);
+}
+
+TEST(NBForce, FlattenedBeatsUnflattenedInSeconds) {
+  Fixture F;
+  machine::MachineConfig M = simdMachine(16, machine::Layout::Cyclic);
+  RunOptions Opts;
+  Opts.WorkCalls = {"Force"};
+
+  Program PU = nbforceL1u(NMax, F.MaxP);
+  SimdInterp IU(PU, M, &F.Reg, Opts);
+  setNBForceInputs(IU.store(), F.PL, NMax, F.MaxP, F.PL.numAtoms());
+  double SecondsU = IU.run().Stats.Seconds;
+
+  Program PF = nbforceFlattenedSimd(NMax, F.MaxP, machine::Layout::Cyclic);
+  SimdInterp IF_(PF, M, &F.Reg, Opts);
+  setNBForceInputs(IF_.store(), F.PL, NMax, F.MaxP, NMax);
+  double SecondsF = IF_.run().Stats.Seconds;
+
+  EXPECT_LT(SecondsF, SecondsU);
+}
+
+TEST(NBForce, PairForceProperties) {
+  Fixture F;
+  // Self-pairs contribute nothing.
+  EXPECT_EQ(pairForce(F.Mol, 5, 5), 0.0);
+  // Symmetric in its arguments.
+  EXPECT_DOUBLE_EQ(pairForce(F.Mol, 3, 17), pairForce(F.Mol, 17, 3));
+  // Finite everywhere on the molecule.
+  for (int64_t I = 1; I <= 50; ++I)
+    EXPECT_TRUE(std::isfinite(pairForce(F.Mol, I, I + 1)));
+}
+
+TEST(NBForce, SpeedupBoundedByMaxOverAvg) {
+  // Sec. 5.5: Lu/Lf <= pCntmax / pCntavg.
+  Fixture F;
+  for (int64_t Lanes : {4, 8, 16, 32}) {
+    analysis::ProfitEstimate E = analysis::estimateProfit(
+        F.PL.PCnt, Lanes, machine::Layout::Cyclic);
+    EXPECT_LE(E.Speedup, E.MaxOverAvg + 1e-9) << Lanes;
+  }
+}
+
+TEST(NBForce, Figure15Golden) {
+  // The derived flattened SIMD kernel is the paper's Fig. 15, verbatim
+  // modulo our done-test spelling (pr >= pCnt vs pr = pCnt).
+  ir::Program P = nbforceFlattenedSimd(64, 8, machine::Layout::Cyclic);
+  EXPECT_EQ(ir::printBody(P.body()),
+            "at1 = 1 + (LANEINDEX() - 1)\n"
+            "pr = 1\n"
+            "WHILE (ANY(at1 <= nAtoms))\n"
+            "  WHERE (at1 <= nAtoms)\n"
+            "    at2 = partners(at1, pr)\n"
+            "    F(at1) = F(at1) + Force(at1, at2)\n"
+            "    WHERE (pr >= pCnt(at1))\n"
+            "      at1 = at1 + NUMLANES()\n"
+            "      pr = 1\n"
+            "    ELSEWHERE\n"
+            "      pr = pr + 1\n"
+            "    ENDWHERE\n"
+            "  ENDWHERE\n"
+            "ENDWHILE\n");
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/md/PairListTest.cpp -------------------------------*- C++ -*-===//
+
+#include "md/PairList.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::md;
+
+namespace {
+
+Molecule smallMolecule() {
+  SodParams P;
+  P.NumAtoms = 300;
+  return Molecule::syntheticSOD(P);
+}
+
+TEST(PairList, MatchesBruteForce) {
+  Molecule M = smallMolecule();
+  for (double Cutoff : {2.0, 4.0, 8.0}) {
+    PairList Fast = buildPairList(M, Cutoff);
+    PairList Slow = buildPairListBruteForce(M, Cutoff);
+    EXPECT_EQ(Fast.PCnt, Slow.PCnt) << "cutoff " << Cutoff;
+    EXPECT_EQ(Fast.Partners, Slow.Partners) << "cutoff " << Cutoff;
+    EXPECT_EQ(Fast.Offsets, Slow.Offsets) << "cutoff " << Cutoff;
+  }
+}
+
+TEST(PairList, HalfCounting) {
+  // Every partner id is strictly greater than its owner (1-based).
+  Molecule M = smallMolecule();
+  PairList PL = buildPairList(M, 6.0);
+  for (int64_t I = 0; I < PL.numAtoms(); ++I)
+    for (int64_t K = 1; K <= PL.PCnt[static_cast<size_t>(I)]; ++K)
+      EXPECT_GT(PL.partner(I, K), I + 1);
+}
+
+TEST(PairList, TotalsAndStats) {
+  Molecule M = smallMolecule();
+  PairList PL = buildPairList(M, 6.0);
+  int64_t Sum = 0;
+  for (int64_t C : PL.PCnt)
+    Sum += C;
+  EXPECT_EQ(Sum, PL.total());
+  EXPECT_GT(PL.maxPCnt(), 0);
+  EXPECT_GT(PL.avgPCnt(), 0.0);
+  EXPECT_GE(PL.maxPCnt(), static_cast<int64_t>(PL.avgPCnt()));
+}
+
+TEST(PairList, GrowsWithCutoff) {
+  Molecule M = smallMolecule();
+  PairList A = buildPairList(M, 4.0);
+  PairList B = buildPairList(M, 8.0);
+  EXPECT_GT(B.total(), A.total());
+  EXPECT_GE(B.maxPCnt(), A.maxPCnt());
+}
+
+TEST(PairList, EnsureMinOnePartner) {
+  Molecule M = smallMolecule();
+  PairList PL = buildPairList(M, 4.0);
+  // The raw half-counted list always has at least one zero (the last
+  // atom has no higher-index partner).
+  EXPECT_EQ(PL.PCnt.back(), 0);
+  int64_t Before = PL.total();
+  int64_t Padded = PL.ensureMinOnePartner();
+  EXPECT_GT(Padded, 0);
+  EXPECT_EQ(PL.total(), Before + Padded);
+  for (int64_t I = 0; I < PL.numAtoms(); ++I)
+    EXPECT_GE(PL.PCnt[static_cast<size_t>(I)], 1);
+  // Padded entries are self-pairs.
+  EXPECT_EQ(PL.partner(PL.numAtoms() - 1, 1), PL.numAtoms());
+}
+
+TEST(PairList, RectangularPadding) {
+  Molecule M = smallMolecule();
+  PairList PL = buildPairList(M, 5.0);
+  PL.ensureMinOnePartner();
+  int64_t NMax = 512, MaxP = PL.maxPCnt() + 3;
+  std::vector<int64_t> Rect = PL.rectangularPartners(NMax, MaxP);
+  ASSERT_EQ(static_cast<int64_t>(Rect.size()), NMax * MaxP);
+  for (int64_t I = 0; I < PL.numAtoms(); ++I) {
+    for (int64_t K = 1; K <= MaxP; ++K) {
+      int64_t Want =
+          K <= PL.PCnt[static_cast<size_t>(I)] ? PL.partner(I, K) : 0;
+      EXPECT_EQ(Rect[static_cast<size_t>(I * MaxP + K - 1)], Want);
+    }
+  }
+  // Rows beyond the molecule are all zero.
+  for (int64_t I = PL.numAtoms(); I < NMax; ++I)
+    for (int64_t K = 0; K < MaxP; ++K)
+      EXPECT_EQ(Rect[static_cast<size_t>(I * MaxP + K)], 0);
+  std::vector<int64_t> PC = PL.paddedPCnt(NMax);
+  EXPECT_EQ(static_cast<int64_t>(PC.size()), NMax);
+  EXPECT_EQ(PC[static_cast<size_t>(PL.numAtoms())], 0);
+}
+
+TEST(PairList, HandPlacedGeometry) {
+  // Four atoms on a line at x = 0, 1, 2, 10; cutoff 1.5.
+  std::vector<Atom> Atoms(4);
+  Atoms[1].X = 1.0;
+  Atoms[2].X = 2.0;
+  Atoms[3].X = 10.0;
+  Molecule M(std::move(Atoms));
+  PairList PL = buildPairList(M, 1.5);
+  EXPECT_EQ(PL.PCnt, (std::vector<int64_t>{1, 1, 0, 0}));
+  EXPECT_EQ(PL.partner(0, 1), 2); // atom 1 - atom 2
+  EXPECT_EQ(PL.partner(1, 1), 3); // atom 2 - atom 3
+  EXPECT_EQ(PL.total(), 2);
+  // Exactly on the cutoff counts as a neighbor (<=).
+  PairList PL2 = buildPairList(M, 1.0);
+  EXPECT_EQ(PL2.total(), 2);
+  // Just below the spacing: nothing.
+  PairList PL3 = buildPairList(M, 0.99);
+  EXPECT_EQ(PL3.total(), 0);
+}
+
+} // namespace

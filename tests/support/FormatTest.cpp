@@ -1,0 +1,42 @@
+//===- tests/support/FormatTest.cpp ----------------------------*- C++ -*-===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+
+TEST(Format, Formatf) {
+  EXPECT_EQ(formatf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(formatf("%s", "hello"), "hello");
+  EXPECT_EQ(formatf("%.3f", 1.23456), "1.235");
+  EXPECT_EQ(formatf("empty"), "empty");
+}
+
+TEST(Format, FormatfLongOutput) {
+  std::string Long(1000, 'x');
+  EXPECT_EQ(formatf("%s!", Long.c_str()), Long + "!");
+}
+
+TEST(Format, PadLeft) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(padLeft("", 2), "  ");
+}
+
+TEST(Format, PadRight) {
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Format, Repeat) {
+  EXPECT_EQ(repeat("-", 3), "---");
+  EXPECT_EQ(repeat("ab", 2), "abab");
+  EXPECT_EQ(repeat("x", 0), "");
+}

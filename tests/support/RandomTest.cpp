@@ -1,0 +1,94 @@
+//===- tests/support/RandomTest.cpp ----------------------------*- C++ -*-===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace simdflat;
+
+TEST(Random, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 5);
+}
+
+TEST(Random, UniformIntInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.uniformInt(-3, 9);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 9);
+  }
+}
+
+TEST(Random, UniformIntCoversRange) {
+  Rng R(11);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(R.uniformInt(0, 4));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Random, UniformIntSingleton) {
+  Rng R(3);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(R.uniformInt(5, 5), 5);
+}
+
+TEST(Random, UniformRealInUnitInterval) {
+  Rng R(13);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.uniformReal();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Random, UniformRealMeanRoughlyHalf) {
+  Rng R(17);
+  double Sum = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.uniformReal();
+  EXPECT_NEAR(Sum / N, 0.5, 0.02);
+}
+
+TEST(Random, NormalMoments) {
+  Rng R(19);
+  double Sum = 0, Sum2 = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double V = R.normal();
+    Sum += V;
+    Sum2 += V * V;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(Sum2 / N, 1.0, 0.05);
+}
+
+TEST(Random, ShufflePermutes) {
+  Rng R(23);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::multiset<int> A(V.begin(), V.end()), B(Orig.begin(), Orig.end());
+  EXPECT_EQ(A, B);
+}
+
+TEST(Random, ChanceExtremes) {
+  Rng R(29);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}

@@ -1,0 +1,56 @@
+//===- tests/support/StatsTest.cpp -----------------------------*- C++ -*-===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+
+TEST(Stats, Empty) {
+  Summary S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.sum(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(Stats, SingleObservation) {
+  Summary S;
+  S.add(4.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.min(), 4.0);
+  EXPECT_EQ(S.max(), 4.0);
+  EXPECT_EQ(S.mean(), 4.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(Stats, PaperExampleTripCounts) {
+  // L = 4,1,2,1,1,3,1,3 from Sec. 3: mean 2, max 4, sum 16.
+  Summary S;
+  for (double V : {4.0, 1.0, 2.0, 1.0, 1.0, 3.0, 1.0, 3.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_EQ(S.sum(), 16.0);
+  EXPECT_EQ(S.mean(), 2.0);
+  EXPECT_EQ(S.min(), 1.0);
+  EXPECT_EQ(S.max(), 4.0);
+  // Population variance: mean of squares 42/8 minus mean^2 4 = 1.25.
+  EXPECT_DOUBLE_EQ(S.variance(), 1.25);
+}
+
+TEST(Stats, NegativeValues) {
+  Summary S;
+  S.add(-2.0);
+  S.add(2.0);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.min(), -2.0);
+  EXPECT_EQ(S.max(), 2.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 4.0);
+}
+
+TEST(Stats, ConstantSeriesHasZeroVariance) {
+  Summary S;
+  for (int I = 0; I < 100; ++I)
+    S.add(7.5);
+  EXPECT_NEAR(S.variance(), 0.0, 1e-12);
+  EXPECT_EQ(S.stddev(), S.stddev()); // not NaN
+}

@@ -1,0 +1,61 @@
+//===- tests/support/TableTest.cpp -----------------------------*- C++ -*-===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+
+TEST(Table, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"Gran", "Lu", "Lf"});
+  T.addRow({"1024", "1512", "906"});
+  T.addRow({"8192", "216", "216"});
+  std::string Out = T.render();
+  EXPECT_EQ(Out, "Gran    Lu   Lf\n"
+                 "---------------\n"
+                 "1024  1512  906\n"
+                 "8192   216  216\n");
+}
+
+TEST(Table, SparseRows) {
+  // Table 1 in the paper has empty cells for unrunnable configurations.
+  TextTable T;
+  T.setHeader({"P", "L1u", "L2u", "Lf"});
+  T.addRow({"1024", "3.89"});
+  T.addRow({"2048", "6.57", "3.86", "2.13"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("1024  3.89\n"), std::string::npos);
+  EXPECT_NE(Out.find("2048  6.57  3.86  2.13"), std::string::npos);
+}
+
+TEST(Table, Separator) {
+  TextTable T;
+  T.setHeader({"a", "b"});
+  T.addRow({"1", "2"});
+  T.addSeparator();
+  T.addRow({"3", "4"});
+  std::string Out = T.render();
+  // Header separator plus the explicit one.
+  size_t First = Out.find("----");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Out.find("----", First + 1), std::string::npos);
+}
+
+TEST(Table, LeftAlignOverride) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.setAlign(1, TextTable::Align::Left);
+  T.addRow({"x", "1"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("x     1"), std::string::npos);
+}
+
+TEST(Table, NumRows) {
+  TextTable T;
+  T.setHeader({"a"});
+  EXPECT_EQ(T.numRows(), 0u);
+  T.addRow({"1"});
+  T.addRow({"2"});
+  EXPECT_EQ(T.numRows(), 2u);
+}

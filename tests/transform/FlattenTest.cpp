@@ -1,0 +1,474 @@
+//===- tests/transform/FlattenTest.cpp -------------------------*- C++ -*-===//
+//
+// Verifies the loop-flattening transformation (Figs. 10-12): golden
+// shapes for the EXAMPLE, semantic equivalence across every loop form
+// and level, the exact instruction-order invariant for impure guards,
+// per-lane induction distribution, deep nests and rejection reasons.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Flatten.h"
+
+#include "interp/ScalarInterp.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Walk.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+namespace {
+
+machine::MachineConfig sparc() { return machine::MachineConfig::sparc2(); }
+
+std::vector<int64_t> runExample(Program &P, const ExampleSpec &Spec,
+                                const ExternRegistry *Reg = nullptr) {
+  machine::MachineConfig M = sparc();
+  ScalarInterp Interp(P, M, Reg);
+  Interp.store().setInt("K", Spec.K);
+  Interp.store().setIntArray("L", Spec.L);
+  Interp.run();
+  return Interp.store().getIntArray("X");
+}
+
+TEST(Flatten, Figure12Golden) {
+  // EXAMPLE flattened at the done-test level must be Fig. 12 (our done
+  // test spells j >= L(i) rather than j = L(i)).
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  FlattenOptions Opts;
+  Opts.Force = FlattenLevel::DoneTest;
+  Opts.AssumeInnerMinOneTrip = true;
+  FlattenResult R = flattenNest(P, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  EXPECT_EQ(R.Applied, FlattenLevel::DoneTest);
+  EXPECT_EQ(R.OuterIndexVar, "i");
+  EXPECT_EQ(printBody(P.body()), "i = 1\n"
+                                 "j = 1\n"
+                                 "WHILE (i <= K)\n"
+                                 "  X(i, j) = i * j\n"
+                                 "  IF (j >= L(i)) THEN\n"
+                                 "    i = i + 1\n"
+                                 "    j = 1\n"
+                                 "  ELSE\n"
+                                 "    j = j + 1\n"
+                                 "  ENDIF\n"
+                                 "ENDWHILE\n");
+}
+
+TEST(Flatten, Figure11Golden) {
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  FlattenOptions Opts;
+  Opts.Force = FlattenLevel::Optimized;
+  Opts.AssumeInnerMinOneTrip = true;
+  FlattenResult R = flattenNest(P, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  EXPECT_EQ(printBody(P.body()), "i = 1\n"
+                                 "j = 1\n"
+                                 "WHILE (i <= K)\n"
+                                 "  X(i, j) = i * j\n"
+                                 "  j = j + 1\n"
+                                 "  IF (.NOT. j <= L(i)) THEN\n"
+                                 "    i = i + 1\n"
+                                 "    j = 1\n"
+                                 "  ENDIF\n"
+                                 "ENDWHILE\n");
+}
+
+TEST(Flatten, Figure10Golden) {
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  FlattenOptions Opts;
+  Opts.Force = FlattenLevel::General;
+  FlattenResult R = flattenNest(P, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  EXPECT_EQ(printBody(P.body()), "i = 1\n"
+                                 "t1 = i <= K\n"
+                                 "IF (t1) THEN\n"
+                                 "  j = 1\n"
+                                 "ENDIF\n"
+                                 "WHILE (t1)\n"
+                                 "  t2 = j <= L(i)\n"
+                                 "  WHILE (t1 .AND. .NOT. t2)\n"
+                                 "    i = i + 1\n"
+                                 "    t1 = i <= K\n"
+                                 "    IF (t1) THEN\n"
+                                 "      j = 1\n"
+                                 "      t2 = j <= L(i)\n"
+                                 "    ENDIF\n"
+                                 "  ENDWHILE\n"
+                                 "  IF (t1) THEN\n"
+                                 "    X(i, j) = i * j\n"
+                                 "    j = j + 1\n"
+                                 "  ENDIF\n"
+                                 "ENDWHILE\n");
+}
+
+struct EquivCase {
+  LoopForm Inner;
+  FlattenLevel Level;
+  bool AssumeMinOne;
+};
+
+class FlattenEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(FlattenEquivalence, MatchesOriginalStores) {
+  EquivCase C = GetParam();
+  // Several trip-count patterns, including zero-trip rows for the
+  // general level (pre-test forms only).
+  std::vector<ExampleSpec> Specs = {
+      paperExampleSpec(),
+      {1, {1}},
+      {5, {3, 3, 3, 3, 3}},
+      {6, {1, 5, 2, 4, 3, 6}},
+  };
+  bool PostTestForm =
+      C.Inner == LoopForm::Repeat || C.Inner == LoopForm::GotoLoop;
+  if (!C.AssumeMinOne && !PostTestForm && C.Level == FlattenLevel::General)
+    Specs.push_back({4, {2, 0, 0, 3}}); // zero-trip inner iterations
+
+  for (const ExampleSpec &Spec : Specs) {
+    Program Orig = makeExample(Spec, C.Inner);
+    std::vector<int64_t> Want = runExample(Orig, Spec);
+
+    Program P = makeExample(Spec, C.Inner);
+    FlattenOptions Opts;
+    Opts.Force = C.Level;
+    Opts.AssumeInnerMinOneTrip = C.AssumeMinOne;
+    FlattenResult R = flattenNest(P, Opts);
+    if (!R.Changed) {
+      // Some level/form combinations are legitimately rejected (e.g.
+      // DoneTest needs a counted inner loop).
+      continue;
+    }
+    EXPECT_EQ(runExample(P, Spec), Want)
+        << "inner " << static_cast<int>(C.Inner) << " level "
+        << flattenLevelName(C.Level) << " K=" << Spec.K;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormsAndLevels, FlattenEquivalence,
+    ::testing::Values(
+        EquivCase{LoopForm::Do, FlattenLevel::General, false},
+        EquivCase{LoopForm::Do, FlattenLevel::Optimized, true},
+        EquivCase{LoopForm::Do, FlattenLevel::DoneTest, true},
+        EquivCase{LoopForm::While, FlattenLevel::General, false},
+        EquivCase{LoopForm::While, FlattenLevel::Optimized, true},
+        EquivCase{LoopForm::Repeat, FlattenLevel::Optimized, false},
+        EquivCase{LoopForm::Repeat, FlattenLevel::DoneTest, false}));
+
+TEST(Flatten, AutoLevelSelection) {
+  ExampleSpec Spec = paperExampleSpec();
+  {
+    // DO inner + min-one assumption: best level is DoneTest.
+    Program P = makeExample(Spec, LoopForm::Do);
+    FlattenOptions Opts;
+    Opts.AssumeInnerMinOneTrip = true;
+    FlattenResult R = flattenNest(P, Opts);
+    ASSERT_TRUE(R.Changed) << R.Reason;
+    EXPECT_EQ(R.Applied, FlattenLevel::DoneTest);
+  }
+  {
+    // Without the assumption, min-one is unprovable: fall to General.
+    Program P = makeExample(Spec, LoopForm::Do);
+    FlattenResult R = flattenNest(P);
+    ASSERT_TRUE(R.Changed) << R.Reason;
+    EXPECT_EQ(R.Applied, FlattenLevel::General);
+  }
+  {
+    // WHILE inner has no done test: Optimized at best.
+    Program P = makeExample(Spec, LoopForm::While);
+    FlattenOptions Opts;
+    Opts.AssumeInnerMinOneTrip = true;
+    FlattenResult R = flattenNest(P, Opts);
+    ASSERT_TRUE(R.Changed) << R.Reason;
+    EXPECT_EQ(R.Applied, FlattenLevel::Optimized);
+  }
+  {
+    // REPEAT inner is structurally min-one: Optimized without the flag.
+    Program P = makeExample(Spec, LoopForm::Repeat);
+    FlattenResult R = flattenNest(P);
+    ASSERT_TRUE(R.Changed) << R.Reason;
+    EXPECT_EQ(R.Applied, FlattenLevel::Optimized);
+  }
+}
+
+TEST(Flatten, ImpureGuardForcesGeneralAndPreservesCallOrder) {
+  // The paper's invariant: "we still execute exactly the same
+  // instructions in the same order and the same number of times."
+  ExampleSpec Spec{3, {2, 1, 3}};
+
+  auto RunAndLog = [&](Program &P) {
+    ExternRegistry Reg;
+    std::vector<int64_t> Log;
+    int64_t Counter = 0;
+    Reg.bind("Bump", [&](std::span<const ScalVal>) {
+      ++Counter;
+      Log.push_back(Counter);
+      return ScalVal::makeInt(Counter);
+    });
+    runExample(P, Spec, &Reg);
+    return Log;
+  };
+
+  Program Orig = makeExampleImpureGuard(Spec);
+  std::vector<int64_t> WantLog = RunAndLog(Orig);
+
+  // The conservative dependence test cannot prove a loop with impure
+  // calls parallel; the DOALL header is the user's assertion (Sec. 6).
+  Program P = makeExampleImpureGuard(Spec);
+  FlattenOptions GOpts;
+  GOpts.CheckSafety = false;
+  FlattenResult R = flattenNest(P, GOpts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  EXPECT_EQ(R.Applied, FlattenLevel::General); // impure guard
+  EXPECT_EQ(RunAndLog(P), WantLog);
+
+  // Forcing an optimized level must be rejected.
+  Program P2 = makeExampleImpureGuard(Spec);
+  FlattenOptions Opts;
+  Opts.CheckSafety = false;
+  Opts.Force = FlattenLevel::Optimized;
+  Opts.AssumeInnerMinOneTrip = true;
+  FlattenResult R2 = flattenNest(P2, Opts);
+  EXPECT_FALSE(R2.Changed);
+  EXPECT_NE(R2.Reason.find("side-effect"), std::string::npos);
+}
+
+TEST(Flatten, DistributedInductionIsSequentialOnOneLane) {
+  // With LANEINDEX()=NUMLANES()=1 (scalar machine), the distributed
+  // flattened program must still compute the original stores.
+  ExampleSpec Spec = paperExampleSpec();
+  Program Orig = makeExample(Spec);
+  std::vector<int64_t> Want = runExample(Orig, Spec);
+  for (machine::Layout L :
+       {machine::Layout::Block, machine::Layout::Cyclic}) {
+    Program P = makeExample(Spec);
+    FlattenOptions Opts;
+    Opts.AssumeInnerMinOneTrip = true;
+    Opts.DistributeOuter = L;
+    FlattenResult R = flattenNest(P, Opts);
+    ASSERT_TRUE(R.Changed) << R.Reason;
+    EXPECT_EQ(runExample(P, Spec), Want);
+  }
+}
+
+TEST(Flatten, DistributedCyclicGolden) {
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  FlattenOptions Opts;
+  Opts.Force = FlattenLevel::DoneTest;
+  Opts.AssumeInnerMinOneTrip = true;
+  Opts.DistributeOuter = machine::Layout::Cyclic;
+  FlattenResult R = flattenNest(P, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  // Fig. 15 shape: start at the lane id, stride by the lane count.
+  EXPECT_EQ(printBody(P.body()),
+            "i = 1 + (LANEINDEX() - 1)\n"
+            "j = 1\n"
+            "WHILE (i <= K)\n"
+            "  X(i, j) = i * j\n"
+            "  IF (j >= L(i)) THEN\n"
+            "    i = i + NUMLANES()\n"
+            "    j = 1\n"
+            "  ELSE\n"
+            "    j = j + 1\n"
+            "  ENDIF\n"
+            "ENDWHILE\n");
+}
+
+TEST(Flatten, PreAndPostRegions) {
+  // DOALL i { s = L(i)*2 (Pre); DO j = 1, s { A(i) = A(i)+j }; C(i) = s
+  // (Post) }: Pre/Post must execute once per outer iteration.
+  Program P("prepost");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("s", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {4}, Dist::Distributed);
+  P.addVar("A", ScalarKind::Int, {4}, Dist::Distributed);
+  P.addVar("C", ScalarKind::Int, {4}, Dist::Distributed);
+  Builder B(P);
+  Body InnerBody = Builder::body(B.assign(
+      B.at("A", B.var("i")), B.add(B.at("A", B.var("i")), B.var("j"))));
+  Body OuterBody = Builder::body(
+      B.set("s", B.mul(B.at("L", B.var("i")), B.lit(2))),
+      B.doLoop("j", B.lit(1), B.var("s"), std::move(InnerBody)),
+      B.assign(B.at("C", B.var("i")), B.var("s")));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"),
+                              std::move(OuterBody), nullptr,
+                              /*IsParallel=*/true));
+
+  auto Run = [&](Program &Q) {
+    machine::MachineConfig M = sparc();
+    ScalarInterp Interp(Q, M, nullptr);
+    Interp.store().setInt("K", 4);
+    std::vector<int64_t> L = {2, 1, 3, 1};
+    Interp.store().setIntArray("L", L);
+    Interp.run();
+    return std::make_pair(Interp.store().getIntArray("A"),
+                          Interp.store().getIntArray("C"));
+  };
+
+  Program Orig = cloneProgram(P);
+  auto Want = Run(Orig);
+  FlattenOptions Opts;
+  Opts.AssumeInnerMinOneTrip = true;
+  FlattenResult R = flattenNest(P, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  auto Got = Run(P);
+  EXPECT_EQ(Got.first, Want.first);
+  EXPECT_EQ(Got.second, Want.second);
+}
+
+TEST(Flatten, GuardedReinitWhenInitReadsArrays) {
+  // Pre region reads L(i): after the last advance i is out of range, so
+  // the re-initialization must be guarded (no out-of-bounds read).
+  Program P("guardedinit");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("lim", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {3}, Dist::Distributed);
+  P.addVar("A", ScalarKind::Int, {3}, Dist::Distributed);
+  Builder B(P);
+  Body InnerBody = Builder::body(B.assign(
+      B.at("A", B.var("i")), B.add(B.at("A", B.var("i")), B.lit(1))));
+  Body OuterBody = Builder::body(
+      B.set("lim", B.at("L", B.var("i"))),
+      B.doLoop("j", B.lit(1), B.var("lim"), std::move(InnerBody)));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"),
+                              std::move(OuterBody), nullptr, true));
+  FlattenOptions Opts;
+  Opts.AssumeInnerMinOneTrip = true;
+  FlattenResult R = flattenNest(P, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  // Executing must not trip the out-of-bounds check after i passes K.
+  machine::MachineConfig M = sparc();
+  ScalarInterp Interp(P, M, nullptr);
+  Interp.store().setInt("K", 3);
+  std::vector<int64_t> L = {2, 1, 2};
+  Interp.store().setIntArray("L", L);
+  Interp.run();
+  EXPECT_EQ(Interp.store().getIntArray("A"),
+            (std::vector<int64_t>{2, 1, 2}));
+}
+
+TEST(Flatten, DeepNestThreeLevels) {
+  // DOALL i { DO j = 1, L(i) { DO k = 1, j { X(i) += k } } } collapses
+  // into one flat loop.
+  Program P("deep");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("k", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {4}, Dist::Distributed);
+  P.addVar("X", ScalarKind::Int, {4}, Dist::Distributed);
+  Builder B(P);
+  Body KBody = Builder::body(B.assign(
+      B.at("X", B.var("i")), B.add(B.at("X", B.var("i")), B.var("k"))));
+  Body JBody =
+      Builder::body(B.doLoop("k", B.lit(1), B.var("j"), std::move(KBody)));
+  Body IBody = Builder::body(
+      B.doLoop("j", B.lit(1), B.at("L", B.var("i")), std::move(JBody)));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"),
+                              std::move(IBody), nullptr, true));
+
+  auto Run = [&](Program &Q) {
+    machine::MachineConfig M = sparc();
+    ScalarInterp Interp(Q, M, nullptr);
+    Interp.store().setInt("K", 4);
+    std::vector<int64_t> L = {3, 1, 2, 4};
+    Interp.store().setIntArray("L", L);
+    Interp.run();
+    return Interp.store().getIntArray("X");
+  };
+  Program Orig = cloneProgram(P);
+  std::vector<int64_t> Want = Run(Orig);
+
+  FlattenOptions Opts;
+  Opts.AssumeInnerMinOneTrip = true;
+  FlattenResult R = flattenNestDeep(P, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  EXPECT_EQ(Run(P), Want);
+  // The result is one flat WHILE: no loop nested inside another's body
+  // beyond depth 1.
+  size_t Loops = 0;
+  forEachStmt(P.body(), [&](const Stmt &S) {
+    if (S.kind() == Stmt::Kind::While || S.kind() == Stmt::Kind::Do)
+      ++Loops;
+  });
+  EXPECT_EQ(Loops, 1u);
+}
+
+TEST(Flatten, RejectsUnsafeLoop) {
+  // A(i) = A(i-1) marked DOALL: the safety net catches the lie.
+  Program P("unsafe");
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("A", ScalarKind::Int, {8}, Dist::Distributed);
+  Builder B(P);
+  Body Inner = Builder::body(B.assign(
+      B.at("A", B.var("i")), B.at("A", B.sub(B.var("i"), B.lit(1)))));
+  Body Outer =
+      Builder::body(B.doLoop("j", B.lit(1), B.lit(2), std::move(Inner)));
+  P.body().push_back(
+      B.doLoop("i", B.lit(2), B.lit(8), std::move(Outer), nullptr, true));
+  FlattenResult R = flattenNest(P);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_NE(R.Reason.find("not parallelizable"), std::string::npos);
+}
+
+TEST(Flatten, RejectsTwoInnerLoops) {
+  Program P("twoinner");
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("A", ScalarKind::Int, {8}, Dist::Distributed);
+  Builder B(P);
+  Body Loop1 = Builder::body(B.assign(B.at("A", B.var("i")), B.var("j")));
+  Body Loop2 = Builder::body(B.assign(B.at("A", B.var("i")), B.var("j")));
+  Body Outer = Builder::body(
+      B.doLoop("j", B.lit(1), B.lit(2), std::move(Loop1)),
+      B.doLoop("j", B.lit(1), B.lit(3), std::move(Loop2)));
+  P.body().push_back(
+      B.doLoop("i", B.lit(1), B.lit(8), std::move(Outer), nullptr, true));
+  FlattenResult R = flattenNest(P);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_NE(R.Reason.find("several inner loops"), std::string::npos);
+}
+
+TEST(Flatten, NoParallelLoop) {
+  Program P("nopar");
+  P.addVar("i", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.doLoop("i", B.lit(1), B.lit(4), {}));
+  FlattenResult R = flattenNest(P);
+  EXPECT_FALSE(R.Changed);
+  EXPECT_NE(R.Reason.find("no parallel"), std::string::npos);
+}
+
+TEST(Flatten, GennestWhileOuterViaExplicitApi) {
+  // The GENNEST shape (Fig. 8): WHILE outer with trailing increment.
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec, LoopForm::While, LoopForm::While);
+  Program Orig = cloneProgram(P);
+  std::vector<int64_t> Want = runExample(Orig, Spec);
+  // Body: [i = 1, WHILE(i <= K){ j = 1; WHILE(j <= L(i)){...}; i=i+1 }]
+  ASSERT_EQ(P.body().size(), 2u);
+  FlattenOptions Opts;
+  Opts.CheckSafety = false;
+  FlattenResult R = flattenLoopPairAt(P, P.body(), 1, Opts);
+  ASSERT_TRUE(R.Changed) << R.Reason;
+  EXPECT_EQ(R.Applied, FlattenLevel::General); // trips not provable
+  EXPECT_EQ(runExample(P, Spec), Want);
+}
+
+} // namespace

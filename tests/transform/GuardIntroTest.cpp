@@ -1,0 +1,114 @@
+//===- tests/transform/GuardIntroTest.cpp ----------------------*- C++ -*-===//
+
+#include "transform/GuardIntro.h"
+
+#include "interp/ScalarInterp.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "transform/Normalize.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+namespace {
+
+TEST(GuardIntro, Figure9Shape) {
+  // Normalize then introduce guards: the EXAMPLE should take exactly the
+  // Fig. 9 shape with guard flags re-evaluated after each increment.
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  NormalizeOptions Opts;
+  Opts.SkipParallel = false;
+  normalizeLoops(P, Opts);
+  int N = introduceGuards(P);
+  EXPECT_EQ(N, 2);
+  EXPECT_EQ(printBody(P.body()), "i = 1\n"
+                                 "t1 = i <= K\n"
+                                 "WHILE (t1)\n"
+                                 "  j = 1\n"
+                                 "  t = j <= L(i)\n"
+                                 "  WHILE (t)\n"
+                                 "    X(i, j) = i * j\n"
+                                 "    j = j + 1\n"
+                                 "    t = j <= L(i)\n"
+                                 "  ENDWHILE\n"
+                                 "  i = i + 1\n"
+                                 "  t1 = i <= K\n"
+                                 "ENDWHILE\n");
+}
+
+TEST(GuardIntro, SemanticsPreserved) {
+  ExampleSpec Spec = paperExampleSpec();
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+
+  Program Orig = makeExample(Spec);
+  ScalarInterp I1(Orig, M, nullptr);
+  I1.store().setInt("K", Spec.K);
+  I1.store().setIntArray("L", Spec.L);
+  I1.run();
+
+  Program P = makeExample(Spec);
+  NormalizeOptions Opts;
+  Opts.SkipParallel = false;
+  normalizeLoops(P, Opts);
+  introduceGuards(P);
+  ScalarInterp I2(P, M, nullptr);
+  I2.store().setInt("K", Spec.K);
+  I2.store().setIntArray("L", Spec.L);
+  I2.run();
+
+  EXPECT_EQ(I1.store().getIntArray("X"), I2.store().getIntArray("X"));
+}
+
+TEST(GuardIntro, ImpureGuardEvaluatedSameNumberOfTimes) {
+  // The whole point of Fig. 9: guards with side effects must run exactly
+  // as often and in the same order as before.
+  ExampleSpec Spec{2, {2, 1}};
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+
+  auto RunAndLog = [&](Program &P) {
+    ExternRegistry Reg;
+    std::vector<int64_t> Log;
+    int64_t Counter = 0;
+    Reg.bind("Bump", [&](std::span<const ScalVal>) {
+      ++Counter;
+      Log.push_back(Counter);
+      return ScalVal::makeInt(Counter);
+    });
+    ScalarInterp Interp(P, M, &Reg);
+    Interp.store().setInt("K", Spec.K);
+    Interp.store().setIntArray("L", Spec.L);
+    Interp.run();
+    return Log;
+  };
+
+  Program Orig = makeExampleImpureGuard(Spec);
+  std::vector<int64_t> WantLog = RunAndLog(Orig);
+
+  Program Guarded = makeExampleImpureGuard(Spec);
+  introduceGuards(Guarded);
+  EXPECT_EQ(RunAndLog(Guarded), WantLog);
+}
+
+TEST(GuardIntro, FreshFlagNames) {
+  Program P("g");
+  P.addVar("a", ScalarKind::Int);
+  P.addVar("t", ScalarKind::Int); // already taken
+  Builder B(P);
+  P.body().push_back(B.whileLoop(
+      B.lt(B.var("a"), B.lit(2)),
+      Builder::body(B.set("a", B.add(B.var("a"), B.lit(1))))));
+  introduceGuards(P);
+  // The guard flag must avoid colliding with the existing 't'.
+  EXPECT_EQ(P.lookupVar("t")->Kind, ScalarKind::Int);
+  ASSERT_NE(P.lookupVar("t1"), nullptr);
+  EXPECT_EQ(P.lookupVar("t1")->Kind, ScalarKind::Bool);
+}
+
+} // namespace

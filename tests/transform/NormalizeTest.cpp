@@ -1,0 +1,109 @@
+//===- tests/transform/NormalizeTest.cpp -----------------------*- C++ -*-===//
+
+#include "transform/Normalize.h"
+
+#include "interp/ScalarInterp.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+namespace {
+
+std::vector<int64_t> runExample(Program &P, const ExampleSpec &Spec) {
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  ScalarInterp Interp(P, M, nullptr);
+  Interp.store().setInt("K", Spec.K);
+  Interp.store().setIntArray("L", Spec.L);
+  Interp.run();
+  return Interp.store().getIntArray("X");
+}
+
+TEST(Normalize, DoBecomesFig8While) {
+  // Fig. 8 right-hand column: the EXAMPLE inner DO in normal form.
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  int N = normalizeLoops(P);
+  EXPECT_EQ(N, 1); // inner only; outer DOALL is kept by default
+  EXPECT_EQ(printBody(P.body()), "DOALL i = 1, K\n"
+                                 "  j = 1\n"
+                                 "  WHILE (j <= L(i))\n"
+                                 "    X(i, j) = i * j\n"
+                                 "    j = j + 1\n"
+                                 "  ENDWHILE\n"
+                                 "ENDDO\n");
+}
+
+TEST(Normalize, BothLoopsWhenParallelNotSkipped) {
+  ExampleSpec Spec = paperExampleSpec();
+  Program P = makeExample(Spec);
+  NormalizeOptions Opts;
+  Opts.SkipParallel = false;
+  int N = normalizeLoops(P, Opts);
+  EXPECT_EQ(N, 2);
+  EXPECT_EQ(printBody(P.body()), "i = 1\n"
+                                 "WHILE (i <= K)\n"
+                                 "  j = 1\n"
+                                 "  WHILE (j <= L(i))\n"
+                                 "    X(i, j) = i * j\n"
+                                 "    j = j + 1\n"
+                                 "  ENDWHILE\n"
+                                 "  i = i + 1\n"
+                                 "ENDWHILE\n");
+}
+
+TEST(Normalize, PreservesSemanticsAllForms) {
+  ExampleSpec Spec = paperExampleSpec();
+  for (LoopForm Inner : {LoopForm::Do, LoopForm::While, LoopForm::Repeat}) {
+    Program Orig = makeExample(Spec, Inner);
+    std::vector<int64_t> Want = runExample(Orig, Spec);
+
+    Program Normalized = makeExample(Spec, Inner);
+    NormalizeOptions Opts;
+    Opts.SkipParallel = false;
+    normalizeLoops(Normalized, Opts);
+    EXPECT_EQ(runExample(Normalized, Spec), Want)
+        << "inner form " << static_cast<int>(Inner);
+  }
+}
+
+TEST(Normalize, RepeatPeelsFirstIteration) {
+  Program P("rp");
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.repeatUntil(
+      Builder::body(B.set("n", B.add(B.var("n"), B.lit(1)))),
+      B.ge(B.var("n"), B.lit(3))));
+  normalizeLoops(P);
+  EXPECT_EQ(printBody(P.body()), "n = n + 1\n"
+                                 "WHILE (.NOT. n >= 3)\n"
+                                 "  n = n + 1\n"
+                                 "ENDWHILE\n");
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  ScalarInterp Interp(P, M, nullptr);
+  Interp.run();
+  EXPECT_EQ(Interp.store().getInt("n"), 3);
+}
+
+TEST(Normalize, NonLiteralStepLeftAlone) {
+  Program P("vs");
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("s", ScalarKind::Int);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.doLoop(
+      "i", B.lit(1), B.lit(10),
+      Builder::body(B.set("n", B.add(B.var("n"), B.lit(1)))), B.var("s")));
+  int N = normalizeLoops(P);
+  EXPECT_EQ(N, 0);
+  EXPECT_EQ(P.body()[0]->kind(), Stmt::Kind::Do);
+}
+
+} // namespace

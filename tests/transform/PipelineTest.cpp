@@ -1,0 +1,98 @@
+//===- tests/transform/PipelineTest.cpp ------------------------*- C++ -*-===//
+
+#include "transform/Pipeline.h"
+
+#include "interp/SimdInterp.h"
+#include "ir/Printer.h"
+#include "ir/Verify.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+namespace {
+
+TEST(Pipeline, ExampleEndToEnd) {
+  Program Ex = makeExample(paperExampleSpec());
+  PipelineOptions PO;
+  PO.AssumeInnerMinOneTrip = true;
+  PipelineReport Rep;
+  Program Simd = compileForSimd(Ex, PO, &Rep);
+  EXPECT_EQ(Simd.dialect(), Dialect::F90Simd);
+  EXPECT_EQ(Rep.GotoLoopsRecovered, 0);
+  EXPECT_TRUE(Rep.Flattened);
+  EXPECT_EQ(Rep.LevelApplied, FlattenLevel::DoneTest);
+  EXPECT_TRUE(verifyProgram(Simd).empty());
+  // The input program is untouched (the pipeline works on a copy).
+  EXPECT_EQ(Ex.dialect(), Dialect::F77);
+}
+
+TEST(Pipeline, RecoversGotoLoops) {
+  // GOTO-form inner loop; the outer loop keeps its DOALL marker (a
+  // GOTO-form outer would carry no parallel annotation, and the
+  // pipeline would rightly refuse to flatten it).
+  ExampleSpec Spec = paperExampleSpec();
+  Program Ex = makeExample(Spec, LoopForm::GotoLoop);
+  PipelineOptions PO;
+  PipelineReport Rep;
+  Program Simd = compileForSimd(Ex, PO, &Rep);
+  EXPECT_EQ(Rep.GotoLoopsRecovered, 1);
+  EXPECT_TRUE(Rep.Flattened); // recovered REPEATs are min-one-trip
+
+  machine::MachineConfig M;
+  M.Name = "p";
+  M.Processors = 2;
+  M.Gran = 2;
+  M.DataLayout = machine::Layout::Cyclic;
+  SimdInterp I(Simd, M, nullptr);
+  I.store().setInt("K", Spec.K);
+  I.store().setIntArray("L", Spec.L);
+  I.run();
+  std::vector<int64_t> Idx = {8, 3};
+  EXPECT_EQ(I.store().getIntAt("X", Idx), 24);
+}
+
+TEST(Pipeline, UnflattenedPath) {
+  Program Ex = makeExample(paperExampleSpec());
+  PipelineOptions PO;
+  PO.Flatten = false;
+  PipelineReport Rep;
+  Program Simd = compileForSimd(Ex, PO, &Rep);
+  EXPECT_FALSE(Rep.Flattened);
+  EXPECT_TRUE(Rep.FlattenSkipReason.empty()); // not requested != failed
+  EXPECT_EQ(Simd.dialect(), Dialect::F90Simd);
+}
+
+TEST(Pipeline, RejectedLevelIsReported) {
+  // Forcing DoneTest on a WHILE inner loop (no done test available).
+  Program Ex = makeExample(paperExampleSpec(), LoopForm::While);
+  PipelineOptions PO;
+  PO.ForceLevel = FlattenLevel::DoneTest;
+  PO.AssumeInnerMinOneTrip = true;
+  PipelineReport Rep;
+  Program Simd = compileForSimd(Ex, PO, &Rep);
+  EXPECT_FALSE(Rep.Flattened);
+  EXPECT_NE(Rep.FlattenSkipReason.find("last-iteration"),
+            std::string::npos);
+  // The program is still SIMDized (unflattened, Fig. 5 path).
+  EXPECT_EQ(Simd.dialect(), Dialect::F90Simd);
+}
+
+TEST(Pipeline, SummaryMentionsStages) {
+  Program Ex = makeExample(paperExampleSpec(), LoopForm::GotoLoop);
+  PipelineOptions PO;
+  PO.AssumeInnerMinOneTrip = true;
+  PipelineReport Rep;
+  compileForSimd(Ex, PO, &Rep);
+  std::string S = Rep.summary();
+  EXPECT_NE(S.find("recovered 1 GOTO loop"), std::string::npos);
+  EXPECT_NE(S.find("flattened at the"), std::string::npos);
+  EXPECT_NE(S.find("SIMDized"), std::string::npos);
+}
+
+} // namespace

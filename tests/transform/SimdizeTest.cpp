@@ -1,0 +1,297 @@
+//===- tests/transform/SimdizeTest.cpp -------------------------*- C++ -*-===//
+//
+// Verifies the F77 -> F90simd conversion and the full pipeline: the
+// automatically SIMDized EXAMPLE reproduces the paper's 12-step Eq. 2
+// schedule (Fig. 5/6), and flatten+distribute+simdize reproduces the
+// 8-step Eq. 1 schedule (Fig. 7) - the headline result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Simdize.h"
+
+#include "interp/ScalarInterp.h"
+#include "interp/SimdInterp.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "transform/Flatten.h"
+#include "ir/Walk.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+using namespace simdflat::workloads;
+
+namespace {
+
+machine::MachineConfig lanes(int64_t N, machine::Layout L) {
+  machine::MachineConfig M;
+  M.Name = "test";
+  M.Processors = N;
+  M.Gran = N;
+  M.DataLayout = L;
+  M.SecondsPerCycle = 1.0;
+  return M;
+}
+
+std::vector<int64_t> expectedX(const ExampleSpec &Spec) {
+  int64_t MaxL = std::max<int64_t>(Spec.maxL(), 1);
+  std::vector<int64_t> X(static_cast<size_t>(Spec.K * MaxL), 0);
+  for (int64_t I = 1; I <= Spec.K; ++I)
+    for (int64_t J = 1; J <= Spec.L[static_cast<size_t>(I - 1)]; ++J)
+      X[static_cast<size_t>((I - 1) * MaxL + (J - 1))] = I * J;
+  return X;
+}
+
+SimdRunResult runSimd(Program &P, const ExampleSpec &Spec,
+                      const machine::MachineConfig &M,
+                      std::vector<int64_t> *XOut = nullptr) {
+  RunOptions Opts;
+  Opts.WorkTargets = {"X"};
+  SimdInterp Interp(P, M, nullptr, Opts);
+  Interp.store().setInt("K", Spec.K);
+  Interp.store().setIntArray("L", Spec.L);
+  SimdRunResult R = Interp.run();
+  if (XOut)
+    *XOut = Interp.store().getIntArray("X");
+  return R;
+}
+
+TEST(Simdize, UnflattenedExampleIsFig5) {
+  // The automatic pipeline must match Eq. 2: 12 steps on 2 lanes.
+  ExampleSpec Spec = paperExampleSpec();
+  Program F77 = makeExample(Spec);
+  SimdizeOptions SOpts;
+  SOpts.DoAllLayout = machine::Layout::Block;
+  Program Simd = simdize(F77, SOpts);
+  EXPECT_EQ(Simd.dialect(), Dialect::F90Simd);
+  // i must have become replicated; j stays control.
+  EXPECT_EQ(Simd.lookupVar("i")->Distribution, Dist::Replicated);
+  EXPECT_EQ(Simd.lookupVar("j")->Distribution, Dist::Control);
+
+  std::vector<int64_t> X;
+  SimdRunResult R =
+      runSimd(Simd, Spec, lanes(2, machine::Layout::Block), &X);
+  EXPECT_EQ(R.Stats.WorkSteps, 12);
+  EXPECT_EQ(X, expectedX(Spec));
+  EXPECT_EQ(R.Stats.CommAccesses, 0);
+  // Fig. 6's idle slots: 16 useful lane-slots out of 24.
+  EXPECT_DOUBLE_EQ(R.Stats.workUtilization(), 16.0 / 24.0);
+}
+
+TEST(Simdize, FlattenedExampleIsFig7) {
+  // flatten (Fig. 12) + distribute + simdize == Fig. 7: 8 steps, full
+  // utilization - the MIMD bound of Eq. 1.
+  ExampleSpec Spec = paperExampleSpec();
+  Program F77 = makeExample(Spec);
+  FlattenOptions FOpts;
+  FOpts.AssumeInnerMinOneTrip = true;
+  FOpts.DistributeOuter = machine::Layout::Block;
+  FlattenResult FR = flattenNest(F77, FOpts);
+  ASSERT_TRUE(FR.Changed) << FR.Reason;
+  Program Simd = simdize(F77);
+
+  std::vector<int64_t> X;
+  SimdRunResult R =
+      runSimd(Simd, Spec, lanes(2, machine::Layout::Block), &X);
+  EXPECT_EQ(R.Stats.WorkSteps, 8);
+  EXPECT_EQ(X, expectedX(Spec));
+  EXPECT_EQ(R.Stats.CommAccesses, 0);
+  EXPECT_DOUBLE_EQ(R.Stats.workUtilization(), 1.0);
+}
+
+TEST(Simdize, FlattenedExampleGoldenFig7) {
+  // The printed flattened SIMD program matches the Fig. 7 structure.
+  ExampleSpec Spec = paperExampleSpec();
+  Program F77 = makeExample(Spec);
+  FlattenOptions FOpts;
+  FOpts.Force = FlattenLevel::DoneTest;
+  FOpts.AssumeInnerMinOneTrip = true;
+  FOpts.DistributeOuter = machine::Layout::Cyclic;
+  ASSERT_TRUE(flattenNest(F77, FOpts).Changed);
+  Program Simd = simdize(F77);
+  EXPECT_EQ(printBody(Simd.body()),
+            "i = 1 + (LANEINDEX() - 1)\n"
+            "j = 1\n"
+            "WHILE (ANY(i <= K))\n"
+            "  WHERE (i <= K)\n"
+            "    X(i, j) = i * j\n"
+            "    WHERE (j >= L(i))\n"
+            "      i = i + NUMLANES()\n"
+            "      j = 1\n"
+            "    ELSEWHERE\n"
+            "      j = j + 1\n"
+            "    ENDWHERE\n"
+            "  ENDWHERE\n"
+            "ENDWHILE\n");
+}
+
+struct PipelineCase {
+  LoopForm Inner;
+  int64_t Lanes;
+  machine::Layout Layout;
+};
+
+class SimdizePipeline : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(SimdizePipeline, UnflattenedAndFlattenedMatchScalar) {
+  PipelineCase C = GetParam();
+  std::vector<ExampleSpec> Specs = {
+      paperExampleSpec(),
+      {3, {2, 1, 2}},
+      {9, {1, 4, 2, 3, 1, 1, 5, 2, 1}},
+      {13, {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9}},
+  };
+  for (const ExampleSpec &Spec : Specs) {
+    std::vector<int64_t> Want = expectedX(Spec);
+    machine::MachineConfig M = lanes(C.Lanes, C.Layout);
+
+    // Unflattened pipeline.
+    Program F77a = makeExample(Spec, C.Inner);
+    SimdizeOptions SOpts;
+    SOpts.DoAllLayout = C.Layout;
+    Program SimdA = simdize(F77a, SOpts);
+    std::vector<int64_t> XA;
+    SimdRunResult RA = runSimd(SimdA, Spec, M, &XA);
+    EXPECT_EQ(XA, Want) << "unflattened, K=" << Spec.K;
+    EXPECT_EQ(RA.Stats.CommAccesses, 0);
+
+    // Flattened pipeline.
+    Program F77b = makeExample(Spec, C.Inner);
+    FlattenOptions FOpts;
+    FOpts.AssumeInnerMinOneTrip = true;
+    FOpts.DistributeOuter = C.Layout;
+    FlattenResult FR = flattenNest(F77b, FOpts);
+    ASSERT_TRUE(FR.Changed) << FR.Reason;
+    Program SimdB = simdize(F77b);
+    std::vector<int64_t> XB;
+    SimdRunResult RB = runSimd(SimdB, Spec, M, &XB);
+    EXPECT_EQ(XB, Want) << "flattened, K=" << Spec.K;
+    EXPECT_EQ(RB.Stats.CommAccesses, 0);
+
+    // Flattening never takes more work steps.
+    EXPECT_LE(RB.Stats.WorkSteps, RA.Stats.WorkSteps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormsLanesLayouts, SimdizePipeline,
+    ::testing::Values(
+        PipelineCase{LoopForm::Do, 2, machine::Layout::Block},
+        PipelineCase{LoopForm::Do, 2, machine::Layout::Cyclic},
+        PipelineCase{LoopForm::Do, 4, machine::Layout::Block},
+        PipelineCase{LoopForm::Do, 4, machine::Layout::Cyclic},
+        PipelineCase{LoopForm::Do, 8, machine::Layout::Cyclic},
+        PipelineCase{LoopForm::While, 2, machine::Layout::Block},
+        PipelineCase{LoopForm::While, 4, machine::Layout::Cyclic},
+        PipelineCase{LoopForm::Repeat, 4, machine::Layout::Cyclic}));
+
+TEST(Simdize, UniformIfStaysIf) {
+  Program P("uif");
+  P.addVar("n", ScalarKind::Int);
+  P.addVar("m", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.ifStmt(B.gt(B.var("n"), B.lit(0)),
+                              Builder::body(B.set("m", B.lit(1)))));
+  Program S = simdize(P);
+  EXPECT_EQ(S.body()[0]->kind(), Stmt::Kind::If);
+}
+
+TEST(Simdize, VaryingIfBecomesWhere) {
+  Program P("vif");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("A", ScalarKind::Int, {8}, Dist::Distributed);
+  Builder B(P);
+  Body Inner = Builder::body(
+      B.ifStmt(B.gt(B.at("A", B.var("i")), B.lit(0)),
+               Builder::body(B.assign(B.at("A", B.var("i")), B.lit(1))),
+               Builder::body(B.assign(B.at("A", B.var("i")), B.lit(2)))));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"), std::move(Inner),
+                              nullptr, /*IsParallel=*/true));
+  Program S = simdize(P);
+  bool FoundWhere = false;
+  forEachStmt(S.body(), [&](const Stmt &St) {
+    if (St.kind() == Stmt::Kind::Where)
+      FoundWhere = true;
+  });
+  EXPECT_TRUE(FoundWhere);
+  // And it executes correctly.
+  machine::MachineConfig M = lanes(4, machine::Layout::Cyclic);
+  SimdInterp Interp(S, M, nullptr);
+  Interp.store().setInt("K", 8);
+  std::vector<int64_t> A = {5, 0, -3, 7, 0, 1, 0, -2};
+  Interp.store().setIntArray("A", A);
+  Interp.run();
+  EXPECT_EQ(Interp.store().getIntArray("A"),
+            (std::vector<int64_t>{1, 2, 2, 1, 2, 1, 2, 2}));
+}
+
+TEST(Simdize, RaggedIterationSpace) {
+  // K not a multiple of the lane count: the final block is guarded.
+  ExampleSpec Spec{7, {2, 1, 3, 1, 2, 1, 4}};
+  Program F77 = makeExample(Spec);
+  Program Simd = simdize(F77);
+  std::vector<int64_t> X;
+  runSimd(Simd, Spec, lanes(4, machine::Layout::Cyclic), &X);
+  EXPECT_EQ(X, expectedX(Spec));
+}
+
+TEST(Simdize, RejectsDoubleSimdization) {
+  Program P("dd");
+  P.setDialect(Dialect::F90Simd);
+  EXPECT_DEATH(simdize(P), "already in the F90simd dialect");
+}
+
+TEST(Simdize, ScalarMachineStillRunsSimdizedCode) {
+  // A 1-lane SIMD machine degenerates to sequential execution.
+  ExampleSpec Spec = paperExampleSpec();
+  Program F77 = makeExample(Spec);
+  Program Simd = simdize(F77);
+  std::vector<int64_t> X;
+  SimdRunResult R =
+      runSimd(Simd, Spec, lanes(1, machine::Layout::Cyclic), &X);
+  EXPECT_EQ(X, expectedX(Spec));
+  EXPECT_EQ(R.Stats.WorkSteps, 16); // sum of all trip counts
+}
+
+TEST(Simdize, DescendingVaryingBoundUsesMinReduction) {
+  // DOALL i { DO j = 6, LO(i), -1 { A(i) = A(i) + j } }: the machine
+  // bound is the MIN over lanes with a >= guard.
+  Program P("desc");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  P.addVar("LO", ScalarKind::Int, {8}, Dist::Distributed);
+  P.addVar("A", ScalarKind::Int, {8}, Dist::Distributed);
+  Builder B(P);
+  Body Inner = Builder::body(B.assign(
+      B.at("A", B.var("i")), B.add(B.at("A", B.var("i")), B.var("j"))));
+  Body Outer = Builder::body(B.doLoop(
+      "j", B.lit(6), B.at("LO", B.var("i")), std::move(Inner),
+      B.lit(-1)));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"),
+                              std::move(Outer), nullptr, true));
+  Program Simd = transform::simdize(P);
+  std::string Printed = printBody(Simd.body());
+  EXPECT_NE(Printed.find("MINRED"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("j >= LO(i)"), std::string::npos) << Printed;
+
+  // Execute and compare against the sequential run.
+  machine::MachineConfig M = lanes(4, machine::Layout::Cyclic);
+  SimdInterp I(Simd, M, nullptr);
+  I.store().setInt("K", 8);
+  std::vector<int64_t> LO = {1, 5, 3, 7, 2, 6, 4, 1};
+  I.store().setIntArray("LO", LO);
+  I.run();
+  std::vector<int64_t> Want(8, 0);
+  for (int R = 0; R < 8; ++R)
+    for (int64_t J = 6; J >= LO[static_cast<size_t>(R)]; --J)
+      Want[static_cast<size_t>(R)] += J;
+  EXPECT_EQ(I.store().getIntArray("A"), Want);
+}
+
+} // namespace

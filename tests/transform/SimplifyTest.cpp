@@ -1,0 +1,114 @@
+//===- tests/transform/SimplifyTest.cpp ------------------------*- C++ -*-===//
+
+#include "transform/Simplify.h"
+
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "ir/Verify.h"
+#include "transform/Pipeline.h"
+#include "workloads/PaperKernels.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+protected:
+  SimplifyTest() : P("s"), B(P) {
+    P.addVar("i", ScalarKind::Int);
+    P.addVar("f", ScalarKind::Bool);
+    P.addVar("A", ScalarKind::Int, {8});
+    P.addExtern("Eff", ScalarKind::Int, /*Pure=*/false);
+  }
+
+  std::string simp(ExprPtr E) {
+    return printExpr(*simplifyExpr(std::move(E)));
+  }
+
+  Program P;
+  Builder B;
+};
+
+TEST_F(SimplifyTest, LiteralFolding) {
+  EXPECT_EQ(simp(B.add(B.lit(2), B.lit(3))), "5");
+  EXPECT_EQ(simp(B.mul(B.lit(4), B.lit(-2))), "-8");
+  EXPECT_EQ(simp(B.mod(B.lit(17), B.lit(5))), "2");
+  EXPECT_EQ(simp(B.le(B.lit(2), B.lit(3))), ".TRUE.");
+  EXPECT_EQ(simp(B.land(B.lit(true), B.lit(false))), ".FALSE.");
+  EXPECT_EQ(simp(B.lnot(B.lit(false))), ".TRUE.");
+  EXPECT_EQ(simp(B.neg(B.lit(7))), "-7");
+  EXPECT_EQ(simp(B.max(B.lit(3), B.lit(9))), "9");
+}
+
+TEST_F(SimplifyTest, DivisionByZeroNotFolded) {
+  EXPECT_EQ(simp(B.div(B.lit(4), B.lit(0))), "4 / 0");
+  EXPECT_EQ(simp(B.mod(B.lit(4), B.lit(0))), "MOD(4, 0)");
+}
+
+TEST_F(SimplifyTest, Identities) {
+  EXPECT_EQ(simp(B.add(B.var("i"), B.lit(0))), "i");
+  EXPECT_EQ(simp(B.add(B.lit(0), B.var("i"))), "i");
+  EXPECT_EQ(simp(B.sub(B.var("i"), B.lit(0))), "i");
+  EXPECT_EQ(simp(B.mul(B.var("i"), B.lit(1))), "i");
+  EXPECT_EQ(simp(B.div(B.var("i"), B.lit(1))), "i");
+  EXPECT_EQ(simp(B.land(B.var("f"), B.lit(true))), "f");
+  EXPECT_EQ(simp(B.lor(B.lit(false), B.var("f"))), "f");
+  EXPECT_EQ(simp(B.lnot(B.lnot(B.var("f")))), "f");
+}
+
+TEST_F(SimplifyTest, SimdizeIndexPatterns) {
+  // 1 + (LANEINDEX() - 1) -> LANEINDEX()
+  EXPECT_EQ(simp(B.add(B.lit(1), B.sub(B.laneIndex(), B.lit(1)))),
+            "LANEINDEX()");
+  // (i - 1) + 3 -> i + 2
+  EXPECT_EQ(simp(B.add(B.sub(B.var("i"), B.lit(1)), B.lit(3))), "i + 2");
+  // (i + 2) + 3 -> i + 5
+  EXPECT_EQ(simp(B.add(B.add(B.var("i"), B.lit(2)), B.lit(3))), "i + 5");
+}
+
+TEST_F(SimplifyTest, EffectsNeverDropped) {
+  // Eff() * 1 -> Eff(); but nothing may erase the call itself.
+  EXPECT_EQ(simp(B.mul(B.callFn("Eff", {}), B.lit(1))), "Eff()");
+  // 0 * Eff() must NOT fold to 0 (the call has effects).
+  EXPECT_EQ(simp(B.mul(B.lit(0), B.callFn("Eff", {}))), "0 * Eff()");
+}
+
+TEST_F(SimplifyTest, ConstantIfFolds) {
+  Program Q("q");
+  Q.addVar("n", ScalarKind::Int);
+  Builder QB(Q);
+  Q.body().push_back(QB.ifStmt(QB.lt(QB.lit(1), QB.lit(2)),
+                               Builder::body(QB.set("n", QB.lit(5))),
+                               Builder::body(QB.set("n", QB.lit(9)))));
+  int N = simplifyProgram(Q);
+  EXPECT_GT(N, 0);
+  EXPECT_EQ(printBody(Q.body()), "n = 5\n");
+  EXPECT_TRUE(verifyProgram(Q).empty());
+}
+
+TEST_F(SimplifyTest, PipelineOutputIsClean) {
+  // After the full pipeline (which runs simplify), the flattened EXAMPLE
+  // has no literal-fringe arithmetic left: the cyclic induction prints
+  // exactly as the paper's Fig. 15 style.
+  Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  PipelineOptions PO;
+  PO.AssumeInnerMinOneTrip = true;
+  Program Simd = compileForSimd(Ex, PO);
+  std::string Out = printBody(Simd.body());
+  EXPECT_EQ(Out.substr(0, Out.find('\n')), "i = LANEINDEX()");
+  EXPECT_EQ(Out.find("- 1)"), std::string::npos) << Out;
+}
+
+TEST_F(SimplifyTest, IdempotentOnCleanPrograms) {
+  Program Ex = workloads::makeExample(workloads::paperExampleSpec());
+  PipelineOptions PO;
+  PO.AssumeInnerMinOneTrip = true;
+  Program Simd = compileForSimd(Ex, PO);
+  EXPECT_EQ(simplifyProgram(Simd), 0);
+}
+
+} // namespace

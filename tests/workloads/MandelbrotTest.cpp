@@ -1,0 +1,92 @@
+//===- tests/workloads/MandelbrotTest.cpp ----------------------*- C++ -*-===//
+
+#include "workloads/Mandelbrot.h"
+
+#include "interp/ScalarInterp.h"
+#include "interp/SimdInterp.h"
+#include "transform/Flatten.h"
+#include "transform/Simdize.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+namespace {
+
+MandelbrotSpec smallSpec() {
+  MandelbrotSpec S;
+  S.Width = 16;
+  S.Height = 12;
+  S.MaxIter = 40;
+  return S;
+}
+
+TEST(Mandelbrot, NativeCountsSane) {
+  MandelbrotSpec S = smallSpec();
+  std::vector<int64_t> It = mandelbrotIterations(S);
+  ASSERT_EQ(It.size(), static_cast<size_t>(S.numPixels()));
+  bool SawInterior = false, SawEscape = false;
+  for (int64_t V : It) {
+    EXPECT_GE(V, 1);
+    EXPECT_LE(V, S.MaxIter);
+    SawInterior |= V == S.MaxIter;
+    SawEscape |= V < S.MaxIter;
+  }
+  EXPECT_TRUE(SawInterior); // the view contains part of the set
+  EXPECT_TRUE(SawEscape);
+}
+
+TEST(Mandelbrot, F77KernelMatchesNative) {
+  MandelbrotSpec S = smallSpec();
+  Program P = mandelbrotF77(S);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  ScalarInterp Interp(P, M, nullptr);
+  Interp.store().setInt("maxIter", S.MaxIter);
+  Interp.run();
+  EXPECT_EQ(Interp.store().getIntArray("IT"), mandelbrotIterations(S));
+}
+
+TEST(Mandelbrot, FlattenedSimdPipelineMatchesAndWins) {
+  MandelbrotSpec S = smallSpec();
+  std::vector<int64_t> Want = mandelbrotIterations(S);
+
+  machine::MachineConfig M;
+  M.Name = "test";
+  M.Processors = 16;
+  M.Gran = 16;
+  M.DataLayout = machine::Layout::Cyclic;
+  RunOptions Opts;
+  Opts.WorkTargets = {"tmp"}; // tmp is assigned once per inner iteration
+
+  // Unflattened.
+  Program PU = mandelbrotF77(S);
+  transform::SimdizeOptions SOpts;
+  SOpts.DoAllLayout = machine::Layout::Cyclic;
+  Program SU = transform::simdize(PU, SOpts);
+  SimdInterp IU(SU, M, nullptr, Opts);
+  IU.store().setInt("maxIter", S.MaxIter);
+  SimdRunResult RU = IU.run();
+  EXPECT_EQ(IU.store().getIntArray("IT"), Want);
+
+  // Flattened.
+  Program PF = mandelbrotF77(S);
+  transform::FlattenOptions FOpts;
+  FOpts.AssumeInnerMinOneTrip = true; // z=0 starts inside the circle
+  FOpts.DistributeOuter = machine::Layout::Cyclic;
+  transform::FlattenResult FR = transform::flattenNest(PF, FOpts);
+  ASSERT_TRUE(FR.Changed) << FR.Reason;
+  Program SF = transform::simdize(PF);
+  SimdInterp IF_(SF, M, nullptr, Opts);
+  IF_.store().setInt("maxIter", S.MaxIter);
+  SimdRunResult RF = IF_.run();
+  EXPECT_EQ(IF_.store().getIntArray("IT"), Want);
+
+  // Escape-time counts are highly skewed: flattening must win steps.
+  EXPECT_LT(RF.Stats.WorkSteps, RU.Stats.WorkSteps);
+  EXPECT_GT(RF.Stats.workUtilization(), RU.Stats.workUtilization());
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- tests/workloads/RegionGrowTest.cpp ----------------------*- C++ -*-===//
+
+#include "workloads/RegionGrow.h"
+
+#include "interp/ScalarInterp.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::workloads;
+
+namespace {
+
+TEST(RegionGrow, SizesPartitionTheImage) {
+  RegionGrowSpec S;
+  S.Width = 32;
+  S.Height = 24;
+  S.NumRegions = 10;
+  std::vector<int64_t> Sizes = regionSizes(S);
+  ASSERT_EQ(Sizes.size(), 10u);
+  for (int64_t V : Sizes)
+    EXPECT_GE(V, 1);
+  EXPECT_EQ(std::accumulate(Sizes.begin(), Sizes.end(), int64_t{0}),
+            S.Width * S.Height);
+}
+
+TEST(RegionGrow, SizesVary) {
+  RegionGrowSpec S;
+  std::vector<int64_t> Sizes = regionSizes(S);
+  int64_t Min = Sizes[0], Max = Sizes[0];
+  for (int64_t V : Sizes) {
+    Min = std::min(Min, V);
+    Max = std::max(Max, V);
+  }
+  // "dominated by the largest region": the skew must exist.
+  EXPECT_GT(Max, 2 * Min);
+}
+
+TEST(RegionGrow, Deterministic) {
+  RegionGrowSpec S;
+  EXPECT_EQ(regionSizes(S), regionSizes(S));
+}
+
+TEST(RegionGrow, KernelAccumulatesTriangularNumbers) {
+  RegionGrowSpec S;
+  S.Width = 16;
+  S.Height = 16;
+  S.NumRegions = 6;
+  std::vector<int64_t> Sizes = regionSizes(S);
+  int64_t MaxSize = *std::max_element(Sizes.begin(), Sizes.end());
+  Program P = regionGrowF77(S.NumRegions, MaxSize);
+  machine::MachineConfig M = machine::MachineConfig::sparc2();
+  ScalarInterp Interp(P, M, nullptr);
+  Interp.store().setInt("nRegions", S.NumRegions);
+  Interp.store().setIntArray("SIZE", Sizes);
+  Interp.run();
+  std::vector<int64_t> Grown = Interp.store().getIntArray("GROWN");
+  for (size_t R = 0; R < Sizes.size(); ++R)
+    EXPECT_EQ(Grown[R], Sizes[R] * (Sizes[R] + 1) / 2) << "region " << R;
+}
+
+} // namespace

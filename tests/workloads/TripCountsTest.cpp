@@ -1,0 +1,63 @@
+//===- tests/workloads/TripCountsTest.cpp ----------------------*- C++ -*-===//
+
+#include "workloads/TripCounts.h"
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::workloads;
+
+namespace {
+
+class TripCountsAll : public ::testing::TestWithParam<TripDist> {};
+
+TEST_P(TripCountsAll, PositiveAndRoughMean) {
+  TripDist D = GetParam();
+  const int64_t K = 4096, Mean = 20;
+  std::vector<int64_t> L = generateTripCounts(D, K, Mean, 7);
+  ASSERT_EQ(L.size(), static_cast<size_t>(K));
+  Summary S;
+  for (int64_t V : L) {
+    EXPECT_GE(V, 1) << tripDistName(D);
+    S.add(static_cast<double>(V));
+  }
+  EXPECT_NEAR(S.mean(), static_cast<double>(Mean),
+              0.25 * static_cast<double>(Mean))
+      << tripDistName(D);
+}
+
+TEST_P(TripCountsAll, Deterministic) {
+  TripDist D = GetParam();
+  EXPECT_EQ(generateTripCounts(D, 128, 10, 42),
+            generateTripCounts(D, 128, 10, 42));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TripCountsAll,
+                         ::testing::ValuesIn(AllTripDists),
+                         [](const auto &Info) {
+                           return tripDistName(Info.param);
+                         });
+
+TEST(TripCounts, ConstantHasZeroVariance) {
+  std::vector<int64_t> L =
+      generateTripCounts(TripDist::Constant, 64, 5, 1);
+  for (int64_t V : L)
+    EXPECT_EQ(V, 5);
+}
+
+TEST(TripCounts, VarianceOrdering) {
+  // Constant < uniform < bimodal in spread (the ablation axis).
+  auto Var = [](TripDist D) {
+    Summary S;
+    for (int64_t V : generateTripCounts(D, 8192, 20, 3))
+      S.add(static_cast<double>(V));
+    return S.variance();
+  };
+  EXPECT_EQ(Var(TripDist::Constant), 0.0);
+  EXPECT_GT(Var(TripDist::Uniform), 0.0);
+  EXPECT_GT(Var(TripDist::Bimodal), Var(TripDist::Uniform));
+}
+
+} // namespace
