@@ -122,7 +122,7 @@ NBRunResult NBForceExperiment::run(LoopVersion Version,
   Interp.store().setIntArray("partners", CI.Partners);
   if (Interp.store().program().lookupVar("sweep"))
     Interp.store().setInt("sweep", Sweep);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
 
   NBRunResult Out;
   Out.Seconds = R.Stats.Seconds;
@@ -143,7 +143,7 @@ NBRunResult NBForceExperiment::runSparc(double Cutoff) {
   Opts.WorkCalls = {"Force"};
   ScalarInterp Interp(P, M, &Reg, Opts);
   setNBForceInputs(Interp.store(), PL, NMax, MaxP, NMax);
-  ScalarRunResult R = Interp.run();
+  ScalarRunResult R = Interp.run().value();
   NBRunResult Out;
   Out.Seconds = R.Stats.Seconds;
   Out.ForceSteps = R.Stats.WorkSteps;

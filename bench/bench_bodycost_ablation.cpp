@@ -80,7 +80,7 @@ int main() {
       transform::PipelineOptions PO;
       PO.Flatten = Flatten;
       PO.AssumeInnerMinOneTrip = true;
-      Program Simd = transform::compileForSimd(F77, PO);
+      Program Simd = transform::compileForSimd(F77, PO).value();
       ExternRegistry Reg;
       Reg.bind("Work",
                [](std::span<const ScalVal>) {
@@ -90,7 +90,7 @@ int main() {
       SimdInterp Interp(Simd, M, &Reg, {});
       Interp.store().setInt("K", K);
       Interp.store().setIntArray("L", L);
-      Cycles[Flatten] = Interp.run().Stats.Cycles;
+      Cycles[Flatten] = Interp.run().value().Stats.Cycles;
     }
     double Speedup = Cycles[0] / Cycles[1];
     if (Crossover < 0.0 && Speedup >= 1.0 && PrevSpeedup > 0.0 &&

@@ -54,7 +54,7 @@ int main() {
       SimdInterp Interp(Simd, M, nullptr, Opts);
       Interp.store().setInt("K", Spec.K);
       Interp.store().setIntArray("L", Spec.L);
-      return Interp.run();
+      return Interp.run().value();
     };
 
     // Unflattened baseline.

@@ -49,7 +49,7 @@ int main() {
     MimdRunResult R = Interp.run([&](DataStore &S) {
       S.setInt("K", Spec.K);
       S.setIntArray("L", Spec.L);
-    });
+    }).value();
     std::printf("Figure 4 - MIMD execution trace (global row numbers; "
                 "the paper renames proc 2's rows to 1..4):\n");
     std::fputs(renderMimdTrace(R.PerProcTrace).c_str(), stdout);
@@ -67,7 +67,7 @@ int main() {
     SimdInterp Interp(Simd, M, nullptr, Opts);
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);
-    SimdRunResult R = Interp.run();
+    SimdRunResult R = Interp.run().value();
     std::printf("Figure 6 - unflattened SIMD trace ('-' = processor "
                 "masked out / idle):\n");
     std::fputs(renderSimdTrace(R.Tr).c_str(), stdout);
@@ -93,7 +93,7 @@ int main() {
     SimdInterp Interp(Simd, M, nullptr, Opts);
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);
-    SimdRunResult R = Interp.run();
+    SimdRunResult R = Interp.run().value();
     std::printf("Flattened SIMD trace (every processor busy every "
                 "step):\n");
     std::fputs(renderSimdTrace(R.Tr).c_str(), stdout);

@@ -56,7 +56,7 @@ int main() {
     PO.ForceLevel = Level;
     PO.AssumeInnerMinOneTrip = true;
     PipelineReport Rep;
-    Program Simd = compileForSimd(P, PO, &Rep);
+    Program Simd = compileForSimd(P, PO, &Rep).value();
     if (!Rep.Flattened) {
       std::printf("%s rejected: %s\n", Name,
                   Rep.FlattenSkipReason.c_str());
@@ -67,7 +67,7 @@ int main() {
     SimdInterp Interp(Simd, M, nullptr, Opts);
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);
-    SimdRunResult R = Interp.run();
+    SimdRunResult R = Interp.run().value();
     if (Level == FlattenLevel::DoneTest)
       DoneCycles = R.Stats.Cycles;
     T.addRow({Name, std::to_string(R.Stats.WorkSteps),

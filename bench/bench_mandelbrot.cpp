@@ -53,7 +53,7 @@ int main() {
     Program SU = transform::simdize(PU, SOpts);
     SimdInterp IU(SU, M, nullptr, Opts);
     IU.store().setInt("maxIter", Spec.MaxIter);
-    SimdRunResult RU = IU.run();
+    SimdRunResult RU = IU.run().value();
     AllCorrect &= IU.store().getIntArray("IT") == Want;
 
     Program PF = mandelbrotF77(Spec);
@@ -64,7 +64,7 @@ int main() {
     Program SF = transform::simdize(PF);
     SimdInterp IF_(SF, M, nullptr, Opts);
     IF_.store().setInt("maxIter", Spec.MaxIter);
-    SimdRunResult RF = IF_.run();
+    SimdRunResult RF = IF_.run().value();
     AllCorrect &= IF_.store().getIntArray("IT") == Want;
     AllFaster &= RF.Stats.WorkSteps < RU.Stats.WorkSteps;
 

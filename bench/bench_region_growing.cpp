@@ -60,7 +60,7 @@ int main() {
     SimdInterp IU(SU, M, nullptr, Opts);
     IU.store().setInt("nRegions", Spec.NumRegions);
     IU.store().setIntArray("SIZE", Sizes);
-    SimdRunResult RU = IU.run();
+    SimdRunResult RU = IU.run().value();
 
     Program PF = regionGrowF77(Spec.NumRegions, MaxSize);
     transform::FlattenOptions FOpts;
@@ -71,7 +71,7 @@ int main() {
     SimdInterp IF_(SF, M, nullptr, Opts);
     IF_.store().setInt("nRegions", Spec.NumRegions);
     IF_.store().setIntArray("SIZE", Sizes);
-    SimdRunResult RF = IF_.run();
+    SimdRunResult RF = IF_.run().value();
 
     ProfitEstimate E =
         estimateProfit(Sizes, Lanes, machine::Layout::Cyclic);

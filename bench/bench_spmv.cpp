@@ -64,7 +64,7 @@ int main() {
       transform::PipelineOptions PO;
       PO.Flatten = Flatten;
       PO.AssumeInnerMinOneTrip = true;
-      Program Simd = transform::compileForSimd(F77, PO);
+      Program Simd = transform::compileForSimd(F77, PO).value();
       RunOptions Opts;
       Opts.WorkTargets = {"y"};
       SimdInterp Interp(Simd, MC, nullptr, Opts);
@@ -77,7 +77,7 @@ int main() {
         Interp.store().setRealArray("val", M.Val);
         Interp.store().setRealArray("x", X);
       }
-      SimdRunResult R = Interp.run();
+      SimdRunResult R = Interp.run().value();
       std::vector<double> Y = Interp.store().getRealArray("y");
       for (int64_t Row = 0; Row < M.Rows; ++Row)
         AllCorrect &= std::abs(Y[static_cast<size_t>(Row)] -

@@ -32,9 +32,15 @@ Program makeManyNests(int64_t Nests) {
   P.addVar("L", ScalarKind::Int, {64}, Dist::Distributed);
   Builder B(P);
   for (int64_t N = 0; N < Nests; ++N) {
-    std::string I = "i" + std::to_string(N);
-    std::string J = "j" + std::to_string(N);
-    std::string X = "X" + std::to_string(N);
+    // Built via append rather than operator+ to dodge a GCC 12 -O2
+    // -Wrestrict false positive (PR105651).
+    std::string Suffix = std::to_string(N);
+    std::string I = "i";
+    I += Suffix;
+    std::string J = "j";
+    J += Suffix;
+    std::string X = "X";
+    X += Suffix;
     P.addVar(I, ScalarKind::Int);
     P.addVar(J, ScalarKind::Int);
     P.addVar(X, ScalarKind::Int, {64, 64}, Dist::Distributed);

@@ -48,7 +48,7 @@ std::pair<int64_t, int64_t> simulate(const ExampleSpec &Spec,
   SimdInterp IU(SU, M, nullptr, Opts);
   IU.store().setInt("K", Spec.K);
   IU.store().setIntArray("L", Spec.L);
-  int64_t StepsU = IU.run().Stats.WorkSteps;
+  int64_t StepsU = IU.run().value().Stats.WorkSteps;
 
   Program PF = makeExample(Spec);
   transform::FlattenOptions FOpts;
@@ -59,7 +59,7 @@ std::pair<int64_t, int64_t> simulate(const ExampleSpec &Spec,
   SimdInterp IF_(SF, M, nullptr, Opts);
   IF_.store().setInt("K", Spec.K);
   IF_.store().setIntArray("L", Spec.L);
-  int64_t StepsF = IF_.run().Stats.WorkSteps;
+  int64_t StepsF = IF_.run().value().Stats.WorkSteps;
   return {StepsU, StepsF};
 }
 

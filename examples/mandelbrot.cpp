@@ -45,7 +45,7 @@ int main() {
   Program SU = transform::simdize(PU, SOpts);
   SimdInterp IU(SU, M, nullptr, Opts);
   IU.store().setInt("maxIter", Spec.MaxIter);
-  SimdRunResult RU = IU.run();
+  SimdRunResult RU = IU.run().value();
 
   // Flattened pipeline.
   Program PF = mandelbrotF77(Spec);
@@ -60,7 +60,7 @@ int main() {
   Program SF = transform::simdize(PF);
   SimdInterp IF_(SF, M, nullptr, Opts);
   IF_.store().setInt("maxIter", Spec.MaxIter);
-  SimdRunResult RF = IF_.run();
+  SimdRunResult RF = IF_.run().value();
 
   std::vector<int64_t> It = IF_.store().getIntArray("IT");
   bool Same = It == IU.store().getIntArray("IT");

@@ -77,7 +77,7 @@ int main() {
     Opts.WorkCalls = {"Force"};
     SimdInterp Interp(R.Prog, M, &Reg, Opts);
     setNBForceInputs(Interp.store(), PL, NMax, MaxP, R.Sweep);
-    SimdRunResult RR = Interp.run();
+    SimdRunResult RR = Interp.run().value();
     std::vector<double> F = Interp.store().getRealArray("F");
     for (size_t I = 0; I < F.size(); ++I)
       ForcesOK &= std::fabs(F[I] - Want[I]) < 1e-9;

@@ -56,7 +56,7 @@ int main() {
     Interp.store().setInt("K", 8);
     std::vector<int64_t> L = {4, 1, 2, 1, 1, 3, 1, 3};
     Interp.store().setIntArray("L", L);
-    interp::SimdRunResult R = Interp.run();
+    interp::SimdRunResult R = Interp.run().value();
     std::printf("%s: %lld steps, %.0f%% of lane slots useful\n", What,
                 static_cast<long long>(R.Stats.WorkSteps),
                 100.0 * R.Stats.workUtilization());

@@ -69,7 +69,7 @@ int main() {
     SimdInterp Interp(P, M, nullptr, Opts);
     Interp.store().setInt("nRegions", Spec.NumRegions);
     Interp.store().setIntArray("SIZE", Sizes);
-    SimdRunResult R = Interp.run();
+    SimdRunResult R = Interp.run().value();
     return std::make_pair(R.Stats.WorkSteps,
                           Interp.store().getIntArray("GROWN"));
   };

@@ -26,13 +26,22 @@ struct SourceLoc {
   int Col = 0;
 };
 
+/// How bad a diagnostic is. Errors make the parse fail; warnings are
+/// advisory (suspicious but legal input) and never block compilation.
+enum class Severity {
+  Error,
+  Warning,
+};
+
 /// One reported problem.
 struct Diagnostic {
   SourceLoc Loc;
   std::string Message;
+  Severity Sev = Severity::Error;
 
-  /// "line L, col C: message" (error-message style: lowercase start, no
-  /// trailing period).
+  /// "line L, col C: message", with a "warning: " prefix on warnings
+  /// and the position omitted when there is none (Line == 0).
+  /// Error-message style: lowercase start, no trailing period.
   std::string render() const;
 };
 
@@ -40,12 +49,25 @@ struct Diagnostic {
 class Diagnostics {
 public:
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({Loc, std::move(Message)});
+    Diags.push_back({Loc, std::move(Message), Severity::Error});
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({Loc, std::move(Message), Severity::Warning});
   }
 
   bool empty() const { return Diags.empty(); }
   size_t count() const { return Diags.size(); }
   const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// True when any diagnostic is an error (warnings alone leave the
+  /// parse usable).
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == Severity::Error)
+        return true;
+    return false;
+  }
 
   /// All diagnostics joined with newlines.
   std::string renderAll() const;

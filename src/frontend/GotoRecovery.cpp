@@ -124,6 +124,21 @@ private:
 
 int frontend::recoverGotoLoops(Program &P) { return Recovery(P).run(); }
 
+int frontend::recoverGotoLoops(Program &P, Diagnostics &Diags) {
+  int Count = Recovery(P).run();
+  forEachStmt(P.body(), [&Diags](const Stmt &S) {
+    if (const auto *L = dyn_cast<LabelStmt>(&S))
+      Diags.warning({}, "label " + std::to_string(L->label()) +
+                            " survives GOTO-loop recovery; the SIMD "
+                            "pipeline cannot execute it");
+    else if (const auto *G = dyn_cast<GotoStmt>(&S))
+      Diags.warning({}, "GOTO " + std::to_string(G->label()) +
+                            " survives GOTO-loop recovery; the SIMD "
+                            "pipeline cannot execute it");
+  });
+  return Count;
+}
+
 bool frontend::hasUnstructuredControl(const Program &P) {
   bool Found = false;
   forEachStmt(P.body(), [&Found](const Stmt &S) {

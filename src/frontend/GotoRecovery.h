@@ -27,6 +27,7 @@
 #ifndef SIMDFLAT_FRONTEND_GOTORECOVERY_H
 #define SIMDFLAT_FRONTEND_GOTORECOVERY_H
 
+#include "frontend/Diagnostics.h"
 #include "ir/Program.h"
 
 namespace simdflat {
@@ -36,6 +37,11 @@ namespace frontend {
 /// structured. Unrecoverable labels/GOTOs are left in place (the SIMD
 /// pipeline will reject them with a diagnostic).
 int recoverGotoLoops(ir::Program &P);
+
+/// Same, but additionally emits a warning into \p Diags for every label
+/// and GOTO that survives recovery (the statements the SIMD pipeline
+/// cannot execute).
+int recoverGotoLoops(ir::Program &P, Diagnostics &Diags);
 
 /// True if \p P still contains any Label or Goto statement.
 bool hasUnstructuredControl(const ir::Program &P);

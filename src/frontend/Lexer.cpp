@@ -11,8 +11,13 @@ using namespace simdflat;
 using namespace simdflat::frontend;
 
 std::string Diagnostic::render() const {
-  return formatf("line %d, col %d: %s", Loc.Line, Loc.Col,
-                 Message.c_str());
+  std::string Out;
+  if (Loc.Line != 0)
+    Out = formatf("line %d, col %d: ", Loc.Line, Loc.Col);
+  if (Sev == Severity::Warning)
+    Out += "warning: ";
+  Out += Message;
+  return Out;
 }
 
 std::string Diagnostics::renderAll() const {

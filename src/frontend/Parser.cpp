@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cctype>
+#include <map>
 
 using namespace simdflat;
 using namespace simdflat::frontend;
@@ -50,6 +51,7 @@ public:
     Body B = parseBody({"END"});
     expectKeyword("END");
     P->setBody(std::move(B));
+    checkLabels();
   }
 
 private:
@@ -57,6 +59,9 @@ private:
   std::vector<Token> Toks;
   size_t Pos = 0;
   Program *P = nullptr;
+  /// First definition / first GOTO reference of each label number.
+  std::map<int, SourceLoc> DefinedLabels;
+  std::map<int, SourceLoc> GotoTargets;
 
   //--- Token helpers ----------------------------------------------------
 
@@ -73,6 +78,22 @@ private:
 
   void error(const std::string &Msg) {
     Result.Diags.error(cur().Loc, Msg);
+  }
+
+  void warning(SourceLoc Loc, const std::string &Msg) {
+    Result.Diags.warning(Loc, Msg);
+  }
+
+  /// Labels nobody jumps to and jumps to nowhere are legal but almost
+  /// always typos; the latter traps at run time, so flag both here.
+  void checkLabels() {
+    for (const auto &[Label, Loc] : DefinedLabels)
+      if (!GotoTargets.count(Label))
+        warning(Loc, formatf("label %d is never the target of a GOTO",
+                             Label));
+    for (const auto &[Label, Loc] : GotoTargets)
+      if (!DefinedLabels.count(Label))
+        warning(Loc, formatf("GOTO to undefined label %d", Label));
   }
 
   void skipNewlines() {
@@ -590,6 +611,7 @@ private:
     // Label: `10 CONTINUE`.
     if (cur().Kind == TokKind::IntLiteral && la(1).isKeyword("CONTINUE")) {
       int Label = static_cast<int>(cur().IntValue);
+      DefinedLabels.emplace(Label, cur().Loc);
       advance();
       advance();
       expectNewline();
@@ -624,6 +646,7 @@ private:
       return nullptr;
     }
     int Label = static_cast<int>(cur().IntValue);
+    GotoTargets.emplace(Label, cur().Loc);
     advance();
     expectNewline();
     return std::make_unique<GotoStmt>(Label, std::move(Cond));

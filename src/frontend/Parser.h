@@ -41,12 +41,13 @@ namespace simdflat {
 namespace frontend {
 
 /// Outcome of parsing: the program (present even with recoverable
-/// errors, for tooling) plus diagnostics.
+/// errors, for tooling) plus diagnostics. Warnings alone do not make
+/// the parse fail.
 struct ParseResult {
   std::optional<ir::Program> Prog;
   Diagnostics Diags;
 
-  bool ok() const { return Prog.has_value() && Diags.empty(); }
+  bool ok() const { return Prog.has_value() && !Diags.hasErrors(); }
 };
 
 /// Parses a full `PROGRAM ... BEGIN ... END` unit.

@@ -25,6 +25,14 @@
 namespace simdflat {
 namespace interp {
 
+/// Thrown by an extern binding to signal a recoverable failure (I/O
+/// error, rejected input, resource limit). The interpreters catch it
+/// and surface an ExternFailure trap naming the callee; anything else
+/// thrown from a binding is a programmer bug and propagates.
+struct ExternError {
+  std::string Message;
+};
+
 /// One extern binding.
 struct ExternImpl {
   /// Elementwise implementation; receives one scalar value per declared

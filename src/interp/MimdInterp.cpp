@@ -20,7 +20,8 @@ MimdInterp::MimdInterp(const ir::Program &P,
   assert(NumProcs >= 1 && "need at least one processor");
 }
 
-MimdRunResult MimdInterp::run(const std::function<void(DataStore &)> &Init) {
+RunOutcome<MimdRunResult>
+MimdInterp::run(const std::function<void(DataStore &)> &Init) {
   MimdRunResult Result;
   Result.Merged = std::make_unique<DataStore>(Prog, /*Lanes=*/1);
   if (Init)
@@ -29,7 +30,7 @@ MimdRunResult MimdInterp::run(const std::function<void(DataStore &)> &Init) {
   // Track the first writer of every array element to diagnose overlap.
   // Redundant writes of the *same* value from different processors are
   // benign (replicated computation, e.g. an inspector loop every
-  // processor runs); conflicting values abort.
+  // processor runs); conflicting values raise a WriteConflict trap.
   struct WriterInfo {
     int64_t Proc;
     ScalVal Value;
@@ -42,7 +43,14 @@ MimdRunResult MimdInterp::run(const std::function<void(DataStore &)> &Init) {
       Init(Interp.store());
     Interp.setSlice({P, NumProcs, PartLayout});
     Interp.setRecordWrites(true);
-    ScalarRunResult R = Interp.run();
+    RunOutcome<ScalarRunResult> Out = Interp.run();
+    if (!Out) {
+      // Propagate the processor's trap, annotated with who raised it.
+      Trap T = Out.error();
+      T.Detail = "processor " + std::to_string(P) + ": " + T.Detail;
+      return T;
+    }
+    ScalarRunResult R = std::move(*Out);
 
     for (const WriteRecord &W : R.Writes) {
       auto Key = std::make_pair(W.Name, W.FlatIndex);
@@ -52,11 +60,13 @@ MimdRunResult MimdInterp::run(const std::function<void(DataStore &)> &Init) {
                          It->second.Value.I == W.Value.I &&
                          It->second.Value.R == W.Value.R;
         if (!SameValue)
-          reportFatalError("mimd interp: processors " +
-                           std::to_string(It->second.Proc) + " and " +
-                           std::to_string(P) + " wrote different values "
-                           "to " + W.Name +
-                           " - the DOALL loop is not parallelizable");
+          return Trap{TrapKind::WriteConflict,
+                      {It->second.Proc, P},
+                      "merge of processor write sets",
+                      "processors " + std::to_string(It->second.Proc) +
+                          " and " + std::to_string(P) +
+                          " wrote different values to " + W.Name +
+                          " - the DOALL loop is not parallelizable"};
         It->second = {P, W.Value};
       } else if (!Fresh) {
         It->second = {P, W.Value};

@@ -13,8 +13,11 @@
 /// bound loop flattening reaches on the SIMD machine.
 ///
 /// Stores are merged from per-processor write sets; overlapping writes
-/// from different processors are a safety violation and abort (this
-/// doubles as a dynamic parallelizability check in the tests).
+/// of different values from different processors are a safety violation
+/// and raise a WriteConflict trap (this doubles as a dynamic
+/// parallelizability check in the tests). A trap raised by any
+/// processor's scalar engine propagates out annotated with the
+/// processor index.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,8 +56,9 @@ public:
              machine::Layout PartLayout, RunOptions Opts = {});
 
   /// Runs all processors; \p Init is invoked on every processor's store
-  /// before execution.
-  MimdRunResult run(const std::function<void(DataStore &)> &Init);
+  /// before execution. A trap on any processor (or a cross-processor
+  /// write conflict) stops the run and returns the trap.
+  RunOutcome<MimdRunResult> run(const std::function<void(DataStore &)> &Init);
 
 private:
   const ir::Program &Prog;

@@ -86,9 +86,15 @@ struct RunOptions {
   /// Integer variables snapshotted into the trace at each work step.
   /// Empty disables tracing.
   std::vector<std::string> Watch;
-  /// Abort after this many loop iterations (guards against transformed
-  /// code that fails to terminate).
+  /// Raise a FuelExhausted trap after this many loop iterations (guards
+  /// against transformed code that fails to terminate).
   int64_t MaxLoopIterations = 200'000'000;
+  /// Watchdog fuel budget: raise a FuelExhausted trap once this many
+  /// machine instructions have issued. 0 means unlimited. Unlike
+  /// MaxLoopIterations (a backstop for compiler bugs) the fuel budget is
+  /// a per-run serving limit: a hosted caller sets it so no request can
+  /// consume unbounded simulator time.
+  int64_t Fuel = 0;
 };
 
 } // namespace interp

@@ -15,6 +15,18 @@ using namespace simdflat::ir;
 
 namespace {
 
+/// "(3, 9)" for a subscript list (trap details).
+std::string renderIndices(const std::vector<int64_t> &Idx) {
+  std::string Out = " (";
+  for (size_t I = 0; I < Idx.size(); ++I) {
+    if (I > 0)
+      Out += ", ";
+    Out += std::to_string(Idx[I]);
+  }
+  Out += ')';
+  return Out;
+}
+
 ScalVal coerce(const ScalVal &V, ScalarKind K) {
   if (V.Kind == K)
     return V;
@@ -61,16 +73,29 @@ private:
   int SliceDepth = 0;
   int64_t LoopIterations = 0;
   std::vector<std::string> IsWork;
+  /// Enclosing statements, outermost first; rendered lazily on traps.
+  std::vector<const Stmt *> StmtStack;
+
+  [[noreturn]] void trap(TrapKind K, std::string Detail) {
+    throw TrapException{
+        {K, {}, renderStmtLocation(StmtStack), std::move(Detail)}};
+  }
 
   void charge(double Cycles) {
     Result.Stats.Cycles += Cycles;
     Result.Stats.Instructions += 1;
+    if (Opts.Fuel > 0 && Result.Stats.Instructions > Opts.Fuel)
+      trap(TrapKind::FuelExhausted,
+           "fuel budget of " + std::to_string(Opts.Fuel) +
+               " instructions exhausted in '" + Prog.name() + "'");
   }
 
   void countLoopIteration() {
     if (++LoopIterations > Opts.MaxLoopIterations)
-      reportFatalError("scalar interp: loop iteration limit exceeded in '" +
-                       Prog.name() + "' (non-terminating transform?)");
+      trap(TrapKind::FuelExhausted,
+           "loop iteration limit of " +
+               std::to_string(Opts.MaxLoopIterations) + " exceeded in '" +
+               Prog.name() + "' (non-terminating transform?)");
     charge(Machine.Costs.LoopOverhead);
   }
 
@@ -101,11 +126,11 @@ private:
   ScalVal evalCall(const std::string &Callee,
                    const std::vector<ExprPtr> &Args) {
     if (!Externs)
-      reportFatalError("scalar interp: no extern registry for call to '" +
-                       Callee + "'");
+      trap(TrapKind::ExternFailure,
+           "no extern registry for call to '" + Callee + "'");
     const ExternImpl *Impl = Externs->lookup(Callee);
     if (!Impl)
-      reportFatalError("scalar interp: unbound extern '" + Callee + "'");
+      trap(TrapKind::ExternFailure, "unbound extern '" + Callee + "'");
     std::vector<ScalVal> Vals;
     Vals.reserve(Args.size());
     for (const ExprPtr &A : Args)
@@ -113,7 +138,12 @@ private:
     charge(Impl->Cost);
     if (isWorkCall(Callee))
       recordWorkStep();
-    return Impl->Fn(Vals);
+    try {
+      return Impl->Fn(Vals);
+    } catch (const ExternError &E) {
+      trap(TrapKind::ExternFailure,
+           "extern '" + Callee + "' failed: " + E.Message);
+    }
   }
 
   ScalVal eval(const Expr &E) {
@@ -127,8 +157,9 @@ private:
     case Expr::Kind::VarRef: {
       const Slot &S = Store.slot(cast<VarRef>(&E)->name());
       if (S.Decl->isArray())
-        reportFatalError("scalar interp: whole-array reference to '" +
-                         S.Decl->Name + "' outside a reduction");
+        trap(TrapKind::InvalidProgram, "whole-array reference to '" +
+                                           S.Decl->Name +
+                                           "' outside a reduction");
       ScalVal V;
       V.Kind = S.Decl->Kind;
       if (S.isReal())
@@ -146,8 +177,9 @@ private:
         Idx.push_back(eval(*I).asInt());
       int64_t Flat = DataStore::flatIndex(*S.Decl, Idx);
       if (Flat < 0)
-        reportFatalError("scalar interp: index out of bounds reading '" +
-                         A->name() + "'");
+        trap(TrapKind::OutOfBounds,
+             "index out of bounds reading '" + A->name() + "'" +
+                 renderIndices(Idx));
       charge(Machine.Costs.GatherOp);
       ScalVal V;
       V.Kind = S.Decl->Kind;
@@ -253,11 +285,11 @@ private:
       return ScalVal::makeInt(LV * RV);
     case BinOp::Div:
       if (RV == 0)
-        reportFatalError("scalar interp: integer division by zero");
+        trap(TrapKind::DivByZero, "integer division by zero");
       return ScalVal::makeInt(LV / RV);
     case BinOp::Mod:
       if (RV == 0)
-        reportFatalError("scalar interp: MOD by zero");
+        trap(TrapKind::DivByZero, "MOD by zero");
       return ScalVal::makeInt(LV % RV);
     default:
       SIMDFLAT_UNREACHABLE("bad int arithmetic op");
@@ -288,6 +320,8 @@ private:
     case IntrinsicOp::Sqrt: {
       ScalVal A = eval(*I.args()[0]);
       charge(Machine.Costs.RealOp);
+      if (A.R < 0.0)
+        trap(TrapKind::DomainError, "SQRT of a negative value");
       return ScalVal::makeReal(std::sqrt(A.R));
     }
     case IntrinsicOp::LaneIndex:
@@ -357,8 +391,9 @@ private:
       Idx.push_back(eval(*I).asInt());
     int64_t Flat = DataStore::flatIndex(*S.Decl, Idx);
     if (Flat < 0)
-      reportFatalError("scalar interp: index out of bounds writing '" +
-                       T->name() + "'");
+      trap(TrapKind::OutOfBounds,
+           "index out of bounds writing '" + T->name() + "'" +
+               renderIndices(Idx));
     ScalVal C = coerce(V, S.Decl->Kind);
     charge(Machine.Costs.ScatterOp);
     if (S.isReal())
@@ -395,7 +430,8 @@ private:
     int64_t Hi = eval(D.hi()).asInt();
     int64_t Step = D.step() ? eval(*D.step()).asInt() : 1;
     if (Step == 0)
-      reportFatalError("scalar interp: DO step of zero");
+      trap(TrapKind::InvalidProgram,
+           "DO " + D.indexVar() + " has a step of zero");
     bool DoSlice = D.isParallel() && Slice && SliceDepth == 0;
     if (DoSlice) {
       assert(Step == 1 && "sliced parallel loop must have unit step");
@@ -437,6 +473,7 @@ private:
     size_t PC = 0;
     while (PC < B.size()) {
       const Stmt &S = *B[PC];
+      StmtStack.push_back(&S);
       switch (S.kind()) {
       case Stmt::Kind::Assign:
         execAssign(*cast<AssignStmt>(&S));
@@ -507,13 +544,14 @@ private:
             }
           }
           if (Target == B.size())
-            reportFatalError(
-                "scalar interp: GOTO target not in the same body");
+            trap(TrapKind::InvalidProgram,
+                 "GOTO target not in the same body");
           PC = Target;
         }
         break;
       }
       }
+      StmtStack.pop_back();
       ++PC;
     }
   }
@@ -525,11 +563,15 @@ ScalarInterp::ScalarInterp(const Program &P,
     : Prog(P), Machine(Machine), Externs(Externs), Opts(std::move(Opts)),
       Store(P, /*Lanes=*/1) {}
 
-ScalarRunResult ScalarInterp::run() {
+RunOutcome<ScalarRunResult> ScalarInterp::run() {
   assert(!HasRun && "ScalarInterp::run() may be called once");
   HasRun = true;
   ScalarRunResult Result;
   Impl I(Prog, Machine, Externs, Opts, Store, Slice, RecordWrites, Result);
-  I.run();
+  try {
+    I.run();
+  } catch (TrapException &E) {
+    return std::move(E.T);
+  }
   return Result;
 }

@@ -20,6 +20,7 @@
 #include "interp/Extern.h"
 #include "interp/RunStats.h"
 #include "interp/Store.h"
+#include "interp/Trap.h"
 #include "machine/Machine.h"
 
 #include <optional>
@@ -72,7 +73,10 @@ public:
   void setRecordWrites(bool On) { RecordWrites = On; }
 
   /// Executes the program body once. May be called once per interpreter.
-  ScalarRunResult run();
+  /// Runtime faults of the program under execution (out-of-bounds
+  /// subscripts, division by zero, fuel exhaustion...) return a Trap;
+  /// the store keeps whatever was committed before the fault.
+  RunOutcome<ScalarRunResult> run();
 
 private:
   class Impl;

@@ -57,32 +57,53 @@ public:
   int64_t LoopIterations = 0;
   bool HasRun = false;
 
-  SimdRunResult run() {
+  RunOutcome<SimdRunResult> run() {
     assert(!HasRun && "SimdInterp::run() may be called once");
     HasRun = true;
+    // API misuse, not a program fault: running the lockstep machine on
+    // an unconverted program is a caller bug.
     if (Prog.dialect() != Dialect::F90Simd)
       reportFatalError("simd interp: program '" + Prog.name() +
                        "' is not in the F90simd dialect (run "
                        "transform::simdize first)");
     Result.Tr.Watch = Opts.Watch;
     Result.Tr.Lanes = Lanes;
-    execBody(Prog.body());
+    try {
+      execBody(Prog.body());
+    } catch (TrapException &E) {
+      return std::move(E.T);
+    }
     Result.Stats.Seconds = Result.Stats.Cycles * Machine.SecondsPerCycle;
     return std::move(Result);
   }
 
 private:
+  /// Enclosing statements, outermost first; rendered lazily on traps.
+  std::vector<const Stmt *> StmtStack;
+
   size_t laneCount() const { return static_cast<size_t>(Lanes); }
+
+  [[noreturn]] void trap(TrapKind K, std::string Detail,
+                         std::vector<int64_t> FaultLanes = {}) {
+    throw TrapException{{K, std::move(FaultLanes),
+                         renderStmtLocation(StmtStack), std::move(Detail)}};
+  }
 
   void charge(double Cycles) {
     Result.Stats.Cycles += Cycles;
     Result.Stats.Instructions += 1;
+    if (Opts.Fuel > 0 && Result.Stats.Instructions > Opts.Fuel)
+      trap(TrapKind::FuelExhausted,
+           "fuel budget of " + std::to_string(Opts.Fuel) +
+               " instructions exhausted in '" + Prog.name() + "'");
   }
 
   void countLoopIteration() {
     if (++LoopIterations > Opts.MaxLoopIterations)
-      reportFatalError("simd interp: loop iteration limit exceeded in '" +
-                       Prog.name() + "' (non-terminating transform?)");
+      trap(TrapKind::FuelExhausted,
+           "loop iteration limit of " +
+               std::to_string(Opts.MaxLoopIterations) + " exceeded in '" +
+               Prog.name() + "' (non-terminating transform?)");
     charge(Machine.Costs.LoopOverhead);
   }
 
@@ -119,12 +140,16 @@ private:
   int64_t uniformInt(const VecVal &V, const char *What) {
     assert(V.Kind != ScalarKind::Real && "uniformInt of a real");
     int64_t First = V.I[0];
-    for (int64_t X : V.I)
-      if (X != First)
-        reportFatalError(std::string("simd interp: ") + What +
-                         " is not control-uniform across lanes; "
-                         "lane-varying control flow needs WHERE / "
-                         "WHILE ANY(...)");
+    std::vector<int64_t> Divergent;
+    for (size_t L = 0; L < V.I.size(); ++L)
+      if (V.I[L] != First)
+        Divergent.push_back(static_cast<int64_t>(L));
+    if (!Divergent.empty())
+      trap(TrapKind::NonUniformControl,
+           std::string(What) + " is not control-uniform across lanes; "
+                               "lane-varying control flow needs WHERE / "
+                               "WHILE ANY(...)",
+           std::move(Divergent));
     return First;
   }
 
@@ -143,8 +168,9 @@ private:
     case Expr::Kind::VarRef: {
       const Slot &S = Store.slot(cast<VarRef>(&E)->name());
       if (S.Decl->isArray())
-        reportFatalError("simd interp: whole-array reference to '" +
-                         S.Decl->Name + "' outside a reduction");
+        trap(TrapKind::InvalidProgram, "whole-array reference to '" +
+                                           S.Decl->Name +
+                                           "' outside a reduction");
       VecVal Out;
       Out.Kind = S.Decl->Kind;
       if (S.isReal()) {
@@ -207,6 +233,7 @@ private:
       Out.R.assign(laneCount(), 0.0);
     else
       Out.I.assign(laneCount(), 0);
+    std::vector<int64_t> BadLanes;
     for (int64_t L = 0; L < Lanes; ++L) {
       int64_t Flat = 0;
       bool InBounds = true;
@@ -220,8 +247,7 @@ private:
       }
       if (!InBounds) {
         if (Mask.isActive(L))
-          reportFatalError("simd interp: active lane " + std::to_string(L) +
-                           " reads out of bounds from '" + A.name() + "'");
+          BadLanes.push_back(L);
         continue; // idle lane gathers garbage; leave 0
       }
       if (D.Distribution == Dist::Distributed && Mask.isActive(L)) {
@@ -234,6 +260,10 @@ private:
       else
         Out.I[static_cast<size_t>(L)] = S.I[static_cast<size_t>(Flat)];
     }
+    if (!BadLanes.empty())
+      trap(TrapKind::OutOfBounds,
+           "active lane(s) read out of bounds from '" + A.name() + "'",
+           std::move(BadLanes));
     return Out;
   }
 
@@ -318,6 +348,7 @@ private:
       return Out;
     }
     Out.I.resize(laneCount());
+    std::vector<int64_t> ZeroLanes;
     for (size_t I = 0; I < laneCount(); ++I) {
       int64_t LV = L.I[I], RV = R.I[I];
       switch (Op) {
@@ -332,10 +363,10 @@ private:
         break;
       case BinOp::Div:
         // Division by zero on an idle lane is a don't-care; active lanes
-        // dividing by zero abort.
+        // dividing by zero trap.
         if (RV == 0) {
           if (Mask.isActive(static_cast<int64_t>(I)))
-            reportFatalError("simd interp: division by zero on active lane");
+            ZeroLanes.push_back(static_cast<int64_t>(I));
           Out.I[I] = 0;
         } else {
           Out.I[I] = LV / RV;
@@ -344,7 +375,7 @@ private:
       case BinOp::Mod:
         if (RV == 0) {
           if (Mask.isActive(static_cast<int64_t>(I)))
-            reportFatalError("simd interp: MOD by zero on active lane");
+            ZeroLanes.push_back(static_cast<int64_t>(I));
           Out.I[I] = 0;
         } else {
           Out.I[I] = LV % RV;
@@ -354,6 +385,11 @@ private:
         SIMDFLAT_UNREACHABLE("bad int arithmetic op");
       }
     }
+    if (!ZeroLanes.empty())
+      trap(TrapKind::DivByZero,
+           std::string(Op == BinOp::Mod ? "MOD" : "division") +
+               " by zero on active lane(s)",
+           std::move(ZeroLanes));
     return Out;
   }
 
@@ -390,11 +426,15 @@ private:
     case IntrinsicOp::Sqrt: {
       VecVal A = eval(*In.args()[0]);
       charge(Machine.Costs.RealOp);
+      std::vector<int64_t> NegLanes;
       for (size_t I = 0; I < laneCount(); ++I) {
         if (A.R[I] < 0.0 && Mask.isActive(static_cast<int64_t>(I)))
-          reportFatalError("simd interp: SQRT of a negative on active lane");
+          NegLanes.push_back(static_cast<int64_t>(I));
         A.R[I] = A.R[I] < 0.0 ? 0.0 : std::sqrt(A.R[I]);
       }
+      if (!NegLanes.empty())
+        trap(TrapKind::DomainError, "SQRT of a negative on active lane(s)",
+             std::move(NegLanes));
       return A;
     }
     case IntrinsicOp::LaneIndex: {
@@ -428,7 +468,9 @@ private:
       bool IsMax = In.op() == IntrinsicOp::MaxRed;
       bool IsMin = In.op() == IntrinsicOp::MinRed;
       if ((IsMax || IsMin) && Mask.noneActive())
-        reportFatalError("simd interp: MAXRED/MINRED with no active lanes");
+        trap(TrapKind::DomainError,
+             std::string(IsMax ? "MAXRED" : "MINRED") +
+                 " with no active lanes");
       auto Combine = [&](auto Acc, auto V) {
         if (IsMax)
           return std::max(Acc, V);
@@ -479,11 +521,11 @@ private:
   VecVal evalCall(const std::string &Callee,
                   const std::vector<ExprPtr> &Args, ScalarKind RetKind) {
     if (!Externs)
-      reportFatalError("simd interp: no extern registry for call to '" +
-                       Callee + "'");
+      trap(TrapKind::ExternFailure,
+           "no extern registry for call to '" + Callee + "'");
     const ExternImpl *Impl = Externs->lookup(Callee);
     if (!Impl)
-      reportFatalError("simd interp: unbound extern '" + Callee + "'");
+      trap(TrapKind::ExternFailure, "unbound extern '" + Callee + "'");
     std::vector<VecVal> ArgVecs;
     ArgVecs.reserve(Args.size());
     for (const ExprPtr &A : Args)
@@ -503,7 +545,13 @@ private:
         continue;
       for (size_t A = 0; A < ArgVecs.size(); ++A)
         LaneArgs[A] = ArgVecs[A].lane(L);
-      ScalVal R = Impl->Fn(LaneArgs);
+      ScalVal R;
+      try {
+        R = Impl->Fn(LaneArgs);
+      } catch (const ExternError &E) {
+        trap(TrapKind::ExternFailure,
+             "extern '" + Callee + "' failed: " + E.Message, {L});
+      }
       if (RetKind == ScalarKind::Real)
         Out.R[static_cast<size_t>(L)] = R.asNumeric();
       else
@@ -528,25 +576,29 @@ private:
             break;
           }
         if (FirstActive >= 0) {
+          std::vector<int64_t> VaryLanes;
           if (S.isReal()) {
             double Val = C.R[static_cast<size_t>(FirstActive)];
             for (int64_t L = FirstActive; L < Lanes; ++L)
               if (Mask.isActive(L) &&
                   C.R[static_cast<size_t>(L)] != Val)
-                reportFatalError("simd interp: lane-varying store to "
-                                 "control variable '" +
-                                 T->name() + "'");
-            S.R[0] = Val;
+                VaryLanes.push_back(L);
+            if (VaryLanes.empty())
+              S.R[0] = Val;
           } else {
             int64_t Val = C.I[static_cast<size_t>(FirstActive)];
             for (int64_t L = FirstActive; L < Lanes; ++L)
               if (Mask.isActive(L) &&
                   C.I[static_cast<size_t>(L)] != Val)
-                reportFatalError("simd interp: lane-varying store to "
-                                 "control variable '" +
-                                 T->name() + "'");
-            S.I[0] = Val;
+                VaryLanes.push_back(L);
+            if (VaryLanes.empty())
+              S.I[0] = Val;
           }
+          if (!VaryLanes.empty())
+            trap(TrapKind::NonUniformControl,
+                 "lane-varying store to control variable '" + T->name() +
+                     "'",
+                 std::move(VaryLanes));
         }
       } else {
         for (int64_t L = 0; L < Lanes; ++L) {
@@ -571,17 +623,37 @@ private:
       Idx.push_back(eval(*I));
     VecVal C = coerceVec(std::move(V), D.Kind);
     charge(Machine.Costs.ScatterOp);
+    // Validate every active lane before committing any store: a scatter
+    // with a faulting lane must not half-commit.
+    std::vector<int64_t> Flats(laneCount(), -1);
+    std::vector<int64_t> BadLanes;
     for (int64_t L = 0; L < Lanes; ++L) {
       if (!Mask.isActive(L))
         continue;
       int64_t Flat = 0;
+      bool InBounds = true;
       for (size_t Dim = 0; Dim < Idx.size(); ++Dim) {
         int64_t IdxV = Idx[Dim].I[static_cast<size_t>(L)];
-        if (IdxV < 1 || IdxV > D.Dims[Dim])
-          reportFatalError("simd interp: active lane " + std::to_string(L) +
-                           " writes out of bounds to '" + T->name() + "'");
+        if (IdxV < 1 || IdxV > D.Dims[Dim]) {
+          InBounds = false;
+          break;
+        }
         Flat = Flat * D.Dims[Dim] + (IdxV - 1);
       }
+      if (!InBounds) {
+        BadLanes.push_back(L);
+        continue;
+      }
+      Flats[static_cast<size_t>(L)] = Flat;
+    }
+    if (!BadLanes.empty())
+      trap(TrapKind::OutOfBounds,
+           "active lane(s) write out of bounds to '" + T->name() + "'",
+           std::move(BadLanes));
+    for (int64_t L = 0; L < Lanes; ++L) {
+      if (!Mask.isActive(L))
+        continue;
+      int64_t Flat = Flats[static_cast<size_t>(L)];
       if (D.Distribution == Dist::Distributed) {
         int64_t Dim0 = Idx[0].I[static_cast<size_t>(L)];
         if (Machine.laneOf(Dim0, D.Dims[0]) != L)
@@ -601,8 +673,8 @@ private:
     int64_t Hi = uniformInt(eval(F.hi()), "FORALL upper bound");
     Slot &IV = Store.slot(F.indexVar());
     if (IV.Width != Lanes)
-      reportFatalError("simd interp: FORALL index '" + F.indexVar() +
-                       "' must be a replicated variable");
+      trap(TrapKind::InvalidProgram, "FORALL index '" + F.indexVar() +
+                                         "' must be a replicated variable");
     if (Hi < Lo)
       return;
     int64_t Layers = Machine.layersFor(Hi);
@@ -641,6 +713,7 @@ private:
   void execBody(const Body &B) {
     for (const StmtPtr &SP : B) {
       const Stmt &S = *SP;
+      StmtStack.push_back(&S);
       switch (S.kind()) {
       case Stmt::Kind::Assign:
         execAssign(*cast<AssignStmt>(&S));
@@ -678,7 +751,7 @@ private:
         int64_t Step =
             D->step() ? uniformInt(eval(*D->step()), "DO step") : 1;
         if (Step == 0)
-          reportFatalError("simd interp: DO step of zero");
+          trap(TrapKind::InvalidProgram, "DO step of zero");
         Slot &IV = Store.slot(D->indexVar());
         for (int64_t V = Lo; Step > 0 ? V <= Hi : V >= Hi; V += Step) {
           countLoopIteration();
@@ -716,10 +789,11 @@ private:
       }
       case Stmt::Kind::Label:
       case Stmt::Kind::Goto:
-        reportFatalError("simd interp: GOTO-form control flow is not "
-                         "executable on the SIMD machine; run the front "
-                         "end's loop recovery first");
+        trap(TrapKind::InvalidProgram,
+             "GOTO-form control flow is not executable on the SIMD "
+             "machine; run the front end's loop recovery first");
       }
+      StmtStack.pop_back();
     }
   }
 };
@@ -737,4 +811,4 @@ const machine::MachineConfig &SimdInterp::machineConfig() const {
   return P->Machine;
 }
 
-SimdRunResult SimdInterp::run() { return P->run(); }
+RunOutcome<SimdRunResult> SimdInterp::run() { return P->run(); }

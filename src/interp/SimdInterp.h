@@ -15,8 +15,8 @@
 ///  * IF / WHILE / REPEAT conditions and DO bounds must be
 ///    control-uniform (identical on all lanes); lane-varying conditionals
 ///    must use WHERE, lane-varying loops WHILE ANY(...). Violations
-///    abort with a diagnostic - they are exactly the "SIMDization" bugs
-///    the transform must avoid.
+///    raise NonUniformControl traps - they are exactly the "SIMDization"
+///    bugs the transform must avoid.
 ///  * Lane reductions (ANY/ALL/MAXRED/SUMRED) reduce over the currently
 ///    *active* lanes and broadcast the result.
 ///  * FORALL (e = 1 : N) sweeps the distributed index space; when N
@@ -25,8 +25,9 @@
 ///  * Reads/writes of distributed array elements homed on another lane
 ///    are counted as communication (the paper's measurements exclude
 ///    comm; our kernels keep the count at zero and tests assert it).
-///  * Out-of-bounds subscripts abort if the lane is active and yield 0 on
-///    idle lanes (idle lanes still execute gathers with whatever garbage
+///  * Out-of-bounds subscripts raise an OutOfBounds trap naming the
+///    faulting lanes if any such lane is active, and yield 0 on idle
+///    lanes (idle lanes still execute gathers with whatever garbage
 ///    indices they hold - that is faithful to the hardware).
 ///
 //===----------------------------------------------------------------------===//
@@ -37,6 +38,7 @@
 #include "interp/Extern.h"
 #include "interp/RunStats.h"
 #include "interp/Store.h"
+#include "interp/Trap.h"
 #include "machine/Machine.h"
 #include "machine/MaskStack.h"
 
@@ -60,7 +62,11 @@ public:
   const machine::MachineConfig &machineConfig() const;
 
   /// Executes the program body once. May be called once per interpreter.
-  SimdRunResult run();
+  /// Lane faults (an active lane out of bounds or dividing by zero,
+  /// lane-varying uniform control, an exhausted fuel budget) return a
+  /// Trap carrying the faulting lane set and statement location; the
+  /// store keeps whatever committed before the fault.
+  RunOutcome<SimdRunResult> run();
 
 private:
   class Impl;

@@ -1,0 +1,94 @@
+//===- support/Result.h - Expected<T, E> result carrier -------*- C++ -*-===//
+//
+// Part of simdflat, a reproduction of "Relaxing SIMD Control Flow
+// Constraints using Loop Transformations" (v. Hanxleden & Kennedy,
+// PLDI 1992). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight Expected<T, E>: either a success value or a structured
+/// error. Faults caused by *user input* (bad programs, out-of-bounds
+/// subscripts, non-uniform control flow, runaway loops) travel through
+/// this channel instead of aborting the process; reportFatalError and
+/// assert stay reserved for genuine programmer invariants.
+///
+/// The error type must provide `std::string render() const` so that
+/// `value()` can produce a useful fatal message when a caller demands a
+/// success value it does not have (the escape hatch tests and benches
+/// use when failure is impossible by construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SUPPORT_RESULT_H
+#define SIMDFLAT_SUPPORT_RESULT_H
+
+#include "support/Error.h"
+
+#include <cassert>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+namespace simdflat {
+
+/// Either a T (success) or an E (failure). E must be distinct from T and
+/// renderable. Both move-only and copyable payloads are supported.
+template <typename T, typename E> class [[nodiscard]] Expected {
+  static_assert(!std::is_same_v<std::decay_t<T>, std::decay_t<E>>,
+                "Expected needs distinguishable value and error types");
+
+public:
+  Expected(T Value) : Store(std::in_place_index<0>, std::move(Value)) {}
+  Expected(E Err) : Store(std::in_place_index<1>, std::move(Err)) {}
+
+  bool ok() const { return Store.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// \name Success access (asserted; call ok() first)
+  /// @{
+  T &operator*() & {
+    assert(ok() && "dereferencing a failed Expected");
+    return std::get<0>(Store);
+  }
+  const T &operator*() const & {
+    assert(ok() && "dereferencing a failed Expected");
+    return std::get<0>(Store);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+  /// @}
+
+  /// The error; asserted to exist.
+  const E &error() const {
+    assert(!ok() && "error() on a successful Expected");
+    return std::get<1>(Store);
+  }
+
+  /// Returns the success value, or reports a fatal error rendering the
+  /// failure. Use only where failure indicates a broken invariant (e.g.
+  /// a test running a program known to be well-formed).
+  T &value() & {
+    if (!ok())
+      reportFatalError(std::get<1>(Store).render());
+    return std::get<0>(Store);
+  }
+  const T &value() const & {
+    if (!ok())
+      reportFatalError(std::get<1>(Store).render());
+    return std::get<0>(Store);
+  }
+  T value() && {
+    if (!ok())
+      reportFatalError(std::get<1>(Store).render());
+    return std::move(std::get<0>(Store));
+  }
+
+private:
+  std::variant<T, E> Store;
+};
+
+} // namespace simdflat
+
+#endif // SIMDFLAT_SUPPORT_RESULT_H

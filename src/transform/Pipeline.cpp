@@ -5,8 +5,9 @@
 #include "frontend/GotoRecovery.h"
 #include "ir/Verify.h"
 #include "ir/Walk.h"
-#include "support/Error.h"
 #include "support/Format.h"
+#include "transform/GuardIntro.h"
+#include "transform/Normalize.h"
 #include "transform/Simdize.h"
 #include "transform/Simplify.h"
 
@@ -23,17 +24,83 @@ std::string PipelineReport::summary() const {
   else if (!FlattenSkipReason.empty())
     Out += "not flattened: " + FlattenSkipReason + "\n";
   Out += "SIMDized\n";
+  for (const StageOutcome &S : Stages) {
+    Out += formatf("stage %-13s %s", S.Stage.c_str(),
+                   !S.Ran ? "skipped" : S.Verified ? "ok" : "FAILED verify");
+    if (!S.Note.empty())
+      Out += " (" + S.Note + ")";
+    Out += "\n";
+  }
   return Out;
 }
 
-ir::Program transform::compileForSimd(const ir::Program &P,
-                                      PipelineOptions Opts,
-                                      PipelineReport *Report) {
+std::string PipelineError::render() const {
+  std::string Out = "pipeline failed in stage '" + Stage + "':";
+  for (const std::string &I : Issues)
+    Out += "\n  " + I;
+  return Out;
+}
+
+Expected<ir::Program, PipelineError>
+transform::compileForSimd(const ir::Program &P, PipelineOptions Opts,
+                          PipelineReport *Report) {
   PipelineReport Local;
   PipelineReport &R = Report ? *Report : Local;
 
+  // Verify-and-record for a stage that just ran over \p Prog. Returns
+  // true when the tree is still well formed.
+  auto checkStage = [&R](const char *Stage, const ir::Program &Prog,
+                         std::string Note,
+                         std::vector<std::string> *IssuesOut = nullptr) {
+    std::vector<std::string> Issues = ir::verifyProgram(Prog);
+    R.Stages.push_back({Stage, /*Ran=*/true, Issues.empty(), std::move(Note)});
+    bool Ok = Issues.empty();
+    if (IssuesOut)
+      *IssuesOut = std::move(Issues);
+    return Ok;
+  };
+  auto skipStage = [&R](const char *Stage, std::string Note) {
+    R.Stages.push_back({Stage, /*Ran=*/false, false, std::move(Note)});
+  };
+
+  // A malformed input is the caller's problem, not a compiler bug:
+  // report it structurally instead of transforming garbage.
+  {
+    std::vector<std::string> Issues = ir::verifyProgram(P);
+    if (!Issues.empty())
+      return PipelineError{"input", std::move(Issues)};
+  }
+
   ir::Program Work = ir::cloneProgram(P);
+
   R.GotoLoopsRecovered = frontend::recoverGotoLoops(Work);
+  {
+    std::vector<std::string> Issues;
+    if (!checkStage("goto-recovery", Work,
+                    formatf("recovered %d loop(s)", R.GotoLoopsRecovered),
+                    &Issues))
+      return PipelineError{"goto-recovery", std::move(Issues)};
+  }
+
+  if (Opts.ExplicitNormalize) {
+    int Normalized = normalizeLoops(Work);
+    {
+      std::vector<std::string> Issues;
+      if (!checkStage("normalize", Work,
+                      formatf("normalized %d loop(s)", Normalized), &Issues))
+        return PipelineError{"normalize", std::move(Issues)};
+    }
+    int Guarded = introduceGuards(Work);
+    {
+      std::vector<std::string> Issues;
+      if (!checkStage("guard-intro", Work,
+                      formatf("guarded %d loop(s)", Guarded), &Issues))
+        return PipelineError{"guard-intro", std::move(Issues)};
+    }
+  } else {
+    skipStage("normalize", "folded into flatten's normal-form analysis");
+    skipStage("guard-intro", "folded into flatten's normal-form analysis");
+  }
 
   if (Opts.Flatten) {
     FlattenOptions FOpts;
@@ -41,26 +108,56 @@ ir::Program transform::compileForSimd(const ir::Program &P,
     FOpts.AssumeInnerMinOneTrip = Opts.AssumeInnerMinOneTrip;
     FOpts.CheckSafety = Opts.CheckSafety;
     FOpts.DistributeOuter = Opts.Layout;
+    // Keep the pre-flatten tree: a flatten that damages the program is
+    // reverted and the pipeline falls back to the unflattened Fig. 5
+    // path rather than failing the compilation.
+    ir::Program Backup = ir::cloneProgram(Work);
     FlattenResult FR = flattenNest(Work, FOpts);
     R.Flattened = FR.Changed;
     R.LevelApplied = FR.Applied;
     if (!FR.Changed)
       R.FlattenSkipReason = FR.Reason;
+    std::string Note =
+        FR.Changed ? formatf("%s level", flattenLevelName(FR.Applied))
+                   : "skipped: " + FR.Reason;
+    std::vector<std::string> Issues;
+    if (!checkStage("flatten", Work, std::move(Note), &Issues)) {
+      if (!FR.Changed)
+        // Flatten declined and the tree is still bad: not flatten's
+        // doing, nothing to revert.
+        return PipelineError{"flatten", std::move(Issues)};
+      Work = std::move(Backup);
+      R.Flattened = false;
+      R.FlattenSkipReason =
+          "flatten produced an invalid program (" + Issues.front() +
+          "); reverted to the unflattened path";
+      R.Stages.back().Note = R.FlattenSkipReason;
+    }
+  } else {
+    skipStage("flatten", "disabled by options");
   }
 
   SimdizeOptions SOpts;
   SOpts.DoAllLayout = Opts.Layout;
   ir::Program Out = simdize(Work, SOpts);
-  simplifyProgram(Out);
-
-  // A transformation that produced an ill-formed tree is a compiler
-  // bug; fail loudly rather than mis-execute.
-  std::vector<std::string> Issues = ir::verifyProgram(Out);
-  if (!Issues.empty()) {
-    std::string Msg = "pipeline produced an invalid program:";
-    for (const std::string &I : Issues)
-      Msg += "\n  " + I;
-    reportFatalError(Msg);
+  {
+    std::vector<std::string> Issues;
+    if (!checkStage("simdize", Out, "F77 -> F90simd", &Issues))
+      // No fallback exists: the SIMD machine only executes F90simd.
+      return PipelineError{"simdize", std::move(Issues)};
   }
+
+  {
+    ir::Program PreSimplify = ir::cloneProgram(Out);
+    simplifyProgram(Out);
+    std::vector<std::string> Issues;
+    if (!checkStage("simplify", Out, "", &Issues)) {
+      // Simplify is an optimization; losing it is always safe.
+      Out = std::move(PreSimplify);
+      R.Stages.back().Note =
+          "produced an invalid program (" + Issues.front() + "); reverted";
+    }
+  }
+
   return Out;
 }

@@ -11,12 +11,20 @@
 /// and SIMDize - producing the program the SIMD interpreter executes,
 /// plus a report of what each stage decided (for tools and logs).
 ///
+/// The pipeline is guarded: ir::verifyProgram runs after every stage.
+/// A stage that damages the tree is reverted when a safe fallback
+/// exists (flatten falls back to the unflattened Fig. 5 path, simplify
+/// reverts to the unsimplified tree); otherwise compileForSimd returns
+/// a structured PipelineError naming the stage and the verifier issues.
+/// It never returns an unverified program.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SIMDFLAT_TRANSFORM_PIPELINE_H
 #define SIMDFLAT_TRANSFORM_PIPELINE_H
 
 #include "machine/Machine.h"
+#include "support/Result.h"
 #include "transform/Flatten.h"
 
 namespace simdflat {
@@ -32,6 +40,26 @@ struct PipelineOptions {
   std::optional<FlattenLevel> ForceLevel;
   bool AssumeInnerMinOneTrip = false;
   bool CheckSafety = true;
+  /// Run the explicit Fig. 8/9 normalize + guard-introduction rewrites
+  /// before flattening. Off by default: the flattener extracts the same
+  /// normal form non-destructively through analysis::normalFormOf, so
+  /// the explicit passes are for demonstration and differential testing.
+  bool ExplicitNormalize = false;
+};
+
+/// Verification outcome of one pipeline stage.
+struct StageOutcome {
+  /// "goto-recovery", "normalize", "guard-intro", "flatten", "simdize",
+  /// "simplify".
+  std::string Stage;
+  /// The stage executed (false: disabled by options or folded into a
+  /// later stage's analysis).
+  bool Ran = false;
+  /// ir::verifyProgram was clean after the stage (meaningless when
+  /// !Ran).
+  bool Verified = false;
+  /// What the stage did, or why it was skipped or reverted.
+  std::string Note;
 };
 
 /// What the pipeline did.
@@ -39,18 +67,30 @@ struct PipelineReport {
   int GotoLoopsRecovered = 0;
   bool Flattened = false;
   FlattenLevel LevelApplied = FlattenLevel::General;
-  /// Non-empty when flattening was requested but skipped.
+  /// Non-empty when flattening was requested but skipped (or reverted).
   std::string FlattenSkipReason;
+  /// Per-stage verification outcomes, in execution order.
+  std::vector<StageOutcome> Stages;
 
   /// Human-readable one-liner per stage.
   std::string summary() const;
 };
 
+/// Structured failure of the pipeline: the stage that produced an
+/// invalid tree (and could not be reverted), with the verifier issues.
+struct PipelineError {
+  std::string Stage;
+  std::vector<std::string> Issues;
+
+  std::string render() const;
+};
+
 /// Runs the full pipeline on a copy of \p P and returns the F90simd
-/// program. \p Report (optional) receives the stage decisions.
-ir::Program compileForSimd(const ir::Program &P,
-                           PipelineOptions Opts = {},
-                           PipelineReport *Report = nullptr);
+/// program, or a PipelineError naming the failing stage. \p Report
+/// (optional) receives the stage decisions either way.
+Expected<ir::Program, PipelineError>
+compileForSimd(const ir::Program &P, PipelineOptions Opts = {},
+               PipelineReport *Report = nullptr);
 
 } // namespace transform
 } // namespace simdflat

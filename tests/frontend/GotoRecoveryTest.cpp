@@ -40,7 +40,7 @@ END
                                        "UNTIL (.NOT. n < 5)\n");
   machine::MachineConfig M = machine::MachineConfig::sparc2();
   interp::ScalarInterp Interp(*R.Prog, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("n"), 5);
 }
 
@@ -57,7 +57,7 @@ TEST(GotoRecovery, GotoFormExampleSemantics) {
   interp::ScalarInterp Interp(P, M, nullptr);
   Interp.store().setInt("K", Spec.K);
   Interp.store().setIntArray("L", Spec.L);
-  Interp.run();
+  Interp.run().value();
   std::vector<int64_t> X = Interp.store().getIntArray("X");
   EXPECT_EQ(X[static_cast<size_t>(7 * 4 + 2)], 24); // X(8,3) = 24
 }

@@ -62,8 +62,31 @@ TEST(Parser, ParsedProgramExecutes) {
   Interp.store().setInt("K", 8);
   std::vector<int64_t> L = {4, 1, 2, 1, 1, 3, 1, 3};
   Interp.store().setIntArray("L", L);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getIntAt("X", std::vector<int64_t>{8, 3}), 24);
+}
+
+TEST(Parser, LabelLintIsAWarningNotAnError) {
+  // An orphaned label and a GOTO to nowhere are legal F77 (the latter
+  // traps at runtime), so the parser must still succeed - but each
+  // gets a warning, and warnings don't flip hasErrors()/ok().
+  const char *Src = R"(PROGRAM lint
+INTEGER n
+BEGIN
+10 CONTINUE
+  n = 1
+  IF (n > 5) GOTO 20
+END
+)";
+  ParseResult R = parseProgram(Src);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderAll();
+  EXPECT_FALSE(R.Diags.hasErrors());
+  ASSERT_EQ(R.Diags.all().size(), 2u);
+  std::string All = R.Diags.renderAll();
+  EXPECT_NE(All.find("warning: label 10 is never the target"),
+            std::string::npos);
+  EXPECT_NE(All.find("warning: GOTO to undefined label 20"),
+            std::string::npos);
 }
 
 TEST(Parser, AllStatementForms) {

@@ -29,7 +29,7 @@ TEST(MimdInterp, PaperExampleEq1) {
   MimdRunResult R = Interp.run([&](DataStore &S) {
     S.setInt("K", Spec.K);
     S.setIntArray("L", Spec.L);
-  });
+  }).value();
   EXPECT_EQ(R.TimeSteps, 8);
   ASSERT_EQ(R.PerProc.size(), 2u);
   EXPECT_EQ(R.PerProc[0].WorkSteps, 8);
@@ -49,7 +49,7 @@ TEST(MimdInterp, Figure4Trace) {
   MimdRunResult R = Interp.run([&](DataStore &S) {
     S.setInt("K", Spec.K);
     S.setIntArray("L", Spec.L);
-  });
+  }).value();
   const int64_t Proc1[8][2] = {{1, 1}, {1, 2}, {1, 3}, {1, 4},
                                {2, 1}, {3, 1}, {3, 2}, {4, 1}};
   const int64_t Proc2[8][2] = {{5, 1}, {6, 1}, {6, 2}, {6, 3},
@@ -75,13 +75,13 @@ TEST(MimdInterp, MergedStoreMatchesSequential) {
 
   ScalarInterp Seq(P, M, nullptr);
   Init(Seq.store());
-  Seq.run();
+  Seq.run().value();
 
   for (int64_t Procs : {1, 2, 4, 8}) {
     for (machine::Layout L :
          {machine::Layout::Block, machine::Layout::Cyclic}) {
       MimdInterp Par(P, M, nullptr, Procs, L);
-      MimdRunResult R = Par.run(Init);
+      MimdRunResult R = Par.run(Init).value();
       EXPECT_EQ(R.Merged->getIntArray("X"), Seq.store().getIntArray("X"))
           << Procs << " procs";
     }
@@ -103,7 +103,7 @@ TEST(MimdInterp, MoreProcsNeverSlower) {
   int64_t Prev = std::numeric_limits<int64_t>::max();
   for (int64_t Procs : {1, 2, 3, 4, 6, 12}) {
     MimdInterp Par(P, M, nullptr, Procs, machine::Layout::Block, Opts);
-    MimdRunResult R = Par.run(Init);
+    MimdRunResult R = Par.run(Init).value();
     EXPECT_LE(R.TimeSteps, Prev) << Procs << " procs";
     Prev = R.TimeSteps;
   }
@@ -123,8 +123,8 @@ TEST(MimdInterp, CyclicPartitioningBalancesSkew) {
   };
   MimdInterp Block(P, M, nullptr, 2, machine::Layout::Block, Opts);
   MimdInterp Cyclic(P, M, nullptr, 2, machine::Layout::Cyclic, Opts);
-  int64_t BlockTime = Block.run(Init).TimeSteps;
-  int64_t CyclicTime = Cyclic.run(Init).TimeSteps;
+  int64_t BlockTime = Block.run(Init).value().TimeSteps;
+  int64_t CyclicTime = Cyclic.run(Init).value().TimeSteps;
   EXPECT_EQ(BlockTime, 36);
   EXPECT_EQ(CyclicTime, 20);
 }

@@ -26,7 +26,7 @@ TEST(ScalarInterpEdge, ForwardConditionalGotoSkips) {
   P.body().push_back(B.label(10));
   P.body().push_back(B.set("n", B.add(B.var("n"), B.lit(1))));
   ScalarInterp I(P, sparc(), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getInt("n"), 2);
   EXPECT_EQ(I.store().getInt("m"), 0);
 }
@@ -40,26 +40,33 @@ TEST(ScalarInterpEdge, NotTakenConditionalGotoFallsThrough) {
   P.body().push_back(B.set("m", B.lit(5))); // executed: n == 0
   P.body().push_back(B.label(10));
   ScalarInterp I(P, sparc(), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getInt("m"), 5);
 }
 
-TEST(ScalarInterpEdge, GotoToMissingLabelAborts) {
+TEST(ScalarInterpEdge, GotoToMissingLabelTraps) {
   Program P("miss");
   P.addVar("n", ScalarKind::Int);
   Builder B(P);
   P.body().push_back(B.gotoStmt(42, B.eq(B.var("n"), B.lit(0))));
   ScalarInterp I(P, sparc(), nullptr);
-  EXPECT_DEATH(I.run(), "GOTO target");
+  RunOutcome<ScalarRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::InvalidProgram);
+  EXPECT_NE(R.error().Detail.find("GOTO target"), std::string::npos);
 }
 
-TEST(ScalarInterpEdge, DivisionByZeroAborts) {
+TEST(ScalarInterpEdge, DivisionByZeroTraps) {
   Program P("dz");
   P.addVar("n", ScalarKind::Int);
   Builder B(P);
   P.body().push_back(B.set("n", B.div(B.lit(1), B.var("n"))));
   ScalarInterp I(P, sparc(), nullptr);
-  EXPECT_DEATH(I.run(), "division by zero");
+  RunOutcome<ScalarRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::DivByZero);
+  EXPECT_NE(R.error().Detail.find("division by zero"), std::string::npos);
+  EXPECT_NE(R.error().Location.find("assign n"), std::string::npos);
 }
 
 TEST(ScalarInterpEdge, RealToIntAssignmentTruncates) {
@@ -68,7 +75,7 @@ TEST(ScalarInterpEdge, RealToIntAssignmentTruncates) {
   Builder B(P);
   P.body().push_back(B.set("n", B.lit(3.9)));
   ScalarInterp I(P, sparc(), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getInt("n"), 3);
 }
 
@@ -78,7 +85,7 @@ TEST(ScalarInterpEdge, IntToRealAssignmentWidens) {
   Builder B(P);
   P.body().push_back(B.set("x", B.lit(7)));
   ScalarInterp I(P, sparc(), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_DOUBLE_EQ(I.store().getReal("x"), 7.0);
 }
 
@@ -90,7 +97,7 @@ TEST(ScalarInterpEdge, LaneIntrinsicsDegenerate) {
   P.body().push_back(B.set("a", B.laneIndex()));
   P.body().push_back(B.set("b", B.numLanes()));
   ScalarInterp I(P, sparc(), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getInt("a"), 1);
   EXPECT_EQ(I.store().getInt("b"), 1);
 }
@@ -99,8 +106,8 @@ TEST(ScalarInterpEdge, RunTwiceAsserts) {
   Program P("twice");
   P.addVar("n", ScalarKind::Int);
   ScalarInterp I(P, sparc(), nullptr);
-  I.run();
-  EXPECT_DEATH(I.run(), "once");
+  I.run().value();
+  EXPECT_DEATH((void)I.run(), "once");
 }
 
 TEST(ScalarInterpEdge, SlicePartitionsEveryTopLevelParallelLoop) {
@@ -121,7 +128,7 @@ TEST(ScalarInterpEdge, SlicePartitionsEveryTopLevelParallelLoop) {
       true));
   ScalarInterp I(P, sparc(), nullptr);
   I.setSlice({/*Proc=*/0, /*NumProcs=*/2, machine::Layout::Block});
-  I.run();
+  I.run().value();
   // Processor 0 owns the first block of both phases.
   EXPECT_EQ(I.store().getIntArray("A"),
             (std::vector<int64_t>{1, 2, 0, 0}));

@@ -42,7 +42,7 @@ TEST(ScalarInterp, RunsPaperExample) {
   Opts.WorkTargets = {"X"};
   ScalarInterp Interp(P, M, nullptr, Opts);
   setExampleInputs(Interp.store(), Spec);
-  ScalarRunResult R = Interp.run();
+  ScalarRunResult R = Interp.run().value();
   EXPECT_EQ(Interp.store().getIntArray("X"), expectedX(Spec));
   // Sequential work = sum of inner trip counts = 16.
   EXPECT_EQ(R.Stats.WorkSteps, 16);
@@ -60,7 +60,7 @@ TEST(ScalarInterp, AllLoopFormsAgree) {
       Program P = makeExample(Spec, Inner, Outer);
       ScalarInterp Interp(P, M, nullptr);
       setExampleInputs(Interp.store(), Spec);
-      Interp.run();
+      Interp.run().value();
       EXPECT_EQ(Interp.store().getIntArray("X"), Want)
           << "inner form " << static_cast<int>(Inner) << ", outer "
           << static_cast<int>(Outer);
@@ -74,7 +74,7 @@ TEST(ScalarInterp, GotoOuterLoopToo) {
   Program P = makeExample(Spec, LoopForm::GotoLoop, LoopForm::GotoLoop);
   ScalarInterp Interp(P, M, nullptr);
   setExampleInputs(Interp.store(), Spec);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getIntArray("X"), expectedX(Spec));
 }
 
@@ -87,7 +87,7 @@ TEST(ScalarInterp, TraceRecordsEveryWorkStep) {
   Opts.Watch = {"i", "j"};
   ScalarInterp Interp(P, M, nullptr, Opts);
   setExampleInputs(Interp.store(), Spec);
-  ScalarRunResult R = Interp.run();
+  ScalarRunResult R = Interp.run().value();
   ASSERT_EQ(R.Tr.Steps.size(), 5u);
   // (i, j) sequence: (1,1) (1,2) (2,1) (3,1) (3,2).
   const int64_t Want[5][2] = {{1, 1}, {1, 2}, {2, 1}, {3, 1}, {3, 2}};
@@ -118,7 +118,7 @@ TEST(ScalarInterp, ImpureExternSequencing) {
   ScalarInterp Interp(P, M, &Reg);
   Interp.store().setInt("K", Spec.K);
   Interp.store().setIntArray("L", Spec.L);
-  Interp.run();
+  Interp.run().value();
   // Row 1 (L=2): Bump -> 1 (<=2, body), 2 (<=2, body), 3 (>2, exit).
   // Row 2 (L=1): Bump -> 4 (>1, exit immediately): no body execution.
   EXPECT_EQ(CallLog, (std::vector<int64_t>{1, 2, 3, 4}));
@@ -134,7 +134,7 @@ TEST(ScalarInterp, DoLoopStepAndExitValue) {
       Builder::body(B.set("n", B.add(B.var("n"), B.lit(1)))), B.lit(3)));
   machine::MachineConfig M = testMachine();
   ScalarInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("n"), 3);  // i = 1, 4, 7
   EXPECT_EQ(Interp.store().getInt("i"), 10); // one step past
 }
@@ -149,7 +149,7 @@ TEST(ScalarInterp, ZeroTripDoLoop) {
       Builder::body(B.set("n", B.add(B.var("n"), B.lit(1))))));
   machine::MachineConfig M = testMachine();
   ScalarInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("n"), 0);
 }
 
@@ -162,7 +162,7 @@ TEST(ScalarInterp, RepeatRunsBodyAtLeastOnce) {
       B.ge(B.var("n"), B.lit(1))));
   machine::MachineConfig M = testMachine();
   ScalarInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("n"), 1);
 }
 
@@ -175,7 +175,7 @@ TEST(ScalarInterp, WhereActsAsIf) {
                              Builder::body(B.set("n", B.lit(20)))));
   machine::MachineConfig M = testMachine();
   ScalarInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("n"), 20);
 }
 
@@ -193,7 +193,7 @@ TEST(ScalarInterp, IntrinsicEvaluation) {
   ScalarInterp Interp(P, M, nullptr);
   std::vector<int64_t> A = {5, 9, 2, 8};
   Interp.store().setIntArray("A", A);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("a"), 7);
   EXPECT_EQ(Interp.store().getInt("b"), 9);
   EXPECT_DOUBLE_EQ(Interp.store().getReal("r"), 1.5);
@@ -208,7 +208,7 @@ TEST(ScalarInterp, ModAndIntDivision) {
   P.body().push_back(B.set("b", B.div(B.lit(17), B.lit(5))));
   machine::MachineConfig M = testMachine();
   ScalarInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("a"), 2);
   EXPECT_EQ(Interp.store().getInt("b"), 3);
 }
@@ -231,7 +231,7 @@ TEST(ScalarInterp, WorkCallCounting) {
   Opts.WorkCalls = {"Force"};
   machine::MachineConfig M = testMachine();
   ScalarInterp Interp(P, M, &Reg, Opts);
-  ScalarRunResult R = Interp.run();
+  ScalarRunResult R = Interp.run().value();
   EXPECT_EQ(R.Stats.WorkSteps, 5);
   EXPECT_DOUBLE_EQ(Interp.store().getReal("s"), 5.0);
   EXPECT_GE(R.Stats.Cycles, 500.0);

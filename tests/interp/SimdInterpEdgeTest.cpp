@@ -40,7 +40,7 @@ TEST(SimdInterpEdge, NegativeStepControlDo) {
       Builder::body(B.set("n", B.add(B.var("n"), B.var("l")))),
       B.lit(-1)));
   SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getInt("n"), 10); // 4+3+2+1
   EXPECT_EQ(I.store().getInt("l"), 0);  // one step past
 }
@@ -54,7 +54,7 @@ TEST(SimdInterpEdge, UniformRepeatLoop) {
       Builder::body(B.set("n", B.add(B.var("n"), B.lit(1)))),
       B.ge(B.var("n"), B.lit(3))));
   SimdInterp I(P, lanes(4, machine::Layout::Cyclic), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getInt("n"), 3);
 }
 
@@ -78,7 +78,7 @@ TEST(SimdInterpEdge, SubroutineCalledPerActiveLane) {
     return ScalVal::makeInt(0);
   });
   SimdInterp I(P, lanes(4, machine::Layout::Cyclic), &Reg);
-  I.run();
+  I.run().value();
   EXPECT_EQ(Seen, (std::vector<int64_t>{1, 2})); // lanes 3,4 masked
 }
 
@@ -93,7 +93,7 @@ TEST(SimdInterpEdge, ForallBlockLayoutWritesAllElements) {
       Builder::body(B.assign(B.at("A", B.var("e")),
                              B.mul(B.var("e"), B.lit(3))))));
   SimdInterp I(P, lanes(4, machine::Layout::Block), nullptr);
-  SimdRunResult R = I.run();
+  SimdRunResult R = I.run().value();
   std::vector<int64_t> Want;
   for (int64_t E = 1; E <= 10; ++E)
     Want.push_back(3 * E);
@@ -118,7 +118,7 @@ TEST(SimdInterpEdge, ForallNestedInWhere) {
           "e", B.lit(1), B.lit(4), nullptr,
           Builder::body(B.assign(B.at("A", B.var("e")), B.lit(9)))))));
   SimdInterp I(P, lanes(4, machine::Layout::Cyclic), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getIntArray("A"),
             (std::vector<int64_t>{9, 9, 0, 0}));
 }
@@ -130,7 +130,7 @@ TEST(SimdInterpEdge, NumLanesBroadcast) {
   Builder B(P);
   P.body().push_back(B.set("n", B.numLanes()));
   SimdInterp I(P, lanes(8, machine::Layout::Cyclic), nullptr);
-  I.run();
+  I.run().value();
   EXPECT_EQ(I.store().getInt("n"), 8);
 }
 
@@ -146,7 +146,7 @@ TEST(SimdInterpEdge, RealArrayReductions) {
   SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr);
   std::vector<double> V = {1.5, -2.0, 7.25, 0.0, 3.0};
   I.store().setRealArray("V", V);
-  I.run();
+  I.run().value();
   EXPECT_DOUBLE_EQ(I.store().getReal("m"), 7.25);
   EXPECT_DOUBLE_EQ(I.store().getReal("s"), 9.75);
 }
@@ -162,7 +162,11 @@ TEST(SimdInterpEdge, RunawayLoopGuardAborts) {
   RunOptions Opts;
   Opts.MaxLoopIterations = 1000;
   SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr, Opts);
-  EXPECT_DEATH(I.run(), "loop iteration limit");
+  RunOutcome<SimdRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::FuelExhausted);
+  EXPECT_NE(R.error().Detail.find("loop iteration limit"),
+            std::string::npos);
 }
 
 TEST(SimdInterpEdge, MaskedLanesStillPayInstructionTime) {
@@ -181,7 +185,7 @@ TEST(SimdInterpEdge, MaskedLanesStillPayInstructionTime) {
         Builder::body(B.set("w", B.add(B.mul(B.var("v"), B.lit(3)),
                                        B.lit(1))))));
     SimdInterp I(P, lanes(8, machine::Layout::Cyclic), nullptr);
-    return I.run().Stats;
+    return I.run().value().Stats;
   };
   RunStats OneActive = Run(1);
   RunStats AllActive = Run(8);
@@ -204,7 +208,7 @@ TEST(SimdInterpEdge, ControlVarInTraceBroadcasts) {
   Opts.WorkTargets = {"A"};
   Opts.Watch = {"c", "e"};
   SimdInterp I(P, lanes(2, machine::Layout::Cyclic), nullptr, Opts);
-  SimdRunResult R = I.run();
+  SimdRunResult R = I.run().value();
   ASSERT_EQ(R.Tr.Steps.size(), 1u);
   EXPECT_EQ(R.Tr.value(0, 0, 0), 7); // c broadcast on lane 0
   EXPECT_EQ(R.Tr.value(0, 0, 1), 7); // and lane 1

@@ -130,7 +130,7 @@ TEST(SimdInterp, Fig5TwelveSteps) {
   Opts.WorkTargets = {"X"};
   SimdInterp Interp(P, M, nullptr, Opts);
   Interp.store().setIntArray("L", paperL());
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   // Eq. 2: sum over outer iterations of max_p L = 4+3+2+3 = 12.
   EXPECT_EQ(R.Stats.WorkSteps, 12);
   EXPECT_EQ(Interp.store().getIntArray("X"), expectedX());
@@ -145,7 +145,7 @@ TEST(SimdInterp, Fig5TraceMatchesFigure6) {
   Opts.Watch = {"ip", "j"};
   SimdInterp Interp(P, M, nullptr, Opts);
   Interp.store().setIntArray("L", paperL());
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   ASSERT_EQ(R.Tr.Steps.size(), 12u);
   // Fig. 6 (12 steps; '-' = masked/idle). Global row numbers; processor
   // 2's rows are 4 + (local i2). j values per active lane as printed.
@@ -186,7 +186,7 @@ TEST(SimdInterp, Fig7EightSteps) {
   Opts.WorkTargets = {"X"};
   SimdInterp Interp(P, M, nullptr, Opts);
   Interp.store().setIntArray("L", paperL());
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   // Loop flattening reaches the MIMD bound of Eq. 1: 8 steps.
   EXPECT_EQ(R.Stats.WorkSteps, 8);
   EXPECT_EQ(Interp.store().getIntArray("X"), expectedX());
@@ -202,11 +202,11 @@ std::pair<double, double> cyclesFig5Fig7(machine::MachineConfig M) {
   Program P5 = makeFig5(8, 4);
   SimdInterp I5(P5, M, nullptr, Opts);
   I5.store().setIntArray("L", paperL());
-  double C5 = I5.run().Stats.Cycles;
+  double C5 = I5.run().value().Stats.Cycles;
   Program P7 = makeFig7(8, 4);
   SimdInterp I7(P7, M, nullptr, Opts);
   I7.store().setIntArray("L", paperL());
-  double C7 = I7.run().Stats.Cycles;
+  double C7 = I7.run().value().Stats.Cycles;
   return {C5, C7};
 }
 
@@ -238,7 +238,7 @@ TEST(SimdInterp, UtilizationReflectsIdleLanes) {
   Opts.WorkTargets = {"X"};
   SimdInterp Interp(P, M, nullptr, Opts);
   Interp.store().setIntArray("L", paperL());
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   // 16 useful lane-slots over 12 steps x 2 lanes = 2/3.
   EXPECT_DOUBLE_EQ(R.Stats.workUtilization(), 16.0 / 24.0);
 }
@@ -247,7 +247,7 @@ TEST(SimdInterp, RejectsF77Dialect) {
   Program P("notsimd");
   machine::MachineConfig M = twoLanes(machine::Layout::Block);
   SimdInterp Interp(P, M, nullptr);
-  EXPECT_DEATH(Interp.run(), "not in the F90simd dialect");
+  EXPECT_DEATH((void)Interp.run(), "not in the F90simd dialect");
 }
 
 TEST(SimdInterp, RejectsLaneVaryingWhile) {
@@ -261,7 +261,12 @@ TEST(SimdInterp, RejectsLaneVaryingWhile) {
                   Builder::body(B.set("i", B.add(B.var("i"), B.lit(1))))));
   machine::MachineConfig M = twoLanes(machine::Layout::Block);
   SimdInterp Interp(P, M, nullptr);
-  EXPECT_DEATH(Interp.run(), "WHILE ANY");
+  RunOutcome<SimdRunResult> R = Interp.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::NonUniformControl);
+  EXPECT_NE(R.error().Detail.find("WHILE ANY"), std::string::npos);
+  EXPECT_EQ(R.error().Lanes, (std::vector<int64_t>{1}));
+  EXPECT_NE(R.error().Location.find("WHILE"), std::string::npos);
 }
 
 TEST(SimdInterp, LaneVaryingStoreToControlRejected) {
@@ -272,7 +277,12 @@ TEST(SimdInterp, LaneVaryingStoreToControlRejected) {
   P.body().push_back(B.set("c", B.laneIndex()));
   machine::MachineConfig M = twoLanes(machine::Layout::Block);
   SimdInterp Interp(P, M, nullptr);
-  EXPECT_DEATH(Interp.run(), "lane-varying store to control");
+  RunOutcome<SimdRunResult> R = Interp.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::NonUniformControl);
+  EXPECT_NE(R.error().Detail.find("lane-varying store to control"),
+            std::string::npos);
+  EXPECT_NE(R.error().Location.find("assign c"), std::string::npos);
 }
 
 TEST(SimdInterp, OutOfBoundsOnIdleLaneIsTolerated) {
@@ -291,7 +301,10 @@ TEST(SimdInterp, OutOfBoundsOnIdleLaneIsTolerated) {
                                                       B.lit(2)))))));
   machine::MachineConfig M = twoLanes(machine::Layout::Cyclic);
   SimdInterp Interp(P, M, nullptr);
-  EXPECT_DEATH(Interp.run(), "out of bounds");
+  RunOutcome<SimdRunResult> R = Interp.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::OutOfBounds);
+  EXPECT_EQ(R.error().Lanes, (std::vector<int64_t>{0}));
   // Version where the OOB lane is masked off runs fine: lane 1 reads
   // A(1); lane 2 holds index 4 (out of bounds) but is idle - tolerated.
   Program P3("oob3");
@@ -307,7 +320,7 @@ TEST(SimdInterp, OutOfBoundsOnIdleLaneIsTolerated) {
       Builder::body(B3.set("v", B3.at("A", B3.var("idx"))))));
   machine::MachineConfig M3 = twoLanes(machine::Layout::Cyclic);
   SimdInterp Interp3(P3, M3, nullptr);
-  SimdRunResult R3 = Interp3.run();
+  SimdRunResult R3 = Interp3.run().value();
   (void)R3;
   EXPECT_EQ(Interp3.store().getIntLane("v", 1), 0); // untouched idle lane
 }
@@ -325,7 +338,7 @@ TEST(SimdInterp, ForallSweepsLayers) {
                                       B.mul(B.var("e"), B.var("e"))))));
   machine::MachineConfig M = twoLanes(machine::Layout::Cyclic);
   SimdInterp Interp(P, M, nullptr);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   EXPECT_EQ(Interp.store().getIntArray("A"),
             (std::vector<int64_t>{1, 4, 9, 16, 25, 36}));
   // No communication: cyclic FORALL aligns with the cyclic layout.
@@ -343,7 +356,7 @@ TEST(SimdInterp, ForallMaskRestricts) {
       Builder::body(B.assign(B.at("A", B.var("e")), B.lit(7)))));
   machine::MachineConfig M = twoLanes(machine::Layout::Cyclic);
   SimdInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getIntArray("A"),
             (std::vector<int64_t>{7, 7, 0, 0}));
 }
@@ -364,7 +377,7 @@ TEST(SimdInterp, CommCountsOffHomeAccesses) {
   SimdInterp Interp(P, M, nullptr);
   std::vector<int64_t> A = {10, 20};
   Interp.store().setIntArray("A", A);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   EXPECT_EQ(R.Stats.CommAccesses, 2);
   EXPECT_EQ(Interp.store().getIntLane("v", 0), 20);
   EXPECT_EQ(Interp.store().getIntLane("v", 1), 10);
@@ -382,7 +395,7 @@ TEST(SimdInterp, ReductionsAreMaskAware) {
                                  "s", B.sumRed(B.var("v"))))));
   machine::MachineConfig M = twoLanes(machine::Layout::Cyclic);
   SimdInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   // Inside WHERE(v >= 2) only lane 2 is active: SUMRED = 2, stored only
   // on lane 2.
   EXPECT_EQ(Interp.store().getIntLane("s", 1), 2);

@@ -1,0 +1,214 @@
+//===- tests/interp/TrapTest.cpp -------------------------------*- C++ -*-===//
+//
+// Structured trap raising across the executors: a program fault (an
+// out-of-bounds subscript, a zero divisor under a WHERE mask, a
+// lane-varying DO bound, an exhausted fuel budget, a failing extern)
+// must come back as a Trap carrying the kind, the faulting lane set,
+// and the statement location - never as a process abort.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/ScalarInterp.h"
+#include "interp/SimdInterp.h"
+
+#include "ir/Builder.h"
+#include "ir/Walk.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+
+namespace {
+
+machine::MachineConfig lanes(int64_t N) {
+  machine::MachineConfig M;
+  M.Name = "trap";
+  M.Processors = N;
+  M.Gran = N;
+  M.DataLayout = machine::Layout::Cyclic;
+  M.SecondsPerCycle = 1.0;
+  return M;
+}
+
+TEST(Trap, RenderNamesKindLanesAndLocation) {
+  Trap T{TrapKind::OutOfBounds, {0, 2}, "DO i / assign A",
+         "active lane(s) read out of bounds from 'A'"};
+  std::string S = T.render();
+  EXPECT_NE(S.find("out-of-bounds"), std::string::npos);
+  EXPECT_NE(S.find("DO i / assign A"), std::string::npos);
+  EXPECT_NE(S.find("0 2"), std::string::npos);
+  // A control-unit trap renders without a lane clause.
+  Trap U{TrapKind::FuelExhausted, {}, "WHILE", "fuel budget exhausted"};
+  EXPECT_EQ(U.render().find("lane"), std::string::npos);
+}
+
+TEST(Trap, SimdOutOfBoundsNamesOnlyActiveFaultingLanes) {
+  // Four lanes gather A(idx): lanes hold idx = {1, 2, 5, 6} of a
+  // 4-element array, but the WHERE mask only activates lanes with
+  // idx <= 5. Lane 2 (0-based, idx 5) is active and faults; lane 3
+  // (idx 6) also faults but is idle, so it must not be named.
+  Program P("oob");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("A", ScalarKind::Int, {4}, Dist::Distributed);
+  P.addVar("idx", ScalarKind::Int, {}, Dist::Replicated);
+  P.addVar("v", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  // idx = laneIndex + 2 * ((laneIndex - 1) / 2): 1, 2, 5, 6.
+  P.body().push_back(B.set(
+      "idx",
+      B.add(B.laneIndex(),
+            B.mul(B.lit(2),
+                  B.div(B.sub(B.laneIndex(), B.lit(1)), B.lit(2))))));
+  P.body().push_back(
+      B.where(B.le(B.var("idx"), B.lit(5)),
+              Builder::body(B.set("v", B.at("A", B.var("idx"))))));
+  SimdInterp I(P, lanes(4), nullptr);
+  RunOutcome<SimdRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::OutOfBounds);
+  EXPECT_EQ(R.error().Lanes, (std::vector<int64_t>{2}));
+  EXPECT_NE(R.error().Location.find("WHERE"), std::string::npos);
+  EXPECT_NE(R.error().Location.find("assign v"), std::string::npos);
+}
+
+TEST(Trap, SimdNonUniformDoBoundsTrap) {
+  // DO bounds must be control-uniform; a lane-varying upper bound is
+  // the classic SIMDization bug and must name every divergent lane.
+  Program P("nu");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("n", ScalarKind::Int, {}, Dist::Replicated);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("s", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  P.body().push_back(B.set("n", B.laneIndex()));
+  P.body().push_back(
+      B.doLoop("i", B.lit(1), B.var("n"),
+               Builder::body(B.set("s", B.add(B.var("s"), B.lit(1))))));
+  SimdInterp I(P, lanes(4), nullptr);
+  RunOutcome<SimdRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::NonUniformControl);
+  EXPECT_EQ(R.error().Lanes, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_NE(R.error().Location.find("DO i"), std::string::npos);
+  EXPECT_NE(R.error().Detail.find("DO upper bound"), std::string::npos);
+}
+
+TEST(Trap, SimdDivByZeroUnderWhereNamesActiveLanes) {
+  // v = 10 / (laneIndex - 2) under WHERE(laneIndex >= 2): lane 1
+  // (0-based, laneIndex 2) divides by zero and is active.
+  Program P("dz");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("v", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  P.body().push_back(B.where(
+      B.ge(B.laneIndex(), B.lit(2)),
+      Builder::body(B.set(
+          "v", B.div(B.lit(10), B.sub(B.laneIndex(), B.lit(2)))))));
+  SimdInterp I(P, lanes(4), nullptr);
+  RunOutcome<SimdRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::DivByZero);
+  EXPECT_EQ(R.error().Lanes, (std::vector<int64_t>{1}));
+  EXPECT_NE(R.error().Location.find("WHERE"), std::string::npos);
+}
+
+TEST(Trap, SimdIdleLaneDivByZeroTolerated) {
+  // The same division with the zero-divisor lane masked off completes.
+  Program P("dzok");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("v", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  P.body().push_back(B.where(
+      B.ge(B.laneIndex(), B.lit(3)),
+      Builder::body(B.set(
+          "v", B.div(B.lit(10), B.sub(B.laneIndex(), B.lit(2)))))));
+  SimdInterp I(P, lanes(4), nullptr);
+  EXPECT_TRUE(I.run().ok());
+}
+
+TEST(Trap, FuelExhaustionOnNonTerminatingWhile) {
+  // n never reaches 1, so the watchdog must stop the machine with a
+  // FuelExhausted trap located at the WHILE statement.
+  Program P("fuel");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("n", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.whileLoop(
+      B.lt(B.var("n"), B.lit(1)),
+      Builder::body(B.set("n", B.sub(B.var("n"), B.lit(1))))));
+  RunOptions Opts;
+  Opts.Fuel = 500;
+  SimdInterp I(P, lanes(2), nullptr, Opts);
+  RunOutcome<SimdRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::FuelExhausted);
+  EXPECT_TRUE(R.error().Lanes.empty()); // control-unit fault
+  EXPECT_NE(R.error().Detail.find("fuel budget"), std::string::npos);
+}
+
+TEST(Trap, ScalarFuelBudgetIsDeterministic) {
+  // The same budget traps after the same instruction count every time.
+  auto runOnce = [](int64_t Fuel) {
+    Program P("det");
+    P.addVar("n", ScalarKind::Int);
+    Builder B(P);
+    P.body().push_back(B.whileLoop(
+        B.ge(B.var("n"), B.lit(0)),
+        Builder::body(B.set("n", B.add(B.var("n"), B.lit(1))))));
+    RunOptions Opts;
+    Opts.Fuel = Fuel;
+    ScalarInterp I(P, machine::MachineConfig::sparc2(), nullptr, Opts);
+    RunOutcome<ScalarRunResult> R = I.run();
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.error().Kind, TrapKind::FuelExhausted);
+    return I.store().getInt("n");
+  };
+  EXPECT_EQ(runOnce(1000), runOnce(1000));
+}
+
+TEST(Trap, ExternFailureSurfacesAsTrap) {
+  Program P("ext");
+  P.addExtern("Bad", ScalarKind::Int, /*Pure=*/false);
+  P.addVar("v", ScalarKind::Int);
+  Builder B(P);
+  std::vector<ExprPtr> Args;
+  Args.push_back(B.lit(1));
+  P.body().push_back(B.set("v", B.callFn("Bad", std::move(Args))));
+  ExternRegistry Reg;
+  Reg.bind("Bad", [](std::span<const ScalVal>) -> ScalVal {
+    throw ExternError{"device unavailable"};
+  });
+  ScalarInterp I(P, machine::MachineConfig::sparc2(), nullptr);
+  RunOutcome<ScalarRunResult> RUnbound = I.run();
+  ASSERT_FALSE(RUnbound.ok());
+  EXPECT_EQ(RUnbound.error().Kind, TrapKind::ExternFailure);
+
+  Program P2 = cloneProgram(P);
+  ScalarInterp I2(P2, machine::MachineConfig::sparc2(), &Reg);
+  RunOutcome<ScalarRunResult> R = I2.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::ExternFailure);
+  EXPECT_NE(R.error().Detail.find("device unavailable"),
+            std::string::npos);
+}
+
+TEST(Trap, StoreKeepsCommitsFromBeforeTheFault) {
+  // Everything executed before the fault stays observable in the store
+  // (fault containment, not transaction rollback).
+  Program P("partial");
+  P.addVar("a", ScalarKind::Int);
+  P.addVar("b", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.set("a", B.lit(7)));
+  P.body().push_back(B.set("b", B.div(B.lit(1), B.sub(B.var("a"),
+                                                      B.var("a")))));
+  ScalarInterp I(P, machine::MachineConfig::sparc2(), nullptr);
+  RunOutcome<ScalarRunResult> R = I.run();
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Kind, TrapKind::DivByZero);
+  EXPECT_EQ(I.store().getInt("a"), 7);
+}
+
+} // namespace

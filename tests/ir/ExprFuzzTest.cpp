@@ -119,7 +119,7 @@ int64_t evaluate(const Program &P) {
   I.store().setInt("a", 5);
   I.store().setInt("b", 3);
   I.store().setInt("c", 2);
-  I.run();
+  I.run().value();
   return I.store().slot("r").I[0];
 }
 

@@ -79,7 +79,7 @@ TEST(NBForce, ScalarMatchesReference) {
   machine::MachineConfig M = machine::MachineConfig::sparc2();
   ScalarInterp Interp(P, M, &F.Reg);
   setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, /*Sweep=*/NMax);
-  Interp.run();
+  Interp.run().value();
   expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
 }
 
@@ -93,7 +93,7 @@ TEST(NBForce, MimdMatchesReferenceAndEq1) {
                     Opts);
   MimdRunResult R = Interp.run([&](DataStore &S) {
     setNBForceInputs(S, F.PL, NMax, F.MaxP, NMax);
-  });
+  }).value();
   expectForcesNear(R.Merged->getRealArray("F"), referenceForces(F));
   // Eq. 1: max over processors of their pair-count sums.
   analysis::ProfitEstimate E = analysis::estimateProfit(
@@ -109,7 +109,7 @@ TEST(NBForce, FlattenedSimdMatchesFig15) {
   Opts.WorkCalls = {"Force"};
   SimdInterp Interp(P, M, &F.Reg, Opts);
   setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, NMax);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
   EXPECT_EQ(R.Stats.CommAccesses, 0);
   // Eq. 1': the flattened SIMD step count reaches the MIMD bound.
@@ -126,7 +126,7 @@ TEST(NBForce, UnflattenedSimdMatchesEq2) {
   Opts.WorkCalls = {"Force"};
   SimdInterp Interp(P, M, &F.Reg, Opts);
   setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, NMax);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
   // Eq. 2': sum over atom blocks of the max pCnt in the block.
   analysis::ProfitEstimate E = analysis::estimateProfit(
@@ -144,7 +144,7 @@ TEST(NBForce, L1uCountsAreMaxPTimesLayers) {
   // Pruning machine: sweep only the active atoms.
   setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP,
                    /*Sweep=*/F.PL.numAtoms());
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
   int64_t Lrs = M.layersFor(F.PL.numAtoms());
   EXPECT_EQ(R.Stats.WorkSteps, F.MaxP * Lrs);
@@ -158,7 +158,7 @@ TEST(NBForce, L2uSweepsAllDeclaredLayers) {
   Opts.WorkCalls = {"Force"};
   SimdInterp Interp(P, M, &F.Reg, Opts);
   setNBForceInputs(Interp.store(), F.PL, NMax, F.MaxP, /*Sweep=*/NMax);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   expectForcesNear(Interp.store().getRealArray("F"), referenceForces(F));
   int64_t MaxLrs = M.layersFor(NMax);
   EXPECT_EQ(R.Stats.WorkSteps, F.MaxP * MaxLrs);
@@ -173,12 +173,12 @@ TEST(NBForce, FlattenedBeatsUnflattenedInSeconds) {
   Program PU = nbforceL1u(NMax, F.MaxP);
   SimdInterp IU(PU, M, &F.Reg, Opts);
   setNBForceInputs(IU.store(), F.PL, NMax, F.MaxP, F.PL.numAtoms());
-  double SecondsU = IU.run().Stats.Seconds;
+  double SecondsU = IU.run().value().Stats.Seconds;
 
   Program PF = nbforceFlattenedSimd(NMax, F.MaxP, machine::Layout::Cyclic);
   SimdInterp IF_(PF, M, &F.Reg, Opts);
   setNBForceInputs(IF_.store(), F.PL, NMax, F.MaxP, NMax);
-  double SecondsF = IF_.run().Stats.Seconds;
+  double SecondsF = IF_.run().value().Stats.Seconds;
 
   EXPECT_LT(SecondsF, SecondsU);
 }

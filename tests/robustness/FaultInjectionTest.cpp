@@ -1,0 +1,283 @@
+//===- tests/robustness/FaultInjectionTest.cpp -----------------*- C++ -*-===//
+//
+// Differential fault injection: randomized DOALL nests run through all
+// four executors (scalar, MIMD, unflattened SIMD, flattened SIMD) with
+// at most one injected fault - an out-of-bounds subscript, a zero
+// divisor, a hostile extern, or a starved fuel budget. Every executor
+// must either complete with identical stores or raise a trap of the
+// same kind; no generated input may abort the process.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include "interp/MimdInterp.h"
+#include "interp/ScalarInterp.h"
+#include "interp/SimdInterp.h"
+#include "ir/Builder.h"
+#include "ir/Printer.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+using namespace simdflat::ir;
+using namespace simdflat::transform;
+
+namespace {
+
+enum class FaultMode {
+  None,          // control: everything completes, stores agree
+  OutOfBounds,   // one row's trip count walks past X's extent
+  DivByZero,     // one row divides by D(i) == 0
+  HostileExtern, // the bound extern throws ExternError on its first call
+  FuelLimit,     // a budget far below the work the nest needs
+};
+
+struct FaultCase {
+  Program Prog;
+  FaultMode Mode = FaultMode::None;
+  int64_t K = 0;
+  std::vector<int64_t> L;
+  std::vector<int64_t> D;
+  int64_t Fuel = 0; // 0 = unlimited
+
+  explicit FaultCase(Program P) : Prog(std::move(P)) {}
+};
+
+constexpr int64_t MaxL = 6;
+
+/// An irregular DOALL/DO nest in the paper's shape, with one fault
+/// injected according to \p Mode:
+///
+///   DOALL i = 1, K
+///     DO j = 1, L(i)
+///       X(i,j) = i*10 + j  [+ j / D(i)]  [+ Probe(j)]
+///       A(i)   = A(i) + j
+FaultCase makeCase(uint64_t Seed, FaultMode Mode) {
+  Rng R(Seed);
+  int64_t K = R.uniformInt(3, 8);
+  // An injected fault must actually execute, so the faulting modes
+  // force at least one inner trip per row; the control mode keeps
+  // zero-trip rows in play.
+  bool MinOne = Mode != FaultMode::None || R.chance(0.5);
+  std::vector<int64_t> L, D;
+  for (int64_t I = 0; I < K; ++I) {
+    L.push_back(R.uniformInt(MinOne ? 1 : 0, 5));
+    D.push_back(1 + R.uniformInt(0, 3));
+  }
+  int64_t Bad = R.uniformInt(0, K - 1);
+  if (Mode == FaultMode::OutOfBounds)
+    L[Bad] = MaxL + 1 + R.uniformInt(0, 2);
+  if (Mode == FaultMode::DivByZero)
+    D[Bad] = 0;
+
+  Program P("fault" + std::to_string(Seed));
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {K}, Dist::Distributed);
+  P.addVar("D", ScalarKind::Int, {K}, Dist::Distributed);
+  P.addVar("X", ScalarKind::Int, {K, MaxL}, Dist::Distributed);
+  P.addVar("A", ScalarKind::Int, {K}, Dist::Distributed);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  if (Mode == FaultMode::HostileExtern)
+    P.addExtern("Probe", ScalarKind::Int, /*Pure=*/false);
+  Builder B(P);
+
+  ExprPtr Val = B.add(B.mul(B.var("i"), B.lit(10)), B.var("j"));
+  if (Mode == FaultMode::DivByZero)
+    Val = B.add(std::move(Val), B.div(B.var("j"), B.at("D", B.var("i"))));
+  if (Mode == FaultMode::HostileExtern) {
+    std::vector<ExprPtr> Args;
+    Args.push_back(B.var("j"));
+    Val = B.add(std::move(Val), B.callFn("Probe", std::move(Args)));
+  }
+  Body Inner;
+  Inner.push_back(
+      B.assign(B.at("X", B.var("i"), B.var("j")), std::move(Val)));
+  Inner.push_back(B.assign(B.at("A", B.var("i")),
+                           B.add(B.at("A", B.var("i")), B.var("j"))));
+
+  Body Outer;
+  Outer.push_back(B.doLoop("j", B.lit(1), B.at("L", B.var("i")),
+                           std::move(Inner)));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"),
+                              std::move(Outer), nullptr,
+                              /*IsParallel=*/true));
+
+  FaultCase Out(std::move(P));
+  Out.Mode = Mode;
+  Out.K = K;
+  Out.L = std::move(L);
+  Out.D = std::move(D);
+  // Far below the instructions the nest needs on any executor (with
+  // MinOne there are at least 3 inner iterations of two assignments
+  // each), so every executor runs out mid-flight.
+  if (Mode == FaultMode::FuelLimit)
+    Out.Fuel = 5;
+  return Out;
+}
+
+ExternRegistry makeRegistry() {
+  ExternRegistry Reg;
+  Reg.bind("Probe", [](std::span<const ScalVal> A) -> ScalVal {
+    if (A[0].I == 1)
+      throw ExternError{"probe rejected its input"};
+    return ScalVal::makeInt(A[0].I);
+  });
+  return Reg;
+}
+
+struct Stores {
+  std::vector<int64_t> X, A;
+  bool operator==(const Stores &O) const = default;
+};
+
+struct Outcome {
+  std::string Executor;
+  std::optional<Trap> T;
+  Stores S;
+};
+
+void seed(DataStore &S, const FaultCase &FC) {
+  S.setInt("K", FC.K);
+  S.setIntArray("L", FC.L);
+  S.setIntArray("D", FC.D);
+}
+
+RunOptions optsFor(const FaultCase &FC) {
+  RunOptions O;
+  O.Fuel = FC.Fuel;
+  return O;
+}
+
+Outcome runScalar(const FaultCase &FC, const ExternRegistry *Reg) {
+  ScalarInterp I(FC.Prog, machine::MachineConfig::sparc2(), Reg,
+                 optsFor(FC));
+  seed(I.store(), FC);
+  Outcome O{"scalar", {}, {}};
+  RunOutcome<ScalarRunResult> R = I.run();
+  if (!R) {
+    O.T = R.error();
+    return O;
+  }
+  O.S = {I.store().getIntArray("X"), I.store().getIntArray("A")};
+  return O;
+}
+
+Outcome runMimd(const FaultCase &FC, const ExternRegistry *Reg) {
+  MimdInterp I(FC.Prog, machine::MachineConfig::sparc2(), Reg,
+               /*NumProcs=*/3, machine::Layout::Block, optsFor(FC));
+  Outcome O{"mimd", {}, {}};
+  RunOutcome<MimdRunResult> R =
+      I.run([&](DataStore &S) { seed(S, FC); });
+  if (!R) {
+    O.T = R.error();
+    return O;
+  }
+  O.S = {R->Merged->getIntArray("X"), R->Merged->getIntArray("A")};
+  return O;
+}
+
+Outcome runSimd(const FaultCase &FC, const ExternRegistry *Reg,
+                bool Flatten) {
+  PipelineOptions PO;
+  PO.Layout = machine::Layout::Cyclic;
+  PO.Flatten = Flatten;
+  PipelineReport Rep;
+  Program P = compileForSimd(FC.Prog, PO, &Rep).value();
+  // The pure-arithmetic nests must flatten; the hostile-extern case may
+  // legitimately fall back to the unflattened path.
+  if (Flatten && FC.Mode != FaultMode::HostileExtern) {
+    EXPECT_TRUE(Rep.Flattened) << Rep.FlattenSkipReason;
+  }
+
+  machine::MachineConfig M;
+  M.Name = "fault";
+  M.Processors = 4;
+  M.Gran = 4;
+  M.DataLayout = machine::Layout::Cyclic;
+  SimdInterp I(P, M, Reg, optsFor(FC));
+  seed(I.store(), FC);
+  Outcome O{Flatten ? "simd-flat" : "simd", {}, {}};
+  RunOutcome<SimdRunResult> R = I.run();
+  if (!R) {
+    O.T = R.error();
+    return O;
+  }
+  O.S = {I.store().getIntArray("X"), I.store().getIntArray("A")};
+  return O;
+}
+
+class FaultInjection : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultInjection, ExecutorsAgreeOnResultOrTrapKind) {
+  uint64_t Seed = GetParam();
+  FaultMode Mode = static_cast<FaultMode>(Seed % 5);
+  FaultCase FC = makeCase(Seed, Mode);
+  ExternRegistry Reg = makeRegistry();
+  const ExternRegistry *R =
+      FC.Mode == FaultMode::HostileExtern ? &Reg : nullptr;
+
+  std::vector<Outcome> Outs;
+  Outs.push_back(runScalar(FC, R));
+  Outs.push_back(runMimd(FC, R));
+  Outs.push_back(runSimd(FC, R, /*Flatten=*/false));
+  Outs.push_back(runSimd(FC, R, /*Flatten=*/true));
+
+  // The injected fault (or its absence) dictates the scalar outcome.
+  const Outcome &Ref = Outs.front();
+  std::optional<TrapKind> Want;
+  switch (Mode) {
+  case FaultMode::None:
+    break;
+  case FaultMode::OutOfBounds:
+    Want = TrapKind::OutOfBounds;
+    break;
+  case FaultMode::DivByZero:
+    Want = TrapKind::DivByZero;
+    break;
+  case FaultMode::HostileExtern:
+    Want = TrapKind::ExternFailure;
+    break;
+  case FaultMode::FuelLimit:
+    Want = TrapKind::FuelExhausted;
+    break;
+  }
+  if (!Want) {
+    ASSERT_FALSE(Ref.T.has_value())
+        << "control case trapped: " << Ref.T->render();
+  } else {
+    ASSERT_TRUE(Ref.T.has_value())
+        << "injected fault never fired\n" << printBody(FC.Prog.body());
+    EXPECT_EQ(Ref.T->Kind, *Want) << Ref.T->render();
+  }
+
+  // Differential check: every executor matches the scalar reference -
+  // same trap kind, or same stores.
+  for (const Outcome &O : Outs) {
+    ASSERT_EQ(O.T.has_value(), Ref.T.has_value())
+        << O.Executor << ": "
+        << (O.T ? O.T->render() : "completed") << "\n  scalar: "
+        << (Ref.T ? Ref.T->render() : "completed") << "\n"
+        << printBody(FC.Prog.body());
+    if (O.T)
+      EXPECT_EQ(O.T->Kind, Ref.T->Kind)
+          << O.Executor << ": " << O.T->render() << "\n  scalar: "
+          << Ref.T->render();
+    else
+      EXPECT_EQ(O.S, Ref.S) << O.Executor;
+  }
+}
+
+// Seed % 5 selects the fault mode, so the range covers every mode
+// eight times over distinct programs.
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultInjection,
+                         ::testing::Range<uint64_t>(0, 40));
+
+} // namespace

@@ -34,7 +34,7 @@ TEST(Coalesce, PreservesSequentialSemantics) {
     ScalarInterp Interp(Q, M, nullptr);
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);
-    Interp.run();
+    Interp.run().value();
     return Interp.store().getIntArray("X");
   };
   EXPECT_EQ(Run(P), Run(Orig));
@@ -55,7 +55,7 @@ TEST(Coalesce, BalancesLoadAcrossMimdProcessors) {
   MimdRunResult R = Interp.run([&](DataStore &S) {
     S.setInt("K", Spec.K);
     S.setIntArray("L", Spec.L);
-  });
+  }).value();
   EXPECT_EQ(R.TimeSteps, 6); // ceil(24 / 4)
 }
 
@@ -79,7 +79,7 @@ TEST(Coalesce, SimdizedCoalescedLoopCommunicates) {
   SimdInterp Interp(Simd, M, nullptr, Opts);
   Interp.store().setInt("K", Spec.K);
   Interp.store().setIntArray("L", Spec.L);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   // Results still correct.
   std::vector<int64_t> X = Interp.store().getIntArray("X");
   int64_t NonZero = 0;

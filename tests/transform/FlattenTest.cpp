@@ -33,7 +33,7 @@ std::vector<int64_t> runExample(Program &P, const ExampleSpec &Spec,
   ScalarInterp Interp(P, M, Reg);
   Interp.store().setInt("K", Spec.K);
   Interp.store().setIntArray("L", Spec.L);
-  Interp.run();
+  Interp.run().value();
   return Interp.store().getIntArray("X");
 }
 
@@ -313,7 +313,7 @@ TEST(Flatten, PreAndPostRegions) {
     Interp.store().setInt("K", 4);
     std::vector<int64_t> L = {2, 1, 3, 1};
     Interp.store().setIntArray("L", L);
-    Interp.run();
+    Interp.run().value();
     return std::make_pair(Interp.store().getIntArray("A"),
                           Interp.store().getIntArray("C"));
   };
@@ -357,7 +357,7 @@ TEST(Flatten, GuardedReinitWhenInitReadsArrays) {
   Interp.store().setInt("K", 3);
   std::vector<int64_t> L = {2, 1, 2};
   Interp.store().setIntArray("L", L);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getIntArray("A"),
             (std::vector<int64_t>{2, 1, 2}));
 }
@@ -388,7 +388,7 @@ TEST(Flatten, DeepNestThreeLevels) {
     Interp.store().setInt("K", 4);
     std::vector<int64_t> L = {3, 1, 2, 4};
     Interp.store().setIntArray("L", L);
-    Interp.run();
+    Interp.run().value();
     return Interp.store().getIntArray("X");
   };
   Program Orig = cloneProgram(P);

@@ -51,7 +51,7 @@ TEST(GuardIntro, SemanticsPreserved) {
   ScalarInterp I1(Orig, M, nullptr);
   I1.store().setInt("K", Spec.K);
   I1.store().setIntArray("L", Spec.L);
-  I1.run();
+  I1.run().value();
 
   Program P = makeExample(Spec);
   NormalizeOptions Opts;
@@ -61,7 +61,7 @@ TEST(GuardIntro, SemanticsPreserved) {
   ScalarInterp I2(P, M, nullptr);
   I2.store().setInt("K", Spec.K);
   I2.store().setIntArray("L", Spec.L);
-  I2.run();
+  I2.run().value();
 
   EXPECT_EQ(I1.store().getIntArray("X"), I2.store().getIntArray("X"));
 }
@@ -84,7 +84,7 @@ TEST(GuardIntro, ImpureGuardEvaluatedSameNumberOfTimes) {
     ScalarInterp Interp(P, M, &Reg);
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);
-    Interp.run();
+    Interp.run().value();
     return Log;
   };
 

@@ -22,7 +22,7 @@ std::vector<int64_t> runExample(Program &P, const ExampleSpec &Spec) {
   ScalarInterp Interp(P, M, nullptr);
   Interp.store().setInt("K", Spec.K);
   Interp.store().setIntArray("L", Spec.L);
-  Interp.run();
+  Interp.run().value();
   return Interp.store().getIntArray("X");
 }
 
@@ -88,7 +88,7 @@ TEST(Normalize, RepeatPeelsFirstIteration) {
                                  "ENDWHILE\n");
   machine::MachineConfig M = machine::MachineConfig::sparc2();
   ScalarInterp Interp(P, M, nullptr);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getInt("n"), 3);
 }
 

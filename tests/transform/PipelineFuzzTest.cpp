@@ -154,7 +154,7 @@ Stores runScalar(const FuzzCase &FC, Program &P) {
   ScalarInterp Interp(P, M, nullptr);
   Interp.store().setInt("K", FC.K);
   Interp.store().setIntArray("L", FC.L);
-  Interp.run();
+  Interp.run().value();
   return grab(Interp.store());
 }
 
@@ -170,7 +170,7 @@ std::pair<Stores, int64_t> runSimd(const FuzzCase &FC, Program &P,
   SimdInterp Interp(P, M, nullptr, Opts);
   Interp.store().setInt("K", FC.K);
   Interp.store().setIntArray("L", FC.L);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   return {grab(Interp.store()), R.Stats.WorkSteps};
 }
 
@@ -202,7 +202,7 @@ TEST_P(PipelineFuzz, AllExecutionsAgree) {
       PO.Layout = Lay;
       PO.AssumeInnerMinOneTrip = FC.MinOne;
       PipelineReport Rep;
-      Program Flat = compileForSimd(FC.Prog, PO, &Rep);
+      Program Flat = compileForSimd(FC.Prog, PO, &Rep).value();
       ASSERT_TRUE(Rep.Flattened) << Rep.FlattenSkipReason;
       auto [FlatStores, FlatSteps] = runSimd(FC, Flat, Lanes, Lay);
       EXPECT_EQ(FlatStores, Want)
@@ -210,7 +210,7 @@ TEST_P(PipelineFuzz, AllExecutionsAgree) {
           << "\n" << printBody(Flat.body());
 
       PO.Flatten = false;
-      Program Unflat = compileForSimd(FC.Prog, PO);
+      Program Unflat = compileForSimd(FC.Prog, PO).value();
       auto [UnflatStores, UnflatSteps] = runSimd(FC, Unflat, Lanes, Lay);
       EXPECT_EQ(UnflatStores, Want) << "unflattened, lanes " << Lanes;
       // The conservative Fig. 10 form runs BODY one final time fully

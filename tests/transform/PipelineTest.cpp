@@ -22,7 +22,7 @@ TEST(Pipeline, ExampleEndToEnd) {
   PipelineOptions PO;
   PO.AssumeInnerMinOneTrip = true;
   PipelineReport Rep;
-  Program Simd = compileForSimd(Ex, PO, &Rep);
+  Program Simd = compileForSimd(Ex, PO, &Rep).value();
   EXPECT_EQ(Simd.dialect(), Dialect::F90Simd);
   EXPECT_EQ(Rep.GotoLoopsRecovered, 0);
   EXPECT_TRUE(Rep.Flattened);
@@ -40,7 +40,7 @@ TEST(Pipeline, RecoversGotoLoops) {
   Program Ex = makeExample(Spec, LoopForm::GotoLoop);
   PipelineOptions PO;
   PipelineReport Rep;
-  Program Simd = compileForSimd(Ex, PO, &Rep);
+  Program Simd = compileForSimd(Ex, PO, &Rep).value();
   EXPECT_EQ(Rep.GotoLoopsRecovered, 1);
   EXPECT_TRUE(Rep.Flattened); // recovered REPEATs are min-one-trip
 
@@ -52,7 +52,7 @@ TEST(Pipeline, RecoversGotoLoops) {
   SimdInterp I(Simd, M, nullptr);
   I.store().setInt("K", Spec.K);
   I.store().setIntArray("L", Spec.L);
-  I.run();
+  I.run().value();
   std::vector<int64_t> Idx = {8, 3};
   EXPECT_EQ(I.store().getIntAt("X", Idx), 24);
 }
@@ -62,7 +62,7 @@ TEST(Pipeline, UnflattenedPath) {
   PipelineOptions PO;
   PO.Flatten = false;
   PipelineReport Rep;
-  Program Simd = compileForSimd(Ex, PO, &Rep);
+  Program Simd = compileForSimd(Ex, PO, &Rep).value();
   EXPECT_FALSE(Rep.Flattened);
   EXPECT_TRUE(Rep.FlattenSkipReason.empty()); // not requested != failed
   EXPECT_EQ(Simd.dialect(), Dialect::F90Simd);
@@ -75,7 +75,7 @@ TEST(Pipeline, RejectedLevelIsReported) {
   PO.ForceLevel = FlattenLevel::DoneTest;
   PO.AssumeInnerMinOneTrip = true;
   PipelineReport Rep;
-  Program Simd = compileForSimd(Ex, PO, &Rep);
+  Program Simd = compileForSimd(Ex, PO, &Rep).value();
   EXPECT_FALSE(Rep.Flattened);
   EXPECT_NE(Rep.FlattenSkipReason.find("last-iteration"),
             std::string::npos);
@@ -83,12 +83,65 @@ TEST(Pipeline, RejectedLevelIsReported) {
   EXPECT_EQ(Simd.dialect(), Dialect::F90Simd);
 }
 
+TEST(Pipeline, InvalidInputIsAStructuredError) {
+  // A subroutine used as a function fails verification; the pipeline
+  // must hand back a PipelineError naming the stage, not abort.
+  Program P("bad");
+  P.addExtern("S", ScalarKind::Int, true, /*IsSubroutine=*/true);
+  P.addVar("i", ScalarKind::Int);
+  P.body().push_back(std::make_unique<AssignStmt>(
+      std::make_unique<VarRef>("i", ScalarKind::Int),
+      std::make_unique<CallExpr>("S", std::vector<ExprPtr>{},
+                                 ScalarKind::Int)));
+  Expected<Program, PipelineError> R = compileForSimd(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Stage, "input");
+  ASSERT_FALSE(R.error().Issues.empty());
+  std::string Msg = R.error().render();
+  EXPECT_NE(Msg.find("input"), std::string::npos);
+  EXPECT_NE(Msg.find("subroutine"), std::string::npos);
+}
+
+TEST(Pipeline, StageOutcomesAreRecorded) {
+  Program Ex = makeExample(paperExampleSpec());
+  PipelineOptions PO;
+  PO.AssumeInnerMinOneTrip = true;
+  PipelineReport Rep;
+  compileForSimd(Ex, PO, &Rep).value();
+  bool SawFlatten = false, SawSimdize = false;
+  for (const StageOutcome &S : Rep.Stages) {
+    SawFlatten |= S.Stage == "flatten" && S.Ran;
+    SawSimdize |= S.Stage == "simdize" && S.Ran;
+    if (S.Ran) {
+      EXPECT_TRUE(S.Verified) << S.Stage;
+    }
+  }
+  EXPECT_TRUE(SawFlatten);
+  EXPECT_TRUE(SawSimdize);
+  // Per-stage verdicts show up in the summary (flattenc --analyze).
+  EXPECT_NE(Rep.summary().find("stage"), std::string::npos);
+}
+
+TEST(Pipeline, ExplicitNormalizeStagesRunAndVerify) {
+  Program Ex = makeExample(paperExampleSpec());
+  PipelineOptions PO;
+  PO.AssumeInnerMinOneTrip = true;
+  PO.ExplicitNormalize = true;
+  PipelineReport Rep;
+  Program Simd = compileForSimd(Ex, PO, &Rep).value();
+  EXPECT_TRUE(verifyProgram(Simd).empty());
+  bool SawNormalize = false;
+  for (const StageOutcome &S : Rep.Stages)
+    SawNormalize |= S.Stage == "normalize" && S.Ran && S.Verified;
+  EXPECT_TRUE(SawNormalize);
+}
+
 TEST(Pipeline, SummaryMentionsStages) {
   Program Ex = makeExample(paperExampleSpec(), LoopForm::GotoLoop);
   PipelineOptions PO;
   PO.AssumeInnerMinOneTrip = true;
   PipelineReport Rep;
-  compileForSimd(Ex, PO, &Rep);
+  compileForSimd(Ex, PO, &Rep).value();
   std::string S = Rep.summary();
   EXPECT_NE(S.find("recovered 1 GOTO loop"), std::string::npos);
   EXPECT_NE(S.find("flattened at the"), std::string::npos);

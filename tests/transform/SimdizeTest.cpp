@@ -54,7 +54,7 @@ SimdRunResult runSimd(Program &P, const ExampleSpec &Spec,
   SimdInterp Interp(P, M, nullptr, Opts);
   Interp.store().setInt("K", Spec.K);
   Interp.store().setIntArray("L", Spec.L);
-  SimdRunResult R = Interp.run();
+  SimdRunResult R = Interp.run().value();
   if (XOut)
     *XOut = Interp.store().getIntArray("X");
   return R;
@@ -225,7 +225,7 @@ TEST(Simdize, VaryingIfBecomesWhere) {
   Interp.store().setInt("K", 8);
   std::vector<int64_t> A = {5, 0, -3, 7, 0, 1, 0, -2};
   Interp.store().setIntArray("A", A);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getIntArray("A"),
             (std::vector<int64_t>{1, 2, 2, 1, 2, 1, 2, 2}));
 }
@@ -286,7 +286,7 @@ TEST(Simdize, DescendingVaryingBoundUsesMinReduction) {
   I.store().setInt("K", 8);
   std::vector<int64_t> LO = {1, 5, 3, 7, 2, 6, 4, 1};
   I.store().setIntArray("LO", LO);
-  I.run();
+  I.run().value();
   std::vector<int64_t> Want(8, 0);
   for (int R = 0; R < 8; ++R)
     for (int64_t J = 6; J >= LO[static_cast<size_t>(R)]; --J)

@@ -97,7 +97,7 @@ TEST_F(SimplifyTest, PipelineOutputIsClean) {
   Program Ex = workloads::makeExample(workloads::paperExampleSpec());
   PipelineOptions PO;
   PO.AssumeInnerMinOneTrip = true;
-  Program Simd = compileForSimd(Ex, PO);
+  Program Simd = compileForSimd(Ex, PO).value();
   std::string Out = printBody(Simd.body());
   EXPECT_EQ(Out.substr(0, Out.find('\n')), "i = LANEINDEX()");
   EXPECT_EQ(Out.find("- 1)"), std::string::npos) << Out;
@@ -107,7 +107,7 @@ TEST_F(SimplifyTest, IdempotentOnCleanPrograms) {
   Program Ex = workloads::makeExample(workloads::paperExampleSpec());
   PipelineOptions PO;
   PO.AssumeInnerMinOneTrip = true;
-  Program Simd = compileForSimd(Ex, PO);
+  Program Simd = compileForSimd(Ex, PO).value();
   EXPECT_EQ(simplifyProgram(Simd), 0);
 }
 

@@ -45,7 +45,7 @@ TEST(Mandelbrot, F77KernelMatchesNative) {
   machine::MachineConfig M = machine::MachineConfig::sparc2();
   ScalarInterp Interp(P, M, nullptr);
   Interp.store().setInt("maxIter", S.MaxIter);
-  Interp.run();
+  Interp.run().value();
   EXPECT_EQ(Interp.store().getIntArray("IT"), mandelbrotIterations(S));
 }
 
@@ -68,7 +68,7 @@ TEST(Mandelbrot, FlattenedSimdPipelineMatchesAndWins) {
   Program SU = transform::simdize(PU, SOpts);
   SimdInterp IU(SU, M, nullptr, Opts);
   IU.store().setInt("maxIter", S.MaxIter);
-  SimdRunResult RU = IU.run();
+  SimdRunResult RU = IU.run().value();
   EXPECT_EQ(IU.store().getIntArray("IT"), Want);
 
   // Flattened.
@@ -81,7 +81,7 @@ TEST(Mandelbrot, FlattenedSimdPipelineMatchesAndWins) {
   Program SF = transform::simdize(PF);
   SimdInterp IF_(SF, M, nullptr, Opts);
   IF_.store().setInt("maxIter", S.MaxIter);
-  SimdRunResult RF = IF_.run();
+  SimdRunResult RF = IF_.run().value();
   EXPECT_EQ(IF_.store().getIntArray("IT"), Want);
 
   // Escape-time counts are highly skewed: flattening must win steps.

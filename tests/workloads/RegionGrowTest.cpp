@@ -57,7 +57,7 @@ TEST(RegionGrow, KernelAccumulatesTriangularNumbers) {
   ScalarInterp Interp(P, M, nullptr);
   Interp.store().setInt("nRegions", S.NumRegions);
   Interp.store().setIntArray("SIZE", Sizes);
-  Interp.run();
+  Interp.run().value();
   std::vector<int64_t> Grown = Interp.store().getIntArray("GROWN");
   for (size_t R = 0; R < Sizes.size(); ++R)
     EXPECT_EQ(Grown[R], Sizes[R] * (Sizes[R] + 1) / 2) << "region " << R;

@@ -94,7 +94,7 @@ TEST(SpMV, ScalarKernelMatchesOracle) {
   machine::MachineConfig MC = machine::MachineConfig::sparc2();
   ScalarInterp Interp(P, MC, nullptr);
   setInputs(Interp.store(), M, X, MaxRows, MaxNnz);
-  Interp.run();
+  Interp.run().value();
   std::vector<double> Y = Interp.store().getRealArray("y");
   for (int64_t R = 0; R < M.Rows; ++R)
     EXPECT_NEAR(Y[static_cast<size_t>(R)], Want[static_cast<size_t>(R)],
@@ -115,7 +115,7 @@ TEST(SpMV, PipelineMatchesOracleAndEq1) {
       PO.Flatten = Flatten;
       PO.AssumeInnerMinOneTrip = true; // every row has its diagonal
       transform::PipelineReport Rep;
-      Program Simd = transform::compileForSimd(F77, PO, &Rep);
+      Program Simd = transform::compileForSimd(F77, PO, &Rep).value();
       machine::MachineConfig MC;
       MC.Name = "spmv";
       MC.Processors = Lanes;
@@ -125,7 +125,7 @@ TEST(SpMV, PipelineMatchesOracleAndEq1) {
       Opts.WorkTargets = {"y"};
       SimdInterp Interp(Simd, MC, nullptr, Opts);
       setInputs(Interp.store(), M, X, MaxRows, MaxNnz);
-      SimdRunResult RR = Interp.run();
+      SimdRunResult RR = Interp.run().value();
       std::vector<double> Y = Interp.store().getRealArray("y");
       for (int64_t R = 0; R < M.Rows; ++R)
         EXPECT_NEAR(Y[static_cast<size_t>(R)],

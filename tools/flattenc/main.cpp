@@ -16,6 +16,9 @@
 ///   flattenc --run --lanes=4 --set K=8
 ///            --set-array L=4,1,2,1,1,3,1,3 example.f (one line)
 ///
+/// Exit codes: 0 success, 1 front-end or pipeline error, 2 bad command
+/// line, 3 runtime trap under --run.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/LoopNests.h"
@@ -30,7 +33,9 @@
 #include "transform/Simdize.h"
 #include "transform/Simplify.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -51,6 +56,7 @@ struct CliOptions {
   bool Analyze = false;
   bool Run = false;
   int64_t Lanes = 4;
+  int64_t Fuel = 0;
   std::vector<std::pair<std::string, int64_t>> Sets;
   std::vector<std::pair<std::string, std::vector<int64_t>>> SetArrays;
 };
@@ -67,76 +73,166 @@ void usage() {
       "  --no-flatten           SIMDize without flattening (Fig. 5 path)\n"
       "  --analyze              print the loop-nest analysis and exit\n"
       "  --run                  execute on the SIMD simulator\n"
-      "  --lanes=N              simulator lanes (with --run)\n"
+      "  --lanes=N              simulator lanes (with --run, N >= 1)\n"
+      "  --fuel=N               watchdog: trap after N instructions\n"
+      "                         (with --run; 0 = unlimited)\n"
       "  --set NAME=V           set an integer input (with --run)\n"
-      "  --set-array NAME=a,b,c set an integer array input (with --run)\n");
+      "  --set-array NAME=a,b,c set an integer array input (with --run)\n"
+      "exit codes: 0 success, 1 front-end/pipeline error, 2 bad command\n"
+      "line, 3 runtime trap\n");
+}
+
+/// Strict base-10 integer parse of all of \p S; rejects empty strings,
+/// trailing junk, and out-of-range values.
+bool parseInt(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+[[nodiscard]] bool cliError(const char *Fmt, const std::string &Arg) {
+  std::fprintf(stderr, Fmt, Arg.c_str());
+  std::fprintf(stderr, "\n");
+  usage();
+  return false;
+}
+
+/// Value of a `--opt=value` argument; fails (rather than returning the
+/// whole argument) when the '=' is missing.
+bool optionValue(const std::string &A, std::string &Out) {
+  size_t Eq = A.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  Out = A.substr(Eq + 1);
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
-    auto Value = [&A]() { return A.substr(A.find('=') + 1); };
-    if (A.rfind("--emit=", 0) == 0) {
-      Opts.Emit = Value();
-    } else if (A.rfind("--level=", 0) == 0) {
-      std::string V = Value();
+    std::string V;
+    if (A.rfind("--emit", 0) == 0) {
+      if (!optionValue(A, V) ||
+          (V != "f77" && V != "flat" && V != "simd"))
+        return cliError("flattenc: --emit expects f77|flat|simd, got '%s'",
+                        A);
+      Opts.Emit = V;
+    } else if (A.rfind("--level", 0) == 0) {
+      if (!optionValue(A, V))
+        return cliError("flattenc: '%s' expects --level=general|"
+                        "optimized|done",
+                        A);
       if (V == "general")
         Opts.Level = transform::FlattenLevel::General;
       else if (V == "optimized")
         Opts.Level = transform::FlattenLevel::Optimized;
       else if (V == "done")
         Opts.Level = transform::FlattenLevel::DoneTest;
-      else {
-        std::fprintf(stderr, "flattenc: unknown level '%s'\n", V.c_str());
-        return false;
-      }
+      else
+        return cliError("flattenc: unknown level '%s'", V);
     } else if (A == "--assume-min-one") {
       Opts.AssumeMinOne = true;
-    } else if (A.rfind("--layout=", 0) == 0) {
-      Opts.Layout = Value();
+    } else if (A.rfind("--layout", 0) == 0) {
+      if (!optionValue(A, V) || (V != "cyclic" && V != "block"))
+        return cliError("flattenc: --layout expects cyclic|block, got '%s'",
+                        A);
+      Opts.Layout = V;
     } else if (A == "--no-flatten") {
       Opts.NoFlatten = true;
     } else if (A == "--analyze") {
       Opts.Analyze = true;
     } else if (A == "--run") {
       Opts.Run = true;
-    } else if (A.rfind("--lanes=", 0) == 0) {
-      Opts.Lanes = std::atoll(Value().c_str());
-    } else if (A == "--set" && I + 1 < Argc) {
+    } else if (A.rfind("--lanes", 0) == 0) {
+      if (!optionValue(A, V) || !parseInt(V, Opts.Lanes) ||
+          Opts.Lanes <= 0)
+        return cliError("flattenc: --lanes expects a positive integer, "
+                        "got '%s'",
+                        A);
+    } else if (A.rfind("--fuel", 0) == 0) {
+      if (!optionValue(A, V) || !parseInt(V, Opts.Fuel) || Opts.Fuel < 0)
+        return cliError("flattenc: --fuel expects a non-negative integer, "
+                        "got '%s'",
+                        A);
+    } else if (A == "--set") {
+      if (I + 1 >= Argc)
+        return cliError("flattenc: %s expects a NAME=VALUE argument", A);
       std::string KV = Argv[++I];
       size_t Eq = KV.find('=');
-      if (Eq == std::string::npos) {
-        std::fprintf(stderr, "flattenc: --set expects NAME=VALUE\n");
-        return false;
-      }
-      Opts.Sets.emplace_back(KV.substr(0, Eq),
-                             std::atoll(KV.c_str() + Eq + 1));
-    } else if (A == "--set-array" && I + 1 < Argc) {
+      int64_t Val = 0;
+      if (Eq == std::string::npos || Eq == 0 ||
+          !parseInt(KV.substr(Eq + 1), Val))
+        return cliError("flattenc: --set expects NAME=VALUE, got '%s'",
+                        KV);
+      Opts.Sets.emplace_back(KV.substr(0, Eq), Val);
+    } else if (A == "--set-array") {
+      if (I + 1 >= Argc)
+        return cliError("flattenc: %s expects a NAME=a,b,c argument", A);
       std::string KV = Argv[++I];
       size_t Eq = KV.find('=');
-      if (Eq == std::string::npos) {
-        std::fprintf(stderr,
-                     "flattenc: --set-array expects NAME=a,b,c\n");
-        return false;
-      }
+      if (Eq == std::string::npos || Eq == 0)
+        return cliError("flattenc: --set-array expects NAME=a,b,c, "
+                        "got '%s'",
+                        KV);
       std::vector<int64_t> Vals;
       std::stringstream SS(KV.substr(Eq + 1));
       std::string Item;
-      while (std::getline(SS, Item, ','))
-        Vals.push_back(std::atoll(Item.c_str()));
+      while (std::getline(SS, Item, ',')) {
+        int64_t Val = 0;
+        if (!parseInt(Item, Val))
+          return cliError("flattenc: bad integer in --set-array '%s'",
+                          KV);
+        Vals.push_back(Val);
+      }
+      if (Vals.empty())
+        return cliError("flattenc: --set-array expects at least one "
+                        "value, got '%s'",
+                        KV);
       Opts.SetArrays.emplace_back(KV.substr(0, Eq), std::move(Vals));
     } else if (A == "--help" || A == "-h") {
       usage();
       return false;
     } else if (!A.empty() && A[0] == '-') {
-      std::fprintf(stderr, "flattenc: unknown option '%s'\n", A.c_str());
-      return false;
+      return cliError("flattenc: unknown option '%s'", A);
+    } else if (!Opts.InputPath.empty()) {
+      return cliError("flattenc: more than one input file ('%s')", A);
     } else {
       Opts.InputPath = A;
     }
   }
   if (Opts.InputPath.empty()) {
     usage();
+    return false;
+  }
+  return true;
+}
+
+/// Checks a --set / --set-array name against the program's declarations
+/// so a typo is a clean diagnostic, not an interpreter fault.
+bool checkSetName(const ir::Program &P, const std::string &Name,
+                  bool WantArray) {
+  const ir::VarDecl *D = P.lookupVar(Name);
+  if (!D) {
+    std::fprintf(stderr, "flattenc: --set%s names undeclared variable "
+                         "'%s'\n",
+                 WantArray ? "-array" : "", Name.c_str());
+    return false;
+  }
+  if (D->Kind != ir::ScalarKind::Int) {
+    std::fprintf(stderr, "flattenc: '%s' is not an integer variable\n",
+                 Name.c_str());
+    return false;
+  }
+  if (D->isArray() != WantArray) {
+    std::fprintf(stderr, "flattenc: '%s' is %s; use %s\n", Name.c_str(),
+                 D->isArray() ? "an array" : "a scalar",
+                 D->isArray() ? "--set-array" : "--set");
     return false;
   }
   return true;
@@ -159,10 +255,10 @@ int main(int Argc, char **Argv) {
   Buf << In.rdbuf();
 
   frontend::ParseResult PR = frontend::parseProgram(Buf.str());
-  if (!PR.Diags.empty()) {
+  if (!PR.Diags.empty())
     std::fprintf(stderr, "%s", PR.Diags.renderAll().c_str());
+  if (!PR.ok())
     return 1;
-  }
   ir::Program P = std::move(*PR.Prog);
 
   int Recovered = frontend::recoverGotoLoops(P);
@@ -200,6 +296,26 @@ int main(int Argc, char **Argv) {
                   transform::flattenLevelName(FR.Applied));
     else
       std::printf("flattening: not applicable: %s\n", FR.Reason.c_str());
+    // Dry-run the full pipeline and report each stage's verification.
+    transform::PipelineOptions PO;
+    PO.Layout = Layout;
+    PO.Flatten = !Opts.NoFlatten;
+    PO.AssumeInnerMinOneTrip = Opts.AssumeMinOne;
+    transform::PipelineReport Rep;
+    auto Compiled = transform::compileForSimd(P, PO, &Rep);
+    std::printf("pipeline stages:\n");
+    for (const transform::StageOutcome &S : Rep.Stages) {
+      std::printf("  %-13s %s", S.Stage.c_str(),
+                  !S.Ran ? "skipped"
+                         : S.Verified ? "verified" : "FAILED verify");
+      if (!S.Note.empty())
+        std::printf(" (%s)", S.Note.c_str());
+      std::printf("\n");
+    }
+    if (!Compiled) {
+      std::printf("pipeline: %s\n", Compiled.error().render().c_str());
+      return 1;
+    }
     return 0;
   }
 
@@ -225,8 +341,14 @@ int main(int Argc, char **Argv) {
     PO.ForceLevel = Opts.Level;
     PO.AssumeInnerMinOneTrip = Opts.AssumeMinOne;
     transform::PipelineReport Rep;
-    P = transform::compileForSimd(P, PO, &Rep);
+    auto Compiled = transform::compileForSimd(P, PO, &Rep);
     std::fputs(("flattenc: " + Rep.summary()).c_str(), stderr);
+    if (!Compiled) {
+      std::fprintf(stderr, "flattenc: %s\n",
+                   Compiled.error().render().c_str());
+      return 1;
+    }
+    P = std::move(*Compiled);
     if (Opts.Level && !Rep.Flattened)
       return 1;
   }
@@ -239,7 +361,23 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "flattenc: --run requires --emit=simd (the simulator "
                  "executes the F90simd dialect)\n");
-    return 1;
+    return 2;
+  }
+  for (const auto &[Name, V] : Opts.Sets)
+    if (!checkSetName(P, Name, /*WantArray=*/false))
+      return 2;
+  for (const auto &[Name, Vals] : Opts.SetArrays) {
+    if (!checkSetName(P, Name, /*WantArray=*/true))
+      return 2;
+    int64_t Want = P.lookupVar(Name)->numElements();
+    if (static_cast<int64_t>(Vals.size()) != Want) {
+      std::fprintf(stderr,
+                   "flattenc: --set-array '%s' expects %lld value(s), "
+                   "got %zu\n",
+                   Name.c_str(), static_cast<long long>(Want),
+                   Vals.size());
+      return 2;
+    }
   }
   machine::MachineConfig M;
   M.Name = "flattenc-sim";
@@ -247,12 +385,18 @@ int main(int Argc, char **Argv) {
   M.Gran = Opts.Lanes;
   M.DataLayout = Layout;
   interp::RunOptions ROpts;
+  ROpts.Fuel = Opts.Fuel;
   interp::SimdInterp Interp(P, M, nullptr, ROpts);
   for (const auto &[Name, V] : Opts.Sets)
     Interp.store().setInt(Name, V);
   for (const auto &[Name, Vals] : Opts.SetArrays)
     Interp.store().setIntArray(Name, Vals);
-  interp::SimdRunResult R = Interp.run();
+  interp::RunOutcome<interp::SimdRunResult> Out = Interp.run();
+  if (!Out) {
+    std::fprintf(stderr, "flattenc: %s\n", Out.error().render().c_str());
+    return 3;
+  }
+  const interp::SimdRunResult &R = *Out;
   std::fprintf(stderr,
                "flattenc: executed on %lld lanes: %lld instructions, "
                "%.1f cycles, comm accesses %lld\n",
