@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "interp/SimdInterp.h"
 #include "ir/Builder.h"
 #include "support/Format.h"
@@ -54,10 +55,12 @@ Program makeWorkNest(int64_t K, int64_t MaxL) {
 
 } // namespace
 
-int main() {
-  const int64_t K = 1024;
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("bodycost_ablation", argc, argv);
+  const int64_t K = Rep.smoke() ? 256 : 1024;
   std::vector<int64_t> L =
       generateTripCounts(TripDist::Geometric, K, 8, 11);
+  Rep.meta("rows", K);
 
   machine::MachineConfig M;
   M.Name = "bodycost";
@@ -100,6 +103,11 @@ int main() {
     PrevSpeedup = Speedup;
     T.addRow({formatf("%.0f", Cost), formatf("%.0f", Cycles[0]),
               formatf("%.0f", Cycles[1]), formatf("%.2fx", Speedup)});
+    std::string Case = formatf("work_cost=%.0f", Cost);
+    Rep.record(Case, "unflattened_cycles", Cycles[0], "cycles");
+    Rep.record(Case, "flattened_cycles", Cycles[1], "cycles");
+    Rep.record(Case, "cycle_speedup", Speedup, "ratio", /*Gate=*/true,
+               bench::Direction::HigherIsBetter);
   }
   std::fputs(T.render().c_str(), stdout);
   std::printf(
@@ -111,5 +119,6 @@ int main() {
                     Crossover)
                 .c_str()
           : "");
-  return 0;
+  Rep.setPassed(true);
+  return Rep.finish(0);
 }

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "interp/SimdInterp.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -27,12 +28,15 @@ using namespace simdflat::interp;
 using namespace simdflat::ir;
 using namespace simdflat::workloads;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("coalesce_vs_flatten", argc, argv);
   ExampleSpec Spec;
-  Spec.K = 1024;
+  Spec.K = Rep.smoke() ? 256 : 1024;
   Spec.L = generateTripCounts(TripDist::Geometric, Spec.K, 12, 41);
   int64_t Total =
       std::accumulate(Spec.L.begin(), Spec.L.end(), int64_t{0});
+  Rep.meta("rows", Spec.K);
+  Rep.meta("total_iters", Total);
   std::printf("EXAMPLE with K = %lld rows, %lld total inner iterations "
               "(geometric trip counts)\n\n",
               static_cast<long long>(Spec.K),
@@ -79,7 +83,8 @@ int main() {
         transform::coalesceNest(PC, Spec.K, Total);
     if (!CR.Changed) {
       std::printf("coalescing failed: %s\n", CR.Reason.c_str());
-      return 1;
+      Rep.setPassed(false);
+      return Rep.finish(1);
     }
     Program SC = transform::simdize(PC, SOpts);
     SimdRunResult RC = Run(SC);
@@ -94,6 +99,10 @@ int main() {
               formatf("%lld words", static_cast<long long>(
                                         Total + Spec.K + 1))});
     T.addSeparator();
+    std::string Case = formatf("lanes=%lld", static_cast<long long>(Lanes));
+    Rep.recordRunStats(Case + "/unflattened", RU.Stats);
+    Rep.recordRunStats(Case + "/flattened", RF.Stats);
+    Rep.recordRunStats(Case + "/coalesced", RC.Stats);
   }
   std::fputs(T.render().c_str(), stdout);
   std::printf(
@@ -101,5 +110,6 @@ int main() {
       "count, but pays inspector memory and per-access communication; "
       "flattening reaches the owner-computes optimum (Eq. 1) with "
       "neither.\n");
-  return 0;
+  Rep.setPassed(true);
+  return Rep.finish(0);
 }

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "interp/MimdInterp.h"
 #include "interp/TraceRender.h"
 #include "interp/SimdInterp.h"
@@ -26,8 +27,11 @@ using namespace simdflat::workloads;
 
 
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("fig04_06_traces", argc, argv);
   ExampleSpec Spec = paperExampleSpec();
+  Rep.meta("kernel", "EXAMPLE");
+  Rep.meta("lanes", int64_t{2});
   std::printf("EXAMPLE (Fig. 1): K = 8, L = 4,1,2,1,1,3,1,3; P = 2, "
               "blockwise rows\n\n");
 
@@ -55,6 +59,8 @@ int main() {
     std::fputs(renderMimdTrace(R.PerProcTrace).c_str(), stdout);
     std::printf("  TIME_MIMD = %lld steps (paper: 8)\n\n",
                 static_cast<long long>(R.TimeSteps));
+    Rep.record("fig4/mimd", "time_steps",
+               static_cast<double>(R.TimeSteps), "steps");
   }
 
   // ---- Figure 6: unflattened SIMD trace (Eq. 2). -------------------
@@ -75,6 +81,7 @@ int main() {
                 "%.0f%%\n\n",
                 static_cast<long long>(R.Stats.WorkSteps),
                 100.0 * R.Stats.workUtilization());
+    Rep.recordRunStats("fig6/simd_unflattened", R.Stats);
     UnflatSteps = R.Stats.WorkSteps;
   }
 
@@ -101,11 +108,13 @@ int main() {
                 "%.0f%%\n\n",
                 static_cast<long long>(R.Stats.WorkSteps),
                 100.0 * R.Stats.workUtilization());
+    Rep.recordRunStats("simd_flattened", R.Stats);
     bool Pass = R.Stats.WorkSteps == 8 && UnflatSteps == 12;
     std::printf("%s\n", Pass ? "PASS: 12 steps unflattened vs 8 "
                                "flattened, exactly the paper's numbers"
                              : "FAIL: step counts deviate from the "
                                "paper");
-    return Pass ? 0 : 1;
+    Rep.setPassed(Pass);
+    return Rep.finish(Pass ? 0 : 1);
   }
 }

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "md/PairList.h"
 
 #include "support/Format.h"
@@ -19,8 +20,11 @@
 using namespace simdflat;
 using namespace simdflat::md;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("fig18_sod_pairlist", argc, argv);
   Molecule Mol = Molecule::syntheticSOD();
+  Rep.meta("molecule", "synthetic-SOD");
+  Rep.meta("n_atoms", Mol.size());
   std::printf("Figure 18: nonbonded pairs per atom for the synthetic SOD "
               "molecule (N = %lld)\n\n",
               static_cast<long long>(Mol.size()));
@@ -35,6 +39,13 @@ int main() {
     T.addRow({std::to_string(C), std::to_string(PL.maxPCnt()),
               formatf("%.2f", Avg),
               formatf("%.3f", static_cast<double>(PL.maxPCnt()) / Avg)});
+    std::string Case = formatf("cutoff=%d", C);
+    Rep.record(Case, "pcnt_max", static_cast<double>(PL.maxPCnt()),
+               "partners");
+    Rep.record(Case, "pcnt_avg", Avg, "partners");
+    Rep.record(Case, "max_over_avg",
+               static_cast<double>(PL.maxPCnt()) / Avg, "ratio",
+               /*Gate=*/true, bench::Direction::HigherIsBetter);
     // Cubic growth check: doubling the cutoff should multiply the
     // average by roughly 8 (less at the largest radii, where the
     // molecule's finite size bends the curve - visible in the paper's
@@ -56,5 +67,8 @@ int main() {
   std::printf("%s\n", Cubic ? "PASS: cubic growth in the cutoff radius"
                             : "NOTE: growth deviates from cubic; see "
                               "EXPERIMENTS.md");
-  return 0;
+  Rep.recordWallTime("wall/build_pairlist/cutoff=8",
+                     [&] { buildPairList(Mol, 8.0); });
+  Rep.setPassed(Cubic);
+  return Rep.finish(0);
 }

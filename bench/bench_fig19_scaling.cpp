@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "bench/NBForceHarness.h"
 
 #include "support/Format.h"
@@ -22,12 +23,14 @@
 using namespace simdflat;
 using namespace simdflat::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Rep("fig19_scaling", argc, argv);
+  bool Quick = quickMode() || Rep.smoke();
   NBForceExperiment E;
-  std::vector<double> Cutoffs = quickMode()
+  std::vector<double> Cutoffs = Quick
                                     ? std::vector<double>{8.0}
                                     : std::vector<double>{8.0, 16.0};
-  std::vector<int64_t> Procs = quickMode()
+  std::vector<int64_t> Procs = Quick
                                    ? std::vector<int64_t>{2048, 8192}
                                    : std::vector<int64_t>{1024, 2048, 4096,
                                                           8192};
@@ -60,6 +63,10 @@ int main() {
           NBRunResult R = E.run(V, M, Cutoffs[CI]);
           Row.push_back(formatf("%.3f", R.Seconds));
           Series[CI][static_cast<size_t>(VI++)].push_back(R.Seconds);
+          Rep.record(formatf("%s/P=%lld/cutoff=%g/%s", Name,
+                             static_cast<long long>(P), Cutoffs[CI],
+                             loopVersionName(V)),
+                     "model_seconds", R.Seconds, "s");
         }
       }
       T.addRow(Row);
@@ -124,5 +131,6 @@ int main() {
               Pass ? "PASS: the flattened series lies below the "
                      "unflattened ones wherever Gran < N"
                    : "NOTE: see EXPERIMENTS.md");
-  return 0;
+  Rep.setPassed(Pass);
+  return Rep.finish(0);
 }

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "ir/Printer.h"
 #include "md/NBForce.h"
 #include "transform/Flatten.h"
@@ -26,13 +27,26 @@ using namespace simdflat::workloads;
 
 namespace {
 
+simdflat::bench::BenchReporter *Rep = nullptr;
+
 void show(const char *Title, const Program &P) {
-  std::printf("---- %s ----\n%s\n", Title, printBody(P.body()).c_str());
+  std::string Text = printBody(P.body());
+  std::printf("---- %s ----\n%s\n", Title, Text.c_str());
+  // Printed-size telemetry per figure: a cheap drift detector for the
+  // printer and the transformation output (ungated; codegen changes are
+  // legitimate, the trajectory just makes them visible).
+  int64_t Lines = 0;
+  for (char C : Text)
+    Lines += C == '\n';
+  Rep->record(Title, "printed_lines", static_cast<double>(Lines),
+              "lines", /*Gate=*/false);
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  simdflat::bench::BenchReporter Reporter("fig_codegen", argc, argv);
+  Rep = &Reporter;
   ExampleSpec Spec = paperExampleSpec();
 
   show("Fig. 1: EXAMPLE (F77D source)", makeExample(Spec));
@@ -89,5 +103,5 @@ int main() {
        md::nbforceUnflattenedSimd(8192, 256, machine::Layout::Cyclic));
   show("Fig. 15: NBFORCE flattened + SIMDized",
        md::nbforceFlattenedSimd(8192, 256, machine::Layout::Cyclic));
-  return 0;
+  return Reporter.finish(0);
 }

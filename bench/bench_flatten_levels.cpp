@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "interp/SimdInterp.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -24,10 +25,13 @@ using namespace simdflat::ir;
 using namespace simdflat::transform;
 using namespace simdflat::workloads;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Reporter("flatten_levels", argc, argv);
   ExampleSpec Spec;
-  Spec.K = 2048;
+  Spec.K = Reporter.smoke() ? 256 : 2048;
   Spec.L = generateTripCounts(TripDist::Geometric, Spec.K, 10, 77);
+  Reporter.meta("rows", Spec.K);
+  Reporter.meta("trip_dist", "geometric");
 
   machine::MachineConfig M;
   M.Name = "ablate";
@@ -46,11 +50,13 @@ int main() {
   struct Row {
     FlattenLevel Level;
     const char *Name;
+    const char *Key;
   };
-  for (auto [Level, Name] :
-       {Row{FlattenLevel::DoneTest, "done-test (Fig. 12)"},
-        Row{FlattenLevel::Optimized, "optimized (Fig. 11)"},
-        Row{FlattenLevel::General, "general (Fig. 10)"}}) {
+  bool AllRan = true;
+  for (auto [Level, Name, Key] :
+       {Row{FlattenLevel::DoneTest, "done-test (Fig. 12)", "done_test"},
+        Row{FlattenLevel::Optimized, "optimized (Fig. 11)", "optimized"},
+        Row{FlattenLevel::General, "general (Fig. 10)", "general"}}) {
     Program P = makeExample(Spec);
     PipelineOptions PO;
     PO.ForceLevel = Level;
@@ -60,6 +66,7 @@ int main() {
     if (!Rep.Flattened) {
       std::printf("%s rejected: %s\n", Name,
                   Rep.FlattenSkipReason.c_str());
+      AllRan = false;
       continue;
     }
     RunOptions Opts;
@@ -74,6 +81,7 @@ int main() {
               std::to_string(R.Stats.Instructions),
               formatf("%.0f", R.Stats.Cycles),
               formatf("%.2fx", R.Stats.Cycles / DoneCycles)});
+    Reporter.recordRunStats(Key, R.Stats);
   }
   std::fputs(T.render().c_str(), stdout);
   std::printf(
@@ -81,5 +89,6 @@ int main() {
       "cost extra vector instructions per iteration; the Sec. 4 "
       "conditions buy them back. All three compute identical stores "
       "(verified in the test suite).\n");
-  return 0;
+  Reporter.setPassed(AllRan);
+  return Reporter.finish(0);
 }

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "interp/SimdInterp.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -22,11 +23,15 @@ using namespace simdflat::interp;
 using namespace simdflat::ir;
 using namespace simdflat::workloads;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("mandelbrot", argc, argv);
   MandelbrotSpec Spec;
-  Spec.Width = 64;
-  Spec.Height = 48;
-  Spec.MaxIter = 128;
+  Spec.Width = Rep.smoke() ? 32 : 64;
+  Spec.Height = Rep.smoke() ? 24 : 48;
+  Spec.MaxIter = Rep.smoke() ? 64 : 128;
+  Rep.meta("width", Spec.Width);
+  Rep.meta("height", Spec.Height);
+  Rep.meta("max_iter", Spec.MaxIter);
   std::printf("Mandelbrot %lldx%lld, max %lld iterations\n\n",
               static_cast<long long>(Spec.Width),
               static_cast<long long>(Spec.Height),
@@ -38,7 +43,10 @@ int main() {
   T.setHeader({"lanes", "unflat steps", "flat steps", "speedup",
                "unflat util", "flat util"});
   bool AllCorrect = true, AllFaster = true;
-  for (int64_t Lanes : {16, 64, 256}) {
+  std::vector<int64_t> LaneGrid = Rep.smoke()
+                                      ? std::vector<int64_t>{16, 64}
+                                      : std::vector<int64_t>{16, 64, 256};
+  for (int64_t Lanes : LaneGrid) {
     machine::MachineConfig M;
     M.Name = "simd";
     M.Processors = Lanes;
@@ -75,6 +83,13 @@ int main() {
                                    static_cast<double>(RF.Stats.WorkSteps)),
               formatf("%.0f%%", 100.0 * RU.Stats.workUtilization()),
               formatf("%.0f%%", 100.0 * RF.Stats.workUtilization())});
+    std::string Case = formatf("lanes=%lld", static_cast<long long>(Lanes));
+    Rep.recordRunStats(Case + "/unflattened", RU.Stats);
+    Rep.recordRunStats(Case + "/flattened", RF.Stats);
+    Rep.record(Case, "step_speedup",
+               static_cast<double>(RU.Stats.WorkSteps) /
+                   static_cast<double>(RF.Stats.WorkSteps),
+               "ratio", /*Gate=*/true, bench::Direction::HigherIsBetter);
   }
   std::fputs(T.render().c_str(), stdout);
   std::printf("\n%s\n",
@@ -82,5 +97,6 @@ int main() {
                   ? "PASS: identical escape counts, flattening strictly "
                     "fewer steps"
                   : "FAIL");
-  return AllCorrect && AllFaster ? 0 : 1;
+  Rep.setPassed(AllCorrect && AllFaster);
+  return Rep.finish(AllCorrect && AllFaster ? 0 : 1);
 }

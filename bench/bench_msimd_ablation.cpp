@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Profitability.h"
+#include "bench/BenchReporter.h"
 #include "md/PairList.h"
 #include "support/Format.h"
 #include "support/Table.h"
@@ -21,7 +22,8 @@ using namespace simdflat;
 using namespace simdflat::analysis;
 using namespace simdflat::md;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("msimd_ablation", argc, argv);
   Molecule Mol = Molecule::syntheticSOD();
   PairList PL = buildPairList(Mol, 8.0);
   PL.ensureMinOnePartner();
@@ -45,7 +47,11 @@ int main() {
       NeededCounters = G;
     T.addRow({std::to_string(G), std::to_string(Steps),
               formatf("%.2fx", Ratio)});
+    Rep.record(formatf("G=%lld", static_cast<long long>(G)),
+               "msimd_steps", static_cast<double>(Steps), "steps");
   }
+  Rep.record("flattened", "steps",
+             static_cast<double>(E.FlattenedSteps), "steps");
   std::fputs(T.render().c_str(), stdout);
 
   bool Sane =
@@ -54,10 +60,14 @@ int main() {
   std::printf("\nG = 1 equals the unflattened SIMD schedule (Eq. 2) and "
               "G = P equals the MIMD bound (Eq. 1): %s\n",
               Sane ? "verified" : "VIOLATED");
-  if (NeededCounters > 0)
+  if (NeededCounters > 0) {
     std::printf("An MSIMD machine needs ~%lld program counters to come "
                 "within 5%% of software loop flattening on one.\n",
                 static_cast<long long>(NeededCounters));
+    Rep.record("total", "counters_to_match_flattening",
+               static_cast<double>(NeededCounters), "pcs");
+  }
   std::printf("%s\n", Sane ? "PASS" : "FAIL");
-  return Sane ? 0 : 1;
+  Rep.setPassed(Sane);
+  return Rep.finish(Sane ? 0 : 1);
 }

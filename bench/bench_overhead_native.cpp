@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/GoogleBenchAdapter.h"
 #include "native/FlattenedLoop.h"
 #include "workloads/TripCounts.h"
 
@@ -113,4 +114,9 @@ BENCHMARK_CAPTURE(BM_FlattenedScalar, constant, TripDist::Constant);
 BENCHMARK_CAPTURE(BM_PaddedLanes, bimodal, TripDist::Bimodal);
 BENCHMARK_CAPTURE(BM_FlattenedLanes, bimodal, TripDist::Bimodal);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("overhead_native", argc, argv);
+  Rep.meta("rows", N);
+  Rep.meta("mean_trips", Mean);
+  return bench::runGoogleBenchmarks(Rep);
+}

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Profitability.h"
+#include "bench/BenchReporter.h"
 #include "interp/SimdInterp.h"
 #include "support/Format.h"
 #include "support/Stats.h"
@@ -26,9 +27,11 @@ using namespace simdflat::interp;
 using namespace simdflat::ir;
 using namespace simdflat::workloads;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("region_growing", argc, argv);
   RegionGrowSpec Spec;
   std::vector<int64_t> Sizes = regionSizes(Spec);
+  Rep.meta("n_regions", Spec.NumRegions);
   int64_t MaxSize = *std::max_element(Sizes.begin(), Sizes.end());
   Summary S;
   for (int64_t V : Sizes)
@@ -44,7 +47,10 @@ int main() {
   T.setHeader({"lanes", "unflat steps", "flat steps", "speedup",
                "Eq.2 predict", "Eq.1 predict"});
   bool AllMatch = true;
-  for (int64_t Lanes : {8, 16, 48}) {
+  std::vector<int64_t> LaneGrid = Rep.smoke()
+                                      ? std::vector<int64_t>{8, 16}
+                                      : std::vector<int64_t>{8, 16, 48};
+  for (int64_t Lanes : LaneGrid) {
     machine::MachineConfig M;
     M.Name = "simd";
     M.Processors = Lanes;
@@ -84,10 +90,18 @@ int main() {
                                    static_cast<double>(RF.Stats.WorkSteps)),
               std::to_string(E.UnflattenedSteps),
               std::to_string(E.FlattenedSteps)});
+    std::string Case = formatf("lanes=%lld", static_cast<long long>(Lanes));
+    Rep.recordRunStats(Case + "/unflattened", RU.Stats);
+    Rep.recordRunStats(Case + "/flattened", RF.Stats);
+    Rep.record(Case, "step_speedup",
+               static_cast<double>(RU.Stats.WorkSteps) /
+                   static_cast<double>(RF.Stats.WorkSteps),
+               "ratio", /*Gate=*/true, bench::Direction::HigherIsBetter);
   }
   std::fputs(T.render().c_str(), stdout);
   std::printf("\n%s\n", AllMatch ? "PASS: simulated step counts equal the "
                                    "Eq. 1/Eq. 2 closed forms"
                                  : "FAIL: prediction mismatch");
-  return AllMatch ? 0 : 1;
+  Rep.setPassed(AllMatch);
+  return Rep.finish(AllMatch ? 0 : 1);
 }

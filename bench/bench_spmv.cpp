@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Profitability.h"
+#include "bench/BenchReporter.h"
 #include "interp/SimdInterp.h"
 #include "support/Format.h"
 #include "support/Stats.h"
@@ -25,11 +26,14 @@ using namespace simdflat::interp;
 using namespace simdflat::ir;
 using namespace simdflat::workloads;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("spmv", argc, argv);
   SpMVSpec Spec;
-  Spec.Rows = Spec.Cols = 512;
+  Spec.Rows = Spec.Cols = Rep.smoke() ? 128 : 512;
   Spec.MeanRowNnz = 8;
   CsrMatrix M = makeSparseMatrix(Spec);
+  Rep.meta("rows", M.Rows);
+  Rep.meta("nnz", M.nnz());
   std::vector<int64_t> Lens = M.rowLengths();
   Summary S;
   for (int64_t V : Lens)
@@ -53,7 +57,10 @@ int main() {
   T.setHeader({"lanes", "version", "steps", "speedup", "util",
                "comm/nnz"});
   bool AllCorrect = true;
-  for (int64_t Lanes : {32, 128, 512}) {
+  std::vector<int64_t> LaneGrid =
+      Rep.smoke() ? std::vector<int64_t>{32, 128}
+                  : std::vector<int64_t>{32, 128, 512};
+  for (int64_t Lanes : LaneGrid) {
     machine::MachineConfig MC;
     MC.Name = "spmv";
     MC.Processors = Lanes;
@@ -95,6 +102,10 @@ int main() {
                 formatf("%.0f%%", 100.0 * R.Stats.workUtilization()),
                 formatf("%.2f", static_cast<double>(R.Stats.CommAccesses) /
                                     static_cast<double>(M.nnz()))});
+      Rep.recordRunStats(formatf("lanes=%lld/%s",
+                                 static_cast<long long>(Lanes),
+                                 Flatten ? "flattened" : "unflattened"),
+                         R.Stats);
     }
     T.addSeparator();
   }
@@ -110,5 +121,8 @@ int main() {
                             "communication per nonzero is schedule-"
                             "independent"
                           : "FAIL");
-  return AllCorrect ? 0 : 1;
+  Rep.record("total", "bound_max_over_avg", E.MaxOverAvg, "ratio",
+             /*Gate=*/true, bench::Direction::HigherIsBetter);
+  Rep.setPassed(AllCorrect);
+  return Rep.finish(AllCorrect ? 0 : 1);
 }

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "bench/NBForceHarness.h"
 
 #include "support/Format.h"
@@ -20,15 +21,19 @@
 using namespace simdflat;
 using namespace simdflat::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Rep("table1_runtime", argc, argv);
+  bool Quick = quickMode() || Rep.smoke();
   NBForceExperiment E;
   std::vector<double> Cutoffs =
-      quickMode() ? std::vector<double>{4.0, 8.0}
-                  : std::vector<double>{4.0, 8.0, 12.0, 16.0};
-  std::vector<int64_t> Procs = quickMode()
+      Quick ? std::vector<double>{4.0, 8.0}
+            : std::vector<double>{4.0, 8.0, 12.0, 16.0};
+  std::vector<int64_t> Procs = Quick
                                    ? std::vector<int64_t>{8192}
                                    : std::vector<int64_t>{1024, 2048, 4096,
                                                           8192};
+  Rep.meta("molecule", "synthetic-SOD");
+  Rep.meta("n_atoms", int64_t{6968});
 
   std::printf("Table 1: NBFORCE running times (model seconds) for the "
               "synthetic SOD molecule (N = 6968)\n");
@@ -54,6 +59,10 @@ int main() {
              {LoopVersion::L1u, LoopVersion::L2u, LoopVersion::Lf}) {
           NBRunResult R = E.run(V, M, C);
           Row.push_back(formatf("%.3f", R.Seconds));
+          Rep.record(formatf("%s/P=%lld/cutoff=%g/%s", Label,
+                             static_cast<long long>(P), C,
+                             loopVersionName(V)),
+                     "model_seconds", R.Seconds, "s");
         }
       }
       T.addRow(Row);
@@ -69,12 +78,22 @@ int main() {
   // exceeded the workstation's memory in 1992).
   std::printf("\nSparc-2 sequential reference:\n");
   for (double C : Cutoffs) {
-    if (C > 8.0 && quickMode())
+    if (C > 8.0 && Quick)
       continue;
     NBRunResult R = E.runSparc(C);
     std::printf("  cutoff %4.1f A: %8.2f s (%lld force calls)\n", C,
                 R.Seconds, static_cast<long long>(R.ForceSteps));
+    Rep.record(formatf("sparc2/cutoff=%g", C), "model_seconds",
+               R.Seconds, "s");
+    Rep.record(formatf("sparc2/cutoff=%g", C), "force_calls",
+               static_cast<double>(R.ForceSteps), "calls");
   }
+  // Wall-clock of one representative simulated run (ungated; tracks
+  // simulator speed, not model output).
+  machine::MachineConfig WallM = NBForceExperiment::cm2(8192);
+  Rep.recordWallTime("wall/cm2/P=8192/cutoff=8/Lf", [&] {
+    E.run(LoopVersion::Lf, WallM, 8.0);
+  });
 
   // Shape checks mirroring the paper's findings. The DECmpp 8192 row is
   // the degenerate Gran >= N case (one atom per lane): there is nothing
@@ -99,5 +118,6 @@ int main() {
   std::printf("%s\n", AllGood ? "PASS: flattening wins wherever Gran < N, "
                                 "as in the paper"
                               : "NOTE: see EXPERIMENTS.md");
-  return 0;
+  Rep.setPassed(AllGood);
+  return Rep.finish(0);
 }

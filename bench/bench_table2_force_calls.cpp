@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/BenchReporter.h"
 #include "bench/NBForceHarness.h"
 
 #include "support/Format.h"
@@ -30,15 +31,18 @@ machine::MachineConfig machineAt(int64_t Gran) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReporter Rep("table2_force_calls", argc, argv);
+  bool Quick = quickMode() || Rep.smoke();
   NBForceExperiment E;
   std::vector<double> Cutoffs =
-      quickMode() ? std::vector<double>{4.0, 8.0}
-                  : std::vector<double>{4.0, 8.0, 12.0, 16.0};
+      Quick ? std::vector<double>{4.0, 8.0}
+            : std::vector<double>{4.0, 8.0, 12.0, 16.0};
   std::vector<int64_t> Grans =
-      quickMode()
+      Quick
           ? std::vector<int64_t>{1024, 8192}
           : std::vector<int64_t>{128, 256, 512, 1024, 2048, 4096, 8192};
+  Rep.meta("molecule", "synthetic-SOD");
 
   std::printf("Table 2: Force-routine call counts, unflattened (Lu, "
               "scaled by Lrs) vs flattened (Lf)\n\n");
@@ -64,6 +68,14 @@ int main() {
       Row.push_back(std::to_string(U.ForceSteps));
       Row.push_back(std::to_string(F.ForceSteps));
       Row.push_back(formatf("%.3f", Ratio));
+      std::string Case = formatf("Gran=%lld/cutoff=%g",
+                                 static_cast<long long>(G), C);
+      Rep.record(Case + "/Lu", "force_calls",
+                 static_cast<double>(U.ForceSteps), "calls");
+      Rep.record(Case + "/Lf", "force_calls",
+                 static_cast<double>(F.ForceSteps), "calls");
+      Rep.record(Case, "lu_over_lf", Ratio, "ratio", /*Gate=*/true,
+                 Direction::HigherIsBetter);
       const md::PairList &PL = E.pairlist(C);
       double MaxOverAvg =
           static_cast<double>(PL.maxPCnt()) / PL.avgPCnt();
@@ -103,5 +115,6 @@ int main() {
                     ? "equal, as in the paper's last row"
                     : "differ: see EXPERIMENTS.md");
   }
-  return 0;
+  Rep.setPassed(BoundHolds);
+  return Rep.finish(0);
 }

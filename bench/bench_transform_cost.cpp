@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/GoogleBenchAdapter.h"
 #include "transform/Flatten.h"
 #include "transform/GuardIntro.h"
 #include "transform/Normalize.h"
@@ -127,4 +128,7 @@ BENCHMARK(BM_FullPipeline);
 BENCHMARK(BM_NormalizeAndGuards);
 BENCHMARK(BM_FlattenManyNests)->Arg(1)->Arg(8)->Arg(64);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("transform_cost", argc, argv);
+  return bench::runGoogleBenchmarks(Rep);
+}

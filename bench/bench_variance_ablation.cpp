@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Profitability.h"
+#include "bench/BenchReporter.h"
 #include "interp/SimdInterp.h"
 #include "support/Format.h"
 #include "support/Stats.h"
@@ -65,8 +66,11 @@ std::pair<int64_t, int64_t> simulate(const ExampleSpec &Spec,
 
 } // namespace
 
-int main() {
-  const int64_t K = 4096, Mean = 16;
+int main(int argc, char **argv) {
+  bench::BenchReporter Rep("variance_ablation", argc, argv);
+  const int64_t K = Rep.smoke() ? 1024 : 4096, Mean = 16;
+  Rep.meta("rows", K);
+  Rep.meta("mean_trips", Mean);
   std::printf("Variance ablation: EXAMPLE with K = %lld rows, mean inner "
               "trip count %lld\n\n",
               static_cast<long long>(K), static_cast<long long>(Mean));
@@ -90,6 +94,10 @@ int main() {
       Bound = E.MaxOverAvg;
       if (P == 256)
         SpeedupAt256 = E.Speedup;
+      Rep.record(formatf("%s/P=%lld", tripDistName(D),
+                         static_cast<long long>(P)),
+                 "predicted_speedup", E.Speedup, "ratio", /*Gate=*/true,
+                 bench::Direction::HigherIsBetter);
     }
     Row.push_back(formatf("%.2f", Bound));
     T.addRow(Row);
@@ -120,5 +128,10 @@ int main() {
                           ? "PASS: simulator matches the closed forms; "
                             "zero variance gives speedup 1"
                           : "FAIL: prediction mismatch");
-  return Match ? 0 : 1;
+  Rep.record("crosscheck/K=512/P=64/geometric", "unflattened_steps",
+             static_cast<double>(StepsU), "steps");
+  Rep.record("crosscheck/K=512/P=64/geometric", "flattened_steps",
+             static_cast<double>(StepsF), "steps");
+  Rep.setPassed(Match && Monotone);
+  return Rep.finish(Match ? 0 : 1);
 }

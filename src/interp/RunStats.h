@@ -44,9 +44,11 @@ struct RunStats {
 
   /// Fraction of work-step lane slots doing useful work (1.0 = no idle
   /// processors). The paper's Fig. 6 trace shows exactly these gaps.
+  /// A run with no work steps reports 0.0, not 1.0: "perfect
+  /// utilization" for doing nothing would skew bench aggregation.
   double workUtilization() const {
     return WorkTotalLanes == 0
-               ? 1.0
+               ? 0.0
                : static_cast<double>(WorkActiveLanes) /
                      static_cast<double>(WorkTotalLanes);
   }

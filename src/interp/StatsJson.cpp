@@ -1,0 +1,96 @@
+//===- interp/StatsJson.cpp - RunStats/Trace <-> JSON ----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/StatsJson.h"
+
+using namespace simdflat;
+using namespace simdflat::interp;
+
+json::Value interp::toJson(const RunStats &S) {
+  json::Value V = json::Value::object();
+  V.set("work_steps", S.WorkSteps);
+  V.set("instructions", S.Instructions);
+  V.set("work_active_lanes", S.WorkActiveLanes);
+  V.set("work_total_lanes", S.WorkTotalLanes);
+  V.set("comm_accesses", S.CommAccesses);
+  V.set("cycles", S.Cycles);
+  V.set("seconds", S.Seconds);
+  V.set("work_utilization", S.workUtilization());
+  return V;
+}
+
+namespace {
+
+/// Reads an optional member of \p V into \p Out with type checking.
+/// Returns false (setting \p Err) on a type mismatch; absence is fine.
+bool readInt(const json::Value &V, const char *Key, int64_t &Out,
+             json::JsonError &Err) {
+  const json::Value *M = V.get(Key);
+  if (!M)
+    return true;
+  if (!M->isInt()) {
+    Err = {std::string("expected integer for '") + Key + "'", 0};
+    return false;
+  }
+  Out = M->asInt();
+  return true;
+}
+
+bool readDouble(const json::Value &V, const char *Key, double &Out,
+                json::JsonError &Err) {
+  const json::Value *M = V.get(Key);
+  if (!M)
+    return true;
+  if (!M->isNumber()) {
+    Err = {std::string("expected number for '") + Key + "'", 0};
+    return false;
+  }
+  Out = M->asDouble();
+  return true;
+}
+
+} // namespace
+
+Expected<RunStats, json::JsonError>
+interp::runStatsFromJson(const json::Value &V) {
+  if (!V.isObject())
+    return json::JsonError{"RunStats must be a JSON object", 0};
+  RunStats S;
+  json::JsonError Err;
+  if (!readInt(V, "work_steps", S.WorkSteps, Err) ||
+      !readInt(V, "instructions", S.Instructions, Err) ||
+      !readInt(V, "work_active_lanes", S.WorkActiveLanes, Err) ||
+      !readInt(V, "work_total_lanes", S.WorkTotalLanes, Err) ||
+      !readInt(V, "comm_accesses", S.CommAccesses, Err) ||
+      !readDouble(V, "cycles", S.Cycles, Err) ||
+      !readDouble(V, "seconds", S.Seconds, Err))
+    return Err;
+  return S;
+}
+
+json::Value interp::toJson(const Trace &T) {
+  json::Value V = json::Value::object();
+  json::Value Watch = json::Value::array();
+  for (const std::string &W : T.Watch)
+    Watch.push(W);
+  V.set("watch", std::move(Watch));
+  V.set("lanes", T.Lanes);
+  json::Value Steps = json::Value::array();
+  for (const Trace::Step &S : T.Steps) {
+    json::Value Step = json::Value::object();
+    json::Value Values = json::Value::array();
+    for (int64_t X : S.Values)
+      Values.push(X);
+    json::Value Active = json::Value::array();
+    for (uint8_t A : S.Active)
+      Active.push(A != 0);
+    Step.set("values", std::move(Values));
+    Step.set("active", std::move(Active));
+    Steps.push(std::move(Step));
+  }
+  V.set("steps", std::move(Steps));
+  return V;
+}

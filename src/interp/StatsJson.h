@@ -1,0 +1,37 @@
+//===- interp/StatsJson.h - RunStats/Trace <-> JSON ------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON serialization of the interpreter counters and traces so benches
+/// and flattenc can emit machine-readable telemetry, and deserialization
+/// so tools (and the round-trip tests) can read it back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_INTERP_STATSJSON_H
+#define SIMDFLAT_INTERP_STATSJSON_H
+
+#include "interp/RunStats.h"
+#include "support/Json.h"
+
+namespace simdflat {
+namespace interp {
+
+/// RunStats as a flat JSON object (counters plus the derived
+/// utilization, so consumers need not recompute it).
+json::Value toJson(const RunStats &S);
+
+/// Inverse of toJson(RunStats); missing fields keep their defaults,
+/// wrongly-typed fields fail.
+Expected<RunStats, json::JsonError> runStatsFromJson(const json::Value &V);
+
+/// Trace as {watch, lanes, steps: [{values, active}]}.
+json::Value toJson(const Trace &T);
+
+} // namespace interp
+} // namespace simdflat
+
+#endif // SIMDFLAT_INTERP_STATSJSON_H

@@ -50,8 +50,10 @@ struct LaneStats {
   /// Steps * W.
   int64_t TotalLaneSlots = 0;
 
+  /// 0.0 for a run with no steps: "perfect utilization" for doing
+  /// nothing would skew aggregation over many runs.
   double utilization() const {
-    return TotalLaneSlots == 0 ? 1.0
+    return TotalLaneSlots == 0 ? 0.0
                                : static_cast<double>(ActiveLaneSlots) /
                                      static_cast<double>(TotalLaneSlots);
   }
@@ -74,8 +76,11 @@ void nestedForEach(int64_t N, TripsFn &&Trips, BodyFn &&Body) {
 template <typename TripsFn, typename BodyFn>
 void flattenedScalar(int64_t N, TripsFn &&Trips, BodyFn &&Body) {
   int64_t O = 0, I = 0;
-  // Skip empty leading rows.
-  while (O < N && Trips(O) == 0)
+  // Skip empty leading rows. A negative trip count is an empty row too
+  // (the nested reference's `I < T` test never passes), so the guard is
+  // <= 0, not == 0: testing only == 0 would let a negative row reach
+  // Body(O, 0) once, breaking the "same (o, i) multiset" invariant.
+  while (O < N && Trips(O) <= 0)
     ++O;
   while (O < N) {
     Body(O, I);
@@ -84,15 +89,23 @@ void flattenedScalar(int64_t N, TripsFn &&Trips, BodyFn &&Body) {
       I = 0;
       do {
         ++O;
-      } while (O < N && Trips(O) == 0);
+      } while (O < N && Trips(O) <= 0);
     }
   }
 }
 
 /// The unflattened ("SIMDized") schedule: rows grouped W at a time,
 /// every group padded to its longest row; short rows idle under a mask.
+///
+/// \p PadToMachineWidth controls how the final partial group (when
+/// N % W != 0) is charged. The default true pads it to the full machine
+/// width W - that is what real lane hardware does and what the paper's
+/// L2u sweep measures (unoccupied lanes still burn their slots). Pass
+/// false to charge only the occupied lanes, i.e. to account a machine
+/// that can disable the unused tail outright.
 template <int W = 8, typename TripsFn, typename BodyFn>
-LaneStats paddedForEach(int64_t N, TripsFn &&Trips, BodyFn &&Body) {
+LaneStats paddedForEach(int64_t N, TripsFn &&Trips, BodyFn &&Body,
+                        bool PadToMachineWidth = true) {
   static_assert(W >= 1, "need at least one lane");
   LaneStats Stats;
   for (int64_t Base = 0; Base < N; Base += W) {
@@ -102,7 +115,7 @@ LaneStats paddedForEach(int64_t N, TripsFn &&Trips, BodyFn &&Body) {
       RowMax = std::max(RowMax, Trips(Base + L));
     for (int64_t I = 0; I < RowMax; ++I) {
       Stats.Steps += 1;
-      Stats.TotalLaneSlots += W;
+      Stats.TotalLaneSlots += PadToMachineWidth ? W : Lanes;
       for (int64_t L = 0; L < Lanes; ++L) {
         if (I < Trips(Base + L)) {
           Body(Base + L, I);
@@ -127,8 +140,9 @@ LaneStats flattenedForEach(int64_t N, TripsFn &&Trips, BodyFn &&Body) {
   for (int64_t L = 0; L < W; ++L) {
     O[L] = L;
     I[L] = 0;
-    // Skip empty rows up front.
-    while (O[L] < N && Trips(O[L]) == 0)
+    // Skip empty rows up front (<= 0: negative trips are empty rows,
+    // matching nestedForEach - see flattenedScalar).
+    while (O[L] < N && Trips(O[L]) <= 0)
       O[L] += W;
     Live[L] = O[L] < N;
     LiveCount += Live[L];
@@ -145,7 +159,7 @@ LaneStats flattenedForEach(int64_t N, TripsFn &&Trips, BodyFn &&Body) {
         I[L] = 0;
         do {
           O[L] += W;
-        } while (O[L] < N && Trips(O[L]) == 0);
+        } while (O[L] < N && Trips(O[L]) <= 0);
         if (O[L] >= N) {
           Live[L] = false;
           --LiveCount;

@@ -1,0 +1,57 @@
+//===- native/LaneStatsJson.h - LaneStats <-> JSON -------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON serialization for the native drivers' LaneStats (header-only,
+/// like the drivers themselves), mirroring interp/StatsJson.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_NATIVE_LANESTATSJSON_H
+#define SIMDFLAT_NATIVE_LANESTATSJSON_H
+
+#include "native/FlattenedLoop.h"
+#include "support/Json.h"
+
+namespace simdflat {
+namespace native {
+
+inline json::Value toJson(const LaneStats &S) {
+  json::Value V = json::Value::object();
+  V.set("steps", S.Steps);
+  V.set("active_lane_slots", S.ActiveLaneSlots);
+  V.set("total_lane_slots", S.TotalLaneSlots);
+  V.set("utilization", S.utilization());
+  return V;
+}
+
+inline Expected<LaneStats, json::JsonError>
+laneStatsFromJson(const json::Value &V) {
+  if (!V.isObject())
+    return json::JsonError{"LaneStats must be a JSON object", 0};
+  LaneStats S;
+  const struct {
+    const char *Key;
+    int64_t &Out;
+  } Fields[] = {{"steps", S.Steps},
+                {"active_lane_slots", S.ActiveLaneSlots},
+                {"total_lane_slots", S.TotalLaneSlots}};
+  for (const auto &F : Fields) {
+    const json::Value *M = V.get(F.Key);
+    if (!M)
+      continue;
+    if (!M->isInt())
+      return json::JsonError{
+          std::string("expected integer for '") + F.Key + "'", 0};
+    F.Out = M->asInt();
+  }
+  return S;
+}
+
+} // namespace native
+} // namespace simdflat
+
+#endif // SIMDFLAT_NATIVE_LANESTATSJSON_H

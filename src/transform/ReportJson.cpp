@@ -1,0 +1,32 @@
+//===- transform/ReportJson.cpp - PipelineReport -> JSON -------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/ReportJson.h"
+
+using namespace simdflat;
+using namespace simdflat::transform;
+
+json::Value transform::toJson(const StageOutcome &S) {
+  json::Value V = json::Value::object();
+  V.set("stage", S.Stage);
+  V.set("ran", S.Ran);
+  V.set("verified", S.Verified);
+  V.set("note", S.Note);
+  return V;
+}
+
+json::Value transform::toJson(const PipelineReport &R) {
+  json::Value V = json::Value::object();
+  V.set("goto_loops_recovered", R.GotoLoopsRecovered);
+  V.set("flattened", R.Flattened);
+  V.set("level_applied", flattenLevelName(R.LevelApplied));
+  V.set("flatten_skip_reason", R.FlattenSkipReason);
+  json::Value Stages = json::Value::array();
+  for (const StageOutcome &S : R.Stages)
+    Stages.push(toJson(S));
+  V.set("stages", std::move(Stages));
+  return V;
+}

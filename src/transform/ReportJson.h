@@ -1,0 +1,32 @@
+//===- transform/ReportJson.h - PipelineReport -> JSON ---------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON serialization of the pipeline's stage decisions so flattenc
+/// --stats-json and the benches can record what the compiler did next
+/// to what the run cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TRANSFORM_REPORTJSON_H
+#define SIMDFLAT_TRANSFORM_REPORTJSON_H
+
+#include "support/Json.h"
+#include "transform/Pipeline.h"
+
+namespace simdflat {
+namespace transform {
+
+/// One StageOutcome as {stage, ran, verified, note}.
+json::Value toJson(const StageOutcome &S);
+
+/// The full report: flattening decision plus per-stage outcomes.
+json::Value toJson(const PipelineReport &R);
+
+} // namespace transform
+} // namespace simdflat
+
+#endif // SIMDFLAT_TRANSFORM_REPORTJSON_H

@@ -243,6 +243,21 @@ TEST(SimdInterp, UtilizationReflectsIdleLanes) {
   EXPECT_DOUBLE_EQ(R.Stats.workUtilization(), 16.0 / 24.0);
 }
 
+TEST(SimdInterp, ZeroWorkStepsReportZeroUtilization) {
+  // No WorkTargets: nothing counts as a work step, so the run has zero
+  // work lane-slots. That must read as 0% utilization, not the 100% a
+  // naive 0/0 -> 1.0 convention would claim (it used to, skewing bench
+  // aggregation toward idle runs).
+  Program P = makeFig5(8, 4);
+  machine::MachineConfig M = twoLanes(machine::Layout::Block);
+  SimdInterp Interp(P, M, nullptr, RunOptions{});
+  Interp.store().setIntArray("L", paperL());
+  SimdRunResult R = Interp.run().value();
+  EXPECT_EQ(R.Stats.WorkSteps, 0);
+  EXPECT_DOUBLE_EQ(R.Stats.workUtilization(), 0.0);
+  EXPECT_DOUBLE_EQ(RunStats{}.workUtilization(), 0.0);
+}
+
 TEST(SimdInterp, RejectsF77Dialect) {
   Program P("notsimd");
   machine::MachineConfig M = twoLanes(machine::Layout::Block);

@@ -1,0 +1,94 @@
+//===- tests/interp/StatsJsonTest.cpp --------------------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/StatsJson.h"
+
+#include "native/LaneStatsJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::interp;
+
+namespace {
+
+TEST(StatsJson, RunStatsRoundTrip) {
+  RunStats S;
+  S.WorkSteps = 12;
+  S.Instructions = 345;
+  S.WorkActiveLanes = 20;
+  S.WorkTotalLanes = 24;
+  S.CommAccesses = 7;
+  S.Cycles = 901.5;
+  S.Seconds = 0.09015;
+  json::Value V = toJson(S);
+  // Serialized through text and back, every counter survives.
+  auto Parsed = json::Value::parse(V.dump(2));
+  ASSERT_TRUE(Parsed.ok());
+  auto Back = runStatsFromJson(*Parsed);
+  ASSERT_TRUE(Back.ok()) << Back.error().render();
+  EXPECT_EQ(Back->WorkSteps, 12);
+  EXPECT_EQ(Back->Instructions, 345);
+  EXPECT_EQ(Back->WorkActiveLanes, 20);
+  EXPECT_EQ(Back->WorkTotalLanes, 24);
+  EXPECT_EQ(Back->CommAccesses, 7);
+  EXPECT_DOUBLE_EQ(Back->Cycles, 901.5);
+  EXPECT_DOUBLE_EQ(Back->Seconds, 0.09015);
+  EXPECT_DOUBLE_EQ(Back->workUtilization(), S.workUtilization());
+}
+
+TEST(StatsJson, RunStatsMissingFieldsKeepDefaults) {
+  auto V = json::Value::parse("{\"work_steps\": 3}");
+  ASSERT_TRUE(V.ok());
+  auto S = runStatsFromJson(*V);
+  ASSERT_TRUE(S.ok());
+  EXPECT_EQ(S->WorkSteps, 3);
+  EXPECT_EQ(S->Instructions, 0);
+  EXPECT_DOUBLE_EQ(S->Cycles, 0.0);
+}
+
+TEST(StatsJson, RunStatsRejectsWrongTypes) {
+  auto V = json::Value::parse("{\"work_steps\": \"three\"}");
+  ASSERT_TRUE(V.ok());
+  EXPECT_FALSE(runStatsFromJson(*V).ok());
+  EXPECT_FALSE(runStatsFromJson(json::Value(int64_t{1})).ok());
+}
+
+TEST(StatsJson, LaneStatsRoundTrip) {
+  native::LaneStats S;
+  S.Steps = 9;
+  S.ActiveLaneSlots = 30;
+  S.TotalLaneSlots = 36;
+  json::Value V = native::toJson(S);
+  auto Back = native::laneStatsFromJson(V);
+  ASSERT_TRUE(Back.ok()) << Back.error().render();
+  EXPECT_EQ(Back->Steps, 9);
+  EXPECT_EQ(Back->ActiveLaneSlots, 30);
+  EXPECT_EQ(Back->TotalLaneSlots, 36);
+  EXPECT_DOUBLE_EQ(Back->utilization(), S.utilization());
+  // The serialized utilization field matches the recomputed one.
+  ASSERT_NE(V.get("utilization"), nullptr);
+  EXPECT_DOUBLE_EQ(V.get("utilization")->asDouble(), S.utilization());
+}
+
+TEST(StatsJson, TraceSerializes) {
+  Trace T;
+  T.Watch = {"i", "j"};
+  T.Lanes = 2;
+  Trace::Step Step;
+  Step.Values = {1, 2, 3, 4};
+  Step.Active = {1, 0};
+  T.Steps.push_back(Step);
+  json::Value V = toJson(T);
+  ASSERT_NE(V.get("steps"), nullptr);
+  ASSERT_EQ(V.get("steps")->size(), 1u);
+  const json::Value &S0 = V.get("steps")->at(0);
+  ASSERT_NE(S0.get("active"), nullptr);
+  EXPECT_TRUE(S0.get("active")->at(0).asBool());
+  EXPECT_FALSE(S0.get("active")->at(1).asBool());
+}
+
+} // namespace

@@ -106,6 +106,81 @@ TEST(FlattenedLoop, AllRowsEmpty) {
   });
   EXPECT_EQ(Calls, 0);
   EXPECT_EQ(S.Steps, 0);
+  // A run that did nothing is 0% utilized, not 100%: the empty case
+  // must not report perfect utilization into bench aggregates.
+  EXPECT_DOUBLE_EQ(S.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(LaneStats{}.utilization(), 0.0);
+}
+
+/// All four drivers must agree on the exact (o, i) multiset - body call
+/// counts included - for trip counts drawn from {-1, 0, 1, k}. The
+/// flattened drivers' skip loops once tested `== 0` only, so a row with
+/// a negative trip count executed Body(o, 0) once while the nested
+/// reference ran it zero times.
+TEST(FlattenedLoop, DifferentialNegativeAndZeroTrips) {
+  const int64_t K = 5;
+  const std::vector<int64_t> Menu = {-1, 0, 1, K};
+  // Sweep every trip-count assignment for a short nest (4^4 cases) so
+  // all placements of negative rows (leading, trailing, interior,
+  // adjacent) are covered, with W chosen to straddle row groups.
+  const int64_t N = 4;
+  for (int Case = 0; Case < 4 * 4 * 4 * 4; ++Case) {
+    std::vector<int64_t> Trips;
+    for (int Digit = 0, C = Case; Digit < N; ++Digit, C /= 4)
+      Trips.push_back(Menu[static_cast<size_t>(C % 4)]);
+    auto T = [&Trips](int64_t O) {
+      return Trips[static_cast<size_t>(O)];
+    };
+    PairSet Want;
+    nestedForEach(N, T, [&Want](int64_t O, int64_t I) {
+      Want[{O, I}] += 1;
+    });
+    PairSet Fused = collect(N, [&](int64_t M, auto Body) {
+      flattenedScalar(M, T, Body);
+    });
+    PairSet Padded = collect(N, [&](int64_t M, auto Body) {
+      paddedForEach<2>(M, T, Body);
+    });
+    PairSet Flat = collect(N, [&](int64_t M, auto Body) {
+      flattenedForEach<2>(M, T, Body);
+    });
+    EXPECT_EQ(Fused, Want) << "case " << Case;
+    EXPECT_EQ(Padded, Want) << "case " << Case;
+    EXPECT_EQ(Flat, Want) << "case " << Case;
+  }
+}
+
+TEST(FlattenedLoop, NegativeTripRowsRunNoBody) {
+  // The minimal regression: one row, trip count -1.
+  auto T = [](int64_t) { return int64_t{-1}; };
+  int Calls = 0;
+  auto Count = [&Calls](int64_t, int64_t) { ++Calls; };
+  nestedForEach(1, T, Count);
+  flattenedScalar(1, T, Count);
+  flattenedForEach<4>(1, T, Count);
+  paddedForEach<4>(1, T, Count);
+  EXPECT_EQ(Calls, 0);
+}
+
+TEST(FlattenedLoop, PaddedPartialGroupAccounting) {
+  // N = 5, W = 4: the second group holds one row. By default the group
+  // is padded to the full machine width (the paper's L2u model: idle
+  // hardware lanes still burn their slots); with PadToMachineWidth off
+  // only the occupied lane is charged.
+  std::vector<int64_t> Trips = {2, 2, 2, 2, 3};
+  auto T = [&Trips](int64_t O) { return Trips[static_cast<size_t>(O)]; };
+  auto Nop = [](int64_t, int64_t) {};
+  LaneStats Full = paddedForEach<4>(5, T, Nop);
+  EXPECT_EQ(Full.Steps, 5); // 2 for the full group + 3 for the tail
+  EXPECT_EQ(Full.ActiveLaneSlots, 11);
+  EXPECT_EQ(Full.TotalLaneSlots, 5 * 4);
+  LaneStats Tight = paddedForEach<4>(5, T, Nop,
+                                     /*PadToMachineWidth=*/false);
+  EXPECT_EQ(Tight.Steps, 5);
+  EXPECT_EQ(Tight.ActiveLaneSlots, 11);
+  // Tail group charges 1 lane per step instead of 4.
+  EXPECT_EQ(Tight.TotalLaneSlots, 2 * 4 + 3 * 1);
+  EXPECT_GT(Tight.utilization(), Full.utilization());
 }
 
 TEST(FlattenedLoop, FlattenedNeverMoreStepsThanPadded) {

@@ -1,0 +1,166 @@
+//===- tests/tools/PerfCompareTest.cpp -------------------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/perf_compare/PerfCompare.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::perfcompare;
+
+namespace {
+
+/// A minimal simdflat-bench-v1 document with one metric per entry of
+/// \p Metrics: (case, metric, value, gate, lowerIsBetter).
+struct Spec {
+  const char *Case;
+  const char *Metric;
+  double Value;
+  bool Gate = true;
+  bool Lower = true;
+};
+
+json::Value makeDoc(std::initializer_list<Spec> Metrics) {
+  json::Value Doc = json::Value::object();
+  Doc.set("schema", "simdflat-bench-v1");
+  Doc.set("bench", "unit");
+  json::Value Arr = json::Value::array();
+  for (const Spec &S : Metrics) {
+    json::Value M = json::Value::object();
+    M.set("case", S.Case);
+    M.set("metric", S.Metric);
+    M.set("value", S.Value);
+    M.set("gate", S.Gate);
+    M.set("better", S.Lower ? "lower" : "higher");
+    Arr.push(std::move(M));
+  }
+  Doc.set("metrics", std::move(Arr));
+  return Doc;
+}
+
+TEST(PerfCompare, IdenticalRunsPass) {
+  json::Value Doc = makeDoc({{"a", "steps", 100.0}});
+  auto R = compareBenchJson(Doc, Doc);
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_TRUE(R->ok());
+  EXPECT_EQ(R->regressionCount(), 0);
+  ASSERT_EQ(R->Deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(R->Deltas[0].RelDelta, 0.0);
+}
+
+TEST(PerfCompare, RegressionBeyondThresholdFails) {
+  auto R = compareBenchJson(makeDoc({{"a", "steps", 100.0}}),
+                            makeDoc({{"a", "steps", 120.0}}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R->ok());
+  EXPECT_EQ(R->regressionCount(), 1);
+  EXPECT_TRUE(R->Deltas[0].Regressed);
+  EXPECT_NEAR(R->Deltas[0].RelDelta, 0.2, 1e-12);
+}
+
+TEST(PerfCompare, WithinThresholdPasses) {
+  auto R = compareBenchJson(makeDoc({{"a", "steps", 100.0}}),
+                            makeDoc({{"a", "steps", 109.0}}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->ok());
+  EXPECT_FALSE(R->Deltas[0].Regressed);
+  EXPECT_FALSE(R->Deltas[0].Improved);
+}
+
+TEST(PerfCompare, ImprovementNeverFails) {
+  auto R = compareBenchJson(makeDoc({{"a", "steps", 100.0}}),
+                            makeDoc({{"a", "steps", 50.0}}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->ok());
+  EXPECT_TRUE(R->Deltas[0].Improved);
+}
+
+TEST(PerfCompare, HigherIsBetterDirectionFlips) {
+  // Utilization dropping 20% is a regression...
+  auto R = compareBenchJson(
+      makeDoc({{"a", "utilization", 0.9, true, false}}),
+      makeDoc({{"a", "utilization", 0.7, true, false}}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R->ok());
+  // ...and rising 20% is an improvement.
+  auto R2 = compareBenchJson(
+      makeDoc({{"a", "utilization", 0.7, true, false}}),
+      makeDoc({{"a", "utilization", 0.9, true, false}}));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_TRUE(R2->ok());
+  EXPECT_TRUE(R2->Deltas[0].Improved);
+}
+
+TEST(PerfCompare, UngatedMetricsNeverRegress) {
+  auto R = compareBenchJson(
+      makeDoc({{"a", "wall_seconds", 1.0, false}}),
+      makeDoc({{"a", "wall_seconds", 10.0, false}}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->ok());
+  EXPECT_FALSE(R->Deltas[0].Regressed);
+}
+
+TEST(PerfCompare, CustomThreshold) {
+  CompareOptions Opts;
+  Opts.Threshold = 0.5;
+  auto R = compareBenchJson(makeDoc({{"a", "steps", 100.0}}),
+                            makeDoc({{"a", "steps", 140.0}}), Opts);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->ok());
+}
+
+TEST(PerfCompare, ZeroBaselineBreach) {
+  // 0 -> nonzero on a lower-is-better gate must regress even though the
+  // ratio is undefined.
+  auto R = compareBenchJson(makeDoc({{"a", "steps", 0.0}}),
+                            makeDoc({{"a", "steps", 5.0}}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_FALSE(R->ok());
+  // 0 -> 0 is clean.
+  auto R2 = compareBenchJson(makeDoc({{"a", "steps", 0.0}}),
+                             makeDoc({{"a", "steps", 0.0}}));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_TRUE(R2->ok());
+}
+
+TEST(PerfCompare, MissingMetricsReported) {
+  auto R = compareBenchJson(
+      makeDoc({{"a", "steps", 1.0}, {"b", "steps", 2.0}}),
+      makeDoc({{"a", "steps", 1.0}, {"c", "steps", 3.0}}));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R->ok()); // warnings, not failures
+  ASSERT_EQ(R->MissingInNew.size(), 1u);
+  EXPECT_EQ(R->MissingInNew[0], "b/steps");
+  ASSERT_EQ(R->MissingInBase.size(), 1u);
+  EXPECT_EQ(R->MissingInBase[0], "c/steps");
+}
+
+TEST(PerfCompare, SchemaAndNameValidation) {
+  json::Value NoSchema = json::Value::object();
+  NoSchema.set("metrics", json::Value::array());
+  EXPECT_FALSE(compareBenchJson(NoSchema, NoSchema).ok());
+
+  json::Value Other = makeDoc({});
+  Other.set("bench", "different");
+  EXPECT_FALSE(compareBenchJson(makeDoc({}), Other).ok());
+}
+
+TEST(PerfCompare, RenderMentionsVerdict) {
+  auto R = compareBenchJson(makeDoc({{"a", "steps", 100.0}}),
+                            makeDoc({{"a", "steps", 200.0}}));
+  ASSERT_TRUE(R.ok());
+  std::string Text = R->render({});
+  EXPECT_NE(Text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(Text.find("FAIL"), std::string::npos);
+}
+
+TEST(PerfCompare, FileApiRejectsMissingFile) {
+  EXPECT_FALSE(
+      compareBenchFiles("/nonexistent/a.json", "/nonexistent/b.json")
+          .ok());
+}
+
+} // namespace

@@ -26,10 +26,13 @@
 #include "frontend/GotoRecovery.h"
 #include "frontend/Parser.h"
 #include "interp/SimdInterp.h"
+#include "interp/StatsJson.h"
 #include "ir/Printer.h"
 #include "ir/Walk.h"
+#include "support/Json.h"
 #include "transform/Flatten.h"
 #include "transform/Pipeline.h"
+#include "transform/ReportJson.h"
 #include "transform/Simdize.h"
 #include "transform/Simplify.h"
 
@@ -57,6 +60,7 @@ struct CliOptions {
   bool Run = false;
   int64_t Lanes = 4;
   int64_t Fuel = 0;
+  std::string StatsJsonPath;
   std::vector<std::pair<std::string, int64_t>> Sets;
   std::vector<std::pair<std::string, std::vector<int64_t>>> SetArrays;
 };
@@ -76,6 +80,8 @@ void usage() {
       "  --lanes=N              simulator lanes (with --run, N >= 1)\n"
       "  --fuel=N               watchdog: trap after N instructions\n"
       "                         (with --run; 0 = unlimited)\n"
+      "  --stats-json=PATH      dump pipeline stage outcomes (and, with\n"
+      "                         --run, interpreter RunStats) as JSON\n"
       "  --set NAME=V           set an integer input (with --run)\n"
       "  --set-array NAME=a,b,c set an integer array input (with --run)\n"
       "exit codes: 0 success, 1 front-end/pipeline error, 2 bad command\n"
@@ -160,6 +166,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return cliError("flattenc: --fuel expects a non-negative integer, "
                         "got '%s'",
                         A);
+    } else if (A.rfind("--stats-json", 0) == 0) {
+      if (!optionValue(A, V) || V.empty())
+        return cliError("flattenc: --stats-json expects a non-empty "
+                        "path, got '%s'",
+                        A);
+      Opts.StatsJsonPath = V;
     } else if (A == "--set") {
       if (I + 1 >= Argc)
         return cliError("flattenc: %s expects a NAME=VALUE argument", A);
@@ -270,6 +282,29 @@ int main(int Argc, char **Argv) {
                                ? machine::Layout::Block
                                : machine::Layout::Cyclic;
 
+  // Telemetry accumulated along whichever path runs; flushed by
+  // writeStats() at the successful exits.
+  std::optional<transform::PipelineReport> PipelineRep;
+  std::optional<interp::RunStats> RunStats;
+  auto writeStats = [&]() -> bool {
+    if (Opts.StatsJsonPath.empty())
+      return true;
+    json::Value Doc = json::Value::object();
+    Doc.set("schema", "simdflat-stats-v1");
+    Doc.set("input", Opts.InputPath);
+    Doc.set("goto_loops_recovered", static_cast<int64_t>(Recovered));
+    if (PipelineRep)
+      Doc.set("pipeline", transform::toJson(*PipelineRep));
+    if (RunStats)
+      Doc.set("run_stats", interp::toJson(*RunStats));
+    if (!json::writeFile(Opts.StatsJsonPath, Doc)) {
+      std::fprintf(stderr, "flattenc: cannot write '%s'\n",
+                   Opts.StatsJsonPath.c_str());
+      return false;
+    }
+    return true;
+  };
+
   if (Opts.Analyze) {
     std::printf("loop nests:\n%s",
                 analysis::renderLoopNests(
@@ -312,11 +347,13 @@ int main(int Argc, char **Argv) {
         std::printf(" (%s)", S.Note.c_str());
       std::printf("\n");
     }
+    PipelineRep = Rep;
     if (!Compiled) {
       std::printf("pipeline: %s\n", Compiled.error().render().c_str());
+      (void)writeStats();
       return 1;
     }
-    return 0;
+    return writeStats() ? 0 : 2;
   }
 
   if (Opts.Emit == "flat" && !Opts.NoFlatten) {
@@ -343,20 +380,24 @@ int main(int Argc, char **Argv) {
     transform::PipelineReport Rep;
     auto Compiled = transform::compileForSimd(P, PO, &Rep);
     std::fputs(("flattenc: " + Rep.summary()).c_str(), stderr);
+    PipelineRep = Rep;
     if (!Compiled) {
       std::fprintf(stderr, "flattenc: %s\n",
                    Compiled.error().render().c_str());
+      (void)writeStats();
       return 1;
     }
     P = std::move(*Compiled);
-    if (Opts.Level && !Rep.Flattened)
+    if (Opts.Level && !Rep.Flattened) {
+      (void)writeStats();
       return 1;
+    }
   }
 
   std::fputs(ir::printProgram(P).c_str(), stdout);
 
   if (!Opts.Run)
-    return 0;
+    return writeStats() ? 0 : 2;
   if (P.dialect() != ir::Dialect::F90Simd) {
     std::fprintf(stderr,
                  "flattenc: --run requires --emit=simd (the simulator "
@@ -394,9 +435,11 @@ int main(int Argc, char **Argv) {
   interp::RunOutcome<interp::SimdRunResult> Out = Interp.run();
   if (!Out) {
     std::fprintf(stderr, "flattenc: %s\n", Out.error().render().c_str());
+    (void)writeStats();
     return 3;
   }
   const interp::SimdRunResult &R = *Out;
+  RunStats = R.Stats;
   std::fprintf(stderr,
                "flattenc: executed on %lld lanes: %lld instructions, "
                "%.1f cycles, comm accesses %lld\n",
@@ -414,5 +457,5 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, " %lld", static_cast<long long>(X));
     std::fprintf(stderr, "\n");
   }
-  return 0;
+  return writeStats() ? 0 : 2;
 }

@@ -1,0 +1,176 @@
+//===- tools/perf_compare/PerfCompare.cpp ---------------------------------===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/perf_compare/PerfCompare.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace simdflat {
+namespace perfcompare {
+
+namespace {
+
+struct ParsedMetric {
+  double Value = 0.0;
+  bool Gate = true;
+  bool LowerIsBetter = true;
+};
+
+using MetricMap = std::map<std::pair<std::string, std::string>, ParsedMetric>;
+
+Expected<MetricMap, CompareError> extractMetrics(const json::Value &Doc,
+                                                 const char *Which) {
+  if (!Doc.isObject())
+    return CompareError{formatf("%s: not a JSON object", Which)};
+  const json::Value *Schema = Doc.get("schema");
+  if (!Schema || !Schema->isString() ||
+      Schema->asString() != "simdflat-bench-v1")
+    return CompareError{
+        formatf("%s: missing or unknown schema (want simdflat-bench-v1)",
+                Which)};
+  const json::Value *Metrics = Doc.get("metrics");
+  if (!Metrics || !Metrics->isArray())
+    return CompareError{formatf("%s: no metrics array", Which)};
+  MetricMap Out;
+  for (size_t I = 0; I < Metrics->size(); ++I) {
+    const json::Value &M = Metrics->at(I);
+    const json::Value *Case = M.get("case");
+    const json::Value *Name = M.get("metric");
+    const json::Value *Val = M.get("value");
+    if (!Case || !Case->isString() || !Name || !Name->isString() ||
+        !Val || !Val->isNumber())
+      return CompareError{
+          formatf("%s: metrics[%zu] is malformed", Which, I)};
+    ParsedMetric P;
+    P.Value = Val->asDouble();
+    if (const json::Value *G = M.get("gate"))
+      P.Gate = G->isBool() && G->asBool();
+    if (const json::Value *B = M.get("better"))
+      P.LowerIsBetter = !B->isString() || B->asString() != "higher";
+    Out[{Case->asString(), Name->asString()}] = P;
+  }
+  return Out;
+}
+
+std::string benchName(const json::Value &Doc) {
+  const json::Value *N = Doc.get("bench");
+  return N && N->isString() ? N->asString() : "<unnamed>";
+}
+
+} // namespace
+
+int64_t CompareResult::regressionCount() const {
+  return std::count_if(Deltas.begin(), Deltas.end(),
+                       [](const MetricDelta &D) { return D.Regressed; });
+}
+
+std::string CompareResult::render(const CompareOptions &Opts) const {
+  std::string Out =
+      formatf("perf_compare: bench '%s', threshold %.0f%%\n",
+              BenchName.c_str(), 100.0 * Opts.Threshold);
+  TextTable T;
+  T.setHeader({"case", "metric", "base", "new", "delta", "verdict"});
+  int64_t Shown = 0;
+  for (const MetricDelta &D : Deltas) {
+    bool Interesting = D.Regressed || D.Improved;
+    if (!Interesting && !Opts.ShowAll)
+      continue;
+    ++Shown;
+    T.addRow({D.Case, D.Metric, formatf("%g", D.Base),
+              formatf("%g", D.New),
+              formatf("%+.1f%%", 100.0 * D.RelDelta),
+              D.Regressed    ? "REGRESSED"
+              : D.Improved   ? "improved"
+              : D.Gate       ? "ok"
+                             : "info"});
+  }
+  if (Shown > 0)
+    Out += T.render();
+  for (const std::string &K : MissingInNew)
+    Out += formatf("warning: gated metric dropped from new run: %s\n",
+                   K.c_str());
+  for (const std::string &K : MissingInBase)
+    Out += formatf("note: new metric with no baseline: %s\n", K.c_str());
+  int64_t Regressions = regressionCount();
+  Out += formatf("%lld compared, %lld regression(s)%s\n",
+                 static_cast<long long>(Deltas.size()),
+                 static_cast<long long>(Regressions),
+                 Regressions == 0 ? " - OK" : " - FAIL");
+  return Out;
+}
+
+Expected<CompareResult, CompareError>
+compareBenchJson(const json::Value &Base, const json::Value &New,
+                 const CompareOptions &Opts) {
+  auto BaseMetrics = extractMetrics(Base, "baseline");
+  if (!BaseMetrics)
+    return BaseMetrics.error();
+  auto NewMetrics = extractMetrics(New, "new");
+  if (!NewMetrics)
+    return NewMetrics.error();
+
+  CompareResult R;
+  R.BenchName = benchName(New);
+  if (benchName(Base) != R.BenchName)
+    return CompareError{formatf(
+        "bench name mismatch: baseline '%s' vs new '%s'",
+        benchName(Base).c_str(), R.BenchName.c_str())};
+
+  for (const auto &[Key, BaseM] : *BaseMetrics) {
+    auto It = NewMetrics->find(Key);
+    if (It == NewMetrics->end()) {
+      if (BaseM.Gate)
+        R.MissingInNew.push_back(Key.first + "/" + Key.second);
+      continue;
+    }
+    const ParsedMetric &NewM = It->second;
+    MetricDelta D;
+    D.Case = Key.first;
+    D.Metric = Key.second;
+    D.Base = BaseM.Value;
+    D.New = NewM.Value;
+    D.Gate = BaseM.Gate && NewM.Gate;
+    D.LowerIsBetter = BaseM.LowerIsBetter;
+    if (BaseM.Value == 0.0)
+      // Zero baseline: no meaningful ratio. Any nonzero new value in
+      // the bad direction counts as a full breach.
+      D.RelDelta = NewM.Value == 0.0 ? 0.0
+                   : NewM.Value > 0.0 ? 2.0 * Opts.Threshold
+                                      : -2.0 * Opts.Threshold;
+    else
+      D.RelDelta = (NewM.Value - BaseM.Value) / std::abs(BaseM.Value);
+    double Bad = D.LowerIsBetter ? D.RelDelta : -D.RelDelta;
+    if (D.Gate && Bad > Opts.Threshold)
+      D.Regressed = true;
+    else if (Bad < -Opts.Threshold)
+      D.Improved = true;
+    R.Deltas.push_back(std::move(D));
+  }
+  for (const auto &[Key, NewM] : *NewMetrics)
+    if (NewM.Gate && !BaseMetrics->count(Key))
+      R.MissingInBase.push_back(Key.first + "/" + Key.second);
+  return R;
+}
+
+Expected<CompareResult, CompareError>
+compareBenchFiles(const std::string &BasePath, const std::string &NewPath,
+                  const CompareOptions &Opts) {
+  auto Base = json::parseFile(BasePath);
+  if (!Base)
+    return CompareError{Base.error().render()};
+  auto New = json::parseFile(NewPath);
+  if (!New)
+    return CompareError{New.error().render()};
+  return compareBenchJson(*Base, *New, Opts);
+}
+
+} // namespace perfcompare
+} // namespace simdflat

@@ -1,0 +1,91 @@
+//===- tools/perf_compare/PerfCompare.h ------------------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares two simdflat-bench-v1 JSON documents (a baseline and a new
+/// run of the same bench) and flags regressions. Only *gated* metrics
+/// participate in the verdict: those are deterministic model outputs
+/// (steps, model cycles, utilization, force calls), so any drift beyond
+/// the threshold is a real schedule change, not machine noise. Ungated
+/// metrics (wall-clock) are reported but never fail the comparison.
+///
+/// The direction field decides what "worse" means: LowerIsBetter metrics
+/// regress when the new value exceeds baseline by more than the
+/// threshold; HigherIsBetter metrics regress when it drops below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_TOOLS_PERF_COMPARE_PERFCOMPARE_H
+#define SIMDFLAT_TOOLS_PERF_COMPARE_PERFCOMPARE_H
+
+#include "support/Json.h"
+#include "support/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace perfcompare {
+
+struct CompareError {
+  std::string Message;
+  std::string render() const { return Message; }
+};
+
+struct CompareOptions {
+  /// Maximum tolerated relative change in the bad direction.
+  double Threshold = 0.10;
+  /// Also list metrics whose change stayed within the threshold.
+  bool ShowAll = false;
+};
+
+/// One (case, metric) pair present in both documents.
+struct MetricDelta {
+  std::string Case;
+  std::string Metric;
+  double Base = 0.0;
+  double New = 0.0;
+  /// Signed relative change (New - Base) / |Base|; +inf-like values are
+  /// clamped by treating a zero baseline specially (any nonzero New
+  /// counts as a full-threshold breach in the bad direction).
+  double RelDelta = 0.0;
+  bool Gate = true;
+  /// True when the metric improves by going down.
+  bool LowerIsBetter = true;
+  bool Regressed = false;
+  bool Improved = false;
+};
+
+struct CompareResult {
+  std::string BenchName;
+  std::vector<MetricDelta> Deltas;
+  /// Gated (case, metric) keys present only in the baseline - the new
+  /// run silently dropped coverage, reported as a warning.
+  std::vector<std::string> MissingInNew;
+  /// Present only in the new run (new coverage; informational).
+  std::vector<std::string> MissingInBase;
+
+  int64_t regressionCount() const;
+  bool ok() const { return regressionCount() == 0; }
+
+  /// Human-readable report table + verdict line.
+  std::string render(const CompareOptions &Opts) const;
+};
+
+/// Diffs two parsed simdflat-bench-v1 documents.
+Expected<CompareResult, CompareError>
+compareBenchJson(const json::Value &Base, const json::Value &New,
+                 const CompareOptions &Opts = {});
+
+/// Convenience wrapper: load both files, then compare.
+Expected<CompareResult, CompareError>
+compareBenchFiles(const std::string &BasePath, const std::string &NewPath,
+                  const CompareOptions &Opts = {});
+
+} // namespace perfcompare
+} // namespace simdflat
+
+#endif // SIMDFLAT_TOOLS_PERF_COMPARE_PERFCOMPARE_H

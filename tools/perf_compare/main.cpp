@@ -1,0 +1,94 @@
+//===- tools/perf_compare/main.cpp ----------------------------------------===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CLI for the perf-regression gate:
+///
+///   perf_compare <baseline.json> <new.json> [--threshold=0.10] [--all]
+///
+/// Exit codes: 0 no gated regression, 1 regression(s) found, 2 usage or
+/// I/O error. CI runs every bench in smoke mode, then this tool against
+/// the checked-in bench/baselines/ snapshots.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tools/perf_compare/PerfCompare.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace simdflat;
+using namespace simdflat::perfcompare;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s <baseline.json> <new.json> [--threshold=<frac>] [--all]\n"
+      "  Compares two simdflat-bench-v1 files; exits 1 when any gated\n"
+      "  metric regresses by more than the threshold (default 0.10).\n"
+      "  --all also prints metrics whose change stayed inside it.\n",
+      Prog);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CompareOptions Opts;
+  std::string BasePath, NewPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (Arg == "--all") {
+      Opts.ShowAll = true;
+      continue;
+    }
+    if (Arg.rfind("--threshold=", 0) == 0) {
+      char *End = nullptr;
+      const char *Num = Arg.c_str() + std::strlen("--threshold=");
+      Opts.Threshold = std::strtod(Num, &End);
+      if (End == Num || *End != '\0' || Opts.Threshold < 0.0) {
+        std::fprintf(stderr, "perf_compare: bad threshold '%s'\n",
+                     Num);
+        return 2;
+      }
+      continue;
+    }
+    if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "perf_compare: unknown option '%s'\n",
+                   Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    if (BasePath.empty())
+      BasePath = Arg;
+    else if (NewPath.empty())
+      NewPath = Arg;
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (BasePath.empty() || NewPath.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  auto Result = compareBenchFiles(BasePath, NewPath, Opts);
+  if (!Result) {
+    std::fprintf(stderr, "perf_compare: %s\n",
+                 Result.error().render().c_str());
+    return 2;
+  }
+  std::fputs(Result->render(Opts).c_str(), stdout);
+  return Result->ok() ? 0 : 1;
+}
