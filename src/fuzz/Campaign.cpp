@@ -1,0 +1,119 @@
+//===- fuzz/Campaign.cpp - Fault-injection campaigns -----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "fuzz/Generator.h"
+#include "interp/Trap.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace simdflat;
+using namespace simdflat::fuzz;
+using namespace simdflat::interp;
+
+const char *fuzz::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::Fuel:
+    return "fuel";
+  case FaultKind::HostileExtern:
+    return "hostile-extern";
+  case FaultKind::NanPoison:
+    return "nan-poison";
+  }
+  return "fuel";
+}
+
+FuzzCase fuzz::makeFaultCase(uint64_t Seed, FaultKind Kind) {
+  GeneratorOptions GO;
+  // Exactly one fault per case: the generator's own trap sources are
+  // disabled and every row runs at least once so the injection fires.
+  GO.AllowTrappyDiv = false;
+  GO.AllowTrappyBounds = false;
+  GO.AllowDegenerateTrips = false;
+  GO.ForceMinOneTrips = true;
+  GO.ForceExtern = Kind == FaultKind::HostileExtern;
+  GO.ForceReal = Kind == FaultKind::NanPoison;
+  FuzzCase C = generateCase(Seed, GO);
+  C.Name = "fault-" + std::string(faultKindName(Kind)) + "-" +
+           std::to_string(Seed);
+  switch (Kind) {
+  case FaultKind::Fuel:
+    // Far below what any executor needs (>= 3 rows of >= 1 trip with
+    // at least one assignment each), so every executor starves.
+    C.Fuel = 1 + static_cast<int64_t>(Seed % 5);
+    C.Expect = ExpectedVerdict::Trap;
+    C.ExpectTrapKind = trapKindName(TrapKind::FuelExhausted);
+    break;
+  case FaultKind::HostileExtern:
+    // The generated Probe argument is the inner index j, and j = 1 is
+    // executed on every row, so the throw is guaranteed.
+    C.ExternTrapArg = 1;
+    C.Expect = ExpectedVerdict::Trap;
+    C.ExpectTrapKind = trapKindName(TrapKind::ExternFailure);
+    break;
+  case FaultKind::NanPoison: {
+    std::vector<double> &W = C.RealArrays["W"];
+    int64_t K = C.Ints["K"];
+    W[static_cast<size_t>(Seed % static_cast<uint64_t>(K))] =
+        std::numeric_limits<double>::quiet_NaN();
+    C.Expect = ExpectedVerdict::Complete;
+    break;
+  }
+  }
+  return C;
+}
+
+CampaignResult fuzz::runFaultCampaign(const CampaignOptions &Opts,
+                                      const OracleOptions &OOpts) {
+  CampaignResult Res;
+  for (int I = 0; I < Opts.Count; ++I) {
+    uint64_t Seed = Opts.BaseSeed + static_cast<uint64_t>(I);
+    FaultKind Kind = static_cast<FaultKind>(Seed % 3);
+    FuzzCase C = makeFaultCase(Seed, Kind);
+    ++Res.Ran;
+    auto Fail = [&](const std::string &What) {
+      Res.Failures.push_back("seed " + std::to_string(Seed) + " (" +
+                             faultKindName(Kind) + "): " + What);
+    };
+
+    OracleResult OR = runOracle(C, OOpts);
+    const VariantOutcome &Ref = OR.reference();
+    if (Ref.T)
+      ++Res.Trapped;
+
+    // The injected fault must fire (or, for NaN, must not trap).
+    if (C.Expect == ExpectedVerdict::Trap) {
+      if (!Ref.T) {
+        Fail("injected fault never fired");
+        continue;
+      }
+      if (trapKindName(Ref.T->Kind) != C.ExpectTrapKind)
+        Fail("reference trap " + Ref.T->render() + ", want " +
+             C.ExpectTrapKind);
+    } else if (Ref.T) {
+      Fail("NaN case trapped: " + Ref.T->render());
+      continue;
+    }
+
+    // Every executor degrades identically (the oracle's kind/store
+    // checks), plus: the MIMD executor runs the same untransformed
+    // tree, so its trap location must match the reference exactly.
+    for (const std::string &F : OR.Failures)
+      Fail(F);
+    if (Ref.T && Kind == FaultKind::HostileExtern) {
+      for (const VariantOutcome &V : OR.Variants) {
+        if (V.Variant != "mimd/original" || !V.T)
+          continue;
+        if (V.T->Location != Ref.T->Location)
+          Fail("mimd trap location '" + V.T->Location +
+               "' != scalar '" + Ref.T->Location + "'");
+      }
+    }
+  }
+  return Res;
+}

@@ -1,0 +1,72 @@
+//===- fuzz/Campaign.h - Fault-injection campaigns -------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault-injection campaigns over generated programs:
+/// every case gets exactly one injected fault - a starved fuel budget,
+/// a trap-throwing extern, or a NaN-poisoned real input - and the
+/// differential oracle then asserts that every executor degrades to the
+/// same structured outcome (the same Trap kind, or bitwise-identical
+/// NaN-poisoned stores) with no crash or UB. On top of the oracle's
+/// kind check, the campaign pins the trap *location* between the scalar
+/// reference and the MIMD executor: both run the untransformed tree, so
+/// their statement chains must match exactly. (Transformed SIMD
+/// variants stop at a renamed statement chain by construction, so
+/// location equality is only meaningful between same-tree executors -
+/// see DESIGN.md Sec. 10.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FUZZ_CAMPAIGN_H
+#define SIMDFLAT_FUZZ_CAMPAIGN_H
+
+#include "fuzz/Case.h"
+#include "fuzz/Oracle.h"
+
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace fuzz {
+
+/// The fault injected into one campaign case.
+enum class FaultKind { Fuel, HostileExtern, NanPoison };
+
+const char *faultKindName(FaultKind K);
+
+/// Builds the campaign case for \p Seed: a generated min-one-trip
+/// program (so the fault is guaranteed to execute) with exactly the one
+/// fault of \p Kind injected.
+FuzzCase makeFaultCase(uint64_t Seed, FaultKind Kind);
+
+/// Campaign configuration.
+struct CampaignOptions {
+  uint64_t BaseSeed = 1;
+  /// Number of cases; the fault kind cycles with the seed.
+  int Count = 200;
+};
+
+/// Campaign outcome.
+struct CampaignResult {
+  int Ran = 0;
+  /// Cases whose reference trapped (all Fuel/HostileExtern cases).
+  int Trapped = 0;
+  /// One entry per failing case: "seed 7 (fuel): <what>".
+  std::vector<std::string> Failures;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// Runs the campaign: for each seed, builds the fault case, checks the
+/// injected fault actually fired with the expected trap kind, and runs
+/// the full differential oracle on it.
+CampaignResult runFaultCampaign(const CampaignOptions &Opts = {},
+                                const OracleOptions &OOpts = {});
+
+} // namespace fuzz
+} // namespace simdflat
+
+#endif // SIMDFLAT_FUZZ_CAMPAIGN_H

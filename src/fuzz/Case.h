@@ -1,0 +1,89 @@
+//===- fuzz/Case.h - One fuzzing test case ---------------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FuzzCase bundles everything one differential run needs: the F77
+/// program, its runtime inputs, and the fault-injection knobs. Cases
+/// come from the generator (Generator.h), from the shrinker
+/// (Shrinker.h) or from a corpus replay file (Corpus.h) - the oracle
+/// does not care which.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FUZZ_CASE_H
+#define SIMDFLAT_FUZZ_CASE_H
+
+#include "ir/Program.h"
+#include "ir/Walk.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace fuzz {
+
+/// What the scalar reference is expected to do when a case is replayed
+/// from the corpus. `Any` records no expectation (fresh cases).
+enum class ExpectedVerdict { Any, Complete, Trap };
+
+/// One self-contained differential test case.
+struct FuzzCase {
+  ir::Program Prog;
+  std::string Name;
+  uint64_t Seed = 0;
+
+  /// \name Runtime inputs, seeded into every executor's store.
+  /// @{
+  std::map<std::string, int64_t> Ints;
+  std::map<std::string, std::vector<int64_t>> IntArrays;
+  /// Real inputs; entries may be NaN (the NaN-poisoning campaign).
+  std::map<std::string, std::vector<double>> RealArrays;
+  /// @}
+
+  /// \name Fault-injection knobs.
+  /// @{
+  /// Watchdog fuel for every executor (0 = unlimited).
+  int64_t Fuel = 0;
+  /// Probe(arg) throws ExternError when arg equals this (-1 = never).
+  int64_t ExternTrapArg = -1;
+  /// @}
+
+  /// True when every inner trip count is >= 1 (forwarded to the
+  /// pipeline as AssumeInnerMinOneTrip).
+  bool MinOne = false;
+
+  /// Corpus replay expectation for the scalar reference.
+  ExpectedVerdict Expect = ExpectedVerdict::Any;
+  /// Expected trap kind name (trapKindName form) when Expect == Trap.
+  std::string ExpectTrapKind;
+
+  explicit FuzzCase(ir::Program P) : Prog(std::move(P)) {}
+  FuzzCase(FuzzCase &&) = default;
+  FuzzCase &operator=(FuzzCase &&) = default;
+};
+
+/// Deep copy (Program is move-only, so FuzzCase is too).
+inline FuzzCase cloneCase(const FuzzCase &C) {
+  FuzzCase Out(ir::cloneProgram(C.Prog));
+  Out.Name = C.Name;
+  Out.Seed = C.Seed;
+  Out.Ints = C.Ints;
+  Out.IntArrays = C.IntArrays;
+  Out.RealArrays = C.RealArrays;
+  Out.Fuel = C.Fuel;
+  Out.ExternTrapArg = C.ExternTrapArg;
+  Out.MinOne = C.MinOne;
+  Out.Expect = C.Expect;
+  Out.ExpectTrapKind = C.ExpectTrapKind;
+  return Out;
+}
+
+} // namespace fuzz
+} // namespace simdflat
+
+#endif // SIMDFLAT_FUZZ_CASE_H

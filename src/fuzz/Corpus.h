@@ -1,0 +1,55 @@
+//===- fuzz/Corpus.h - Replayable corpus files -----------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization of FuzzCases to the `flattenfuzz-case-v1` JSON format
+/// checked into tests/fuzz/corpus/. A corpus file carries a replay
+/// header (format tag, case name, originating seed, the expected scalar
+/// verdict) plus everything needed to re-run the case: the program in
+/// the printer's concrete syntax (re-parsed by the front end on load,
+/// so print->parse round-tripping is exercised on every replay), the
+/// runtime inputs, and the fault-injection knobs. Real inputs may be
+/// NaN; JSON has no NaN literal, so entries use `null` (matching the
+/// telemetry writer's convention) and load back as quiet NaN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FUZZ_CORPUS_H
+#define SIMDFLAT_FUZZ_CORPUS_H
+
+#include "fuzz/Case.h"
+#include "support/Json.h"
+
+#include <string>
+
+namespace simdflat {
+namespace fuzz {
+
+/// Format tag of corpus files this build reads and writes.
+inline constexpr const char *CorpusFormat = "flattenfuzz-case-v1";
+
+/// A malformed or unreadable corpus file.
+struct CorpusError {
+  std::string Message;
+  std::string render() const { return Message; }
+};
+
+/// Renders \p C as a corpus JSON document.
+json::Value renderCase(const FuzzCase &C);
+
+/// Reconstructs a case from a corpus document.
+Expected<FuzzCase, CorpusError> parseCase(const json::Value &Doc);
+
+/// Writes \p C to \p Path; false on IO failure.
+bool writeCase(const FuzzCase &C, const std::string &Path);
+
+/// Loads a corpus file.
+Expected<FuzzCase, CorpusError> readCase(const std::string &Path);
+
+} // namespace fuzz
+} // namespace simdflat
+
+#endif // SIMDFLAT_FUZZ_CORPUS_H

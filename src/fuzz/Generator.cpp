@@ -1,0 +1,234 @@
+//===- fuzz/Generator.cpp - Seeded IR loop-nest generator ------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include "ir/Builder.h"
+#include "support/Random.h"
+
+using namespace simdflat;
+using namespace simdflat::fuzz;
+using namespace simdflat::ir;
+
+namespace {
+
+/// Declared extents are fixed so the shrinker can lower the runtime K
+/// without redeclaring arrays.
+constexpr int64_t KDim = 8;
+constexpr int64_t MaxL = 6;
+
+/// The five inner-loop forms of the paper's Fig. 8 family plus the
+/// Sec. 6 GOTO cycle.
+enum class LoopForm { DoStep1, DoStep2, While, Repeat, Goto };
+
+} // namespace
+
+FuzzCase fuzz::generateCase(uint64_t Seed, const GeneratorOptions &Opts) {
+  Rng R(Seed);
+
+  // --- Shape draws (all before IR construction, so adding a new shape
+  // knob below an existing one keeps earlier draws stable). ---
+  int64_t K = Opts.ForceMinOneTrips ? R.uniformInt(3, KDim)
+                                    : R.uniformInt(1, KDim);
+  LoopForm Form = Opts.ForceGuardSideEffect
+                      ? LoopForm::While
+                      : static_cast<LoopForm>(R.uniformInt(0, 4));
+  bool HasX = Opts.ForceMinOneTrips || R.chance(0.85);
+  bool HasA = R.chance(0.6);
+  bool HasDiv = HasX && R.chance(0.35);
+  bool HasProbe = HasX && (Opts.ForceExtern || R.chance(0.25));
+  bool HasNote = R.chance(0.25);
+  bool HasReal = Opts.ForceReal || R.chance(0.25);
+  bool HasIf = R.chance(0.4);
+  bool HasElse = HasIf && R.chance(0.5);
+  bool HasTick = Form == LoopForm::While &&
+                 (Opts.ForceGuardSideEffect || R.chance(0.3));
+  bool UsesS = R.chance(0.5);
+  bool WritesC = UsesS && R.chance(0.7);
+  if (!HasX && !HasA && !HasReal)
+    HasA = true; // never an empty body
+
+  // --- Runtime inputs. ---
+  int64_t TripLo = Opts.ForceMinOneTrips ? 1
+                   : Opts.AllowDegenerateTrips ? -2
+                                               : 0;
+  std::vector<int64_t> L, D;
+  for (int64_t I = 0; I < KDim; ++I) {
+    L.push_back(R.uniformInt(TripLo, 5));
+    D.push_back(R.uniformInt(1, 4));
+  }
+  // Arm at most ONE fault source per case: when several independent
+  // faults exist, which one fires first is schedule-dependent (a scalar
+  // sweep and a lockstep lane step reach them in different orders), so
+  // trap-kind equality is only a meaningful oracle for single-fault
+  // programs.
+  bool ArmDiv = HasDiv && Opts.AllowTrappyDiv && R.chance(0.2);
+  if (ArmDiv)
+    D[static_cast<size_t>(R.uniformInt(0, K - 1))] = 0;
+  if (!ArmDiv && HasX && Opts.AllowTrappyBounds && R.chance(0.15))
+    L[static_cast<size_t>(R.uniformInt(0, K - 1))] =
+        MaxL + 1 + R.uniformInt(0, 1);
+  std::vector<double> W;
+  for (int64_t I = 0; I < KDim; ++I)
+    W.push_back(0.25 * static_cast<double>(R.uniformInt(2, 8)));
+
+  // --- Declarations. ---
+  Program P("fuzz" + std::to_string(Seed));
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {KDim}, Dist::Distributed);
+  P.addVar("D", ScalarKind::Int, {KDim}, Dist::Distributed);
+  P.addVar("X", ScalarKind::Int, {KDim, MaxL}, Dist::Distributed);
+  P.addVar("A", ScalarKind::Int, {KDim}, Dist::Distributed);
+  P.addVar("C", ScalarKind::Int, {KDim}, Dist::Distributed);
+  if (HasReal) {
+    P.addVar("R", ScalarKind::Real, {KDim}, Dist::Distributed);
+    P.addVar("W", ScalarKind::Real, {KDim}, Dist::Distributed);
+  }
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  if (UsesS)
+    P.addVar("s", ScalarKind::Int);
+  if (HasProbe)
+    P.addExtern(ProbeFn, ScalarKind::Int, /*Pure=*/false);
+  if (HasTick)
+    P.addExtern(TickFn, ScalarKind::Int, /*Pure=*/false);
+  if (HasNote)
+    P.addExtern(NoteSub, ScalarKind::Int, /*Pure=*/false,
+                /*IsSubroutine=*/true);
+  Builder B(P);
+
+  // --- Inner body. ---
+  // Step-2 loops run j over 1,3,..,2*L(i)-1, so the X column index is
+  // compressed to (j+1)/2; every other form subscripts by j directly.
+  auto XCol = [&]() -> ExprPtr {
+    if (Form == LoopForm::DoStep2)
+      return B.div(B.add(B.var("j"), B.lit(1)), B.lit(2));
+    return B.var("j");
+  };
+  Body Inner;
+  if (HasX) {
+    ExprPtr Val = B.add(B.mul(B.var("i"), B.lit(10)), B.var("j"));
+    if (HasDiv)
+      Val = B.add(std::move(Val), B.div(B.var("j"), B.at("D", B.var("i"))));
+    if (HasProbe) {
+      std::vector<ExprPtr> Args;
+      Args.push_back(B.var("j"));
+      Val = B.add(std::move(Val), B.callFn(ProbeFn, std::move(Args)));
+    }
+    Inner.push_back(B.assign(B.at("X", B.var("i"), XCol()), std::move(Val)));
+  }
+  if (HasA)
+    Inner.push_back(B.assign(B.at("A", B.var("i")),
+                             B.add(B.at("A", B.var("i")), B.var("j"))));
+  if (HasReal)
+    Inner.push_back(B.assign(
+        B.at("R", B.var("i")),
+        B.add(B.at("R", B.var("i")),
+              B.mul(B.at("W", B.var("i")), B.var("j")))));
+  if (HasIf) {
+    Body Else;
+    if (HasElse)
+      Else.push_back(B.assign(B.at("A", B.var("i")),
+                              B.sub(B.at("A", B.var("i")), B.lit(1))));
+    Body Wrapped;
+    Wrapped.push_back(B.ifStmt(
+        B.eq(B.mod(B.add(B.var("i"), B.var("j")), B.lit(2)), B.lit(0)),
+        std::move(Inner), std::move(Else)));
+    Inner = std::move(Wrapped);
+  }
+  if (HasNote) {
+    // A *guarded* side-effecting extern: the call only happens on some
+    // iterations, so caching/reordering bugs change the call log.
+    std::vector<ExprPtr> Args;
+    Args.push_back(B.add(B.mul(B.var("i"), B.lit(100)), B.var("j")));
+    Body CallB;
+    CallB.push_back(B.callSub(NoteSub, std::move(Args)));
+    Inner.push_back(B.ifStmt(
+        B.eq(B.mod(B.var("j"), B.lit(3)), B.lit(1)), std::move(CallB)));
+  }
+
+  // --- Inner loop. ---
+  Body Pre;
+  if (UsesS)
+    Pre.push_back(B.set("s", B.add(B.at("L", B.var("i")), B.lit(2))));
+  StmtPtr InnerLoop;
+  switch (Form) {
+  case LoopForm::DoStep1:
+    InnerLoop =
+        B.doLoop("j", B.lit(1), B.at("L", B.var("i")), std::move(Inner));
+    break;
+  case LoopForm::DoStep2:
+    InnerLoop = B.doLoop("j", B.lit(1),
+                         B.mul(B.at("L", B.var("i")), B.lit(2)),
+                         std::move(Inner), B.lit(2));
+    break;
+  case LoopForm::While: {
+    Pre.push_back(B.set("j", B.lit(1)));
+    Body WB = std::move(Inner);
+    WB.push_back(B.set("j", B.add(B.var("j"), B.lit(1))));
+    ExprPtr Bound = B.at("L", B.var("i"));
+    if (HasTick) {
+      // Side effect in the guard itself: Tick logs its argument and
+      // returns 0, so the bound is unchanged but every guard
+      // evaluation is observable (Fig. 9's motivating case).
+      std::vector<ExprPtr> Args;
+      Args.push_back(B.var("j"));
+      Bound = B.add(std::move(Bound), B.callFn(TickFn, std::move(Args)));
+    }
+    InnerLoop =
+        B.whileLoop(B.le(B.var("j"), std::move(Bound)), std::move(WB));
+    break;
+  }
+  case LoopForm::Repeat: {
+    Pre.push_back(B.set("j", B.lit(1)));
+    Body RB = std::move(Inner);
+    RB.push_back(B.set("j", B.add(B.var("j"), B.lit(1))));
+    InnerLoop = B.repeatUntil(std::move(RB),
+                              B.gt(B.var("j"), B.at("L", B.var("i"))));
+    break;
+  }
+  case LoopForm::Goto: {
+    // The dusty-deck post-test cycle GotoRecovery structures into a
+    // REPEAT; the scalar reference executes the raw GOTO directly, so
+    // this form differentially pins the recovery itself.
+    Pre.push_back(B.set("j", B.lit(1)));
+    Pre.push_back(B.label(10));
+    Body &Flat = Pre;
+    for (StmtPtr &S : Inner)
+      Flat.push_back(std::move(S));
+    Flat.push_back(B.set("j", B.add(B.var("j"), B.lit(1))));
+    Flat.push_back(
+        B.gotoStmt(10, B.le(B.var("j"), B.at("L", B.var("i")))));
+    break;
+  }
+  }
+
+  Body Outer = std::move(Pre);
+  if (InnerLoop)
+    Outer.push_back(std::move(InnerLoop));
+  if (WritesC)
+    Outer.push_back(B.assign(B.at("C", B.var("i")), B.var("s")));
+
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"), std::move(Outer),
+                              nullptr, /*IsParallel=*/true));
+
+  // Post-test forms run the body at least once even on degenerate rows;
+  // for counted/pre-test forms MinOne is a property of the inputs.
+  bool TripsAllPositive = true;
+  for (int64_t I = 0; I < K; ++I)
+    TripsAllPositive = TripsAllPositive && L[static_cast<size_t>(I)] >= 1;
+
+  FuzzCase Out(std::move(P));
+  Out.Name = "fuzz" + std::to_string(Seed);
+  Out.Seed = Seed;
+  Out.Ints["K"] = K;
+  Out.IntArrays["L"] = std::move(L);
+  Out.IntArrays["D"] = std::move(D);
+  if (HasReal)
+    Out.RealArrays["W"] = std::move(W);
+  Out.MinOne = TripsAllPositive;
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- fuzz/Generator.h - Seeded IR loop-nest generator --------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic generator of well-formed-by-construction F77
+/// loop nests for differential fuzzing. Every program has the paper's
+/// DOALL-over-irregular-inner-loop shape, but the generator varies
+/// everything the Fig. 8/9 rewrites must normalize: the inner loop form
+/// (DO with step 1 or 2, WHILE, REPEAT, GOTO cycle), trip counts
+/// (including zero and negative rows), guarded side-effecting extern
+/// calls, side effects in the loop *guard* itself (the Fig. 9 cache
+/// case), real-valued accumulations, and div/index expressions that can
+/// trap at runtime. A generated program that traps is a valid fuzzing
+/// outcome: the oracle treats the trap as a verdict every executor must
+/// reproduce, not as a generator bug.
+///
+/// Determinism: all draws come from support/Random's splitmix64 Rng, so
+/// a seed reproduces the same case bit-for-bit on every platform; no
+/// wall-clock or global state is consulted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FUZZ_GENERATOR_H
+#define SIMDFLAT_FUZZ_GENERATOR_H
+
+#include "fuzz/Case.h"
+
+namespace simdflat {
+namespace fuzz {
+
+/// Knobs restricting what the generator may emit. The defaults produce
+/// the widest program family; the fault campaign narrows them so an
+/// injected fault is guaranteed to fire.
+struct GeneratorOptions {
+  /// Allow a divisor row of 0 (a DivByZero trap when the division
+  /// statement is present).
+  bool AllowTrappyDiv = true;
+  /// Allow a trip-count row beyond the X extent (an OutOfBounds trap).
+  bool AllowTrappyBounds = true;
+  /// Allow zero and negative trip-count rows.
+  bool AllowDegenerateTrips = true;
+  /// Force every row to at least one trip (fault campaigns need the
+  /// injected fault to actually execute).
+  bool ForceMinOneTrips = false;
+  /// Always include the impure Probe extern in the inner body.
+  bool ForceExtern = false;
+  /// Always include the real-valued accumulation (NaN campaigns poison
+  /// its input array).
+  bool ForceReal = false;
+  /// Always use the WHILE form with the side-effecting Tick() call in
+  /// the guard - the exact Fig. 9 case the guard-intro cache exists
+  /// for. Used to demonstrate that the oracle catches a broken cache.
+  bool ForceGuardSideEffect = false;
+};
+
+/// Generates the case for \p Seed under \p Opts.
+FuzzCase generateCase(uint64_t Seed, const GeneratorOptions &Opts = {});
+
+/// Names of the extern hooks generated programs may call. Bindings are
+/// built by makeFuzzRegistry (Oracle.h).
+inline constexpr const char *ProbeFn = "Probe";  ///< impure int function
+inline constexpr const char *TickFn = "Tick";    ///< impure guard probe
+inline constexpr const char *NoteSub = "Note";   ///< impure subroutine
+
+} // namespace fuzz
+} // namespace simdflat
+
+#endif // SIMDFLAT_FUZZ_GENERATOR_H

@@ -1,0 +1,269 @@
+//===- fuzz/Shrinker.cpp - Greedy divergence minimizer ---------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "frontend/GotoRecovery.h"
+#include "ir/Walk.h"
+
+#include <utility>
+#include <vector>
+
+using namespace simdflat;
+using namespace simdflat::fuzz;
+using namespace simdflat::ir;
+
+namespace {
+
+/// Hard cap on candidate evaluations, far above what the small
+/// generated programs need; a backstop against pathological inputs.
+constexpr int MaxSteps = 4000;
+
+/// Pre-order (Body, index) slots of every statement, recursing into
+/// nested bodies. Recollected per candidate - positions shift after
+/// each kept mutation.
+void collectStmtSlots(Body &B,
+                      std::vector<std::pair<Body *, size_t>> &Out) {
+  for (size_t I = 0; I < B.size(); ++I) {
+    Out.push_back({&B, I});
+    Stmt *S = B[I].get();
+    if (auto *D = dyn_cast<DoStmt>(S))
+      collectStmtSlots(D->body(), Out);
+    else if (auto *W = dyn_cast<WhileStmt>(S))
+      collectStmtSlots(W->body(), Out);
+    else if (auto *R = dyn_cast<RepeatStmt>(S))
+      collectStmtSlots(R->body(), Out);
+    else if (auto *F = dyn_cast<ForallStmt>(S))
+      collectStmtSlots(F->body(), Out);
+    else if (auto *If = dyn_cast<IfStmt>(S)) {
+      collectStmtSlots(If->thenBody(), Out);
+      collectStmtSlots(If->elseBody(), Out);
+    } else if (auto *Wh = dyn_cast<WhereStmt>(S)) {
+      collectStmtSlots(Wh->thenBody(), Out);
+      collectStmtSlots(Wh->elseBody(), Out);
+    }
+  }
+}
+
+void collectIntLitSlotsInExpr(ExprPtr &E,
+                              std::vector<ExprPtr *> &Out) {
+  if (!E)
+    return;
+  if (isa<IntLit>(E.get())) {
+    Out.push_back(&E);
+    return;
+  }
+  if (auto *U = dyn_cast<UnaryExpr>(E.get()))
+    collectIntLitSlotsInExpr(U->operandPtr(), Out);
+  else if (auto *Bi = dyn_cast<BinaryExpr>(E.get())) {
+    collectIntLitSlotsInExpr(Bi->lhsPtr(), Out);
+    collectIntLitSlotsInExpr(Bi->rhsPtr(), Out);
+  } else if (auto *In = dyn_cast<IntrinsicExpr>(E.get()))
+    for (ExprPtr &A : In->args())
+      collectIntLitSlotsInExpr(A, Out);
+  else if (auto *C = dyn_cast<CallExpr>(E.get()))
+    for (ExprPtr &A : C->args())
+      collectIntLitSlotsInExpr(A, Out);
+  else if (auto *A = dyn_cast<ArrayRef>(E.get()))
+    for (ExprPtr &I : A->indices())
+      collectIntLitSlotsInExpr(I, Out);
+}
+
+/// ExprPtr slots holding an integer literal, in program order.
+void collectIntLitSlots(Body &B, std::vector<ExprPtr *> &Out) {
+  for (StmtPtr &SP : B) {
+    Stmt *S = SP.get();
+    if (auto *A = dyn_cast<AssignStmt>(S)) {
+      collectIntLitSlotsInExpr(A->targetPtr(), Out);
+      collectIntLitSlotsInExpr(A->valuePtr(), Out);
+    } else if (auto *If = dyn_cast<IfStmt>(S)) {
+      collectIntLitSlotsInExpr(If->condPtr(), Out);
+      collectIntLitSlots(If->thenBody(), Out);
+      collectIntLitSlots(If->elseBody(), Out);
+    } else if (auto *Wh = dyn_cast<WhereStmt>(S)) {
+      collectIntLitSlotsInExpr(Wh->condPtr(), Out);
+      collectIntLitSlots(Wh->thenBody(), Out);
+      collectIntLitSlots(Wh->elseBody(), Out);
+    } else if (auto *D = dyn_cast<DoStmt>(S)) {
+      collectIntLitSlotsInExpr(D->loPtr(), Out);
+      collectIntLitSlotsInExpr(D->hiPtr(), Out);
+      collectIntLitSlotsInExpr(D->stepPtr(), Out);
+      collectIntLitSlots(D->body(), Out);
+    } else if (auto *W = dyn_cast<WhileStmt>(S)) {
+      collectIntLitSlotsInExpr(W->condPtr(), Out);
+      collectIntLitSlots(W->body(), Out);
+    } else if (auto *R = dyn_cast<RepeatStmt>(S)) {
+      collectIntLitSlots(R->body(), Out);
+      collectIntLitSlotsInExpr(R->untilCondPtr(), Out);
+    } else if (auto *F = dyn_cast<ForallStmt>(S)) {
+      collectIntLitSlotsInExpr(F->loPtr(), Out);
+      collectIntLitSlotsInExpr(F->hiPtr(), Out);
+      collectIntLitSlotsInExpr(F->maskPtr(), Out);
+      collectIntLitSlots(F->body(), Out);
+    } else if (auto *C = dyn_cast<CallStmt>(S)) {
+      for (ExprPtr &A : C->args())
+        collectIntLitSlotsInExpr(A, Out);
+    } else if (auto *G = dyn_cast<GotoStmt>(S)) {
+      collectIntLitSlotsInExpr(G->condPtr(), Out);
+    }
+  }
+}
+
+/// A candidate must stay inside the pipeline's contract: after GOTO
+/// recovery no unstructured label/goto may remain (simdize asserts on
+/// them), which deleting half of a label/goto cycle would cause.
+bool isStructurallySafe(const FuzzCase &C) {
+  ir::Program P = cloneProgram(C.Prog);
+  frontend::recoverGotoLoops(P);
+  bool Unstructured = false;
+  forEachStmt(P.body(), [&](const Stmt &S) {
+    if (isa<GotoStmt>(&S) || isa<LabelStmt>(&S))
+      Unstructured = true;
+  });
+  return !Unstructured;
+}
+
+struct Shrinker {
+  const OracleOptions &Opts;
+  int Steps = 0;
+
+  bool diverges(const FuzzCase &C) {
+    ++Steps;
+    return isStructurallySafe(C) && runOracle(C, Opts).Diverged;
+  }
+
+  /// One pass of statement deletions; returns true if any was kept.
+  bool deletePass(FuzzCase &Cur) {
+    bool Any = false;
+    for (size_t K = 0;; ++K) {
+      if (Steps >= MaxSteps)
+        return Any;
+      FuzzCase Cand = cloneCase(Cur);
+      std::vector<std::pair<Body *, size_t>> Slots;
+      collectStmtSlots(Cand.Prog.body(), Slots);
+      if (K >= Slots.size())
+        return Any;
+      Slots[K].first->erase(Slots[K].first->begin() +
+                            static_cast<ptrdiff_t>(Slots[K].second));
+      if (Cand.Prog.body().empty() || !diverges(Cand))
+        continue;
+      Cur = std::move(Cand);
+      Any = true;
+      --K; // the slot list shifted; retry the same position
+    }
+  }
+
+  /// One pass of loop unwrapping (loop -> its body).
+  bool unwrapPass(FuzzCase &Cur) {
+    bool Any = false;
+    for (size_t K = 0;; ++K) {
+      if (Steps >= MaxSteps)
+        return Any;
+      FuzzCase Cand = cloneCase(Cur);
+      std::vector<std::pair<Body *, size_t>> Slots;
+      collectStmtSlots(Cand.Prog.body(), Slots);
+      if (K >= Slots.size())
+        return Any;
+      auto [B, I] = Slots[K];
+      Stmt *S = (*B)[I].get();
+      Body Inner;
+      if (auto *D = dyn_cast<DoStmt>(S))
+        Inner = std::move(D->body());
+      else if (auto *W = dyn_cast<WhileStmt>(S))
+        Inner = std::move(W->body());
+      else if (auto *R = dyn_cast<RepeatStmt>(S))
+        Inner = std::move(R->body());
+      else if (auto *If = dyn_cast<IfStmt>(S))
+        Inner = std::move(If->thenBody());
+      else
+        continue;
+      B->erase(B->begin() + static_cast<ptrdiff_t>(I));
+      for (size_t J = 0; J < Inner.size(); ++J)
+        B->insert(B->begin() + static_cast<ptrdiff_t>(I + J),
+                  std::move(Inner[J]));
+      if (!diverges(Cand))
+        continue;
+      Cur = std::move(Cand);
+      Any = true;
+    }
+  }
+
+  /// One pass of literal and input reduction.
+  bool reducePass(FuzzCase &Cur) {
+    bool Any = false;
+    // Integer literals: try 0, then halving toward 0.
+    for (size_t K = 0;; ++K) {
+      if (Steps >= MaxSteps)
+        return Any;
+      std::vector<ExprPtr *> Probe;
+      collectIntLitSlots(Cur.Prog.body(), Probe);
+      if (K >= Probe.size())
+        break;
+      int64_t V = cast<IntLit>(Probe[K]->get())->value();
+      for (int64_t Next : {int64_t{0}, V / 2}) {
+        if (Next == V || Steps >= MaxSteps)
+          continue;
+        FuzzCase Cand = cloneCase(Cur);
+        std::vector<ExprPtr *> Slots;
+        collectIntLitSlots(Cand.Prog.body(), Slots);
+        *Slots[K] = std::make_unique<IntLit>(Next);
+        if (!diverges(Cand))
+          continue;
+        Cur = std::move(Cand);
+        Any = true;
+        break;
+      }
+    }
+    // Runtime inputs: scalars halve toward 1, array entries toward 0.
+    for (auto &[Name, V] : Cur.Ints) {
+      while (V > 1 && Steps < MaxSteps) {
+        FuzzCase Cand = cloneCase(Cur);
+        Cand.Ints[Name] = V / 2;
+        if (!diverges(Cand))
+          break;
+        V = V / 2;
+        Any = true;
+      }
+    }
+    for (auto &[Name, Arr] : Cur.IntArrays) {
+      for (size_t I = 0; I < Arr.size(); ++I) {
+        if (Arr[I] == 0 || Steps >= MaxSteps)
+          continue;
+        FuzzCase Cand = cloneCase(Cur);
+        Cand.IntArrays[Name][I] = 0;
+        if (!diverges(Cand))
+          continue;
+        Arr[I] = 0;
+        Any = true;
+      }
+    }
+    return Any;
+  }
+};
+
+} // namespace
+
+ShrinkResult fuzz::shrinkCase(const FuzzCase &C, const OracleOptions &Opts) {
+  ShrinkResult Res(cloneCase(C));
+  Shrinker S{Opts};
+  if (!S.diverges(Res.Case)) {
+    Res.StepsTried = S.Steps;
+    return Res;
+  }
+  for (int Round = 0; Round < 50; ++Round) {
+    bool Any = false;
+    Any |= S.deletePass(Res.Case);
+    Any |= S.unwrapPass(Res.Case);
+    Any |= S.reducePass(Res.Case);
+    if (Any)
+      ++Res.Reductions;
+    if (!Any || S.Steps >= MaxSteps)
+      break;
+  }
+  Res.StepsTried = S.Steps;
+  Res.Case.Name = C.Name + "-min";
+  return Res;
+}

@@ -1,0 +1,47 @@
+//===- fuzz/Shrinker.h - Greedy divergence minimizer -----------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy test-case minimizer: given a FuzzCase on which the oracle
+/// diverges, repeatedly tries structure-shrinking mutations - deleting
+/// a statement subtree, replacing a loop by its body, zeroing/halving
+/// integer literals, and shrinking the runtime inputs - keeping a
+/// mutation only if the oracle still diverges on the mutated case.
+/// Candidates that would leave unstructured control flow behind (a GOTO
+/// whose label was deleted) are rejected up front, so the shrinker
+/// never feeds the pipeline a program outside its contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FUZZ_SHRINKER_H
+#define SIMDFLAT_FUZZ_SHRINKER_H
+
+#include "fuzz/Case.h"
+#include "fuzz/Oracle.h"
+
+namespace simdflat {
+namespace fuzz {
+
+/// Outcome of a shrink run.
+struct ShrinkResult {
+  FuzzCase Case;
+  /// Mutations that were kept.
+  int Reductions = 0;
+  /// Candidate oracle runs spent.
+  int StepsTried = 0;
+
+  explicit ShrinkResult(FuzzCase C) : Case(std::move(C)) {}
+};
+
+/// Minimizes \p C, re-checking runOracle(., Opts) after every candidate
+/// mutation. If \p C does not diverge under \p Opts it is returned
+/// unchanged. Deterministic: mutations are enumerated in program order.
+ShrinkResult shrinkCase(const FuzzCase &C, const OracleOptions &Opts);
+
+} // namespace fuzz
+} // namespace simdflat
+
+#endif // SIMDFLAT_FUZZ_SHRINKER_H

@@ -279,6 +279,8 @@ private:
       skipWs();
       if (!consume(':'))
         return fail("expected ':' after object key");
+      if (Out.get(*Key))
+        return fail("duplicate object key \"" + *Key + "\"");
       Expected<Value, JsonError> V = parseValue();
       if (!V)
         return V;

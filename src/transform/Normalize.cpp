@@ -20,6 +20,7 @@ public:
                                                          Opts(Opts) {}
 
   int Count = 0;
+  int Peeled = 0;
 
   void normalizeBody(Body &Stmts) {
     Body Out;
@@ -51,6 +52,7 @@ public:
         auto *R = cast<RepeatStmt>(&S);
         normalizeBody(R->body());
         ++Count;
+        ++Peeled;
         // Peel the first execution: B ; WHILE (.NOT. c) { B }.
         Body First = cloneBody(R->body());
         for (StmtPtr &I : First)
@@ -93,8 +95,11 @@ private:
 
 } // namespace
 
-int transform::normalizeLoops(Program &P, NormalizeOptions Opts) {
+int transform::normalizeLoops(Program &P, NormalizeOptions Opts,
+                              int *PeeledOut) {
   Normalizer N(P, Opts);
   N.normalizeBody(P.body());
+  if (PeeledOut)
+    *PeeledOut = N.Peeled;
   return N.Count;
 }

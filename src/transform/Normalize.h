@@ -31,8 +31,13 @@ struct NormalizeOptions {
 };
 
 /// Normalizes all loops in \p P in place. Returns the number of loops
-/// rewritten.
-int normalizeLoops(ir::Program &P, NormalizeOptions Opts = {});
+/// rewritten. If \p PeeledOut is non-null it receives the number of
+/// post-test (REPEAT) loops whose first body execution was peeled.
+/// Peeling shifts the residual loop's trip count down by one, so a
+/// min-one trip guarantee on the original loop does NOT transfer to
+/// the residual pre-test loop.
+int normalizeLoops(ir::Program &P, NormalizeOptions Opts = {},
+                   int *PeeledOut = nullptr);
 
 } // namespace transform
 } // namespace simdflat

@@ -82,8 +82,17 @@ transform::compileForSimd(const ir::Program &P, PipelineOptions Opts,
       return PipelineError{"goto-recovery", std::move(Issues)};
   }
 
+  // When explicit normalization peels a REPEAT's first execution, the
+  // residual pre-test loop runs one trip fewer than the original; a
+  // caller-asserted min-one guarantee does not survive the peel, and
+  // flattening at the optimized level on its strength would run one
+  // iteration too many on exactly-one-trip rows.
+  bool MinOneSurvives = Opts.AssumeInnerMinOneTrip;
   if (Opts.ExplicitNormalize) {
-    int Normalized = normalizeLoops(Work);
+    int Peeled = 0;
+    int Normalized = normalizeLoops(Work, {}, &Peeled);
+    if (Peeled > 0)
+      MinOneSurvives = false;
     {
       std::vector<std::string> Issues;
       if (!checkStage("normalize", Work,
@@ -105,7 +114,7 @@ transform::compileForSimd(const ir::Program &P, PipelineOptions Opts,
   if (Opts.Flatten) {
     FlattenOptions FOpts;
     FOpts.Force = Opts.ForceLevel;
-    FOpts.AssumeInnerMinOneTrip = Opts.AssumeInnerMinOneTrip;
+    FOpts.AssumeInnerMinOneTrip = MinOneSurvives;
     FOpts.CheckSafety = Opts.CheckSafety;
     FOpts.DistributeOuter = Opts.Layout;
     // Keep the pre-flatten tree: a flatten that damages the program is

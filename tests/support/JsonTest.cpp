@@ -132,6 +132,39 @@ TEST(Json, ParseErrors) {
   }
 }
 
+TEST(Json, RejectsDuplicateObjectKeys) {
+  // Duplicate keys are a silent-data-loss hazard (last-wins would drop
+  // the first binding unnoticed); the strict parser refuses them.
+  auto R = Value::parse(R"({"a": 1, "b": 2, "a": 3})");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.error().Message.find("duplicate object key"),
+            std::string::npos);
+  EXPECT_NE(R.error().Message.find("\"a\""), std::string::npos);
+  // Nested objects are checked too, but an inner key may repeat an
+  // outer one - scopes are independent.
+  EXPECT_FALSE(Value::parse(R"({"o": {"x": 1, "x": 2}})").ok());
+  EXPECT_TRUE(Value::parse(R"({"x": 1, "o": {"x": 2}})").ok());
+  // Programmatic set() still replaces in place (not a parse).
+  Value V = Value::object();
+  V.set("k", 1);
+  V.set("k", 2);
+  EXPECT_EQ(V.get("k")->asInt(), 2);
+}
+
+TEST(Json, RejectsTrailingNonWhitespace) {
+  for (const char *Bad : {"{} x", "1,", "[1] [2]", "null null",
+                          "{\"a\": 1} }", "true\ngarbage"}) {
+    auto R = Value::parse(Bad);
+    ASSERT_FALSE(R.ok()) << "accepted: " << Bad;
+    EXPECT_NE(R.error().Message.find("trailing"), std::string::npos)
+        << Bad;
+  }
+  // Trailing whitespace (including a final newline, as writeFile
+  // emits) is fine.
+  EXPECT_TRUE(Value::parse("{\"a\": 1}\n").ok());
+  EXPECT_TRUE(Value::parse("  [1, 2]  \t\r\n").ok());
+}
+
 TEST(Json, ParseDepthLimit) {
   std::string Deep(200, '[');
   Deep += std::string(200, ']');

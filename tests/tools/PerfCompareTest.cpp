@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 using namespace simdflat;
 using namespace simdflat::perfcompare;
 
@@ -161,6 +164,89 @@ TEST(PerfCompare, FileApiRejectsMissingFile) {
   EXPECT_FALSE(
       compareBenchFiles("/nonexistent/a.json", "/nonexistent/b.json")
           .ok());
+}
+
+/// Two fresh sibling directories under the test temp dir, wiped on
+/// construction so reruns start clean.
+struct DirPair {
+  std::filesystem::path Base, New;
+  explicit DirPair(const std::string &Tag) {
+    std::filesystem::path Root =
+        std::filesystem::path(testing::TempDir()) / ("perfcmp_" + Tag);
+    std::filesystem::remove_all(Root);
+    Base = Root / "base";
+    New = Root / "new";
+    std::filesystem::create_directories(Base);
+    std::filesystem::create_directories(New);
+  }
+  void writeBench(const std::filesystem::path &Dir,
+                  const std::string &File, const char *Bench,
+                  double Steps) {
+    json::Value Doc = makeDoc({{"a", "steps", Steps}});
+    Doc.set("bench", Bench);
+    ASSERT_TRUE(json::writeFile((Dir / File).string(), Doc));
+  }
+};
+
+TEST(PerfCompare, DirCompareGatesCommonBenches) {
+  DirPair D("gate");
+  D.writeBench(D.Base, "BENCH_x.json", "x", 100.0);
+  D.writeBench(D.New, "BENCH_x.json", "x", 150.0);
+  auto R = compareBenchDirs(D.Base.string(), D.New.string());
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_FALSE(R->ok()); // a real regression still fails
+  ASSERT_EQ(R->Compared.size(), 1u);
+  EXPECT_EQ(R->Compared[0].first, "BENCH_x.json");
+  EXPECT_EQ(R->regressionCount(), 1);
+}
+
+TEST(PerfCompare, DirCompareAddedAndRemovedAreInformational) {
+  // A bench introduced (or renamed - one removal plus one addition) in
+  // the same PR must keep the gate green.
+  DirPair D("addrm");
+  D.writeBench(D.Base, "BENCH_same.json", "same", 10.0);
+  D.writeBench(D.New, "BENCH_same.json", "same", 10.0);
+  D.writeBench(D.Base, "BENCH_old.json", "old", 5.0);
+  D.writeBench(D.New, "BENCH_fresh.json", "fresh", 7.0);
+  auto R = compareBenchDirs(D.Base.string(), D.New.string());
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_TRUE(R->ok());
+  ASSERT_EQ(R->OnlyInBase.size(), 1u);
+  EXPECT_EQ(R->OnlyInBase[0], "BENCH_old.json");
+  ASSERT_EQ(R->OnlyInNew.size(), 1u);
+  EXPECT_EQ(R->OnlyInNew[0], "BENCH_fresh.json");
+  EXPECT_EQ(R->Compared.size(), 1u);
+  std::string Text = R->render({});
+  EXPECT_NE(Text.find("bench added"), std::string::npos);
+  EXPECT_NE(Text.find("bench removed"), std::string::npos);
+  EXPECT_NE(Text.find("OK"), std::string::npos);
+}
+
+TEST(PerfCompare, DirCompareRenameInPlaceIsInformational) {
+  // Same filename, different embedded bench name: comparing the old
+  // metrics against the new bench's would be meaningless, so the pair
+  // is reported as renamed instead of erroring.
+  DirPair D("rename");
+  D.writeBench(D.Base, "BENCH_k.json", "kernel_v1", 10.0);
+  D.writeBench(D.New, "BENCH_k.json", "kernel_v2", 99.0);
+  auto R = compareBenchDirs(D.Base.string(), D.New.string());
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_TRUE(R->ok());
+  EXPECT_TRUE(R->Compared.empty());
+  ASSERT_EQ(R->Renamed.size(), 1u);
+  EXPECT_NE(R->Renamed[0].find("kernel_v1"), std::string::npos);
+  EXPECT_NE(R->Renamed[0].find("kernel_v2"), std::string::npos);
+  EXPECT_NE(R->render({}).find("renamed"), std::string::npos);
+}
+
+TEST(PerfCompare, DirCompareMalformedFileIsStillAnError) {
+  DirPair D("bad");
+  D.writeBench(D.Base, "BENCH_x.json", "x", 1.0);
+  std::ofstream((D.New / "BENCH_x.json").string()) << "{not json";
+  EXPECT_FALSE(
+      compareBenchDirs(D.Base.string(), D.New.string()).ok());
+  EXPECT_FALSE(compareBenchDirs("/nonexistent/base", D.New.string())
+                   .ok());
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include "transform/Pipeline.h"
 
+#include "interp/ScalarInterp.h"
 #include "interp/SimdInterp.h"
 #include "ir/Printer.h"
 #include "ir/Verify.h"
@@ -134,6 +135,43 @@ TEST(Pipeline, ExplicitNormalizeStagesRunAndVerify) {
   for (const StageOutcome &S : Rep.Stages)
     SawNormalize |= S.Stage == "normalize" && S.Ran && S.Verified;
   EXPECT_TRUE(SawNormalize);
+}
+
+TEST(Pipeline, PeeledRepeatDropsMinOneAssumption) {
+  // Found by flattenfuzz (seed 46): explicit normalization peels a
+  // REPEAT's first execution, so the residual pre-test loop runs L-1
+  // trips - zero on exactly-one-trip rows. Flattening the residual at
+  // the optimized level on the caller's min-one assertion re-executed
+  // the body once per L == 1 row. The pipeline must drop the
+  // assumption once a peel has consumed it.
+  ExampleSpec Spec{4, {1, 3, 1, 2}};
+  Program Ref = makeExample(Spec, LoopForm::Repeat);
+
+  ScalarInterp SI(Ref, machine::MachineConfig::sparc2(), nullptr);
+  SI.store().setInt("K", Spec.K);
+  SI.store().setIntArray("L", Spec.L);
+  SI.run().value();
+  std::vector<int64_t> Want = SI.store().getIntArray("X");
+
+  PipelineOptions PO;
+  PO.AssumeInnerMinOneTrip = true;
+  PO.ExplicitNormalize = true;
+  PipelineReport Rep;
+  Program Simd =
+      compileForSimd(makeExample(Spec, LoopForm::Repeat), PO, &Rep)
+          .value();
+  ASSERT_TRUE(Rep.Flattened) << Rep.summary();
+
+  machine::MachineConfig M;
+  M.Name = "p";
+  M.Processors = 2;
+  M.Gran = 2;
+  M.DataLayout = machine::Layout::Cyclic;
+  SimdInterp I(Simd, M, nullptr);
+  I.store().setInt("K", Spec.K);
+  I.store().setIntArray("L", Spec.L);
+  I.run().value();
+  EXPECT_EQ(I.store().getIntArray("X"), Want);
 }
 
 TEST(Pipeline, SummaryMentionsStages) {

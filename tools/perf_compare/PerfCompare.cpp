@@ -11,7 +11,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <map>
+#include <set>
 
 namespace simdflat {
 namespace perfcompare {
@@ -170,6 +172,107 @@ compareBenchFiles(const std::string &BasePath, const std::string &NewPath,
   if (!New)
     return CompareError{New.error().render()};
   return compareBenchJson(*Base, *New, Opts);
+}
+
+namespace {
+
+Expected<std::set<std::string>, CompareError>
+listJsonFiles(const std::string &Dir, const char *Which) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  if (!fs::is_directory(Dir, EC))
+    return CompareError{
+        formatf("%s: '%s' is not a directory", Which, Dir.c_str())};
+  std::set<std::string> Out;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (E.is_regular_file() && E.path().extension() == ".json")
+      Out.insert(E.path().filename().string());
+  }
+  if (EC)
+    return CompareError{formatf("%s: cannot list '%s': %s", Which,
+                                Dir.c_str(), EC.message().c_str())};
+  return Out;
+}
+
+} // namespace
+
+int64_t DirCompareResult::regressionCount() const {
+  int64_t N = 0;
+  for (const auto &[File, R] : Compared)
+    N += R.regressionCount();
+  return N;
+}
+
+std::string DirCompareResult::render(const CompareOptions &Opts) const {
+  std::string Out;
+  for (const auto &[File, R] : Compared) {
+    Out += formatf("== %s ==\n", File.c_str());
+    Out += R.render(Opts);
+  }
+  for (const std::string &F : OnlyInNew)
+    Out += formatf("note: bench added (no baseline yet): %s\n", F.c_str());
+  for (const std::string &F : OnlyInBase)
+    Out += formatf("note: bench removed (baseline only): %s\n", F.c_str());
+  for (const std::string &F : Renamed)
+    Out += formatf("note: bench renamed: %s\n", F.c_str());
+  int64_t Regressions = regressionCount();
+  Out += formatf(
+      "%lld bench(es) compared, %lld added, %lld removed, %lld renamed, "
+      "%lld regression(s)%s\n",
+      static_cast<long long>(Compared.size()),
+      static_cast<long long>(OnlyInNew.size()),
+      static_cast<long long>(OnlyInBase.size()),
+      static_cast<long long>(Renamed.size()),
+      static_cast<long long>(Regressions),
+      Regressions == 0 ? " - OK" : " - FAIL");
+  return Out;
+}
+
+Expected<DirCompareResult, CompareError>
+compareBenchDirs(const std::string &BaseDir, const std::string &NewDir,
+                 const CompareOptions &Opts) {
+  auto BaseFiles = listJsonFiles(BaseDir, "baseline");
+  if (!BaseFiles)
+    return BaseFiles.error();
+  auto NewFiles = listJsonFiles(NewDir, "new");
+  if (!NewFiles)
+    return NewFiles.error();
+
+  DirCompareResult R;
+  for (const std::string &F : *BaseFiles)
+    if (!NewFiles->count(F))
+      R.OnlyInBase.push_back(F);
+  for (const std::string &F : *NewFiles)
+    if (!BaseFiles->count(F))
+      R.OnlyInNew.push_back(F);
+
+  namespace fs = std::filesystem;
+  for (const std::string &F : *BaseFiles) {
+    if (!NewFiles->count(F))
+      continue;
+    auto Base = json::parseFile((fs::path(BaseDir) / F).string());
+    if (!Base)
+      return CompareError{Base.error().render()};
+    auto New = json::parseFile((fs::path(NewDir) / F).string());
+    if (!New)
+      return CompareError{New.error().render()};
+    // A matched file whose embedded bench name changed is a rename in
+    // place: comparing old metrics against the new bench's would be
+    // apples to oranges, so report it informationally instead.
+    std::string BaseName = benchName(*Base), NewName = benchName(*New);
+    if (BaseName != NewName) {
+      R.Renamed.push_back(
+          formatf("%s: '%s' -> '%s'", F.c_str(), BaseName.c_str(),
+                  NewName.c_str()));
+      continue;
+    }
+    auto Cmp = compareBenchJson(*Base, *New, Opts);
+    if (!Cmp)
+      return CompareError{formatf("%s: %s", F.c_str(),
+                                  Cmp.error().render().c_str())};
+    R.Compared.emplace_back(F, std::move(*Cmp));
+  }
+  return R;
 }
 
 } // namespace perfcompare

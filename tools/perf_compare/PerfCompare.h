@@ -75,6 +75,29 @@ struct CompareResult {
   std::string render(const CompareOptions &Opts) const;
 };
 
+/// Result of comparing two directories of bench JSON files matched by
+/// filename. Benches present in only one directory are reported as
+/// added/removed (informational), never as errors: introducing or
+/// renaming a bench in the same PR must not fail the perf gate.
+struct DirCompareResult {
+  /// (filename, per-bench comparison) for every file present on both
+  /// sides with matching embedded bench names.
+  std::vector<std::pair<std::string, CompareResult>> Compared;
+  /// Files only in the baseline directory (bench removed or renamed).
+  std::vector<std::string> OnlyInBase;
+  /// Files only in the new directory (bench added or renamed).
+  std::vector<std::string> OnlyInNew;
+  /// Files present on both sides whose embedded bench names disagree -
+  /// treated as a rename ("file: 'old' -> 'new'"), not compared
+  /// metric-by-metric, and not an error.
+  std::vector<std::string> Renamed;
+
+  int64_t regressionCount() const;
+  /// Only metric regressions in compared benches fail the gate.
+  bool ok() const { return regressionCount() == 0; }
+  std::string render(const CompareOptions &Opts) const;
+};
+
 /// Diffs two parsed simdflat-bench-v1 documents.
 Expected<CompareResult, CompareError>
 compareBenchJson(const json::Value &Base, const json::Value &New,
@@ -84,6 +107,14 @@ compareBenchJson(const json::Value &Base, const json::Value &New,
 Expected<CompareResult, CompareError>
 compareBenchFiles(const std::string &BasePath, const std::string &NewPath,
                   const CompareOptions &Opts = {});
+
+/// Compares every *.json file in \p BaseDir against the file of the
+/// same name in \p NewDir. Files missing on either side are reported
+/// informationally (see DirCompareResult); unreadable or malformed
+/// files are still hard errors.
+Expected<DirCompareResult, CompareError>
+compareBenchDirs(const std::string &BaseDir, const std::string &NewDir,
+                 const CompareOptions &Opts = {});
 
 } // namespace perfcompare
 } // namespace simdflat

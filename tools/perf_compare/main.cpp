@@ -31,10 +31,15 @@ void usage(const char *Prog) {
   std::fprintf(
       stderr,
       "usage: %s <baseline.json> <new.json> [--threshold=<frac>] [--all]\n"
+      "       %s --dirs <baseline-dir> <new-dir> [--threshold=<frac>]"
+      " [--all]\n"
       "  Compares two simdflat-bench-v1 files; exits 1 when any gated\n"
       "  metric regresses by more than the threshold (default 0.10).\n"
-      "  --all also prints metrics whose change stayed inside it.\n",
-      Prog);
+      "  --all also prints metrics whose change stayed inside it.\n"
+      "  --dirs matches *.json files by name between two directories;\n"
+      "  benches present on only one side are reported as added or\n"
+      "  removed (informational), never as failures.\n",
+      Prog, Prog);
 }
 
 } // namespace
@@ -42,6 +47,7 @@ void usage(const char *Prog) {
 int main(int argc, char **argv) {
   CompareOptions Opts;
   std::string BasePath, NewPath;
+  bool Dirs = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--help" || Arg == "-h") {
@@ -50,6 +56,10 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--all") {
       Opts.ShowAll = true;
+      continue;
+    }
+    if (Arg == "--dirs") {
+      Dirs = true;
       continue;
     }
     if (Arg.rfind("--threshold=", 0) == 0) {
@@ -81,6 +91,17 @@ int main(int argc, char **argv) {
   if (BasePath.empty() || NewPath.empty()) {
     usage(argv[0]);
     return 2;
+  }
+
+  if (Dirs) {
+    auto Result = compareBenchDirs(BasePath, NewPath, Opts);
+    if (!Result) {
+      std::fprintf(stderr, "perf_compare: %s\n",
+                   Result.error().render().c_str());
+      return 2;
+    }
+    std::fputs(Result->render(Opts).c_str(), stdout);
+    return Result->ok() ? 0 : 1;
   }
 
   auto Result = compareBenchFiles(BasePath, NewPath, Opts);
