@@ -33,6 +33,13 @@ BenchReporter::BenchReporter(std::string Name, int Argc, char **Argv)
                      BenchName.c_str());
         std::exit(2);
       }
+    } else if (A.rfind("--engine=", 0) == 0) {
+      std::string V(A.substr(std::strlen("--engine=")));
+      if (!interp::engineFromName(V, Eng)) {
+        std::fprintf(stderr, "%s: --engine= expects tree|bytecode\n",
+                     BenchName.c_str());
+        std::exit(2);
+      }
     } else {
       // Not ours (e.g. a --benchmark_* flag): hand it back to the bench.
       Args.push_back(Argv[I]);
@@ -120,6 +127,9 @@ json::Value BenchReporter::toJson() const {
   json::Value M = json::Value::object();
   for (const auto &[K, V] : Meta)
     M.set(K, V);
+  // Always present, never overridable by meta(): the engine tag is
+  // what lets perf_compare refuse cross-engine comparisons.
+  M.set("engine", interp::engineName(Eng));
   Doc.set("meta", std::move(M));
   json::Value Arr = json::Value::array();
   for (const BenchMetric &X : Metrics) {

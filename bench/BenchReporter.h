@@ -69,6 +69,12 @@ public:
   /// Reduced-grid mode: --smoke or SIMDFLAT_QUICK.
   bool smoke() const { return Smoke; }
 
+  /// Interpreter engine selected by --engine=tree|bytecode (default
+  /// bytecode). Benches copy this into RunOptions::Eng; the value is
+  /// also written to meta.engine so perf_compare can refuse to diff
+  /// runs from different engines.
+  interp::Engine engine() const { return Eng; }
+
   /// argc/argv with the reporter's own flags removed (argv[0] kept).
   int argc() const { return static_cast<int>(Args.size()); }
   char **argv() { return Args.data(); }
@@ -120,6 +126,7 @@ public:
 private:
   std::string BenchName;
   std::string JsonPath; // empty: do not write
+  interp::Engine Eng = interp::Engine::Bytecode;
   bool Smoke = false;
   bool Passed = true;
   bool Finished = false;

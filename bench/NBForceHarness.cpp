@@ -115,6 +115,7 @@ NBRunResult NBForceExperiment::run(LoopVersion Version,
 
   RunOptions Opts;
   Opts.WorkCalls = {"Force"};
+  Opts.Eng = Eng;
   SimdInterp Interp(P, Machine, &Reg, Opts);
   const CachedInputs &CI = inputs(Cutoff);
   Interp.store().setInt("nAtoms", PL.numAtoms());
@@ -141,6 +142,7 @@ NBRunResult NBForceExperiment::runSparc(double Cutoff) {
   bindForceExterns(Reg, Mol, forceCostFor(M), 0.0);
   RunOptions Opts;
   Opts.WorkCalls = {"Force"};
+  Opts.Eng = Eng;
   ScalarInterp Interp(P, M, &Reg, Opts);
   setNBForceInputs(Interp.store(), PL, NMax, MaxP, NMax);
   ScalarRunResult R = Interp.run().value();

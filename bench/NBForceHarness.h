@@ -22,6 +22,7 @@
 #ifndef SIMDFLAT_BENCH_NBFORCEHARNESS_H
 #define SIMDFLAT_BENCH_NBFORCEHARNESS_H
 
+#include "interp/RunStats.h"
 #include "machine/Machine.h"
 #include "md/NBForce.h"
 
@@ -59,6 +60,11 @@ public:
   /// Pairlist for \p Cutoff (built once, min-one-partner enforced).
   const md::PairList &pairlist(double Cutoff);
 
+  /// Interpreter engine every run uses (default bytecode). Benches
+  /// forward BenchReporter::engine() so --engine=tree selects the
+  /// tree-walk reference.
+  void setEngine(interp::Engine E) { Eng = E; }
+
   /// Runs \p Version on \p Machine at \p Cutoff.
   NBRunResult run(LoopVersion Version,
                   const machine::MachineConfig &Machine, double Cutoff);
@@ -82,6 +88,7 @@ private:
   const CachedInputs &inputs(double Cutoff);
 
   int64_t NMax;
+  interp::Engine Eng = interp::Engine::Bytecode;
   md::Molecule Mol;
   std::map<double, md::PairList> Pairlists;
   std::map<double, CachedInputs> Inputs;

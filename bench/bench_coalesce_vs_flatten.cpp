@@ -53,6 +53,7 @@ int main(int argc, char **argv) {
     M.DataLayout = machine::Layout::Cyclic;
     RunOptions Opts;
     Opts.WorkTargets = {"X"};
+    Opts.Eng = Rep.engine();
 
     auto Run = [&](Program &Simd) {
       SimdInterp Interp(Simd, M, nullptr, Opts);

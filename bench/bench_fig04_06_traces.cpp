@@ -44,6 +44,7 @@ int main(int argc, char **argv) {
   RunOptions Opts;
   Opts.WorkTargets = {"X"};
   Opts.Watch = {"i", "j"};
+  Opts.Eng = Rep.engine();
 
   // ---- Figure 4: MIMD trace (Eq. 1). -------------------------------
   {

@@ -27,6 +27,7 @@ int main(int argc, char **argv) {
   BenchReporter Rep("fig19_scaling", argc, argv);
   bool Quick = quickMode() || Rep.smoke();
   NBForceExperiment E;
+  E.setEngine(Rep.engine());
   std::vector<double> Cutoffs = Quick
                                     ? std::vector<double>{8.0}
                                     : std::vector<double>{8.0, 16.0};

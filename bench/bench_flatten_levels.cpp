@@ -71,6 +71,7 @@ int main(int argc, char **argv) {
     }
     RunOptions Opts;
     Opts.WorkTargets = {"X"};
+    Opts.Eng = Reporter.engine();
     SimdInterp Interp(Simd, M, nullptr, Opts);
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);

@@ -54,6 +54,7 @@ int main(int argc, char **argv) {
     M.DataLayout = machine::Layout::Cyclic;
     RunOptions Opts;
     Opts.WorkTargets = {"tmp"};
+    Opts.Eng = Rep.engine();
 
     Program PU = mandelbrotF77(Spec);
     transform::SimdizeOptions SOpts;

@@ -58,6 +58,7 @@ int main(int argc, char **argv) {
     M.DataLayout = machine::Layout::Cyclic;
     RunOptions Opts;
     Opts.WorkTargets = {"GROWN"};
+    Opts.Eng = Rep.engine();
 
     Program PU = regionGrowF77(Spec.NumRegions, MaxSize);
     transform::SimdizeOptions SOpts;

@@ -74,6 +74,7 @@ int main(int argc, char **argv) {
       Program Simd = transform::compileForSimd(F77, PO).value();
       RunOptions Opts;
       Opts.WorkTargets = {"y"};
+      Opts.Eng = Rep.engine();
       SimdInterp Interp(Simd, MC, nullptr, Opts);
       Interp.store().setInt("nRows", M.Rows);
       {

@@ -35,6 +35,7 @@ int main(int argc, char **argv) {
   BenchReporter Rep("table2_force_calls", argc, argv);
   bool Quick = quickMode() || Rep.smoke();
   NBForceExperiment E;
+  E.setEngine(Rep.engine());
   std::vector<double> Cutoffs =
       Quick ? std::vector<double>{4.0, 8.0}
             : std::vector<double>{4.0, 8.0, 12.0, 16.0};

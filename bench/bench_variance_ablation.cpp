@@ -33,7 +33,8 @@ namespace {
 /// Runs the EXAMPLE kernel through the full pipeline on a Gran-lane
 /// machine and returns (unflattened steps, flattened steps).
 std::pair<int64_t, int64_t> simulate(const ExampleSpec &Spec,
-                                     int64_t Lanes) {
+                                     int64_t Lanes,
+                                     Engine Eng) {
   machine::MachineConfig M;
   M.Name = "ablation";
   M.Processors = Lanes;
@@ -41,6 +42,7 @@ std::pair<int64_t, int64_t> simulate(const ExampleSpec &Spec,
   M.DataLayout = machine::Layout::Cyclic;
   RunOptions Opts;
   Opts.WorkTargets = {"X"};
+  Opts.Eng = Eng;
 
   Program PU = makeExample(Spec);
   transform::SimdizeOptions SOpts;
@@ -114,7 +116,7 @@ int main(int argc, char **argv) {
   ExampleSpec Spec;
   Spec.K = 512;
   Spec.L = generateTripCounts(TripDist::Geometric, Spec.K, 12, 7);
-  auto [StepsU, StepsF] = simulate(Spec, 64);
+  auto [StepsU, StepsF] = simulate(Spec, 64, Rep.engine());
   ProfitEstimate E = estimateProfit(Spec.L, 64, machine::Layout::Cyclic);
   std::printf("  simulated: unflattened %lld, flattened %lld\n",
               static_cast<long long>(StepsU),

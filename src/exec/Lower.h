@@ -1,0 +1,44 @@
+//===- exec/Lower.h - ir:: -> bytecode lowering ----------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an ir::Program into an exec::Program for one execution mode.
+/// The lowering is a direct transcription of the corresponding
+/// tree-walker: every charge(), trap check and store the tree performs
+/// has a bytecode instruction in the same order, so the engines are
+/// differentially identical (stores, RunStats, traces, trap kind + lane
+/// set + location + detail).
+///
+/// Register discipline: an expression lowered at depth d leaves its
+/// result in register d and evaluates operands into d+1, d+2, ... -
+/// destinations never alias operands, which keeps the SIMD handlers
+/// free of read/write hazards on the lane vectors. GOTO targets resolve
+/// statically (the tree's label search is purely syntactic); statement
+/// locations are prerendered into a deduplicated pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_EXEC_LOWER_H
+#define SIMDFLAT_EXEC_LOWER_H
+
+#include "exec/Bytecode.h"
+
+namespace simdflat {
+namespace ir {
+class Program;
+} // namespace ir
+
+namespace exec {
+
+/// Lowers \p P for \p M. Scalar-mode programs drive the scalar engine
+/// and (via slicing) the per-processor MIMD engines; Simd-mode programs
+/// require the F90simd dialect at run time, like the tree-walker.
+Program lower(const ir::Program &P, Mode M);
+
+} // namespace exec
+} // namespace simdflat
+
+#endif // SIMDFLAT_EXEC_LOWER_H

@@ -61,7 +61,7 @@ namespace {
 constexpr int64_t CoalesceMaxOuter = 16;
 constexpr int64_t CoalesceMaxTotal = 512;
 
-RunOptions runOptionsFor(const FuzzCase &C) {
+RunOptions runOptionsFor(const FuzzCase &C, Engine E) {
   RunOptions O;
   O.WorkTargets = {"X", "A", "C", "R"};
   O.WorkCalls = {ProbeFn, NoteSub};
@@ -70,6 +70,7 @@ RunOptions runOptionsFor(const FuzzCase &C) {
   // backstop keeps shrinker candidates that loop forever (the increment
   // was deleted) from stalling the whole run on the default 2e8 guard.
   O.MaxLoopIterations = 100'000;
+  O.Eng = E;
   return O;
 }
 
@@ -126,12 +127,13 @@ void breakGuardCache(Body &B) {
 }
 
 VariantOutcome runScalarOn(const std::string &Name, const ir::Program &P,
-                           const FuzzCase &C, const ir::Program &Orig) {
+                           const FuzzCase &C, const ir::Program &Orig,
+                           Engine E) {
   VariantOutcome Out;
   Out.Variant = Name;
   ExternRegistry Reg = makeFuzzRegistry(Out.ExternLog, C.ExternTrapArg);
   ScalarInterp I(P, machine::MachineConfig::sparc2(), &Reg,
-                 runOptionsFor(C));
+                 runOptionsFor(C, E));
   seedStore(I.store(), C);
   RunOutcome<ScalarRunResult> R = I.run();
   if (!R) {
@@ -139,30 +141,43 @@ VariantOutcome runScalarOn(const std::string &Name, const ir::Program &P,
     return Out;
   }
   Out.BodyCount = R->Stats.WorkSteps;
+  Out.Stats = R->Stats;
   captureArrays(I.store(), Orig, Out);
   return Out;
 }
 
-VariantOutcome runMimdOn(const FuzzCase &C, const OracleOptions &Opts) {
+VariantOutcome runMimdOn(const FuzzCase &C, const OracleOptions &Opts,
+                         Engine E) {
   VariantOutcome Out;
   Out.Variant = "mimd/original";
   ExternRegistry Reg = makeFuzzRegistry(Out.ExternLog, C.ExternTrapArg);
   MimdInterp I(C.Prog, machine::MachineConfig::sparc2(), &Reg,
-               Opts.MimdProcs, machine::Layout::Block, runOptionsFor(C));
+               Opts.MimdProcs, machine::Layout::Block,
+               runOptionsFor(C, E));
   RunOutcome<MimdRunResult> R =
       I.run([&](DataStore &S) { seedStore(S, C); });
   if (!R) {
     Out.T = R.error();
     return Out;
   }
-  for (const RunStats &S : R->PerProc)
+  for (const RunStats &S : R->PerProc) {
     Out.BodyCount += S.WorkSteps;
+    Out.Stats.WorkSteps += S.WorkSteps;
+    Out.Stats.Instructions += S.Instructions;
+    Out.Stats.WorkActiveLanes += S.WorkActiveLanes;
+    Out.Stats.WorkTotalLanes += S.WorkTotalLanes;
+    Out.Stats.CommAccesses += S.CommAccesses;
+    Out.Stats.Cycles += S.Cycles;
+    Out.Stats.Seconds += S.Seconds;
+  }
   captureArrays(*R->Merged, C.Prog, Out);
   return Out;
 }
 
 VariantOutcome runSimdOn(const std::string &Name, const ir::Program &P,
-                         const FuzzCase &C, const OracleOptions &Opts) {
+                         const FuzzCase &C, const OracleOptions &Opts,
+                         Engine E,
+                         std::shared_ptr<const exec::Program> Code) {
   VariantOutcome Out;
   Out.Variant = Name;
   machine::MachineConfig M;
@@ -171,7 +186,9 @@ VariantOutcome runSimdOn(const std::string &Name, const ir::Program &P,
   M.Gran = Opts.SimdGran;
   M.DataLayout = machine::Layout::Cyclic;
   ExternRegistry Reg = makeFuzzRegistry(Out.ExternLog, C.ExternTrapArg);
-  SimdInterp I(P, M, &Reg, runOptionsFor(C));
+  SimdInterp I(P, M, &Reg, runOptionsFor(C, E));
+  if (Code)
+    I.setCompiled(std::move(Code));
   seedStore(I.store(), C);
   RunOutcome<SimdRunResult> R = I.run();
   if (!R) {
@@ -181,30 +198,9 @@ VariantOutcome runSimdOn(const std::string &Name, const ir::Program &P,
   // On the lockstep machine one work step covers all active lanes, so
   // the sum of active lanes is the executions the scalar engine counts.
   Out.BodyCount = R->Stats.WorkActiveLanes;
+  Out.Stats = R->Stats;
   captureArrays(I.store(), C.Prog, Out);
   return Out;
-}
-
-VariantOutcome runPipelineSimd(const std::string &Name, const FuzzCase &C,
-                               const OracleOptions &Opts, bool Flatten,
-                               bool ExplicitNormalize) {
-  transform::PipelineOptions PO;
-  PO.Layout = machine::Layout::Cyclic;
-  PO.Flatten = Flatten;
-  PO.AssumeInnerMinOneTrip = C.MinOne;
-  PO.ExplicitNormalize = ExplicitNormalize;
-  Expected<ir::Program, transform::PipelineError> P =
-      transform::compileForSimd(C.Prog, PO);
-  if (!P) {
-    // compileForSimd reverts damaged stages; a structured error on a
-    // well-formed input is itself a robustness finding.
-    VariantOutcome Out;
-    Out.Variant = Name;
-    Out.T = Trap{TrapKind::InvalidProgram, {}, P.error().Stage,
-                 P.error().render()};
-    return Out;
-  }
-  return runSimdOn(Name, *P, C, Opts);
 }
 
 bool bitwiseEqual(const std::vector<double> &A,
@@ -213,6 +209,77 @@ bool bitwiseEqual(const std::vector<double> &A,
     return false;
   return A.empty() ||
          std::memcmp(A.data(), B.data(), A.size() * sizeof(double)) == 0;
+}
+
+/// Renders a lane set for twin-divergence messages.
+std::string lanesOf(const Trap &T) {
+  std::string Out = "{";
+  for (size_t I = 0; I < T.Lanes.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += std::to_string(T.Lanes[I]);
+  }
+  Out += "}";
+  return Out;
+}
+
+/// The tree-walk and bytecode engines claim bit-identical semantics;
+/// hold them to it. Unlike compareVariant below, nothing here is
+/// schedule-dependent: same program, same store seed, same machine -
+/// every observable must match exactly, including trap location/detail
+/// and the charged cycle count.
+void compareEngines(const VariantOutcome &TreeOut,
+                    const VariantOutcome &ByteOut,
+                    std::vector<std::string> &Failures) {
+  auto Fail = [&](const std::string &What) {
+    Failures.push_back(ByteOut.Variant + " [engine]: " + What);
+  };
+  if (TreeOut.Skipped || ByteOut.Skipped)
+    return;
+  if (TreeOut.T.has_value() != ByteOut.T.has_value()) {
+    Fail(ByteOut.T
+             ? "bytecode trapped (" + ByteOut.T->render() +
+                   ") but tree completed"
+             : "bytecode completed but tree trapped (" +
+                   TreeOut.T->render() + ")");
+    return;
+  }
+  if (TreeOut.T) {
+    if (TreeOut.T->Kind != ByteOut.T->Kind)
+      Fail("trap kind " + std::string(trapKindName(ByteOut.T->Kind)) +
+           " != tree " + trapKindName(TreeOut.T->Kind));
+    if (TreeOut.T->Lanes != ByteOut.T->Lanes)
+      Fail("trap lanes " + lanesOf(*ByteOut.T) + " != tree " +
+           lanesOf(*TreeOut.T));
+    if (TreeOut.T->Location != ByteOut.T->Location)
+      Fail("trap location '" + ByteOut.T->Location + "' != tree '" +
+           TreeOut.T->Location + "'");
+    if (TreeOut.T->Detail != ByteOut.T->Detail)
+      Fail("trap detail '" + ByteOut.T->Detail + "' != tree '" +
+           TreeOut.T->Detail + "'");
+    return;
+  }
+  if (TreeOut.IntArrays != ByteOut.IntArrays)
+    Fail("int arrays differ between engines");
+  for (const auto &[Name, Want] : TreeOut.RealArrays) {
+    auto It = ByteOut.RealArrays.find(Name);
+    if (It == ByteOut.RealArrays.end() || !bitwiseEqual(It->second, Want))
+      Fail("real array " + Name + " differs between engines (bitwise)");
+  }
+  if (TreeOut.BodyCount != ByteOut.BodyCount)
+    Fail("body count " + std::to_string(ByteOut.BodyCount) + " != tree " +
+         std::to_string(TreeOut.BodyCount));
+  if (TreeOut.ExternLog != ByteOut.ExternLog)
+    Fail("extern log differs between engines (" +
+         std::to_string(ByteOut.ExternLog.size()) + " vs " +
+         std::to_string(TreeOut.ExternLog.size()) + " entries)");
+  const RunStats &A = TreeOut.Stats, &B = ByteOut.Stats;
+  if (A.WorkSteps != B.WorkSteps || A.Instructions != B.Instructions ||
+      A.WorkActiveLanes != B.WorkActiveLanes ||
+      A.WorkTotalLanes != B.WorkTotalLanes ||
+      A.CommAccesses != B.CommAccesses || A.Cycles != B.Cycles ||
+      A.Seconds != B.Seconds)
+    Fail("RunStats differ between engines");
 }
 
 /// Tick entries are excluded from multiset comparison: a lockstep
@@ -277,34 +344,49 @@ void compareVariant(const VariantOutcome &Ref, const VariantOutcome &V,
 OracleResult fuzz::runOracle(const FuzzCase &C, const OracleOptions &Opts) {
   OracleResult Res;
 
+  // Every variant runs twice - tree-walk reference engine, then the
+  // bytecode engine - and the twins are held to exact equality before
+  // the bytecode outcome joins the cross-executor comparison below.
+  auto pushTwin = [&Res](auto Make) {
+    VariantOutcome TreeOut = Make(Engine::Tree);
+    VariantOutcome ByteOut = Make(Engine::Bytecode);
+    compareEngines(TreeOut, ByteOut, Res.Failures);
+    Res.Variants.push_back(std::move(ByteOut));
+  };
+
   // Reference: the scalar engine on the untouched tree (GOTOs and all).
-  Res.Variants.push_back(
-      runScalarOn("scalar/original", C.Prog, C, C.Prog));
+  pushTwin([&](Engine E) {
+    return runScalarOn("scalar/original", C.Prog, C, C.Prog, E);
+  });
 
   // Scalar engine over each explicit rewrite stage. Order-preserving,
   // so these must reproduce the extern log exactly.
   {
     ir::Program P = cloneProgram(C.Prog);
     frontend::recoverGotoLoops(P);
-    Res.Variants.push_back(
-        runScalarOn("scalar/goto-recovered", P, C, C.Prog));
+    pushTwin([&](Engine E) {
+      return runScalarOn("scalar/goto-recovered", P, C, C.Prog, E);
+    });
 
     transform::normalizeLoops(P);
-    Res.Variants.push_back(
-        runScalarOn("scalar/normalized", P, C, C.Prog));
+    pushTwin([&](Engine E) {
+      return runScalarOn("scalar/normalized", P, C, C.Prog, E);
+    });
 
     transform::introduceGuards(P);
     if (Opts.BreakGuardSideEffectCache)
       breakGuardCache(P.body());
-    Res.Variants.push_back(
-        runScalarOn("scalar/guard-intro", P, C, C.Prog));
+    pushTwin([&](Engine E) {
+      return runScalarOn("scalar/guard-intro", P, C, C.Prog, E);
+    });
   }
   {
     ir::Program P = cloneProgram(C.Prog);
     frontend::recoverGotoLoops(P);
     transform::simplifyProgram(P);
-    Res.Variants.push_back(
-        runScalarOn("scalar/simplified", P, C, C.Prog));
+    pushTwin([&](Engine E) {
+      return runScalarOn("scalar/simplified", P, C, C.Prog, E);
+    });
   }
   {
     ir::Program P = cloneProgram(C.Prog);
@@ -312,8 +394,9 @@ OracleResult fuzz::runOracle(const FuzzCase &C, const OracleOptions &Opts) {
     transform::CoalesceResult CR =
         transform::coalesceNest(P, CoalesceMaxOuter, CoalesceMaxTotal);
     if (CR.Changed) {
-      Res.Variants.push_back(
-          runScalarOn("scalar/coalesced", P, C, C.Prog));
+      pushTwin([&](Engine E) {
+        return runScalarOn("scalar/coalesced", P, C, C.Prog, E);
+      });
     } else {
       VariantOutcome Out;
       Out.Variant = "scalar/coalesced";
@@ -324,24 +407,49 @@ OracleResult fuzz::runOracle(const FuzzCase &C, const OracleOptions &Opts) {
   }
 
   // Parallel executors (lane/processor order differs legitimately).
-  Res.Variants.push_back(runMimdOn(C, Opts));
+  pushTwin([&](Engine E) { return runMimdOn(C, Opts, E); });
   {
     ir::Program P = cloneProgram(C.Prog);
     frontend::recoverGotoLoops(P);
     transform::SimdizeOptions SO;
     SO.DoAllLayout = machine::Layout::Cyclic;
-    Res.Variants.push_back(
-        runSimdOn("simd/raw", transform::simdize(P, SO), C, Opts));
+    ir::Program Simd = transform::simdize(P, SO);
+    pushTwin([&](Engine E) {
+      return runSimdOn("simd/raw", Simd, C, Opts, E, nullptr);
+    });
   }
-  Res.Variants.push_back(runPipelineSimd("simd/unflattened", C, Opts,
-                                         /*Flatten=*/false,
-                                         /*ExplicitNormalize=*/false));
-  Res.Variants.push_back(runPipelineSimd("simd/flatten", C, Opts,
-                                         /*Flatten=*/true,
-                                         /*ExplicitNormalize=*/false));
-  Res.Variants.push_back(runPipelineSimd("simd/flatten-explicit", C, Opts,
-                                         /*Flatten=*/true,
-                                         /*ExplicitNormalize=*/true));
+  // Pipeline variants: compile (and lower) once per variant, then run
+  // both engines on the shared CompiledSimdProgram - exactly the reuse
+  // benches and the transform::Pipeline cache rely on.
+  auto pushPipelineTwin = [&](const std::string &Name, bool Flatten,
+                              bool ExplicitNormalize) {
+    transform::PipelineOptions PO;
+    PO.Layout = machine::Layout::Cyclic;
+    PO.Flatten = Flatten;
+    PO.AssumeInnerMinOneTrip = C.MinOne;
+    PO.ExplicitNormalize = ExplicitNormalize;
+    Expected<transform::CompiledSimdProgram, transform::PipelineError> P =
+        transform::compileForSimdExec(C.Prog, PO);
+    if (!P) {
+      // compileForSimd reverts damaged stages; a structured error on a
+      // well-formed input is itself a robustness finding.
+      VariantOutcome Out;
+      Out.Variant = Name;
+      Out.T = Trap{TrapKind::InvalidProgram, {}, P.error().Stage,
+                   P.error().render()};
+      Res.Variants.push_back(std::move(Out));
+      return;
+    }
+    pushTwin([&](Engine E) {
+      return runSimdOn(Name, P->Prog, C, Opts, E, P->Code);
+    });
+  };
+  pushPipelineTwin("simd/unflattened", /*Flatten=*/false,
+                   /*ExplicitNormalize=*/false);
+  pushPipelineTwin("simd/flatten", /*Flatten=*/true,
+                   /*ExplicitNormalize=*/false);
+  pushPipelineTwin("simd/flatten-explicit", /*Flatten=*/true,
+                   /*ExplicitNormalize=*/true);
 
   const VariantOutcome &Ref = Res.Variants.front();
   for (const VariantOutcome &V : Res.Variants) {

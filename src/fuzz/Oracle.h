@@ -35,6 +35,7 @@
 
 #include "fuzz/Case.h"
 #include "interp/Extern.h"
+#include "interp/RunStats.h"
 #include "interp/Trap.h"
 
 #include <map>
@@ -76,6 +77,10 @@ struct VariantOutcome {
   /// Work-statement executions: scalar/MIMD count executions, SIMD
   /// counts active lanes over work steps - the same quantity.
   int64_t BodyCount = 0;
+  /// Full interpreter counters (MIMD: summed over processors); used by
+  /// the tree-vs-bytecode twin comparison, which demands exact equality
+  /// down to the charged cycle count.
+  interp::RunStats Stats;
 };
 
 /// Result of one differential run.
@@ -98,6 +103,13 @@ interp::ExternRegistry makeFuzzRegistry(std::vector<std::string> &Log,
 
 /// Runs every variant of \p C and compares against the scalar
 /// reference. Never aborts on a trapping program.
+///
+/// Every variant executes twice, once under the tree-walk engine and
+/// once under the bytecode engine, and the twins must agree *exactly*:
+/// same stores (bitwise), same body count, same extern log entry by
+/// entry, same trap kind/lanes/location/detail, same RunStats down to
+/// the charged cycle count. A twin mismatch is reported as a failure
+/// for variant "<name> [engine]"; Variants keeps the bytecode outcome.
 OracleResult runOracle(const FuzzCase &C, const OracleOptions &Opts = {});
 
 } // namespace fuzz

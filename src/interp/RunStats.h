@@ -22,6 +22,34 @@
 namespace simdflat {
 namespace interp {
 
+/// Which execution engine runs the program. Both engines produce
+/// identical observable behavior (stores, stats, traces, traps) - the
+/// differential fuzzer enforces it - but Bytecode lowers once and runs a
+/// flat instruction stream while Tree re-walks the AST per statement.
+/// Tree survives as the reference oracle.
+enum class Engine {
+  Tree,
+  Bytecode,
+};
+
+/// Stable name for an engine ("tree" / "bytecode").
+inline const char *engineName(Engine E) {
+  return E == Engine::Tree ? "tree" : "bytecode";
+}
+
+/// Parses an engine name; returns false if \p Name matches neither.
+inline bool engineFromName(const std::string &Name, Engine &Out) {
+  if (Name == "tree") {
+    Out = Engine::Tree;
+    return true;
+  }
+  if (Name == "bytecode") {
+    Out = Engine::Bytecode;
+    return true;
+  }
+  return false;
+}
+
 /// Counters accumulated by one execution.
 struct RunStats {
   /// Executions of designated "work" statements (assignments to
@@ -97,6 +125,10 @@ struct RunOptions {
   /// a per-run serving limit: a hosted caller sets it so no request can
   /// consume unbounded simulator time.
   int64_t Fuel = 0;
+  /// Execution engine. Bytecode is the default hot path; Tree is the
+  /// tree-walking reference oracle the differential tests compare
+  /// against.
+  Engine Eng = Engine::Bytecode;
 };
 
 } // namespace interp

@@ -2,6 +2,8 @@
 
 #include "interp/ScalarInterp.h"
 
+#include "exec/Engine.h"
+#include "exec/Lower.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -567,6 +569,18 @@ RunOutcome<ScalarRunResult> ScalarInterp::run() {
   assert(!HasRun && "ScalarInterp::run() may be called once");
   HasRun = true;
   ScalarRunResult Result;
+  if (Opts.Eng == Engine::Bytecode) {
+    if (!Compiled)
+      Compiled = std::make_shared<exec::Program>(
+          exec::lower(Prog, exec::Mode::Scalar));
+    try {
+      exec::runScalar(*Compiled, Machine, Externs, Opts, Store, Slice,
+                      RecordWrites, Result);
+    } catch (TrapException &E) {
+      return std::move(E.T);
+    }
+    return Result;
+  }
   Impl I(Prog, Machine, Externs, Opts, Store, Slice, RecordWrites, Result);
   try {
     I.run();

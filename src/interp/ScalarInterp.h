@@ -23,9 +23,14 @@
 #include "interp/Trap.h"
 #include "machine/Machine.h"
 
+#include <memory>
 #include <optional>
 
 namespace simdflat {
+namespace exec {
+struct Program;
+} // namespace exec
+
 namespace interp {
 
 /// Restricts the outermost parallel (DOALL) loop to the iterations owned
@@ -72,6 +77,13 @@ public:
   /// Records array writes into the result (MIMD merging).
   void setRecordWrites(bool On) { RecordWrites = On; }
 
+  /// Supplies an already-lowered bytecode program (Mode::Scalar) so
+  /// callers running many interpreters over one program (MIMD
+  /// processors, benches) lower once. Ignored under Engine::Tree.
+  void setCompiled(std::shared_ptr<const exec::Program> P) {
+    Compiled = std::move(P);
+  }
+
   /// Executes the program body once. May be called once per interpreter.
   /// Runtime faults of the program under execution (out-of-bounds
   /// subscripts, division by zero, fuel exhaustion...) return a Trap;
@@ -86,6 +98,7 @@ private:
   RunOptions Opts;
   DataStore Store;
   std::optional<ParallelSlice> Slice;
+  std::shared_ptr<const exec::Program> Compiled;
   bool RecordWrites = false;
   bool HasRun = false;
 };

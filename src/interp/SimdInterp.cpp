@@ -2,6 +2,8 @@
 
 #include "interp/SimdInterp.h"
 
+#include "exec/Engine.h"
+#include "exec/Lower.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -54,6 +56,7 @@ public:
   machine::MaskStack Mask;
   int64_t Lanes;
   SimdRunResult Result;
+  std::shared_ptr<const exec::Program> Compiled;
   int64_t LoopIterations = 0;
   bool HasRun = false;
 
@@ -66,6 +69,17 @@ public:
       reportFatalError("simd interp: program '" + Prog.name() +
                        "' is not in the F90simd dialect (run "
                        "transform::simdize first)");
+    if (Opts.Eng == Engine::Bytecode) {
+      if (!Compiled)
+        Compiled = std::make_shared<exec::Program>(
+            exec::lower(Prog, exec::Mode::Simd));
+      try {
+        exec::runSimd(*Compiled, Machine, Externs, Opts, Store, Result);
+      } catch (TrapException &E) {
+        return std::move(E.T);
+      }
+      return std::move(Result);
+    }
     Result.Tr.Watch = Opts.Watch;
     Result.Tr.Lanes = Lanes;
     try {
@@ -806,6 +820,10 @@ SimdInterp::SimdInterp(const Program &Prog,
 SimdInterp::~SimdInterp() = default;
 
 DataStore &SimdInterp::store() { return P->Store; }
+
+void SimdInterp::setCompiled(std::shared_ptr<const exec::Program> Prog) {
+  P->Compiled = std::move(Prog);
+}
 
 const machine::MachineConfig &SimdInterp::machineConfig() const {
   return P->Machine;

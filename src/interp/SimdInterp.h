@@ -42,7 +42,13 @@
 #include "machine/Machine.h"
 #include "machine/MaskStack.h"
 
+#include <memory>
+
 namespace simdflat {
+namespace exec {
+struct Program;
+} // namespace exec
+
 namespace interp {
 
 /// Result of one SIMD execution.
@@ -60,6 +66,11 @@ public:
 
   DataStore &store();
   const machine::MachineConfig &machineConfig() const;
+
+  /// Supplies an already-lowered bytecode program (Mode::Simd) so
+  /// callers running one pipeline stage many times (benches, fuzz
+  /// oracle) lower once. Ignored under Engine::Tree.
+  void setCompiled(std::shared_ptr<const exec::Program> Prog);
 
   /// Executes the program body once. May be called once per interpreter.
   /// Lane faults (an active lane out of bounds or dividing by zero,

@@ -22,6 +22,12 @@ json::Value interp::toJson(const RunStats &S) {
   return V;
 }
 
+json::Value interp::toJson(const RunStats &S, Engine E) {
+  json::Value V = toJson(S);
+  V.set("engine", engineName(E));
+  return V;
+}
+
 namespace {
 
 /// Reads an optional member of \p V into \p Out with type checking.

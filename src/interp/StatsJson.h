@@ -24,6 +24,12 @@ namespace interp {
 /// utilization, so consumers need not recompute it).
 json::Value toJson(const RunStats &S);
 
+/// Same, tagged with the engine that produced the counters (an
+/// "engine" member holding engineName(E)). Use this at every
+/// serialization site so downstream tools can refuse cross-engine
+/// comparisons; runStatsFromJson tolerates and ignores the tag.
+json::Value toJson(const RunStats &S, Engine E);
+
 /// Inverse of toJson(RunStats); missing fields keep their defaults,
 /// wrongly-typed fields fail.
 Expected<RunStats, json::JsonError> runStatsFromJson(const json::Value &V);

@@ -2,6 +2,7 @@
 
 #include "transform/Pipeline.h"
 
+#include "exec/Lower.h"
 #include "frontend/GotoRecovery.h"
 #include "ir/Verify.h"
 #include "ir/Walk.h"
@@ -169,4 +170,17 @@ transform::compileForSimd(const ir::Program &P, PipelineOptions Opts,
   }
 
   return Out;
+}
+
+Expected<CompiledSimdProgram, PipelineError>
+transform::compileForSimdExec(const ir::Program &P, PipelineOptions Opts,
+                              PipelineReport *Report) {
+  Expected<ir::Program, PipelineError> Simd =
+      compileForSimd(P, std::move(Opts), Report);
+  if (!Simd)
+    return Simd.error();
+  std::shared_ptr<const exec::Program> Code =
+      std::make_shared<exec::Program>(
+          exec::lower(*Simd, exec::Mode::Simd));
+  return CompiledSimdProgram{std::move(*Simd), std::move(Code)};
 }

@@ -27,7 +27,13 @@
 #include "support/Result.h"
 #include "transform/Flatten.h"
 
+#include <memory>
+
 namespace simdflat {
+namespace exec {
+struct Program;
+} // namespace exec
+
 namespace transform {
 
 /// Options for compileForSimd.
@@ -91,6 +97,21 @@ struct PipelineError {
 Expected<ir::Program, PipelineError>
 compileForSimd(const ir::Program &P, PipelineOptions Opts = {},
                PipelineReport *Report = nullptr);
+
+/// A pipeline product ready for repeated execution: the F90simd tree
+/// plus its lowered bytecode. Callers that run one stage many times
+/// (benches, the fuzz oracle) hand Code to SimdInterp::setCompiled so
+/// lowering happens once per stage, not once per run.
+struct CompiledSimdProgram {
+  ir::Program Prog;
+  std::shared_ptr<const exec::Program> Code;
+};
+
+/// compileForSimd followed by one exec::lower of the result. The
+/// returned Code is always non-null on success.
+Expected<CompiledSimdProgram, PipelineError>
+compileForSimdExec(const ir::Program &P, PipelineOptions Opts = {},
+                   PipelineReport *Report = nullptr);
 
 } // namespace transform
 } // namespace simdflat

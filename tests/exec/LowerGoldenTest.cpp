@@ -1,0 +1,118 @@
+//===- tests/exec/LowerGoldenTest.cpp --------------------------*- C++ -*-===//
+//
+// Golden disassembly tests for the ir:: -> bytecode lowering. The exact
+// instruction streams for two tiny programs are pinned so accidental
+// changes to register assignment, pool deduplication or control-flow
+// layout show up as a readable diff rather than a perf mystery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Bytecode.h"
+#include "exec/Lower.h"
+
+#include "ir/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::ir;
+
+namespace {
+
+/// DO i = 1, 4:  A(i) = i * 2
+Program makeTinyLoop() {
+  Program P("TINY");
+  P.addVar("A", ScalarKind::Int, {4});
+  P.addVar("i", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.doLoop(
+      "i", B.lit(1), B.lit(4),
+      Builder::body(
+          B.assign(B.at("A", B.var("i")), B.mul(B.var("i"), B.lit(2))))));
+  return P;
+}
+
+/// WHERE (t) X = X + 1 ELSEWHERE X = 0 ENDWHERE  (F90simd dialect).
+Program makeTinyWhere() {
+  Program P("TINYWHERE");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("t", ScalarKind::Bool, {}, Dist::Replicated);
+  P.addVar("X", ScalarKind::Int, {}, Dist::Replicated);
+  Builder B(P);
+  P.body().push_back(
+      B.where(B.var("t"),
+              Builder::body(B.set("X", B.add(B.var("X"), B.lit(1)))),
+              Builder::body(B.set("X", B.lit(0)))));
+  return P;
+}
+
+TEST(LowerGolden, TinyScalarLoop) {
+  exec::Program EP = exec::lower(makeTinyLoop(), exec::Mode::Scalar);
+  EXPECT_EQ(exec::disassemble(EP),
+            "program 'TINY' mode=scalar regs=3 ctl=4 code=18\n"
+            "    0: ld.int             0      0      0      0 ; 1\n"
+            "    1: ctl.fromreg        0      0     -1      0\n"
+            "    2: ld.int             0      1      0      0 ; 4\n"
+            "    3: ctl.fromreg        1      0     -1      0\n"
+            "    4: ctl.imm            2      0      0      0 ; 1\n"
+            "    5: check.step         2      0      0      0 ; "
+            "\"DO i has a step of zero\"\n"
+            "    6: do.test            0      0      0     16\n"
+            "    7: loop.iter          0      0      0      0\n"
+            "    8: set.idx            0      0      0      0 ; i\n"
+            "    9: ld.var             1      0      0      0 ; i\n"
+            "   10: ld.int             2      2      0      0 ; 2\n"
+            "   11: mul.i              0      1      2      0\n"
+            "   12: ld.var             1      0      0      0 ; i\n"
+            "   13: st.arr             1      0      0      0 ; A\n"
+            "   14: do.step            0      0      0      0\n"
+            "   15: jmp                0      0      0      6\n"
+            "   16: set.idx            0      0      0      0 ; i\n"
+            "   17: halt               0      0      0      0\n");
+}
+
+TEST(LowerGolden, TinySimdWhere) {
+  exec::Program EP = exec::lower(makeTinyWhere(), exec::Mode::Simd);
+  EXPECT_EQ(exec::disassemble(EP),
+            "program 'TINYWHERE' mode=simd regs=3 ctl=0 code=11\n"
+            "    0: ld.var             0      0      0      0 ; t\n"
+            "    1: where.push         0      0      0      0\n"
+            "    2: ld.var             1      1      0      0 ; X\n"
+            "    3: ld.int             2      0      0      0 ; 1\n"
+            "    4: add.i              0      1      2      0\n"
+            "    5: st.var             1      0      0      0 ; X\n"
+            "    6: where.flip         0      0      0      0\n"
+            "    7: ld.int             0      1      0      0 ; 0\n"
+            "    8: st.var             1      0      0      0 ; X\n"
+            "    9: mask.pop           0      0      0      0\n"
+            "   10: halt               0      0      0      0\n");
+}
+
+TEST(LowerGolden, LiteralPoolsDeduplicate) {
+  // The same literal appearing many times lowers to one pool entry.
+  Program P("POOLS");
+  P.addVar("X", ScalarKind::Int);
+  Builder B(P);
+  for (int I = 0; I < 4; ++I)
+    P.body().push_back(B.set("X", B.add(B.var("X"), B.lit(7))));
+  exec::Program EP = exec::lower(P, exec::Mode::Scalar);
+  EXPECT_EQ(std::count(EP.IntPool.begin(), EP.IntPool.end(), 7), 1);
+}
+
+TEST(LowerGolden, LocationsArePrerendered) {
+  // Every instruction carries a location index into a deduplicated
+  // string pool; the loop body's statements share one rendered chain.
+  exec::Program EP = exec::lower(makeTinyLoop(), exec::Mode::Scalar);
+  ASSERT_FALSE(EP.Locs.empty());
+  bool SawDoChain = false;
+  for (const std::string &L : EP.Locs)
+    if (L.find("DO i") != std::string::npos)
+      SawDoChain = true;
+  EXPECT_TRUE(SawDoChain);
+  for (const exec::Instr &I : EP.Code)
+    if (I.Loc >= 0) {
+      EXPECT_LT(static_cast<size_t>(I.Loc), EP.Locs.size());
+    }
+}
+
+} // namespace

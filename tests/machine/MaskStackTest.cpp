@@ -68,3 +68,77 @@ TEST(MaskStack, FlipInsideEmptyParent) {
   M.flipTop();
   EXPECT_TRUE(M.noneActive()); // parent empty => elsewhere empty too
 }
+
+// A WHERE ladder ~100 deep: each level masks out one more lane-group
+// slot of a 128-lane machine. Exercises the Saved vector far past any
+// realistic program and checks pop unwinds exactly.
+TEST(MaskStack, DeepNesting) {
+  constexpr int64_t Lanes = 128;
+  constexpr int Levels = 100;
+  MaskStack M(Lanes);
+  for (int D = 0; D < Levels; ++D) {
+    // Level D turns off lane D and keeps everything else.
+    std::vector<uint8_t> Cond(static_cast<size_t>(Lanes), 1);
+    Cond[static_cast<size_t>(D)] = 0;
+    M.pushAnd(Cond);
+    EXPECT_EQ(M.depth(), static_cast<size_t>(D + 1));
+    EXPECT_EQ(M.activeCount(), Lanes - (D + 1));
+    EXPECT_FALSE(M.isActive(D));
+    EXPECT_TRUE(M.isActive(Levels)); // never masked by any level
+  }
+  // flipTop at full depth: the parent (depth 99) has lanes 99..127
+  // active, the top condition masks exactly lane 99, so the ELSEWHERE
+  // flip yields parent AND NOT cond = {99}.
+  M.flipTop();
+  EXPECT_EQ(M.activeCount(), 1);
+  EXPECT_TRUE(M.isActive(Levels - 1));
+  for (int D = Levels; D > 0; --D) {
+    M.pop();
+    EXPECT_EQ(M.depth(), static_cast<size_t>(D - 1));
+    EXPECT_EQ(M.activeCount(), Lanes - (D - 1));
+  }
+  EXPECT_EQ(M.activeCount(), Lanes);
+}
+
+// Once every lane is masked, further nesting keeps the machine fully
+// idle no matter what conditions are pushed - the lockstep core still
+// walks the bodies, but no level may reactivate a lane its parent
+// masked. This is the invariant the bytecode engine's WherePush relies
+// on when it skips noneActive store commits.
+TEST(MaskStack, AllLanesMaskedStaysMasked) {
+  MaskStack M(4);
+  M.pushAnd({0, 0, 0, 0});
+  EXPECT_TRUE(M.noneActive());
+  M.pushAnd({1, 1, 1, 1});
+  EXPECT_TRUE(M.noneActive());
+  M.flipTop(); // NOT cond = all zero; parent empty anyway
+  EXPECT_TRUE(M.noneActive());
+  M.pushAnd({1, 0, 1, 0});
+  EXPECT_TRUE(M.noneActive());
+  EXPECT_EQ(M.depth(), 3u);
+  M.pop();
+  M.pop();
+  M.pop();
+  EXPECT_EQ(M.activeCount(), 4);
+  EXPECT_EQ(M.depth(), 0u);
+}
+
+// Misuse of the stack protocol is a programming error in the control
+// unit, caught by assertions: popping or flipping with no pushed level
+// must abort in debug builds rather than corrupt the mask.
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(MaskStackDeathTest, PopOnEmptyAsserts) {
+  MaskStack M(4);
+  EXPECT_DEATH(M.pop(), "pop at top level");
+}
+
+TEST(MaskStackDeathTest, FlipOnEmptyAsserts) {
+  MaskStack M(4);
+  EXPECT_DEATH(M.flipTop(), "flipTop at top level");
+}
+
+TEST(MaskStackDeathTest, WidthMismatchAsserts) {
+  MaskStack M(4);
+  EXPECT_DEATH(M.pushAnd({1, 0}), "mask width mismatch");
+}
+#endif

@@ -23,6 +23,8 @@
 
 #include "analysis/LoopNests.h"
 #include "analysis/Safety.h"
+#include "exec/Bytecode.h"
+#include "exec/Lower.h"
 #include "frontend/GotoRecovery.h"
 #include "frontend/Parser.h"
 #include "interp/SimdInterp.h"
@@ -58,6 +60,8 @@ struct CliOptions {
   bool NoFlatten = false;
   bool Analyze = false;
   bool Run = false;
+  bool DumpBytecode = false;
+  interp::Engine Eng = interp::Engine::Bytecode;
   int64_t Lanes = 4;
   int64_t Fuel = 0;
   std::string StatsJsonPath;
@@ -77,6 +81,10 @@ void usage() {
       "  --no-flatten           SIMDize without flattening (Fig. 5 path)\n"
       "  --analyze              print the loop-nest analysis and exit\n"
       "  --run                  execute on the SIMD simulator\n"
+      "  --engine=tree|bytecode interpreter engine for --run (default\n"
+      "                         bytecode; tree is the reference oracle)\n"
+      "  --dump-bytecode        disassemble the lowered bytecode of the\n"
+      "                         emitted program to stdout\n"
       "  --lanes=N              simulator lanes (with --run, N >= 1)\n"
       "  --fuel=N               watchdog: trap after N instructions\n"
       "                         (with --run; 0 = unlimited)\n"
@@ -155,6 +163,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Analyze = true;
     } else if (A == "--run") {
       Opts.Run = true;
+    } else if (A == "--dump-bytecode") {
+      Opts.DumpBytecode = true;
+    } else if (A.rfind("--engine", 0) == 0) {
+      if (!optionValue(A, V) || !interp::engineFromName(V, Opts.Eng))
+        return cliError("flattenc: --engine expects tree|bytecode, "
+                        "got '%s'",
+                        A);
     } else if (A.rfind("--lanes", 0) == 0) {
       if (!optionValue(A, V) || !parseInt(V, Opts.Lanes) ||
           Opts.Lanes <= 0)
@@ -295,8 +310,10 @@ int main(int Argc, char **Argv) {
     Doc.set("goto_loops_recovered", static_cast<int64_t>(Recovered));
     if (PipelineRep)
       Doc.set("pipeline", transform::toJson(*PipelineRep));
-    if (RunStats)
-      Doc.set("run_stats", interp::toJson(*RunStats));
+    if (RunStats) {
+      Doc.set("engine", interp::engineName(Opts.Eng));
+      Doc.set("run_stats", interp::toJson(*RunStats, Opts.Eng));
+    }
     if (!json::writeFile(Opts.StatsJsonPath, Doc)) {
       std::fprintf(stderr, "flattenc: cannot write '%s'\n",
                    Opts.StatsJsonPath.c_str());
@@ -396,6 +413,14 @@ int main(int Argc, char **Argv) {
 
   std::fputs(ir::printProgram(P).c_str(), stdout);
 
+  if (Opts.DumpBytecode) {
+    exec::Mode M = P.dialect() == ir::Dialect::F90Simd
+                       ? exec::Mode::Simd
+                       : exec::Mode::Scalar;
+    exec::Program Code = exec::lower(P, M);
+    std::fputs(exec::disassemble(Code).c_str(), stdout);
+  }
+
   if (!Opts.Run)
     return writeStats() ? 0 : 2;
   if (P.dialect() != ir::Dialect::F90Simd) {
@@ -427,6 +452,7 @@ int main(int Argc, char **Argv) {
   M.DataLayout = Layout;
   interp::RunOptions ROpts;
   ROpts.Fuel = Opts.Fuel;
+  ROpts.Eng = Opts.Eng;
   interp::SimdInterp Interp(P, M, nullptr, ROpts);
   for (const auto &[Name, V] : Opts.Sets)
     Interp.store().setInt(Name, V);

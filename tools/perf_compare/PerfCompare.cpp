@@ -67,6 +67,16 @@ std::string benchName(const json::Value &Doc) {
   return N && N->isString() ? N->asString() : "<unnamed>";
 }
 
+/// The interpreter engine recorded in meta.engine, or "" when the
+/// document predates the tag (seed baselines).
+std::string benchEngine(const json::Value &Doc) {
+  const json::Value *Meta = Doc.get("meta");
+  if (!Meta || !Meta->isObject())
+    return "";
+  const json::Value *E = Meta->get("engine");
+  return E && E->isString() ? E->asString() : "";
+}
+
 } // namespace
 
 int64_t CompareResult::regressionCount() const {
@@ -125,6 +135,19 @@ compareBenchJson(const json::Value &Base, const json::Value &New,
     return CompareError{formatf(
         "bench name mismatch: baseline '%s' vs new '%s'",
         benchName(Base).c_str(), R.BenchName.c_str())};
+
+  // Tree-walk and bytecode runs model the same machine but spend real
+  // time differently; comparing their wall-clock (or mixing baselines
+  // regenerated under another engine) would be meaningless. Refuse
+  // outright when both documents are tagged and the tags disagree.
+  {
+    std::string BaseEng = benchEngine(Base), NewEng = benchEngine(New);
+    if (!BaseEng.empty() && !NewEng.empty() && BaseEng != NewEng)
+      return CompareError{formatf(
+          "engine mismatch: baseline ran under '%s' but new run under "
+          "'%s'; regenerate the baseline with the same --engine",
+          BaseEng.c_str(), NewEng.c_str())};
+  }
 
   for (const auto &[Key, BaseM] : *BaseMetrics) {
     auto It = NewMetrics->find(Key);
