@@ -195,6 +195,9 @@ private:
       trap(TrapKind::FuelExhausted,
            "fuel budget of " + std::to_string(Opts.Fuel) +
                " instructions exhausted in '" + EP.ProgName + "'");
+    if (deadlineExpired(Opts, Stats.Instructions))
+      trap(TrapKind::DeadlineExpired,
+           "wall-clock deadline expired in '" + EP.ProgName + "'");
   }
 
   void countLoopIteration() {

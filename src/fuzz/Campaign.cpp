@@ -24,6 +24,8 @@ const char *fuzz::faultKindName(FaultKind K) {
     return "hostile-extern";
   case FaultKind::NanPoison:
     return "nan-poison";
+  case FaultKind::Deadline:
+    return "deadline";
   }
   return "fuel";
 }
@@ -64,6 +66,15 @@ FuzzCase fuzz::makeFaultCase(uint64_t Seed, FaultKind Kind) {
     C.Expect = ExpectedVerdict::Complete;
     break;
   }
+  case FaultKind::Deadline:
+    // Already expired at entry, so every engine hits the first
+    // deterministic deadline poll (instruction 1) - tree and bytecode
+    // must agree on the trap statement exactly, with no dependence on
+    // how fast the host actually runs.
+    C.DeadlineNs = 0;
+    C.Expect = ExpectedVerdict::Trap;
+    C.ExpectTrapKind = trapKindName(TrapKind::DeadlineExpired);
+    break;
   }
   return C;
 }
@@ -73,7 +84,7 @@ CampaignResult fuzz::runFaultCampaign(const CampaignOptions &Opts,
   CampaignResult Res;
   for (int I = 0; I < Opts.Count; ++I) {
     uint64_t Seed = Opts.BaseSeed + static_cast<uint64_t>(I);
-    FaultKind Kind = static_cast<FaultKind>(Seed % 3);
+    FaultKind Kind = static_cast<FaultKind>(Seed % 4);
     FuzzCase C = makeFaultCase(Seed, Kind);
     ++Res.Ran;
     auto Fail = [&](const std::string &What) {

@@ -7,7 +7,8 @@
 /// \file
 /// Deterministic fault-injection campaigns over generated programs:
 /// every case gets exactly one injected fault - a starved fuel budget,
-/// a trap-throwing extern, or a NaN-poisoned real input - and the
+/// an already-expired wall-clock deadline, a trap-throwing extern, or a
+/// NaN-poisoned real input - and the
 /// differential oracle then asserts that every executor degrades to the
 /// same structured outcome (the same Trap kind, or bitwise-identical
 /// NaN-poisoned stores) with no crash or UB. On top of the oracle's
@@ -33,7 +34,7 @@ namespace simdflat {
 namespace fuzz {
 
 /// The fault injected into one campaign case.
-enum class FaultKind { Fuel, HostileExtern, NanPoison };
+enum class FaultKind { Fuel, HostileExtern, NanPoison, Deadline };
 
 const char *faultKindName(FaultKind K);
 

@@ -49,6 +49,11 @@ struct FuzzCase {
   /// @{
   /// Watchdog fuel for every executor (0 = unlimited).
   int64_t Fuel = 0;
+  /// Wall-clock deadline for every executor, nanoseconds after run
+  /// start (-1 = none). Differential cases use 0 - already expired at
+  /// entry - so every engine traps at the first deterministic deadline
+  /// poll instead of at a schedule-dependent instant.
+  int64_t DeadlineNs = -1;
   /// Probe(arg) throws ExternError when arg equals this (-1 = never).
   int64_t ExternTrapArg = -1;
   /// @}
@@ -76,6 +81,7 @@ inline FuzzCase cloneCase(const FuzzCase &C) {
   Out.IntArrays = C.IntArrays;
   Out.RealArrays = C.RealArrays;
   Out.Fuel = C.Fuel;
+  Out.DeadlineNs = C.DeadlineNs;
   Out.ExternTrapArg = C.ExternTrapArg;
   Out.MinOne = C.MinOne;
   Out.Expect = C.Expect;

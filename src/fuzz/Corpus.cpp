@@ -66,6 +66,7 @@ Value fuzz::renderCase(const FuzzCase &C) {
   Doc.set("realArrays", std::move(RealArrays));
 
   Doc.set("fuel", C.Fuel);
+  Doc.set("deadlineNs", C.DeadlineNs);
   Doc.set("externTrapArg", C.ExternTrapArg);
   Doc.set("minOne", C.MinOne);
   return Doc;
@@ -148,6 +149,8 @@ Expected<FuzzCase, CorpusError> fuzz::parseCase(const Value &Doc) {
   }
   if (const Value *F = Doc.get("fuel"); F && F->isInt())
     C.Fuel = F->asInt();
+  if (const Value *D = Doc.get("deadlineNs"); D && D->isInt())
+    C.DeadlineNs = D->asInt();
   if (const Value *T = Doc.get("externTrapArg"); T && T->isInt())
     C.ExternTrapArg = T->asInt();
   if (const Value *M = Doc.get("minOne"); M && M->isBool())

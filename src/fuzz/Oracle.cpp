@@ -66,6 +66,9 @@ RunOptions runOptionsFor(const FuzzCase &C, Engine E) {
   O.WorkTargets = {"X", "A", "C", "R"};
   O.WorkCalls = {ProbeFn, NoteSub};
   O.Fuel = C.Fuel;
+  if (C.DeadlineNs >= 0)
+    O.Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(C.DeadlineNs);
   // Generated programs need a few hundred iterations at most; a tight
   // backstop keeps shrinker candidates that loop forever (the increment
   // was deleted) from stalling the whole run on the default 2e8 guard.

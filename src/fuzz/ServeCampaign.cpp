@@ -1,0 +1,409 @@
+//===- fuzz/ServeCampaign.cpp - Serving-core fault campaign ----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/ServeCampaign.h"
+
+#include "fuzz/Generator.h"
+#include "interp/Trap.h"
+#include "ir/Printer.h"
+#include "serve/Server.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace simdflat;
+using namespace simdflat::fuzz;
+using namespace simdflat::serve;
+
+namespace {
+
+/// The request categories of the mixed-traffic phase, cycled by seed.
+enum class Category {
+  GeneratedValid,  ///< generator program; Served (or extern-trap / shed)
+  RepeatedValid,   ///< one fixed program, repeated: drives cache hits
+  HostileSource,   ///< not Fortran; always CompileError
+  FuelStarved,     ///< valid program, starved budget; FuelExhausted trap
+  OverBudget,      ///< fuel beyond the server cap; shed at admission
+  TightDeadline,   ///< long program, 1ms budget; DeadlineExpired or shed
+};
+constexpr int NumCategories = 6;
+
+const char *categoryName(Category C) {
+  switch (C) {
+  case Category::GeneratedValid:
+    return "generated-valid";
+  case Category::RepeatedValid:
+    return "repeated-valid";
+  case Category::HostileSource:
+    return "hostile-source";
+  case Category::FuelStarved:
+    return "fuel-starved";
+  case Category::OverBudget:
+    return "over-budget";
+  case Category::TightDeadline:
+    return "tight-deadline";
+  }
+  return "generated-valid";
+}
+
+constexpr const char *RepeatedSource = "PROGRAM REPEAT\n"
+                                       "INTEGER a\n"
+                                       "INTEGER b\n"
+                                       "BEGIN\n"
+                                       "  b = a * 3 + 1\n"
+                                       "END\n";
+
+constexpr const char *LongRunningSource = "PROGRAM SPIN\n"
+                                          "INTEGER i\n"
+                                          "INTEGER s\n"
+                                          "BEGIN\n"
+                                          "  s = 0\n"
+                                          "  DO i = 1, 50000000\n"
+                                          "    s = s + i\n"
+                                          "  ENDDO\n"
+                                          "END\n";
+
+/// Builds the mixed-phase request for \p Seed. \p MaxFuel is the
+/// server's admission cap (the over-budget category must exceed it).
+Request makeRequest(uint64_t Seed, Category Cat, int64_t MaxFuel) {
+  Request R;
+  R.Id = Seed;
+  R.Lanes = 1 + (int64_t)(Seed % 4);
+  R.Fuel = MaxFuel;
+  switch (Cat) {
+  case Category::GeneratedValid: {
+    GeneratorOptions GO;
+    GO.AllowTrappyDiv = false;
+    GO.AllowTrappyBounds = false;
+    GO.AllowDegenerateTrips = false;
+    GO.ForceMinOneTrips = true;
+    FuzzCase C = generateCase(Seed, GO);
+    R.Source = ir::printProgram(C.Prog);
+    R.Ints = C.Ints;
+    R.IntArrays = C.IntArrays;
+    R.RealArrays = C.RealArrays;
+    R.MinOne = C.MinOne;
+    R.Lanes = 4;
+    break;
+  }
+  case Category::RepeatedValid:
+    R.Source = RepeatedSource;
+    R.Ints["a"] = (int64_t)(Seed % 100);
+    R.Lanes = 1;
+    break;
+  case Category::HostileSource:
+    R.Source = "PROGRAM P\nBEGIN\n  GIBBERISH " + std::to_string(Seed) +
+               "\nEND\n";
+    break;
+  case Category::FuelStarved:
+    R.Source = RepeatedSource;
+    R.Ints["a"] = 7;
+    R.Fuel = 1; // the body needs at least 2 instructions
+    R.Lanes = 1;
+    break;
+  case Category::OverBudget:
+    R.Source = RepeatedSource;
+    R.Fuel = MaxFuel * 2;
+    break;
+  case Category::TightDeadline:
+    R.Source = LongRunningSource;
+    R.Fuel = MaxFuel;
+    R.DeadlineMs = 1;
+    R.Lanes = 1;
+    break;
+  }
+  return R;
+}
+
+struct Collector {
+  ServeCampaignResult &Res;
+  int64_t HangTimeoutSec;
+
+  /// Resolves one future with the hang guard; a timeout is a campaign
+  /// failure (reported, not waited out).
+  bool get(std::future<Reply> &F, const std::string &What, Reply &Out) {
+    if (F.wait_for(std::chrono::seconds(HangTimeoutSec)) !=
+        std::future_status::ready) {
+      Res.Failures.push_back(What + ": reply not ready after " +
+                             std::to_string(HangTimeoutSec) +
+                             "s (hang)");
+      return false;
+    }
+    Out = F.get();
+    switch (Out.Out) {
+    case Outcome::Served:
+      ++Res.Served;
+      break;
+    case Outcome::Trapped:
+      ++Res.Trapped;
+      break;
+    case Outcome::Shed:
+      ++Res.Shed;
+      break;
+    case Outcome::CompileError:
+      ++Res.CompileErrors;
+      break;
+    }
+    return true;
+  }
+};
+
+/// Checks one mixed-phase reply against its category's allowed set.
+void checkMixedReply(Category Cat, uint64_t Seed, const Reply &Rep,
+                     ServeCampaignResult &Res) {
+  auto Fail = [&](const std::string &What) {
+    std::ostringstream OS;
+    OS << "seed " << Seed << " (" << categoryName(Cat) << "): " << What
+       << " [reply: " << outcomeName(Rep.Out)
+       << (Rep.Error.empty() ? "" : ", " + Rep.Error) << "]";
+    Res.Failures.push_back(OS.str());
+  };
+  switch (Cat) {
+  case Category::GeneratedValid:
+    // Generated programs may call the Probe/Tick externs; the server
+    // binds no registry, so those trap with ExternFailure - a correct
+    // structured outcome, not a campaign failure.
+    if (Rep.Out == Outcome::CompileError)
+      Fail("valid generated program rejected as compile-error");
+    if (Rep.Out == Outcome::Trapped &&
+        Rep.T->Kind != interp::TrapKind::ExternFailure)
+      Fail("unexpected trap " + Rep.T->render());
+    break;
+  case Category::RepeatedValid:
+    if (Rep.Out != Outcome::Served && Rep.Out != Outcome::Shed)
+      Fail("fixed valid program neither served nor shed");
+    break;
+  case Category::HostileSource:
+    if (Rep.Out != Outcome::CompileError)
+      Fail("hostile source not answered with compile-error");
+    break;
+  case Category::FuelStarved:
+    if (Rep.Out == Outcome::Trapped) {
+      if (Rep.T->Kind != interp::TrapKind::FuelExhausted)
+        Fail("starved budget trapped with " +
+             std::string(interp::trapKindName(Rep.T->Kind)));
+    } else if (Rep.Out != Outcome::Shed) {
+      Fail("starved budget neither trapped nor shed");
+    }
+    break;
+  case Category::OverBudget:
+    if (Rep.Out != Outcome::Shed)
+      Fail("over-budget request not shed");
+    else if (Rep.RetryAfterMs != 0)
+      Fail("over-budget shed carries a retry hint (retrying is "
+           "pointless)");
+    break;
+  case Category::TightDeadline:
+    if (Rep.Out == Outcome::Trapped) {
+      if (Rep.T->Kind != interp::TrapKind::DeadlineExpired)
+        Fail("tight deadline trapped with " +
+             std::string(interp::trapKindName(Rep.T->Kind)));
+    } else if (Rep.Out != Outcome::Shed) {
+      Fail("tight deadline neither trapped nor shed");
+    }
+    break;
+  }
+}
+
+/// Asserts a server's final accounting partitions its submissions.
+void checkAccounting(const char *Phase, const Server &S,
+                     ServeCampaignResult &Res) {
+  ServerStats St = S.stats();
+  if (!St.consistent()) {
+    std::ostringstream OS;
+    OS << Phase << ": accounting broken: " << St.Served << " served + "
+       << St.Trapped << " trapped + " << St.Shed << " shed + "
+       << St.CompileErrors << " compile-errors != " << St.Submitted
+       << " submitted";
+    Res.Failures.push_back(OS.str());
+  }
+}
+
+void runMixedPhase(const ServeCampaignOptions &Opts,
+                   ServeCampaignResult &Res, Collector &Col) {
+  ServerOptions SO;
+  SO.Workers = 2;
+  // Roomy queue: this phase checks per-category outcomes, not load
+  // shedding (the saturation phase owns that).
+  SO.QueueCapacity = (size_t)Opts.Count + 8;
+  SO.CacheCapacity = 16;
+  SO.MaxFuel = 200'000;
+  Server S(SO);
+
+  std::vector<std::pair<uint64_t, std::future<Reply>>> Pending;
+  for (int I = 0; I < Opts.Count; ++I) {
+    uint64_t Seed = Opts.BaseSeed + (uint64_t)I;
+    Category Cat = (Category)(Seed % NumCategories);
+    Pending.emplace_back(Seed,
+                         S.submit(makeRequest(Seed, Cat, SO.MaxFuel)));
+    ++Res.Submitted;
+  }
+  for (auto &[Seed, F] : Pending) {
+    Category Cat = (Category)(Seed % NumCategories);
+    Reply Rep;
+    if (Col.get(F, std::string("mixed ") + categoryName(Cat), Rep))
+      checkMixedReply(Cat, Seed, Rep, Res);
+  }
+  checkAccounting("mixed", S, Res);
+  if (S.stats().CacheHits == 0)
+    Res.Failures.push_back(
+        "mixed: repeated source produced no cache hits");
+}
+
+void runSaturationPhase(ServeCampaignResult &Res, Collector &Col) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 4;
+  SO.MaxFuel = 200'000;
+  // Each request stalls its worker long enough that the whole burst is
+  // submitted before the queue drains meaningfully.
+  SO.Faults.WorkerStallMicros = 20'000;
+  Server S(SO);
+
+  // Twice the admission capacity on top of what queue + worker can
+  // hold: the excess MUST shed, deterministically and immediately.
+  int N = (int)SO.QueueCapacity * 2 + SO.Workers + 2;
+  std::vector<std::future<Reply>> Pending;
+  Request Proto;
+  Proto.Source = RepeatedSource;
+  Proto.Fuel = 1000;
+  Proto.Lanes = 1;
+  for (int I = 0; I < N; ++I) {
+    Request R = Proto;
+    R.Id = (uint64_t)I;
+    Pending.push_back(S.submit(std::move(R)));
+    ++Res.Submitted;
+  }
+  int64_t PhaseShed = 0;
+  for (auto &F : Pending) {
+    Reply Rep;
+    if (!Col.get(F, "saturation", Rep))
+      continue;
+    if (Rep.Out == Outcome::Shed) {
+      ++PhaseShed;
+      if (Rep.RetryAfterMs <= 0)
+        Res.Failures.push_back(
+            "saturation: queue-full shed without a retry hint");
+    } else if (Rep.Out != Outcome::Served) {
+      Res.Failures.push_back(std::string("saturation: unexpected ") +
+                             outcomeName(Rep.Out) + ": " + Rep.Error);
+    }
+  }
+  // The worker can drain at most a couple of requests while the burst
+  // is submitted; everything beyond queue + in-flight must have shed.
+  int64_t MinShed = N - (int64_t)SO.QueueCapacity - SO.Workers - 2;
+  if (PhaseShed < MinShed) {
+    std::ostringstream OS;
+    OS << "saturation: only " << PhaseShed << " of " << N
+       << " requests shed; expected at least " << MinShed;
+    Res.Failures.push_back(OS.str());
+  }
+  checkAccounting("saturation", S, Res);
+}
+
+void runBreakerPhase(ServeCampaignResult &Res, Collector &Col) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 32;
+  SO.MaxFuel = 200'000;
+  // Every primary compile attempt fails; retries are off so each
+  // request burns exactly one attempt and the breaker trips quickly.
+  SO.Faults.CompileFailures = 1'000'000;
+  SO.CompileRetries = 0;
+  SO.Breaker.FailureThreshold = 2;
+  SO.Breaker.OpenBudget = 3;
+  Server S(SO);
+
+  const int N = 8;
+  for (int I = 0; I < N; ++I) {
+    Request R;
+    R.Id = (uint64_t)I;
+    R.Source = RepeatedSource;
+    R.Ints["a"] = 5;
+    R.Fuel = 1000;
+    R.Lanes = 1;
+    auto F = S.submit(std::move(R));
+    ++Res.Submitted;
+    Reply Rep;
+    // Sequential submission: the breaker state machine advances
+    // deterministically request by request.
+    if (!Col.get(F, "breaker", Rep))
+      continue;
+    if (Rep.Out != Outcome::Served)
+      Res.Failures.push_back(
+          "breaker: request " + std::to_string(I) +
+          " not served through the fallback: " + Rep.Error);
+    else if (!Rep.Tele.Fallback)
+      Res.Failures.push_back("breaker: request " + std::to_string(I) +
+                             " claims the primary pipeline compiled "
+                             "despite total injection");
+  }
+  ServerStats St = S.stats();
+  if (St.FallbackServes != N)
+    Res.Failures.push_back(
+        "breaker: " + std::to_string(St.FallbackServes) + " of " +
+        std::to_string(N) + " requests served via fallback");
+  if (St.BreakerOpens < 1)
+    Res.Failures.push_back(
+        "breaker: never opened despite consecutive primary failures");
+  checkAccounting("breaker", S, Res);
+}
+
+void runEvictionPhase(const ServeCampaignOptions &Opts,
+                      ServeCampaignResult &Res, Collector &Col) {
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.QueueCapacity = 32;
+  SO.MaxFuel = 200'000;
+  SO.CacheCapacity = 1; // LRU pressure from every second program
+  SO.Faults.EvictMidFlight = true;
+  Server S(SO);
+
+  const int N = 12;
+  std::vector<std::pair<uint64_t, std::future<Reply>>> Pending;
+  for (int I = 0; I < N; ++I) {
+    uint64_t Seed = Opts.BaseSeed + (uint64_t)I;
+    Request R = makeRequest(Seed, Category::GeneratedValid, SO.MaxFuel);
+    R.Id = (uint64_t)I;
+    Pending.emplace_back(Seed, S.submit(std::move(R)));
+    ++Res.Submitted;
+  }
+  for (auto &[Seed, F] : Pending) {
+    Reply Rep;
+    if (!Col.get(F, "eviction", Rep))
+      continue;
+    // Same allowed set as the mixed phase: eviction must not change
+    // outcomes, only cache statistics.
+    checkMixedReply(Category::GeneratedValid, Seed, Rep, Res);
+  }
+  if (S.stats().CacheEvictions < 1)
+    Res.Failures.push_back(
+        "eviction: fault plan evicted nothing (probe dead?)");
+  checkAccounting("eviction", S, Res);
+}
+
+} // namespace
+
+ServeCampaignResult
+fuzz::runServeCampaign(const ServeCampaignOptions &Opts) {
+  ServeCampaignResult Res;
+  Collector Col{Res, Opts.HangTimeoutSec};
+  runMixedPhase(Opts, Res, Col);
+  runSaturationPhase(Res, Col);
+  runBreakerPhase(Res, Col);
+  runEvictionPhase(Opts, Res, Col);
+  // Global zero-loss check across all phases: every submission landed
+  // in exactly one bucket.
+  if (Res.Served + Res.Trapped + Res.Shed + Res.CompileErrors !=
+      Res.Submitted)
+    Res.Failures.push_back(
+        "campaign: replies collected (" +
+        std::to_string(Res.Served + Res.Trapped + Res.Shed +
+                       Res.CompileErrors) +
+        ") != requests submitted (" + std::to_string(Res.Submitted) +
+        ")");
+  return Res;
+}

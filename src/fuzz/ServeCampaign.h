@@ -1,0 +1,71 @@
+//===- fuzz/ServeCampaign.h - Serving-core fault campaign ------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-layer counterpart of the executor fault campaign: hammer
+/// an in-process serve::Server with a deterministic mix of valid,
+/// hostile and over-budget requests - under injected compile failures,
+/// mid-flight cache eviction, worker stalls, and queue saturation at
+/// twice the admission capacity - and assert the robustness contract:
+///
+///  * zero crashes or hangs: every submitted request resolves to a
+///    structured reply within the campaign's generous timeout;
+///  * exact accounting: served + trapped + shed + compile-errors ==
+///    submitted, phase by phase;
+///  * each request category lands in its allowed outcome set (a valid
+///    program is never a CompileError, a hostile one never Served, an
+///    over-budget one always Shed with no retry hint, ...);
+///  * degraded modes work: an always-failing primary pipeline still
+///    serves every request through the fallback and trips the breaker,
+///    and eviction under execution never invalidates a running program.
+///
+/// Request programs come from the differential fuzzer's generator, so
+/// the campaign sweeps the same program family the oracle does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_FUZZ_SERVECAMPAIGN_H
+#define SIMDFLAT_FUZZ_SERVECAMPAIGN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdflat {
+namespace fuzz {
+
+struct ServeCampaignOptions {
+  uint64_t BaseSeed = 1;
+  /// Requests in the mixed-traffic phase (categories cycle with the
+  /// seed).
+  int Count = 48;
+  /// Reply wait bound; exceeding it is reported as a hang, not waited
+  /// out forever.
+  int64_t HangTimeoutSec = 120;
+};
+
+struct ServeCampaignResult {
+  /// Requests submitted across all phases.
+  int64_t Submitted = 0;
+  int64_t Served = 0;
+  int64_t Trapped = 0;
+  int64_t Shed = 0;
+  int64_t CompileErrors = 0;
+  /// One entry per violated expectation.
+  std::vector<std::string> Failures;
+
+  bool ok() const { return Failures.empty(); }
+};
+
+/// Runs all phases: mixed traffic, queue saturation (2x capacity),
+/// always-failing primary compile (breaker + fallback), and eviction
+/// under execution.
+ServeCampaignResult runServeCampaign(const ServeCampaignOptions &Opts = {});
+
+} // namespace fuzz
+} // namespace simdflat
+
+#endif // SIMDFLAT_FUZZ_SERVECAMPAIGN_H

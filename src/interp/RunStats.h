@@ -15,7 +15,9 @@
 #ifndef SIMDFLAT_INTERP_RUNSTATS_H
 #define SIMDFLAT_INTERP_RUNSTATS_H
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -107,6 +109,15 @@ struct Trace {
   }
 };
 
+/// How often (in charged instructions) the engines poll the wall clock
+/// for RunOptions::Deadline. Checks land at instruction counts 1, 65,
+/// 129, ...: both engines charge identical instruction streams, so a
+/// deadline that is already expired when the run starts traps at the
+/// same statement with the same detail under Tree and Bytecode - the
+/// agreement the differential tests pin. Polling every instruction
+/// would put a clock read on the dispatch hot path.
+constexpr int64_t DeadlineCheckInterval = 64;
+
 /// Options controlling statistics collection and safety limits.
 struct RunOptions {
   /// Array/variable names whose assignments count as work steps.
@@ -125,11 +136,25 @@ struct RunOptions {
   /// a per-run serving limit: a hosted caller sets it so no request can
   /// consume unbounded simulator time.
   int64_t Fuel = 0;
+  /// Wall-clock deadline for this run (unset = none). Checked alongside
+  /// fuel every DeadlineCheckInterval charged instructions; once the
+  /// clock passes it the run unwinds with a DeadlineExpired trap. A
+  /// serving layer derives it from the request's end-to-end budget so a
+  /// stuck or oversized program cannot hold a worker past its slot.
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
   /// Execution engine. Bytecode is the default hot path; Tree is the
   /// tree-walking reference oracle the differential tests compare
   /// against.
   Engine Eng = Engine::Bytecode;
 };
+
+/// True when \p Opts carries a deadline, \p Instructions is a poll
+/// point, and the clock has passed it. Shared by every engine's
+/// charge() so the poll cadence cannot drift between them.
+inline bool deadlineExpired(const RunOptions &Opts, int64_t Instructions) {
+  return Opts.Deadline && Instructions % DeadlineCheckInterval == 1 &&
+         std::chrono::steady_clock::now() >= *Opts.Deadline;
+}
 
 } // namespace interp
 } // namespace simdflat

@@ -110,6 +110,9 @@ private:
       trap(TrapKind::FuelExhausted,
            "fuel budget of " + std::to_string(Opts.Fuel) +
                " instructions exhausted in '" + Prog.name() + "'");
+    if (deadlineExpired(Opts, Result.Stats.Instructions))
+      trap(TrapKind::DeadlineExpired,
+           "wall-clock deadline expired in '" + Prog.name() + "'");
   }
 
   void countLoopIteration() {

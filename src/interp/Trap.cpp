@@ -21,6 +21,8 @@ const char *interp::trapKindName(TrapKind K) {
     return "non-uniform-control";
   case TrapKind::FuelExhausted:
     return "fuel-exhausted";
+  case TrapKind::DeadlineExpired:
+    return "deadline-expired";
   case TrapKind::ExternFailure:
     return "extern-failure";
   case TrapKind::WriteConflict:

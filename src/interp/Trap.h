@@ -53,6 +53,10 @@ enum class TrapKind {
   /// The fuel budget (RunOptions::Fuel) or the loop-iteration guard
   /// (RunOptions::MaxLoopIterations) was exhausted.
   FuelExhausted,
+  /// The wall-clock deadline (RunOptions::Deadline) passed mid-run. The
+  /// serving layer derives it from a request's end-to-end budget; unlike
+  /// fuel it bounds real time, not simulated instructions.
+  DeadlineExpired,
   /// An extern call failed: unbound name, missing registry, or the
   /// binding itself reported an ExternError.
   ExternFailure,

@@ -1,0 +1,78 @@
+//===- serve/CircuitBreaker.cpp -------------------------------*- C++ -*-===//
+
+#include "serve/CircuitBreaker.h"
+
+using namespace simdflat;
+using namespace simdflat::serve;
+
+CircuitBreaker::State CircuitBreaker::admit(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Map[Key];
+  switch (E.St) {
+  case State::Closed:
+    return State::Closed;
+  case State::Open:
+    if (E.Budget > 0) {
+      --E.Budget;
+      return State::Open;
+    }
+    E.St = State::HalfOpen;
+    ++S.Probes;
+    return State::HalfOpen;
+  case State::HalfOpen:
+    // A probe is already in flight; everyone else keeps the fallback.
+    return State::Open;
+  }
+  return State::Closed;
+}
+
+void CircuitBreaker::recordSuccess(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Map[Key];
+  E.St = State::Closed;
+  E.Consecutive = 0;
+  E.Budget = 0;
+}
+
+void CircuitBreaker::recordFailure(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  Entry &E = Map[Key];
+  if (E.St == State::HalfOpen) {
+    // Failed probe: back to quarantine with a fresh budget. Counts as
+    // an open so the stats reflect every transition into Open.
+    E.St = State::Open;
+    E.Budget = O.OpenBudget;
+    ++S.Opens;
+    return;
+  }
+  if (E.St == State::Open)
+    return; // fallback-path failures do not re-count
+  if (++E.Consecutive >= O.FailureThreshold) {
+    E.St = State::Open;
+    E.Budget = O.OpenBudget;
+    ++S.Opens;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::peek(uint64_t Key) const {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(Key);
+  return It == Map.end() ? State::Closed : It->second.St;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+const char *serve::breakerStateName(CircuitBreaker::State St) {
+  switch (St) {
+  case CircuitBreaker::State::Closed:
+    return "closed";
+  case CircuitBreaker::State::Open:
+    return "open";
+  case CircuitBreaker::State::HalfOpen:
+    return "half-open";
+  }
+  return "closed";
+}

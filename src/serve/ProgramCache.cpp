@@ -1,0 +1,119 @@
+//===- serve/ProgramCache.cpp ---------------------------------*- C++ -*-===//
+
+#include "serve/ProgramCache.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace simdflat;
+using namespace simdflat::serve;
+
+ProgramCache::ProgramCache(size_t Capacity)
+    : Capacity(std::max<size_t>(Capacity, 1)) {}
+
+ProgramCache::Outcome ProgramCache::getOrCompile(uint64_t Key,
+                                                 const Compiler &Fn) {
+  std::shared_ptr<Slot> Mine;
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    for (;;) {
+      auto It = Map.find(Key);
+      if (It == Map.end())
+        break;
+      std::shared_ptr<Slot> Found = It->second;
+      if (!Found->Compiling) {
+        // Completed entries always hold a program: failures are never
+        // published into the map.
+        assert(Found->Prog && "completed slot without a program");
+        touchLocked(Key);
+        ++S.Hits;
+        Outcome Out;
+        Out.Prog = Found->Prog;
+        Out.Hit = true;
+        return Out;
+      }
+      // Join the in-flight compile: wait for it to publish, then
+      // re-examine the map (the flight may have failed and erased the
+      // slot - in that case report its error rather than piling a
+      // second compile onto a failing program).
+      ++S.Waits;
+      Published.wait(Lock, [&] { return !Found->Compiling; });
+      Outcome Out;
+      Out.Waited = true;
+      if (Found->Prog) {
+        Out.Prog = Found->Prog;
+        return Out;
+      }
+      Out.Error = Found->Error;
+      return Out;
+    }
+    // Miss: claim the flight.
+    ++S.Misses;
+    Mine = std::make_shared<Slot>();
+    Mine->Attempts = AttemptHistory[Key];
+    Map.emplace(Key, Mine);
+  }
+
+  // Compile outside the lock; other keys proceed, same-key lookups wait.
+  Expected<transform::CompiledSimdProgram, CompileFailure> Result =
+      Fn(Mine->Attempts);
+
+  std::lock_guard<std::mutex> Lock(M);
+  AttemptHistory[Key] = Mine->Attempts;
+  Outcome Out;
+  Out.Attempts = Mine->Attempts;
+  if (Result) {
+    Mine->Prog = std::make_shared<const transform::CompiledSimdProgram>(
+        std::move(*Result));
+    Mine->Compiling = false;
+    touchLocked(Key);
+    enforceCapacityLocked();
+    AttemptHistory.erase(Key); // success: the counter's job is done
+    Out.Prog = Mine->Prog;
+  } else {
+    // Failures are not cached: wake the waiters with the error, then
+    // erase the slot so the next request starts a fresh flight.
+    Mine->Error = Result.error().render();
+    Mine->Compiling = false;
+    auto It = Map.find(Key);
+    if (It != Map.end() && It->second == Mine)
+      Map.erase(It);
+    Out.Error = Mine->Error;
+  }
+  Published.notify_all();
+  return Out;
+}
+
+void ProgramCache::evict(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Map.find(Key);
+  if (It == Map.end() || It->second->Compiling)
+    return;
+  Lru.remove(Key);
+  Map.erase(It);
+  ++S.Evictions;
+}
+
+size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Lru.size();
+}
+
+ProgramCache::Stats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+void ProgramCache::touchLocked(uint64_t Key) {
+  Lru.remove(Key);
+  Lru.push_front(Key);
+}
+
+void ProgramCache::enforceCapacityLocked() {
+  while (Lru.size() > Capacity) {
+    uint64_t Victim = Lru.back();
+    Lru.pop_back();
+    Map.erase(Victim);
+    ++S.Evictions;
+  }
+}

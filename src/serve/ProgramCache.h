@@ -1,0 +1,139 @@
+//===- serve/ProgramCache.h - LRU compiled-program cache -------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-once/run-many heart of the serving core: a bounded LRU
+/// cache from canonical program hash (transform::canonicalKey) to the
+/// compiled transform::CompiledSimdProgram, with single-flight
+/// compilation - when N requests for the same uncached program arrive
+/// concurrently, one compiles and N-1 wait on its result instead of
+/// compiling N times.
+///
+/// Robustness contract:
+///  * Entries hand out shared_ptrs, so eviction (LRU pressure or the
+///    fault plan's mid-flight eviction) never invalidates a program a
+///    worker is still executing.
+///  * Compile failures are returned to every waiter of that flight but
+///    are NOT cached: the next request retries from scratch. The
+///    per-key attempt counter survives, so transiently failing compiles
+///    (fault-injected or otherwise) make forward progress toward the
+///    attempt at which they succeed.
+///  * All waiting is bounded by the compiler callback returning; the
+///    callback owns retry/backoff policy, the cache owns mutual
+///    exclusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SERVE_PROGRAMCACHE_H
+#define SIMDFLAT_SERVE_PROGRAMCACHE_H
+
+#include "support/Result.h"
+#include "transform/Pipeline.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace simdflat {
+namespace serve {
+
+/// A compile failure rendered for the reply. Transient tells waiters a
+/// retry might succeed (fault-injected failures set it).
+struct CompileFailure {
+  std::string Message;
+  bool Transient = false;
+
+  std::string render() const { return Message; }
+};
+
+class ProgramCache {
+public:
+  struct Stats {
+    int64_t Hits = 0;
+    int64_t Misses = 0;
+    int64_t Evictions = 0;
+    /// Lookups that joined an in-flight compile of the same key.
+    int64_t Waits = 0;
+  };
+
+  /// What one lookup produced. Prog is null iff the (joined) compile
+  /// failed; Error then carries the rendering.
+  struct Outcome {
+    std::shared_ptr<const transform::CompiledSimdProgram> Prog;
+    std::string Error;
+    bool Hit = false;
+    /// This lookup joined another request's flight (either way, the
+    /// flight's result is shared).
+    bool Waited = false;
+    /// Compile attempts this lookup's own flight consumed (0 when Hit
+    /// or Waited).
+    int Attempts = 0;
+  };
+
+  /// Compiles one program. \p Attempts is the key's lifetime attempt
+  /// counter: the callback increments it once per attempt it makes
+  /// (retries included) so fault plans can fail "the first N attempts"
+  /// across flights.
+  using Compiler =
+      std::function<Expected<transform::CompiledSimdProgram, CompileFailure>(
+          int &Attempts)>;
+
+  /// \p Capacity: completed entries kept (>= 1); in-flight compiles are
+  /// pinned and do not count.
+  explicit ProgramCache(size_t Capacity);
+
+  /// Returns the cached program for \p Key, joins an in-flight compile
+  /// of it, or runs \p Fn to fill it (single-flight: at most one
+  /// concurrent Fn per key). Blocks only while a flight for this key is
+  /// running.
+  Outcome getOrCompile(uint64_t Key, const Compiler &Fn);
+
+  /// Drops the completed entry for \p Key if present (no-op for keys
+  /// mid-compile; the flight will publish and is evictable afterwards).
+  /// Outstanding shared_ptrs stay valid.
+  void evict(uint64_t Key);
+
+  /// Completed entries currently resident.
+  size_t size() const;
+
+  Stats stats() const;
+
+private:
+  struct Slot {
+    std::shared_ptr<const transform::CompiledSimdProgram> Prog;
+    std::string Error;
+    bool Compiling = true;
+    /// Lifetime compile attempts for this key (survives failed
+    /// flights via AttemptHistory).
+    int Attempts = 0;
+  };
+
+  /// Marks \p Key most-recently-used; inserts it if new. Lock held.
+  void touchLocked(uint64_t Key);
+  /// Evicts LRU completed entries down to Capacity. Lock held.
+  void enforceCapacityLocked();
+
+  mutable std::mutex M;
+  std::condition_variable Published;
+  std::unordered_map<uint64_t, std::shared_ptr<Slot>> Map;
+  /// Completed keys only, most recent first.
+  std::list<uint64_t> Lru;
+  /// Attempt counters that outlive failed flights (their slots are
+  /// erased so the next request retries).
+  std::unordered_map<uint64_t, int> AttemptHistory;
+  size_t Capacity;
+  Stats S;
+};
+
+} // namespace serve
+} // namespace simdflat
+
+#endif // SIMDFLAT_SERVE_PROGRAMCACHE_H

@@ -1,0 +1,504 @@
+//===- serve/Server.cpp ---------------------------------------*- C++ -*-===//
+
+#include "serve/Server.h"
+
+#include "frontend/GotoRecovery.h"
+#include "frontend/Parser.h"
+#include "interp/SimdInterp.h"
+#include "interp/Store.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace simdflat;
+using namespace simdflat::serve;
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+int64_t nanosSince(Clock::time_point Start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              Start)
+      .count();
+}
+
+/// Checks every request input against the program's declarations so the
+/// store's fatal-error paths (undeclared name, wrong kind, wrong size)
+/// are unreachable from hostile requests. Returns a rendering of the
+/// first problem, or the empty string.
+std::string validateInputs(const ir::Program &P, const Request &R) {
+  std::ostringstream OS;
+  auto declOf = [&](const std::string &Name) { return P.lookupVar(Name); };
+  for (const auto &[Name, V] : R.Ints) {
+    (void)V;
+    const ir::VarDecl *D = declOf(Name);
+    if (!D) {
+      OS << "input '" << Name << "' is not declared by the program";
+      return OS.str();
+    }
+    if (!D->isScalar() || D->Kind == ir::ScalarKind::Real) {
+      OS << "input '" << Name << "' is not an integer scalar";
+      return OS.str();
+    }
+  }
+  for (const auto &[Name, Vals] : R.IntArrays) {
+    const ir::VarDecl *D = declOf(Name);
+    if (!D) {
+      OS << "input array '" << Name << "' is not declared by the program";
+      return OS.str();
+    }
+    if (!D->isArray() || D->Kind != ir::ScalarKind::Int) {
+      OS << "input '" << Name << "' is not an integer array";
+      return OS.str();
+    }
+    if ((int64_t)Vals.size() != D->numElements()) {
+      OS << "input array '" << Name << "' has " << Vals.size()
+         << " elements, the program declares " << D->numElements();
+      return OS.str();
+    }
+  }
+  for (const auto &[Name, Vals] : R.RealArrays) {
+    const ir::VarDecl *D = declOf(Name);
+    if (!D) {
+      OS << "input array '" << Name << "' is not declared by the program";
+      return OS.str();
+    }
+    if (!D->isArray() || D->Kind != ir::ScalarKind::Real) {
+      OS << "input '" << Name << "' is not a real array";
+      return OS.str();
+    }
+    if ((int64_t)Vals.size() != D->numElements()) {
+      OS << "input array '" << Name << "' has " << Vals.size()
+         << " elements, the program declares " << D->numElements();
+      return OS.str();
+    }
+  }
+  return "";
+}
+
+} // namespace
+
+const char *serve::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Served:
+    return "served";
+  case Outcome::Trapped:
+    return "trapped";
+  case Outcome::Shed:
+    return "shed";
+  case Outcome::CompileError:
+    return "compile-error";
+  }
+  return "shed";
+}
+
+bool serve::outcomeFromName(const std::string &Name, Outcome &Out) {
+  if (Name == "served")
+    Out = Outcome::Served;
+  else if (Name == "trapped")
+    Out = Outcome::Trapped;
+  else if (Name == "shed")
+    Out = Outcome::Shed;
+  else if (Name == "compile-error")
+    Out = Outcome::CompileError;
+  else
+    return false;
+  return true;
+}
+
+Server::Server(ServerOptions O)
+    : Opts(O), Cache(O.CacheCapacity), Breaker(O.Breaker) {
+  int N = std::max(1, Opts.Workers);
+  Workers.reserve((size_t)N);
+  for (int I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  // Workers drain the queue (shedding) before exiting, so nothing is
+  // left here; this is a belt-and-braces sweep for the promise
+  // contract should that ever change.
+  for (Job &J : Queue)
+    J.Done.set_value(shed(J, "server shutting down", 0));
+  Queue.clear();
+}
+
+std::future<Reply> Server::submit(Request R) {
+  std::promise<Reply> Done;
+  std::future<Reply> F = Done.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(StatsM);
+    ++Stats.Submitted;
+  }
+
+  // Budget-envelope admission: requests the server can tell are
+  // over-budget never enter the queue, and the reply says retrying as-is
+  // is pointless (RetryAfterMs = 0).
+  if (Opts.MaxFuel > 0 && (R.Fuel <= 0 || R.Fuel > Opts.MaxFuel)) {
+    std::ostringstream OS;
+    OS << "fuel budget " << R.Fuel << " outside the served range 1.."
+       << Opts.MaxFuel;
+    Done.set_value(shedRequest(R, OS.str(), 0));
+    return F;
+  }
+  if (R.Lanes < 1 || R.Lanes > Opts.MaxLanes) {
+    std::ostringstream OS;
+    OS << "lanes " << R.Lanes << " outside the served range 1.."
+       << Opts.MaxLanes;
+    Done.set_value(shedRequest(R, OS.str(), 0));
+    return F;
+  }
+  if (R.Source.size() > Opts.MaxSourceBytes) {
+    std::ostringstream OS;
+    OS << "source of " << R.Source.size() << " bytes exceeds the limit of "
+       << Opts.MaxSourceBytes;
+    Done.set_value(shedRequest(R, OS.str(), 0));
+    return F;
+  }
+
+  Job J;
+  J.Req = std::move(R);
+  J.Done = std::move(Done);
+  J.Enqueued = Clock::now();
+  if (J.Req.DeadlineMs > 0)
+    J.Deadline = J.Enqueued + std::chrono::milliseconds(J.Req.DeadlineMs);
+  if (J.Req.QueueTimeoutMs > 0)
+    J.QueueDeadline =
+        J.Enqueued + std::chrono::milliseconds(J.Req.QueueTimeoutMs);
+
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    if (Stopping) {
+      J.Done.set_value(shed(J, "server shutting down", 0));
+      return F;
+    }
+    if (Queue.size() >= Opts.QueueCapacity) {
+      // Deterministic load shedding: reject immediately rather than
+      // block the submitter or grow the queue without bound.
+      std::ostringstream OS;
+      OS << "admission queue full (" << Opts.QueueCapacity << " waiting)";
+      J.Done.set_value(shed(J, OS.str(), Opts.RetryAfterMs));
+      return F;
+    }
+    Queue.push_back(std::move(J));
+  }
+  QueueCv.notify_one();
+  return F;
+}
+
+void Server::workerLoop() {
+  for (;;) {
+    Job J;
+    bool ShedForShutdown = false;
+    {
+      std::unique_lock<std::mutex> Lock(QueueM);
+      QueueCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping)
+          return;
+        continue;
+      }
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ShedForShutdown = Stopping;
+    }
+    Reply Rep;
+    if (ShedForShutdown) {
+      Rep = shed(J, "server shutting down", 0);
+    } else {
+      // The worker-thread exception barrier: whatever process() throws
+      // (including OOM-shaped std::exceptions from hostile programs)
+      // becomes a structured reply, never a dead worker or a
+      // std::terminate.
+      try {
+        Rep = process(J);
+      } catch (const std::exception &E) {
+        Rep = compileError(J, std::string("internal error: ") + E.what());
+      } catch (...) {
+        Rep = compileError(J, "internal error: unknown exception");
+      }
+    }
+    J.Done.set_value(std::move(Rep));
+  }
+}
+
+Reply Server::process(Job &J) {
+  const Request &R = J.Req;
+  Telemetry Tele;
+  Tele.QueueNanos = nanosSince(J.Enqueued);
+
+  if (Opts.Faults.WorkerStallMicros > 0)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(Opts.Faults.WorkerStallMicros));
+
+  // Budget checks at pickup: a request that already blew its queue
+  // budget or its end-to-end deadline is shed before any work is spent
+  // on it.
+  Clock::time_point Now = Clock::now();
+  if (J.QueueDeadline && Now > *J.QueueDeadline) {
+    std::ostringstream OS;
+    OS << "queued longer than the " << R.QueueTimeoutMs << "ms queue budget";
+    Reply Rep = shed(J, OS.str(), Opts.RetryAfterMs);
+    Rep.Tele = Tele;
+    return Rep;
+  }
+  if (J.Deadline && Now >= *J.Deadline) {
+    Reply Rep = shed(J, "deadline expired before execution", 0);
+    Rep.Tele = Tele;
+    return Rep;
+  }
+
+  // Parse + GOTO recovery. Parse failures are program defects -
+  // CompileError, no breaker involvement (the breaker quarantines the
+  // *pipeline*, not the caller's typos).
+  frontend::ParseResult PR = frontend::parseProgram(R.Source);
+  if (!PR.ok()) {
+    Reply Rep = compileError(J, PR.Diags.renderAll());
+    Rep.Tele = Tele;
+    return Rep;
+  }
+  ir::Program Prog = std::move(*PR.Prog);
+  frontend::recoverGotoLoops(Prog);
+
+  if (std::string Err = validateInputs(Prog, R); !Err.empty()) {
+    Reply Rep = compileError(J, Err);
+    Rep.Tele = Tele;
+    return Rep;
+  }
+
+  // Compile (or fetch) the primary flattened program; degrade to the
+  // unflattened fallback when the primary fails or its breaker is open.
+  transform::PipelineOptions Primary;
+  Primary.Layout = Opts.Layout;
+  Primary.Flatten = true;
+  Primary.AssumeInnerMinOneTrip = R.MinOne;
+  transform::CanonicalKey PK = transform::canonicalKey(Prog, Primary);
+
+  Clock::time_point CompileStart = Clock::now();
+  std::shared_ptr<const transform::CompiledSimdProgram> Code;
+  std::string PrimaryError;
+  uint64_t FallbackKey = 0;
+
+  CircuitBreaker::State Route = Breaker.admit(PK.Hash);
+  if (Route != CircuitBreaker::State::Open) {
+    ProgramCache::Outcome CO = Cache.getOrCompile(
+        PK.Hash,
+        [&](int &Attempts)
+            -> Expected<transform::CompiledSimdProgram, CompileFailure> {
+          std::string LastErr;
+          bool LastTransient = false;
+          for (int Try = 0; Try <= Opts.CompileRetries; ++Try) {
+            if (Try > 0) {
+              {
+                std::lock_guard<std::mutex> Lock(StatsM);
+                ++Stats.CompileRetries;
+              }
+              // Exponential backoff between attempts, capped.
+              int64_t Micros = Opts.BackoffBaseMicros << (Try - 1);
+              Micros = std::min(Micros, Opts.BackoffCapMicros);
+              if (Micros > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(Micros));
+            }
+            int Attempt = ++Attempts;
+            if (Attempt <= Opts.Faults.CompileFailures) {
+              std::ostringstream OS;
+              OS << "injected transient compile failure (attempt " << Attempt
+                 << " of the first " << Opts.Faults.CompileFailures
+                 << " failing)";
+              LastErr = OS.str();
+              LastTransient = true;
+              continue;
+            }
+            auto C = transform::compileForSimdExec(Prog, Primary);
+            if (C)
+              return std::move(*C);
+            // A real pipeline failure is deterministic; retrying the
+            // identical input is pointless.
+            LastErr = C.error().render();
+            LastTransient = false;
+            break;
+          }
+          return CompileFailure{LastErr, LastTransient};
+        });
+    Tele.CacheHit = CO.Hit;
+    Tele.CoalescedCompile = CO.Waited;
+    Tele.CompileAttempts = CO.Attempts;
+    if (CO.Prog) {
+      Breaker.recordSuccess(PK.Hash);
+      Code = CO.Prog;
+    } else {
+      Breaker.recordFailure(PK.Hash);
+      PrimaryError = CO.Error;
+    }
+  }
+
+  if (!Code) {
+    // Breaker open, or the primary compile failed for this request:
+    // serve the unflattened program. Its pipeline skips the flattener -
+    // the stage the fault plan injects into - so the fallback is the
+    // degraded-but-alive path.
+    transform::PipelineOptions FB = Primary;
+    FB.Flatten = false;
+    transform::CanonicalKey FK = transform::canonicalKey(Prog, FB);
+    FallbackKey = FK.Hash;
+    ProgramCache::Outcome CO = Cache.getOrCompile(
+        FK.Hash,
+        [&](int &Attempts)
+            -> Expected<transform::CompiledSimdProgram, CompileFailure> {
+          ++Attempts;
+          auto C = transform::compileForSimdExec(Prog, FB);
+          if (C)
+            return std::move(*C);
+          return CompileFailure{C.error().render(), false};
+        });
+    if (!CO.Prog) {
+      std::string Err = CO.Error;
+      if (!PrimaryError.empty())
+        Err = "primary pipeline: " + PrimaryError +
+              "; fallback pipeline: " + Err;
+      Reply Rep = compileError(J, Err);
+      Rep.Tele = Tele;
+      Rep.Tele.CompileNanos = nanosSince(CompileStart);
+      return Rep;
+    }
+    Code = CO.Prog;
+    Tele.Fallback = true;
+    {
+      std::lock_guard<std::mutex> Lock(StatsM);
+      ++Stats.FallbackServes;
+    }
+  }
+  Tele.CompileNanos = nanosSince(CompileStart);
+
+  if (Opts.Faults.EvictMidFlight) {
+    // The fault plan's eviction-under-execution probe: drop the entry
+    // while this request still holds the shared_ptr. The run below must
+    // be unaffected.
+    Cache.evict(PK.Hash);
+    if (FallbackKey)
+      Cache.evict(FallbackKey);
+  }
+
+  // Execute. The run inherits the request's whole budget envelope: fuel
+  // plus the absolute deadline (checked inside the dispatch loop, so a
+  // long-running program traps DeadlineExpired instead of pinning the
+  // worker).
+  machine::MachineConfig M;
+  M.Name = "flattend";
+  M.Processors = R.Lanes;
+  M.Gran = R.Lanes;
+  M.DataLayout = Opts.Layout;
+
+  interp::RunOptions RO;
+  RO.Fuel = R.Fuel;
+  RO.Deadline = J.Deadline;
+  RO.Eng = interp::Engine::Bytecode;
+
+  interp::SimdInterp Interp(Code->Prog, M, /*Externs=*/nullptr, RO);
+  Interp.setCompiled(Code->Code);
+  interp::DataStore &Store = Interp.store();
+  for (const auto &[Name, V] : R.Ints)
+    Store.setInt(Name, V);
+  for (const auto &[Name, Vals] : R.IntArrays)
+    Store.setIntArray(Name, Vals);
+  for (const auto &[Name, Vals] : R.RealArrays)
+    Store.setRealArray(Name, Vals);
+
+  Clock::time_point RunStart = Clock::now();
+  interp::RunOutcome<interp::SimdRunResult> Out = Interp.run();
+  Tele.RunNanos = nanosSince(RunStart);
+
+  Reply Rep;
+  Rep.Id = R.Id;
+  Rep.Tele = Tele;
+  if (!Out) {
+    Rep.Out = Outcome::Trapped;
+    Rep.T = Out.error();
+    Rep.Error = Out.error().render();
+    countOutcome(Outcome::Trapped);
+    return Rep;
+  }
+  Rep.Out = Outcome::Served;
+  Rep.Tele.FuelSpent = Out->Stats.Instructions;
+  if (R.WantArrays) {
+    // Report arrays the *submitted* program declared (the pipeline may
+    // add its own temporaries; those are not the caller's business).
+    for (const ir::VarDecl &D : Prog.vars())
+      if (D.isArray() && D.Kind == ir::ScalarKind::Int &&
+          Code->Prog.lookupVar(D.Name))
+        Rep.IntArrays.emplace(D.Name, Store.getIntArray(D.Name));
+  }
+  countOutcome(Outcome::Served);
+  return Rep;
+}
+
+Reply Server::shed(const Job &J, std::string Why, int64_t RetryAfterMs) {
+  return shedRequest(J.Req, std::move(Why), RetryAfterMs);
+}
+
+Reply Server::shedRequest(const Request &R, std::string Why,
+                          int64_t RetryAfterMs) {
+  Reply Rep;
+  Rep.Id = R.Id;
+  Rep.Out = Outcome::Shed;
+  Rep.Error = std::move(Why);
+  Rep.RetryAfterMs = RetryAfterMs;
+  countOutcome(Outcome::Shed);
+  return Rep;
+}
+
+Reply Server::compileError(const Job &J, std::string Why) {
+  Reply Rep;
+  Rep.Id = J.Req.Id;
+  Rep.Out = Outcome::CompileError;
+  Rep.Error = std::move(Why);
+  countOutcome(Outcome::CompileError);
+  return Rep;
+}
+
+void Server::countOutcome(Outcome O) {
+  std::lock_guard<std::mutex> Lock(StatsM);
+  switch (O) {
+  case Outcome::Served:
+    ++Stats.Served;
+    break;
+  case Outcome::Trapped:
+    ++Stats.Trapped;
+    break;
+  case Outcome::Shed:
+    ++Stats.Shed;
+    break;
+  case Outcome::CompileError:
+    ++Stats.CompileErrors;
+    break;
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats Out;
+  {
+    std::lock_guard<std::mutex> Lock(StatsM);
+    Out = Stats;
+  }
+  ProgramCache::Stats CS = Cache.stats();
+  Out.CacheHits = CS.Hits;
+  Out.CacheMisses = CS.Misses;
+  Out.CacheEvictions = CS.Evictions;
+  Out.CompilesCoalesced = CS.Waits;
+  Out.BreakerOpens = Breaker.stats().Opens;
+  return Out;
+}
+
+size_t Server::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueM);
+  return Queue.size();
+}

@@ -1,0 +1,142 @@
+//===- serve/Server.h - Fault-tolerant serving core ------------*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-once/run-many serving core behind flattend. A Server
+/// owns a worker thread pool fed by a bounded admission queue, the
+/// shared ProgramCache (LRU + single-flight), and a per-program-hash
+/// CircuitBreaker. Every submitted Request resolves to exactly one
+/// structured Reply - the server never crashes, hangs, or drops a
+/// request on the floor:
+///
+///  * Admission: a full queue sheds immediately with a retry-after hint
+///    (reject, never block); over-budget requests shed at submit time.
+///  * Budgets: fuel bounds simulated work, the end-to-end deadline is
+///    enforced in the queue (shed), through compilation (shed) and
+///    inside the dispatch loop (DeadlineExpired trap); queue timeouts
+///    shed before any work is spent.
+///  * Failure containment: program faults are Trapped replies; compile
+///    failures retry with exponential backoff, trip the breaker, and
+///    degrade to the unflattened fallback; a worker-side exception
+///    becomes a CompileError reply, not a dead thread.
+///  * FaultPlan wires the campaign's faults (injected compile failure,
+///    mid-flight eviction, worker stall) into all of the above.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_SERVE_SERVER_H
+#define SIMDFLAT_SERVE_SERVER_H
+
+#include "machine/Machine.h"
+#include "serve/CircuitBreaker.h"
+#include "serve/ProgramCache.h"
+#include "serve/Serve.h"
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace simdflat {
+namespace serve {
+
+struct ServerOptions {
+  /// Worker threads executing requests.
+  int Workers = 2;
+  /// Bounded admission queue; submissions beyond it shed.
+  size_t QueueCapacity = 16;
+  /// Compiled programs kept resident (LRU beyond this).
+  size_t CacheCapacity = 64;
+  /// Admission bound on Request::Lanes.
+  int64_t MaxLanes = 64;
+  /// When > 0, every request must carry 0 < Fuel <= MaxFuel or it is
+  /// shed at submit: the serving limit that stops one request from
+  /// consuming unbounded simulator time.
+  int64_t MaxFuel = 0;
+  /// Admission bound on source size (hostile-input guard).
+  size_t MaxSourceBytes = 1u << 20;
+  /// Compile attempts beyond the first before giving up on a
+  /// transiently failing compile.
+  int CompileRetries = 2;
+  /// Exponential backoff between compile retries: base * 2^(try-1),
+  /// capped. Kept in microseconds so tests stay fast.
+  int64_t BackoffBaseMicros = 200;
+  int64_t BackoffCapMicros = 20'000;
+  /// Retry hint attached to load-shed replies.
+  int64_t RetryAfterMs = 5;
+  /// Lane layout every compiled program uses.
+  machine::Layout Layout = machine::Layout::Cyclic;
+  CircuitBreaker::Options Breaker;
+  FaultPlan Faults;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions O = {});
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Admits \p R. Never blocks: a full queue, a stopping server, or an
+  /// over-budget request resolves the future immediately with a Shed
+  /// reply. The future always becomes ready.
+  std::future<Reply> submit(Request R);
+
+  /// Snapshot of the counters (cache/breaker numbers merged in).
+  ServerStats stats() const;
+
+  /// Requests currently queued (not yet picked up by a worker).
+  size_t queueDepth() const;
+
+  /// The shared program cache (tests observe size/stats).
+  const ProgramCache &cache() const { return Cache; }
+  /// The breaker (tests observe per-key state).
+  const CircuitBreaker &breaker() const { return Breaker; }
+
+  const ServerOptions &options() const { return Opts; }
+
+private:
+  struct Job {
+    Request Req;
+    std::promise<Reply> Done;
+    std::chrono::steady_clock::time_point Enqueued;
+    /// Absolute end-to-end deadline (Request::DeadlineMs).
+    std::optional<std::chrono::steady_clock::time_point> Deadline;
+    /// Absolute queue-residency bound (Request::QueueTimeoutMs).
+    std::optional<std::chrono::steady_clock::time_point> QueueDeadline;
+  };
+
+  void workerLoop();
+  /// Everything after dequeue; returns the reply (outcome counted).
+  Reply process(Job &J);
+  /// Builds (and counts) a Shed reply.
+  Reply shed(const Job &J, std::string Why, int64_t RetryAfterMs);
+  Reply shedRequest(const Request &R, std::string Why,
+                    int64_t RetryAfterMs);
+  /// Builds (and counts) a CompileError reply.
+  Reply compileError(const Job &J, std::string Why);
+  void countOutcome(Outcome O);
+
+  ServerOptions Opts;
+  ProgramCache Cache;
+  CircuitBreaker Breaker;
+
+  mutable std::mutex QueueM;
+  std::condition_variable QueueCv;
+  std::deque<Job> Queue;
+  bool Stopping = false;
+
+  mutable std::mutex StatsM;
+  ServerStats Stats;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace serve
+} // namespace simdflat
+
+#endif // SIMDFLAT_SERVE_SERVER_H

@@ -4,6 +4,7 @@
 
 #include "exec/Lower.h"
 #include "frontend/GotoRecovery.h"
+#include "ir/Printer.h"
 #include "ir/Verify.h"
 #include "ir/Walk.h"
 #include "support/Format.h"
@@ -183,4 +184,30 @@ transform::compileForSimdExec(const ir::Program &P, PipelineOptions Opts,
       std::make_shared<exec::Program>(
           exec::lower(*Simd, exec::Mode::Simd));
   return CompiledSimdProgram{std::move(*Simd), std::move(Code)};
+}
+
+CanonicalKey transform::canonicalKey(const ir::Program &P,
+                                     const PipelineOptions &Opts) {
+  CanonicalKey K;
+  K.Text = ir::printProgram(P);
+  K.Text += "\n|layout=";
+  K.Text += Opts.Layout == machine::Layout::Block ? "block" : "cyclic";
+  K.Text += "|flatten=";
+  K.Text += Opts.Flatten ? "1" : "0";
+  K.Text += "|level=";
+  K.Text += Opts.ForceLevel ? flattenLevelName(*Opts.ForceLevel) : "auto";
+  K.Text += "|min-one=";
+  K.Text += Opts.AssumeInnerMinOneTrip ? "1" : "0";
+  K.Text += "|safety=";
+  K.Text += Opts.CheckSafety ? "1" : "0";
+  K.Text += "|explicit-normalize=";
+  K.Text += Opts.ExplicitNormalize ? "1" : "0";
+  // FNV-1a, 64-bit.
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : K.Text) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  K.Hash = H;
+  return K;
 }

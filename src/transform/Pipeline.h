@@ -113,6 +113,22 @@ Expected<CompiledSimdProgram, PipelineError>
 compileForSimdExec(const ir::Program &P, PipelineOptions Opts = {},
                    PipelineReport *Report = nullptr);
 
+/// Identity of one (program, pipeline options) compilation, used as the
+/// compiled-program cache key by the serving layer. Text is the
+/// canonically printed IR plus an encoding of every option that changes
+/// the compiled output, so two sources that parse to the same tree (and
+/// differ only in whitespace, comments or statement spelling the
+/// printer normalizes) share one cache entry; Hash is its FNV-1a digest.
+struct CanonicalKey {
+  uint64_t Hash = 0;
+  std::string Text;
+};
+
+/// Computes the cache identity of compiling \p P under \p Opts. Pure
+/// function of its arguments: no pipeline stage runs.
+CanonicalKey canonicalKey(const ir::Program &P,
+                          const PipelineOptions &Opts = {});
+
 } // namespace transform
 } // namespace simdflat
 

@@ -12,7 +12,9 @@ using namespace simdflat::transform;
 
 namespace {
 
-int Rewrites; // per-run counter (single-threaded pass)
+// Per-run counter. thread_local because the serving core compiles
+// programs from several worker threads concurrently.
+thread_local int Rewrites;
 
 bool isIntLit(const Expr &E, int64_t &Out) {
   if (const auto *L = dyn_cast<IntLit>(&E)) {

@@ -1,0 +1,122 @@
+//===- tests/serve/BreakerTest.cpp -----------------------------*- C++ -*-===//
+//
+// The count-based circuit breaker state machine: threshold opening,
+// open-budget fallback serving, half-open probes, and per-key
+// independence. Deterministic by construction (no clocks).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/CircuitBreaker.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::serve;
+
+namespace {
+
+using State = CircuitBreaker::State;
+
+CircuitBreaker::Options smallOptions() {
+  CircuitBreaker::Options O;
+  O.FailureThreshold = 2;
+  O.OpenBudget = 3;
+  return O;
+}
+
+TEST(CircuitBreaker, ClosedByDefault) {
+  CircuitBreaker B;
+  EXPECT_EQ(B.peek(1), State::Closed);
+  EXPECT_EQ(B.admit(1), State::Closed);
+  EXPECT_EQ(B.stats().Opens, 0);
+}
+
+TEST(CircuitBreaker, OpensAtThreshold) {
+  CircuitBreaker B(smallOptions());
+  B.admit(1);
+  B.recordFailure(1);
+  EXPECT_EQ(B.peek(1), State::Closed) << "one failure is below threshold";
+  B.admit(1);
+  B.recordFailure(1);
+  EXPECT_EQ(B.peek(1), State::Open);
+  EXPECT_EQ(B.stats().Opens, 1);
+}
+
+TEST(CircuitBreaker, SuccessResetsConsecutiveFailures) {
+  CircuitBreaker B(smallOptions());
+  B.admit(1);
+  B.recordFailure(1);
+  B.admit(1);
+  B.recordSuccess(1); // breaks the streak
+  B.admit(1);
+  B.recordFailure(1);
+  EXPECT_EQ(B.peek(1), State::Closed)
+      << "non-consecutive failures must not open the breaker";
+}
+
+TEST(CircuitBreaker, OpenServesFallbackThenProbes) {
+  CircuitBreaker B(smallOptions());
+  for (int I = 0; I < 2; ++I) {
+    B.admit(1);
+    B.recordFailure(1);
+  }
+  // Three fallback serves (the open budget), then the next admit is the
+  // half-open probe.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(B.admit(1), State::Open) << "budget serve " << I;
+  EXPECT_EQ(B.admit(1), State::HalfOpen);
+  EXPECT_EQ(B.stats().Probes, 1);
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  CircuitBreaker B(smallOptions());
+  for (int I = 0; I < 2; ++I) {
+    B.admit(1);
+    B.recordFailure(1);
+  }
+  for (int I = 0; I < 3; ++I)
+    B.admit(1);
+  ASSERT_EQ(B.admit(1), State::HalfOpen);
+  B.recordSuccess(1);
+  EXPECT_EQ(B.peek(1), State::Closed);
+  EXPECT_EQ(B.admit(1), State::Closed);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensWithFreshBudget) {
+  CircuitBreaker B(smallOptions());
+  for (int I = 0; I < 2; ++I) {
+    B.admit(1);
+    B.recordFailure(1);
+  }
+  for (int I = 0; I < 3; ++I)
+    B.admit(1);
+  ASSERT_EQ(B.admit(1), State::HalfOpen);
+  B.recordFailure(1);
+  EXPECT_EQ(B.peek(1), State::Open);
+  // A full fresh budget of fallback serves before the next probe.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(B.admit(1), State::Open) << "refilled serve " << I;
+  EXPECT_EQ(B.admit(1), State::HalfOpen);
+  EXPECT_EQ(B.stats().Opens, 2);
+  EXPECT_EQ(B.stats().Probes, 2);
+}
+
+TEST(CircuitBreaker, KeysAreIndependent) {
+  CircuitBreaker B(smallOptions());
+  for (int I = 0; I < 2; ++I) {
+    B.admit(1);
+    B.recordFailure(1);
+  }
+  EXPECT_EQ(B.peek(1), State::Open);
+  EXPECT_EQ(B.peek(2), State::Closed);
+  EXPECT_EQ(B.admit(2), State::Closed)
+      << "one program's quarantine must not affect another's";
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(breakerStateName(State::Closed), "closed");
+  EXPECT_STREQ(breakerStateName(State::Open), "open");
+  EXPECT_STREQ(breakerStateName(State::HalfOpen), "half-open");
+}
+
+} // namespace

@@ -1,0 +1,158 @@
+//===- tests/serve/ProgramCacheTest.cpp ------------------------*- C++ -*-===//
+//
+// The compile-once/run-many cache contract: LRU bounds, single-flight
+// compilation, failure-not-cached with a surviving attempt counter, and
+// eviction that never invalidates a handed-out program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ProgramCache.h"
+
+#include "frontend/Parser.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace simdflat;
+using namespace simdflat::serve;
+
+namespace {
+
+/// One real compiled program all tests share as the cache payload.
+transform::CompiledSimdProgram compiledFixture() {
+  frontend::ParseResult PR = frontend::parseProgram("PROGRAM FIX\n"
+                                                    "INTEGER a\n"
+                                                    "INTEGER b\n"
+                                                    "BEGIN\n"
+                                                    "  b = a * 3 + 1\n"
+                                                    "END\n");
+  EXPECT_TRUE(PR.ok()) << PR.Diags.renderAll();
+  auto C = transform::compileForSimdExec(*PR.Prog);
+  EXPECT_TRUE(static_cast<bool>(C)) << C.error().render();
+  return std::move(*C);
+}
+
+ProgramCache::Compiler okCompiler(std::atomic<int> *Runs = nullptr) {
+  return [Runs](int &Attempts) {
+    ++Attempts;
+    if (Runs)
+      ++*Runs;
+    return Expected<transform::CompiledSimdProgram, CompileFailure>(
+        compiledFixture());
+  };
+}
+
+TEST(ProgramCache, MissThenHit) {
+  ProgramCache C(4);
+  std::atomic<int> Runs{0};
+  ProgramCache::Outcome First = C.getOrCompile(1, okCompiler(&Runs));
+  ASSERT_NE(First.Prog, nullptr);
+  EXPECT_FALSE(First.Hit);
+  EXPECT_FALSE(First.Waited);
+  EXPECT_EQ(First.Attempts, 1);
+
+  ProgramCache::Outcome Second = C.getOrCompile(1, okCompiler(&Runs));
+  ASSERT_NE(Second.Prog, nullptr);
+  EXPECT_TRUE(Second.Hit);
+  EXPECT_EQ(Second.Attempts, 0);
+  EXPECT_EQ(Runs.load(), 1) << "a hit must not recompile";
+  EXPECT_EQ(Second.Prog, First.Prog) << "hits share the entry";
+
+  ProgramCache::Stats S = C.stats();
+  EXPECT_EQ(S.Misses, 1);
+  EXPECT_EQ(S.Hits, 1);
+  EXPECT_EQ(C.size(), 1u);
+}
+
+TEST(ProgramCache, SingleFlightCompilesOnce) {
+  // Eight threads race for one uncached key; exactly one compiler run,
+  // everyone gets the same program.
+  ProgramCache C(4);
+  std::atomic<int> Runs{0};
+  ProgramCache::Compiler Slow = [&Runs](int &Attempts) {
+    ++Attempts;
+    ++Runs;
+    // Long enough that the other threads reliably join the flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return Expected<transform::CompiledSimdProgram, CompileFailure>(
+        compiledFixture());
+  };
+  constexpr int N = 8;
+  std::vector<ProgramCache::Outcome> Out(N);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back(
+        [&, I] { Out[I] = C.getOrCompile(7, Slow); });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Runs.load(), 1) << "single-flight violated";
+  for (int I = 0; I < N; ++I) {
+    ASSERT_NE(Out[I].Prog, nullptr) << "thread " << I;
+    EXPECT_EQ(Out[I].Prog, Out[0].Prog) << "thread " << I;
+  }
+}
+
+TEST(ProgramCache, FailureIsNotCachedButAttemptsSurvive) {
+  ProgramCache C(4);
+  std::atomic<int> Runs{0};
+  ProgramCache::Compiler FailOnce = [&Runs](int &Attempts) {
+    int Attempt = ++Attempts;
+    ++Runs;
+    if (Attempt == 1)
+      return Expected<transform::CompiledSimdProgram, CompileFailure>(
+          CompileFailure{"injected", /*Transient=*/true});
+    return Expected<transform::CompiledSimdProgram, CompileFailure>(
+        compiledFixture());
+  };
+  ProgramCache::Outcome First = C.getOrCompile(3, FailOnce);
+  EXPECT_EQ(First.Prog, nullptr);
+  EXPECT_EQ(First.Error, "injected");
+  EXPECT_EQ(C.size(), 0u) << "failures must not occupy a slot";
+
+  // The next lookup re-runs the compiler, and the per-key attempt
+  // counter resumed at 1, so attempt 2 succeeds.
+  ProgramCache::Outcome Second = C.getOrCompile(3, FailOnce);
+  ASSERT_NE(Second.Prog, nullptr);
+  EXPECT_EQ(Second.Attempts, 2)
+      << "attempt history must survive the failed flight";
+  EXPECT_EQ(Runs.load(), 2);
+}
+
+TEST(ProgramCache, LruEvictsOldestCompleted) {
+  ProgramCache C(2);
+  std::atomic<int> Runs{0};
+  C.getOrCompile(1, okCompiler(&Runs));
+  C.getOrCompile(2, okCompiler(&Runs));
+  // Touch 1 so 2 is the LRU victim when 3 arrives.
+  EXPECT_TRUE(C.getOrCompile(1, okCompiler(&Runs)).Hit);
+  C.getOrCompile(3, okCompiler(&Runs));
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_EQ(C.stats().Evictions, 1);
+  EXPECT_TRUE(C.getOrCompile(1, okCompiler(&Runs)).Hit);
+  EXPECT_FALSE(C.getOrCompile(2, okCompiler(&Runs)).Hit)
+      << "the LRU key must have been evicted";
+}
+
+TEST(ProgramCache, EvictionKeepsHandedOutProgramsAlive) {
+  ProgramCache C(1);
+  ProgramCache::Outcome Out = C.getOrCompile(9, okCompiler());
+  ASSERT_NE(Out.Prog, nullptr);
+  C.evict(9);
+  EXPECT_EQ(C.size(), 0u);
+  // The shared_ptr handoff keeps the compiled program valid.
+  ASSERT_NE(Out.Prog->Code, nullptr);
+  EXPECT_FALSE(C.getOrCompile(9, okCompiler()).Hit);
+}
+
+TEST(ProgramCache, EvictUnknownKeyIsNoop) {
+  ProgramCache C(2);
+  C.evict(42);
+  EXPECT_EQ(C.stats().Evictions, 0);
+  EXPECT_EQ(C.size(), 0u);
+}
+
+} // namespace

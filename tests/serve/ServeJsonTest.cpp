@@ -1,0 +1,189 @@
+//===- tests/serve/ServeJsonTest.cpp ---------------------------*- C++ -*-===//
+//
+// The flattend wire format: strict request parsing (a hostile line is a
+// structured parse error, never a misread request), reply/telemetry
+// serialization, and the compact JSON-lines framing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace simdflat;
+using namespace simdflat::serve;
+
+namespace {
+
+json::Value parseDoc(const std::string &Text) {
+  auto V = json::Value::parse(Text);
+  EXPECT_TRUE(static_cast<bool>(V)) << Text;
+  return *V;
+}
+
+TEST(ServeJson, ParsesFullRequest) {
+  auto R = parseRequest(parseDoc(
+      R"({"id": 7, "source": "PROGRAM P\nEND\n", "ints": {"K": 8},
+          "int_arrays": {"L": [1, 2, 3]}, "real_arrays": {"W": [0.5, 2]},
+          "lanes": 8, "fuel": 5000, "deadline_ms": 100,
+          "queue_timeout_ms": 10, "min_one": true, "want_arrays": true})"));
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error();
+  EXPECT_EQ(R->Id, 7u);
+  EXPECT_EQ(R->Source, "PROGRAM P\nEND\n");
+  EXPECT_EQ(R->Ints.at("K"), 8);
+  EXPECT_EQ(R->IntArrays.at("L"), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(R->RealArrays.at("W"), (std::vector<double>{0.5, 2.0}));
+  EXPECT_EQ(R->Lanes, 8);
+  EXPECT_EQ(R->Fuel, 5000);
+  EXPECT_EQ(R->DeadlineMs, 100);
+  EXPECT_EQ(R->QueueTimeoutMs, 10);
+  EXPECT_TRUE(R->MinOne);
+  EXPECT_TRUE(R->WantArrays);
+}
+
+TEST(ServeJson, DefaultsApplyWhenFieldsAbsent) {
+  auto R = parseRequest(parseDoc(R"({"source": "x"})"));
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error();
+  EXPECT_EQ(R->Id, 0u);
+  EXPECT_EQ(R->Lanes, 4);
+  EXPECT_EQ(R->Fuel, 0);
+  EXPECT_FALSE(R->WantArrays);
+}
+
+TEST(ServeJson, RejectsMalformedRequests) {
+  // Not an object.
+  EXPECT_FALSE(static_cast<bool>(parseRequest(parseDoc("[1, 2]"))));
+  // Missing source.
+  EXPECT_FALSE(static_cast<bool>(parseRequest(parseDoc(R"({"id": 1})"))));
+  // Source of the wrong type.
+  EXPECT_FALSE(
+      static_cast<bool>(parseRequest(parseDoc(R"({"source": 3})"))));
+  // Unknown field: a typo must not be silently ignored.
+  auto Unknown =
+      parseRequest(parseDoc(R"({"source": "x", "fuell": 10})"));
+  ASSERT_FALSE(static_cast<bool>(Unknown));
+  EXPECT_NE(Unknown.error().find("fuell"), std::string::npos);
+  // Wrong field types.
+  EXPECT_FALSE(static_cast<bool>(
+      parseRequest(parseDoc(R"({"source": "x", "fuel": "lots"})"))));
+  EXPECT_FALSE(static_cast<bool>(
+      parseRequest(parseDoc(R"({"source": "x", "ints": [1]})"))));
+  EXPECT_FALSE(static_cast<bool>(parseRequest(
+      parseDoc(R"({"source": "x", "int_arrays": {"A": [1, "two"]}})"))));
+}
+
+Reply sampleReply() {
+  Reply R;
+  R.Id = 9;
+  R.Out = Outcome::Served;
+  R.IntArrays["X"] = {1, 2, 3};
+  R.Tele.QueueNanos = 10;
+  R.Tele.CompileNanos = 20;
+  R.Tele.RunNanos = 30;
+  R.Tele.CacheHit = true;
+  R.Tele.CompileAttempts = 1;
+  R.Tele.FuelSpent = 44;
+  return R;
+}
+
+TEST(ServeJson, ServedReplySerialization) {
+  json::Value O = toJson(sampleReply());
+  EXPECT_EQ(O.get("id")->asInt(), 9);
+  EXPECT_EQ(O.get("outcome")->asString(), "served");
+  EXPECT_EQ(O.get("error"), nullptr) << "no error field when served";
+  EXPECT_EQ(O.get("retry_after_ms"), nullptr)
+      << "retry hint is shed-only";
+  ASSERT_NE(O.get("int_arrays"), nullptr);
+  EXPECT_EQ(O.get("int_arrays")->get("X")->size(), 3u);
+  const json::Value *Tele = O.get("telemetry");
+  ASSERT_NE(Tele, nullptr);
+  EXPECT_EQ(Tele->get("engine")->asString(), "bytecode");
+  EXPECT_TRUE(Tele->get("cache_hit")->asBool());
+  EXPECT_EQ(Tele->get("fuel_spent")->asInt(), 44);
+}
+
+TEST(ServeJson, ShedAndTrappedReplySerialization) {
+  Reply Shed;
+  Shed.Id = 1;
+  Shed.Out = Outcome::Shed;
+  Shed.Error = "admission queue full (4 waiting)";
+  Shed.RetryAfterMs = 5;
+  json::Value SO = toJson(Shed);
+  EXPECT_EQ(SO.get("outcome")->asString(), "shed");
+  EXPECT_EQ(SO.get("retry_after_ms")->asInt(), 5);
+  EXPECT_NE(SO.get("error")->asString().find("queue full"),
+            std::string::npos);
+
+  Reply Trapped;
+  Trapped.Id = 2;
+  Trapped.Out = Outcome::Trapped;
+  interp::Trap T;
+  T.Kind = interp::TrapKind::FuelExhausted;
+  T.Lanes = {0, 2};
+  T.Location = "DO i";
+  T.Detail = "fuel exhausted";
+  Trapped.T = T;
+  json::Value TO = toJson(Trapped);
+  EXPECT_EQ(TO.get("outcome")->asString(), "trapped");
+  const json::Value *Trap = TO.get("trap");
+  ASSERT_NE(Trap, nullptr);
+  EXPECT_EQ(Trap->get("kind")->asString(),
+            interp::trapKindName(interp::TrapKind::FuelExhausted));
+  EXPECT_EQ(Trap->get("lanes")->size(), 2u);
+  EXPECT_EQ(Trap->get("location")->asString(), "DO i");
+}
+
+TEST(ServeJson, OutcomeNamesRoundTrip) {
+  for (Outcome O : {Outcome::Served, Outcome::Trapped, Outcome::Shed,
+                    Outcome::CompileError}) {
+    Outcome Back;
+    ASSERT_TRUE(outcomeFromName(outcomeName(O), Back)) << outcomeName(O);
+    EXPECT_EQ(Back, O);
+  }
+  Outcome Out;
+  EXPECT_FALSE(outcomeFromName("exploded", Out));
+}
+
+TEST(ServeJson, TelemetryRecordIsSchemaTagged) {
+  json::Value O = telemetryJson(sampleReply());
+  EXPECT_EQ(O.get("schema")->asString(), "simdflat-serve-v1");
+  EXPECT_EQ(O.get("outcome")->asString(), "served");
+  EXPECT_EQ(O.get("engine")->asString(), "bytecode");
+  EXPECT_EQ(O.get("compile_attempts")->asInt(), 1);
+}
+
+TEST(ServeJson, StatsSerializationCarriesConsistency) {
+  ServerStats S;
+  S.Submitted = 4;
+  S.Served = 2;
+  S.Shed = 1;
+  S.CompileErrors = 1;
+  json::Value O = toJson(S);
+  EXPECT_EQ(O.get("submitted")->asInt(), 4);
+  EXPECT_TRUE(O.get("consistent")->asBool());
+  S.Shed = 0; // lose a request: the summary must say so
+  EXPECT_FALSE(toJson(S).get("consistent")->asBool());
+}
+
+TEST(ServeJson, ToLineIsCompactAndRoundTrips) {
+  json::Value Doc = toJson(sampleReply());
+  std::string Line = toLine(Doc);
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  EXPECT_EQ(Line.front(), '{');
+  auto Back = json::Value::parse(Line);
+  ASSERT_TRUE(static_cast<bool>(Back)) << Line;
+  EXPECT_EQ(Back->dump(), Doc.dump());
+}
+
+TEST(ServeJson, ToLineEscapesStrings) {
+  json::Value Doc = json::Value::object();
+  Doc.set("s", std::string("a\"b\nc"));
+  std::string Line = toLine(Doc);
+  EXPECT_EQ(Line.find('\n'), std::string::npos)
+      << "embedded newlines must be escaped for JSON-lines framing";
+  auto Back = json::Value::parse(Line);
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_EQ(Back->get("s")->asString(), "a\"b\nc");
+}
+
+} // namespace

@@ -1,0 +1,467 @@
+//===- tests/serve/ServerTest.cpp ------------------------------*- C++ -*-===//
+//
+// The serving core's robustness contract, request by request: every
+// submission resolves to exactly one structured reply (served, trapped,
+// shed, or compile-error), admission control sheds deterministically,
+// budgets are enforced end to end, compile failures retry / degrade to
+// the fallback, and the counters partition the submissions. The
+// ConcurrentSoak test at the bottom is the TSan target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "interp/Trap.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+using namespace simdflat;
+using namespace simdflat::serve;
+
+namespace {
+
+constexpr const char *ExampleSource =
+    "PROGRAM EX\n"
+    "INTEGER K\n"
+    "DISTRIBUTED INTEGER L(8)\n"
+    "DISTRIBUTED INTEGER X(8, 4)\n"
+    "INTEGER i\n"
+    "INTEGER j\n"
+    "BEGIN\n"
+    "  DOALL i = 1, K\n"
+    "    DO j = 1, L(i)\n"
+    "      X(i, j) = i * j\n"
+    "    ENDDO\n"
+    "  ENDDO\n"
+    "END\n";
+
+constexpr const char *ScalarSource = "PROGRAM REPEAT\n"
+                                     "INTEGER a\n"
+                                     "INTEGER b\n"
+                                     "BEGIN\n"
+                                     "  b = a * 3 + 1\n"
+                                     "END\n";
+
+Request exampleRequest() {
+  Request R;
+  R.Source = ExampleSource;
+  R.Ints["K"] = 8;
+  R.IntArrays["L"] = {4, 1, 2, 1, 1, 3, 1, 3};
+  R.Lanes = 4;
+  R.Fuel = 100'000;
+  return R;
+}
+
+Reply getReply(std::future<Reply> F) {
+  // Generous bound: a miss here is a hang, the one thing the server
+  // must never do.
+  EXPECT_EQ(F.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "reply never arrived";
+  return F.get();
+}
+
+void expectConsistent(const Server &S) {
+  ServerStats St = S.stats();
+  EXPECT_TRUE(St.consistent())
+      << St.Served << " served + " << St.Trapped << " trapped + "
+      << St.Shed << " shed + " << St.CompileErrors
+      << " compile-errors != " << St.Submitted << " submitted";
+}
+
+TEST(Server, ServesAndReturnsRequestedArrays) {
+  Server S;
+  Request R = exampleRequest();
+  R.Id = 42;
+  R.WantArrays = true;
+  Reply Rep = getReply(S.submit(std::move(R)));
+  EXPECT_EQ(Rep.Id, 42u);
+  ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+  EXPECT_GT(Rep.Tele.FuelSpent, 0);
+  EXPECT_EQ(Rep.Tele.Engine, "bytecode");
+  EXPECT_FALSE(Rep.Tele.CacheHit);
+
+  // Only arrays the *submitted* program declares come back - pipeline
+  // temporaries stay hidden.
+  ASSERT_EQ(Rep.IntArrays.count("X"), 1u);
+  ASSERT_EQ(Rep.IntArrays.count("L"), 1u);
+  EXPECT_EQ(Rep.IntArrays.size(), 2u);
+  // X(i, j) = i * j for j <= L(i): the element sum is layout-agnostic.
+  //   sum_i i * tri(L(i)) = 1*10+2*1+3*3+4*1+5*1+6*6+7*1+8*6 = 121
+  const std::vector<int64_t> &X = Rep.IntArrays["X"];
+  EXPECT_EQ(X.size(), 32u);
+  EXPECT_EQ(std::accumulate(X.begin(), X.end(), int64_t{0}), 121);
+  expectConsistent(S);
+}
+
+TEST(Server, RepeatIsACacheHit) {
+  ServerOptions SO;
+  SO.Workers = 1; // serialize so the second request sees the cache
+  Server S(SO);
+  Reply First = getReply(S.submit(exampleRequest()));
+  ASSERT_EQ(First.Out, Outcome::Served) << First.Error;
+  EXPECT_FALSE(First.Tele.CacheHit);
+  Reply Second = getReply(S.submit(exampleRequest()));
+  ASSERT_EQ(Second.Out, Outcome::Served) << Second.Error;
+  EXPECT_TRUE(Second.Tele.CacheHit);
+  EXPECT_EQ(Second.Tele.CompileAttempts, 0);
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.CacheHits, 1);
+  EXPECT_EQ(St.CacheMisses, 1);
+  expectConsistent(S);
+}
+
+TEST(Server, ParseFailureIsCompileError) {
+  Server S;
+  Request R;
+  R.Source = "PROGRAM BROKEN\nBEGIN\n  THIS IS NOT FORTRAN\nEND\n";
+  Reply Rep = getReply(S.submit(std::move(R)));
+  EXPECT_EQ(Rep.Out, Outcome::CompileError);
+  EXPECT_FALSE(Rep.Error.empty());
+  expectConsistent(S);
+}
+
+TEST(Server, BadInputsAreCompileErrors) {
+  Server S;
+  // Undeclared scalar.
+  Request R1 = exampleRequest();
+  R1.Ints["nosuch"] = 1;
+  Reply Rep1 = getReply(S.submit(std::move(R1)));
+  EXPECT_EQ(Rep1.Out, Outcome::CompileError);
+  EXPECT_NE(Rep1.Error.find("not declared"), std::string::npos)
+      << Rep1.Error;
+  // Mis-sized array.
+  Request R2 = exampleRequest();
+  R2.IntArrays["L"] = {1, 2};
+  Reply Rep2 = getReply(S.submit(std::move(R2)));
+  EXPECT_EQ(Rep2.Out, Outcome::CompileError);
+  EXPECT_NE(Rep2.Error.find("elements"), std::string::npos) << Rep2.Error;
+  expectConsistent(S);
+}
+
+TEST(Server, ProgramTrapIsATrappedReply) {
+  Server S;
+  Request R;
+  R.Source = "PROGRAM OOB\n"
+             "DISTRIBUTED INTEGER A(4)\n"
+             "INTEGER i\n"
+             "BEGIN\n"
+             "  DOALL i = 1, 4\n"
+             "    A(i + 4) = i\n"
+             "  ENDDO\n"
+             "END\n";
+  R.Lanes = 4;
+  Reply Rep = getReply(S.submit(std::move(R)));
+  ASSERT_EQ(Rep.Out, Outcome::Trapped) << Rep.Error;
+  ASSERT_TRUE(Rep.T.has_value());
+  EXPECT_EQ(Rep.T->Kind, interp::TrapKind::OutOfBounds);
+  expectConsistent(S);
+}
+
+TEST(Server, FuelExhaustionTraps) {
+  Server S;
+  Request R;
+  R.Source = ScalarSource;
+  R.Ints["a"] = 7;
+  R.Lanes = 1;
+  R.Fuel = 1;
+  Reply Rep = getReply(S.submit(std::move(R)));
+  ASSERT_EQ(Rep.Out, Outcome::Trapped) << Rep.Error;
+  ASSERT_TRUE(Rep.T.has_value());
+  EXPECT_EQ(Rep.T->Kind, interp::TrapKind::FuelExhausted);
+  expectConsistent(S);
+}
+
+TEST(Server, DeadlineExpiresMidRun) {
+  Server S;
+  Request R;
+  R.Source = "PROGRAM SPIN\n"
+             "INTEGER i\n"
+             "INTEGER s\n"
+             "BEGIN\n"
+             "  s = 0\n"
+             "  DO i = 1, 50000000\n"
+             "    s = s + i\n"
+             "  ENDDO\n"
+             "END\n";
+  R.Lanes = 1;
+  R.DeadlineMs = 30; // far less than 5e7 interpreted iterations take
+  Reply Rep = getReply(S.submit(std::move(R)));
+  ASSERT_EQ(Rep.Out, Outcome::Trapped) << Rep.Error;
+  ASSERT_TRUE(Rep.T.has_value());
+  EXPECT_EQ(Rep.T->Kind, interp::TrapKind::DeadlineExpired);
+  expectConsistent(S);
+}
+
+TEST(Server, OverBudgetRequestsShedAtSubmitWithNoRetryHint) {
+  ServerOptions SO;
+  SO.MaxFuel = 1000;
+  Server S(SO);
+  // Fuel beyond the cap.
+  Request R1 = exampleRequest();
+  R1.Fuel = 2000;
+  Reply Rep1 = getReply(S.submit(std::move(R1)));
+  EXPECT_EQ(Rep1.Out, Outcome::Shed);
+  EXPECT_EQ(Rep1.RetryAfterMs, 0) << "retrying an over-budget request is "
+                                     "pointless";
+  // Unlimited fuel is over budget too when the server enforces a cap.
+  Request R2 = exampleRequest();
+  R2.Fuel = 0;
+  Reply Rep2 = getReply(S.submit(std::move(R2)));
+  EXPECT_EQ(Rep2.Out, Outcome::Shed);
+  // Lanes beyond the cap.
+  Request R3 = exampleRequest();
+  R3.Fuel = 1000;
+  R3.Lanes = SO.MaxLanes + 1;
+  Reply Rep3 = getReply(S.submit(std::move(R3)));
+  EXPECT_EQ(Rep3.Out, Outcome::Shed);
+  EXPECT_EQ(S.stats().Shed, 3);
+  expectConsistent(S);
+}
+
+TEST(Server, OversizedSourceSheds) {
+  ServerOptions SO;
+  SO.MaxSourceBytes = 64;
+  Server S(SO);
+  Request R = exampleRequest();
+  ASSERT_GT(R.Source.size(), SO.MaxSourceBytes);
+  Reply Rep = getReply(S.submit(std::move(R)));
+  EXPECT_EQ(Rep.Out, Outcome::Shed);
+  EXPECT_EQ(Rep.RetryAfterMs, 0);
+  expectConsistent(S);
+}
+
+TEST(Server, FullQueueShedsWithRetryHint) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 2;
+  SO.RetryAfterMs = 7;
+  // Stall the worker so the burst outruns the drain deterministically.
+  SO.Faults.WorkerStallMicros = 30'000;
+  Server S(SO);
+  const int N = 8;
+  std::vector<std::future<Reply>> Pending;
+  for (int I = 0; I < N; ++I) {
+    Request R;
+    R.Id = (uint64_t)I;
+    R.Source = ScalarSource;
+    R.Lanes = 1;
+    Pending.push_back(S.submit(std::move(R)));
+  }
+  int ShedCount = 0;
+  for (auto &F : Pending) {
+    Reply Rep = getReply(std::move(F));
+    if (Rep.Out == Outcome::Shed) {
+      ++ShedCount;
+      EXPECT_EQ(Rep.RetryAfterMs, 7)
+          << "a queue-full shed must carry the retry hint";
+    } else {
+      EXPECT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    }
+  }
+  // Queue (2) + in-flight (1) + submission-race slack; the rest shed.
+  EXPECT_GE(ShedCount, N - (int)SO.QueueCapacity - SO.Workers - 2);
+  expectConsistent(S);
+}
+
+TEST(Server, QueueTimeoutShedsStaleRequests) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 8;
+  SO.Faults.WorkerStallMicros = 30'000;
+  Server S(SO);
+  std::vector<std::future<Reply>> Pending;
+  for (int I = 0; I < 3; ++I) {
+    Request R;
+    R.Id = (uint64_t)I;
+    R.Source = ScalarSource;
+    R.Lanes = 1;
+    R.QueueTimeoutMs = 1; // expires while the worker stalls on request 0
+    Pending.push_back(S.submit(std::move(R)));
+  }
+  int TimedOut = 0;
+  for (auto &F : Pending) {
+    Reply Rep = getReply(std::move(F));
+    if (Rep.Out == Outcome::Shed) {
+      ++TimedOut;
+      EXPECT_NE(Rep.Error.find("queue budget"), std::string::npos)
+          << Rep.Error;
+    }
+  }
+  EXPECT_GE(TimedOut, 1) << "requests behind the stalled worker must "
+                            "time out of the queue";
+  expectConsistent(S);
+}
+
+TEST(Server, TransientCompileFailureRecoversViaRetry) {
+  ServerOptions SO;
+  SO.Faults.CompileFailures = 1; // first attempt fails, retry succeeds
+  SO.CompileRetries = 2;
+  SO.BackoffBaseMicros = 10; // keep the test fast
+  Server S(SO);
+  Reply Rep = getReply(S.submit(exampleRequest()));
+  ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+  EXPECT_FALSE(Rep.Tele.Fallback)
+      << "the retried primary compile should have succeeded";
+  EXPECT_EQ(Rep.Tele.CompileAttempts, 2);
+  EXPECT_GE(S.stats().CompileRetries, 1);
+  expectConsistent(S);
+}
+
+TEST(Server, TotalPrimaryFailureDegradesToFallback) {
+  ServerOptions SO;
+  SO.Faults.CompileFailures = 1'000'000;
+  SO.CompileRetries = 0;
+  Server S(SO);
+  Reply Rep = getReply(S.submit(exampleRequest()));
+  ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+  EXPECT_TRUE(Rep.Tele.Fallback);
+  EXPECT_EQ(S.stats().FallbackServes, 1);
+  expectConsistent(S);
+}
+
+TEST(Server, BreakerOpensUnderRepeatedPrimaryFailure) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Faults.CompileFailures = 1'000'000;
+  SO.CompileRetries = 0;
+  SO.Breaker.FailureThreshold = 2;
+  SO.Breaker.OpenBudget = 8;
+  Server S(SO);
+  for (int I = 0; I < 5; ++I) {
+    Reply Rep = getReply(S.submit(exampleRequest()));
+    ASSERT_EQ(Rep.Out, Outcome::Served)
+        << "request " << I << ": " << Rep.Error;
+    EXPECT_TRUE(Rep.Tele.Fallback) << "request " << I;
+  }
+  ServerStats St = S.stats();
+  EXPECT_GE(St.BreakerOpens, 1)
+      << "consecutive primary failures must open the breaker";
+  EXPECT_EQ(St.FallbackServes, 5);
+  expectConsistent(S);
+}
+
+TEST(Server, ShutdownShedsQueuedRequests) {
+  std::vector<std::future<Reply>> Pending;
+  {
+    ServerOptions SO;
+    SO.Workers = 1;
+    SO.QueueCapacity = 8;
+    SO.Faults.WorkerStallMicros = 20'000;
+    Server S(SO);
+    for (int I = 0; I < 4; ++I) {
+      Request R;
+      R.Id = (uint64_t)I;
+      R.Source = ScalarSource;
+      R.Lanes = 1;
+      Pending.push_back(S.submit(std::move(R)));
+    }
+    // The server is destroyed with requests still queued.
+  }
+  for (auto &F : Pending) {
+    Reply Rep = getReply(std::move(F));
+    // Every future resolved: served if the worker got to it, shed with
+    // no retry hint otherwise. Nothing is dropped on the floor.
+    if (Rep.Out == Outcome::Shed) {
+      EXPECT_NE(Rep.Error.find("shutting down"), std::string::npos)
+          << Rep.Error;
+      EXPECT_EQ(Rep.RetryAfterMs, 0);
+    } else {
+      EXPECT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    }
+  }
+}
+
+TEST(Server, ConcurrentSoak) {
+  // The TSan target: several submitter threads hammer one server with
+  // a mix of valid (cache-hitting), hostile, trapping and fuel-starved
+  // requests while LRU pressure and mid-flight eviction churn the
+  // cache. The only assertions are the robustness contract itself:
+  // every reply arrives and the accounting partitions the submissions.
+  ServerOptions SO;
+  SO.Workers = 4;
+  SO.QueueCapacity = 256;
+  SO.CacheCapacity = 2; // constant eviction pressure
+  SO.Faults.EvictMidFlight = true;
+  Server S(SO);
+
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 32;
+  std::atomic<int64_t> Served{0}, Trapped{0}, Shed{0}, Errors{0},
+      Missing{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      std::vector<std::future<Reply>> Mine;
+      for (int I = 0; I < PerThread; ++I) {
+        Request R;
+        R.Id = (uint64_t)(T * PerThread + I);
+        R.Lanes = 1 + (I % 4);
+        R.Fuel = 100'000;
+        switch (I % 4) {
+        case 0:
+          R = exampleRequest();
+          R.WantArrays = (I % 8) == 0;
+          break;
+        case 1:
+          R.Source = ScalarSource;
+          R.Ints["a"] = I;
+          break;
+        case 2:
+          R.Source = "PROGRAM BAD\nBEGIN\n  NOPE " + std::to_string(I) +
+                     "\nEND\n";
+          break;
+        case 3:
+          R.Source = ScalarSource;
+          R.Fuel = 1; // starves
+          break;
+        }
+        Mine.push_back(S.submit(std::move(R)));
+      }
+      for (auto &F : Mine) {
+        if (F.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+          ++Missing;
+          continue;
+        }
+        switch (F.get().Out) {
+        case Outcome::Served:
+          ++Served;
+          break;
+        case Outcome::Trapped:
+          ++Trapped;
+          break;
+        case Outcome::Shed:
+          ++Shed;
+          break;
+        case Outcome::CompileError:
+          ++Errors;
+          break;
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Missing.load(), 0) << "hang: replies never arrived";
+  const int64_t Total = NumThreads * PerThread;
+  EXPECT_EQ(Served + Trapped + Shed + Errors, Total);
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.Submitted, Total);
+  EXPECT_TRUE(St.consistent());
+  EXPECT_EQ(St.Served, Served.load());
+  EXPECT_EQ(St.Trapped, Trapped.load());
+  EXPECT_EQ(St.CompileErrors, Errors.load());
+  // Mid-flight eviction drops every entry right after its lookup, so
+  // cache hits are impossible here by construction; the eviction
+  // counter is what proves the churn actually happened.
+  EXPECT_GT(St.CacheEvictions, 0) << "eviction pressure never fired";
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+//===- tests/tools/FlattencCliTest.cpp -------------------------*- C++ -*-===//
+//
+// The flattenc exit-code contract at the process boundary, notably the
+// top-level exception barrier: an escaped exception must become a
+// structured one-line diagnostic and exit code 4, never std::terminate.
+// FLATTENC_BIN is injected by the build (see tests/CMakeLists.txt).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct CliResult {
+  int ExitCode = -1;
+  std::string Output; // stdout + stderr interleaved
+};
+
+/// Runs flattenc with \p Args, capturing combined output and the exit
+/// code (-1 if the process died on a signal, e.g. std::terminate).
+CliResult runFlattenc(const std::string &Args) {
+  CliResult R;
+  std::string Cmd = std::string(FLATTENC_BIN) + " " + Args + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), P)) > 0)
+    R.Output.append(Buf.data(), N);
+  int Status = pclose(P);
+  if (Status >= 0 && WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  return R;
+}
+
+TEST(FlattencCli, ExceptionBarrierExitsFourWithDiagnostic) {
+  CliResult R = runFlattenc("--test-throw /dev/null");
+  EXPECT_EQ(R.ExitCode, 4)
+      << "an escaped exception must exit 4, not crash; output:\n"
+      << R.Output;
+  EXPECT_NE(R.Output.find("flattenc: internal error:"),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("--test-throw requested"), std::string::npos)
+      << R.Output;
+}
+
+TEST(FlattencCli, BadCommandLineExitsTwo) {
+  EXPECT_EQ(runFlattenc("--no-such-flag").ExitCode, 2);
+  // No input file at all.
+  EXPECT_EQ(runFlattenc("").ExitCode, 2);
+}
+
+TEST(FlattencCli, MissingInputFileIsAFrontEndError) {
+  CliResult R = runFlattenc("/nonexistent/prog.f");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.ExitCode, 4)
+      << "an unreadable input is an ordinary error, not the barrier";
+}
+
+TEST(FlattencCli, UsageMentionsAllExitCodes) {
+  CliResult R = runFlattenc("--help");
+  EXPECT_NE(R.Output.find("4 internal error"), std::string::npos)
+      << R.Output;
+}
+
+} // namespace

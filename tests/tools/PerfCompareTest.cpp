@@ -222,6 +222,26 @@ TEST(PerfCompare, DirCompareAddedAndRemovedAreInformational) {
   EXPECT_NE(Text.find("OK"), std::string::npos);
 }
 
+TEST(PerfCompare, DirCompareNewBenchFamilyDoesNotTripTheGate) {
+  // The exact shape of landing a serving benchmark: the PR adds
+  // BENCH_serve.json with no baseline counterpart. The new family must
+  // be reported as informational while existing families stay gated.
+  DirPair D("newfam");
+  D.writeBench(D.Base, "BENCH_example.json", "example", 100.0);
+  D.writeBench(D.New, "BENCH_example.json", "example", 100.0);
+  D.writeBench(D.New, "BENCH_serve.json", "serve", 1234.0);
+  auto R = compareBenchDirs(D.Base.string(), D.New.string());
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_TRUE(R->ok()) << "a brand-new bench family tripped the gate";
+  EXPECT_EQ(R->regressionCount(), 0);
+  ASSERT_EQ(R->OnlyInNew.size(), 1u);
+  EXPECT_EQ(R->OnlyInNew[0], "BENCH_serve.json");
+  EXPECT_TRUE(R->OnlyInBase.empty());
+  std::string Text = R->render({});
+  EXPECT_NE(Text.find("bench added"), std::string::npos);
+  EXPECT_NE(Text.find("OK"), std::string::npos);
+}
+
 TEST(PerfCompare, DirCompareRenameInPlaceIsInformational) {
   // Same filename, different embedded bench name: comparing the old
   // metrics against the new bench's would be meaningless, so the pair

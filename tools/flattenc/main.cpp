@@ -17,7 +17,8 @@
 ///            --set-array L=4,1,2,1,1,3,1,3 example.f (one line)
 ///
 /// Exit codes: 0 success, 1 front-end or pipeline error, 2 bad command
-/// line, 3 runtime trap under --run.
+/// line, 3 runtime trap under --run, 4 internal error (the top-level
+/// exception barrier fired).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +45,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,7 @@ struct CliOptions {
   bool Run = false;
   bool DumpBytecode = false;
   interp::Engine Eng = interp::Engine::Bytecode;
+  bool TestThrow = false;
   int64_t Lanes = 4;
   int64_t Fuel = 0;
   std::string StatsJsonPath;
@@ -93,7 +96,7 @@ void usage() {
       "  --set NAME=V           set an integer input (with --run)\n"
       "  --set-array NAME=a,b,c set an integer array input (with --run)\n"
       "exit codes: 0 success, 1 front-end/pipeline error, 2 bad command\n"
-      "line, 3 runtime trap\n");
+      "line, 3 runtime trap, 4 internal error\n");
 }
 
 /// Strict base-10 integer parse of all of \p S; rejects empty strings,
@@ -222,6 +225,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                         "value, got '%s'",
                         KV);
       Opts.SetArrays.emplace_back(KV.substr(0, Eq), std::move(Vals));
+    } else if (A == "--test-throw") {
+      // Undocumented: fires the exception barrier so the CLI test can
+      // assert the structured-diagnostic + exit-4 contract.
+      Opts.TestThrow = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return false;
@@ -267,10 +274,12 @@ bool checkSetName(const ir::Program &P, const std::string &Name,
 
 } // namespace
 
-int main(int Argc, char **Argv) {
+int realMain(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return 2;
+  if (Opts.TestThrow)
+    throw std::runtime_error("--test-throw requested");
 
   std::ifstream In(Opts.InputPath);
   if (!In) {
@@ -484,4 +493,19 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "\n");
   }
   return writeStats() ? 0 : 2;
+}
+
+int main(int Argc, char **Argv) {
+  // Top-level exception barrier: an escaped exception (std::bad_alloc
+  // on a hostile input, a container throw from a bug) is a structured
+  // one-line diagnostic and a distinct exit code, never std::terminate.
+  try {
+    return realMain(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "flattenc: internal error: %s\n", E.what());
+    return 4;
+  } catch (...) {
+    std::fprintf(stderr, "flattenc: internal error: unknown exception\n");
+    return 4;
+  }
 }

@@ -1,0 +1,315 @@
+//===- tools/flattend/main.cpp - Flattening-service daemon -----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// flattend: the compile-once/run-many face of the simdflat pipeline.
+/// Reads one JSON request per line from stdin (docs/SERVING.md), pushes
+/// each through the serve::Server (bounded admission queue, compiled-
+/// program cache, circuit breaker, per-request budgets), and writes one
+/// JSON reply per line to stdout in submission order. At end of input it
+/// prints a summary line with the server counters and self-checks the
+/// accounting invariant served + trapped + shed + compile-errors ==
+/// submitted.
+///
+/// Examples:
+///   flattend < requests.jsonl
+///   flattend --workers=4 --queue-capacity=8 --max-fuel=1000000
+///            --telemetry=serve.log < requests.jsonl   (one line)
+///   flattend --fault-compile-failures=2 --fault-evict-mid-flight
+///            < requests.jsonl   (fault drill: must still add up)
+///
+/// Exit codes: 0 success, 2 bad command line, 4 internal error (the
+/// exception barrier fired), 5 accounting inconsistency at shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/ServeJson.h"
+#include "serve/Server.h"
+#include "support/Json.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace simdflat;
+
+namespace {
+
+struct CliOptions {
+  serve::ServerOptions Server;
+  std::string TelemetryPath;
+  bool TestThrow = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: flattend [options] < requests.jsonl > replies.jsonl\n"
+      "  --workers=N              worker threads (default 2)\n"
+      "  --queue-capacity=N       admission queue bound (default 16)\n"
+      "  --cache-capacity=N       compiled programs kept (default 64)\n"
+      "  --max-lanes=N            lane bound per request (default 64)\n"
+      "  --max-fuel=N             require 0 < fuel <= N per request\n"
+      "                           (default 0: fuel optional)\n"
+      "  --compile-retries=N      retries after a failed compile "
+      "(default 2)\n"
+      "  --retry-after-ms=N       retry hint on shed replies (default 5)\n"
+      "  --layout=cyclic|block    lane layout (default cyclic)\n"
+      "  --telemetry=PATH         append one accounting record per reply\n"
+      "  --fault-compile-failures=N\n"
+      "                           fault drill: fail the first N compile\n"
+      "                           attempts of every primary pipeline\n"
+      "  --fault-evict-mid-flight fault drill: evict each program while\n"
+      "                           its request still runs\n"
+      "  --fault-worker-stall-micros=N\n"
+      "                           fault drill: stall workers N us per\n"
+      "                           request\n"
+      "exit codes: 0 success, 2 bad command line, 4 internal error,\n"
+      "5 accounting inconsistency\n");
+}
+
+bool parseInt(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size() || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+[[nodiscard]] bool cliError(const char *Fmt, const std::string &Arg) {
+  std::fprintf(stderr, Fmt, Arg.c_str());
+  std::fprintf(stderr, "\n");
+  usage();
+  return false;
+}
+
+bool optionValue(const std::string &A, std::string &Out) {
+  size_t Eq = A.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  Out = A.substr(Eq + 1);
+  return true;
+}
+
+bool intOption(const std::string &A, const char *Name, int64_t Min,
+               int64_t &Out, bool &Matched) {
+  Matched = A.rfind(Name, 0) == 0;
+  if (!Matched)
+    return true;
+  std::string V;
+  if (!optionValue(A, V) || !parseInt(V, Out) || Out < Min)
+    return cliError("flattend: bad value in '%s'", A);
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::string V;
+    int64_t N = 0;
+    bool Matched = false;
+    if (!intOption(A, "--workers", 1, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.Workers = (int)N;
+      continue;
+    }
+    if (!intOption(A, "--queue-capacity", 1, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.QueueCapacity = (size_t)N;
+      continue;
+    }
+    if (!intOption(A, "--cache-capacity", 1, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.CacheCapacity = (size_t)N;
+      continue;
+    }
+    if (!intOption(A, "--max-lanes", 1, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.MaxLanes = N;
+      continue;
+    }
+    if (!intOption(A, "--max-fuel", 0, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.MaxFuel = N;
+      continue;
+    }
+    if (!intOption(A, "--compile-retries", 0, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.CompileRetries = (int)N;
+      continue;
+    }
+    if (!intOption(A, "--retry-after-ms", 0, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.RetryAfterMs = N;
+      continue;
+    }
+    if (!intOption(A, "--fault-compile-failures", 0, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.Faults.CompileFailures = (int)N;
+      continue;
+    }
+    if (!intOption(A, "--fault-worker-stall-micros", 0, N, Matched))
+      return false;
+    if (Matched) {
+      Opts.Server.Faults.WorkerStallMicros = N;
+      continue;
+    }
+    if (A == "--fault-evict-mid-flight") {
+      Opts.Server.Faults.EvictMidFlight = true;
+    } else if (A.rfind("--layout", 0) == 0) {
+      if (!optionValue(A, V) || (V != "cyclic" && V != "block"))
+        return cliError("flattend: --layout expects cyclic|block, got '%s'",
+                        A);
+      Opts.Server.Layout = V == "block" ? machine::Layout::Block
+                                        : machine::Layout::Cyclic;
+    } else if (A.rfind("--telemetry", 0) == 0) {
+      if (!optionValue(A, V) || V.empty())
+        return cliError("flattend: --telemetry expects a non-empty path, "
+                        "got '%s'",
+                        A);
+      Opts.TelemetryPath = V;
+    } else if (A == "--test-throw") {
+      // Undocumented: fires the exception barrier (CI and the CLI test
+      // assert the structured-diagnostic + exit-4 contract).
+      Opts.TestThrow = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return false;
+    } else {
+      return cliError("flattend: unknown option '%s'", A);
+    }
+  }
+  return true;
+}
+
+int realMain(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return 2;
+  if (Opts.TestThrow)
+    throw std::runtime_error("--test-throw requested");
+
+  std::ofstream Telemetry;
+  if (!Opts.TelemetryPath.empty()) {
+    Telemetry.open(Opts.TelemetryPath, std::ios::app);
+    if (!Telemetry) {
+      std::fprintf(stderr, "flattend: cannot open '%s'\n",
+                   Opts.TelemetryPath.c_str());
+      return 2;
+    }
+  }
+
+  serve::Server Server(Opts.Server);
+
+  // Submit every line as it arrives (so the admission queue sees real
+  // pressure), remembering futures in submission order; bad JSON never
+  // reaches the server and is answered inline.
+  struct Pending {
+    std::future<serve::Reply> F;
+    std::optional<serve::Reply> Immediate;
+  };
+  std::vector<Pending> Replies;
+  int64_t BadLines = 0;
+  std::string Line;
+  uint64_t LineNo = 0;
+  while (std::getline(std::cin, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    auto Parsed = json::Value::parse(Line);
+    Pending P;
+    if (!Parsed) {
+      ++BadLines;
+      serve::Reply Rep;
+      Rep.Id = LineNo;
+      Rep.Out = serve::Outcome::CompileError;
+      Rep.Error = "request line " + std::to_string(LineNo) +
+                  " is not valid JSON: " + Parsed.error().render();
+      P.Immediate = std::move(Rep);
+    } else {
+      auto Req = serve::parseRequest(*Parsed);
+      if (!Req) {
+        ++BadLines;
+        serve::Reply Rep;
+        Rep.Id = LineNo;
+        Rep.Out = serve::Outcome::CompileError;
+        Rep.Error =
+            "request line " + std::to_string(LineNo) + ": " + Req.error();
+        P.Immediate = std::move(Rep);
+      } else {
+        P.F = Server.submit(std::move(*Req));
+      }
+    }
+    Replies.push_back(std::move(P));
+  }
+
+  int64_t Answered = 0;
+  for (Pending &P : Replies) {
+    serve::Reply Rep =
+        P.Immediate ? std::move(*P.Immediate) : P.F.get();
+    ++Answered;
+    std::fputs((serve::toLine(serve::toJson(Rep)) + "\n").c_str(), stdout);
+    std::fflush(stdout);
+    if (Telemetry.is_open())
+      Telemetry << serve::toLine(serve::telemetryJson(Rep)) << "\n";
+  }
+  if (Telemetry.is_open())
+    Telemetry.flush();
+
+  // Summary + self-check: the four outcome buckets must partition the
+  // submitted count, and every input line must have been answered.
+  serve::ServerStats Stats = Server.stats();
+  json::Value Summary = json::Value::object();
+  Summary.set("summary", true);
+  Summary.set("lines", (int64_t)Replies.size());
+  Summary.set("bad_lines", BadLines);
+  Summary.set("answered", Answered);
+  Summary.set("stats", serve::toJson(Stats));
+  std::fputs((serve::toLine(Summary) + "\n").c_str(), stdout);
+  std::fflush(stdout);
+
+  bool Consistent = Stats.consistent() &&
+                    Answered == (int64_t)Replies.size() &&
+                    Stats.Submitted + BadLines == (int64_t)Replies.size();
+  if (!Consistent) {
+    std::fprintf(stderr, "flattend: accounting inconsistency: %s\n",
+                 serve::toLine(serve::toJson(Stats)).c_str());
+    return 5;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Top-level exception barrier: an escaped exception is a structured
+  // one-line diagnostic and a distinct exit code, never std::terminate.
+  try {
+    return realMain(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "flattend: internal error: %s\n", E.what());
+    return 4;
+  } catch (...) {
+    std::fprintf(stderr, "flattend: internal error: unknown exception\n");
+    return 4;
+  }
+}

@@ -26,11 +26,13 @@
 #include "fuzz/Corpus.h"
 #include "fuzz/Generator.h"
 #include "fuzz/Oracle.h"
+#include "fuzz/ServeCampaign.h"
 #include "fuzz/Shrinker.h"
 #include "interp/Trap.h"
 #include "ir/Printer.h"
 #include "ir/Walk.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -62,8 +64,12 @@ void usage() {
       "  --count=N          cases to run (default 100)\n"
       "  --time-budget=SEC  stop after SEC seconds of fuzzing\n"
       "  --replay PATH      run one corpus case and check its verdict\n"
-      "  --campaign=faults  fault-injection campaign (fuel, hostile\n"
-      "                     externs, NaN inputs; default --count=200)\n"
+      "  --campaign=faults  fault-injection campaign (fuel, deadline,\n"
+      "                     hostile externs, NaN inputs; default\n"
+      "                     --count=200)\n"
+      "  --campaign=serve   serving-core fault campaign (mixed hostile\n"
+      "                     traffic, queue saturation, injected compile\n"
+      "                     failures, mid-flight eviction)\n"
       "  --export=PATH      write the --seed case as a corpus file\n"
       "  --out=DIR          directory for shrunk divergence cases\n"
       "  --break-guard-cache\n"
@@ -135,9 +141,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                         A);
       Opts.ReplayPath = V;
     } else if (A.rfind("--campaign", 0) == 0) {
-      if (!optionValue(A, V) || V != "faults")
-        return cliError("flattenfuzz: --campaign expects 'faults', "
-                        "got '%s'",
+      if (!optionValue(A, V) || (V != "faults" && V != "serve"))
+        return cliError("flattenfuzz: --campaign expects 'faults' or "
+                        "'serve', got '%s'",
                         A);
       Opts.Campaign = V;
     } else if (A.rfind("--export", 0) == 0) {
@@ -219,6 +225,27 @@ int runReplay(const CliOptions &Opts) {
   std::printf("flattenfuzz: %s ok (%s)\n", C->Name.c_str(),
               Ref.T ? Ref.T->render().c_str() : "completed");
   return 0;
+}
+
+int runServe(const CliOptions &Opts) {
+  ServeCampaignOptions SO;
+  SO.BaseSeed = Opts.Seed;
+  // --count sizes the mixed-traffic phase; the saturation, breaker and
+  // eviction phases are fixed-shape.
+  SO.Count = static_cast<int>(std::min<int64_t>(Opts.Count, 10'000));
+  ServeCampaignResult SR = runServeCampaign(SO);
+  for (const std::string &F : SR.Failures)
+    std::fprintf(stderr, "flattenfuzz: %s\n", F.c_str());
+  std::printf("flattenfuzz: serve campaign submitted %lld request(s): "
+              "%lld served, %lld trapped, %lld shed, %lld compile "
+              "error(s); %zu failure(s)\n",
+              static_cast<long long>(SR.Submitted),
+              static_cast<long long>(SR.Served),
+              static_cast<long long>(SR.Trapped),
+              static_cast<long long>(SR.Shed),
+              static_cast<long long>(SR.CompileErrors),
+              SR.Failures.size());
+  return SR.ok() ? 0 : 1;
 }
 
 int runCampaign(const CliOptions &Opts) {
@@ -305,6 +332,8 @@ int main(int Argc, char **Argv) {
     return 2;
   if (!Opts.ReplayPath.empty())
     return runReplay(Opts);
+  if (Opts.Campaign == "serve")
+    return runServe(Opts);
   if (!Opts.Campaign.empty())
     return runCampaign(Opts);
   if (!Opts.ExportPath.empty())
