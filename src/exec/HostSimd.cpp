@@ -1,0 +1,45 @@
+//===- exec/HostSimd.cpp - Host-vector instantiation of the core -*- C++-*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HostSimd backend: the shared evaluation core instantiated with
+/// hardware vector kernels. This is the only translation unit compiled
+/// with -mavx2 (and only when the top-level CMake check found a
+/// compiler AND build host that support it, surfaced here as
+/// SIMDFLAT_HOSTSIMD_AVX2); everything outside the kern::Avx2 kernels
+/// stays scalar control flow, so dispatch, traps and stats run the
+/// exact same code as the bytecode engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exec/EngineCore.h"
+
+using namespace simdflat;
+using namespace simdflat::exec;
+using namespace simdflat::interp;
+
+#if defined(SIMDFLAT_HOSTSIMD_AVX2) && defined(__AVX2__)
+using HostKern = kern::Avx2;
+#else
+using HostKern = kern::Portable;
+#endif
+
+const char *exec::hostSimdArch() { return HostKern::Name; }
+
+int exec::hostSimdWidth() {
+  return static_cast<int>(kern::PortableWidth);
+}
+
+void exec::runSimdHost(const Program &EP,
+                       const machine::MachineConfig &Machine,
+                       const ExternRegistry *Externs, const RunOptions &Opts,
+                       DataStore &Store, SimdRunResult &Result) {
+  assert(EP.M == Mode::Simd && "host-simd engine needs a Simd program");
+  detail::Core<true, HostKern> C(EP, Machine, Externs, Opts, Store, nullptr,
+                                 /*RecordWrites=*/false, Result.Stats,
+                                 Result.Tr, /*Writes=*/nullptr);
+  C.run();
+}

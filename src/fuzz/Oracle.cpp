@@ -226,25 +226,28 @@ std::string lanesOf(const Trap &T) {
   return Out;
 }
 
-/// The tree-walk and bytecode engines claim bit-identical semantics;
-/// hold them to it. Unlike compareVariant below, nothing here is
-/// schedule-dependent: same program, same store seed, same machine -
-/// every observable must match exactly, including trap location/detail
-/// and the charged cycle count.
+/// Every lowered engine (bytecode, hostsimd) claims bit-identical
+/// semantics with the tree walker; hold each to it. Unlike
+/// compareVariant below, nothing here is schedule-dependent: same
+/// program, same store seed, same machine - every observable must match
+/// exactly, including trap location/detail and the charged cycle count.
+/// \p EngName labels the non-tree engine in failure messages.
 void compareEngines(const VariantOutcome &TreeOut,
-                    const VariantOutcome &ByteOut,
+                    const VariantOutcome &ByteOut, const char *EngName,
                     std::vector<std::string> &Failures) {
   auto Fail = [&](const std::string &What) {
-    Failures.push_back(ByteOut.Variant + " [engine]: " + What);
+    Failures.push_back(ByteOut.Variant + " [engine " + EngName +
+                       "]: " + What);
   };
   if (TreeOut.Skipped || ByteOut.Skipped)
     return;
   if (TreeOut.T.has_value() != ByteOut.T.has_value()) {
     Fail(ByteOut.T
-             ? "bytecode trapped (" + ByteOut.T->render() +
+             ? std::string(EngName) + " trapped (" + ByteOut.T->render() +
                    ") but tree completed"
-             : "bytecode completed but tree trapped (" +
-                   TreeOut.T->render() + ")");
+             : std::string(EngName) +
+                   " completed but tree trapped (" + TreeOut.T->render() +
+                   ")");
     return;
   }
   if (TreeOut.T) {
@@ -347,13 +350,18 @@ void compareVariant(const VariantOutcome &Ref, const VariantOutcome &V,
 OracleResult fuzz::runOracle(const FuzzCase &C, const OracleOptions &Opts) {
   OracleResult Res;
 
-  // Every variant runs twice - tree-walk reference engine, then the
-  // bytecode engine - and the twins are held to exact equality before
-  // the bytecode outcome joins the cross-executor comparison below.
+  // Every variant runs three times - tree-walk reference engine, then
+  // the bytecode engine, then the host-SIMD backend - and each lowered
+  // engine is held to exact equality with the tree before the bytecode
+  // outcome joins the cross-executor comparison below. (On variants
+  // without SIMD lanes HostSimd takes the bytecode path by design; the
+  // triple still pins the dispatch plumbing.)
   auto pushTwin = [&Res](auto Make) {
     VariantOutcome TreeOut = Make(Engine::Tree);
     VariantOutcome ByteOut = Make(Engine::Bytecode);
-    compareEngines(TreeOut, ByteOut, Res.Failures);
+    VariantOutcome HostOut = Make(Engine::HostSimd);
+    compareEngines(TreeOut, ByteOut, "bytecode", Res.Failures);
+    compareEngines(TreeOut, HostOut, "hostsimd", Res.Failures);
     Res.Variants.push_back(std::move(ByteOut));
   };
 

@@ -104,12 +104,13 @@ interp::ExternRegistry makeFuzzRegistry(std::vector<std::string> &Log,
 /// Runs every variant of \p C and compares against the scalar
 /// reference. Never aborts on a trapping program.
 ///
-/// Every variant executes twice, once under the tree-walk engine and
-/// once under the bytecode engine, and the twins must agree *exactly*:
-/// same stores (bitwise), same body count, same extern log entry by
-/// entry, same trap kind/lanes/location/detail, same RunStats down to
-/// the charged cycle count. A twin mismatch is reported as a failure
-/// for variant "<name> [engine]"; Variants keeps the bytecode outcome.
+/// Every variant executes three times - tree-walk engine, bytecode
+/// engine, host-SIMD backend - and each lowered engine must agree with
+/// the tree *exactly*: same stores (bitwise), same body count, same
+/// extern log entry by entry, same trap kind/lanes/location/detail,
+/// same RunStats down to the charged cycle count. A mismatch is
+/// reported as a failure for variant "<name> [engine <eng>]"; Variants
+/// keeps the bytecode outcome.
 OracleResult runOracle(const FuzzCase &C, const OracleOptions &Opts = {});
 
 } // namespace fuzz

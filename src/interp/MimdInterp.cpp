@@ -40,7 +40,7 @@ MimdInterp::run(const std::function<void(DataStore &)> &Init) {
 
   // Lower once and share the bytecode across all processor engines.
   std::shared_ptr<const exec::Program> Compiled;
-  if (Opts.Eng == Engine::Bytecode)
+  if (Opts.Eng != Engine::Tree)
     Compiled = std::make_shared<exec::Program>(
         exec::lower(Prog, exec::Mode::Scalar));
 

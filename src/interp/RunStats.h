@@ -24,22 +24,35 @@
 namespace simdflat {
 namespace interp {
 
-/// Which execution engine runs the program. Both engines produce
+/// Which execution engine runs the program. All engines produce
 /// identical observable behavior (stores, stats, traces, traps) - the
-/// differential fuzzer enforces it - but Bytecode lowers once and runs a
-/// flat instruction stream while Tree re-walks the AST per statement.
-/// Tree survives as the reference oracle.
+/// differential fuzzer enforces it. Bytecode lowers once and runs a
+/// flat instruction stream while Tree re-walks the AST per statement;
+/// HostSimd runs the same bytecode but maps SIMD lanes onto real host
+/// vector lanes (AVX2 where the build detected it, a hand-rolled
+/// array-of-width fallback otherwise). Tree survives as the reference
+/// oracle. Scalar-mode programs have no lanes, so HostSimd degrades to
+/// the Bytecode path there by design.
 enum class Engine {
   Tree,
   Bytecode,
+  HostSimd,
 };
 
-/// Stable name for an engine ("tree" / "bytecode").
+/// Stable name for an engine ("tree" / "bytecode" / "hostsimd").
 inline const char *engineName(Engine E) {
-  return E == Engine::Tree ? "tree" : "bytecode";
+  switch (E) {
+  case Engine::Tree:
+    return "tree";
+  case Engine::Bytecode:
+    return "bytecode";
+  case Engine::HostSimd:
+    return "hostsimd";
+  }
+  return "bytecode";
 }
 
-/// Parses an engine name; returns false if \p Name matches neither.
+/// Parses an engine name; returns false if \p Name matches none.
 inline bool engineFromName(const std::string &Name, Engine &Out) {
   if (Name == "tree") {
     Out = Engine::Tree;
@@ -47,6 +60,10 @@ inline bool engineFromName(const std::string &Name, Engine &Out) {
   }
   if (Name == "bytecode") {
     Out = Engine::Bytecode;
+    return true;
+  }
+  if (Name == "hostsimd") {
+    Out = Engine::HostSimd;
     return true;
   }
   return false;
@@ -81,6 +98,16 @@ struct RunStats {
                ? 0.0
                : static_cast<double>(WorkActiveLanes) /
                      static_cast<double>(WorkTotalLanes);
+  }
+
+  /// Lane accounting sanity: active lane slots can never exceed total
+  /// lane slots (padded tail lanes count toward the total but are idle,
+  /// never active), and neither count may be negative. A record that
+  /// violates this would report a >100% utilization downstream;
+  /// StatsJson refuses to deserialize one.
+  bool laneAccountingConsistent() const {
+    return WorkActiveLanes >= 0 && WorkTotalLanes >= 0 &&
+           WorkActiveLanes <= WorkTotalLanes;
   }
 };
 
@@ -144,7 +171,8 @@ struct RunOptions {
   std::optional<std::chrono::steady_clock::time_point> Deadline;
   /// Execution engine. Bytecode is the default hot path; Tree is the
   /// tree-walking reference oracle the differential tests compare
-  /// against.
+  /// against; HostSimd runs the bytecode's SIMD lanes on real host
+  /// vector lanes.
   Engine Eng = Engine::Bytecode;
 };
 

@@ -572,7 +572,9 @@ RunOutcome<ScalarRunResult> ScalarInterp::run() {
   assert(!HasRun && "ScalarInterp::run() may be called once");
   HasRun = true;
   ScalarRunResult Result;
-  if (Opts.Eng == Engine::Bytecode) {
+  // Scalar-mode programs have no lanes, so HostSimd takes the bytecode
+  // path by design (the engine enum selects tree vs lowered execution).
+  if (Opts.Eng != Engine::Tree) {
     if (!Compiled)
       Compiled = std::make_shared<exec::Program>(
           exec::lower(Prog, exec::Mode::Scalar));

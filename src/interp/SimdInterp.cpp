@@ -69,12 +69,18 @@ public:
       reportFatalError("simd interp: program '" + Prog.name() +
                        "' is not in the F90simd dialect (run "
                        "transform::simdize first)");
-    if (Opts.Eng == Engine::Bytecode) {
+    if (Opts.Eng != Engine::Tree) {
       if (!Compiled)
         Compiled = std::make_shared<exec::Program>(
             exec::lower(Prog, exec::Mode::Simd));
       try {
-        exec::runSimd(*Compiled, Machine, Externs, Opts, Store, Result);
+        // HostSimd runs the same lowered program through the core with
+        // host vector kernels; bit-identical, only wall time differs.
+        if (Opts.Eng == Engine::HostSimd)
+          exec::runSimdHost(*Compiled, Machine, Externs, Opts, Store,
+                            Result);
+        else
+          exec::runSimd(*Compiled, Machine, Externs, Opts, Store, Result);
       } catch (TrapException &E) {
         return std::move(E.T);
       }

@@ -74,6 +74,15 @@ interp::runStatsFromJson(const json::Value &V) {
       !readDouble(V, "cycles", S.Cycles, Err) ||
       !readDouble(V, "seconds", S.Seconds, Err))
     return Err;
+  // Padded-tail hardening: a record claiming more active lane slots
+  // than total lane slots (or negative counts) would round-trip into a
+  // >100% utilization. No engine can produce one - padded lanes charge
+  // the total but are never active - so such a record is corrupt.
+  if (!S.laneAccountingConsistent())
+    return json::JsonError{
+        "work_active_lanes exceeds work_total_lanes (or a lane count "
+        "is negative): padded lanes are idle, never active",
+        0};
   return S;
 }
 

@@ -1,0 +1,18 @@
+//===- machine/HostVector.cpp - Host vector-unit capabilities --*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/HostVector.h"
+
+using namespace simdflat;
+using namespace simdflat::machine;
+
+HostVectorCaps machine::hostVectorCaps() {
+#ifdef SIMDFLAT_HOSTSIMD_AVX2
+  return {"avx2", 4, true};
+#else
+  return {"portable", 4, false};
+#endif
+}

@@ -1,0 +1,46 @@
+//===- machine/HostVector.h - Host vector-unit capabilities ----*- C++ -*-===//
+//
+// Part of simdflat. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configure-time capability query for the HostSimd backend: which
+/// kernel architecture this build executes model lanes with, and how
+/// wide its registers are. The answer is baked in by the top-level
+/// CMake AVX2 detection (a check_cxx_source_runs probe, so it guards
+/// both the compiler and the build host's CPU) and the
+/// SIMDFLAT_FORCE_PORTABLE_SIMD override - there is no runtime
+/// dispatch, which keeps bench numbers attributable to one code path.
+///
+/// This lives in src/machine rather than src/exec because it describes
+/// the *host* machine the way MachineConfig describes the *modeled*
+/// machine; tools report both side by side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SIMDFLAT_MACHINE_HOSTVECTOR_H
+#define SIMDFLAT_MACHINE_HOSTVECTOR_H
+
+namespace simdflat {
+namespace machine {
+
+/// What the HostSimd backend's kernels compile to in this build.
+struct HostVectorCaps {
+  /// "avx2" or "portable".
+  const char *Arch;
+  /// Double lanes per vector register (4 for AVX2; the portable
+  /// fallback processes fixed blocks of the same width).
+  int Width;
+  /// True when Arch is a real instruction-set extension rather than
+  /// the hand-rolled fallback.
+  bool IsHardware;
+};
+
+/// The capabilities baked into this build.
+HostVectorCaps hostVectorCaps();
+
+} // namespace machine
+} // namespace simdflat
+
+#endif // SIMDFLAT_MACHINE_HOSTVECTOR_H

@@ -121,7 +121,8 @@ struct Telemetry {
   /// Instructions the run charged (the fuel actually spent; 0 when the
   /// run trapped or never started).
   int64_t FuelSpent = 0;
-  /// Execution engine tag ("bytecode").
+  /// Execution engine tag ("tree" / "bytecode" / "hostsimd"), from
+  /// ServerOptions::Eng.
   std::string Engine = "bytecode";
 };
 

@@ -401,7 +401,8 @@ Reply Server::process(Job &J) {
   interp::RunOptions RO;
   RO.Fuel = R.Fuel;
   RO.Deadline = J.Deadline;
-  RO.Eng = interp::Engine::Bytecode;
+  RO.Eng = Opts.Eng;
+  Tele.Engine = interp::engineName(Opts.Eng);
 
   interp::SimdInterp Interp(Code->Prog, M, /*Externs=*/nullptr, RO);
   Interp.setCompiled(Code->Code);

@@ -30,6 +30,7 @@
 #ifndef SIMDFLAT_SERVE_SERVER_H
 #define SIMDFLAT_SERVE_SERVER_H
 
+#include "interp/RunStats.h"
 #include "machine/Machine.h"
 #include "serve/CircuitBreaker.h"
 #include "serve/ProgramCache.h"
@@ -70,6 +71,11 @@ struct ServerOptions {
   int64_t RetryAfterMs = 5;
   /// Lane layout every compiled program uses.
   machine::Layout Layout = machine::Layout::Cyclic;
+  /// Execution engine every request runs under (flattend --engine).
+  /// Tagged into each reply's telemetry. Tree is allowed (the oracle
+  /// engine serves correctly, just slowly); HostSimd maps model lanes
+  /// onto host vector lanes.
+  interp::Engine Eng = interp::Engine::Bytecode;
   CircuitBreaker::Options Breaker;
   FaultPlan Faults;
 };

@@ -1,10 +1,11 @@
 //===- tests/exec/EngineEquivalenceTest.cpp --------------------*- C++ -*-===//
 //
-// Twin-engine equivalence: the bytecode core must be observably
-// identical to the tree-walking reference on stores, every RunStats
-// counter, traces, and traps (kind, lanes, location, detail) across the
-// scalar, MIMD and SIMD executors. These are the focused unit-level
-// checks; the differential fuzzer covers the same contract at scale.
+// Triple-engine equivalence: the bytecode core and the host-SIMD
+// backend must be observably identical to the tree-walking reference on
+// stores, every RunStats counter, traces, and traps (kind, lanes,
+// location, detail) across the scalar, MIMD and SIMD executors. These
+// are the focused unit-level checks; the differential fuzzer covers the
+// same contract at scale.
 //
 //===----------------------------------------------------------------------===//
 
@@ -63,10 +64,11 @@ TEST(EngineEquivalence, ScalarStoresAndStats) {
   ExampleSpec Spec = paperExampleSpec();
   Program P = makeExample(Spec);
   machine::MachineConfig M = machine::MachineConfig::sparc2();
-  std::vector<int64_t> X[2];
-  ScalarRunResult R[2];
+  std::vector<int64_t> X[3];
+  ScalarRunResult R[3];
   int I = 0;
-  for (Engine E : {Engine::Tree, Engine::Bytecode}) {
+  for (Engine E :
+       {Engine::Tree, Engine::Bytecode, Engine::HostSimd}) {
     ScalarInterp Interp(P, M, nullptr, optsFor(E));
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);
@@ -75,7 +77,9 @@ TEST(EngineEquivalence, ScalarStoresAndStats) {
     ++I;
   }
   EXPECT_EQ(X[0], X[1]);
+  EXPECT_EQ(X[0], X[2]);
   expectSameStats(R[0].Stats, R[1].Stats);
+  expectSameStats(R[0].Stats, R[2].Stats);
 }
 
 TEST(EngineEquivalence, ScalarOutOfBoundsTrap) {
@@ -89,9 +93,10 @@ TEST(EngineEquivalence, ScalarOutOfBoundsTrap) {
       "i", B.lit(1), B.lit(9),
       Builder::body(B.assign(B.at("A", B.var("i")), B.var("i")))));
   machine::MachineConfig M = machine::MachineConfig::sparc2();
-  Trap T[2];
+  Trap T[3];
   int I = 0;
-  for (Engine E : {Engine::Tree, Engine::Bytecode}) {
+  for (Engine E :
+       {Engine::Tree, Engine::Bytecode, Engine::HostSimd}) {
     RunOptions O;
     O.Eng = E;
     ScalarInterp Interp(P, M, nullptr, O);
@@ -101,6 +106,7 @@ TEST(EngineEquivalence, ScalarOutOfBoundsTrap) {
   }
   EXPECT_EQ(T[0].Kind, TrapKind::OutOfBounds);
   expectSameTrap(T[0], T[1]);
+  expectSameTrap(T[0], T[2]);
 }
 
 TEST(EngineEquivalence, ScalarFuelTrap) {
@@ -109,9 +115,10 @@ TEST(EngineEquivalence, ScalarFuelTrap) {
   ExampleSpec Spec = paperExampleSpec();
   Program P = makeExample(Spec);
   machine::MachineConfig M = machine::MachineConfig::sparc2();
-  Trap T[2];
+  Trap T[3];
   int I = 0;
-  for (Engine E : {Engine::Tree, Engine::Bytecode}) {
+  for (Engine E :
+       {Engine::Tree, Engine::Bytecode, Engine::HostSimd}) {
     RunOptions O = optsFor(E);
     O.Fuel = 40;
     ScalarInterp Interp(P, M, nullptr, O);
@@ -123,6 +130,7 @@ TEST(EngineEquivalence, ScalarFuelTrap) {
   }
   EXPECT_EQ(T[0].Kind, TrapKind::FuelExhausted);
   expectSameTrap(T[0], T[1]);
+  expectSameTrap(T[0], T[2]);
 }
 
 TEST(EngineEquivalence, MimdSlicingAndMerge) {
@@ -131,9 +139,10 @@ TEST(EngineEquivalence, MimdSlicingAndMerge) {
   ExampleSpec Spec = paperExampleSpec();
   Program P = makeExample(Spec);
   machine::MachineConfig M = machine::MachineConfig::sparc2();
-  MimdRunResult R[2];
+  MimdRunResult R[3];
   int I = 0;
-  for (Engine E : {Engine::Tree, Engine::Bytecode}) {
+  for (Engine E :
+       {Engine::Tree, Engine::Bytecode, Engine::HostSimd}) {
     MimdInterp Interp(P, M, nullptr, /*NumProcs=*/2,
                       machine::Layout::Block, optsFor(E));
     R[I++] = Interp.run([&](DataStore &S) {
@@ -141,12 +150,15 @@ TEST(EngineEquivalence, MimdSlicingAndMerge) {
                S.setIntArray("L", Spec.L);
              }).value();
   }
-  EXPECT_EQ(R[0].TimeSteps, R[1].TimeSteps);
-  EXPECT_EQ(R[0].Seconds, R[1].Seconds);
-  ASSERT_EQ(R[0].PerProc.size(), R[1].PerProc.size());
-  for (size_t Proc = 0; Proc < R[0].PerProc.size(); ++Proc)
-    expectSameStats(R[0].PerProc[Proc], R[1].PerProc[Proc]);
-  EXPECT_EQ(R[0].Merged->getIntArray("X"), R[1].Merged->getIntArray("X"));
+  for (int J : {1, 2}) {
+    EXPECT_EQ(R[0].TimeSteps, R[J].TimeSteps);
+    EXPECT_EQ(R[0].Seconds, R[J].Seconds);
+    ASSERT_EQ(R[0].PerProc.size(), R[J].PerProc.size());
+    for (size_t Proc = 0; Proc < R[0].PerProc.size(); ++Proc)
+      expectSameStats(R[0].PerProc[Proc], R[J].PerProc[Proc]);
+    EXPECT_EQ(R[0].Merged->getIntArray("X"),
+              R[J].Merged->getIntArray("X"));
+  }
 }
 
 TEST(EngineEquivalence, SimdTraceAndStats) {
@@ -162,20 +174,23 @@ TEST(EngineEquivalence, SimdTraceAndStats) {
   M.Processors = 2;
   M.Gran = 2;
   M.DataLayout = machine::Layout::Cyclic;
-  SimdRunResult R[2];
+  SimdRunResult R[3];
   int I = 0;
-  for (Engine E : {Engine::Tree, Engine::Bytecode}) {
+  for (Engine E :
+       {Engine::Tree, Engine::Bytecode, Engine::HostSimd}) {
     RunOptions O = optsFor(E);
     O.Watch = {"i", "j"};
     SimdInterp Interp(C->Prog, M, nullptr, O);
-    if (E == Engine::Bytecode)
+    if (E != Engine::Tree)
       Interp.setCompiled(C->Code);
     Interp.store().setInt("K", Spec.K);
     Interp.store().setIntArray("L", Spec.L);
     R[I++] = Interp.run().value();
   }
   expectSameStats(R[0].Stats, R[1].Stats);
+  expectSameStats(R[0].Stats, R[2].Stats);
   expectSameTrace(R[0].Tr, R[1].Tr);
+  expectSameTrace(R[0].Tr, R[2].Tr);
 }
 
 TEST(EngineEquivalence, SharedCompiledProgramReuse) {

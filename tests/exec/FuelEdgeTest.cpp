@@ -1,12 +1,12 @@
 //===- tests/exec/FuelEdgeTest.cpp -----------------------------*- C++ -*-===//
 //
-// Fuel-budget edge semantics, pinned across both engines: Fuel = 0 is
-// unlimited, a budget of exactly the program's instruction count
+// Fuel-budget edge semantics, pinned across all three engines: Fuel = 0
+// is unlimited, a budget of exactly the program's instruction count
 // completes while one less traps, and SIMD trap *sets* (the per-lane
 // Lanes vector, location and detail) are identical between the tree
-// reference and the bytecode engine. The serving core leans on these
-// edges: MaxFuel admission and FuelExhausted replies are only
-// deterministic if both engines charge identically.
+// reference, the bytecode engine and the host-SIMD backend. The serving
+// core leans on these edges: MaxFuel admission and FuelExhausted
+// replies are only deterministic if every engine charges identically.
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,7 +46,8 @@ RunOutcome<ScalarRunResult> runScalar(Engine E, int64_t Fuel) {
 }
 
 TEST(FuelEdge, ZeroFuelIsUnlimited) {
-  for (Engine E : {Engine::Tree, Engine::Bytecode}) {
+  for (Engine E :
+       {Engine::Tree, Engine::Bytecode, Engine::HostSimd}) {
     auto R = runScalar(E, 0);
     ASSERT_TRUE(static_cast<bool>(R))
         << engineName(E) << ": " << R.error().render();
@@ -55,7 +56,8 @@ TEST(FuelEdge, ZeroFuelIsUnlimited) {
 }
 
 TEST(FuelEdge, ExactBudgetCompletesOneLessTraps) {
-  for (Engine E : {Engine::Tree, Engine::Bytecode}) {
+  for (Engine E :
+       {Engine::Tree, Engine::Bytecode, Engine::HostSimd}) {
     // Total charge of the unlimited run...
     auto Free = runScalar(E, 0);
     ASSERT_TRUE(static_cast<bool>(Free)) << engineName(E);
@@ -82,10 +84,12 @@ TEST(FuelEdge, ExhaustionTrapIdenticalAcrossEngines) {
   ASSERT_TRUE(static_cast<bool>(Free));
   int64_t Budget = Free->Stats.Instructions / 2;
   auto Tree = runScalar(Engine::Tree, Budget);
-  auto Byte = runScalar(Engine::Bytecode, Budget);
   ASSERT_FALSE(static_cast<bool>(Tree));
-  ASSERT_FALSE(static_cast<bool>(Byte));
-  expectSameTrap(Tree.error(), Byte.error());
+  for (Engine E : {Engine::Bytecode, Engine::HostSimd}) {
+    auto Got = runScalar(E, Budget);
+    ASSERT_FALSE(static_cast<bool>(Got)) << engineName(E);
+    expectSameTrap(Tree.error(), Got.error());
+  }
 }
 
 /// Compiles \p Source through the full pipeline and runs it on the
@@ -105,7 +109,7 @@ RunOutcome<SimdRunResult> runSimd(const std::string &Source, Engine E,
   O.Eng = E;
   O.Fuel = Fuel;
   SimdInterp Interp(C->Prog, M, nullptr, O);
-  if (E == Engine::Bytecode)
+  if (E != Engine::Tree)
     Interp.setCompiled(C->Code);
   const std::vector<int64_t> L = {1, 2, 9, 3};
   Interp.store().setIntArray("L", L);
@@ -125,26 +129,66 @@ constexpr const char *PerLaneOobSource =
 
 TEST(FuelEdge, SimdPerLaneTrapSetEquality) {
   // L(3) = 9 sends exactly one lane out of A's extent: the trap's lane
-  // set, location chain and detail must match between engines.
+  // set, location chain and detail must match across all engines.
   auto Tree = runSimd(PerLaneOobSource, Engine::Tree, 0);
-  auto Byte = runSimd(PerLaneOobSource, Engine::Bytecode, 0);
   ASSERT_FALSE(static_cast<bool>(Tree));
-  ASSERT_FALSE(static_cast<bool>(Byte));
   EXPECT_EQ(Tree.error().Kind, TrapKind::OutOfBounds);
   ASSERT_FALSE(Tree.error().Lanes.empty())
       << "an OOB store under SIMD must name the faulting lane(s)";
-  expectSameTrap(Tree.error(), Byte.error());
+  for (Engine E : {Engine::Bytecode, Engine::HostSimd}) {
+    auto Got = runSimd(PerLaneOobSource, E, 0);
+    ASSERT_FALSE(static_cast<bool>(Got)) << engineName(E);
+    expectSameTrap(Tree.error(), Got.error());
+  }
 }
 
 TEST(FuelEdge, SimdFuelTrapSetEquality) {
   // Starve the same SIMD program of fuel before the trapping store so
-  // both engines report the identical FuelExhausted trap instead.
+  // every engine reports the identical FuelExhausted trap instead.
   auto Tree = runSimd(PerLaneOobSource, Engine::Tree, 2);
-  auto Byte = runSimd(PerLaneOobSource, Engine::Bytecode, 2);
   ASSERT_FALSE(static_cast<bool>(Tree));
-  ASSERT_FALSE(static_cast<bool>(Byte));
   EXPECT_EQ(Tree.error().Kind, TrapKind::FuelExhausted);
-  expectSameTrap(Tree.error(), Byte.error());
+  for (Engine E : {Engine::Bytecode, Engine::HostSimd}) {
+    auto Got = runSimd(PerLaneOobSource, E, 2);
+    ASSERT_FALSE(static_cast<bool>(Got)) << engineName(E);
+    expectSameTrap(Tree.error(), Got.error());
+  }
+}
+
+/// Runs PerLaneOobSource with a deadline that expired before the run
+/// started: the DeadlineExpired trap must fire at the first poll point
+/// (instruction 1) with identical location and detail on all engines.
+RunOutcome<SimdRunResult> runSimdExpired(Engine E) {
+  frontend::ParseResult PR = frontend::parseProgram(PerLaneOobSource);
+  EXPECT_TRUE(PR.ok()) << PR.Diags.renderAll();
+  auto C = transform::compileForSimdExec(*PR.Prog);
+  EXPECT_TRUE(static_cast<bool>(C)) << C.error().render();
+  machine::MachineConfig M;
+  M.Name = "test-4";
+  M.Processors = 4;
+  M.Gran = 4;
+  M.DataLayout = machine::Layout::Cyclic;
+  RunOptions O;
+  O.Eng = E;
+  O.Deadline = std::chrono::steady_clock::now() -
+               std::chrono::milliseconds(10);
+  SimdInterp Interp(C->Prog, M, nullptr, O);
+  if (E != Engine::Tree)
+    Interp.setCompiled(C->Code);
+  const std::vector<int64_t> L = {1, 2, 9, 3};
+  Interp.store().setIntArray("L", L);
+  return Interp.run();
+}
+
+TEST(FuelEdge, DeadlineTrapIdenticalAcrossEngines) {
+  auto Tree = runSimdExpired(Engine::Tree);
+  ASSERT_FALSE(static_cast<bool>(Tree));
+  EXPECT_EQ(Tree.error().Kind, TrapKind::DeadlineExpired);
+  for (Engine E : {Engine::Bytecode, Engine::HostSimd}) {
+    auto Got = runSimdExpired(E);
+    ASSERT_FALSE(static_cast<bool>(Got)) << engineName(E);
+    expectSameTrap(Tree.error(), Got.error());
+  }
 }
 
 } // namespace

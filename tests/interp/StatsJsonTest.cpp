@@ -50,6 +50,35 @@ TEST(StatsJson, RunStatsMissingFieldsKeepDefaults) {
   EXPECT_DOUBLE_EQ(S->Cycles, 0.0);
 }
 
+TEST(StatsJson, RunStatsRejectsInconsistentLaneAccounting) {
+  // Padded-tail regression: a record claiming more active lane slots
+  // than total slots would deserialize into a >100% utilization (the
+  // padded lanes are idle, never active). Reject it, and negatives too.
+  auto Over = json::Value::parse(
+      "{\"work_active_lanes\": 9, \"work_total_lanes\": 8}");
+  ASSERT_TRUE(Over.ok());
+  auto S = runStatsFromJson(*Over);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().render().find("work_active_lanes"),
+            std::string::npos);
+
+  auto Neg = json::Value::parse(
+      "{\"work_active_lanes\": -1, \"work_total_lanes\": 0}");
+  ASSERT_TRUE(Neg.ok());
+  EXPECT_FALSE(runStatsFromJson(*Neg).ok());
+
+  // The padded-tail shape itself (active < total, N=6 on width 4 =
+  // 6/8) round-trips fine.
+  auto Ok = json::Value::parse(
+      "{\"work_steps\": 2, \"work_active_lanes\": 6, "
+      "\"work_total_lanes\": 8}");
+  ASSERT_TRUE(Ok.ok());
+  auto SOk = runStatsFromJson(*Ok);
+  ASSERT_TRUE(SOk.ok()) << SOk.error().render();
+  EXPECT_DOUBLE_EQ(SOk->workUtilization(), 0.75);
+  EXPECT_TRUE(SOk->laneAccountingConsistent());
+}
+
 TEST(StatsJson, RunStatsRejectsWrongTypes) {
   auto V = json::Value::parse("{\"work_steps\": \"three\"}");
   ASSERT_TRUE(V.ok());

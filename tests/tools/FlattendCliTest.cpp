@@ -1,0 +1,117 @@
+//===- tests/tools/FlattendCliTest.cpp -------------------------*- C++ -*-===//
+//
+// The flattend process contract at the stdin/stdout boundary: a
+// truncated final JSON line (EOF mid-record, no terminating newline) is
+// a structured per-request error - answered in sequence and counted in
+// the summary - never an exit-5 accounting inconsistency; an
+// unterminated line that still parses as a complete request is served
+// normally; and --engine selects the execution backend, echoed in the
+// summary record. FLATTEND_BIN is injected by the build (see
+// tests/CMakeLists.txt).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+struct CliResult {
+  int ExitCode = -1;
+  std::string Output; // stdout + stderr interleaved
+};
+
+/// Runs flattend with \p Args, feeding \p Stdin verbatim (no newline is
+/// appended - callers control whether the final record is terminated),
+/// capturing combined output and the exit code.
+CliResult runFlattend(const std::string &Args, const std::string &Stdin) {
+  CliResult R;
+  std::string In = "/tmp/flattend_cli_in_" + std::to_string(getpid());
+  if (FILE *F = std::fopen(In.c_str(), "wb")) {
+    std::fwrite(Stdin.data(), 1, Stdin.size(), F);
+    std::fclose(F);
+  }
+  std::string Cmd =
+      std::string(FLATTEND_BIN) + " " + Args + " < " + In + " 2>&1";
+  FILE *P = popen(Cmd.c_str(), "r");
+  if (!P)
+    return R;
+  std::array<char, 4096> Buf;
+  size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), P)) > 0)
+    R.Output.append(Buf.data(), N);
+  int Status = pclose(P);
+  if (Status >= 0 && WIFEXITED(Status))
+    R.ExitCode = WEXITSTATUS(Status);
+  std::remove(In.c_str());
+  return R;
+}
+
+/// One complete request line (terminated by the caller). The program is
+/// trivially servable on any engine.
+std::string goodRequest(int Id) {
+  return "{\"id\": " + std::to_string(Id) +
+         ", \"source\": \"PROGRAM REPEAT\\nINTEGER a\\nINTEGER b\\n"
+         "BEGIN\\n  b = a * 3 + 1\\nEND\\n\", \"fuel\": 100000}";
+}
+
+TEST(FlattendCli, TruncatedFinalLineIsStructuredErrorNotExitFive) {
+  // A valid request, then a record cut off mid-JSON with no newline -
+  // the shape a killed producer leaves behind. The cut record must get
+  // its own structured reply naming the truncation, the summary must
+  // count it as a bad line, and the accounting self-check must pass.
+  std::string In =
+      goodRequest(1) + "\n{\"id\": 2, \"source\": \"PROGRAM CU";
+  CliResult R = runFlattend("--workers=1", In);
+  EXPECT_EQ(R.ExitCode, 0)
+      << "a truncated record is a per-request error, not an accounting "
+         "inconsistency; output:\n"
+      << R.Output;
+  EXPECT_NE(R.Output.find("truncated (EOF mid-record)"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"outcome\":\"served\""), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"outcome\":\"compile-error\""),
+            std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("\"bad_lines\":1"), std::string::npos)
+      << R.Output;
+}
+
+TEST(FlattendCli, UnterminatedCompleteFinalLineIsServed) {
+  // Missing only the final newline: the record itself is whole, so it
+  // must be served like any other - no truncation diagnostic.
+  CliResult R = runFlattend("--workers=1", goodRequest(1));
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("\"outcome\":\"served\""), std::string::npos)
+      << R.Output;
+  EXPECT_EQ(R.Output.find("truncated"), std::string::npos) << R.Output;
+}
+
+TEST(FlattendCli, EngineFlagSelectsBackendAndIsEchoed) {
+  for (const char *Eng : {"tree", "bytecode", "hostsimd"}) {
+    CliResult R = runFlattend(
+        std::string("--workers=1 --engine=") + Eng, goodRequest(1) + "\n");
+    EXPECT_EQ(R.ExitCode, 0) << Eng << ":\n" << R.Output;
+    EXPECT_NE(R.Output.find("\"outcome\":\"served\""), std::string::npos)
+        << Eng << ":\n" << R.Output;
+    EXPECT_NE(R.Output.find(std::string("\"engine\":\"") + Eng + "\""),
+              std::string::npos)
+        << Eng << ":\n" << R.Output;
+  }
+  EXPECT_EQ(runFlattend("--engine=warp", "").ExitCode, 2);
+}
+
+TEST(FlattendCli, ExceptionBarrierExitsFourWithDiagnostic) {
+  CliResult R = runFlattend("--test-throw", "");
+  EXPECT_EQ(R.ExitCode, 4) << R.Output;
+  EXPECT_NE(R.Output.find("flattend: internal error:"), std::string::npos)
+      << R.Output;
+}
+
+} // namespace

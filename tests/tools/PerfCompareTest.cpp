@@ -151,6 +151,50 @@ TEST(PerfCompare, SchemaAndNameValidation) {
   EXPECT_FALSE(compareBenchJson(makeDoc({}), Other).ok());
 }
 
+/// Stamps meta.engine = \p Eng onto a copy of \p Doc.
+json::Value withEngine(json::Value Doc, const char *Eng) {
+  json::Value Meta = json::Value::object();
+  Meta.set("engine", Eng);
+  Doc.set("meta", std::move(Meta));
+  return Doc;
+}
+
+TEST(PerfCompare, EngineTagMatrixRefusesAnyCrossEngineDiff) {
+  // The cross-engine refusal is generic over the tag value: every
+  // off-diagonal pair of the three-engine matrix refuses (a hostsimd
+  // baseline diffs only against a hostsimd run), every diagonal pair
+  // compares normally.
+  const char *Tags[] = {"tree", "bytecode", "hostsimd"};
+  for (const char *BaseEng : Tags) {
+    for (const char *NewEng : Tags) {
+      auto R = compareBenchJson(
+          withEngine(makeDoc({{"a", "steps", 100.0}}), BaseEng),
+          withEngine(makeDoc({{"a", "steps", 100.0}}), NewEng));
+      if (std::string(BaseEng) == NewEng) {
+        ASSERT_TRUE(R.ok()) << BaseEng << " vs " << NewEng << ": "
+                            << R.error().render();
+        EXPECT_TRUE(R->ok());
+      } else {
+        ASSERT_FALSE(R.ok()) << BaseEng << " vs " << NewEng
+                             << " must refuse";
+        EXPECT_NE(R.error().render().find(BaseEng), std::string::npos);
+        EXPECT_NE(R.error().render().find(NewEng), std::string::npos);
+      }
+    }
+  }
+}
+
+TEST(PerfCompare, UntaggedDocumentComparesWithAnyEngine) {
+  // Seed baselines predate the engine tag; they stay comparable against
+  // every engine rather than bricking the gate.
+  for (const char *Eng : {"tree", "bytecode", "hostsimd"}) {
+    auto Tagged = withEngine(makeDoc({{"a", "steps", 100.0}}), Eng);
+    auto Plain = makeDoc({{"a", "steps", 100.0}});
+    EXPECT_TRUE(compareBenchJson(Plain, Tagged).ok()) << Eng;
+    EXPECT_TRUE(compareBenchJson(Tagged, Plain).ok()) << Eng;
+  }
+}
+
 TEST(PerfCompare, RenderMentionsVerdict) {
   auto R = compareBenchJson(makeDoc({{"a", "steps", 100.0}}),
                             makeDoc({{"a", "steps", 200.0}}));

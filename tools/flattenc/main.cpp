@@ -84,8 +84,11 @@ void usage() {
       "  --no-flatten           SIMDize without flattening (Fig. 5 path)\n"
       "  --analyze              print the loop-nest analysis and exit\n"
       "  --run                  execute on the SIMD simulator\n"
-      "  --engine=tree|bytecode interpreter engine for --run (default\n"
-      "                         bytecode; tree is the reference oracle)\n"
+      "  --engine=tree|bytecode|hostsimd\n"
+      "                         interpreter engine for --run (default\n"
+      "                         bytecode; tree is the reference oracle,\n"
+      "                         hostsimd maps lanes onto host vector\n"
+      "                         lanes)\n"
       "  --dump-bytecode        disassemble the lowered bytecode of the\n"
       "                         emitted program to stdout\n"
       "  --lanes=N              simulator lanes (with --run, N >= 1)\n"
@@ -170,7 +173,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.DumpBytecode = true;
     } else if (A.rfind("--engine", 0) == 0) {
       if (!optionValue(A, V) || !interp::engineFromName(V, Opts.Eng))
-        return cliError("flattenc: --engine expects tree|bytecode, "
+        return cliError("flattenc: --engine expects "
+                        "tree|bytecode|hostsimd, "
                         "got '%s'",
                         A);
     } else if (A.rfind("--lanes", 0) == 0) {

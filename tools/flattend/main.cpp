@@ -62,6 +62,10 @@ void usage() {
       "(default 2)\n"
       "  --retry-after-ms=N       retry hint on shed replies (default 5)\n"
       "  --layout=cyclic|block    lane layout (default cyclic)\n"
+      "  --engine=tree|bytecode|hostsimd\n"
+      "                           execution engine (default bytecode;\n"
+      "                           hostsimd maps lanes onto host vector\n"
+      "                           lanes)\n"
       "  --telemetry=PATH         append one accounting record per reply\n"
       "  --fault-compile-failures=N\n"
       "                           fault drill: fail the first N compile\n"
@@ -181,6 +185,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                         A);
       Opts.Server.Layout = V == "block" ? machine::Layout::Block
                                         : machine::Layout::Cyclic;
+    } else if (A.rfind("--engine", 0) == 0) {
+      if (!optionValue(A, V) || !interp::engineFromName(V, Opts.Server.Eng))
+        return cliError("flattend: --engine expects "
+                        "tree|bytecode|hostsimd, got '%s'",
+                        A);
     } else if (A.rfind("--telemetry", 0) == 0) {
       if (!optionValue(A, V) || V.empty())
         return cliError("flattend: --telemetry expects a non-empty path, "
@@ -233,6 +242,11 @@ int realMain(int Argc, char **Argv) {
   uint64_t LineNo = 0;
   while (std::getline(std::cin, Line)) {
     ++LineNo;
+    // getline succeeding with eofbit set means the final line had no
+    // terminating newline - the record may have been cut off mid-write
+    // (EOF mid-record). If it still parses as a complete request it is
+    // accepted; if not, the reply says "truncated", not "bad JSON".
+    bool Unterminated = std::cin.eof();
     if (Line.find_first_not_of(" \t\r") == std::string::npos)
       continue;
     auto Parsed = json::Value::parse(Line);
@@ -242,8 +256,13 @@ int realMain(int Argc, char **Argv) {
       serve::Reply Rep;
       Rep.Id = LineNo;
       Rep.Out = serve::Outcome::CompileError;
-      Rep.Error = "request line " + std::to_string(LineNo) +
-                  " is not valid JSON: " + Parsed.error().render();
+      Rep.Error =
+          Unterminated
+              ? "request line " + std::to_string(LineNo) +
+                    " truncated (EOF mid-record): " +
+                    Parsed.error().render()
+              : "request line " + std::to_string(LineNo) +
+                    " is not valid JSON: " + Parsed.error().render();
       P.Immediate = std::move(Rep);
     } else {
       auto Req = serve::parseRequest(*Parsed);
@@ -259,6 +278,24 @@ int realMain(int Argc, char **Argv) {
         P.F = Server.submit(std::move(*Req));
       }
     }
+    Replies.push_back(std::move(P));
+  }
+  // A stream I/O error (badbit) can leave a partial record in Line:
+  // getline clears the string, extracts what it can, then fails. That
+  // partial record still gets a structured per-request reply - silently
+  // dropping it would desync a caller matching replies to requests by
+  // line, and miscounting it would trip the exit-5 self-check below.
+  if (std::cin.bad() && !Line.empty()) {
+    ++LineNo;
+    ++BadLines;
+    serve::Reply Rep;
+    Rep.Id = LineNo;
+    Rep.Out = serve::Outcome::CompileError;
+    Rep.Error = "request line " + std::to_string(LineNo) +
+                " truncated by a stream I/O error after " +
+                std::to_string(Line.size()) + " bytes";
+    Pending P;
+    P.Immediate = std::move(Rep);
     Replies.push_back(std::move(P));
   }
 
@@ -280,6 +317,7 @@ int realMain(int Argc, char **Argv) {
   serve::ServerStats Stats = Server.stats();
   json::Value Summary = json::Value::object();
   Summary.set("summary", true);
+  Summary.set("engine", interp::engineName(Opts.Server.Eng));
   Summary.set("lines", (int64_t)Replies.size());
   Summary.set("bad_lines", BadLines);
   Summary.set("answered", Answered);

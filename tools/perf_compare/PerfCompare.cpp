@@ -136,10 +136,13 @@ compareBenchJson(const json::Value &Base, const json::Value &New,
         "bench name mismatch: baseline '%s' vs new '%s'",
         benchName(Base).c_str(), R.BenchName.c_str())};
 
-  // Tree-walk and bytecode runs model the same machine but spend real
-  // time differently; comparing their wall-clock (or mixing baselines
-  // regenerated under another engine) would be meaningless. Refuse
-  // outright when both documents are tagged and the tags disagree.
+  // Different engines (tree / bytecode / hostsimd / whatever comes
+  // next) model the same machine but spend real time differently;
+  // comparing their wall-clock (or mixing baselines regenerated under
+  // another engine) would be meaningless. The check is generic over the
+  // tag value - any two distinct non-empty tags refuse, so a hostsimd
+  // baseline diffs only against a hostsimd run - and stays permissive
+  // when either document predates the tag (seed baselines).
   {
     std::string BaseEng = benchEngine(Base), NewEng = benchEngine(New);
     if (!BaseEng.empty() && !NewEng.empty() && BaseEng != NewEng)
