@@ -160,6 +160,96 @@ int main(int argc, char **argv) {
                 (long long)ShedCount, N);
   }
 
+  // --- Tenant fairness under a 10x-skewed offered load. --------------
+  // A frozen quota clock makes the token buckets pure counters: each
+  // tenant is admitted exactly its burst, then refused with a retry
+  // hint. The hot tenant offers 10x the victim's load; the gate pins
+  // that the victim is served in full and sheds nothing - the skew is
+  // absorbed entirely by the hot tenant's own quota envelope.
+  {
+    ServerOptions SO;
+    SO.Workers = 1;
+    SO.QuotaClock = [] { return (int64_t)0; };
+    TenantQuota Hot;
+    Hot.RatePerSec = 1;
+    Hot.Burst = 4;
+    SO.TenantQuotas["hot"] = Hot;
+    TenantQuota Victim;
+    Victim.RatePerSec = 1;
+    Victim.Burst = 8;
+    SO.TenantQuotas["victim"] = Victim;
+    Server S(SO);
+    for (int V = 0; V < 8; ++V) {
+      for (int H = 0; H < 10; ++H) {
+        Request R = scalarRequest(0);
+        R.Tenant = "hot";
+        (void)waitReply(S.submit(std::move(R)));
+      }
+      Request R = scalarRequest(0);
+      R.Tenant = "victim";
+      (void)waitReply(S.submit(std::move(R)));
+    }
+    ServerStats St = S.stats();
+    const TenantStats &HotSt = St.Tenants["hot"];
+    const TenantStats &VicSt = St.Tenants["victim"];
+    Ok = Ok && VicSt.shed() == 0 && VicSt.Served == 8 &&
+         HotSt.Admitted == 4 && HotSt.shed() == 76 && St.consistent() &&
+         St.tenantsConsistent();
+    Rep.record("fairness", "victim_served", (double)VicSt.Served,
+               "requests", /*Gate=*/true,
+               bench::Direction::HigherIsBetter);
+    Rep.record("fairness", "victim_shed", (double)VicSt.shed(),
+               "requests");
+    Rep.record("fairness", "hot_admitted", (double)HotSt.Admitted,
+               "requests");
+    Rep.record("fairness", "hot_shed", (double)HotSt.shed(), "requests",
+               /*Gate=*/true, bench::Direction::HigherIsBetter);
+    std::printf("fairness   victim %lld/8 served, %lld shed; hot "
+                "%lld admitted, %lld shed\n",
+                (long long)VicSt.Served, (long long)VicSt.shed(),
+                (long long)HotSt.Admitted, (long long)HotSt.shed());
+  }
+
+  // --- Byte-budgeted cache under multi-tenant churn. -----------------
+  // Every entry's cost is pinned at 3000 bytes (fault hook), twelve
+  // distinct programs arrive as tenant pairs a,a,b,b,c,c,...: each
+  // tenant's second program busts its own 3000-byte occupancy cap
+  // (6 tenant evictions), each returning tenant busts the 8192-byte
+  // global budget (4 byte evictions), and exactly two entries stay
+  // resident. All three counters are exact model outputs.
+  {
+    ServerOptions SO;
+    SO.Workers = 1;
+    SO.CacheCapacity = 64;
+    SO.CacheMaxBytes = 8192;
+    SO.CacheTenantMaxBytes = 3000;
+    SO.Faults.InflateCostBytes = 3000;
+    Server S(SO);
+    static const char *const CacheTenants[] = {"a", "a", "b",
+                                               "b", "c", "c"};
+    int64_t ServedCount = 0;
+    for (int I = 0; I < 12; ++I) {
+      Request R = scalarRequest(100 + I);
+      R.Tenant = CacheTenants[I % 6];
+      if (waitReply(S.submit(std::move(R))).Out == Outcome::Served)
+        ++ServedCount;
+    }
+    ServerStats St = S.stats();
+    Ok = Ok && ServedCount == 12 && St.CacheTenantEvictions == 6 &&
+         St.CacheByteEvictions == 4 && St.CacheBytesResident == 6000;
+    Rep.record("cache_bytes", "tenant_evictions",
+               (double)St.CacheTenantEvictions, "evictions");
+    Rep.record("cache_bytes", "byte_evictions",
+               (double)St.CacheByteEvictions, "evictions");
+    Rep.record("cache_bytes", "bytes_resident",
+               (double)St.CacheBytesResident, "bytes");
+    std::printf("cache_bytes %lld tenant + %lld byte evictions, %lld "
+                "bytes resident\n",
+                (long long)St.CacheTenantEvictions,
+                (long long)St.CacheByteEvictions,
+                (long long)St.CacheBytesResident);
+  }
+
   // --- Throughput of a concurrent warm-cache burst (ungated). --------
   {
     const int Burst = Rep.smoke() ? 32 : 128;

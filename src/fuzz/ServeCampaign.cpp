@@ -208,7 +208,10 @@ void checkMixedReply(Category Cat, uint64_t Seed, const Reply &Rep,
   }
 }
 
-/// Asserts a server's final accounting partitions its submissions.
+/// Asserts a server's final accounting partitions its submissions,
+/// globally and tenant by tenant (admitted = served + trapped + shed +
+/// compile-errors per tenant - the conservation law every phase must
+/// respect, including drain-under-load).
 void checkAccounting(const char *Phase, const Server &S,
                      ServeCampaignResult &Res) {
   ServerStats St = S.stats();
@@ -218,6 +221,19 @@ void checkAccounting(const char *Phase, const Server &S,
        << St.Trapped << " trapped + " << St.Shed << " shed + "
        << St.CompileErrors << " compile-errors != " << St.Submitted
        << " submitted";
+    Res.Failures.push_back(OS.str());
+  }
+  for (const auto &[Tenant, TS] : St.Tenants) {
+    if (TS.consistent())
+      continue;
+    std::ostringstream OS;
+    OS << Phase << ": tenant '" << Tenant
+       << "' accounting broken: submitted=" << TS.Submitted
+       << " admitted=" << TS.Admitted << " served=" << TS.Served
+       << " trapped=" << TS.Trapped
+       << " compile-errors=" << TS.CompileErrors
+       << " shed-at-admission=" << TS.ShedAtAdmission
+       << " shed-in-service=" << TS.ShedInService;
     Res.Failures.push_back(OS.str());
   }
 }
@@ -385,6 +401,366 @@ void runEvictionPhase(const ServeCampaignOptions &Opts,
   checkAccounting("eviction", S, Res);
 }
 
+/// The acceptance scenario of the tenancy work: tenant "hot" offers 10x
+/// tenant "victim"'s load against per-tenant token buckets driven by a
+/// frozen virtual-time clock (no refill: each tenant gets exactly its
+/// burst, deterministically). The victim must stay entirely inside its
+/// quota envelope - zero sheds - while the hot tenant sheds exactly its
+/// overage with priced retry hints.
+void runTenantSkewPhase(ServeCampaignResult &Res, Collector &Col) {
+  constexpr int VictimLoad = 8; // == victim burst: all must land
+  constexpr int HotLoad = VictimLoad * 10;
+
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.QueueCapacity = 128; // congestion must not mask quota decisions
+  SO.MaxFuel = 200'000;
+  SO.QuotaClock = [] { return (int64_t)0; };
+  SO.TenantQuotas["hot"] = TenantQuota{/*RatePerSec=*/1, /*Burst=*/4};
+  SO.TenantQuotas["victim"] =
+      TenantQuota{/*RatePerSec=*/1, /*Burst=*/VictimLoad};
+  Server S(SO);
+
+  // Interleave 10 hot submissions around every victim one, so the skew
+  // is temporal, not just aggregate.
+  std::vector<std::pair<std::string, std::future<Reply>>> Pending;
+  auto SubmitOne = [&](const std::string &Tenant, uint64_t Id) {
+    Request R;
+    R.Id = Id;
+    R.Tenant = Tenant;
+    R.Source = RepeatedSource;
+    R.Ints["a"] = (int64_t)(Id % 50);
+    R.Fuel = 1000;
+    R.Lanes = 1;
+    Pending.emplace_back(Tenant, S.submit(std::move(R)));
+    ++Res.Submitted;
+  };
+  for (int V = 0; V < VictimLoad; ++V) {
+    for (int H = 0; H < HotLoad / VictimLoad; ++H)
+      SubmitOne("hot", (uint64_t)(V * 10 + H));
+    SubmitOne("victim", (uint64_t)V);
+  }
+
+  for (auto &[Tenant, F] : Pending) {
+    Reply Rep;
+    if (!Col.get(F, "tenant-skew " + Tenant, Rep))
+      continue;
+    if (Tenant == "victim" && Rep.Out != Outcome::Served)
+      Res.Failures.push_back(
+          "tenant-skew: victim request " + std::to_string(Rep.Id) +
+          " not served despite staying inside its quota envelope: " +
+          outcomeName(Rep.Out) + " " + Rep.Error);
+    if (Rep.Out == Outcome::Shed && Rep.RetryAfterMs <= 0)
+      Res.Failures.push_back("tenant-skew: quota shed without a priced "
+                             "retry hint (id " +
+                             std::to_string(Rep.Id) + ")");
+  }
+
+  ServerStats St = S.stats();
+  TenantStats Victim = St.Tenants["victim"];
+  TenantStats Hot = St.Tenants["hot"];
+  if (Victim.shed() != 0)
+    Res.Failures.push_back(
+        "tenant-skew: victim shed " + std::to_string(Victim.shed()) +
+        " of its " + std::to_string(VictimLoad) +
+        " in-quota requests (hot tenant leaked pressure across the "
+        "isolation boundary)");
+  if (Hot.Admitted != 4)
+    Res.Failures.push_back("tenant-skew: hot tenant admitted " +
+                           std::to_string(Hot.Admitted) +
+                           " != its burst of 4 under a frozen clock");
+  if (Hot.ShedAtAdmission != HotLoad - 4)
+    Res.Failures.push_back(
+        "tenant-skew: hot tenant shed " +
+        std::to_string(Hot.ShedAtAdmission) + " of " +
+        std::to_string(HotLoad) + "; expected exactly " +
+        std::to_string(HotLoad - 4));
+  if (St.QuotaSheds != HotLoad - 4)
+    Res.Failures.push_back("tenant-skew: quota-shed counter " +
+                           std::to_string(St.QuotaSheds) +
+                           " != " + std::to_string(HotLoad - 4));
+  checkAccounting("tenant-skew", S, Res);
+}
+
+/// Drives every quota dimension to refusal and checks each refusal's
+/// pricing: rate and fuel buckets hint their refill time, demands above
+/// bucket capacity refuse permanently with hint 0, and the in-flight
+/// cap sheds with the server's floor hint.
+void runQuotaExhaustionPhase(ServeCampaignResult &Res, Collector &Col) {
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.QueueCapacity = 32;
+  // MaxFuel stays 0 (fuel optional) so the *tenant's* fuel metering,
+  // not the server-wide budget envelope, owns the fuel-less and
+  // over-capacity refusals below.
+  SO.QuotaClock = [] { return (int64_t)0; };
+  // "fuelish": 10k fuel tokens, frozen - exactly ten 1000-fuel requests
+  // fit. "narrow": one admitted-but-unresolved request at a time.
+  SO.TenantQuotas["fuelish"] = [] {
+    TenantQuota Q;
+    Q.FuelPerSec = 10'000;
+    return Q;
+  }();
+  SO.TenantQuotas["narrow"] = [] {
+    TenantQuota Q;
+    Q.MaxInFlight = 1;
+    return Q;
+  }();
+  SO.Faults.WorkerStallMicros = 10'000; // hold in-flight slots open
+  Server S(SO);
+
+  auto MakeReq = [](const std::string &Tenant, uint64_t Id, int64_t Fuel) {
+    Request R;
+    R.Id = Id;
+    R.Tenant = Tenant;
+    R.Source = RepeatedSource;
+    R.Ints["a"] = 5;
+    R.Fuel = Fuel;
+    R.Lanes = 1;
+    return R;
+  };
+
+  // Fuel bucket: 12 requests of 1000 fuel against a frozen 10k bucket.
+  std::vector<std::future<Reply>> FuelPending;
+  for (int I = 0; I < 12; ++I) {
+    FuelPending.push_back(S.submit(MakeReq("fuelish", (uint64_t)I, 1000)));
+    ++Res.Submitted;
+  }
+  int64_t FuelSheds = 0;
+  for (auto &F : FuelPending) {
+    Reply Rep;
+    if (!Col.get(F, "quota-exhaustion fuelish", Rep))
+      continue;
+    if (Rep.Out == Outcome::Shed) {
+      ++FuelSheds;
+      if (Rep.RetryAfterMs <= 0)
+        Res.Failures.push_back("quota-exhaustion: fuel-bucket shed "
+                               "without a refill-time hint");
+    }
+  }
+  if (FuelSheds != 2)
+    Res.Failures.push_back(
+        "quota-exhaustion: " + std::to_string(FuelSheds) +
+        " fuel sheds; a frozen 10k bucket admits exactly 10 of 12 "
+        "1000-fuel requests");
+
+  // Permanent refusals: a fuel-metered tenant rejects fuel-less
+  // requests and demands beyond bucket capacity - no retry hint, ever.
+  for (int64_t Fuel : {(int64_t)0, (int64_t)50'000}) {
+    auto F = S.submit(MakeReq("fuelish", (uint64_t)(100 + Fuel), Fuel));
+    ++Res.Submitted;
+    Reply Rep;
+    if (!Col.get(F, "quota-exhaustion permanent", Rep))
+      continue;
+    if (Rep.Out != Outcome::Shed)
+      Res.Failures.push_back("quota-exhaustion: unservable fuel demand " +
+                             std::to_string(Fuel) + " not shed");
+    else if (Rep.RetryAfterMs != 0)
+      Res.Failures.push_back(
+          "quota-exhaustion: permanent refusal (fuel " +
+          std::to_string(Fuel) +
+          ") carries a retry hint; retrying is pointless");
+  }
+
+  // In-flight cap: a burst against MaxInFlight=1 with stalled workers
+  // must shed at least one request (with the server's floor hint), and
+  // releasing slots must let later requests through.
+  std::vector<std::future<Reply>> NarrowPending;
+  for (int I = 0; I < 6; ++I) {
+    NarrowPending.push_back(
+        S.submit(MakeReq("narrow", (uint64_t)(200 + I), 1000)));
+    ++Res.Submitted;
+  }
+  int64_t NarrowSheds = 0, NarrowServed = 0;
+  for (auto &F : NarrowPending) {
+    Reply Rep;
+    if (!Col.get(F, "quota-exhaustion narrow", Rep))
+      continue;
+    if (Rep.Out == Outcome::Shed) {
+      ++NarrowSheds;
+      if (Rep.RetryAfterMs <= 0)
+        Res.Failures.push_back("quota-exhaustion: in-flight shed "
+                               "without the floor retry hint");
+    } else if (Rep.Out == Outcome::Served) {
+      ++NarrowServed;
+    }
+  }
+  if (NarrowSheds < 1)
+    Res.Failures.push_back(
+        "quota-exhaustion: burst against MaxInFlight=1 shed nothing");
+  if (NarrowServed < 1)
+    Res.Failures.push_back("quota-exhaustion: in-flight cap starved the "
+                           "tenant outright (nothing served)");
+
+  ServerStats St = S.stats();
+  if (St.QuotaSheds != FuelSheds + 2 + NarrowSheds)
+    Res.Failures.push_back(
+        "quota-exhaustion: quota-shed counter " +
+        std::to_string(St.QuotaSheds) + " != observed quota sheds " +
+        std::to_string(FuelSheds + 2 + NarrowSheds));
+  checkAccounting("quota-exhaustion", S, Res);
+}
+
+/// SIGTERM's contract, exercised in-process: drain under load with a
+/// hard deadline too short for the stalled queue. Every admitted
+/// request must still resolve - executing ones finish, queued ones shed
+/// with the structured draining status - post-drain submissions shed
+/// immediately, and the accounting still conserves per tenant.
+void runDrainPhase(ServeCampaignResult &Res, Collector &Col) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 16;
+  SO.MaxFuel = 200'000;
+  SO.Faults.WorkerStallMicros = 30'000; // 12 queued => ~360ms of work
+  Server S(SO);
+
+  auto MakeReq = [](const std::string &Tenant, uint64_t Id) {
+    Request R;
+    R.Id = Id;
+    R.Tenant = Tenant;
+    R.Source = RepeatedSource;
+    R.Ints["a"] = 9;
+    R.Fuel = 1000;
+    R.Lanes = 1;
+    return R;
+  };
+
+  std::vector<std::future<Reply>> Pending;
+  for (int I = 0; I < 12; ++I) {
+    Pending.push_back(
+        S.submit(MakeReq(I % 2 ? "odd" : "even", (uint64_t)I)));
+    ++Res.Submitted;
+  }
+
+  S.beginDrain();
+  if (!S.draining())
+    Res.Failures.push_back("drain: beginDrain() did not close admission");
+
+  // Late arrivals: shed immediately with the draining status.
+  for (int I = 0; I < 3; ++I) {
+    auto F = S.submit(MakeReq("late", (uint64_t)(100 + I)));
+    ++Res.Submitted;
+    Reply Rep;
+    if (!Col.get(F, "drain late-arrival", Rep))
+      continue;
+    if (Rep.Out != Outcome::Shed || !Rep.Draining)
+      Res.Failures.push_back(
+          "drain: post-drain submission not shed with the draining "
+          "status (got " + std::string(outcomeName(Rep.Out)) + ")");
+  }
+
+  // The deadline is far below the ~360ms the stalled queue needs, so
+  // the sweep must fire; drain() still waits for executing requests.
+  bool Clean = S.drain(/*HardDeadlineMs=*/40);
+  if (Clean)
+    Res.Failures.push_back("drain: reported a clean drain although the "
+                           "deadline could not cover the queue");
+  if (S.inFlight() != 0)
+    Res.Failures.push_back("drain: returned with " +
+                           std::to_string(S.inFlight()) +
+                           " requests still unresolved");
+
+  int64_t DrainSheds = 0;
+  for (auto &F : Pending) {
+    Reply Rep;
+    if (!Col.get(F, "drain admitted", Rep))
+      continue;
+    if (Rep.Out == Outcome::Shed) {
+      ++DrainSheds;
+      if (!Rep.Draining)
+        Res.Failures.push_back("drain: deadline-swept request " +
+                               std::to_string(Rep.Id) +
+                               " shed without the draining status");
+    } else if (Rep.Out != Outcome::Served) {
+      Res.Failures.push_back(
+          std::string("drain: unexpected outcome ") +
+          outcomeName(Rep.Out) + " for admitted request " +
+          std::to_string(Rep.Id));
+    }
+  }
+  if (DrainSheds < 1)
+    Res.Failures.push_back("drain: the deadline sweep shed nothing "
+                           "despite a 40ms bound on ~360ms of work");
+
+  ServerStats St = S.stats();
+  if (St.DrainSheds != DrainSheds + 3)
+    Res.Failures.push_back("drain: drain-shed counter " +
+                           std::to_string(St.DrainSheds) +
+                           " != observed draining sheds " +
+                           std::to_string(DrainSheds + 3));
+  checkAccounting("drain", S, Res);
+
+  // Control: with a generous deadline and no late arrivals the drain
+  // is clean - nothing swept, everything served.
+  ServerOptions SO2;
+  SO2.Workers = 2;
+  SO2.MaxFuel = 200'000;
+  Server S2(SO2);
+  std::vector<std::future<Reply>> P2;
+  for (int I = 0; I < 4; ++I) {
+    P2.push_back(S2.submit(MakeReq("calm", (uint64_t)I)));
+    ++Res.Submitted;
+  }
+  if (!S2.drain(/*HardDeadlineMs=*/10'000))
+    Res.Failures.push_back(
+        "drain: unloaded server did not drain cleanly in 10s");
+  for (auto &F : P2) {
+    Reply Rep;
+    if (Col.get(F, "drain clean", Rep) && Rep.Out != Outcome::Served)
+      Res.Failures.push_back(
+          std::string("drain: clean drain lost a request to ") +
+          outcomeName(Rep.Out));
+  }
+  checkAccounting("drain-clean", S2, Res);
+}
+
+/// Cache byte-pressure: every compiled program pretends to cost 3000
+/// bytes (FaultPlan::InflateCostBytes) against an 8192-byte global
+/// budget and a 3000-byte per-tenant cap. (Mid-flight eviction is
+/// deliberately NOT stacked on: it empties the cache before byte
+/// pressure can build; the eviction phase owns that fault.) Outcomes
+/// must not change; only the cache counters may move.
+void runCachePressurePhase(const ServeCampaignOptions &Opts,
+                           ServeCampaignResult &Res, Collector &Col) {
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.QueueCapacity = 32;
+  SO.MaxFuel = 200'000;
+  SO.CacheCapacity = 8;
+  SO.CacheMaxBytes = 8192;       // room for two inflated programs
+  SO.CacheTenantMaxBytes = 3000; // one inflated program per tenant
+  SO.Faults.InflateCostBytes = 3000;
+  Server S(SO);
+
+  const int N = 12;
+  std::vector<std::pair<uint64_t, std::future<Reply>>> Pending;
+  for (int I = 0; I < N; ++I) {
+    uint64_t Seed = Opts.BaseSeed + 1000 + (uint64_t)I;
+    Request R = makeRequest(Seed, Category::GeneratedValid, SO.MaxFuel);
+    R.Id = (uint64_t)I;
+    R.Tenant = I % 2 ? "cacheA" : "cacheB";
+    Pending.emplace_back(Seed, S.submit(std::move(R)));
+    ++Res.Submitted;
+  }
+  for (auto &[Seed, F] : Pending) {
+    Reply Rep;
+    if (!Col.get(F, "cache-pressure", Rep))
+      continue;
+    checkMixedReply(Category::GeneratedValid, Seed, Rep, Res);
+  }
+
+  ServerStats St = S.stats();
+  if (St.CacheByteEvictions + St.CacheTenantEvictions < 1)
+    Res.Failures.push_back("cache-pressure: distinct inflated programs "
+                           "forced no budget evictions (probe dead?)");
+  if (St.CacheBytesResident > (int64_t)SO.CacheMaxBytes)
+    Res.Failures.push_back(
+        "cache-pressure: " + std::to_string(St.CacheBytesResident) +
+        " bytes resident exceeds the " +
+        std::to_string(SO.CacheMaxBytes) + "-byte budget");
+  checkAccounting("cache-pressure", S, Res);
+}
+
 } // namespace
 
 ServeCampaignResult
@@ -395,6 +771,10 @@ fuzz::runServeCampaign(const ServeCampaignOptions &Opts) {
   runSaturationPhase(Res, Col);
   runBreakerPhase(Res, Col);
   runEvictionPhase(Opts, Res, Col);
+  runTenantSkewPhase(Res, Col);
+  runQuotaExhaustionPhase(Res, Col);
+  runDrainPhase(Res, Col);
+  runCachePressurePhase(Opts, Res, Col);
   // Global zero-loss check across all phases: every submission landed
   // in exactly one bucket.
   if (Res.Served + Res.Trapped + Res.Shed + Res.CompileErrors !=

@@ -20,7 +20,19 @@
 ///    over-budget one always Shed with no retry hint, ...);
 ///  * degraded modes work: an always-failing primary pipeline still
 ///    serves every request through the fallback and trips the breaker,
-///    and eviction under execution never invalidates a running program.
+///    and eviction under execution never invalidates a running program;
+///  * tenancy holds under chaos: a tenant offering 10x load sheds only
+///    its own overage while the victim tenant stays inside its quota
+///    envelope (frozen virtual-time clock, so the skew phase is exactly
+///    reproducible); quota exhaustion prices refusals correctly
+///    (refill-time hints, permanent refusals with no hint); per-tenant
+///    accounting conserves - admitted = served + trapped + shed +
+///    compile-errors for every tenant in every phase;
+///  * lifecycle holds under chaos: drain-under-load resolves every
+///    already-admitted request (finished or shed with the structured
+///    draining status) and cache byte-pressure (inflated program costs
+///    against a tight byte budget, plus mid-flight eviction) never
+///    changes outcomes, only cache counters.
 ///
 /// Request programs come from the differential fuzzer's generator, so
 /// the campaign sweeps the same program family the oracle does.
@@ -61,8 +73,10 @@ struct ServeCampaignResult {
 };
 
 /// Runs all phases: mixed traffic, queue saturation (2x capacity),
-/// always-failing primary compile (breaker + fallback), and eviction
-/// under execution.
+/// always-failing primary compile (breaker + fallback), eviction under
+/// execution, tenant skew (10x hot tenant vs quota-protected victim),
+/// quota exhaustion (rate/fuel/in-flight refusal pricing), drain under
+/// load, and cache byte-pressure.
 ServeCampaignResult runServeCampaign(const ServeCampaignOptions &Opts = {});
 
 } // namespace fuzz

@@ -2,8 +2,18 @@
 
 #include "serve/CircuitBreaker.h"
 
+#include <chrono>
+
 using namespace simdflat;
 using namespace simdflat::serve;
+
+int64_t CircuitBreaker::nowMicros() const {
+  if (O.NowMicros)
+    return O.NowMicros();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 CircuitBreaker::State CircuitBreaker::admit(uint64_t Key) {
   std::lock_guard<std::mutex> Lock(M);
@@ -11,14 +21,19 @@ CircuitBreaker::State CircuitBreaker::admit(uint64_t Key) {
   switch (E.St) {
   case State::Closed:
     return State::Closed;
-  case State::Open:
-    if (E.Budget > 0) {
+  case State::Open: {
+    // The cooldown re-probe fires even with open budget remaining, so
+    // sparse traffic is not quarantined forever.
+    bool CooledDown = O.CooldownMicros > 0 &&
+                      nowMicros() - E.OpenedAtMicros >= O.CooldownMicros;
+    if (E.Budget > 0 && !CooledDown) {
       --E.Budget;
       return State::Open;
     }
     E.St = State::HalfOpen;
     ++S.Probes;
     return State::HalfOpen;
+  }
   case State::HalfOpen:
     // A probe is already in flight; everyone else keeps the fallback.
     return State::Open;
@@ -42,6 +57,7 @@ void CircuitBreaker::recordFailure(uint64_t Key) {
     // an open so the stats reflect every transition into Open.
     E.St = State::Open;
     E.Budget = O.OpenBudget;
+    E.OpenedAtMicros = nowMicros();
     ++S.Opens;
     return;
   }
@@ -50,6 +66,7 @@ void CircuitBreaker::recordFailure(uint64_t Key) {
   if (++E.Consecutive >= O.FailureThreshold) {
     E.St = State::Open;
     E.Budget = O.OpenBudget;
+    E.OpenedAtMicros = nowMicros();
     ++S.Opens;
   }
 }

@@ -11,16 +11,23 @@
 /// primary compile entirely and serves the unflattened fallback, so one
 /// pathological program cannot burn compile retries on every request.
 ///
-/// The state machine is counter-driven rather than time-driven so tests
-/// and the fault campaign replay identically:
+/// The state machine is counter-driven by default so tests and the
+/// fault campaign replay identically:
 ///
 ///   Closed --(FailureThreshold consecutive failures)--> Open
 ///   Open   --(OpenBudget fallback serves)-------------> HalfOpen probe
 ///   probe success -> Closed, probe failure -> Open (budget refilled)
 ///
+/// A breaker serving sparse traffic would stay open forever on counts
+/// alone, so CooldownMicros adds a time-based re-probe: an open breaker
+/// also converts to a half-open probe once the cooldown has elapsed
+/// since it (re)opened, even with open budget remaining. The clock is
+/// injectable, so the time path is as deterministic under test as the
+/// count path.
+///
 /// While a half-open probe is in flight, other requests for the same
 /// hash keep taking the fallback - exactly one request risks the
-/// primary path per budget cycle.
+/// primary path per budget (or cooldown) cycle.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +35,7 @@
 #define SIMDFLAT_SERVE_CIRCUITBREAKER_H
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 
@@ -43,6 +51,14 @@ public:
     int FailureThreshold = 3;
     /// Fallback serves while open before the next half-open probe.
     int OpenBudget = 4;
+    /// Re-probe an open breaker this long after it (re)opened even if
+    /// the open budget has not been spent (0 = count-only, the legacy
+    /// behaviour).
+    int64_t CooldownMicros = 0;
+    /// Microsecond clock for the cooldown; null uses steady_clock.
+    /// Tests inject a manual clock for deterministic time-based
+    /// re-probes.
+    std::function<int64_t()> NowMicros;
   };
 
   struct Stats {
@@ -78,7 +94,11 @@ private:
     State St = State::Closed;
     int Consecutive = 0;
     int Budget = 0;
+    /// When the breaker last transitioned into Open (cooldown anchor).
+    int64_t OpenedAtMicros = 0;
   };
+
+  int64_t nowMicros() const;
 
   Options O;
   mutable std::mutex M;

@@ -1,26 +1,40 @@
-//===- serve/ProgramCache.h - LRU compiled-program cache -------*- C++ -*-===//
+//===- serve/ProgramCache.h - Byte-budgeted compiled-program cache -*-C++-*-==//
 //
 // Part of simdflat. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The compile-once/run-many heart of the serving core: a bounded LRU
-/// cache from canonical program hash (transform::canonicalKey) to the
-/// compiled transform::CompiledSimdProgram, with single-flight
-/// compilation - when N requests for the same uncached program arrive
-/// concurrently, one compiles and N-1 wait on its result instead of
-/// compiling N times.
+/// The compile-once/run-many heart of the serving core: a bounded,
+/// cost-aware LRU cache from canonical program hash
+/// (transform::canonicalKey) to the compiled
+/// transform::CompiledSimdProgram, with single-flight compilation - when
+/// N requests for the same uncached program arrive concurrently, one
+/// compiles and N-1 wait on its result instead of compiling N times.
 ///
-/// Robustness contract:
-///  * Entries hand out shared_ptrs, so eviction (LRU pressure or the
-///    fault plan's mid-flight eviction) never invalidates a program a
-///    worker is still executing.
+/// Residency is bounded three ways, every bound enforced at publish
+/// time:
+///  * MaxEntries - the legacy count bound (LRU beyond it);
+///  * MaxBytes - a byte budget over the estimated footprint of each
+///    compiled program (programCostBytes), evicting global LRU order;
+///  * TenantMaxBytes - a per-tenant occupancy cap: entries are
+///    attributed to the tenant whose request compiled them, and a
+///    tenant over its cap evicts its *own* LRU entries first, so one
+///    hot tenant cannot wash everyone else's programs out of a shared
+///    cache.
+/// The entry just published is never chosen as its own victim: a tenant
+/// may always hold its newest program and the cache always serves the
+/// program it just compiled (caps are enforced against everything
+/// else).
+///
+/// Robustness contract (unchanged from the count-only cache):
+///  * Entries hand out shared_ptrs, so eviction (pressure or the fault
+///    plan's mid-flight eviction) never invalidates a program a worker
+///    is still executing.
 ///  * Compile failures are returned to every waiter of that flight but
 ///    are NOT cached: the next request retries from scratch. The
 ///    per-key attempt counter survives, so transiently failing compiles
-///    (fault-injected or otherwise) make forward progress toward the
-///    attempt at which they succeed.
+///    make forward progress toward the attempt at which they succeed.
 ///  * All waiting is bounded by the compiler callback returning; the
 ///    callback owns retry/backoff policy, the cache owns mutual
 ///    exclusion.
@@ -54,14 +68,40 @@ struct CompileFailure {
   std::string render() const { return Message; }
 };
 
+/// Deterministic footprint estimate of one compiled program: the
+/// bytecode vectors and pools plus the retained IR, with a fixed
+/// per-entry overhead. Not an allocator-exact measure - a stable
+/// ordering key for cost-aware eviction.
+size_t programCostBytes(const transform::CompiledSimdProgram &P);
+
 class ProgramCache {
 public:
+  struct Options {
+    /// Completed entries kept (>= 1); in-flight compiles are pinned and
+    /// do not count.
+    size_t MaxEntries = 64;
+    /// Byte budget over programCostBytes (0 = unmetered).
+    size_t MaxBytes = 0;
+    /// Per-tenant resident-byte cap (0 = unmetered).
+    size_t TenantMaxBytes = 0;
+    /// Fault hook: pretend every published entry costs this many bytes
+    /// (0 = measure). Drives byte-pressure eviction deterministically
+    /// in tests and the chaos campaign.
+    size_t CostOverrideBytes = 0;
+  };
+
   struct Stats {
     int64_t Hits = 0;
     int64_t Misses = 0;
     int64_t Evictions = 0;
     /// Lookups that joined an in-flight compile of the same key.
     int64_t Waits = 0;
+    /// Evictions forced by the MaxBytes budget (subset of Evictions).
+    int64_t ByteEvictions = 0;
+    /// Evictions forced by a tenant's occupancy cap (subset).
+    int64_t TenantEvictions = 0;
+    /// Estimated bytes currently resident.
+    int64_t BytesResident = 0;
   };
 
   /// What one lookup produced. Prog is null iff the (joined) compile
@@ -86,15 +126,17 @@ public:
       std::function<Expected<transform::CompiledSimdProgram, CompileFailure>(
           int &Attempts)>;
 
-  /// \p Capacity: completed entries kept (>= 1); in-flight compiles are
-  /// pinned and do not count.
+  /// Count-only bound (legacy single-tenant shape).
   explicit ProgramCache(size_t Capacity);
+  explicit ProgramCache(Options O);
 
   /// Returns the cached program for \p Key, joins an in-flight compile
   /// of it, or runs \p Fn to fill it (single-flight: at most one
   /// concurrent Fn per key). Blocks only while a flight for this key is
-  /// running.
-  Outcome getOrCompile(uint64_t Key, const Compiler &Fn);
+  /// running. \p Tenant attributes a newly compiled entry for the
+  /// per-tenant occupancy cap (empty: the default tenant).
+  Outcome getOrCompile(uint64_t Key, const Compiler &Fn,
+                       const std::string &Tenant = std::string());
 
   /// Drops the completed entry for \p Key if present (no-op for keys
   /// mid-compile; the flight will publish and is evictable afterwards).
@@ -103,6 +145,10 @@ public:
 
   /// Completed entries currently resident.
   size_t size() const;
+  /// Estimated bytes currently resident.
+  size_t bytesResident() const;
+  /// Estimated resident bytes attributed to \p Tenant.
+  size_t tenantBytes(const std::string &Tenant) const;
 
   Stats stats() const;
 
@@ -114,12 +160,22 @@ private:
     /// Lifetime compile attempts for this key (survives failed
     /// flights via AttemptHistory).
     int Attempts = 0;
+    /// Estimated footprint charged against the budgets.
+    size_t Cost = 0;
+    /// Tenant whose request compiled the entry (occupancy attribution;
+    /// later hits by other tenants do not re-attribute).
+    std::string Owner;
   };
 
   /// Marks \p Key most-recently-used; inserts it if new. Lock held.
   void touchLocked(uint64_t Key);
-  /// Evicts LRU completed entries down to Capacity. Lock held.
-  void enforceCapacityLocked();
+  /// Removes \p Key's completed entry, crediting its cost back. Lock
+  /// held.
+  void dropLocked(uint64_t Key);
+  /// Evicts down to every budget: \p Owner's occupancy cap (own-LRU
+  /// first), then MaxBytes (global LRU), then MaxEntries. The
+  /// just-published \p Keep is never the victim. Lock held.
+  void enforceBudgetsLocked(const std::string &Owner, uint64_t Keep);
 
   mutable std::mutex M;
   std::condition_variable Published;
@@ -129,7 +185,9 @@ private:
   /// Attempt counters that outlive failed flights (their slots are
   /// erased so the next request retries).
   std::unordered_map<uint64_t, int> AttemptHistory;
-  size_t Capacity;
+  /// Resident bytes per owning tenant.
+  std::unordered_map<std::string, size_t> OwnerBytes;
+  Options Opts;
   Stats S;
 };
 

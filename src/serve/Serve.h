@@ -16,10 +16,15 @@
 ///
 ///   Served + Trapped + Shed + CompileErrors == Submitted
 ///
-/// holds at every instant the queue is drained. FaultPlan is the
-/// serving-layer counterpart of the fuzz campaign's fault knobs: the
-/// campaign uses it to hammer the cache, the workers and the breaker the
-/// same way it hammers the executors.
+/// holds at every instant the queue is drained. Every request belongs
+/// to a tenant (defaulting to "default"), and the same conservation law
+/// holds per tenant, split at the admission boundary (TenantStats):
+///
+///   Admitted == Served + Trapped + CompileErrors + ShedInService
+///
+/// FaultPlan is the serving-layer counterpart of the fuzz campaign's
+/// fault knobs: the campaign uses it to hammer the cache, the workers
+/// and the breaker the same way it hammers the executors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,12 +64,69 @@ const char *outcomeName(Outcome O);
 /// Parses an outcome name; false if \p Name matches none.
 bool outcomeFromName(const std::string &Name, Outcome &Out);
 
+/// The tenant a request lands on when it names none.
+inline const char *defaultTenant() { return "default"; }
+
+/// One tenant's quota envelope. Zero-valued knobs are unmetered, so the
+/// default quota admits everything (back-compatible single-tenant
+/// behaviour). Enforced by serve::TenantRegistry.
+struct TenantQuota {
+  /// Request tokens refilled per second (0 = unmetered rate).
+  double RatePerSec = 0;
+  /// Request bucket capacity: the burst admitted from a full bucket.
+  int64_t Burst = 8;
+  /// Admitted-but-unresolved requests allowed at once (0 = unmetered).
+  int64_t MaxInFlight = 0;
+  /// Fuel tokens refilled per second (0 = fuel unmetered). A metered
+  /// tenant must declare Request::Fuel > 0 or admission refuses.
+  double FuelPerSec = 0;
+  /// Fuel bucket capacity (0: one second's refill, i.e. FuelPerSec).
+  int64_t FuelBurst = 0;
+  /// Entries this tenant may hold in the admission queue at once
+  /// (0 = bounded only by the global queue capacity), so one hot tenant
+  /// cannot monopolize the shared queue.
+  int64_t MaxQueued = 0;
+  /// Weighted-fair dequeue share (see FairQueue).
+  int Weight = 1;
+};
+
+/// Per-tenant outcome counters. Sheds are split at the admission
+/// boundary so "admitted = served + shed + trapped (+ compile-error)"
+/// is checkable per tenant.
+struct TenantStats {
+  int64_t Submitted = 0;
+  /// Entered the admission queue (passed budgets, quotas and capacity).
+  int64_t Admitted = 0;
+  int64_t Served = 0;
+  int64_t Trapped = 0;
+  int64_t CompileErrors = 0;
+  /// Refused before entering the queue: quota, budget envelope, queue
+  /// capacity, draining, shutdown.
+  int64_t ShedAtAdmission = 0;
+  /// Shed after admission: queue timeout, deadline-before-execution,
+  /// drain-deadline sweep, shutdown sweep.
+  int64_t ShedInService = 0;
+
+  int64_t shed() const { return ShedAtAdmission + ShedInService; }
+  /// Both per-tenant conservation laws (true whenever no request of
+  /// this tenant is in flight).
+  bool consistent() const {
+    return Served + Trapped + CompileErrors + ShedAtAdmission +
+                   ShedInService ==
+               Submitted &&
+           Served + Trapped + CompileErrors + ShedInService == Admitted;
+  }
+};
+
 /// One serving request: a mini-Fortran program plus runtime inputs and
 /// its budget envelope (fuel, end-to-end deadline, queue timeout).
 struct Request {
   /// Caller-chosen id echoed in the reply (replies complete out of
   /// submission order).
   uint64_t Id = 0;
+  /// Tenant the request is accounted to (quotas, fair dequeue, cache
+  /// occupancy). Empty maps to defaultTenant().
+  std::string Tenant;
   /// Program source (the flattenc mini-Fortran dialect).
   std::string Source;
 
@@ -124,6 +186,9 @@ struct Telemetry {
   /// Execution engine tag ("tree" / "bytecode" / "hostsimd"), from
   /// ServerOptions::Eng.
   std::string Engine = "bytecode";
+  /// Tenant the request was accounted to (normalized; never empty in a
+  /// reply).
+  std::string Tenant = "default";
 };
 
 /// One structured reply. Exactly one is produced per submitted request,
@@ -136,8 +201,14 @@ struct Reply {
   /// The structured trap when Out == Trapped.
   std::optional<interp::Trap> T;
   /// Retry hint for Shed replies, milliseconds (0: retrying is
-  /// pointless - over-budget or shutdown).
+  /// pointless - over-budget or shutdown). Scaled by queue depth for
+  /// congestion sheds and by bucket refill time for quota sheds, so
+  /// clients back off proportionally to the actual pressure.
   int64_t RetryAfterMs = 0;
+  /// The request was shed because the server is draining (graceful
+  /// shutdown): this instance will not take work again, but a retry
+  /// against a peer is reasonable.
+  bool Draining = false;
   /// Final integer arrays of the original program (Request::WantArrays).
   std::map<std::string, std::vector<int64_t>> IntArrays;
   Telemetry Tele;
@@ -159,6 +230,11 @@ struct FaultPlan {
   /// Stall each worker this long before processing a request (drives
   /// queue timeouts and saturation deterministically in tests).
   int64_t WorkerStallMicros = 0;
+  /// Pretend every published cache entry costs this many bytes
+  /// (ProgramCache::Options::CostOverrideBytes): drives byte-budget and
+  /// tenant-occupancy eviction deterministically regardless of real
+  /// program sizes.
+  size_t InflateCostBytes = 0;
 };
 
 /// Monotonic counters; snapshot via Server::stats(). The four outcome
@@ -173,6 +249,13 @@ struct ServerStats {
   int64_t CacheHits = 0;
   int64_t CacheMisses = 0;
   int64_t CacheEvictions = 0;
+  /// Cache evictions forced by the byte budget (subset of
+  /// CacheEvictions).
+  int64_t CacheByteEvictions = 0;
+  /// Cache evictions forced by a tenant occupancy cap (subset).
+  int64_t CacheTenantEvictions = 0;
+  /// Estimated compiled-program bytes resident right now.
+  int64_t CacheBytesResident = 0;
   /// Requests that joined an in-flight compile (single-flight).
   int64_t CompilesCoalesced = 0;
   /// Compile attempts beyond each request's first (backoff retries).
@@ -180,11 +263,31 @@ struct ServerStats {
   int64_t BreakerOpens = 0;
   /// Requests served from the unflattened fallback.
   int64_t FallbackServes = 0;
+  /// Sheds caused by a tenant quota refusing admission (subset of
+  /// Shed).
+  int64_t QuotaSheds = 0;
+  /// Sheds caused by the drain lifecycle - submissions refused while
+  /// draining plus queued requests swept at the drain deadline (subset
+  /// of Shed).
+  int64_t DrainSheds = 0;
+
+  /// Per-tenant counter snapshot (tenants that submitted at least
+  /// once).
+  std::map<std::string, TenantStats> Tenants;
 
   /// All four buckets sum back to Submitted (true whenever no request
   /// is in flight).
   bool consistent() const {
     return Served + Trapped + Shed + CompileErrors == Submitted;
+  }
+  /// Every tenant's conservation laws hold too.
+  bool tenantsConsistent() const {
+    for (const auto &[Name, T] : Tenants) {
+      (void)Name;
+      if (!T.consistent())
+        return false;
+    }
+    return true;
   }
   int64_t answered() const {
     return Served + Trapped + Shed + CompileErrors;

@@ -103,10 +103,10 @@ Expected<Request, std::string> serve::parseRequest(const json::Value &V) {
   if (!V.isObject())
     return std::string("request must be a JSON object");
 
-  static const char *Known[] = {"id",          "source",     "ints",
-                                "int_arrays",  "real_arrays", "lanes",
-                                "fuel",        "deadline_ms", "queue_timeout_ms",
-                                "min_one",     "want_arrays"};
+  static const char *Known[] = {"id",          "tenant",      "source",
+                                "ints",        "int_arrays",  "real_arrays",
+                                "lanes",       "fuel",        "deadline_ms",
+                                "queue_timeout_ms", "min_one", "want_arrays"};
   for (const auto &[Key, Val] : V.members()) {
     (void)Val;
     bool Ok = false;
@@ -130,6 +130,11 @@ Expected<Request, std::string> serve::parseRequest(const json::Value &V) {
   if (!readInt(V, "id", Id, Err))
     return Err;
   R.Id = (uint64_t)Id;
+  if (const json::Value *T = V.get("tenant")) {
+    if (!T->isString())
+      return std::string("field 'tenant' must be a string");
+    R.Tenant = T->asString();
+  }
   if (!readInt(V, "lanes", R.Lanes, Err) || !readInt(V, "fuel", R.Fuel, Err) ||
       !readInt(V, "deadline_ms", R.DeadlineMs, Err) ||
       !readInt(V, "queue_timeout_ms", R.QueueTimeoutMs, Err))
@@ -163,6 +168,8 @@ json::Value serve::toJson(const Reply &R) {
   }
   if (R.Out == Outcome::Shed)
     O.set("retry_after_ms", R.RetryAfterMs);
+  if (R.Draining)
+    O.set("draining", true);
   if (!R.IntArrays.empty()) {
     json::Value Arrays = json::Value::object();
     for (const auto &[Name, Vals] : R.IntArrays) {
@@ -175,6 +182,7 @@ json::Value serve::toJson(const Reply &R) {
   }
   json::Value Tele = json::Value::object();
   Tele.set("engine", R.Tele.Engine);
+  Tele.set("tenant", R.Tele.Tenant);
   Tele.set("queue_nanos", R.Tele.QueueNanos);
   Tele.set("compile_nanos", R.Tele.CompileNanos);
   Tele.set("run_nanos", R.Tele.RunNanos);
@@ -193,6 +201,7 @@ json::Value serve::telemetryJson(const Reply &R) {
   O.set("id", (int64_t)R.Id);
   O.set("outcome", outcomeName(R.Out));
   O.set("engine", R.Tele.Engine);
+  O.set("tenant", R.Tele.Tenant);
   O.set("queue_nanos", R.Tele.QueueNanos);
   O.set("compile_nanos", R.Tele.CompileNanos);
   O.set("run_nanos", R.Tele.RunNanos);
@@ -266,10 +275,149 @@ json::Value serve::toJson(const ServerStats &S) {
   O.set("cache_hits", S.CacheHits);
   O.set("cache_misses", S.CacheMisses);
   O.set("cache_evictions", S.CacheEvictions);
+  O.set("cache_byte_evictions", S.CacheByteEvictions);
+  O.set("cache_tenant_evictions", S.CacheTenantEvictions);
+  O.set("cache_bytes_resident", S.CacheBytesResident);
   O.set("compiles_coalesced", S.CompilesCoalesced);
   O.set("compile_retries", S.CompileRetries);
   O.set("breaker_opens", S.BreakerOpens);
   O.set("fallback_serves", S.FallbackServes);
+  O.set("quota_sheds", S.QuotaSheds);
+  O.set("drain_sheds", S.DrainSheds);
+  if (!S.Tenants.empty()) {
+    json::Value Ts = json::Value::object();
+    for (const auto &[Name, T] : S.Tenants) {
+      json::Value TV = json::Value::object();
+      TV.set("submitted", T.Submitted);
+      TV.set("admitted", T.Admitted);
+      TV.set("served", T.Served);
+      TV.set("trapped", T.Trapped);
+      TV.set("compile_errors", T.CompileErrors);
+      TV.set("shed_at_admission", T.ShedAtAdmission);
+      TV.set("shed_in_service", T.ShedInService);
+      TV.set("consistent", T.consistent());
+      Ts.set(Name, std::move(TV));
+    }
+    O.set("tenants", std::move(Ts));
+  }
   O.set("consistent", S.consistent());
+  O.set("tenants_consistent", S.tenantsConsistent());
   return O;
+}
+
+Expected<Reply, std::string> serve::parseReply(const json::Value &V) {
+  if (!V.isObject())
+    return std::string("reply must be a JSON object");
+
+  static const char *Known[] = {"id",        "outcome",       "error",
+                                "trap",      "retry_after_ms", "draining",
+                                "int_arrays", "telemetry"};
+  for (const auto &[Key, Val] : V.members()) {
+    (void)Val;
+    bool Ok = false;
+    for (const char *K : Known)
+      if (Key == K) {
+        Ok = true;
+        break;
+      }
+    if (!Ok)
+      return "unknown reply field '" + Key + "'";
+  }
+
+  Reply R;
+  std::string Err;
+  int64_t Id = 0;
+  if (!readInt(V, "id", Id, Err))
+    return Err;
+  R.Id = (uint64_t)Id;
+
+  const json::Value *Out = V.get("outcome");
+  if (!Out || !Out->isString())
+    return std::string("reply needs a string 'outcome' field");
+  if (!outcomeFromName(Out->asString(), R.Out))
+    return "unknown outcome '" + Out->asString() + "'";
+
+  if (const json::Value *E = V.get("error")) {
+    if (!E->isString())
+      return std::string("field 'error' must be a string");
+    R.Error = E->asString();
+  }
+  if (!readBool(V, "draining", R.Draining, Err))
+    return Err;
+
+  // The shed contract: a shed reply without a usable retry hint leaves
+  // the client guessing, so absence and negatives are both protocol
+  // violations (0 is meaningful: retrying is pointless).
+  const json::Value *Retry = V.get("retry_after_ms");
+  if (R.Out == Outcome::Shed) {
+    if (!Retry)
+      return std::string("shed reply is missing 'retry_after_ms'");
+    if (!Retry->isInt())
+      return std::string("field 'retry_after_ms' must be an integer");
+    R.RetryAfterMs = Retry->asInt();
+    if (R.RetryAfterMs < 0)
+      return std::string("'retry_after_ms' must be >= 0");
+  } else if (Retry) {
+    return "'retry_after_ms' is only valid on shed replies, not '" +
+           std::string(outcomeName(R.Out)) + "'";
+  }
+
+  if (const json::Value *T = V.get("trap")) {
+    if (!T->isObject())
+      return std::string("field 'trap' must be an object");
+    interp::Trap Trap;
+    const json::Value *Kind = T->get("kind");
+    if (!Kind || !Kind->isString())
+      return std::string("trap needs a string 'kind' field");
+    if (!interp::trapKindFromName(Kind->asString(), Trap.Kind))
+      return "unknown trap kind '" + Kind->asString() + "'";
+    Trap.Detail = T->get("detail") && T->get("detail")->isString()
+                      ? T->get("detail")->asString()
+                      : "";
+    Trap.Location = T->get("location") && T->get("location")->isString()
+                        ? T->get("location")->asString()
+                        : "";
+    if (const json::Value *Lanes = T->get("lanes")) {
+      if (!Lanes->isArray())
+        return std::string("'trap.lanes' must be an array");
+      for (size_t I = 0; I < Lanes->size(); ++I) {
+        if (!Lanes->at(I).isInt())
+          return std::string("'trap.lanes' must hold only integers");
+        Trap.Lanes.push_back(Lanes->at(I).asInt());
+      }
+    }
+    R.T = std::move(Trap);
+  }
+
+  if (!readArrayMap<int64_t>(V, "int_arrays", R.IntArrays, Err))
+    return Err;
+
+  if (const json::Value *Tele = V.get("telemetry")) {
+    if (!Tele->isObject())
+      return std::string("field 'telemetry' must be an object");
+    if (const json::Value *Eng = Tele->get("engine")) {
+      if (!Eng->isString())
+        return std::string("'telemetry.engine' must be a string");
+      R.Tele.Engine = Eng->asString();
+    }
+    if (const json::Value *Ten = Tele->get("tenant")) {
+      if (!Ten->isString())
+        return std::string("'telemetry.tenant' must be a string");
+      R.Tele.Tenant = Ten->asString();
+    }
+    if (!readInt(*Tele, "queue_nanos", R.Tele.QueueNanos, Err) ||
+        !readInt(*Tele, "compile_nanos", R.Tele.CompileNanos, Err) ||
+        !readInt(*Tele, "run_nanos", R.Tele.RunNanos, Err) ||
+        !readInt(*Tele, "fuel_spent", R.Tele.FuelSpent, Err))
+      return Err;
+    int64_t Attempts = 0;
+    if (!readInt(*Tele, "compile_attempts", Attempts, Err))
+      return Err;
+    R.Tele.CompileAttempts = (int)Attempts;
+    if (!readBool(*Tele, "cache_hit", R.Tele.CacheHit, Err) ||
+        !readBool(*Tele, "coalesced_compile", R.Tele.CoalescedCompile, Err) ||
+        !readBool(*Tele, "fallback", R.Tele.Fallback, Err))
+      return Err;
+  }
+  return R;
 }

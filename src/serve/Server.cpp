@@ -77,6 +77,15 @@ std::string validateInputs(const ir::Program &P, const Request &R) {
   return "";
 }
 
+ProgramCache::Options cacheOptions(const ServerOptions &O) {
+  ProgramCache::Options C;
+  C.MaxEntries = O.CacheCapacity;
+  C.MaxBytes = O.CacheMaxBytes;
+  C.TenantMaxBytes = O.CacheTenantMaxBytes;
+  C.CostOverrideBytes = O.Faults.InflateCostBytes;
+  return C;
+}
+
 } // namespace
 
 const char *serve::outcomeName(Outcome O) {
@@ -108,7 +117,10 @@ bool serve::outcomeFromName(const std::string &Name, Outcome &Out) {
 }
 
 Server::Server(ServerOptions O)
-    : Opts(O), Cache(O.CacheCapacity), Breaker(O.Breaker) {
+    : Opts(O), Cache(cacheOptions(O)), Breaker(O.Breaker),
+      Tenants(O.DefaultQuota, O.QuotaClock) {
+  for (const auto &[Name, Q] : Opts.TenantQuotas)
+    Tenants.setQuota(Name, Q);
   int N = std::max(1, Opts.Workers);
   Workers.reserve((size_t)N);
   for (int I = 0; I < N; ++I)
@@ -126,18 +138,27 @@ Server::~Server() {
   // Workers drain the queue (shedding) before exiting, so nothing is
   // left here; this is a belt-and-braces sweep for the promise
   // contract should that ever change.
-  for (Job &J : Queue)
-    J.Done.set_value(shed(J, "server shutting down", 0));
-  Queue.clear();
+  std::vector<Job> Leftover;
+  Queue.drainAll(
+      [&](const std::string &, Job &&J) { Leftover.push_back(std::move(J)); });
+  for (Job &J : Leftover)
+    resolveJob(J, shed(J, "server shutting down", 0, /*Admitted=*/true));
+}
+
+int64_t Server::scaledRetryMs(size_t Depth) const {
+  int64_t PerWorker = (int64_t)Depth / std::max(1, Opts.Workers);
+  return Opts.RetryAfterMs * (1 + PerWorker);
 }
 
 std::future<Reply> Server::submit(Request R) {
   std::promise<Reply> Done;
   std::future<Reply> F = Done.get_future();
+  std::string Tenant = R.Tenant.empty() ? defaultTenant() : R.Tenant;
   {
     std::lock_guard<std::mutex> Lock(StatsM);
     ++Stats.Submitted;
   }
+  Tenants.countSubmitted(Tenant);
 
   // Budget-envelope admission: requests the server can tell are
   // over-budget never enter the queue, and the reply says retrying as-is
@@ -146,26 +167,27 @@ std::future<Reply> Server::submit(Request R) {
     std::ostringstream OS;
     OS << "fuel budget " << R.Fuel << " outside the served range 1.."
        << Opts.MaxFuel;
-    Done.set_value(shedRequest(R, OS.str(), 0));
+    Done.set_value(shedRequest(R, Tenant, OS.str(), 0, /*Admitted=*/false));
     return F;
   }
   if (R.Lanes < 1 || R.Lanes > Opts.MaxLanes) {
     std::ostringstream OS;
     OS << "lanes " << R.Lanes << " outside the served range 1.."
        << Opts.MaxLanes;
-    Done.set_value(shedRequest(R, OS.str(), 0));
+    Done.set_value(shedRequest(R, Tenant, OS.str(), 0, /*Admitted=*/false));
     return F;
   }
   if (R.Source.size() > Opts.MaxSourceBytes) {
     std::ostringstream OS;
     OS << "source of " << R.Source.size() << " bytes exceeds the limit of "
        << Opts.MaxSourceBytes;
-    Done.set_value(shedRequest(R, OS.str(), 0));
+    Done.set_value(shedRequest(R, Tenant, OS.str(), 0, /*Admitted=*/false));
     return F;
   }
 
   Job J;
   J.Req = std::move(R);
+  J.Tenant = Tenant;
   J.Done = std::move(Done);
   J.Enqueued = Clock::now();
   if (J.Req.DeadlineMs > 0)
@@ -177,21 +199,119 @@ std::future<Reply> Server::submit(Request R) {
   {
     std::lock_guard<std::mutex> Lock(QueueM);
     if (Stopping) {
-      J.Done.set_value(shed(J, "server shutting down", 0));
+      J.Done.set_value(
+          shedRequest(J.Req, Tenant, "server shutting down", 0,
+                      /*Admitted=*/false));
+      return F;
+    }
+    if (Draining) {
+      // Graceful-drain admission stop: a structured refusal, not
+      // silence. Another replica may serve the retry.
+      J.Done.set_value(shedRequest(J.Req, Tenant, "server draining",
+                                   Opts.RetryAfterMs, /*Admitted=*/false,
+                                   /*IsDraining=*/true));
       return F;
     }
     if (Queue.size() >= Opts.QueueCapacity) {
       // Deterministic load shedding: reject immediately rather than
-      // block the submitter or grow the queue without bound.
+      // block the submitter or grow the queue without bound. The hint
+      // scales with the congestion the submitter is seeing.
       std::ostringstream OS;
       OS << "admission queue full (" << Opts.QueueCapacity << " waiting)";
-      J.Done.set_value(shed(J, OS.str(), Opts.RetryAfterMs));
+      J.Done.set_value(shedRequest(J.Req, Tenant, OS.str(),
+                                   scaledRetryMs(Queue.size()),
+                                   /*Admitted=*/false));
       return F;
     }
-    Queue.push_back(std::move(J));
+    TenantQuota Q = Tenants.quotaFor(Tenant);
+    if (Q.MaxQueued > 0 && (int64_t)Queue.sizeOf(Tenant) >= Q.MaxQueued) {
+      // The tenant's share of the shared queue is spent; the global
+      // queue may still have room for everyone else.
+      std::ostringstream OS;
+      OS << "tenant '" << Tenant << "' queue share full (" << Q.MaxQueued
+         << " waiting)";
+      {
+        std::lock_guard<std::mutex> SLock(StatsM);
+        ++Stats.QuotaSheds;
+      }
+      J.Done.set_value(shedRequest(J.Req, Tenant, OS.str(),
+                                   scaledRetryMs(Queue.sizeOf(Tenant)),
+                                   /*Admitted=*/false));
+      return F;
+    }
+    // Token buckets last: they charge on success, and every later check
+    // has already passed, so no refund path exists.
+    TenantRegistry::Decision D = Tenants.tryAdmit(Tenant, J.Req.Fuel);
+    if (!D.Admit) {
+      {
+        std::lock_guard<std::mutex> SLock(StatsM);
+        ++Stats.QuotaSheds;
+      }
+      int64_t Hint =
+          D.Permanent ? 0 : std::max(D.RetryAfterMs, Opts.RetryAfterMs);
+      J.Done.set_value(
+          shedRequest(J.Req, Tenant, D.Reason, Hint, /*Admitted=*/false));
+      return F;
+    }
+    Tenants.countAdmitted(Tenant);
+    ++Unresolved;
+    Queue.push(Tenant, Q.Weight, std::move(J));
   }
   QueueCv.notify_one();
   return F;
+}
+
+void Server::beginDrain() {
+  std::lock_guard<std::mutex> Lock(QueueM);
+  Draining = true;
+}
+
+bool Server::drain(int64_t HardDeadlineMs) {
+  beginDrain();
+  std::vector<Job> Swept;
+  {
+    std::unique_lock<std::mutex> Lock(QueueM);
+    auto Resolved = [&] { return Unresolved == 0; };
+    if (HardDeadlineMs <= 0) {
+      DrainCv.wait(Lock, Resolved);
+    } else if (!DrainCv.wait_for(
+                   Lock, std::chrono::milliseconds(HardDeadlineMs),
+                   Resolved)) {
+      // Hard deadline: whatever is still queued sheds now. Requests a
+      // worker already picked up keep running - their own fuel/deadline
+      // budgets bound them.
+      Queue.drainAll([&](const std::string &, Job &&J) {
+        Swept.push_back(std::move(J));
+      });
+    }
+  }
+  bool Clean = Swept.empty();
+  for (Job &J : Swept)
+    resolveJob(J, shedRequest(J.Req, J.Tenant,
+                              "drain deadline reached before execution",
+                              Opts.RetryAfterMs, /*Admitted=*/true,
+                              /*IsDraining=*/true));
+  {
+    std::unique_lock<std::mutex> Lock(QueueM);
+    DrainCv.wait(Lock, [&] { return Unresolved == 0; });
+  }
+  return Clean;
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> Lock(QueueM);
+  return Draining;
+}
+
+void Server::resolveJob(Job &J, Reply Rep) {
+  J.Done.set_value(std::move(Rep));
+  Tenants.release(J.Tenant);
+  {
+    std::lock_guard<std::mutex> Lock(QueueM);
+    if (Unresolved > 0)
+      --Unresolved;
+  }
+  DrainCv.notify_all();
 }
 
 void Server::workerLoop() {
@@ -206,13 +326,12 @@ void Server::workerLoop() {
           return;
         continue;
       }
-      J = std::move(Queue.front());
-      Queue.pop_front();
+      J = std::move(Queue.pop().second);
       ShedForShutdown = Stopping;
     }
     Reply Rep;
     if (ShedForShutdown) {
-      Rep = shed(J, "server shutting down", 0);
+      Rep = shed(J, "server shutting down", 0, /*Admitted=*/true);
     } else {
       // The worker-thread exception barrier: whatever process() throws
       // (including OOM-shaped std::exceptions from hostile programs)
@@ -226,7 +345,7 @@ void Server::workerLoop() {
         Rep = compileError(J, "internal error: unknown exception");
       }
     }
-    J.Done.set_value(std::move(Rep));
+    resolveJob(J, std::move(Rep));
   }
 }
 
@@ -234,6 +353,7 @@ Reply Server::process(Job &J) {
   const Request &R = J.Req;
   Telemetry Tele;
   Tele.QueueNanos = nanosSince(J.Enqueued);
+  Tele.Tenant = J.Tenant;
 
   if (Opts.Faults.WorkerStallMicros > 0)
     std::this_thread::sleep_for(
@@ -246,12 +366,14 @@ Reply Server::process(Job &J) {
   if (J.QueueDeadline && Now > *J.QueueDeadline) {
     std::ostringstream OS;
     OS << "queued longer than the " << R.QueueTimeoutMs << "ms queue budget";
-    Reply Rep = shed(J, OS.str(), Opts.RetryAfterMs);
+    Reply Rep = shed(J, OS.str(), scaledRetryMs(queueDepth()),
+                     /*Admitted=*/true);
     Rep.Tele = Tele;
     return Rep;
   }
   if (J.Deadline && Now >= *J.Deadline) {
-    Reply Rep = shed(J, "deadline expired before execution", 0);
+    Reply Rep = shed(J, "deadline expired before execution", 0,
+                     /*Admitted=*/true);
     Rep.Tele = Tele;
     return Rep;
   }
@@ -328,7 +450,8 @@ Reply Server::process(Job &J) {
             break;
           }
           return CompileFailure{LastErr, LastTransient};
-        });
+        },
+        J.Tenant);
     Tele.CacheHit = CO.Hit;
     Tele.CoalescedCompile = CO.Waited;
     Tele.CompileAttempts = CO.Attempts;
@@ -359,7 +482,8 @@ Reply Server::process(Job &J) {
           if (C)
             return std::move(*C);
           return CompileFailure{C.error().render(), false};
-        });
+        },
+        J.Tenant);
     if (!CO.Prog) {
       std::string Err = CO.Error;
       if (!PrimaryError.empty())
@@ -425,7 +549,7 @@ Reply Server::process(Job &J) {
     Rep.Out = Outcome::Trapped;
     Rep.T = Out.error();
     Rep.Error = Out.error().render();
-    countOutcome(Outcome::Trapped);
+    countOutcome(Outcome::Trapped, J.Tenant, /*Admitted=*/true);
     return Rep;
   }
   Rep.Out = Outcome::Served;
@@ -438,22 +562,31 @@ Reply Server::process(Job &J) {
           Code->Prog.lookupVar(D.Name))
         Rep.IntArrays.emplace(D.Name, Store.getIntArray(D.Name));
   }
-  countOutcome(Outcome::Served);
+  countOutcome(Outcome::Served, J.Tenant, /*Admitted=*/true);
   return Rep;
 }
 
-Reply Server::shed(const Job &J, std::string Why, int64_t RetryAfterMs) {
-  return shedRequest(J.Req, std::move(Why), RetryAfterMs);
+Reply Server::shed(const Job &J, std::string Why, int64_t RetryAfterMs,
+                   bool Admitted) {
+  return shedRequest(J.Req, J.Tenant, std::move(Why), RetryAfterMs,
+                     Admitted);
 }
 
-Reply Server::shedRequest(const Request &R, std::string Why,
-                          int64_t RetryAfterMs) {
+Reply Server::shedRequest(const Request &R, const std::string &Tenant,
+                          std::string Why, int64_t RetryAfterMs,
+                          bool Admitted, bool IsDraining) {
   Reply Rep;
   Rep.Id = R.Id;
   Rep.Out = Outcome::Shed;
   Rep.Error = std::move(Why);
   Rep.RetryAfterMs = RetryAfterMs;
-  countOutcome(Outcome::Shed);
+  Rep.Draining = IsDraining;
+  Rep.Tele.Tenant = Tenant;
+  countOutcome(Outcome::Shed, Tenant, Admitted);
+  if (IsDraining) {
+    std::lock_guard<std::mutex> Lock(StatsM);
+    ++Stats.DrainSheds;
+  }
   return Rep;
 }
 
@@ -462,26 +595,31 @@ Reply Server::compileError(const Job &J, std::string Why) {
   Rep.Id = J.Req.Id;
   Rep.Out = Outcome::CompileError;
   Rep.Error = std::move(Why);
-  countOutcome(Outcome::CompileError);
+  Rep.Tele.Tenant = J.Tenant;
+  countOutcome(Outcome::CompileError, J.Tenant, /*Admitted=*/true);
   return Rep;
 }
 
-void Server::countOutcome(Outcome O) {
-  std::lock_guard<std::mutex> Lock(StatsM);
-  switch (O) {
-  case Outcome::Served:
-    ++Stats.Served;
-    break;
-  case Outcome::Trapped:
-    ++Stats.Trapped;
-    break;
-  case Outcome::Shed:
-    ++Stats.Shed;
-    break;
-  case Outcome::CompileError:
-    ++Stats.CompileErrors;
-    break;
+void Server::countOutcome(Outcome O, const std::string &Tenant,
+                          bool Admitted) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsM);
+    switch (O) {
+    case Outcome::Served:
+      ++Stats.Served;
+      break;
+    case Outcome::Trapped:
+      ++Stats.Trapped;
+      break;
+    case Outcome::Shed:
+      ++Stats.Shed;
+      break;
+    case Outcome::CompileError:
+      ++Stats.CompileErrors;
+      break;
+    }
   }
+  Tenants.countOutcome(Tenant, O, Admitted);
 }
 
 ServerStats Server::stats() const {
@@ -494,12 +632,25 @@ ServerStats Server::stats() const {
   Out.CacheHits = CS.Hits;
   Out.CacheMisses = CS.Misses;
   Out.CacheEvictions = CS.Evictions;
+  Out.CacheByteEvictions = CS.ByteEvictions;
+  Out.CacheTenantEvictions = CS.TenantEvictions;
+  Out.CacheBytesResident = CS.BytesResident;
   Out.CompilesCoalesced = CS.Waits;
   Out.BreakerOpens = Breaker.stats().Opens;
+  Out.Tenants = Tenants.statsSnapshot();
   return Out;
+}
+
+std::map<std::string, TenantStats> Server::tenantStats() const {
+  return Tenants.statsSnapshot();
 }
 
 size_t Server::queueDepth() const {
   std::lock_guard<std::mutex> Lock(QueueM);
   return Queue.size();
+}
+
+size_t Server::inFlight() const {
+  std::lock_guard<std::mutex> Lock(QueueM);
+  return Unresolved;
 }

@@ -6,14 +6,21 @@
 ///
 /// \file
 /// The compile-once/run-many serving core behind flattend. A Server
-/// owns a worker thread pool fed by a bounded admission queue, the
-/// shared ProgramCache (LRU + single-flight), and a per-program-hash
-/// CircuitBreaker. Every submitted Request resolves to exactly one
+/// owns a worker thread pool fed by a bounded, weighted-fair admission
+/// queue, the shared ProgramCache (byte-budgeted LRU + single-flight),
+/// a per-program-hash CircuitBreaker, and a TenantRegistry enforcing
+/// per-tenant quotas. Every submitted Request resolves to exactly one
 /// structured Reply - the server never crashes, hangs, or drops a
 /// request on the floor:
 ///
-///  * Admission: a full queue sheds immediately with a retry-after hint
-///    (reject, never block); over-budget requests shed at submit time.
+///  * Admission: a full queue sheds immediately with a depth-scaled
+///    retry-after hint (reject, never block); over-budget requests shed
+///    at submit time; tenant quotas (request rate, in-flight, fuel
+///    rate, queue share) shed with a refill-time hint before the
+///    request touches the shared queue.
+///  * Fairness: the queue is a per-tenant stride-scheduled FairQueue,
+///    so a tenant flooding the server cannot starve another tenant's
+///    queued requests.
 ///  * Budgets: fuel bounds simulated work, the end-to-end deadline is
 ///    enforced in the queue (shed), through compilation (shed) and
 ///    inside the dispatch loop (DeadlineExpired trap); queue timeouts
@@ -22,8 +29,14 @@
 ///    failures retry with exponential backoff, trip the breaker, and
 ///    degrade to the unflattened fallback; a worker-side exception
 ///    becomes a CompileError reply, not a dead thread.
+///  * Lifecycle: beginDrain() stops admission (submissions shed with a
+///    structured draining status) while queued and executing requests
+///    finish; drain() waits for full resolution, shedding whatever is
+///    still *queued* when the hard deadline passes. The destructor
+///    remains an abrupt stop (workers shed the queue and exit).
 ///  * FaultPlan wires the campaign's faults (injected compile failure,
-///    mid-flight eviction, worker stall) into all of the above.
+///    mid-flight eviction, worker stall, inflated cache costs) into all
+///    of the above.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,12 +46,14 @@
 #include "interp/RunStats.h"
 #include "machine/Machine.h"
 #include "serve/CircuitBreaker.h"
+#include "serve/FairQueue.h"
 #include "serve/ProgramCache.h"
 #include "serve/Serve.h"
+#include "serve/TenantRegistry.h"
 
 #include <chrono>
-#include <deque>
 #include <future>
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -52,6 +67,11 @@ struct ServerOptions {
   size_t QueueCapacity = 16;
   /// Compiled programs kept resident (LRU beyond this).
   size_t CacheCapacity = 64;
+  /// Compiled-program byte budget (ProgramCache::Options::MaxBytes;
+  /// 0 = unmetered).
+  size_t CacheMaxBytes = 0;
+  /// Per-tenant cache occupancy cap in bytes (0 = unmetered).
+  size_t CacheTenantMaxBytes = 0;
   /// Admission bound on Request::Lanes.
   int64_t MaxLanes = 64;
   /// When > 0, every request must carry 0 < Fuel <= MaxFuel or it is
@@ -67,8 +87,18 @@ struct ServerOptions {
   /// capped. Kept in microseconds so tests stay fast.
   int64_t BackoffBaseMicros = 200;
   int64_t BackoffCapMicros = 20'000;
-  /// Retry hint attached to load-shed replies.
+  /// Base retry hint attached to load-shed replies. Congestion sheds
+  /// scale it by queue depth (base * (1 + depth/workers)); quota sheds
+  /// use the bucket refill time when it is larger.
   int64_t RetryAfterMs = 5;
+  /// Quota applied to every tenant without an explicit override. The
+  /// default is fully unmetered (single-tenant back-compat).
+  TenantQuota DefaultQuota;
+  /// Named per-tenant quota overrides.
+  std::map<std::string, TenantQuota> TenantQuotas;
+  /// Virtual-time clock for the quota buckets (null: steady_clock).
+  /// Tests freeze or step it for deterministic admission sequences.
+  ClockFn QuotaClock;
   /// Lane layout every compiled program uses.
   machine::Layout Layout = machine::Layout::Cyclic;
   /// Execution engine every request runs under (flattend --engine).
@@ -87,27 +117,50 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Admits \p R. Never blocks: a full queue, a stopping server, or an
-  /// over-budget request resolves the future immediately with a Shed
-  /// reply. The future always becomes ready.
+  /// Admits \p R. Never blocks: a full queue, an exhausted tenant
+  /// quota, a draining or stopping server, or an over-budget request
+  /// resolves the future immediately with a Shed reply. The future
+  /// always becomes ready.
   std::future<Reply> submit(Request R);
 
-  /// Snapshot of the counters (cache/breaker numbers merged in).
+  /// Stops admission: every later submit() sheds with a structured
+  /// draining status while already-admitted requests keep executing.
+  /// Idempotent.
+  void beginDrain();
+  /// beginDrain(), then waits for every admitted request to resolve.
+  /// When \p HardDeadlineMs elapses first (0 = wait forever), requests
+  /// still *queued* are shed (draining status) and the wait continues
+  /// for the ones already executing - those are bounded by their own
+  /// fuel/deadline budgets. Returns true when everything resolved
+  /// without a deadline sweep.
+  bool drain(int64_t HardDeadlineMs);
+  /// Admission is closed (beginDrain was called).
+  bool draining() const;
+
+  /// Snapshot of the counters (cache/breaker/tenant numbers merged in).
   ServerStats stats() const;
+  /// Per-tenant counter snapshot (also embedded in stats()).
+  std::map<std::string, TenantStats> tenantStats() const;
 
   /// Requests currently queued (not yet picked up by a worker).
   size_t queueDepth() const;
+  /// Admitted requests not yet resolved (queued + executing).
+  size_t inFlight() const;
 
   /// The shared program cache (tests observe size/stats).
   const ProgramCache &cache() const { return Cache; }
   /// The breaker (tests observe per-key state).
   const CircuitBreaker &breaker() const { return Breaker; }
+  /// The tenant registry (tests observe quotas and per-tenant state).
+  const TenantRegistry &tenants() const { return Tenants; }
 
   const ServerOptions &options() const { return Opts; }
 
 private:
   struct Job {
     Request Req;
+    /// Normalized tenant (never empty).
+    std::string Tenant;
     std::promise<Reply> Done;
     std::chrono::steady_clock::time_point Enqueued;
     /// Absolute end-to-end deadline (Request::DeadlineMs).
@@ -119,22 +172,36 @@ private:
   void workerLoop();
   /// Everything after dequeue; returns the reply (outcome counted).
   Reply process(Job &J);
-  /// Builds (and counts) a Shed reply.
-  Reply shed(const Job &J, std::string Why, int64_t RetryAfterMs);
-  Reply shedRequest(const Request &R, std::string Why,
-                    int64_t RetryAfterMs);
+  /// Builds (and counts) a Shed reply. \p Admitted routes the tenant
+  /// count to ShedInService vs ShedAtAdmission.
+  Reply shed(const Job &J, std::string Why, int64_t RetryAfterMs,
+             bool Admitted);
+  Reply shedRequest(const Request &R, const std::string &Tenant,
+                    std::string Why, int64_t RetryAfterMs, bool Admitted,
+                    bool Draining = false);
   /// Builds (and counts) a CompileError reply.
   Reply compileError(const Job &J, std::string Why);
-  void countOutcome(Outcome O);
+  void countOutcome(Outcome O, const std::string &Tenant, bool Admitted);
+  /// Resolves an *admitted* job: fulfills the promise, releases the
+  /// tenant's in-flight slot, and signals the drain waiters.
+  void resolveJob(Job &J, Reply Rep);
+  /// Congestion retry hint: base scaled by queue depth per worker.
+  int64_t scaledRetryMs(size_t Depth) const;
 
   ServerOptions Opts;
   ProgramCache Cache;
   CircuitBreaker Breaker;
+  TenantRegistry Tenants;
 
   mutable std::mutex QueueM;
   std::condition_variable QueueCv;
-  std::deque<Job> Queue;
+  FairQueue<Job> Queue;
   bool Stopping = false;
+  bool Draining = false;
+  /// Admitted-but-unresolved jobs (queued + executing); drain waits on
+  /// it reaching zero.
+  size_t Unresolved = 0;
+  std::condition_variable DrainCv;
 
   mutable std::mutex StatsM;
   ServerStats Stats;

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 using namespace simdflat;
 using namespace simdflat::serve;
 
@@ -113,10 +116,81 @@ TEST(CircuitBreaker, KeysAreIndependent) {
       << "one program's quarantine must not affect another's";
 }
 
+TEST(CircuitBreaker, CooldownReprobesSparseTraffic) {
+  // The sparse-traffic fix: with a large open budget and rare requests,
+  // a count-only breaker would stay open forever. The cooldown converts
+  // an open breaker into a half-open probe once enough (injected) time
+  // has passed, even with budget to spare.
+  int64_t Now = 0;
+  CircuitBreaker::Options O = smallOptions();
+  O.OpenBudget = 1'000'000; // counts alone would never probe here
+  O.CooldownMicros = 500;
+  O.NowMicros = [&Now] { return Now; };
+  CircuitBreaker B(O);
+
+  for (int I = 0; I < 2; ++I) {
+    B.admit(1);
+    B.recordFailure(1);
+  }
+  ASSERT_EQ(B.peek(1), State::Open);
+
+  Now = 499;
+  EXPECT_EQ(B.admit(1), State::Open) << "cooldown fired one tick early";
+  Now = 500;
+  EXPECT_EQ(B.admit(1), State::HalfOpen)
+      << "elapsed cooldown must convert the admit into a probe";
+  EXPECT_EQ(B.stats().Probes, 1);
+
+  // A failed probe re-opens AND re-anchors the cooldown at the failure
+  // time, so the next probe is a full cooldown away.
+  B.recordFailure(1);
+  ASSERT_EQ(B.peek(1), State::Open);
+  Now = 999;
+  EXPECT_EQ(B.admit(1), State::Open)
+      << "cooldown must restart from the reopen, not the first open";
+  Now = 1000;
+  EXPECT_EQ(B.admit(1), State::HalfOpen);
+  B.recordSuccess(1);
+  EXPECT_EQ(B.peek(1), State::Closed);
+}
+
+TEST(CircuitBreaker, ZeroCooldownKeepsCountOnlyBehaviour) {
+  // Legacy configurations (CooldownMicros = 0) must never probe on
+  // time, only on spent budget - even with a clock that jumps far
+  // ahead.
+  int64_t Now = 0;
+  CircuitBreaker::Options O = smallOptions();
+  O.NowMicros = [&Now] { return Now; };
+  CircuitBreaker B(O);
+  for (int I = 0; I < 2; ++I) {
+    B.admit(1);
+    B.recordFailure(1);
+  }
+  Now = 1'000'000'000;
+  EXPECT_EQ(B.admit(1), State::Open)
+      << "a zero cooldown must not re-probe on time";
+}
+
 TEST(CircuitBreaker, StateNames) {
   EXPECT_STREQ(breakerStateName(State::Closed), "closed");
   EXPECT_STREQ(breakerStateName(State::Open), "open");
   EXPECT_STREQ(breakerStateName(State::HalfOpen), "half-open");
+}
+
+TEST(CircuitBreaker, StateNamesAreExhaustive) {
+  // Every enumerator renders to a distinct, non-empty name: adding a
+  // State without extending breakerStateName fails to compile (the
+  // switch has no default), and this loop pins the rendered set.
+  const State All[] = {State::Closed, State::Open, State::HalfOpen};
+  std::vector<std::string> Seen;
+  for (State St : All) {
+    const char *Name = breakerStateName(St);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_FALSE(std::string(Name).empty());
+    for (const std::string &Prev : Seen)
+      EXPECT_NE(Prev, Name) << "two states share a name";
+    Seen.push_back(Name);
+  }
 }
 
 } // namespace

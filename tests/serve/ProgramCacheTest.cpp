@@ -155,4 +155,112 @@ TEST(ProgramCache, EvictUnknownKeyIsNoop) {
   EXPECT_EQ(C.size(), 0u);
 }
 
+TEST(ProgramCache, ProgramCostBytesIsStableAndBeyondOverhead) {
+  transform::CompiledSimdProgram P = compiledFixture();
+  size_t Cost = programCostBytes(P);
+  // The estimate always includes the fixed per-entry overhead plus the
+  // bytecode payload, and it is a pure function of the program.
+  EXPECT_GT(Cost, (size_t)512);
+  EXPECT_EQ(Cost, programCostBytes(P));
+}
+
+TEST(ProgramCache, ByteBudgetEvictsGlobalLru) {
+  ProgramCache::Options O;
+  O.MaxEntries = 64;
+  O.MaxBytes = 2500;
+  O.CostOverrideBytes = 1000; // deterministic: every entry "costs" 1000
+  ProgramCache C(O);
+
+  C.getOrCompile(1, okCompiler());
+  C.getOrCompile(2, okCompiler());
+  EXPECT_EQ(C.bytesResident(), 2000u);
+  // The third 1000-byte entry busts the 2500-byte budget: the global
+  // LRU victim (key 1) goes, the newcomer stays.
+  C.getOrCompile(3, okCompiler());
+  ProgramCache::Stats S = C.stats();
+  EXPECT_EQ(S.ByteEvictions, 1);
+  EXPECT_EQ(S.BytesResident, 2000);
+  EXPECT_EQ(C.bytesResident(), 2000u);
+  EXPECT_FALSE(C.getOrCompile(1, okCompiler()).Hit) << "LRU victim";
+  // Re-checking key 1 republished it (another byte eviction); 2 or 3 is
+  // still resident alongside it.
+  EXPECT_EQ(C.size(), 2u);
+}
+
+TEST(ProgramCache, JustPublishedEntryIsNeverItsOwnVictim) {
+  ProgramCache::Options O;
+  O.MaxBytes = 500; // below a single entry's (overridden) cost
+  O.CostOverrideBytes = 1000;
+  ProgramCache C(O);
+
+  // The entry the cache just compiled must be served and stay resident
+  // even though it alone exceeds the budget - otherwise a tight budget
+  // would recompile every request forever.
+  ProgramCache::Outcome Out = C.getOrCompile(1, okCompiler());
+  ASSERT_NE(Out.Prog, nullptr);
+  EXPECT_EQ(C.size(), 1u);
+  EXPECT_TRUE(C.getOrCompile(1, okCompiler()).Hit);
+
+  // A second over-budget entry displaces the first, never itself.
+  C.getOrCompile(2, okCompiler());
+  EXPECT_EQ(C.size(), 1u);
+  EXPECT_TRUE(C.getOrCompile(2, okCompiler()).Hit);
+  EXPECT_EQ(C.stats().ByteEvictions, 1);
+}
+
+TEST(ProgramCache, TenantCapEvictsTheTenantsOwnLruFirst) {
+  ProgramCache::Options O;
+  O.MaxEntries = 64;
+  O.TenantMaxBytes = 1000; // one (overridden) entry per tenant
+  O.CostOverrideBytes = 1000;
+  ProgramCache C(O);
+
+  C.getOrCompile(1, okCompiler(), "a");
+  C.getOrCompile(10, okCompiler(), "b");
+  EXPECT_EQ(C.tenantBytes("a"), 1000u);
+  EXPECT_EQ(C.tenantBytes("b"), 1000u);
+
+  // Tenant "a"'s second program busts its own cap: its key 1 goes,
+  // tenant "b"'s entry is untouched.
+  C.getOrCompile(2, okCompiler(), "a");
+  ProgramCache::Stats S = C.stats();
+  EXPECT_EQ(S.TenantEvictions, 1);
+  EXPECT_EQ(C.tenantBytes("a"), 1000u);
+  EXPECT_EQ(C.tenantBytes("b"), 1000u);
+  EXPECT_TRUE(C.getOrCompile(10, okCompiler(), "b").Hit)
+      << "one tenant's churn must not evict another tenant's program";
+  EXPECT_TRUE(C.getOrCompile(2, okCompiler(), "a").Hit);
+  EXPECT_FALSE(C.getOrCompile(1, okCompiler(), "a").Hit);
+}
+
+TEST(ProgramCache, EvictionCreditsBytesBack) {
+  ProgramCache::Options O;
+  O.CostOverrideBytes = 1000;
+  ProgramCache C(O);
+  C.getOrCompile(1, okCompiler(), "a");
+  C.getOrCompile(2, okCompiler(), "a");
+  EXPECT_EQ(C.bytesResident(), 2000u);
+  C.evict(1);
+  EXPECT_EQ(C.bytesResident(), 1000u);
+  EXPECT_EQ(C.tenantBytes("a"), 1000u);
+  C.evict(2);
+  EXPECT_EQ(C.bytesResident(), 0u);
+  EXPECT_EQ(C.tenantBytes("a"), 0u);
+}
+
+TEST(ProgramCache, MeasuredCostsDriveTheBudgetWithoutOverride) {
+  // No override: the budget works off programCostBytes. A budget of
+  // 1.5x one program's cost holds exactly one resident entry.
+  size_t OneCost = programCostBytes(compiledFixture());
+  ProgramCache::Options O;
+  O.MaxBytes = OneCost + OneCost / 2;
+  ProgramCache C(O);
+  C.getOrCompile(1, okCompiler());
+  EXPECT_EQ(C.bytesResident(), OneCost);
+  C.getOrCompile(2, okCompiler());
+  EXPECT_EQ(C.size(), 1u);
+  EXPECT_EQ(C.stats().ByteEvictions, 1);
+  EXPECT_TRUE(C.getOrCompile(2, okCompiler()).Hit);
+}
+
 } // namespace

@@ -175,6 +175,165 @@ TEST(ServeJson, ToLineIsCompactAndRoundTrips) {
   EXPECT_EQ(Back->dump(), Doc.dump());
 }
 
+TEST(ServeJson, RequestTenantRoundTrips) {
+  auto R = parseRequest(
+      parseDoc(R"({"source": "x", "tenant": "team-blue"})"));
+  ASSERT_TRUE(static_cast<bool>(R)) << R.error();
+  EXPECT_EQ(R->Tenant, "team-blue");
+  // Absent tenant stays empty here; the server normalizes to "default".
+  auto Anon = parseRequest(parseDoc(R"({"source": "x"})"));
+  ASSERT_TRUE(static_cast<bool>(Anon));
+  EXPECT_TRUE(Anon->Tenant.empty());
+  // Wrong type is a structured parse error, not a silent default.
+  EXPECT_FALSE(static_cast<bool>(
+      parseRequest(parseDoc(R"({"source": "x", "tenant": 7})"))));
+}
+
+TEST(ServeJson, ReplyCarriesTenantAndDrainingStatus) {
+  Reply R = sampleReply();
+  R.Tele.Tenant = "team-blue";
+  json::Value Served = toJson(R);
+  EXPECT_EQ(Served.get("draining"), nullptr)
+      << "draining is shed-only wire noise otherwise";
+  EXPECT_EQ(Served.get("telemetry")->get("tenant")->asString(),
+            "team-blue");
+
+  Reply Shed;
+  Shed.Id = 3;
+  Shed.Out = Outcome::Shed;
+  Shed.Error = "server draining";
+  Shed.RetryAfterMs = 5;
+  Shed.Draining = true;
+  json::Value SO = toJson(Shed);
+  ASSERT_NE(SO.get("draining"), nullptr);
+  EXPECT_TRUE(SO.get("draining")->asBool());
+}
+
+TEST(ServeJson, StatsSerializationCarriesTenants) {
+  ServerStats S;
+  S.Submitted = 3;
+  S.Served = 2;
+  S.Shed = 1;
+  S.QuotaSheds = 1;
+  TenantStats T;
+  T.Submitted = 3;
+  T.Admitted = 2;
+  T.Served = 2;
+  T.ShedAtAdmission = 1;
+  S.Tenants["blue"] = T;
+  json::Value O = toJson(S);
+  EXPECT_EQ(O.get("quota_sheds")->asInt(), 1);
+  EXPECT_EQ(O.get("drain_sheds")->asInt(), 0);
+  const json::Value *Tenants = O.get("tenants");
+  ASSERT_NE(Tenants, nullptr);
+  const json::Value *Blue = Tenants->get("blue");
+  ASSERT_NE(Blue, nullptr);
+  EXPECT_EQ(Blue->get("submitted")->asInt(), 3);
+  EXPECT_EQ(Blue->get("admitted")->asInt(), 2);
+  EXPECT_EQ(Blue->get("shed_at_admission")->asInt(), 1);
+  EXPECT_TRUE(Blue->get("consistent")->asBool());
+  EXPECT_TRUE(O.get("tenants_consistent")->asBool());
+
+  // Break one tenant's conservation law: the wire format says so.
+  S.Tenants["blue"].Served = 1;
+  json::Value Broken = toJson(S);
+  EXPECT_FALSE(
+      Broken.get("tenants")->get("blue")->get("consistent")->asBool());
+  EXPECT_FALSE(Broken.get("tenants_consistent")->asBool());
+}
+
+TEST(ServeJson, ParseReplyRoundTripsEveryOutcome) {
+  // Served with arrays and telemetry.
+  Reply Served = sampleReply();
+  Served.Tele.Tenant = "t";
+  auto BackServed = parseReply(toJson(Served));
+  ASSERT_TRUE(static_cast<bool>(BackServed)) << BackServed.error();
+  EXPECT_EQ(BackServed->Id, 9u);
+  EXPECT_EQ(BackServed->Out, Outcome::Served);
+  EXPECT_EQ(BackServed->IntArrays.at("X"), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(BackServed->Tele.FuelSpent, 44);
+  EXPECT_EQ(BackServed->Tele.Tenant, "t");
+  EXPECT_TRUE(BackServed->Tele.CacheHit);
+
+  // Shed with hint and draining marker.
+  Reply Shed;
+  Shed.Id = 1;
+  Shed.Out = Outcome::Shed;
+  Shed.Error = "server draining";
+  Shed.RetryAfterMs = 12;
+  Shed.Draining = true;
+  auto BackShed = parseReply(toJson(Shed));
+  ASSERT_TRUE(static_cast<bool>(BackShed)) << BackShed.error();
+  EXPECT_EQ(BackShed->RetryAfterMs, 12);
+  EXPECT_TRUE(BackShed->Draining);
+
+  // Trapped with a structured trap.
+  Reply Trapped;
+  Trapped.Id = 2;
+  Trapped.Out = Outcome::Trapped;
+  interp::Trap T;
+  T.Kind = interp::TrapKind::OutOfBounds;
+  T.Lanes = {1, 3};
+  T.Location = "DO i";
+  T.Detail = "lane 1 reads A(9)";
+  Trapped.T = T;
+  Trapped.Error = T.render();
+  auto BackTrapped = parseReply(toJson(Trapped));
+  ASSERT_TRUE(static_cast<bool>(BackTrapped)) << BackTrapped.error();
+  ASSERT_TRUE(BackTrapped->T.has_value());
+  EXPECT_EQ(BackTrapped->T->Kind, interp::TrapKind::OutOfBounds);
+  EXPECT_EQ(BackTrapped->T->Lanes, (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(BackTrapped->T->Location, "DO i");
+}
+
+TEST(ServeJson, ParseReplyEnforcesTheShedRetryContract) {
+  // A shed reply MUST price the retry: absent retry_after_ms is a
+  // protocol violation, not a default.
+  auto NoHint = parseReply(
+      parseDoc(R"({"id": 1, "outcome": "shed", "error": "full"})"));
+  ASSERT_FALSE(static_cast<bool>(NoHint));
+  EXPECT_NE(NoHint.error().find("retry_after_ms"), std::string::npos);
+
+  // Negative hints are rejected outright.
+  auto Negative = parseReply(parseDoc(
+      R"({"id": 1, "outcome": "shed", "error": "full",
+          "retry_after_ms": -3})"));
+  ASSERT_FALSE(static_cast<bool>(Negative));
+  EXPECT_NE(Negative.error().find(">= 0"), std::string::npos);
+
+  // Zero is legal: "retrying is pointless" (over-budget, shutdown).
+  auto Zero = parseReply(parseDoc(
+      R"({"id": 1, "outcome": "shed", "error": "over budget",
+          "retry_after_ms": 0})"));
+  EXPECT_TRUE(static_cast<bool>(Zero)) << Zero.error();
+
+  // A retry hint on a non-shed reply is equally malformed.
+  auto ServedWithHint = parseReply(parseDoc(
+      R"({"id": 1, "outcome": "served", "retry_after_ms": 5})"));
+  EXPECT_FALSE(static_cast<bool>(ServedWithHint));
+}
+
+TEST(ServeJson, ParseReplyRejectsHostileDocuments) {
+  // Unknown fields.
+  auto Unknown = parseReply(parseDoc(
+      R"({"id": 1, "outcome": "served", "surprise": true})"));
+  ASSERT_FALSE(static_cast<bool>(Unknown));
+  EXPECT_NE(Unknown.error().find("surprise"), std::string::npos);
+  // Unknown outcome.
+  EXPECT_FALSE(static_cast<bool>(
+      parseReply(parseDoc(R"({"id": 1, "outcome": "exploded"})"))));
+  // Unknown trap kind.
+  EXPECT_FALSE(static_cast<bool>(parseReply(parseDoc(
+      R"({"id": 1, "outcome": "trapped",
+          "trap": {"kind": "spontaneous-combustion"}})"))));
+  // Wrong-typed telemetry.
+  EXPECT_FALSE(static_cast<bool>(parseReply(parseDoc(
+      R"({"id": 1, "outcome": "served",
+          "telemetry": {"fuel_spent": "lots"}})"))));
+  // Not an object at all.
+  EXPECT_FALSE(static_cast<bool>(parseReply(parseDoc("[1]"))));
+}
+
 TEST(ServeJson, ToLineEscapesStrings) {
   json::Value Doc = json::Value::object();
   Doc.set("s", std::string("a\"b\nc"));

@@ -259,8 +259,11 @@ TEST(Server, FullQueueShedsWithRetryHint) {
     Reply Rep = getReply(std::move(F));
     if (Rep.Out == Outcome::Shed) {
       ++ShedCount;
-      EXPECT_EQ(Rep.RetryAfterMs, 7)
-          << "a queue-full shed must carry the retry hint";
+      // The hint scales with observed congestion: base * (1 + depth /
+      // workers). A queue-full shed always sees depth == capacity == 2
+      // and one worker, so the scaled hint is exactly 7 * 3.
+      EXPECT_EQ(Rep.RetryAfterMs, 21)
+          << "a queue-full shed must carry the depth-scaled retry hint";
     } else {
       EXPECT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
     }
@@ -378,6 +381,222 @@ TEST(Server, ShutdownShedsQueuedRequests) {
   }
 }
 
+void expectTenantsConsistent(const Server &S) {
+  ServerStats St = S.stats();
+  EXPECT_TRUE(St.tenantsConsistent());
+  for (const auto &[Tenant, TS] : St.Tenants)
+    EXPECT_TRUE(TS.consistent())
+        << "tenant '" << Tenant << "': submitted=" << TS.Submitted
+        << " admitted=" << TS.Admitted << " served=" << TS.Served
+        << " trapped=" << TS.Trapped
+        << " compile-errors=" << TS.CompileErrors
+        << " shed-at-admission=" << TS.ShedAtAdmission
+        << " shed-in-service=" << TS.ShedInService;
+}
+
+Request scalarRequest(const std::string &Tenant, uint64_t Id) {
+  Request R;
+  R.Id = Id;
+  R.Tenant = Tenant;
+  R.Source = ScalarSource;
+  R.Ints["a"] = (int64_t)(Id % 50);
+  R.Lanes = 1;
+  R.Fuel = 1000;
+  return R;
+}
+
+// The acceptance criterion of the tenancy work, as a deterministic
+// test: tenant "hot" offers 10x tenant "victim"'s load. The quota
+// clock is frozen, so each tenant's token bucket holds exactly its
+// burst - the victim (load == burst) must shed NOTHING while the hot
+// tenant sheds exactly its overage. No sleeps, no timing assumptions.
+TEST(Server, SkewedTenantCannotStarveVictim) {
+  constexpr int VictimLoad = 8;
+  constexpr int HotLoad = VictimLoad * 10;
+  constexpr int HotBurst = 4;
+
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.QueueCapacity = 128; // congestion must not mask quota decisions
+  SO.QuotaClock = [] { return (int64_t)0; };
+  TenantQuota HotQ;
+  HotQ.RatePerSec = 1;
+  HotQ.Burst = HotBurst;
+  SO.TenantQuotas["hot"] = HotQ;
+  TenantQuota VictimQ;
+  VictimQ.RatePerSec = 1;
+  VictimQ.Burst = VictimLoad;
+  SO.TenantQuotas["victim"] = VictimQ;
+  Server S(SO);
+
+  std::vector<std::future<Reply>> VictimPending, HotPending;
+  for (int V = 0; V < VictimLoad; ++V) {
+    // 10 hot submissions around every victim one: temporal skew, not
+    // just aggregate.
+    for (int H = 0; H < HotLoad / VictimLoad; ++H)
+      HotPending.push_back(
+          S.submit(scalarRequest("hot", (uint64_t)(V * 10 + H))));
+    VictimPending.push_back(
+        S.submit(scalarRequest("victim", (uint64_t)V)));
+  }
+
+  for (auto &F : VictimPending) {
+    Reply Rep = getReply(std::move(F));
+    EXPECT_EQ(Rep.Out, Outcome::Served)
+        << "victim request " << Rep.Id
+        << " inside its quota envelope was not served: " << Rep.Error;
+  }
+  int HotServed = 0, HotShed = 0;
+  for (auto &F : HotPending) {
+    Reply Rep = getReply(std::move(F));
+    if (Rep.Out == Outcome::Shed) {
+      ++HotShed;
+      EXPECT_GT(Rep.RetryAfterMs, 0)
+          << "a rate-bucket shed must price its refill time";
+    } else {
+      EXPECT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+      ++HotServed;
+    }
+  }
+  EXPECT_EQ(HotServed, HotBurst);
+  EXPECT_EQ(HotShed, HotLoad - HotBurst);
+
+  ServerStats St = S.stats();
+  TenantStats Victim = St.Tenants["victim"];
+  TenantStats Hot = St.Tenants["hot"];
+  EXPECT_EQ(Victim.shed(), 0)
+      << "hot tenant leaked pressure across the isolation boundary";
+  EXPECT_EQ(Victim.Served, VictimLoad);
+  EXPECT_EQ(Hot.Admitted, HotBurst);
+  EXPECT_EQ(Hot.ShedAtAdmission, HotLoad - HotBurst);
+  EXPECT_EQ(St.QuotaSheds, HotLoad - HotBurst);
+  expectConsistent(S);
+  expectTenantsConsistent(S);
+}
+
+TEST(Server, TenantQueueShareLimitsOneTenantsBacklog) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 16;
+  SO.Faults.WorkerStallMicros = 30'000; // backlog builds deterministically
+  TenantQuota Q;
+  Q.MaxQueued = 2;
+  SO.TenantQuotas["greedy"] = Q;
+  Server S(SO);
+
+  std::vector<std::future<Reply>> Pending;
+  for (int I = 0; I < 8; ++I)
+    Pending.push_back(S.submit(scalarRequest("greedy", (uint64_t)I)));
+  int Shed = 0;
+  for (auto &F : Pending) {
+    Reply Rep = getReply(std::move(F));
+    if (Rep.Out == Outcome::Shed) {
+      ++Shed;
+      EXPECT_NE(Rep.Error.find("queue share"), std::string::npos)
+          << Rep.Error;
+    }
+  }
+  // At most MaxQueued queued + 1 executing + submission-race slack.
+  EXPECT_GE(Shed, 8 - 2 - 1 - 2);
+  EXPECT_GT(S.stats().QuotaSheds, 0);
+  expectConsistent(S);
+  expectTenantsConsistent(S);
+}
+
+TEST(Server, PerTenantStatsPartitionTheGlobalCounters) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  Server S(SO);
+  // Two tenants, one anonymous (lands on "default"), mixed outcomes.
+  std::vector<std::future<Reply>> Pending;
+  Pending.push_back(S.submit(scalarRequest("a", 1)));
+  Request Bad = scalarRequest("a", 2);
+  Bad.Source = "PROGRAM P\nBEGIN\n  NOPE\nEND\n";
+  Pending.push_back(S.submit(std::move(Bad)));
+  Request Starved = scalarRequest("b", 3);
+  Starved.Fuel = 1;
+  Pending.push_back(S.submit(std::move(Starved)));
+  Request Anon = scalarRequest("", 4);
+  Anon.Tenant.clear();
+  Pending.push_back(S.submit(std::move(Anon)));
+  for (auto &F : Pending)
+    getReply(std::move(F));
+
+  ServerStats St = S.stats();
+  ASSERT_EQ(St.Tenants.size(), 3u);
+  EXPECT_EQ(St.Tenants["a"].Submitted, 2);
+  EXPECT_EQ(St.Tenants["a"].Served, 1);
+  EXPECT_EQ(St.Tenants["a"].CompileErrors, 1);
+  EXPECT_EQ(St.Tenants["b"].Trapped, 1);
+  EXPECT_EQ(St.Tenants["default"].Served, 1);
+  int64_t TenantSubmitted = 0;
+  for (const auto &[Name, TS] : St.Tenants)
+    TenantSubmitted += TS.Submitted;
+  EXPECT_EQ(TenantSubmitted, St.Submitted);
+  expectConsistent(S);
+  expectTenantsConsistent(S);
+}
+
+TEST(Server, DrainUnderLoadResolvesEveryAdmittedRequest) {
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.QueueCapacity = 16;
+  SO.Faults.WorkerStallMicros = 30'000; // 12 queued => ~360ms of work
+  Server S(SO);
+
+  std::vector<std::future<Reply>> Pending;
+  for (int I = 0; I < 12; ++I)
+    Pending.push_back(
+        S.submit(scalarRequest(I % 2 ? "odd" : "even", (uint64_t)I)));
+
+  S.beginDrain();
+  EXPECT_TRUE(S.draining());
+
+  // Late arrival: shed immediately with the structured draining status.
+  Reply Late = getReply(S.submit(scalarRequest("late", 99)));
+  EXPECT_EQ(Late.Out, Outcome::Shed);
+  EXPECT_TRUE(Late.Draining);
+
+  // The deadline cannot cover ~360ms of stalled work: the sweep fires,
+  // but drain still waits for the executing request, so on return
+  // nothing is unresolved.
+  bool Clean = S.drain(/*HardDeadlineMs=*/40);
+  EXPECT_FALSE(Clean);
+  EXPECT_EQ(S.inFlight(), 0u);
+
+  int Swept = 0;
+  for (auto &F : Pending) {
+    Reply Rep = getReply(std::move(F));
+    if (Rep.Out == Outcome::Shed) {
+      ++Swept;
+      EXPECT_TRUE(Rep.Draining)
+          << "deadline-swept request " << Rep.Id
+          << " shed without the draining status";
+    } else {
+      EXPECT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    }
+  }
+  EXPECT_GE(Swept, 1);
+  EXPECT_EQ(S.stats().DrainSheds, Swept + 1); // + the late arrival
+  expectConsistent(S);
+  expectTenantsConsistent(S);
+}
+
+TEST(Server, UnloadedDrainIsClean) {
+  ServerOptions SO;
+  SO.Workers = 2;
+  Server S(SO);
+  std::vector<std::future<Reply>> Pending;
+  for (int I = 0; I < 4; ++I)
+    Pending.push_back(S.submit(scalarRequest("calm", (uint64_t)I)));
+  EXPECT_TRUE(S.drain(/*HardDeadlineMs=*/10'000));
+  for (auto &F : Pending)
+    EXPECT_EQ(getReply(std::move(F)).Out, Outcome::Served);
+  EXPECT_EQ(S.stats().DrainSheds, 0);
+  expectConsistent(S);
+  expectTenantsConsistent(S);
+}
+
 TEST(Server, ConcurrentSoak) {
   // The TSan target: several submitter threads hammer one server with
   // a mix of valid (cache-hitting), hostile, trapping and fuel-starved
@@ -462,6 +681,89 @@ TEST(Server, ConcurrentSoak) {
   // cache hits are impossible here by construction; the eviction
   // counter is what proves the churn actually happened.
   EXPECT_GT(St.CacheEvictions, 0) << "eviction pressure never fired";
+}
+
+TEST(Server, ConcurrentDrainSoak) {
+  // The drain-path TSan target: submitter threads race a drain while
+  // byte pressure (tight global + per-tenant budgets, inflated costs)
+  // and mid-flight eviction churn the cache. The contract under attack:
+  // every future resolves exactly once, drain returns with nothing
+  // unresolved, post-drain sheds carry the draining status, and the
+  // accounting conserves globally and per tenant.
+  ServerOptions SO;
+  SO.Workers = 4;
+  SO.QueueCapacity = 256;
+  SO.CacheCapacity = 4;
+  SO.CacheMaxBytes = 4096;
+  SO.CacheTenantMaxBytes = 2048;
+  SO.Faults.InflateCostBytes = 1500;
+  SO.Faults.EvictMidFlight = true;
+  Server S(SO);
+
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 48;
+  std::atomic<int64_t> Resolved{0}, Missing{0}, ShedsWithoutStatus{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      std::vector<std::future<Reply>> Mine;
+      for (int I = 0; I < PerThread; ++I) {
+        Request R;
+        R.Id = (uint64_t)(T * PerThread + I);
+        R.Tenant = T % 2 ? "tsanA" : "tsanB";
+        R.Lanes = 1 + (I % 4);
+        R.Fuel = 100'000;
+        if (I % 3 == 0) {
+          R = exampleRequest();
+          R.Tenant = T % 2 ? "tsanA" : "tsanB";
+        } else {
+          R.Source = ScalarSource;
+          R.Ints["a"] = I;
+          R.Lanes = 1;
+        }
+        Mine.push_back(S.submit(std::move(R)));
+      }
+      for (auto &F : Mine) {
+        if (F.wait_for(std::chrono::seconds(60)) !=
+            std::future_status::ready) {
+          ++Missing;
+          continue;
+        }
+        Reply Rep = F.get();
+        ++Resolved;
+        // A drain-shed reply that forgot its status would strand a
+        // client retry loop; count violations, assert after the join.
+        if (Rep.Out == Outcome::Shed && Rep.Draining &&
+            Rep.Error.empty())
+          ++ShedsWithoutStatus;
+      }
+    });
+
+  // Let the submitters build real pressure, then drain under them: the
+  // race between submit() and beginDrain() is exactly what TSan should
+  // see. A generous deadline keeps the sweep rare but legal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  S.beginDrain();
+  S.drain(/*HardDeadlineMs=*/30'000);
+  EXPECT_EQ(S.inFlight(), 0u);
+
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Missing.load(), 0) << "hang: replies never arrived";
+  EXPECT_EQ(Resolved.load(), NumThreads * PerThread);
+  EXPECT_EQ(ShedsWithoutStatus.load(), 0);
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.Submitted, NumThreads * PerThread);
+  EXPECT_TRUE(St.consistent());
+  EXPECT_TRUE(St.tenantsConsistent());
+  EXPECT_LE(St.CacheBytesResident, (int64_t)SO.CacheMaxBytes);
+  int64_t TenantSubmitted = 0;
+  for (const auto &[Name, TS] : St.Tenants) {
+    EXPECT_TRUE(TS.consistent()) << "tenant " << Name;
+    TenantSubmitted += TS.Submitted;
+  }
+  EXPECT_EQ(TenantSubmitted, St.Submitted);
 }
 
 } // namespace

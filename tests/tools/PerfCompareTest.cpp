@@ -141,6 +141,31 @@ TEST(PerfCompare, MissingMetricsReported) {
   EXPECT_EQ(R->MissingInBase[0], "c/steps");
 }
 
+TEST(PerfCompare, NewCounterFamilyInTheNewRunIsInformational) {
+  // The exact shape of a PR that teaches an existing bench new
+  // counters: the new run records a gated family (fairness/*) the
+  // baseline has never heard of. The unknown metrics must surface as
+  // notes - never compared, never regressed - while the shared metric
+  // stays gated, so landing new counters and their baseline update in
+  // one PR keeps the gate green in both orders.
+  auto R = compareBenchJson(
+      makeDoc({{"cache", "served", 16.0}}),
+      makeDoc({{"cache", "served", 16.0},
+               {"fairness", "victim_shed", 0.0},
+               {"fairness", "hot_shed", 76.0, true, false}}));
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_TRUE(R->ok()) << "a new counter family tripped the gate";
+  EXPECT_EQ(R->regressionCount(), 0);
+  ASSERT_EQ(R->Deltas.size(), 1u) << "only the shared metric compares";
+  EXPECT_EQ(R->Deltas[0].Metric, "served");
+  ASSERT_EQ(R->MissingInBase.size(), 2u);
+  EXPECT_EQ(R->MissingInBase[0], "fairness/hot_shed");
+  EXPECT_EQ(R->MissingInBase[1], "fairness/victim_shed");
+  std::string Text = R->render({});
+  EXPECT_NE(Text.find("new metric with no baseline"), std::string::npos);
+  EXPECT_NE(Text.find("OK"), std::string::npos);
+}
+
 TEST(PerfCompare, SchemaAndNameValidation) {
   json::Value NoSchema = json::Value::object();
   NoSchema.set("metrics", json::Value::array());
