@@ -87,6 +87,25 @@ void BenchReporter::recordLaneStats(const std::string &Case,
          Direction::HigherIsBetter);
 }
 
+void BenchReporter::recordTripHistogram(const std::string &Case,
+                                        const interp::TripHistogram &H) {
+  record(Case, "trip_hist_samples", static_cast<double>(H.Samples),
+         "samples", /*Gate=*/false);
+  record(Case, "trip_hist_sum", static_cast<double>(H.Sum), "trips",
+         /*Gate=*/false);
+  record(Case, "trip_hist_max", static_cast<double>(H.Max), "trips",
+         /*Gate=*/false);
+  record(Case, "trip_hist_mean", H.mean(), "trips", /*Gate=*/false);
+  for (size_t I = 0; I < H.Exact.size(); ++I)
+    if (H.Exact[I] != 0)
+      record(Case, "trip_hist_exact_" + std::to_string(I),
+             static_cast<double>(H.Exact[I]), "samples", /*Gate=*/false);
+  for (size_t I = 0; I < H.Log2.size(); ++I)
+    if (H.Log2[I] != 0)
+      record(Case, "trip_hist_log2_" + std::to_string(I),
+             static_cast<double>(H.Log2[I]), "samples", /*Gate=*/false);
+}
+
 double BenchReporter::timeSecondsMedian(const std::function<void()> &Fn,
                                         int Warmup, int Repeats) {
   if (Smoke) {

@@ -104,6 +104,15 @@ public:
   void recordLaneStats(const std::string &Case,
                        const native::LaneStats &S);
 
+  /// Expands a per-nest trip histogram into trip_hist_* counters
+  /// (samples, sum, max, mean plus occupied buckets). Histogram shape
+  /// describes the workload's input distribution, not the build's
+  /// performance, so every counter is recorded ungated - and
+  /// perf_compare additionally refuses to gate on the trip_hist_ prefix
+  /// even if a producer marks one gated.
+  void recordTripHistogram(const std::string &Case,
+                           const interp::TripHistogram &H);
+
   /// Wall-clock of \p Fn via steady_clock: \p Warmup untimed calls,
   /// then the median of \p Repeats timed calls, in seconds. Smoke mode
   /// clamps to one warmup and one repeat.

@@ -4,10 +4,75 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 using namespace simdflat;
 using namespace simdflat::analysis;
+
+TripDistribution::TripDistribution(std::span<const int64_t> TripCounts)
+    : View(TripCounts) {
+  Samples = static_cast<int64_t>(TripCounts.size());
+  bool AnyNegative = false;
+  for (int64_t T : TripCounts) {
+    int64_t C = std::max<int64_t>(T, 0);
+    AnyNegative |= T < 0;
+    Sum += C;
+    Max = std::max(Max, C);
+  }
+  // A negative trip count means "zero iterations" (Fortran DO
+  // semantics); clamp into an owned copy so the evaluation below only
+  // ever sees the executable counts.
+  if (AnyNegative) {
+    Owned.reserve(TripCounts.size());
+    for (int64_t T : TripCounts)
+      Owned.push_back(std::max<int64_t>(T, 0));
+  }
+}
+
+TripDistribution::TripDistribution(const interp::TripHistogram &H) {
+  Samples = H.Samples;
+  Sum = H.Sum;
+  Max = H.Max;
+  if (H.Samples == 0)
+    return;
+  // Downsample factor: keep every occupied bucket (outliers must
+  // survive), scale populous buckets so the expansion stays <=
+  // ExpandCap entries.
+  double Scale = H.Samples <= ExpandCap
+                     ? 1.0
+                     : static_cast<double>(ExpandCap) /
+                           static_cast<double>(H.Samples);
+  auto Emit = [&](int64_t Value, int64_t Count) {
+    if (Count <= 0)
+      return;
+    int64_t N = std::max<int64_t>(
+        1, static_cast<int64_t>(std::floor(
+               static_cast<double>(Count) * Scale)));
+    Owned.insert(Owned.end(), static_cast<size_t>(N), Value);
+  };
+  for (int64_t V = 0; V < interp::TripHistogram::NumExact; ++V)
+    Emit(V, H.Exact[static_cast<size_t>(V)]);
+  for (int64_t B = 0; B < interp::TripHistogram::NumLog2; ++B)
+    Emit(interp::TripHistogram::log2BucketMid(B),
+         H.Log2[static_cast<size_t>(B)]);
+}
+
+const interp::NestTripStats *analysis::dominantTripNest(
+    const std::vector<interp::NestTripStats> &Nests) {
+  const interp::NestTripStats *Best = nullptr;
+  for (const interp::NestTripStats &N : Nests) {
+    if (N.Hist.Samples <= 0)
+      continue;
+    if (!Best || N.Depth > Best->Depth ||
+        (N.Depth == Best->Depth &&
+         (N.Hist.Samples > Best->Hist.Samples ||
+          (N.Hist.Samples == Best->Hist.Samples && N.Name < Best->Name))))
+      Best = &N;
+  }
+  return Best;
+}
 
 ProfitEstimate analysis::estimateProfit(std::span<const int64_t> TripCounts,
                                         int64_t NumProcs,
@@ -55,6 +120,76 @@ ProfitEstimate analysis::estimateProfit(std::span<const int64_t> TripCounts,
   double Avg = static_cast<double>(Total) / static_cast<double>(K);
   E.MaxOverAvg = Avg == 0.0 ? 1.0 : static_cast<double>(MaxTrip) / Avg;
   return E;
+}
+
+ProfitEstimate analysis::estimateProfit(const TripDistribution &Dist,
+                                        int64_t NumProcs,
+                                        machine::Layout PartLayout) {
+  return estimateProfit(Dist.trips(), NumProcs, PartLayout);
+}
+
+StrategyChoice analysis::chooseStrategy(const TripDistribution &Dist,
+                                        int64_t NumProcs,
+                                        machine::Layout PartLayout,
+                                        const StrategyCosts &Costs) {
+  assert(NumProcs >= 1 && "need at least one processor");
+  StrategyChoice C;
+  if (Dist.empty())
+    return C; // Static default: Flattened, zero confidence.
+
+  C.Estimate = estimateProfit(Dist, NumProcs, PartLayout);
+
+  constexpr double Inf = std::numeric_limits<double>::infinity();
+  double Unflat = static_cast<double>(C.Estimate.UnflattenedSteps);
+  double Flat =
+      static_cast<double>(C.Estimate.FlattenedSteps) * Costs.FlattenOverhead;
+
+  // Coalesced: the executor is a perfectly balanced DOALL over the
+  // total iteration space (ceil(total / P) steps) after an inspector
+  // pass over the outer iterations. Exact sample counts are known even
+  // for histogram inputs, so use them rather than the expansion.
+  int64_t Outer = Dist.samples();
+  int64_t Total = Dist.sum();
+  double Coal = std::ceil(static_cast<double>(Total) /
+                          static_cast<double>(NumProcs)) +
+                Costs.CoalesceInspectorPerOuter *
+                    static_cast<double>(Outer);
+  bool CoalEligible = true;
+  if (Costs.CoalesceMaxOuter > 0 && Outer > Costs.CoalesceMaxOuter)
+    CoalEligible = false;
+  if (Costs.CoalesceMaxTotal > 0 &&
+      static_cast<double>(Total) >
+          Costs.CoalesceTotalMargin *
+              static_cast<double>(Costs.CoalesceMaxTotal))
+    CoalEligible = false;
+  if (!CoalEligible)
+    Coal = Inf;
+
+  C.Score[static_cast<size_t>(Strategy::Unflattened)] = Unflat;
+  C.Score[static_cast<size_t>(Strategy::Flattened)] = Flat;
+  C.Score[static_cast<size_t>(Strategy::Coalesced)] = Coal;
+
+  // Stable ranking: sort by score, ties broken by the static pipeline's
+  // historical preference order (Flattened, Unflattened, Coalesced).
+  std::array<Strategy, 3> Order = {Strategy::Flattened,
+                                   Strategy::Unflattened,
+                                   Strategy::Coalesced};
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](Strategy A, Strategy B) {
+                     return C.scoreOf(A) < C.scoreOf(B);
+                   });
+  C.Ranked = Order;
+  C.Primary = Order[0];
+
+  double Best = C.scoreOf(Order[0]);
+  double Runner = C.scoreOf(Order[1]);
+  if (std::isinf(Runner))
+    C.Confidence = 1.0;
+  else if (Runner <= 0.0)
+    C.Confidence = 0.0;
+  else
+    C.Confidence = std::clamp((Runner - Best) / Runner, 0.0, 1.0);
+  return C;
 }
 
 int64_t analysis::estimateMsimdSteps(std::span<const int64_t> TripCounts,

@@ -21,10 +21,14 @@
 #ifndef SIMDFLAT_ANALYSIS_PROFITABILITY_H
 #define SIMDFLAT_ANALYSIS_PROFITABILITY_H
 
+#include "interp/RunStats.h"
 #include "machine/Machine.h"
 
+#include <array>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <vector>
 
 namespace simdflat {
 namespace analysis {
@@ -43,12 +47,164 @@ struct ProfitEstimate {
   double MaxOverAvg = 1.0;
 };
 
+/// One view over "how do the inner trip counts look": either an exact
+/// span of per-outer-iteration trips (the static callers' shape) or a
+/// compact interp::TripHistogram observed by a live run. The histogram
+/// form expands into a deterministic representative trip vector (exact
+/// small counts verbatim, log2 buckets at their midpoints, downsampled
+/// proportionally past a fixed cap) so the Eq. 1/2 evaluation below
+/// runs on the identical code path either way.
+class TripDistribution {
+public:
+  /// Exact per-iteration view. The span must outlive the distribution.
+  explicit TripDistribution(std::span<const int64_t> TripCounts);
+  /// Expands \p H into representative trips (see expandCap()).
+  explicit TripDistribution(const interp::TripHistogram &H);
+
+  std::span<const int64_t> trips() const {
+    return Owned.empty() ? View : std::span<const int64_t>(Owned);
+  }
+  int64_t samples() const { return Samples; }
+  /// Exact sum/max of the underlying data (not of the expansion).
+  int64_t sum() const { return Sum; }
+  int64_t max() const { return Max; }
+  double mean() const {
+    return Samples == 0 ? 0.0
+                        : static_cast<double>(Sum) /
+                              static_cast<double>(Samples);
+  }
+  bool empty() const { return Samples == 0; }
+
+  /// Histogram expansions are capped at this many representative
+  /// entries; larger sample counts are downsampled proportionally
+  /// (every occupied bucket keeps at least one entry, so outliers
+  /// survive the cap).
+  static constexpr int64_t ExpandCap = 1024;
+
+private:
+  std::span<const int64_t> View;
+  std::vector<int64_t> Owned;
+  int64_t Samples = 0;
+  int64_t Sum = 0;
+  int64_t Max = 0;
+};
+
+/// The three loop-nest builds the pipeline can produce.
+enum class Strategy {
+  /// Plain SIMDization: inner loops stay nested (Eq. 2 cost).
+  Unflattened,
+  /// Paper's loop flattening (Eq. 1 cost plus per-step guard overhead).
+  Flattened,
+  /// Inspector/executor coalescing: one DOALL over the total iteration
+  /// space (perfect balance, but inspector setup cost and static
+  /// bounds).
+  Coalesced,
+};
+
+inline const char *strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Unflattened:
+    return "unflattened";
+  case Strategy::Flattened:
+    return "flattened";
+  case Strategy::Coalesced:
+    return "coalesced";
+  }
+  return "flattened";
+}
+
+inline bool strategyFromName(const std::string &Name, Strategy &Out) {
+  if (Name == "unflattened") {
+    Out = Strategy::Unflattened;
+    return true;
+  }
+  if (Name == "flattened") {
+    Out = Strategy::Flattened;
+    return true;
+  }
+  if (Name == "coalesced") {
+    Out = Strategy::Coalesced;
+    return true;
+  }
+  return false;
+}
+
+/// Tunable cost-model constants for chooseStrategy. Defaults are
+/// deliberately round numbers pinned by golden tests - change them and
+/// the deterministic StrategyChoice goldens change with them.
+struct StrategyCosts {
+  /// Multiplier on the flattened schedule's steps: the price of the
+  /// per-iteration switch/guard the flattening transform introduces.
+  double FlattenOverhead = 1.25;
+  /// Inspector cost per outer iteration (prefix-sum pass) charged to
+  /// the coalesced schedule.
+  double CoalesceInspectorPerOuter = 2.0;
+  /// Coalescing is structurally bounded (statically dimensioned
+  /// inspector arrays): it is ineligible when the observed outer count
+  /// exceeds MaxOuter or the observed total exceeds MaxTotal. Zero
+  /// disables the bound.
+  int64_t CoalesceMaxOuter = 0;
+  int64_t CoalesceMaxTotal = 0;
+  /// Safety margin on the total bound: totals above
+  /// Margin * CoalesceMaxTotal are ineligible even if they currently
+  /// fit, so drift toward the trap boundary disqualifies coalescing
+  /// before it traps.
+  double CoalesceTotalMargin = 0.75;
+};
+
+/// The ranked verdict for one nest. Deterministic: the same
+/// distribution, processor count, layout and costs always produce the
+/// same ranking (ties break toward Flattened, then Unflattened, then
+/// Coalesced - the static pipeline's historical order).
+struct StrategyChoice {
+  /// Ranked[0], the strategy to build.
+  Strategy Primary = Strategy::Flattened;
+  /// All three strategies, best model cost first.
+  std::array<Strategy, 3> Ranked = {Strategy::Flattened,
+                                    Strategy::Unflattened,
+                                    Strategy::Coalesced};
+  /// Model step cost per strategy, indexed by static_cast<int>(S).
+  /// Ineligible strategies carry an infinite score.
+  std::array<double, 3> Score = {0.0, 0.0, 0.0};
+  /// Relative margin of the winner over the runner-up in [0, 1]:
+  /// (runnerUp - best) / runnerUp. 0 means a coin flip (or an empty
+  /// distribution, where the static default wins by fiat).
+  double Confidence = 0.0;
+  /// The Eq. 1/2 numbers the scores were derived from.
+  ProfitEstimate Estimate;
+
+  double scoreOf(Strategy S) const {
+    return Score[static_cast<size_t>(S)];
+  }
+};
+
 /// Evaluates Eq. 1 and Eq. 2 for outer iterations with inner trip counts
 /// \p TripCounts distributed over \p NumProcs processors under
 /// \p PartLayout. Processors with no iterations contribute 0.
 ProfitEstimate estimateProfit(std::span<const int64_t> TripCounts,
                               int64_t NumProcs,
                               machine::Layout PartLayout);
+
+/// Distribution overload: evaluates the same closed forms on the
+/// distribution's (possibly expanded) trip view.
+ProfitEstimate estimateProfit(const TripDistribution &Dist, int64_t NumProcs,
+                              machine::Layout PartLayout);
+
+/// Ranks the three strategies for a nest whose inner trips follow
+/// \p Dist on \p NumProcs lanes. Deterministic (goldens pin it). An
+/// empty distribution returns the static default (Flattened primary,
+/// zero confidence).
+StrategyChoice chooseStrategy(const TripDistribution &Dist, int64_t NumProcs,
+                              machine::Layout PartLayout,
+                              const StrategyCosts &Costs = {});
+
+/// The profiled nest whose trip distribution drives a strategy
+/// decision: the deepest one with samples (its per-activation trips
+/// are the inner lengths the Eq. 1/2 evaluation consumes). Ties break
+/// by sample count, then name, for determinism. Null when nothing was
+/// profiled.
+const interp::NestTripStats *
+dominantTripNest(const std::vector<interp::NestTripStats> &Nests);
 
 /// Step count of an MSIMD machine (Philippsen & Tichy, cited in Sec. 7):
 /// \p NumProcs lanes partitioned into \p Groups clusters, each with its

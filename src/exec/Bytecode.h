@@ -134,6 +134,8 @@ enum class Opcode : uint8_t {
   CtlImm,     ///< Ctl[A] = IntPool[B] (default DO step; uncharged)
   CheckStep,  ///< if Ctl[A] == 0 trap InvalidProgram Msgs[B]
   CtlInc,     ///< Ctl[A] += 1
+  TripRec,    ///< record Ctl[A] into loop B's trip histogram (uncharged
+              ///< telemetry: no cost, no fuel, no observable effect)
 
   // DO loops over ctl base A: {A+0 = cur, A+1 = hi, A+2 = step,
   // A+3 = sliced flag (scalar parallel loops only)}.
@@ -196,6 +198,11 @@ struct Program {
   int32_t NumRegs = 0;
   /// Size of the control (int64 loop state) file.
   int32_t NumCtl = 0;
+  /// Stable labels of the instrumented loops, indexed by TripRec's B
+  /// operand ("L0 do @<loc>", ...). Parallel array LoopDepths carries
+  /// each loop's static nesting depth (0 = outermost).
+  std::vector<std::string> LoopNames;
+  std::vector<int32_t> LoopDepths;
 };
 
 /// Renders \p P as text, one instruction per line, for --dump-bytecode

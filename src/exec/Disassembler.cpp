@@ -111,6 +111,8 @@ const char *exec::opcodeName(Opcode Op) {
     return "check.step";
   case Opcode::CtlInc:
     return "ctl.inc";
+  case Opcode::TripRec:
+    return "trip.rec";
   case Opcode::DoBegin:
     return "do.begin";
   case Opcode::DoTest:
@@ -165,6 +167,8 @@ std::string annotate(const Program &P, const Instr &I) {
   case Opcode::TrapMsg:
   case Opcode::CheckStep:
     return " ; \"" + P.Msgs[I.B] + "\"";
+  case Opcode::TripRec:
+    return " ; " + P.LoopNames[I.B];
   default:
     return {};
   }

@@ -137,6 +137,16 @@ public:
     }
     Regs.resize(static_cast<size_t>(EP.NumRegs));
     Ctl.assign(static_cast<size_t>(EP.NumCtl), 0);
+    // Per-nest trip telemetry: one histogram per instrumented loop,
+    // indexed by TripRec's loop id. Repeated runs against the same
+    // RunStats keep accumulating into the existing nests.
+    if (Stats.TripNests.size() != EP.LoopNames.size()) {
+      Stats.TripNests.resize(EP.LoopNames.size());
+      for (size_t K = 0; K < EP.LoopNames.size(); ++K) {
+        Stats.TripNests[K].Name = EP.LoopNames[K];
+        Stats.TripNests[K].Depth = EP.LoopDepths[K];
+      }
+    }
   }
 
   void run();
@@ -191,6 +201,24 @@ private:
     V.Kind = ir::ScalarKind::Real;
     V.I.clear();
     V.R.resize(laneCount());
+    return V.R;
+  }
+
+  /// In-place destination writers (scalar/MIMD policy). The same depth
+  /// discipline that makes outI/outR safe holds here: a destination
+  /// register never aliases an operand register, so handlers read their
+  /// operands first and then set the destination's payload field
+  /// directly instead of constructing and copy-assigning a fresh
+  /// ScalVal per instruction. Stale bytes in the unused payload field
+  /// are unobservable (every read dispatches on Kind).
+  auto &soutI(int32_t R, ir::ScalarKind K) {
+    auto &V = Regs[static_cast<size_t>(R)];
+    V.Kind = K;
+    return V.I;
+  }
+  auto &soutR(int32_t R) {
+    auto &V = Regs[static_cast<size_t>(R)];
+    V.Kind = ir::ScalarKind::Real;
     return V.R;
   }
 
@@ -368,19 +396,19 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
       if constexpr (IsSimd)
         outI(I.A, ir::ScalarKind::Int).assign(laneCount(), EP.IntPool[I.B]);
       else
-        Regs[I.A] = ScalVal::makeInt(EP.IntPool[I.B]);
+        soutI(I.A, ir::ScalarKind::Int) = EP.IntPool[I.B];
       break;
     case Opcode::LdReal:
       if constexpr (IsSimd)
         outR(I.A).assign(laneCount(), EP.RealPool[I.B]);
       else
-        Regs[I.A] = ScalVal::makeReal(EP.RealPool[I.B]);
+        soutR(I.A) = EP.RealPool[I.B];
       break;
     case Opcode::LdBool:
       if constexpr (IsSimd)
         outI(I.A, ir::ScalarKind::Bool).assign(laneCount(), I.B != 0 ? 1 : 0);
       else
-        Regs[I.A] = ScalVal::makeBool(I.B != 0);
+        soutI(I.A, ir::ScalarKind::Bool) = I.B != 0 ? 1 : 0;
       break;
     case Opcode::LdVar: {
       const Slot &S = *Slots[I.B];
@@ -403,13 +431,10 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
             Out = S.I;
         }
       } else {
-        ScalVal V;
-        V.Kind = S.Decl->Kind;
         if (S.isReal())
-          V.R = S.R[0];
+          soutR(I.A) = S.R[0];
         else
-          V.I = S.I[0];
-        Regs[I.A] = V;
+          soutI(I.A, S.Decl->Kind) = S.I[0];
       }
       break;
     }
@@ -466,13 +491,10 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
           trap(TrapKind::OutOfBounds, "index out of bounds reading '" +
                                           D.Name + "'" + renderIndices(Idx));
         charge(Machine.Costs.GatherOp);
-        ScalVal V;
-        V.Kind = D.Kind;
         if (S.isReal())
-          V.R = S.R[static_cast<size_t>(Flat)];
+          soutR(I.A) = S.R[static_cast<size_t>(Flat)];
         else
-          V.I = S.I[static_cast<size_t>(Flat)];
-        Regs[I.A] = V;
+          soutI(I.A, D.Kind) = S.I[static_cast<size_t>(Flat)];
       }
       break;
     }
@@ -624,8 +646,10 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         const ScalVal &V = Regs[I.B];
         charge(V.Kind == ir::ScalarKind::Real ? Machine.Costs.RealOp
                                               : Machine.Costs.IntOp);
-        Regs[I.A] = V.Kind == ir::ScalarKind::Real ? ScalVal::makeReal(-V.R)
-                                                   : ScalVal::makeInt(-V.I);
+        if (V.Kind == ir::ScalarKind::Real)
+          soutR(I.A) = -V.R;
+        else
+          soutI(I.A, ir::ScalarKind::Int) = -V.I;
       }
       break;
     }
@@ -635,7 +659,7 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         const VecVal &V = Regs[I.B];
         Kern::notI(outI(I.A, V.Kind).data(), V.I.data(), laneCount());
       } else {
-        Regs[I.A] = ScalVal::makeBool(!Regs[I.B].asBool());
+        soutI(I.A, ir::ScalarKind::Bool) = Regs[I.B].asBool() ? 0 : 1;
       }
       break;
     }
@@ -649,7 +673,8 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
                       L.I.data(), R.I.data(), laneCount());
       } else {
         bool LV = Regs[I.B].asBool(), RV = Regs[I.C].asBool();
-        Regs[I.A] = ScalVal::makeBool(IsAnd ? (LV && RV) : (LV || RV));
+        soutI(I.A, ir::ScalarKind::Bool) =
+            (IsAnd ? (LV && RV) : (LV || RV)) ? 1 : 0;
       }
       break;
     }
@@ -675,11 +700,11 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
           assert(L.Kind == ir::ScalarKind::Bool &&
                  R.Kind == ir::ScalarKind::Bool && "mixed bool comparison");
           bool LV = L.asBool(), RV = R.asBool();
-          Regs[I.A] =
-              ScalVal::makeBool(I.Op == Opcode::CmpEq ? LV == RV : LV != RV);
+          soutI(I.A, ir::ScalarKind::Bool) =
+              (I.Op == Opcode::CmpEq ? LV == RV : LV != RV) ? 1 : 0;
         } else {
-          Regs[I.A] =
-              ScalVal::makeBool(cmpVals(I.Op, L.asNumeric(), R.asNumeric()));
+          soutI(I.A, ir::ScalarKind::Bool) =
+              cmpVals(I.Op, L.asNumeric(), R.asNumeric()) ? 1 : 0;
         }
       }
       break;
@@ -701,13 +726,13 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         int64_t LV = Regs[I.B].asInt(), RV = Regs[I.C].asInt();
         switch (I.Op) {
         case Opcode::AddI:
-          Regs[I.A] = ScalVal::makeInt(LV + RV);
+          soutI(I.A, ir::ScalarKind::Int) = LV + RV;
           break;
         case Opcode::SubI:
-          Regs[I.A] = ScalVal::makeInt(LV - RV);
+          soutI(I.A, ir::ScalarKind::Int) = LV - RV;
           break;
         case Opcode::MulI:
-          Regs[I.A] = ScalVal::makeInt(LV * RV);
+          soutI(I.A, ir::ScalarKind::Int) = LV * RV;
           break;
         default:
           SIMDFLAT_UNREACHABLE("bad int arithmetic op");
@@ -746,11 +771,11 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         if (I.Op == Opcode::DivI) {
           if (RV == 0)
             trap(TrapKind::DivByZero, "integer division by zero");
-          Regs[I.A] = ScalVal::makeInt(LV / RV);
+          soutI(I.A, ir::ScalarKind::Int) = LV / RV;
         } else {
           if (RV == 0)
             trap(TrapKind::DivByZero, "MOD by zero");
-          Regs[I.A] = ScalVal::makeInt(LV % RV);
+          soutI(I.A, ir::ScalarKind::Int) = LV % RV;
         }
       }
       break;
@@ -784,16 +809,16 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         double LV = Regs[I.B].asNumeric(), RV = Regs[I.C].asNumeric();
         switch (I.Op) {
         case Opcode::AddR:
-          Regs[I.A] = ScalVal::makeReal(LV + RV);
+          soutR(I.A) = LV + RV;
           break;
         case Opcode::SubR:
-          Regs[I.A] = ScalVal::makeReal(LV - RV);
+          soutR(I.A) = LV - RV;
           break;
         case Opcode::MulR:
-          Regs[I.A] = ScalVal::makeReal(LV * RV);
+          soutR(I.A) = LV * RV;
           break;
         case Opcode::DivR:
-          Regs[I.A] = ScalVal::makeReal(LV / RV);
+          soutR(I.A) = LV / RV;
           break;
         default:
           SIMDFLAT_UNREACHABLE("bad real arithmetic op");
@@ -820,7 +845,13 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         charge(Real ? Machine.Costs.RealOp : Machine.Costs.IntOp);
         bool TakeA = IsMax ? A.asNumeric() >= B.asNumeric()
                            : A.asNumeric() <= B.asNumeric();
-        Regs[I.A] = coerce(TakeA ? A : B, K);
+        const ScalVal &Src = TakeA ? A : B;
+        if (Real)
+          soutR(I.A) = Src.asNumeric();
+        else
+          soutI(I.A, K) = Src.Kind == ir::ScalarKind::Real
+                              ? static_cast<int64_t>(Src.R)
+                              : Src.I;
       }
       break;
     }
@@ -837,9 +868,10 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         const ScalVal &A = Regs[I.B];
         charge(A.Kind == ir::ScalarKind::Real ? Machine.Costs.RealOp
                                               : Machine.Costs.IntOp);
-        Regs[I.A] = A.Kind == ir::ScalarKind::Real
-                        ? ScalVal::makeReal(std::fabs(A.R))
-                        : ScalVal::makeInt(std::llabs(A.I));
+        if (A.Kind == ir::ScalarKind::Real)
+          soutR(I.A) = std::fabs(A.R);
+        else
+          soutI(I.A, ir::ScalarKind::Int) = std::llabs(A.I);
       }
       break;
     }
@@ -869,7 +901,7 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         const ScalVal &A = Regs[I.B];
         if (A.R < 0.0)
           trap(TrapKind::DomainError, "SQRT of a negative value");
-        Regs[I.A] = ScalVal::makeReal(std::sqrt(A.R));
+        soutR(I.A) = std::sqrt(A.R);
       }
       break;
     }
@@ -879,14 +911,14 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         for (size_t L = 0; L < laneCount(); ++L)
           Out[L] = static_cast<int64_t>(L) + 1;
       } else {
-        Regs[I.A] = ScalVal::makeInt(1);
+        soutI(I.A, ir::ScalarKind::Int) = 1;
       }
       break;
     case Opcode::NumLanesOp:
       if constexpr (IsSimd)
         outI(I.A, ir::ScalarKind::Int).assign(laneCount(), Lanes);
       else
-        Regs[I.A] = ScalVal::makeInt(1);
+        soutI(I.A, ir::ScalarKind::Int) = 1;
       break;
     case Opcode::AnyAll: {
       charge(Machine.Costs.ReduceOp);
@@ -903,7 +935,7 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         outI(I.A, ir::ScalarKind::Bool).assign(laneCount(), Acc ? 1 : 0);
       } else {
         // Single lane: the reduction is the operand itself.
-        Regs[I.A] = ScalVal::makeBool(Regs[I.B].asBool());
+        soutI(I.A, ir::ScalarKind::Bool) = Regs[I.B].asBool() ? 1 : 0;
       }
       break;
     }
@@ -961,7 +993,7 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         if constexpr (IsSimd)
           outR(I.A).assign(laneCount(), Acc);
         else
-          Regs[I.A] = ScalVal::makeReal(Acc);
+          soutR(I.A) = Acc;
       } else {
         int64_t Acc = IsSum ? 0 : std::numeric_limits<int64_t>::min();
         for (int64_t X : S.I)
@@ -969,7 +1001,7 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
         if constexpr (IsSimd)
           outI(I.A, ir::ScalarKind::Int).assign(laneCount(), Acc);
         else
-          Regs[I.A] = ScalVal::makeInt(Acc);
+          soutI(I.A, ir::ScalarKind::Int) = Acc;
       }
       break;
     }
@@ -1090,6 +1122,13 @@ template <bool IsSimd, class Kern> void Core<IsSimd, Kern>::run() {
       break;
     case Opcode::CtlInc:
       Ctl[I.A] += 1;
+      break;
+    case Opcode::TripRec:
+      // Uncharged telemetry: the loop's trip counter (a dedicated ctl
+      // slot) lands in its histogram at loop exit. Identical on every
+      // bytecode policy; the tree oracle has no counterpart, which is
+      // fine because the differential oracle never compares TripNests.
+      Stats.TripNests[static_cast<size_t>(I.B)].Hist.record(Ctl[I.A]);
       break;
     case Opcode::DoBegin:
       if constexpr (IsSimd) {

@@ -46,6 +46,21 @@ private:
   /// Control-slot allocation follows loop nesting (stack discipline), so
   /// sibling loops reuse slots and NumCtl stays small.
   int32_t CtlTop = 0;
+  /// Static loop nesting depth at the current lowering point (0 =
+  /// outermost); recorded per instrumented loop for the trip telemetry.
+  int32_t LoopDepth = 0;
+
+  /// Registers one instrumented loop; returns its id (TripRec's B
+  /// operand). Every loop form gets a zero-initialized trip-counter ctl
+  /// slot, an uncharged CtlInc next to its LoopIter, and a TripRec at
+  /// the loop exit - pure telemetry that never touches charged
+  /// counters, so tree/bytecode equality is unaffected.
+  int32_t newLoop(const std::string &Kind) {
+    int32_t Id = static_cast<int32_t>(Out.LoopNames.size());
+    Out.LoopNames.push_back("L" + std::to_string(Id) + " " + Kind);
+    Out.LoopDepths.push_back(LoopDepth);
+    return Id;
+  }
 
   bool simd() const { return Out.M == Mode::Simd; }
 
@@ -345,7 +360,8 @@ private:
   }
 
   void lowerDo(const DoStmt &D) {
-    int32_t C = allocCtl(4);
+    int32_t C = allocCtl(5); // base 4 loop state + trip counter at C+4
+    int32_t LoopId = newLoop("do " + D.indexVar());
     evalInto(D.lo(), 0);
     emit(Opcode::CtlFromReg, C + 0, 0,
          simd() ? internMsg("DO lower bound") : -1);
@@ -362,6 +378,7 @@ private:
     emit(Opcode::CheckStep, C + 2,
          internMsg(simd() ? std::string("DO step of zero")
                           : "DO " + D.indexVar() + " has a step of zero"));
+    emit(Opcode::CtlImm, C + 4, internInt(0));
     bool Parallel = !simd() && D.isParallel();
     if (Parallel)
       emit(Opcode::DoBegin, C);
@@ -372,11 +389,15 @@ private:
     int32_t Head = here();
     size_t Test = emit(Opcode::DoTest, C);
     emit(Opcode::LoopIter);
+    emit(Opcode::CtlInc, C + 4);
     emit(Opcode::SetIdx, IvSlot, C + 0);
+    ++LoopDepth;
     lowerBody(D.body());
+    --LoopDepth;
     emit(Opcode::DoStep, C);
     emit(Opcode::Jmp, 0, 0, 0, Head);
     patch(Test, here());
+    emit(Opcode::TripRec, C + 4, LoopId);
     // Fortran leaves the index one step past the last iteration; the
     // loop counter exits holding exactly Lo + Trips * Step.
     emit(Opcode::SetIdx, IvSlot, C + 0);
@@ -386,47 +407,58 @@ private:
   }
 
   void lowerForallScalar(const ForallStmt &F) {
-    int32_t C = allocCtl(2);
+    int32_t C = allocCtl(3); // lo/hi + trip counter at C+2
+    int32_t LoopId = newLoop("forall " + F.indexVar());
     evalInto(F.lo(), 0);
     emit(Opcode::CtlFromReg, C + 0, 0, -1);
     evalInto(F.hi(), 0);
     emit(Opcode::CtlFromReg, C + 1, 0, -1);
+    emit(Opcode::CtlImm, C + 2, internInt(0));
     int32_t IvSlot = internSlot(F.indexVar());
     int32_t Head = here();
     size_t Test = emit(Opcode::FaTest, C);
     emit(Opcode::LoopIter);
+    emit(Opcode::CtlInc, C + 2);
     emit(Opcode::SetIdx, IvSlot, C + 0);
     size_t MaskBr = 0;
     if (F.mask()) {
       evalInto(*F.mask(), 0);
       MaskBr = emit(Opcode::BrFalse, 0);
     }
+    ++LoopDepth;
     lowerBody(F.body());
+    --LoopDepth;
     if (F.mask())
       patch(MaskBr, here());
     emit(Opcode::CtlInc, C + 0);
     emit(Opcode::Jmp, 0, 0, 0, Head);
     patch(Test, here());
+    emit(Opcode::TripRec, C + 2, LoopId);
     releaseCtl(C);
   }
 
   void lowerForallSimd(const ForallStmt &F) {
-    int32_t C = allocCtl(4);
+    int32_t C = allocCtl(5); // base 4 layer state + trip counter at C+4
+    int32_t LoopId = newLoop("forall " + F.indexVar());
     evalInto(F.lo(), 0);
     emit(Opcode::CtlFromReg, C + 0, 0, internMsg("FORALL lower bound"));
     evalInto(F.hi(), 0);
     emit(Opcode::CtlFromReg, C + 1, 0, internMsg("FORALL upper bound"));
+    emit(Opcode::CtlImm, C + 4, internInt(0));
     int32_t IvSlot = internSlot(F.indexVar());
     size_t Begin = emit(Opcode::FaBegin, IvSlot, C);
     int32_t Head = here();
     size_t Test = emit(Opcode::FaLayerTest, C);
     emit(Opcode::LoopIter);
+    emit(Opcode::CtlInc, C + 4);
     emit(Opcode::FaLayerMask, IvSlot, C);
     if (F.mask()) {
       evalInto(*F.mask(), 0);
       emit(Opcode::WherePush, 0);
     }
+    ++LoopDepth;
     lowerBody(F.body());
+    --LoopDepth;
     if (F.mask())
       emit(Opcode::MaskPop);
     emit(Opcode::MaskPop);
@@ -434,6 +466,7 @@ private:
     emit(Opcode::Jmp, 0, 0, 0, Head);
     patch(Begin, here());
     patch(Test, here());
+    emit(Opcode::TripRec, C + 4, LoopId);
     releaseCtl(C);
   }
 
@@ -495,28 +528,44 @@ private:
       return;
     case Stmt::Kind::While: {
       const auto *W = cast<WhileStmt>(&S);
+      int32_t C = allocCtl(1); // trip counter
+      int32_t LoopId = newLoop("while");
+      emit(Opcode::CtlImm, C, internInt(0));
       int32_t Head = here();
       evalInto(W->cond(), 0);
       size_t Br =
           simd() ? emit(Opcode::UBrFalse, 0, internMsg("WHILE condition"))
                  : emit(Opcode::BrFalse, 0);
       emit(Opcode::LoopIter);
+      emit(Opcode::CtlInc, C);
+      ++LoopDepth;
       lowerBody(W->body());
+      --LoopDepth;
       emit(Opcode::Jmp, 0, 0, 0, Head);
       patch(Br, here());
+      emit(Opcode::TripRec, C, LoopId);
+      releaseCtl(C);
       return;
     }
     case Stmt::Kind::Repeat: {
       const auto *R = cast<RepeatStmt>(&S);
+      int32_t C = allocCtl(1); // trip counter
+      int32_t LoopId = newLoop("repeat");
+      emit(Opcode::CtlImm, C, internInt(0));
       int32_t Head = here();
       emit(Opcode::LoopIter);
+      emit(Opcode::CtlInc, C);
+      ++LoopDepth;
       lowerBody(R->body());
+      --LoopDepth;
       evalInto(R->untilCond(), 0);
       // Loop again while the UNTIL condition is false.
       if (simd())
         emit(Opcode::UBrFalse, 0, internMsg("UNTIL condition"), 0, Head);
       else
         emit(Opcode::BrFalse, 0, 0, 0, Head);
+      emit(Opcode::TripRec, C, LoopId);
+      releaseCtl(C);
       return;
     }
     case Stmt::Kind::Forall:

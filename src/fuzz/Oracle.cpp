@@ -461,6 +461,37 @@ OracleResult fuzz::runOracle(const FuzzCase &C, const OracleOptions &Opts) {
                    /*ExplicitNormalize=*/false);
   pushPipelineTwin("simd/flatten-explicit", /*Flatten=*/true,
                    /*ExplicitNormalize=*/true);
+  // The strategy seam, forced to each variant it can build. Strategy
+  // selection may only change performance, never observables: the
+  // coalesced build (or its flattened fallback when the nest declines)
+  // must agree with the scalar reference like every other variant.
+  auto pushStrategyTwin = [&](const std::string &Name,
+                              transform::StrategyPolicy SP) {
+    transform::PipelineOptions PO;
+    PO.Layout = machine::Layout::Cyclic;
+    PO.AssumeInnerMinOneTrip = C.MinOne;
+    PO.Strategy = SP;
+    Expected<transform::CompiledSimdProgram, transform::PipelineError> P =
+        transform::compileForSimdExec(C.Prog, PO);
+    if (!P) {
+      VariantOutcome Out;
+      Out.Variant = Name;
+      Out.T = Trap{TrapKind::InvalidProgram, {}, P.error().Stage,
+                   P.error().render()};
+      Res.Variants.push_back(std::move(Out));
+      return;
+    }
+    pushTwin([&](Engine E) {
+      return runSimdOn(Name, P->Prog, C, Opts, E, P->Code);
+    });
+  };
+  pushStrategyTwin("simd/strategy-unflattened",
+                   transform::StrategyPolicy::unflattened());
+  pushStrategyTwin("simd/strategy-flattened",
+                   transform::StrategyPolicy::flattened());
+  pushStrategyTwin("simd/strategy-coalesced",
+                   transform::StrategyPolicy::coalesced(CoalesceMaxOuter,
+                                                        CoalesceMaxTotal));
 
   const VariantOutcome &Ref = Res.Variants.front();
   for (const VariantOutcome &V : Res.Variants) {

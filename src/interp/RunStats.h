@@ -15,6 +15,8 @@
 #ifndef SIMDFLAT_INTERP_RUNSTATS_H
 #define SIMDFLAT_INTERP_RUNSTATS_H
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -69,6 +71,108 @@ inline bool engineFromName(const std::string &Name, Engine &Out) {
   return false;
 }
 
+/// Compact distribution of observed inner-loop trip counts for one
+/// loop nest. Small counts (the interesting regime for the Sec. 6
+/// model: a trip of 0 vs 3 vs 7 changes the strategy ranking) are
+/// counted exactly; everything >= NumExact falls into log2-width
+/// buckets, so the footprint is fixed no matter how hot the loop is.
+/// Recording is uncharged bookkeeping: it never contributes to
+/// Instructions/Cycles, so histogram collection cannot perturb the
+/// counters the differential oracle compares.
+struct TripHistogram {
+  /// Trip counts 0..NumExact-1 are counted exactly.
+  static constexpr int64_t NumExact = 8;
+  /// Buckets for trips >= NumExact: bucket b holds [2^(b+3), 2^(b+4)).
+  static constexpr int64_t NumLog2 = 61;
+  /// Serialization version of the histogram block (StatsJson).
+  static constexpr int64_t Version = 1;
+
+  std::array<int64_t, NumExact> Exact{};
+  std::array<int64_t, NumLog2> Log2{};
+  /// Trip counts recorded (== sum of all bucket counts).
+  int64_t Samples = 0;
+  /// Exact sum of recorded trip counts (buckets quantize; this does
+  /// not, so mean() is exact).
+  int64_t Sum = 0;
+  /// Largest trip count recorded.
+  int64_t Max = 0;
+
+  /// Bucket index for \p Trips >= NumExact (0-based into Log2).
+  static int64_t log2Bucket(int64_t Trips) {
+    int64_t B = 0;
+    for (int64_t T = Trips >> 4; T > 0; T >>= 1)
+      ++B;
+    return std::min<int64_t>(B, NumLog2 - 1);
+  }
+  /// Inclusive lower edge of log2 bucket \p B.
+  static int64_t log2BucketLo(int64_t B) { return int64_t{1} << (B + 3); }
+  /// Deterministic representative trip count for log2 bucket \p B (the
+  /// midpoint of [lo, 2*lo)).
+  static int64_t log2BucketMid(int64_t B) {
+    int64_t Lo = log2BucketLo(B);
+    return Lo + (Lo >> 1);
+  }
+
+  void record(int64_t Trips) {
+    if (Trips < 0)
+      Trips = 0;
+    if (Trips < NumExact)
+      ++Exact[static_cast<size_t>(Trips)];
+    else
+      ++Log2[static_cast<size_t>(log2Bucket(Trips))];
+    ++Samples;
+    Sum += Trips;
+    Max = std::max(Max, Trips);
+  }
+
+  void merge(const TripHistogram &O) {
+    for (size_t I = 0; I < Exact.size(); ++I)
+      Exact[I] += O.Exact[I];
+    for (size_t I = 0; I < Log2.size(); ++I)
+      Log2[I] += O.Log2[I];
+    Samples += O.Samples;
+    Sum += O.Sum;
+    Max = std::max(Max, O.Max);
+  }
+
+  bool empty() const { return Samples == 0; }
+  double mean() const {
+    return Samples == 0 ? 0.0
+                        : static_cast<double>(Sum) /
+                              static_cast<double>(Samples);
+  }
+
+  /// Bucket counts are internally consistent: non-negative, they sum to
+  /// Samples, and Sum/Max are plausible for the occupied buckets.
+  bool consistent() const {
+    int64_t N = 0;
+    for (int64_t C : Exact) {
+      if (C < 0)
+        return false;
+      N += C;
+    }
+    for (int64_t C : Log2) {
+      if (C < 0)
+        return false;
+      N += C;
+    }
+    return N == Samples && Sum >= 0 && Max >= 0 &&
+           (Samples > 0 || (Sum == 0 && Max == 0));
+  }
+};
+
+/// Trip statistics for one instrumented loop nest: where it lives (the
+/// lowered loop's label) and the distribution of its per-activation
+/// trip counts. SIMD engines record one sample per lane activation of
+/// the loop; scalar engines one per execution of the loop.
+struct NestTripStats {
+  /// Stable label assigned at lowering ("L0 do", "L2 while", ...).
+  std::string Name;
+  /// Nesting depth at lowering time (0 = outermost).
+  int64_t Depth = 0;
+  TripHistogram Hist;
+};
+
 /// Counters accumulated by one execution.
 struct RunStats {
   /// Executions of designated "work" statements (assignments to
@@ -88,6 +192,31 @@ struct RunStats {
   double Cycles = 0.0;
   /// Cycles scaled by the machine's SecondsPerCycle.
   double Seconds = 0.0;
+  /// Per-nest trip-count distributions, indexed by the lowered
+  /// program's loop id (exec::Program::LoopNames order). Populated
+  /// identically by the bytecode and hostsimd engines; the tree oracle
+  /// leaves it empty (it is informational telemetry, never compared by
+  /// the differential oracle and never charged against fuel/cycles).
+  std::vector<NestTripStats> TripNests;
+
+  /// Folds \p O's per-nest histograms into this record, matching nests
+  /// by loop id (name wins when ids disagree, which only happens when
+  /// merging stats of different programs - then nests are appended).
+  void mergeTripNests(const std::vector<NestTripStats> &O) {
+    for (const NestTripStats &N : O) {
+      NestTripStats *Dst = nullptr;
+      for (NestTripStats &Mine : TripNests)
+        if (Mine.Name == N.Name) {
+          Dst = &Mine;
+          break;
+        }
+      if (!Dst) {
+        TripNests.push_back(NestTripStats{N.Name, N.Depth, {}});
+        Dst = &TripNests.back();
+      }
+      Dst->Hist.merge(N.Hist);
+    }
+  }
 
   /// Fraction of work-step lane slots doing useful work (1.0 = no idle
   /// processors). The paper's Fig. 6 trace shows exactly these gaps.

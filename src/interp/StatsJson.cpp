@@ -19,6 +19,35 @@ json::Value interp::toJson(const RunStats &S) {
   V.set("cycles", S.Cycles);
   V.set("seconds", S.Seconds);
   V.set("work_utilization", S.workUtilization());
+  // Versioned telemetry block: per-nest trip histograms, present only
+  // when the run recorded any. Log2 buckets are emitted sparsely (most
+  // of the 61 are empty); the version gates the bucketization scheme,
+  // so a reader never mixes buckets laid out under different rules.
+  if (!S.TripNests.empty()) {
+    json::Value TH = json::Value::object();
+    TH.set("version", static_cast<int64_t>(TripHistogram::Version));
+    json::Value Nests = json::Value::array();
+    for (const NestTripStats &N : S.TripNests) {
+      json::Value NV = json::Value::object();
+      NV.set("name", N.Name);
+      NV.set("depth", N.Depth);
+      NV.set("samples", N.Hist.Samples);
+      NV.set("sum", N.Hist.Sum);
+      NV.set("max", N.Hist.Max);
+      json::Value Exact = json::Value::array();
+      for (int64_t C : N.Hist.Exact)
+        Exact.push(C);
+      NV.set("exact", std::move(Exact));
+      json::Value Log2 = json::Value::object();
+      for (size_t B = 0; B < N.Hist.Log2.size(); ++B)
+        if (N.Hist.Log2[B] != 0)
+          Log2.set(std::to_string(B), N.Hist.Log2[B]);
+      NV.set("log2", std::move(Log2));
+      Nests.push(std::move(NV));
+    }
+    TH.set("nests", std::move(Nests));
+    V.set("trip_histogram", std::move(TH));
+  }
   return V;
 }
 
@@ -58,6 +87,103 @@ bool readDouble(const json::Value &V, const char *Key, double &Out,
   return true;
 }
 
+/// Parses the versioned trip_histogram block into \p S.TripNests.
+/// Absence is fine; a present block must carry the exact version this
+/// build writes (the bucketization scheme is not self-describing) and
+/// internally consistent histograms.
+bool readTripHistogram(const json::Value &V, RunStats &S,
+                       json::JsonError &Err) {
+  const json::Value *TH = V.get("trip_histogram");
+  if (!TH)
+    return true;
+  if (!TH->isObject()) {
+    Err = {"expected object for 'trip_histogram'", 0};
+    return false;
+  }
+  const json::Value *Ver = TH->get("version");
+  if (!Ver || !Ver->isInt() || Ver->asInt() != TripHistogram::Version) {
+    Err = {"unsupported trip_histogram version (this reader understands "
+           "version " +
+               std::to_string(TripHistogram::Version) + ")",
+           0};
+    return false;
+  }
+  const json::Value *Nests = TH->get("nests");
+  if (!Nests || !Nests->isArray()) {
+    Err = {"expected array for 'trip_histogram.nests'", 0};
+    return false;
+  }
+  for (size_t NI = 0; NI < Nests->size(); ++NI) {
+    const json::Value &NV = Nests->at(NI);
+    if (!NV.isObject()) {
+      Err = {"expected object for a trip_histogram nest", 0};
+      return false;
+    }
+    NestTripStats N;
+    const json::Value *Name = NV.get("name");
+    if (!Name || !Name->isString()) {
+      Err = {"expected string for nest 'name'", 0};
+      return false;
+    }
+    N.Name = Name->asString();
+    if (!readInt(NV, "depth", N.Depth, Err) ||
+        !readInt(NV, "samples", N.Hist.Samples, Err) ||
+        !readInt(NV, "sum", N.Hist.Sum, Err) ||
+        !readInt(NV, "max", N.Hist.Max, Err))
+      return false;
+    if (const json::Value *Exact = NV.get("exact")) {
+      if (!Exact->isArray() ||
+          Exact->size() != static_cast<size_t>(TripHistogram::NumExact)) {
+        Err = {"expected " + std::to_string(TripHistogram::NumExact) +
+                   "-element array for nest 'exact'",
+               0};
+        return false;
+      }
+      for (size_t I = 0; I < static_cast<size_t>(TripHistogram::NumExact);
+           ++I) {
+        const json::Value &C = Exact->at(I);
+        if (!C.isInt()) {
+          Err = {"expected integer counts in nest 'exact'", 0};
+          return false;
+        }
+        N.Hist.Exact[I] = C.asInt();
+      }
+    }
+    if (const json::Value *Log2 = NV.get("log2")) {
+      if (!Log2->isObject()) {
+        Err = {"expected object for nest 'log2'", 0};
+        return false;
+      }
+      for (const auto &[Key, C] : Log2->members()) {
+        long B = 0;
+        bool Digits = !Key.empty() && Key.size() <= 2;
+        for (char Ch : Key) {
+          if (Ch < '0' || Ch > '9') {
+            Digits = false;
+            break;
+          }
+          B = B * 10 + (Ch - '0');
+        }
+        if (!Digits || B >= static_cast<long>(TripHistogram::NumLog2) ||
+            !C.isInt()) {
+          Err = {"bad log2 bucket '" + Key + "' in trip_histogram", 0};
+          return false;
+        }
+        N.Hist.Log2[static_cast<size_t>(B)] = C.asInt();
+      }
+    }
+    if (!N.Hist.consistent()) {
+      Err = {"trip_histogram nest '" + N.Name +
+                 "' is inconsistent (bucket counts do not sum to "
+                 "samples, or a count is negative)",
+             0};
+      return false;
+    }
+    S.TripNests.push_back(std::move(N));
+  }
+  return true;
+}
+
 } // namespace
 
 Expected<RunStats, json::JsonError>
@@ -72,7 +198,8 @@ interp::runStatsFromJson(const json::Value &V) {
       !readInt(V, "work_total_lanes", S.WorkTotalLanes, Err) ||
       !readInt(V, "comm_accesses", S.CommAccesses, Err) ||
       !readDouble(V, "cycles", S.Cycles, Err) ||
-      !readDouble(V, "seconds", S.Seconds, Err))
+      !readDouble(V, "seconds", S.Seconds, Err) ||
+      !readTripHistogram(V, S, Err))
     return Err;
   // Padded-tail hardening: a record claiming more active lane slots
   // than total lane slots (or negative counts) would round-trip into a

@@ -183,6 +183,19 @@ struct Telemetry {
   /// Instructions the run charged (the fuel actually spent; 0 when the
   /// run trapped or never started).
   int64_t FuelSpent = 0;
+  /// Simulated machine cycles the run took (the cost-model currency:
+  /// one SIMD step is one cycle regardless of how many lanes it
+  /// occupies, unlike FuelSpent which bills per-lane work). 0 when the
+  /// run trapped or never started.
+  double CyclesSpent = 0.0;
+  /// Loop strategy the primary pipeline compiled under: "unflattened",
+  /// "flattened" or "coalesced" once the adaptive layer has decided;
+  /// "static" while adaptive selection is off or still warming up.
+  std::string Strategy = "static";
+  /// Strategy decision epoch for this program: 0 before the first
+  /// profile-guided decision, then incremented on every decision
+  /// (initial choice and each drift-triggered respecialization).
+  int64_t StrategyEpoch = 0;
   /// Execution engine tag ("tree" / "bytecode" / "hostsimd"), from
   /// ServerOptions::Eng.
   std::string Engine = "bytecode";
@@ -270,6 +283,13 @@ struct ServerStats {
   /// draining plus queued requests swept at the drain deadline (subset
   /// of Shed).
   int64_t DrainSheds = 0;
+  /// Profile-guided strategy decisions made (initial choices plus
+  /// drift-triggered re-decisions). 0 unless ServerOptions::Adaptive.
+  int64_t AdaptiveDecisions = 0;
+  /// Drift-triggered re-decisions that changed the chosen strategy:
+  /// the next request for that program recompiles under the new
+  /// canonical key (subset of AdaptiveDecisions).
+  int64_t Respecializations = 0;
 
   /// Per-tenant counter snapshot (tenants that submitted at least
   /// once).

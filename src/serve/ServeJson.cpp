@@ -191,6 +191,9 @@ json::Value serve::toJson(const Reply &R) {
   Tele.set("fallback", R.Tele.Fallback);
   Tele.set("compile_attempts", R.Tele.CompileAttempts);
   Tele.set("fuel_spent", R.Tele.FuelSpent);
+  Tele.set("cycles_spent", R.Tele.CyclesSpent);
+  Tele.set("strategy", R.Tele.Strategy);
+  Tele.set("strategy_epoch", R.Tele.StrategyEpoch);
   O.set("telemetry", std::move(Tele));
   return O;
 }
@@ -210,6 +213,9 @@ json::Value serve::telemetryJson(const Reply &R) {
   O.set("fallback", R.Tele.Fallback);
   O.set("compile_attempts", R.Tele.CompileAttempts);
   O.set("fuel_spent", R.Tele.FuelSpent);
+  O.set("cycles_spent", R.Tele.CyclesSpent);
+  O.set("strategy", R.Tele.Strategy);
+  O.set("strategy_epoch", R.Tele.StrategyEpoch);
   if (R.T)
     O.set("trap_kind", interp::trapKindName(R.T->Kind));
   if (!R.Error.empty())
@@ -284,6 +290,8 @@ json::Value serve::toJson(const ServerStats &S) {
   O.set("fallback_serves", S.FallbackServes);
   O.set("quota_sheds", S.QuotaSheds);
   O.set("drain_sheds", S.DrainSheds);
+  O.set("adaptive_decisions", S.AdaptiveDecisions);
+  O.set("respecializations", S.Respecializations);
   if (!S.Tenants.empty()) {
     json::Value Ts = json::Value::object();
     for (const auto &[Name, T] : S.Tenants) {
@@ -410,6 +418,11 @@ Expected<Reply, std::string> serve::parseReply(const json::Value &V) {
         !readInt(*Tele, "run_nanos", R.Tele.RunNanos, Err) ||
         !readInt(*Tele, "fuel_spent", R.Tele.FuelSpent, Err))
       return Err;
+    if (const json::Value *Cyc = Tele->get("cycles_spent")) {
+      if (!Cyc->isNumber())
+        return std::string("'telemetry.cycles_spent' must be a number");
+      R.Tele.CyclesSpent = Cyc->asDouble();
+    }
     int64_t Attempts = 0;
     if (!readInt(*Tele, "compile_attempts", Attempts, Err))
       return Err;
@@ -417,6 +430,13 @@ Expected<Reply, std::string> serve::parseReply(const json::Value &V) {
     if (!readBool(*Tele, "cache_hit", R.Tele.CacheHit, Err) ||
         !readBool(*Tele, "coalesced_compile", R.Tele.CoalescedCompile, Err) ||
         !readBool(*Tele, "fallback", R.Tele.Fallback, Err))
+      return Err;
+    if (const json::Value *Strat = Tele->get("strategy")) {
+      if (!Strat->isString())
+        return std::string("'telemetry.strategy' must be a string");
+      R.Tele.Strategy = Strat->asString();
+    }
+    if (!readInt(*Tele, "strategy_epoch", R.Tele.StrategyEpoch, Err))
       return Err;
   }
   return R;

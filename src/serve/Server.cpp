@@ -8,6 +8,7 @@
 #include "interp/Store.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 using namespace simdflat;
@@ -75,6 +76,26 @@ std::string validateInputs(const ir::Program &P, const Request &R) {
     }
   }
   return "";
+}
+
+/// Total-variation distance between two trip histograms viewed as
+/// probability distributions over the shared (exact + log2) buckets:
+/// 0.0 for identical shapes, 1.0 for disjoint support. Sample-count
+/// invariant, so "same traffic, more of it" never reads as drift.
+double totalVariation(const interp::TripHistogram &A,
+                      const interp::TripHistogram &B) {
+  if (A.Samples <= 0 || B.Samples <= 0)
+    return A.Samples == B.Samples ? 0.0 : 1.0;
+  double An = static_cast<double>(A.Samples);
+  double Bn = static_cast<double>(B.Samples);
+  double L1 = 0.0;
+  for (size_t I = 0; I < A.Exact.size(); ++I)
+    L1 += std::abs(static_cast<double>(A.Exact[I]) / An -
+                   static_cast<double>(B.Exact[I]) / Bn);
+  for (size_t I = 0; I < A.Log2.size(); ++I)
+    L1 += std::abs(static_cast<double>(A.Log2[I]) / An -
+                   static_cast<double>(B.Log2[I]) / Bn);
+  return L1 / 2.0;
 }
 
 ProgramCache::Options cacheOptions(const ServerOptions &O) {
@@ -349,6 +370,83 @@ void Server::workerLoop() {
   }
 }
 
+Server::AdaptiveRoute Server::adaptiveRoute(uint64_t BaseKey) {
+  std::lock_guard<std::mutex> Lock(AdaptiveM);
+  AdaptiveState &S = AdaptiveStates[BaseKey];
+  AdaptiveRoute R;
+  R.Epoch = S.Epoch;
+  // No decision yet, or the decided strategy is the profiling variant
+  // itself: every serve doubles as a probe.
+  if (!S.Policy.has_value() ||
+      S.Policy->Chosen == analysis::Strategy::Unflattened) {
+    R.Policy = transform::StrategyPolicy::unflattened();
+    R.Probe = true;
+    return R;
+  }
+  if (Opts.AdaptiveProbeEvery > 0 &&
+      ++S.SinceProbe >= Opts.AdaptiveProbeEvery) {
+    S.SinceProbe = 0;
+    R.Policy = transform::StrategyPolicy::unflattened();
+    R.Probe = true;
+    return R;
+  }
+  R.Policy = *S.Policy;
+  return R;
+}
+
+void Server::recordObservedTrips(
+    uint64_t BaseKey, const std::vector<interp::NestTripStats> &Nests,
+    int64_t Lanes) {
+  bool Decided = false, Changed = false;
+  {
+    std::lock_guard<std::mutex> Lock(AdaptiveM);
+    AdaptiveState &S = AdaptiveStates[BaseKey];
+    for (const interp::NestTripStats &N : Nests) {
+      interp::NestTripStats *Dst = nullptr;
+      for (interp::NestTripStats &Mine : S.Window)
+        if (Mine.Name == N.Name) {
+          Dst = &Mine;
+          break;
+        }
+      if (!Dst) {
+        S.Window.push_back(interp::NestTripStats{N.Name, N.Depth, {}});
+        Dst = &S.Window.back();
+      }
+      Dst->Hist.merge(N.Hist);
+    }
+    const interp::NestTripStats *Dom = analysis::dominantTripNest(S.Window);
+    if (!Dom || Dom->Hist.Samples < Opts.AdaptiveMinSamples)
+      return;
+    bool Decide = !S.Policy.has_value();
+    if (!Decide)
+      Decide = totalVariation(Dom->Hist, S.Snapshot) >
+               Opts.AdaptiveDriftThreshold;
+    if (!Decide)
+      return;
+    analysis::StrategyCosts Costs;
+    Costs.CoalesceMaxOuter = Opts.AdaptiveCoalesceMaxOuter;
+    Costs.CoalesceMaxTotal = Opts.AdaptiveCoalesceMaxTotal;
+    analysis::TripDistribution Dist(Dom->Hist);
+    analysis::StrategyChoice C = analysis::chooseStrategy(
+        Dist, std::max<int64_t>(Lanes, 1), Opts.Layout, Costs);
+    Changed = S.Policy.has_value() && C.Primary != S.Policy->Chosen;
+    S.Policy = transform::StrategyPolicy::fromChoice(
+        C, Opts.AdaptiveCoalesceMaxOuter, Opts.AdaptiveCoalesceMaxTotal);
+    S.Snapshot = Dom->Hist;
+    S.Window.clear();
+    ++S.Epoch;
+    Decided = true;
+  }
+  // A changed choice means the next request for this program compiles
+  // under a fresh canonical key: the respecialization itself is just a
+  // cache miss through the usual single-flight path.
+  std::lock_guard<std::mutex> Lock(StatsM);
+  if (Decided)
+    ++Stats.AdaptiveDecisions;
+  if (Changed)
+    ++Stats.Respecializations;
+}
+
 Reply Server::process(Job &J) {
   const Request &R = J.Req;
   Telemetry Tele;
@@ -402,6 +500,21 @@ Reply Server::process(Job &J) {
   Primary.Layout = Opts.Layout;
   Primary.Flatten = true;
   Primary.AssumeInnerMinOneTrip = R.MinOne;
+  // Adaptive strategy selection: the strategy-free key identifies the
+  // program across all its strategy variants; the routed policy rides
+  // into the pipeline options, which changes the canonical key below -
+  // so differently-strategized compiles coexist in the cache and a
+  // respecialization is an ordinary single-flight miss.
+  uint64_t BaseKey = 0;
+  bool ProfileThisRun = false;
+  if (Opts.Adaptive) {
+    BaseKey = transform::canonicalKey(Prog, Primary).Hash;
+    AdaptiveRoute Route = adaptiveRoute(BaseKey);
+    Primary.Strategy = Route.Policy;
+    Tele.Strategy = analysis::strategyName(Route.Policy.Chosen);
+    Tele.StrategyEpoch = Route.Epoch;
+    ProfileThisRun = Route.Probe;
+  }
   transform::CanonicalKey PK = transform::canonicalKey(Prog, Primary);
 
   Clock::time_point CompileStart = Clock::now();
@@ -471,6 +584,11 @@ Reply Server::process(Job &J) {
     // degraded-but-alive path.
     transform::PipelineOptions FB = Primary;
     FB.Flatten = false;
+    // The fallback is always the plain unflattened program - never a
+    // strategy variant - so its key and behaviour match the static
+    // server's and a bad adaptive choice cannot poison the degraded
+    // path.
+    FB.Strategy.reset();
     transform::CanonicalKey FK = transform::canonicalKey(Prog, FB);
     FallbackKey = FK.Hash;
     ProgramCache::Outcome CO = Cache.getOrCompile(
@@ -496,6 +614,8 @@ Reply Server::process(Job &J) {
     }
     Code = CO.Prog;
     Tele.Fallback = true;
+    Tele.Strategy = "static";
+    Tele.StrategyEpoch = 0;
     {
       std::lock_guard<std::mutex> Lock(StatsM);
       ++Stats.FallbackServes;
@@ -554,6 +674,12 @@ Reply Server::process(Job &J) {
   }
   Rep.Out = Outcome::Served;
   Rep.Tele.FuelSpent = Out->Stats.Instructions;
+  Rep.Tele.CyclesSpent = Out->Stats.Cycles;
+  // Feed the profile from probe runs only: an exploit variant's loops
+  // report its own schedule, not the source trips, and a breaker-open
+  // spell serving the fallback must not register as drift either.
+  if (ProfileThisRun && !Tele.Fallback && !Out->Stats.TripNests.empty())
+    recordObservedTrips(BaseKey, Out->Stats.TripNests, R.Lanes);
   if (R.WantArrays) {
     // Report arrays the *submitted* program declared (the pipeline may
     // add its own temporaries; those are not the caller's business).

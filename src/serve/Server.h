@@ -43,6 +43,7 @@
 #ifndef SIMDFLAT_SERVE_SERVER_H
 #define SIMDFLAT_SERVE_SERVER_H
 
+#include "analysis/Profitability.h"
 #include "interp/RunStats.h"
 #include "machine/Machine.h"
 #include "serve/CircuitBreaker.h"
@@ -106,6 +107,43 @@ struct ServerOptions {
   /// engine serves correctly, just slowly); HostSimd maps model lanes
   /// onto host vector lanes.
   interp::Engine Eng = interp::Engine::Bytecode;
+  /// Profile-guided adaptive strategy selection. Off: every primary
+  /// compile is the static flattened pipeline (bit-identical legacy
+  /// behaviour). On: the server runs an explore/exploit split per
+  /// distinct program. Probe requests compile under the *unflattened*
+  /// strategy, whose inner serial loop records one trip sample per
+  /// source row - the exact distribution the Sec. 6 cost model
+  /// consumes (a transformed variant's own loops report its schedule,
+  /// not the source trips, which would blind the feedback loop). Every
+  /// request is a probe until the dominant nest has AdaptiveMinSamples;
+  /// then the server picks the cheapest strategy (unflattened /
+  /// flattened / coalesced) and non-probe requests compile under it -
+  /// a new canonical key through the same single-flight cache, with
+  /// every AdaptiveProbeEvery-th request still probing. When the
+  /// probed distribution drifts past AdaptiveDriftThreshold
+  /// (total-variation distance against the decision-time snapshot),
+  /// the choice is recomputed; a changed choice is a respecialization.
+  /// Requires a bytecode-family engine (the tree engine reports no
+  /// trip histograms, so adaptive mode never leaves the probe phase
+  /// under it).
+  bool Adaptive = false;
+  /// Dominant-nest probe samples required before the first decision
+  /// and before each drift evaluation window counts.
+  int64_t AdaptiveMinSamples = 8;
+  /// Total-variation distance (0..1) between the post-decision probe
+  /// window and the decision snapshot beyond which the server
+  /// re-decides.
+  double AdaptiveDriftThreshold = 0.25;
+  /// After a decision, probe (and profile) every Nth request; the rest
+  /// exploit the decided strategy. 0 freezes the choice: no probes, no
+  /// drift detection, until the server restarts. Irrelevant while the
+  /// decided strategy is Unflattened (every serve is then a probe).
+  int64_t AdaptiveProbeEvery = 8;
+  /// Static bounds handed to the coalescing transform when the
+  /// adaptive layer selects Strategy::Coalesced (see
+  /// transform::StrategyPolicy).
+  int64_t AdaptiveCoalesceMaxOuter = 64;
+  int64_t AdaptiveCoalesceMaxTotal = 4096;
   CircuitBreaker::Options Breaker;
   FaultPlan Faults;
 };
@@ -169,9 +207,44 @@ private:
     std::optional<std::chrono::steady_clock::time_point> QueueDeadline;
   };
 
+  /// Per-program adaptive state, keyed by the *base* canonical key (the
+  /// strategy-free key, so every strategy variant of a program shares
+  /// one profile).
+  struct AdaptiveState {
+    /// Probe-observed per-nest trip stats since the last decision (the
+    /// drift evaluation window; cleared at each decision).
+    std::vector<interp::NestTripStats> Window;
+    /// Dominant-nest histogram the current policy was decided on.
+    interp::TripHistogram Snapshot;
+    /// Current policy; nullopt until the first decision (every request
+    /// probes meanwhile).
+    std::optional<transform::StrategyPolicy> Policy;
+    /// Decision count for this program (telemetry StrategyEpoch).
+    int64_t Epoch = 0;
+    /// Exploit serves since the last probe (AdaptiveProbeEvery cadence).
+    int64_t SinceProbe = 0;
+  };
+
+  /// What one adaptive request should do: the policy to compile under,
+  /// the epoch to tag into telemetry, and whether this run's observed
+  /// trips feed the profile.
+  struct AdaptiveRoute {
+    transform::StrategyPolicy Policy;
+    int64_t Epoch = 0;
+    bool Probe = false;
+  };
+
   void workerLoop();
   /// Everything after dequeue; returns the reply (outcome counted).
   Reply process(Job &J);
+  /// Routes one request through the explore/exploit split for
+  /// \p BaseKey (bumps the probe cadence counter).
+  AdaptiveRoute adaptiveRoute(uint64_t BaseKey);
+  /// Folds one probe run's observed trip histograms into the profile
+  /// and decides / re-decides the strategy when warranted.
+  void recordObservedTrips(uint64_t BaseKey,
+                           const std::vector<interp::NestTripStats> &Nests,
+                           int64_t Lanes);
   /// Builds (and counts) a Shed reply. \p Admitted routes the tenant
   /// count to ShedInService vs ShedAtAdmission.
   Reply shed(const Job &J, std::string Why, int64_t RetryAfterMs,
@@ -205,6 +278,9 @@ private:
 
   mutable std::mutex StatsM;
   ServerStats Stats;
+
+  mutable std::mutex AdaptiveM;
+  std::map<uint64_t, AdaptiveState> AdaptiveStates;
 
   std::vector<std::thread> Workers;
 };

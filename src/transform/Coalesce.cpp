@@ -6,6 +6,7 @@
 #include "ir/Walk.h"
 
 #include <cassert>
+#include <set>
 
 using namespace simdflat;
 using namespace simdflat::transform;
@@ -38,6 +39,75 @@ DoStmt *findDoAll(Body &B, Body *&Parent, size_t &Idx) {
   return nullptr;
 }
 
+/// Whether the inner body tolerates its (i, j) iterations being
+/// redistributed freely. Scalars are lane-private after simdization
+/// (the executor's own i/j sets rely on that), but distributed arrays
+/// are shared: a store whose subscripts do not vary with the inner
+/// index hits the same element from every coalesced iteration of one
+/// row - e.g. the reduction A(i) = A(i) + j, which the sequential
+/// inner DO ordered and a coalesced DOALL races into lost updates.
+/// A body that reads an array it also writes may likewise consume a
+/// neighbour iteration's store. Both shapes decline; the caller falls
+/// back to flattening, which keeps each owner's iterations in order.
+bool bodySafeToCoalesce(const Body &B, const std::string &JV,
+                        std::string &Why) {
+  bool Safe = true;
+  std::set<std::string> Written;
+  std::set<const Expr *> StoreTargets;
+  forEachStmt(B, [&](const Stmt &S) {
+    if (!Safe)
+      return;
+    if (S.kind() == Stmt::Kind::Goto || S.kind() == Stmt::Kind::Label) {
+      Safe = false;
+      Why = "body contains unstructured control flow";
+      return;
+    }
+    auto *A = dyn_cast<AssignStmt>(&S);
+    if (!A)
+      return;
+    auto *T = dyn_cast<ArrayRef>(&A->target());
+    if (!T)
+      return;
+    Written.insert(T->name());
+    StoreTargets.insert(&A->target());
+    bool UsesInner = false;
+    for (const ExprPtr &Ix : T->indices())
+      forEachExpr(*Ix, [&](const Expr &E) {
+        if (auto *V = dyn_cast<VarRef>(&E))
+          if (V->name() == JV)
+            UsesInner = true;
+      });
+    if (!UsesInner) {
+      Safe = false;
+      Why = "store to " + T->name() +
+            " does not vary with the inner index (a reduction the "
+            "sequential inner loop ordered)";
+    }
+  });
+  if (!Safe)
+    return false;
+  forEachStmt(B, [&](const Stmt &S) {
+    if (!Safe)
+      return;
+    forEachExprInStmt(S, [&](const Expr &E) {
+      if (!Safe)
+        return;
+      const std::string *Name = nullptr;
+      if (auto *R = dyn_cast<ArrayRef>(&E)) {
+        if (!StoreTargets.count(&E))
+          Name = &R->name();
+      } else if (auto *V = dyn_cast<VarRef>(&E)) {
+        Name = &V->name();
+      }
+      if (Name && Written.count(*Name)) {
+        Safe = false;
+        Why = "array " + *Name + " is both read and written in the body";
+      }
+    });
+  });
+  return Safe;
+}
+
 } // namespace
 
 CoalesceResult transform::coalesceNest(Program &P,
@@ -65,6 +135,13 @@ CoalesceResult transform::coalesceNest(Program &P,
   if (Inner->step()) {
     R.Reason = "coalescing needs a unit-step inner loop";
     return R;
+  }
+  {
+    std::string Why;
+    if (!bodySafeToCoalesce(Inner->body(), Inner->indexVar(), Why)) {
+      R.Reason = "iterations are not independent: " + Why;
+      return R;
+    }
   }
 
   Builder B(P);

@@ -8,6 +8,7 @@
 #include "ir/Verify.h"
 #include "ir/Walk.h"
 #include "support/Format.h"
+#include "transform/Coalesce.h"
 #include "transform/GuardIntro.h"
 #include "transform/Normalize.h"
 #include "transform/Simdize.h"
@@ -84,6 +85,45 @@ transform::compileForSimd(const ir::Program &P, PipelineOptions Opts,
       return PipelineError{"goto-recovery", std::move(Issues)};
   }
 
+  // Resolve the strategy seam: an explicit policy overrides the legacy
+  // Flatten flag (which only distinguishes flattened vs unflattened).
+  analysis::Strategy Strat =
+      Opts.Strategy ? Opts.Strategy->Chosen
+                    : (Opts.Flatten ? analysis::Strategy::Flattened
+                                    : analysis::Strategy::Unflattened);
+
+  // Coalesced build: run the inspector/executor rewrite on the
+  // recovered nest. A successful coalesce replaces the nest with one
+  // perfectly balanced DOALL, so the flatten stage is skipped; a
+  // declined or damaged coalesce falls back to the flattened build.
+  bool CoalescedApplied = false;
+  if (Strat == analysis::Strategy::Coalesced) {
+    ir::Program Backup = ir::cloneProgram(Work);
+    CoalesceResult CR =
+        coalesceNest(Work, Opts.Strategy->CoalesceMaxOuter,
+                     Opts.Strategy->CoalesceMaxTotal);
+    std::string Note = CR.Changed
+                           ? formatf("coalesced (total var %s)",
+                                     CR.TotalVar.c_str())
+                           : "declined: " + CR.Reason +
+                                 "; falling back to flattened";
+    std::vector<std::string> Issues;
+    if (!checkStage("coalesce", Work, std::move(Note), &Issues)) {
+      if (!CR.Changed)
+        return PipelineError{"coalesce", std::move(Issues)};
+      Work = std::move(Backup);
+      R.Stages.back().Note = "produced an invalid program (" +
+                             Issues.front() +
+                             "); falling back to flattened";
+    } else if (CR.Changed) {
+      CoalescedApplied = true;
+    }
+    if (!CoalescedApplied)
+      Strat = analysis::Strategy::Flattened;
+  } else {
+    skipStage("coalesce", "not selected by strategy");
+  }
+
   // When explicit normalization peels a REPEAT's first execution, the
   // residual pre-test loop runs one trip fewer than the original; a
   // caller-asserted min-one guarantee does not survive the peel, and
@@ -113,7 +153,7 @@ transform::compileForSimd(const ir::Program &P, PipelineOptions Opts,
     skipStage("guard-intro", "folded into flatten's normal-form analysis");
   }
 
-  if (Opts.Flatten) {
+  if (!CoalescedApplied && Strat == analysis::Strategy::Flattened) {
     FlattenOptions FOpts;
     FOpts.Force = Opts.ForceLevel;
     FOpts.AssumeInnerMinOneTrip = MinOneSurvives;
@@ -145,8 +185,14 @@ transform::compileForSimd(const ir::Program &P, PipelineOptions Opts,
       R.Stages.back().Note = R.FlattenSkipReason;
     }
   } else {
-    skipStage("flatten", "disabled by options");
+    skipStage("flatten", CoalescedApplied
+                             ? "coalesced nest needs no flattening"
+                             : "strategy unflattened");
   }
+
+  R.StrategyApplied = CoalescedApplied ? analysis::Strategy::Coalesced
+                      : R.Flattened    ? analysis::Strategy::Flattened
+                                       : analysis::Strategy::Unflattened;
 
   SimdizeOptions SOpts;
   SOpts.DoAllLayout = Opts.Layout;
@@ -202,6 +248,16 @@ CanonicalKey transform::canonicalKey(const ir::Program &P,
   K.Text += Opts.CheckSafety ? "1" : "0";
   K.Text += "|explicit-normalize=";
   K.Text += Opts.ExplicitNormalize ? "1" : "0";
+  K.Text += "|strategy=";
+  if (Opts.Strategy) {
+    K.Text += analysis::strategyName(Opts.Strategy->Chosen);
+    K.Text += "|coal-outer=";
+    K.Text += std::to_string(Opts.Strategy->CoalesceMaxOuter);
+    K.Text += "|coal-total=";
+    K.Text += std::to_string(Opts.Strategy->CoalesceMaxTotal);
+  } else {
+    K.Text += "legacy";
+  }
   // FNV-1a, 64-bit.
   uint64_t H = 1469598103934665603ull;
   for (unsigned char C : K.Text) {

@@ -23,6 +23,7 @@
 #ifndef SIMDFLAT_TRANSFORM_PIPELINE_H
 #define SIMDFLAT_TRANSFORM_PIPELINE_H
 
+#include "analysis/Profitability.h"
 #include "machine/Machine.h"
 #include "support/Result.h"
 #include "transform/Flatten.h"
@@ -35,6 +36,44 @@ struct Program;
 } // namespace exec
 
 namespace transform {
+
+/// The strategy-selection seam: which loop-nest build the pipeline
+/// produces. Historically the pipeline had one global order (flatten
+/// then simdize, with the Flatten flag as the only knob); a policy
+/// makes the choice explicit and per-compilation, so callers - the CLI
+/// via --strategy=, the serving layer via live trip histograms - can
+/// build exactly the variant the profitability model ranked best.
+///
+/// Coalesced builds run the inspector/executor rewrite
+/// (transform::coalesceNest) on the recovered nest and skip flattening
+/// (the executor is already a single perfectly balanced DOALL); when
+/// the nest declines to coalesce, the pipeline falls back to the
+/// flattened build and records why. Every strategy ends in the same
+/// simdize + simplify tail, so the tree/fuzz oracles gate all three.
+struct StrategyPolicy {
+  analysis::Strategy Chosen = analysis::Strategy::Flattened;
+  /// Static dimensions of the coalesce inspector arrays (Coalesced
+  /// only). Runtime totals beyond them trap OutOfBounds, so pick them
+  /// from the observed distribution with margin.
+  int64_t CoalesceMaxOuter = 64;
+  int64_t CoalesceMaxTotal = 4096;
+
+  static StrategyPolicy unflattened() {
+    return {analysis::Strategy::Unflattened, 0, 0};
+  }
+  static StrategyPolicy flattened() {
+    return {analysis::Strategy::Flattened, 0, 0};
+  }
+  static StrategyPolicy coalesced(int64_t MaxOuter, int64_t MaxTotal) {
+    return {analysis::Strategy::Coalesced, MaxOuter, MaxTotal};
+  }
+  /// Adopts a ranked model verdict (bounds only matter for Coalesced).
+  static StrategyPolicy fromChoice(const analysis::StrategyChoice &C,
+                                   int64_t MaxOuter = 64,
+                                   int64_t MaxTotal = 4096) {
+    return {C.Primary, MaxOuter, MaxTotal};
+  }
+};
 
 /// Options for compileForSimd.
 struct PipelineOptions {
@@ -51,12 +90,16 @@ struct PipelineOptions {
   /// normal form non-destructively through analysis::normalFormOf, so
   /// the explicit passes are for demonstration and differential testing.
   bool ExplicitNormalize = false;
+  /// Explicit strategy selection. Unset preserves the legacy behavior
+  /// (the Flatten flag picks flattened vs unflattened); set, it
+  /// overrides Flatten and may request the coalesced build.
+  std::optional<StrategyPolicy> Strategy;
 };
 
 /// Verification outcome of one pipeline stage.
 struct StageOutcome {
-  /// "goto-recovery", "normalize", "guard-intro", "flatten", "simdize",
-  /// "simplify".
+  /// "goto-recovery", "normalize", "guard-intro", "coalesce",
+  /// "flatten", "simdize", "simplify".
   std::string Stage;
   /// The stage executed (false: disabled by options or folded into a
   /// later stage's analysis).
@@ -75,6 +118,10 @@ struct PipelineReport {
   FlattenLevel LevelApplied = FlattenLevel::General;
   /// Non-empty when flattening was requested but skipped (or reverted).
   std::string FlattenSkipReason;
+  /// Strategy the pipeline actually built, after any fallback (a
+  /// declined coalesce falls back to Flattened; a declined flatten to
+  /// Unflattened).
+  analysis::Strategy StrategyApplied = analysis::Strategy::Unflattened;
   /// Per-stage verification outcomes, in execution order.
   std::vector<StageOutcome> Stages;
 

@@ -24,6 +24,7 @@ json::Value transform::toJson(const PipelineReport &R) {
   V.set("flattened", R.Flattened);
   V.set("level_applied", flattenLevelName(R.LevelApplied));
   V.set("flatten_skip_reason", R.FlattenSkipReason);
+  V.set("strategy_applied", analysis::strategyName(R.StrategyApplied));
   json::Value Stages = json::Value::array();
   for (const StageOutcome &S : R.Stages)
     Stages.push(toJson(S));

@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 using namespace simdflat;
 using namespace simdflat::analysis;
+using simdflat::interp::TripHistogram;
 
 namespace {
 
@@ -114,6 +116,183 @@ TEST(Profitability, MsimdPaperExample) {
 
 TEST(Profitability, MsimdEmpty) {
   EXPECT_EQ(estimateMsimdSteps({}, 8, 2, machine::Layout::Cyclic), 0);
+}
+
+//===--------------------------------------------------------------------===//
+// TripDistribution: the adapter feeding chooseStrategy.
+//===--------------------------------------------------------------------===//
+
+TEST(TripDistribution, SpanViewIsExact) {
+  std::vector<int64_t> L = {4, 1, 2, 1};
+  TripDistribution D{std::span<const int64_t>(L)};
+  EXPECT_EQ(D.samples(), 4);
+  EXPECT_EQ(D.sum(), 8);
+  EXPECT_EQ(D.max(), 4);
+  ASSERT_EQ(D.trips().size(), 4u);
+  EXPECT_EQ(D.trips()[0], 4);
+}
+
+TEST(TripDistribution, NegativeSpanTripsClampToZero) {
+  // Fortran DO semantics: a negative trip count executes nothing. The
+  // distribution must present zeros, never negatives, to the model.
+  std::vector<int64_t> L = {3, -2, 5, -1};
+  TripDistribution D{std::span<const int64_t>(L)};
+  EXPECT_EQ(D.sum(), 8);
+  EXPECT_EQ(D.max(), 5);
+  for (int64_t T : D.trips())
+    EXPECT_GE(T, 0);
+}
+
+TEST(TripDistribution, HistogramExpansionKeepsMoments) {
+  TripHistogram H;
+  for (int I = 0; I < 7; ++I)
+    H.record(1);
+  H.record(120);
+  TripDistribution D{H};
+  EXPECT_EQ(D.samples(), 8);
+  EXPECT_EQ(D.sum(), 127); // exact, not the bucket representative
+  EXPECT_EQ(D.max(), 120);
+  // Expansion: seven exact 1s plus one representative for the [64,128)
+  // bucket (its midpoint, 96).
+  ASSERT_EQ(D.trips().size(), 8u);
+  int64_t Nines = 0;
+  for (int64_t T : D.trips())
+    Nines += T == 96;
+  EXPECT_EQ(Nines, 1);
+}
+
+TEST(TripDistribution, HugeHistogramDownsamplesButKeepsOutliers) {
+  TripHistogram H;
+  for (int I = 0; I < 100000; ++I)
+    H.record(2);
+  H.record(5000); // single outlier, must survive the cap
+  TripDistribution D{H};
+  EXPECT_LE(static_cast<int64_t>(D.trips().size()),
+            TripDistribution::ExpandCap + 1);
+  bool SawOutlier = false;
+  for (int64_t T : D.trips())
+    SawOutlier |= T > 4000;
+  EXPECT_TRUE(SawOutlier);
+}
+
+//===--------------------------------------------------------------------===//
+// chooseStrategy: deterministic goldens over adversarial distributions.
+// The numbers below are hand-evaluated from the documented cost model
+// (FlattenOverhead 1.25, inspector 2.0/outer); changing the constants
+// changes these goldens with them.
+//===--------------------------------------------------------------------===//
+
+TEST(ChooseStrategy, EmptyDistributionDefaultsToFlattened) {
+  TripHistogram H; // never recorded into
+  StrategyChoice C =
+      chooseStrategy(TripDistribution{H}, 4, machine::Layout::Cyclic);
+  EXPECT_EQ(C.Primary, Strategy::Flattened);
+  EXPECT_DOUBLE_EQ(C.Confidence, 0.0);
+}
+
+TEST(ChooseStrategy, AllZeroTripsTieBreaksToFlattened) {
+  // Every schedule costs zero steps; the historical pipeline order
+  // (Flattened first) breaks the tie, at zero confidence.
+  std::vector<int64_t> L(8, 0);
+  StrategyChoice C = chooseStrategy(TripDistribution{std::span<const int64_t>(L)},
+                                    4, machine::Layout::Cyclic);
+  EXPECT_EQ(C.Primary, Strategy::Flattened);
+  EXPECT_DOUBLE_EQ(C.Confidence, 0.0);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Flattened), 0.0);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Unflattened), 0.0);
+}
+
+TEST(ChooseStrategy, UniformTripsPickUnflattened) {
+  // Zero variance: flattening buys nothing and pays its 1.25x guard
+  // overhead. K=8 x trip 6 on 4 lanes: Unflat 12, Flat 15, Coal 28.
+  std::vector<int64_t> L(8, 6);
+  StrategyChoice C = chooseStrategy(TripDistribution{std::span<const int64_t>(L)},
+                                    4, machine::Layout::Cyclic);
+  EXPECT_EQ(C.Primary, Strategy::Unflattened);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Unflattened), 12.0);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Flattened), 15.0);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Coalesced), 28.0);
+  EXPECT_DOUBLE_EQ(C.Confidence, 3.0 / 15.0);
+}
+
+TEST(ChooseStrategy, BimodalSkewPicksFlattened) {
+  // Heavy rows rotate across lanes: flattening lets light lanes catch
+  // up. L = {9,1,1,1,1,9,1,1}, P=4 cyclic: lane sums {10,10,2,2} ->
+  // Flat 12.5; row maxima 9+9 -> Unflat 18; Coal 6+16=22.
+  std::vector<int64_t> L = {9, 1, 1, 1, 1, 9, 1, 1};
+  StrategyChoice C = chooseStrategy(TripDistribution{std::span<const int64_t>(L)},
+                                    4, machine::Layout::Cyclic);
+  EXPECT_EQ(C.Primary, Strategy::Flattened);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Flattened), 12.5);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Unflattened), 18.0);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Coalesced), 22.0);
+  EXPECT_EQ(C.Ranked[1], Strategy::Unflattened);
+  EXPECT_EQ(C.Ranked[2], Strategy::Coalesced);
+}
+
+TEST(ChooseStrategy, SingleHotOutlierPicksCoalesced) {
+  // One row dominates: every lane-preserving schedule waits on it, only
+  // redistribution balances. L = {120,1*7}, P=4 cyclic: Unflat 121,
+  // Flat 151.25, Coal ceil(127/4)+2*8 = 48.
+  std::vector<int64_t> L = {120, 1, 1, 1, 1, 1, 1, 1};
+  StrategyCosts Costs;
+  Costs.CoalesceMaxOuter = 16;
+  Costs.CoalesceMaxTotal = 512;
+  StrategyChoice C = chooseStrategy(TripDistribution{std::span<const int64_t>(L)},
+                                    4, machine::Layout::Cyclic, Costs);
+  EXPECT_EQ(C.Primary, Strategy::Coalesced);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Coalesced), 48.0);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Unflattened), 121.0);
+  EXPECT_DOUBLE_EQ(C.scoreOf(Strategy::Flattened), 151.25);
+  EXPECT_DOUBLE_EQ(C.Confidence, (121.0 - 48.0) / 121.0);
+}
+
+TEST(ChooseStrategy, CoalesceIneligibleBeyondStaticBounds) {
+  // The same hot outlier, but the inspector arrays cannot hold the
+  // observed shape: coalescing must rank last at infinite cost.
+  std::vector<int64_t> L = {120, 1, 1, 1, 1, 1, 1, 1};
+  StrategyCosts Tight;
+  Tight.CoalesceMaxOuter = 4; // observed outer count is 8
+  StrategyChoice C = chooseStrategy(TripDistribution{std::span<const int64_t>(L)},
+                                    4, machine::Layout::Cyclic, Tight);
+  EXPECT_EQ(C.Primary, Strategy::Unflattened);
+  EXPECT_EQ(C.Ranked[2], Strategy::Coalesced);
+  EXPECT_TRUE(std::isinf(C.scoreOf(Strategy::Coalesced)));
+}
+
+TEST(ChooseStrategy, CoalesceMarginDisqualifiesNearTrapBoundary) {
+  // Total 127 fits a 160-slot coalRow, but exceeds the 75% drift
+  // margin: a distribution this close to the trap boundary must not
+  // pick the build that traps when it drifts further.
+  std::vector<int64_t> L = {120, 1, 1, 1, 1, 1, 1, 1};
+  StrategyCosts Near;
+  Near.CoalesceMaxOuter = 16;
+  Near.CoalesceMaxTotal = 160; // margin: 0.75 * 160 = 120 < 127
+  StrategyChoice C = chooseStrategy(TripDistribution{std::span<const int64_t>(L)},
+                                    4, machine::Layout::Cyclic, Near);
+  EXPECT_TRUE(std::isinf(C.scoreOf(Strategy::Coalesced)));
+  EXPECT_EQ(C.Primary, Strategy::Unflattened);
+}
+
+TEST(ChooseStrategy, HistogramAndSpanAgreeOnTheWinner) {
+  // The histogram quantizes the outlier (120 -> bucket midpoint 96) but
+  // must not change the verdict.
+  std::vector<int64_t> L = {120, 1, 1, 1, 1, 1, 1, 1};
+  TripHistogram H;
+  for (int64_t T : L)
+    H.record(T);
+  StrategyCosts Costs;
+  Costs.CoalesceMaxOuter = 16;
+  Costs.CoalesceMaxTotal = 512;
+  StrategyChoice FromSpan = chooseStrategy(
+      TripDistribution{std::span<const int64_t>(L)}, 4,
+      machine::Layout::Cyclic, Costs);
+  StrategyChoice FromHist = chooseStrategy(TripDistribution{H}, 4,
+                                           machine::Layout::Cyclic, Costs);
+  EXPECT_EQ(FromHist.Primary, FromSpan.Primary);
+  // Coalesced score uses the exact moments, so it is identical.
+  EXPECT_DOUBLE_EQ(FromHist.scoreOf(Strategy::Coalesced),
+                   FromSpan.scoreOf(Strategy::Coalesced));
 }
 
 } // namespace

@@ -49,7 +49,7 @@ Program makeTinyWhere() {
 TEST(LowerGolden, TinyScalarLoop) {
   exec::Program EP = exec::lower(makeTinyLoop(), exec::Mode::Scalar);
   EXPECT_EQ(exec::disassemble(EP),
-            "program 'TINY' mode=scalar regs=3 ctl=4 code=18\n"
+            "program 'TINY' mode=scalar regs=3 ctl=5 code=21\n"
             "    0: ld.int             0      0      0      0 ; 1\n"
             "    1: ctl.fromreg        0      0     -1      0\n"
             "    2: ld.int             0      1      0      0 ; 4\n"
@@ -57,18 +57,21 @@ TEST(LowerGolden, TinyScalarLoop) {
             "    4: ctl.imm            2      0      0      0 ; 1\n"
             "    5: check.step         2      0      0      0 ; "
             "\"DO i has a step of zero\"\n"
-            "    6: do.test            0      0      0     16\n"
-            "    7: loop.iter          0      0      0      0\n"
-            "    8: set.idx            0      0      0      0 ; i\n"
-            "    9: ld.var             1      0      0      0 ; i\n"
-            "   10: ld.int             2      2      0      0 ; 2\n"
-            "   11: mul.i              0      1      2      0\n"
-            "   12: ld.var             1      0      0      0 ; i\n"
-            "   13: st.arr             1      0      0      0 ; A\n"
-            "   14: do.step            0      0      0      0\n"
-            "   15: jmp                0      0      0      6\n"
-            "   16: set.idx            0      0      0      0 ; i\n"
-            "   17: halt               0      0      0      0\n");
+            "    6: ctl.imm            4      2      0      0 ; 0\n"
+            "    7: do.test            0      0      0     18\n"
+            "    8: loop.iter          0      0      0      0\n"
+            "    9: ctl.inc            4      0      0      0\n"
+            "   10: set.idx            0      0      0      0 ; i\n"
+            "   11: ld.var             1      0      0      0 ; i\n"
+            "   12: ld.int             2      3      0      0 ; 2\n"
+            "   13: mul.i              0      1      2      0\n"
+            "   14: ld.var             1      0      0      0 ; i\n"
+            "   15: st.arr             1      0      0      0 ; A\n"
+            "   16: do.step            0      0      0      0\n"
+            "   17: jmp                0      0      0      7\n"
+            "   18: trip.rec           4      0      0      0 ; L0 do i\n"
+            "   19: set.idx            0      0      0      0 ; i\n"
+            "   20: halt               0      0      0      0\n");
 }
 
 TEST(LowerGolden, TinySimdWhere) {

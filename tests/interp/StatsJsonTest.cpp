@@ -40,6 +40,75 @@ TEST(StatsJson, RunStatsRoundTrip) {
   EXPECT_DOUBLE_EQ(Back->workUtilization(), S.workUtilization());
 }
 
+TEST(StatsJson, TripHistogramRoundTrip) {
+  RunStats S;
+  S.WorkSteps = 1;
+  NestTripStats N;
+  N.Name = "L0 do i";
+  N.Depth = 0;
+  N.Hist.record(0);
+  N.Hist.record(3);
+  N.Hist.record(3);
+  N.Hist.record(500);
+  S.TripNests.push_back(N);
+  json::Value V = toJson(S);
+  auto Parsed = json::Value::parse(V.dump(2));
+  ASSERT_TRUE(Parsed.ok());
+  auto Back = runStatsFromJson(*Parsed);
+  ASSERT_TRUE(Back.ok()) << Back.error().render();
+  ASSERT_EQ(Back->TripNests.size(), 1u);
+  const NestTripStats &B = Back->TripNests[0];
+  EXPECT_EQ(B.Name, "L0 do i");
+  EXPECT_EQ(B.Depth, 0);
+  EXPECT_EQ(B.Hist.Exact, N.Hist.Exact);
+  EXPECT_EQ(B.Hist.Log2, N.Hist.Log2);
+  EXPECT_EQ(B.Hist.Samples, 4);
+  EXPECT_EQ(B.Hist.Sum, 506);
+  EXPECT_EQ(B.Hist.Max, 500);
+}
+
+TEST(StatsJson, TripHistogramAbsentMeansNoNests) {
+  auto V = json::Value::parse("{\"work_steps\": 3}");
+  ASSERT_TRUE(V.ok());
+  auto S = runStatsFromJson(*V);
+  ASSERT_TRUE(S.ok());
+  EXPECT_TRUE(S->TripNests.empty());
+}
+
+TEST(StatsJson, TripHistogramRejectsWrongVersion) {
+  // The bucketization scheme is not self-describing, so a reader must
+  // refuse blocks written under any other version rather than
+  // misinterpret the buckets.
+  auto V = json::Value::parse(
+      "{\"trip_histogram\": {\"version\": 999, \"nests\": []}}");
+  ASSERT_TRUE(V.ok());
+  auto S = runStatsFromJson(*V);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().Message.find("version"), std::string::npos);
+}
+
+TEST(StatsJson, TripHistogramRejectsInconsistentCounts) {
+  auto V = json::Value::parse(
+      "{\"trip_histogram\": {\"version\": 1, \"nests\": ["
+      "{\"name\": \"L0\", \"depth\": 0, \"samples\": 7,"
+      " \"exact\": [1,0,0,0,0,0,0,0], \"log2\": {}}]}}");
+  ASSERT_TRUE(V.ok());
+  auto S = runStatsFromJson(*V);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().Message.find("inconsistent"), std::string::npos);
+}
+
+TEST(StatsJson, TripHistogramRejectsBadLog2Bucket) {
+  auto V = json::Value::parse(
+      "{\"trip_histogram\": {\"version\": 1, \"nests\": ["
+      "{\"name\": \"L0\", \"depth\": 0, \"samples\": 1,"
+      " \"log2\": {\"99\": 1}}]}}");
+  ASSERT_TRUE(V.ok());
+  auto S = runStatsFromJson(*V);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.error().Message.find("log2"), std::string::npos);
+}
+
 TEST(StatsJson, RunStatsMissingFieldsKeepDefaults) {
   auto V = json::Value::parse("{\"work_steps\": 3}");
   ASSERT_TRUE(V.ok());

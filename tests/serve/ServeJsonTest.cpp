@@ -83,6 +83,7 @@ Reply sampleReply() {
   R.Tele.CacheHit = true;
   R.Tele.CompileAttempts = 1;
   R.Tele.FuelSpent = 44;
+  R.Tele.CyclesSpent = 17.5;
   return R;
 }
 
@@ -100,6 +101,7 @@ TEST(ServeJson, ServedReplySerialization) {
   EXPECT_EQ(Tele->get("engine")->asString(), "bytecode");
   EXPECT_TRUE(Tele->get("cache_hit")->asBool());
   EXPECT_EQ(Tele->get("fuel_spent")->asInt(), 44);
+  EXPECT_DOUBLE_EQ(Tele->get("cycles_spent")->asDouble(), 17.5);
 }
 
 TEST(ServeJson, ShedAndTrappedReplySerialization) {
@@ -131,6 +133,45 @@ TEST(ServeJson, ShedAndTrappedReplySerialization) {
             interp::trapKindName(interp::TrapKind::FuelExhausted));
   EXPECT_EQ(Trap->get("lanes")->size(), 2u);
   EXPECT_EQ(Trap->get("location")->asString(), "DO i");
+}
+
+TEST(ServeJson, StrategyTelemetryRoundTrips) {
+  // The adaptive layer's reply tags: which strategy compiled the
+  // primary and at which decision epoch. Absent fields keep the
+  // "static"/0 defaults so pre-adaptive logs still parse.
+  Reply R = sampleReply();
+  R.Tele.Strategy = "coalesced";
+  R.Tele.StrategyEpoch = 3;
+  json::Value O = toJson(R);
+  const json::Value *Tele = O.get("telemetry");
+  ASSERT_NE(Tele, nullptr);
+  EXPECT_EQ(Tele->get("strategy")->asString(), "coalesced");
+  EXPECT_EQ(Tele->get("strategy_epoch")->asInt(), 3);
+  auto Back = parseReply(O);
+  ASSERT_TRUE(Back.ok()) << Back.error();
+  EXPECT_EQ(Back->Tele.Strategy, "coalesced");
+  EXPECT_EQ(Back->Tele.StrategyEpoch, 3);
+
+  auto Old = json::Value::parse(
+      "{\"id\": 1, \"outcome\": \"served\", \"telemetry\": {}}");
+  ASSERT_TRUE(Old.ok());
+  auto Legacy = parseReply(*Old);
+  ASSERT_TRUE(Legacy.ok()) << Legacy.error();
+  EXPECT_EQ(Legacy->Tele.Strategy, "static");
+  EXPECT_EQ(Legacy->Tele.StrategyEpoch, 0);
+
+  json::Value Log = telemetryJson(R);
+  EXPECT_EQ(Log.get("strategy")->asString(), "coalesced");
+  EXPECT_EQ(Log.get("strategy_epoch")->asInt(), 3);
+}
+
+TEST(ServeJson, StatsSerializationCarriesAdaptiveCounters) {
+  ServerStats S;
+  S.AdaptiveDecisions = 5;
+  S.Respecializations = 2;
+  json::Value O = toJson(S);
+  EXPECT_EQ(O.get("adaptive_decisions")->asInt(), 5);
+  EXPECT_EQ(O.get("respecializations")->asInt(), 2);
 }
 
 TEST(ServeJson, OutcomeNamesRoundTrip) {
@@ -252,6 +293,7 @@ TEST(ServeJson, ParseReplyRoundTripsEveryOutcome) {
   EXPECT_EQ(BackServed->Out, Outcome::Served);
   EXPECT_EQ(BackServed->IntArrays.at("X"), (std::vector<int64_t>{1, 2, 3}));
   EXPECT_EQ(BackServed->Tele.FuelSpent, 44);
+  EXPECT_DOUBLE_EQ(BackServed->Tele.CyclesSpent, 17.5);
   EXPECT_EQ(BackServed->Tele.Tenant, "t");
   EXPECT_TRUE(BackServed->Tele.CacheHit);
 

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <numeric>
@@ -764,6 +765,209 @@ TEST(Server, ConcurrentDrainSoak) {
     TenantSubmitted += TS.Submitted;
   }
   EXPECT_EQ(TenantSubmitted, St.Submitted);
+}
+
+// A nest with a wide inner dimension so skewed trip vectors stay in
+// bounds: X(i, j) = i * j for j <= L(i), i = 1..8, L(i) <= 64.
+constexpr const char *WideNestSource =
+    "PROGRAM WIDE\n"
+    "INTEGER K\n"
+    "DISTRIBUTED INTEGER L(8)\n"
+    "DISTRIBUTED INTEGER X(8, 64)\n"
+    "INTEGER i\n"
+    "INTEGER j\n"
+    "BEGIN\n"
+    "  DOALL i = 1, K\n"
+    "    DO j = 1, L(i)\n"
+    "      X(i, j) = i * j\n"
+    "    ENDDO\n"
+    "  ENDDO\n"
+    "END\n";
+
+Request wideRequest(std::vector<int64_t> Trips) {
+  Request R;
+  R.Source = WideNestSource;
+  R.Ints["K"] = 8;
+  R.IntArrays["L"] = std::move(Trips);
+  R.Lanes = 4;
+  R.Fuel = 100'000;
+  R.WantArrays = true;
+  return R;
+}
+
+// sum X = sum_i i * tri(L(i)) with tri(n) = n(n+1)/2.
+int64_t wideExpectedSum(const std::vector<int64_t> &Trips) {
+  int64_t Sum = 0;
+  for (size_t I = 0; I < Trips.size(); ++I)
+    Sum += (int64_t)(I + 1) * Trips[I] * (Trips[I] + 1) / 2;
+  return Sum;
+}
+
+TEST(Server, AdaptiveOffIsStatic) {
+  // The legacy default: no profiles, no decisions, every reply tagged
+  // static at epoch zero.
+  ServerOptions SO;
+  SO.Workers = 1;
+  Server S(SO);
+  for (int I = 0; I < 3; ++I) {
+    Reply Rep = getReply(S.submit(exampleRequest()));
+    ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    EXPECT_EQ(Rep.Tele.Strategy, "static");
+    EXPECT_EQ(Rep.Tele.StrategyEpoch, 0);
+  }
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.AdaptiveDecisions, 0);
+  EXPECT_EQ(St.Respecializations, 0);
+}
+
+TEST(Server, AdaptiveWarmupDecidesAndRecompiles) {
+  // The profile-guided loop end to end: requests warm up as probes
+  // (the unflattened profiling variant, whose inner loop reports the
+  // true source trip distribution), the accumulated histograms trigger
+  // a strategy decision, and the epoch in reply telemetry advances.
+  // Results stay bit-identical throughout: the strategy changes
+  // performance, never answers.
+  ServerOptions SO;
+  SO.Workers = 1; // serialize so decisions land between requests
+  SO.Adaptive = true;
+  SO.AdaptiveMinSamples = 4;
+  Server S(SO);
+
+  const std::vector<int64_t> Uniform = {6, 6, 6, 6, 6, 6, 6, 6};
+  const int64_t Want = wideExpectedSum(Uniform);
+  int64_t Epoch = 0;
+  std::string Last;
+  for (int I = 0; I < 12; ++I) {
+    Reply Rep = getReply(S.submit(wideRequest(Uniform)));
+    ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    EXPECT_NE(Rep.Tele.Strategy, "static");
+    const std::vector<int64_t> &X = Rep.IntArrays["X"];
+    EXPECT_EQ(std::accumulate(X.begin(), X.end(), int64_t{0}), Want)
+        << "answer changed under strategy " << Rep.Tele.Strategy;
+    Epoch = std::max(Epoch, Rep.Tele.StrategyEpoch);
+    Last = Rep.Tele.Strategy;
+  }
+  EXPECT_GE(Epoch, 1) << "no strategy decision after warmup";
+  ServerStats St = S.stats();
+  EXPECT_GE(St.AdaptiveDecisions, 1);
+  EXPECT_TRUE(St.consistent());
+  EXPECT_TRUE(St.tenantsConsistent());
+  // Uniform trips on the Sec. 6 cost model: the unflattened Eq. 2
+  // schedule has no imbalance to recover, so it wins (and uniform
+  // traffic never drifts, so the choice is stable).
+  EXPECT_EQ(Last, "unflattened");
+  EXPECT_EQ(St.Respecializations, 0);
+}
+
+TEST(Server, AdaptiveDriftRespecializes) {
+  // Distribution drift mid-stream: uniform traffic decides one
+  // strategy; a switch to one hot row drifts the observed histogram
+  // past the threshold, forcing a re-decision that changes the
+  // strategy (a respecialization). Answers stay exact across the flip.
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Adaptive = true;
+  SO.AdaptiveMinSamples = 4;
+  SO.AdaptiveDriftThreshold = 0.25;
+  Server S(SO);
+
+  const std::vector<int64_t> Uniform = {6, 6, 6, 6, 6, 6, 6, 6};
+  const std::vector<int64_t> Skewed = {60, 1, 1, 1, 1, 1, 1, 1};
+
+  for (int I = 0; I < 12; ++I) {
+    Reply Rep = getReply(S.submit(wideRequest(Uniform)));
+    ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+  }
+  ServerStats Warm = S.stats();
+  EXPECT_GE(Warm.AdaptiveDecisions, 1);
+
+  const int64_t Want = wideExpectedSum(Skewed);
+  std::vector<std::string> Seen;
+  for (int I = 0; I < 40; ++I) {
+    Reply Rep = getReply(S.submit(wideRequest(Skewed)));
+    ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    const std::vector<int64_t> &X = Rep.IntArrays["X"];
+    EXPECT_EQ(std::accumulate(X.begin(), X.end(), int64_t{0}), Want)
+        << "answer changed under strategy " << Rep.Tele.Strategy;
+    Seen.push_back(Rep.Tele.Strategy);
+  }
+  ServerStats St = S.stats();
+  EXPECT_GE(St.Respecializations, 1)
+      << "drifted distribution never respecialized";
+  EXPECT_TRUE(St.consistent());
+  EXPECT_TRUE(St.tenantsConsistent());
+  // One hot row among short ones is the coalescing transform's home
+  // turf (ceil(total/P) beats both static schedules), so exploit
+  // serves after the flip run coalesced (probes stay unflattened).
+  EXPECT_NE(std::find(Seen.begin(), Seen.end(), "coalesced"), Seen.end())
+      << "no exploit serve ran the respecialized strategy";
+  // A strategy variant compiled under its own canonical key: at least
+  // the probe variant plus the coalesced variant missed once each.
+  EXPECT_GE(St.CacheMisses, 2);
+}
+
+TEST(Server, AdaptiveFallbackStaysStaticAndFeedsNoProfile) {
+  // With every primary compile failing, serves come from the
+  // unflattened fallback: tagged static, and never folded into the
+  // profile (a breaker-open spell must not masquerade as drift).
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Adaptive = true;
+  SO.AdaptiveMinSamples = 1;
+  SO.CompileRetries = 0;
+  SO.Faults.CompileFailures = 1'000'000;
+  SO.Breaker.FailureThreshold = 1'000'000; // keep the breaker closed
+  Server S(SO);
+  for (int I = 0; I < 5; ++I) {
+    Reply Rep = getReply(S.submit(exampleRequest()));
+    ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    EXPECT_TRUE(Rep.Tele.Fallback);
+    EXPECT_EQ(Rep.Tele.Strategy, "static");
+    EXPECT_EQ(Rep.Tele.StrategyEpoch, 0);
+  }
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.AdaptiveDecisions, 0);
+  EXPECT_EQ(St.Respecializations, 0);
+  EXPECT_TRUE(St.consistent());
+}
+
+TEST(Server, AdaptiveSurvivesCachePressureAndEviction) {
+  // Respecialization under byte-budget pressure and mid-flight
+  // eviction: strategy variants churn in and out of a tiny cache while
+  // the distribution drifts. The robustness contract (conservation,
+  // per-tenant consistency, byte budget) must hold the whole way.
+  ServerOptions SO;
+  SO.Workers = 2;
+  SO.Adaptive = true;
+  SO.AdaptiveMinSamples = 4;
+  SO.CacheCapacity = 2;
+  SO.CacheMaxBytes = 3000;
+  SO.Faults.InflateCostBytes = 1500;
+  SO.Faults.EvictMidFlight = true;
+  Server S(SO);
+
+  const std::vector<int64_t> Shapes[] = {
+      {6, 6, 6, 6, 6, 6, 6, 6},
+      {60, 1, 1, 1, 1, 1, 1, 1},
+      {1, 1, 1, 1, 60, 60, 60, 60},
+  };
+  int64_t ServedOk = 0;
+  for (int I = 0; I < 36; ++I) {
+    const std::vector<int64_t> &Trips = Shapes[(I / 6) % 3];
+    Reply Rep = getReply(S.submit(wideRequest(Trips)));
+    ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    const std::vector<int64_t> &X = Rep.IntArrays["X"];
+    EXPECT_EQ(std::accumulate(X.begin(), X.end(), int64_t{0}),
+              wideExpectedSum(Trips))
+        << "answer changed under strategy " << Rep.Tele.Strategy;
+    ++ServedOk;
+  }
+  ServerStats St = S.stats();
+  EXPECT_EQ(ServedOk, 36);
+  EXPECT_TRUE(St.consistent());
+  EXPECT_TRUE(St.tenantsConsistent());
+  EXPECT_LE(St.CacheBytesResident, (int64_t)SO.CacheMaxBytes);
+  EXPECT_GE(St.AdaptiveDecisions, 1);
 }
 
 } // namespace

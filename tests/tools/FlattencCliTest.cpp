@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 #include <sys/wait.h>
+#include <unistd.h>
 
 namespace {
 
@@ -68,6 +69,129 @@ TEST(FlattencCli, UsageMentionsAllExitCodes) {
   CliResult R = runFlattenc("--help");
   EXPECT_NE(R.Output.find("4 internal error"), std::string::npos)
       << R.Output;
+}
+
+/// Writes the strategy-test fixture (a DOALL/DO nest whose inner trips
+/// come from the L array) and returns its path.
+std::string writeNestFixture() {
+  std::string Path =
+      "/tmp/flattenc_cli_nest_" + std::to_string(getpid()) + ".f";
+  if (FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::fputs("PROGRAM WIDE\n"
+               "INTEGER K\n"
+               "DISTRIBUTED INTEGER L(8)\n"
+               "DISTRIBUTED INTEGER X(8, 8)\n"
+               "INTEGER i\n"
+               "INTEGER j\n"
+               "BEGIN\n"
+               "  DOALL i = 1, K\n"
+               "    DO j = 1, L(i)\n"
+               "      X(i, j) = i * j\n"
+               "    ENDDO\n"
+               "  ENDDO\n"
+               "END\n",
+               F);
+    std::fclose(F);
+  }
+  return Path;
+}
+
+/// The "  X = ..." result line printed after --run, or "" if absent.
+std::string xLine(const std::string &Output) {
+  size_t Pos = Output.find("  X =");
+  if (Pos == std::string::npos)
+    return "";
+  return Output.substr(Pos, Output.find('\n', Pos) - Pos);
+}
+
+TEST(FlattencCli, StrategyVariantsAgreeOnResults) {
+  // The semantic-preservation contract at the CLI boundary: the same
+  // program and inputs produce identical results under every forced
+  // loop strategy, and the applied strategy is echoed.
+  std::string Fix = writeNestFixture();
+  std::string Baseline;
+  for (const char *S : {"unflattened", "flattened", "coalesced"}) {
+    CliResult R = runFlattenc(
+        std::string("--strategy=") + S +
+        " --run --lanes=4 --set K=8 --set-array L=8,1,1,1,1,1,1,1 " +
+        Fix);
+    EXPECT_EQ(R.ExitCode, 0) << S << ":\n" << R.Output;
+    EXPECT_NE(R.Output.find(std::string("flattenc: strategy: ") + S),
+              std::string::npos)
+        << S << ":\n" << R.Output;
+    std::string X = xLine(R.Output);
+    EXPECT_FALSE(X.empty()) << S << ":\n" << R.Output;
+    if (Baseline.empty())
+      Baseline = X;
+    else
+      EXPECT_EQ(X, Baseline) << S << " diverged:\n" << R.Output;
+  }
+  std::remove(Fix.c_str());
+}
+
+TEST(FlattencCli, AdaptiveTwoPassPicksFromTheProfile) {
+  // One hot row on 4 lanes: the profiled distribution makes the
+  // balanced coalesced schedule the model's winner. Uniform trips keep
+  // the plain unflattened build. Both runs must produce the identical
+  // result array the forced-strategy runs produce.
+  std::string Fix = writeNestFixture();
+  std::string Stats =
+      "/tmp/flattenc_cli_stats_" + std::to_string(getpid()) + ".json";
+  CliResult Skew = runFlattenc(
+      "--adaptive --run --lanes=4 --set K=8 "
+      "--set-array L=8,1,1,1,1,1,1,1 --stats-json=" +
+      Stats + " " + Fix);
+  EXPECT_EQ(Skew.ExitCode, 0) << Skew.Output;
+  EXPECT_NE(Skew.Output.find("adaptive profile chose coalesced"),
+            std::string::npos)
+      << Skew.Output;
+  EXPECT_NE(Skew.Output.find("flattenc: strategy: coalesced"),
+            std::string::npos)
+      << Skew.Output;
+  EXPECT_FALSE(xLine(Skew.Output).empty()) << Skew.Output;
+
+  CliResult Uniform = runFlattenc(
+      "--adaptive --run --lanes=4 --set K=8 "
+      "--set-array L=5,5,5,5,5,5,5,5 " +
+      Fix);
+  EXPECT_EQ(Uniform.ExitCode, 0) << Uniform.Output;
+  EXPECT_NE(Uniform.Output.find("adaptive profile chose unflattened"),
+            std::string::npos)
+      << Uniform.Output;
+
+  // The stats document records the verdict for offline analysis.
+  std::string Doc;
+  if (FILE *F = std::fopen(Stats.c_str(), "r")) {
+    std::array<char, 4096> Buf;
+    size_t N;
+    while ((N = fread(Buf.data(), 1, Buf.size(), F)) > 0)
+      Doc.append(Buf.data(), N);
+    std::fclose(F);
+  }
+  EXPECT_NE(Doc.find("\"adaptive\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("coalesced"), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"confidence\""), std::string::npos) << Doc;
+  std::remove(Stats.c_str());
+  std::remove(Fix.c_str());
+}
+
+TEST(FlattencCli, AdaptiveAndStrategyFlagValidation) {
+  std::string Fix = writeNestFixture();
+  // --adaptive needs a run to profile.
+  EXPECT_EQ(runFlattenc("--adaptive " + Fix).ExitCode, 2);
+  // --adaptive picks the strategy itself.
+  EXPECT_EQ(runFlattenc("--adaptive --run --strategy=flattened " + Fix)
+                .ExitCode,
+            2);
+  // Unknown strategy name.
+  EXPECT_EQ(runFlattenc("--strategy=warp " + Fix).ExitCode, 2);
+  // Strategies drive the full SIMD pipeline.
+  EXPECT_EQ(
+      runFlattenc("--strategy=flattened --emit=flat " + Fix).ExitCode, 2);
+  EXPECT_EQ(
+      runFlattenc("--strategy=flattened --no-flatten " + Fix).ExitCode,
+      2);
+  std::remove(Fix.c_str());
 }
 
 } // namespace

@@ -111,6 +111,56 @@ TEST(FlattendCli, EngineFlagSelectsBackendAndIsEchoed) {
   EXPECT_EQ(runFlattend("--engine=warp", "").ExitCode, 2);
 }
 
+/// A request whose program has the DOALL/DO nest the adaptive layer
+/// profiles; trips come from the L array.
+std::string nestRequest(int Id, const std::string &LValues) {
+  return "{\"id\": " + std::to_string(Id) +
+         ", \"source\": \"PROGRAM WIDE\\nINTEGER K\\n"
+         "DISTRIBUTED INTEGER L(8)\\nDISTRIBUTED INTEGER X(8, 64)\\n"
+         "INTEGER i\\nINTEGER j\\nBEGIN\\n  DOALL i = 1, K\\n"
+         "    DO j = 1, L(i)\\n      X(i, j) = i * j\\n    ENDDO\\n"
+         "  ENDDO\\nEND\\n\", \"ints\": {\"K\": 8}, "
+         "\"int_arrays\": {\"L\": [" +
+         LValues + "]}, \"lanes\": 4, \"fuel\": 100000}";
+}
+
+TEST(FlattendCli, AdaptiveModeDecidesAndTagsReplies) {
+  // Repeated probe runs accumulate the trip profile; once the decision
+  // fires, replies carry the chosen strategy and a positive epoch, and
+  // the summary counts the decision. Without --adaptive every reply
+  // stays tagged "static".
+  std::string In;
+  for (int I = 1; I <= 12; ++I)
+    In += nestRequest(I, "6,6,6,6,6,6,6,6") + "\n";
+
+  CliResult Adaptive = runFlattend(
+      "--workers=1 --adaptive --adaptive-min-samples=4", In);
+  EXPECT_EQ(Adaptive.ExitCode, 0) << Adaptive.Output;
+  EXPECT_EQ(Adaptive.Output.find("\"strategy\":\"static\""),
+            std::string::npos)
+      << "adaptive replies must be tagged with a real strategy:\n"
+      << Adaptive.Output;
+  EXPECT_NE(Adaptive.Output.find("\"strategy\":\"unflattened\""),
+            std::string::npos)
+      << Adaptive.Output;
+  EXPECT_NE(Adaptive.Output.find("\"strategy_epoch\":1"),
+            std::string::npos)
+      << "a decision must bump the epoch:\n"
+      << Adaptive.Output;
+  EXPECT_NE(Adaptive.Output.find("\"adaptive\":true"), std::string::npos)
+      << Adaptive.Output;
+  EXPECT_EQ(Adaptive.Output.find("\"adaptive_decisions\":0"),
+            std::string::npos)
+      << "the summary must count the decision:\n"
+      << Adaptive.Output;
+
+  CliResult Static = runFlattend("--workers=1", nestRequest(1, "6,6,6,6,6,6,6,6") + "\n");
+  EXPECT_EQ(Static.ExitCode, 0) << Static.Output;
+  EXPECT_NE(Static.Output.find("\"strategy\":\"static\""),
+            std::string::npos)
+      << Static.Output;
+}
+
 TEST(FlattendCli, ExceptionBarrierExitsFourWithDiagnostic) {
   CliResult R = runFlattend("--test-throw", "");
   EXPECT_EQ(R.ExitCode, 4) << R.Output;

@@ -106,6 +106,34 @@ TEST(PerfCompare, UngatedMetricsNeverRegress) {
   EXPECT_FALSE(R->Deltas[0].Regressed);
 }
 
+TEST(PerfCompare, TripHistogramCountersAreInformational) {
+  // A workload re-seed can shift the trip profile arbitrarily; the
+  // histogram counters must never fail the gate, even when a producer
+  // (old bench binary, hand-edited baseline) marked them gated.
+  auto R = compareBenchJson(
+      makeDoc({{"a", "trip_hist_samples", 64.0, /*Gate=*/true},
+               {"a", "trip_hist_mean", 6.0, /*Gate=*/true},
+               {"a", "trip_hist_exact_6", 64.0, /*Gate=*/true},
+               {"a", "work_steps", 100.0}}),
+      makeDoc({{"a", "trip_hist_samples", 640.0, /*Gate=*/true},
+               {"a", "trip_hist_mean", 60.0, /*Gate=*/true},
+               {"a", "trip_hist_exact_6", 0.0, /*Gate=*/true},
+               {"a", "work_steps", 100.0}}));
+  ASSERT_TRUE(R.ok()) << R.error().render();
+  EXPECT_TRUE(R->ok());
+  EXPECT_EQ(R->regressionCount(), 0);
+  for (const MetricDelta &D : R->Deltas)
+    EXPECT_FALSE(D.Regressed) << D.Case << "/" << D.Metric;
+  // And a dropped histogram counter is not a "gated metric dropped"
+  // warning either: the gate flag was stripped on both sides.
+  auto R2 = compareBenchJson(
+      makeDoc({{"a", "trip_hist_log2_2", 8.0, /*Gate=*/true},
+               {"a", "work_steps", 100.0}}),
+      makeDoc({{"a", "work_steps", 100.0}}));
+  ASSERT_TRUE(R2.ok());
+  EXPECT_TRUE(R2->MissingInNew.empty());
+}
+
 TEST(PerfCompare, CustomThreshold) {
   CompareOptions Opts;
   Opts.Threshold = 0.5;

@@ -32,7 +32,8 @@ constexpr int64_t K = 4;
 constexpr int64_t MaxTrip = 3;
 
 /// DOALL i = 1, K { DO j = 1, L(i) { X(i,j) = i*10+j; A(i) += j } } -
-/// the perfect nest both coalesceNest and the pipeline accept.
+/// a perfect nest the pipeline flattens; the A(i) reduction makes it
+/// ineligible for coalescing (iterations of one row would race).
 Program makeNest() {
   Program P("degenerate");
   P.addVar("K", ScalarKind::Int);
@@ -48,6 +49,31 @@ Program makeNest() {
                                  B.var("j"))));
   Inner.push_back(B.assign(B.at("A", B.var("i")),
                            B.add(B.at("A", B.var("i")), B.var("j"))));
+  Body Outer;
+  Outer.push_back(
+      B.doLoop("j", B.lit(1), B.at("L", B.var("i")), std::move(Inner)));
+  P.body().push_back(B.doLoop("i", B.lit(1), B.var("K"),
+                              std::move(Outer), nullptr,
+                              /*IsParallel=*/true));
+  return P;
+}
+
+/// The same nest without the A(i) reduction: every store varies with j,
+/// so coalesceNest accepts it. A stays declared (and all-zero) so the
+/// run helpers work unchanged.
+Program makeCoalesceableNest() {
+  Program P("degenerate");
+  P.addVar("K", ScalarKind::Int);
+  P.addVar("L", ScalarKind::Int, {K}, Dist::Distributed);
+  P.addVar("X", ScalarKind::Int, {K, MaxTrip}, Dist::Distributed);
+  P.addVar("A", ScalarKind::Int, {K}, Dist::Distributed);
+  P.addVar("i", ScalarKind::Int);
+  P.addVar("j", ScalarKind::Int);
+  Builder B(P);
+  Body Inner;
+  Inner.push_back(B.assign(B.at("X", B.var("i"), B.var("j")),
+                           B.add(B.mul(B.var("i"), B.lit(10)),
+                                 B.var("j"))));
   Body Outer;
   Outer.push_back(
       B.doLoop("j", B.lit(1), B.at("L", B.var("i")), std::move(Inner)));
@@ -106,8 +132,8 @@ std::vector<std::vector<int64_t>> allTripAssignments() {
 }
 
 TEST(DegenerateTrips, CoalescePathMatchesReference) {
-  Program Ref = makeNest();
-  Program Coal = makeNest();
+  Program Ref = makeCoalesceableNest();
+  Program Coal = makeCoalesceableNest();
   CoalesceResult CR = coalesceNest(Coal, K, K * MaxTrip);
   ASSERT_TRUE(CR.Changed) << CR.Reason;
 
@@ -117,6 +143,36 @@ TEST(DegenerateTrips, CoalescePathMatchesReference) {
     EXPECT_EQ(Got.X, Want.X) << printProgram(Coal);
     EXPECT_EQ(Got.A, Want.A);
     EXPECT_EQ(Got.BodyCount, Want.BodyCount);
+  }
+}
+
+TEST(DegenerateTrips, CoalesceDeclinesRowReduction) {
+  // A(i) = A(i) + j carries a dependence over j that only the
+  // sequential inner loop orders; a coalesced DOALL would race it on
+  // any parallel machine, so the transform must refuse.
+  Program P = makeNest();
+  CoalesceResult CR = coalesceNest(P, K, K * MaxTrip);
+  EXPECT_FALSE(CR.Changed);
+  EXPECT_NE(CR.Reason.find("not independent"), std::string::npos)
+      << CR.Reason;
+}
+
+TEST(DegenerateTrips, CoalescedSimdMatchesReference) {
+  // The full strategy path: coalesce through the pipeline, then run the
+  // simdized executor on the lockstep machine across the whole sweep.
+  Program Ref = makeCoalesceableNest();
+  PipelineOptions PO;
+  PO.Strategy = StrategyPolicy::coalesced(K, K * MaxTrip);
+  PipelineReport Rep;
+  Program Simd = compileForSimd(makeCoalesceableNest(), PO, &Rep).value();
+  ASSERT_EQ(Rep.StrategyApplied, analysis::Strategy::Coalesced)
+      << Rep.summary();
+
+  for (const std::vector<int64_t> &L : allTripAssignments()) {
+    Outcome Want = runScalar(Ref, L);
+    Outcome Got = runSimd(Simd, L);
+    EXPECT_EQ(Got.X, Want.X) << printProgram(Simd);
+    EXPECT_EQ(Got.A, Want.A);
   }
 }
 

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/LoopNests.h"
+#include "analysis/Profitability.h"
 #include "analysis/Safety.h"
 #include "exec/Bytecode.h"
 #include "exec/Lower.h"
@@ -60,6 +61,8 @@ struct CliOptions {
   std::optional<transform::FlattenLevel> Level;
   bool AssumeMinOne = false;
   bool NoFlatten = false;
+  std::optional<analysis::Strategy> Strategy;
+  bool Adaptive = false;
   bool Analyze = false;
   bool Run = false;
   bool DumpBytecode = false;
@@ -82,6 +85,14 @@ void usage() {
       "  --assume-min-one       assert inner loops run at least once\n"
       "  --layout=cyclic|block  lane layout for the parallel loop\n"
       "  --no-flatten           SIMDize without flattening (Fig. 5 path)\n"
+      "  --strategy=unflattened|flattened|coalesced\n"
+      "                         build the nest under an explicit loop\n"
+      "                         strategy (with --emit=simd)\n"
+      "  --adaptive             two-pass profile-guided build (with\n"
+      "                         --run): execute the unflattened variant\n"
+      "                         on the given inputs to observe the trip\n"
+      "                         distribution, let the Sec. 6 cost model\n"
+      "                         pick the strategy, then build and run it\n"
       "  --analyze              print the loop-nest analysis and exit\n"
       "  --run                  execute on the SIMD simulator\n"
       "  --engine=tree|bytecode|hostsimd\n"
@@ -165,6 +176,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Layout = V;
     } else if (A == "--no-flatten") {
       Opts.NoFlatten = true;
+    } else if (A.rfind("--strategy", 0) == 0) {
+      analysis::Strategy St;
+      if (!optionValue(A, V) || !analysis::strategyFromName(V, St))
+        return cliError("flattenc: --strategy expects unflattened|"
+                        "flattened|coalesced, got '%s'",
+                        A);
+      Opts.Strategy = St;
+    } else if (A == "--adaptive") {
+      Opts.Adaptive = true;
     } else if (A == "--analyze") {
       Opts.Analyze = true;
     } else if (A == "--run") {
@@ -248,6 +268,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     usage();
     return false;
   }
+  if (Opts.Adaptive && Opts.Strategy) {
+    std::fprintf(stderr, "flattenc: --adaptive picks the strategy itself; "
+                         "drop --strategy\n");
+    usage();
+    return false;
+  }
+  if (Opts.Adaptive && !Opts.Run) {
+    std::fprintf(stderr, "flattenc: --adaptive profiles a real execution; "
+                         "it requires --run\n");
+    usage();
+    return false;
+  }
+  if ((Opts.Adaptive || Opts.Strategy) &&
+      (Opts.Emit != "simd" || Opts.NoFlatten)) {
+    std::fprintf(stderr, "flattenc: --strategy/--adaptive drive the full "
+                         "SIMD pipeline; they need --emit=simd and no "
+                         "--no-flatten\n");
+    usage();
+    return false;
+  }
   return true;
 }
 
@@ -274,6 +314,21 @@ bool checkSetName(const ir::Program &P, const std::string &Name,
     return false;
   }
   return true;
+}
+
+/// Maps a cost-model verdict onto the pipeline policy that builds it.
+/// Coalesced builds get the standard static inspector bounds; the
+/// profiling pass already rejected distributions that exceed them.
+transform::StrategyPolicy policyFor(analysis::Strategy S) {
+  switch (S) {
+  case analysis::Strategy::Unflattened:
+    return transform::StrategyPolicy::unflattened();
+  case analysis::Strategy::Flattened:
+    return transform::StrategyPolicy::flattened();
+  case analysis::Strategy::Coalesced:
+    return transform::StrategyPolicy::coalesced(64, 4096);
+  }
+  return transform::StrategyPolicy::flattened();
 }
 
 } // namespace
@@ -314,6 +369,7 @@ int realMain(int Argc, char **Argv) {
   // writeStats() at the successful exits.
   std::optional<transform::PipelineReport> PipelineRep;
   std::optional<interp::RunStats> RunStats;
+  std::optional<json::Value> AdaptiveJson;
   auto writeStats = [&]() -> bool {
     if (Opts.StatsJsonPath.empty())
       return true;
@@ -323,6 +379,8 @@ int realMain(int Argc, char **Argv) {
     Doc.set("goto_loops_recovered", static_cast<int64_t>(Recovered));
     if (PipelineRep)
       Doc.set("pipeline", transform::toJson(*PipelineRep));
+    if (AdaptiveJson)
+      Doc.set("adaptive", *AdaptiveJson);
     if (RunStats) {
       Doc.set("engine", interp::engineName(Opts.Eng));
       Doc.set("run_stats", interp::toJson(*RunStats, Opts.Eng));
@@ -386,6 +444,89 @@ int realMain(int Argc, char **Argv) {
     return writeStats() ? 0 : 2;
   }
 
+  // --adaptive pass 1: build and run the *unflattened* variant on the
+  // provided inputs. Its inner serial loop records one trip sample per
+  // source row -- exactly the distribution the Sec. 6 cost model
+  // consumes (a transformed variant would report its own schedule and
+  // hide the source skew). The verdict then drives the real build.
+  if (Opts.Adaptive) {
+    transform::PipelineOptions PPO;
+    PPO.Layout = Layout;
+    PPO.AssumeInnerMinOneTrip = Opts.AssumeMinOne;
+    PPO.Strategy = transform::StrategyPolicy::unflattened();
+    auto Profiled = transform::compileForSimd(P, PPO, nullptr);
+    if (!Profiled) {
+      std::fprintf(stderr, "flattenc: %s\n",
+                   Profiled.error().render().c_str());
+      return 1;
+    }
+    for (const auto &[Name, V] : Opts.Sets)
+      if (!checkSetName(*Profiled, Name, /*WantArray=*/false))
+        return 2;
+    for (const auto &[Name, Vals] : Opts.SetArrays) {
+      if (!checkSetName(*Profiled, Name, /*WantArray=*/true))
+        return 2;
+      int64_t Want = Profiled->lookupVar(Name)->numElements();
+      if (static_cast<int64_t>(Vals.size()) != Want) {
+        std::fprintf(stderr,
+                     "flattenc: --set-array '%s' expects %lld value(s), "
+                     "got %zu\n",
+                     Name.c_str(), static_cast<long long>(Want),
+                     Vals.size());
+        return 2;
+      }
+    }
+    machine::MachineConfig PM;
+    PM.Name = "flattenc-profile";
+    PM.Processors = Opts.Lanes;
+    PM.Gran = Opts.Lanes;
+    PM.DataLayout = Layout;
+    interp::RunOptions PRO;
+    PRO.Fuel = Opts.Fuel;
+    // The tree engine records no trip nests; profile on bytecode
+    // regardless of which engine --engine picked for the real run.
+    PRO.Eng = interp::Engine::Bytecode;
+    interp::SimdInterp Profiler(*Profiled, PM, nullptr, PRO);
+    for (const auto &[Name, V] : Opts.Sets)
+      Profiler.store().setInt(Name, V);
+    for (const auto &[Name, Vals] : Opts.SetArrays)
+      Profiler.store().setIntArray(Name, Vals);
+    interp::RunOutcome<interp::SimdRunResult> POut = Profiler.run();
+    if (!POut) {
+      std::fprintf(stderr, "flattenc: profiling run: %s\n",
+                   POut.error().render().c_str());
+      return 3;
+    }
+    const interp::NestTripStats *Dom =
+        analysis::dominantTripNest(POut->Stats.TripNests);
+    analysis::StrategyCosts Costs;
+    Costs.CoalesceMaxOuter = 64;
+    Costs.CoalesceMaxTotal = 4096;
+    analysis::StrategyChoice C;
+    if (Dom)
+      C = analysis::chooseStrategy(
+          analysis::TripDistribution(Dom->Hist), Opts.Lanes, Layout,
+          Costs);
+    std::fprintf(stderr,
+                 "flattenc: adaptive profile chose %s "
+                 "(confidence %.2f, %lld trip sample(s))\n",
+                 analysis::strategyName(C.Primary), C.Confidence,
+                 static_cast<long long>(Dom ? Dom->Hist.Samples : 0));
+    Opts.Strategy = C.Primary;
+    json::Value AJ = json::Value::object();
+    AJ.set("chosen", analysis::strategyName(C.Primary));
+    AJ.set("confidence", C.Confidence);
+    AJ.set("profiled_samples",
+           Dom ? Dom->Hist.Samples : static_cast<int64_t>(0));
+    json::Value Scores = json::Value::object();
+    for (analysis::Strategy S :
+         {analysis::Strategy::Unflattened, analysis::Strategy::Flattened,
+          analysis::Strategy::Coalesced})
+      Scores.set(analysis::strategyName(S), C.scoreOf(S));
+    AJ.set("scores", std::move(Scores));
+    AdaptiveJson = std::move(AJ);
+  }
+
   if (Opts.Emit == "flat" && !Opts.NoFlatten) {
     transform::FlattenOptions FOpts;
     FOpts.Force = Opts.Level;
@@ -407,9 +548,14 @@ int realMain(int Argc, char **Argv) {
     PO.Flatten = !Opts.NoFlatten;
     PO.ForceLevel = Opts.Level;
     PO.AssumeInnerMinOneTrip = Opts.AssumeMinOne;
+    if (Opts.Strategy)
+      PO.Strategy = policyFor(*Opts.Strategy);
     transform::PipelineReport Rep;
     auto Compiled = transform::compileForSimd(P, PO, &Rep);
     std::fputs(("flattenc: " + Rep.summary()).c_str(), stderr);
+    if (Opts.Strategy)
+      std::fprintf(stderr, "flattenc: strategy: %s\n",
+                   analysis::strategyName(Rep.StrategyApplied));
     PipelineRep = Rep;
     if (!Compiled) {
       std::fprintf(stderr, "flattenc: %s\n",

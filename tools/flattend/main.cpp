@@ -120,6 +120,20 @@ void usage() {
       "                           (default 0: count-driven only)\n"
       "  --drain-deadline-ms=N    hard bound on the SIGINT/SIGTERM\n"
       "                           graceful drain (default 5000)\n"
+      "  --adaptive               profile-guided strategy selection:\n"
+      "                           probe runs observe each program's trip\n"
+      "                           distribution, the Sec. 6 cost model\n"
+      "                           picks unflattened/flattened/coalesced,\n"
+      "                           and drift triggers respecialization\n"
+      "  --adaptive-min-samples=N trip samples before the first decision\n"
+      "                           (default 8)\n"
+      "  --adaptive-probe-every=N post-decision probe cadence (default\n"
+      "                           8; 0 disables drift tracking)\n"
+      "  --adaptive-drift-percent=N\n"
+      "                           re-decide when the probe window's\n"
+      "                           total-variation distance from the\n"
+      "                           decision snapshot exceeds N%% (default\n"
+      "                           25)\n"
       "  --layout=cyclic|block    lane layout (default cyclic)\n"
       "  --engine=tree|bytecode|hostsimd\n"
       "                           execution engine (default bytecode;\n"
@@ -233,6 +247,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
        [](CliOptions &O, int64_t N) { O.Server.Breaker.CooldownMicros = N; }},
       {"--drain-deadline-ms", 0,
        [](CliOptions &O, int64_t N) { O.DrainDeadlineMs = N; }},
+      {"--adaptive-min-samples", 1,
+       [](CliOptions &O, int64_t N) { O.Server.AdaptiveMinSamples = N; }},
+      {"--adaptive-probe-every", 0,
+       [](CliOptions &O, int64_t N) { O.Server.AdaptiveProbeEvery = N; }},
+      {"--adaptive-drift-percent", 0,
+       [](CliOptions &O, int64_t N) {
+         O.Server.AdaptiveDriftThreshold = (double)N / 100.0;
+       }},
       {"--fault-compile-failures", 0,
        [](CliOptions &O, int64_t N) {
          O.Server.Faults.CompileFailures = (int)N;
@@ -266,6 +288,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       continue;
     if (A == "--fault-evict-mid-flight") {
       Opts.Server.Faults.EvictMidFlight = true;
+    } else if (A == "--adaptive") {
+      Opts.Server.Adaptive = true;
     } else if (A == "--health") {
       Opts.Health = true;
     } else if (A.rfind("--layout", 0) == 0) {
@@ -542,6 +566,7 @@ int realMain(int Argc, char **Argv) {
   json::Value Summary = json::Value::object();
   Summary.set("summary", true);
   Summary.set("engine", interp::engineName(Opts.Server.Eng));
+  Summary.set("adaptive", Opts.Server.Adaptive);
   Summary.set("lines", (int64_t)Replies.size());
   Summary.set("bad_lines", BadLines);
   Summary.set("answered", Answered);

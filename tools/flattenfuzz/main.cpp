@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/AdaptiveCampaign.h"
 #include "fuzz/Campaign.h"
 #include "fuzz/Corpus.h"
 #include "fuzz/Generator.h"
@@ -70,6 +71,11 @@ void usage() {
       "  --campaign=serve   serving-core fault campaign (mixed hostile\n"
       "                     traffic, queue saturation, injected compile\n"
       "                     failures, mid-flight eviction)\n"
+      "  --campaign=adaptive\n"
+      "                     adaptive-strategy campaign (drifting trip\n"
+      "                     distributions, strategy flips under cache\n"
+      "                     chaos, poisoned-primary fallback; exactness\n"
+      "                     and accounting must hold throughout)\n"
       "  --export=PATH      write the --seed case as a corpus file\n"
       "  --out=DIR          directory for shrunk divergence cases\n"
       "  --break-guard-cache\n"
@@ -141,9 +147,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                         A);
       Opts.ReplayPath = V;
     } else if (A.rfind("--campaign", 0) == 0) {
-      if (!optionValue(A, V) || (V != "faults" && V != "serve"))
-        return cliError("flattenfuzz: --campaign expects 'faults' or "
-                        "'serve', got '%s'",
+      if (!optionValue(A, V) ||
+          (V != "faults" && V != "serve" && V != "adaptive"))
+        return cliError("flattenfuzz: --campaign expects 'faults', "
+                        "'serve' or 'adaptive', got '%s'",
                         A);
       Opts.Campaign = V;
     } else if (A.rfind("--export", 0) == 0) {
@@ -248,6 +255,33 @@ int runServe(const CliOptions &Opts) {
   return SR.ok() ? 0 : 1;
 }
 
+int runAdaptive(const CliOptions &Opts) {
+  AdaptiveCampaignOptions AO;
+  AO.BaseSeed = Opts.Seed;
+  // --count sizes each drift regime; the chaos and fallback phases
+  // scale with it or are fixed-shape.
+  AO.Count = static_cast<int>(std::min<int64_t>(Opts.Count, 1'000));
+  AdaptiveCampaignResult AR = runAdaptiveCampaign(AO);
+  for (const std::string &F : AR.Failures)
+    std::fprintf(stderr, "flattenfuzz: %s\n", F.c_str());
+  std::string Strategies;
+  for (const std::string &S : AR.StrategiesSeen)
+    Strategies += (Strategies.empty() ? "" : ",") + S;
+  std::printf("flattenfuzz: adaptive campaign submitted %lld "
+              "request(s): %lld served, %lld trapped, %lld shed, %lld "
+              "compile error(s); %lld decision(s), %lld "
+              "respecialization(s), strategies [%s]; %zu failure(s)\n",
+              static_cast<long long>(AR.Submitted),
+              static_cast<long long>(AR.Served),
+              static_cast<long long>(AR.Trapped),
+              static_cast<long long>(AR.Shed),
+              static_cast<long long>(AR.CompileErrors),
+              static_cast<long long>(AR.Decisions),
+              static_cast<long long>(AR.Respecializations),
+              Strategies.c_str(), AR.Failures.size());
+  return AR.ok() ? 0 : 1;
+}
+
 int runCampaign(const CliOptions &Opts) {
   CampaignOptions CO;
   CO.BaseSeed = Opts.Seed;
@@ -334,6 +368,8 @@ int main(int Argc, char **Argv) {
     return runReplay(Opts);
   if (Opts.Campaign == "serve")
     return runServe(Opts);
+  if (Opts.Campaign == "adaptive")
+    return runAdaptive(Opts);
   if (!Opts.Campaign.empty())
     return runCampaign(Opts);
   if (!Opts.ExportPath.empty())
