@@ -2,6 +2,7 @@
 
 #include "exec/Bytecode.h"
 
+#include "interp/Trap.h"
 #include "support/Error.h"
 
 #include <cstdio>
@@ -165,8 +166,21 @@ std::string annotate(const Program &P, const Instr &I) {
   case Opcode::CallOp:
     return " ; " + P.Callees[I.B];
   case Opcode::TrapMsg:
+    // A is a TrapKind, not a register: show its name so a reader does
+    // not chase a phantom register index.
+    return " ; " +
+           std::string(interp::trapKindName(
+               static_cast<interp::TrapKind>(I.A))) +
+           " \"" + P.Msgs[I.B] + "\"";
   case Opcode::CheckStep:
     return " ; \"" + P.Msgs[I.B] + "\"";
+  case Opcode::UBrFalse:
+    // B is the uniformity-violation message index.
+    return " ; \"" + P.Msgs[I.B] + "\"";
+  case Opcode::CtlFromReg:
+    // C names the uniformity message in simd mode; scalar lowering
+    // leaves it -1 (no message, nothing to symbolize).
+    return I.C >= 0 ? " ; \"" + P.Msgs[I.C] + "\"" : std::string();
   case Opcode::TripRec:
     return " ; " + P.LoopNames[I.B];
   default:

@@ -57,7 +57,13 @@ private:
   /// counters, so tree/bytecode equality is unaffected.
   int32_t newLoop(const std::string &Kind) {
     int32_t Id = static_cast<int32_t>(Out.LoopNames.size());
-    Out.LoopNames.push_back("L" + std::to_string(Id) + " " + Kind);
+    // Appended piecewise: GCC 12's -O2 -Werror=restrict misfires on
+    // the `"lit" + std::string&&` concatenation chain here.
+    std::string Name = "L";
+    Name += std::to_string(Id);
+    Name += ' ';
+    Name += Kind;
+    Out.LoopNames.push_back(std::move(Name));
     Out.LoopDepths.push_back(LoopDepth);
     return Id;
   }

@@ -288,6 +288,37 @@ void compareEngines(const VariantOutcome &TreeOut,
     Fail("RunStats differ between engines");
 }
 
+/// Bitwise trip-histogram identity between two lowered engines (the
+/// tree oracle records none, so this compares bytecode against
+/// hostsimd/native). Histograms are uncharged telemetry, but the
+/// serving layer's adaptive respecialization keys off them - an engine
+/// that drifts here silently changes strategy decisions.
+void compareTripNests(const VariantOutcome &ByteOut,
+                      const VariantOutcome &Other, const char *EngName,
+                      std::vector<std::string> &Failures) {
+  if (ByteOut.Skipped || Other.Skipped)
+    return;
+  auto Fail = [&](const std::string &What) {
+    Failures.push_back(ByteOut.Variant + " [engine " + EngName +
+                       "]: " + What);
+  };
+  const auto &A = ByteOut.Stats.TripNests, &B = Other.Stats.TripNests;
+  if (A.size() != B.size()) {
+    Fail("trip nest count " + std::to_string(B.size()) +
+         " != bytecode " + std::to_string(A.size()));
+    return;
+  }
+  for (size_t I = 0; I < A.size(); ++I) {
+    const interp::NestTripStats &X = A[I], &Y = B[I];
+    if (X.Name != Y.Name || X.Depth != Y.Depth ||
+        X.Hist.Exact != Y.Hist.Exact || X.Hist.Log2 != Y.Hist.Log2 ||
+        X.Hist.Samples != Y.Hist.Samples || X.Hist.Sum != Y.Hist.Sum ||
+        X.Hist.Max != Y.Hist.Max)
+      Fail("trip histogram for nest '" + X.Name +
+           "' differs from bytecode");
+  }
+}
+
 /// Tick entries are excluded from multiset comparison: a lockstep
 /// WHILE ANY() guard is evaluated speculatively on finished lanes.
 std::vector<std::string> sortedLogLessTicks(
@@ -351,17 +382,27 @@ OracleResult fuzz::runOracle(const FuzzCase &C, const OracleOptions &Opts) {
   OracleResult Res;
 
   // Every variant runs three times - tree-walk reference engine, then
-  // the bytecode engine, then the host-SIMD backend - and each lowered
-  // engine is held to exact equality with the tree before the bytecode
-  // outcome joins the cross-executor comparison below. (On variants
-  // without SIMD lanes HostSimd takes the bytecode path by design; the
-  // triple still pins the dispatch plumbing.)
-  auto pushTwin = [&Res](auto Make) {
+  // the bytecode engine, then the host-SIMD backend - four with
+  // Opts.Native (the JIT'd native tier) - and each lowered engine is
+  // held to exact equality with the tree before the bytecode outcome
+  // joins the cross-executor comparison below. (On variants without
+  // SIMD lanes HostSimd and Native take the bytecode path by design;
+  // the tuple still pins the dispatch plumbing.)
+  auto pushTwin = [&Res, &Opts](auto Make) {
     VariantOutcome TreeOut = Make(Engine::Tree);
     VariantOutcome ByteOut = Make(Engine::Bytecode);
     VariantOutcome HostOut = Make(Engine::HostSimd);
     compareEngines(TreeOut, ByteOut, "bytecode", Res.Failures);
     compareEngines(TreeOut, HostOut, "hostsimd", Res.Failures);
+    compareTripNests(ByteOut, HostOut, "hostsimd", Res.Failures);
+    if (Opts.Native) {
+      // The quad leg: JIT'd native loops, held to the same bar (on a
+      // toolchain-less build Native degrades to bytecode and trivially
+      // agrees - the leg then pins the fallback plumbing instead).
+      VariantOutcome NatOut = Make(Engine::Native);
+      compareEngines(TreeOut, NatOut, "native", Res.Failures);
+      compareTripNests(ByteOut, NatOut, "native", Res.Failures);
+    }
     Res.Variants.push_back(std::move(ByteOut));
   };
 

@@ -56,6 +56,15 @@ struct OracleOptions {
   /// oracle must catch this through the extern log whenever the guard
   /// has a side effect (GeneratorOptions::ForceGuardSideEffect).
   bool BreakGuardSideEffectCache = false;
+  /// Also run every variant under Engine::Native (JIT-compiled host
+  /// loops) and hold it to the same exact-equality bar, plus bitwise
+  /// trip-histogram identity against the bytecode engine. Off by
+  /// default: each distinct program shape costs one host-compiler
+  /// invocation, so callers bound the case count (the codegen-smoke CI
+  /// leg and the quad-engine ctest). A build without a toolchain
+  /// degrades Native to bytecode, which still must pass - the flag is
+  /// always safe to set.
+  bool Native = false;
 };
 
 /// What one (stage, executor) variant observed.
@@ -105,12 +114,14 @@ interp::ExternRegistry makeFuzzRegistry(std::vector<std::string> &Log,
 /// reference. Never aborts on a trapping program.
 ///
 /// Every variant executes three times - tree-walk engine, bytecode
-/// engine, host-SIMD backend - and each lowered engine must agree with
+/// engine, host-SIMD backend - four with OracleOptions::Native, which
+/// adds the JIT'd native tier. Each lowered engine must agree with
 /// the tree *exactly*: same stores (bitwise), same body count, same
 /// extern log entry by entry, same trap kind/lanes/location/detail,
-/// same RunStats down to the charged cycle count. A mismatch is
-/// reported as a failure for variant "<name> [engine <eng>]"; Variants
-/// keeps the bytecode outcome.
+/// same RunStats down to the charged cycle count; the lowered engines
+/// must additionally agree among themselves on trip histograms
+/// bitwise. A mismatch is reported as a failure for variant
+/// "<name> [engine <eng>]"; Variants keeps the bytecode outcome.
 OracleResult runOracle(const FuzzCase &C, const OracleOptions &Opts = {});
 
 } // namespace fuzz

@@ -32,16 +32,23 @@ namespace interp {
 /// flat instruction stream while Tree re-walks the AST per statement;
 /// HostSimd runs the same bytecode but maps SIMD lanes onto real host
 /// vector lanes (AVX2 where the build detected it, a hand-rolled
-/// array-of-width fallback otherwise). Tree survives as the reference
-/// oracle. Scalar-mode programs have no lanes, so HostSimd degrades to
-/// the Bytecode path there by design.
+/// array-of-width fallback otherwise). Native compiles the lowered
+/// bytecode to a real C++ translation unit (codegen::CppEmitter), builds
+/// it with the host toolchain and runs the dlopen'd loops; when no
+/// toolchain is available (SIMDFLAT_ENABLE_JIT=OFF, missing compiler,
+/// compile failure) it degrades to the Bytecode path, so selecting it is
+/// always safe. Tree survives as the reference oracle. Scalar-mode
+/// programs have no lanes, so HostSimd and Native degrade to the
+/// Bytecode path there by design.
 enum class Engine {
   Tree,
   Bytecode,
   HostSimd,
+  Native,
 };
 
-/// Stable name for an engine ("tree" / "bytecode" / "hostsimd").
+/// Stable name for an engine ("tree" / "bytecode" / "hostsimd" /
+/// "native").
 inline const char *engineName(Engine E) {
   switch (E) {
   case Engine::Tree:
@@ -50,6 +57,8 @@ inline const char *engineName(Engine E) {
     return "bytecode";
   case Engine::HostSimd:
     return "hostsimd";
+  case Engine::Native:
+    return "native";
   }
   return "bytecode";
 }
@@ -66,6 +75,10 @@ inline bool engineFromName(const std::string &Name, Engine &Out) {
   }
   if (Name == "hostsimd") {
     Out = Engine::HostSimd;
+    return true;
+  }
+  if (Name == "native") {
+    Out = Engine::Native;
     return true;
   }
   return false;

@@ -2,6 +2,7 @@
 
 #include "interp/SimdInterp.h"
 
+#include "codegen/NativeEngine.h"
 #include "exec/Engine.h"
 #include "exec/Lower.h"
 #include "support/Error.h"
@@ -73,19 +74,31 @@ public:
       if (!Compiled)
         Compiled = std::make_shared<exec::Program>(
             exec::lower(Prog, exec::Mode::Simd));
+      Result.EngineUsed = Opts.Eng;
       try {
         // HostSimd runs the same lowered program through the core with
         // host vector kernels; bit-identical, only wall time differs.
+        // Native runs the JIT-compiled loops when a toolchain produced
+        // them, and degrades to the bytecode core otherwise (the result
+        // records which engine actually ran).
         if (Opts.Eng == Engine::HostSimd)
           exec::runSimdHost(*Compiled, Machine, Externs, Opts, Store,
                             Result);
-        else
+        else if (Opts.Eng == Engine::Native &&
+                 codegen::runSimdNative(*Compiled, Prog, Machine, Externs,
+                                        Opts, Store, Result)) {
+          // Ran natively; EngineUsed already says Native.
+        } else {
+          if (Opts.Eng == Engine::Native)
+            Result.EngineUsed = Engine::Bytecode;
           exec::runSimd(*Compiled, Machine, Externs, Opts, Store, Result);
+        }
       } catch (TrapException &E) {
         return std::move(E.T);
       }
       return std::move(Result);
     }
+    Result.EngineUsed = Engine::Tree;
     Result.Tr.Watch = Opts.Watch;
     Result.Tr.Lanes = Lanes;
     try {

@@ -55,6 +55,10 @@ namespace interp {
 struct SimdRunResult {
   RunStats Stats;
   Trace Tr;
+  /// The engine that actually ran. Differs from RunOptions::Eng only
+  /// for Engine::Native, which degrades to Bytecode when no toolchain
+  /// or compiled artifact is available (serving telemetry reports it).
+  Engine EngineUsed = Engine::Bytecode;
 };
 
 /// Lockstep interpreter over Gran lanes.

@@ -196,8 +196,12 @@ struct Telemetry {
   /// profile-guided decision, then incremented on every decision
   /// (initial choice and each drift-triggered respecialization).
   int64_t StrategyEpoch = 0;
-  /// Execution engine tag ("tree" / "bytecode" / "hostsimd"), from
-  /// ServerOptions::Eng.
+  /// Execution engine that actually ran the request ("tree" /
+  /// "bytecode" / "hostsimd" / "native"). Usually ServerOptions::Eng,
+  /// but a request routed to Engine::Native reports "bytecode" when
+  /// the native tier degraded (no toolchain, emitter refusal, or a
+  /// failed host compile) - the tag comes from the interpreter's
+  /// EngineUsed, never assumed.
   std::string Engine = "bytecode";
   /// Tenant the request was accounted to (normalized; never empty in a
   /// reply).
@@ -290,6 +294,11 @@ struct ServerStats {
   /// the next request for that program recompiles under the new
   /// canonical key (subset of AdaptiveDecisions).
   int64_t Respecializations = 0;
+  /// Requests routed to Engine::Native that executed under bytecode
+  /// instead because the native tier's host compile failed or no
+  /// toolchain is available. The native analogue of FallbackServes:
+  /// the request is still Served, one tier down.
+  int64_t NativeFallbacks = 0;
 
   /// Per-tenant counter snapshot (tenants that submitted at least
   /// once).

@@ -292,6 +292,7 @@ json::Value serve::toJson(const ServerStats &S) {
   O.set("drain_sheds", S.DrainSheds);
   O.set("adaptive_decisions", S.AdaptiveDecisions);
   O.set("respecializations", S.Respecializations);
+  O.set("native_fallbacks", S.NativeFallbacks);
   if (!S.Tenants.empty()) {
     json::Value Ts = json::Value::object();
     for (const auto &[Name, T] : S.Tenants) {

@@ -2,6 +2,7 @@
 
 #include "serve/Server.h"
 
+#include "codegen/NativeEngine.h"
 #include "frontend/GotoRecovery.h"
 #include "frontend/Parser.h"
 #include "interp/SimdInterp.h"
@@ -401,18 +402,34 @@ void Server::recordObservedTrips(
   {
     std::lock_guard<std::mutex> Lock(AdaptiveM);
     AdaptiveState &S = AdaptiveStates[BaseKey];
-    for (const interp::NestTripStats &N : Nests) {
-      interp::NestTripStats *Dst = nullptr;
-      for (interp::NestTripStats &Mine : S.Window)
-        if (Mine.Name == N.Name) {
-          Dst = &Mine;
-          break;
+    auto FoldInto = [](std::vector<interp::NestTripStats> &Window,
+                       const std::vector<interp::NestTripStats> &Run) {
+      for (const interp::NestTripStats &N : Run) {
+        interp::NestTripStats *Dst = nullptr;
+        for (interp::NestTripStats &Mine : Window)
+          if (Mine.Name == N.Name) {
+            Dst = &Mine;
+            break;
+          }
+        if (!Dst) {
+          Window.push_back(interp::NestTripStats{N.Name, N.Depth, {}});
+          Dst = &Window.back();
         }
-      if (!Dst) {
-        S.Window.push_back(interp::NestTripStats{N.Name, N.Depth, {}});
-        Dst = &S.Window.back();
+        Dst->Hist.merge(N.Hist);
       }
-      Dst->Hist.merge(N.Hist);
+    };
+    if (Opts.AdaptiveWindow > 0) {
+      // Recency-weighted mode: the evaluation window is exactly the
+      // last AdaptiveWindow probe runs, rebuilt from the ring, so old
+      // observations age out instead of accumulating forever.
+      S.Ring.push_back(Nests);
+      while (static_cast<int64_t>(S.Ring.size()) > Opts.AdaptiveWindow)
+        S.Ring.pop_front();
+      S.Window.clear();
+      for (const std::vector<interp::NestTripStats> &Run : S.Ring)
+        FoldInto(S.Window, Run);
+    } else {
+      FoldInto(S.Window, Nests);
     }
     const interp::NestTripStats *Dom = analysis::dominantTripNest(S.Window);
     if (!Dom || Dom->Hist.Samples < Opts.AdaptiveMinSamples)
@@ -434,6 +451,7 @@ void Server::recordObservedTrips(
         C, Opts.AdaptiveCoalesceMaxOuter, Opts.AdaptiveCoalesceMaxTotal);
     S.Snapshot = Dom->Hist;
     S.Window.clear();
+    S.Ring.clear();
     ++S.Epoch;
     Decided = true;
   }
@@ -646,7 +664,26 @@ Reply Server::process(Job &J) {
   RO.Fuel = R.Fuel;
   RO.Deadline = J.Deadline;
   RO.Eng = Opts.Eng;
-  Tele.Engine = interp::engineName(Opts.Eng);
+  if (RO.Eng == interp::Engine::Native) {
+    // Native artifact production is compilation, not execution: emit
+    // and host-compile here, before the run, under the JIT cache's own
+    // per-artifact single-flight (concurrent requests for the same
+    // program and lane count coalesce onto one compiler invocation,
+    // and a failure is a cached verdict, not a per-request retry
+    // storm). When the tier cannot deliver - no toolchain, the emitter
+    // declined the program, or the host compile failed - this request
+    // degrades to the bytecode engine and is counted: the
+    // breaker/fallback philosophy applied one tier down.
+    Clock::time_point NativeStart = Clock::now();
+    bool Ready = codegen::prepareNative(*Code->Code, Code->Prog, M);
+    Tele.CompileNanos += nanosSince(NativeStart);
+    if (!Ready) {
+      RO.Eng = interp::Engine::Bytecode;
+      std::lock_guard<std::mutex> Lock(StatsM);
+      ++Stats.NativeFallbacks;
+    }
+  }
+  Tele.Engine = interp::engineName(RO.Eng);
 
   interp::SimdInterp Interp(Code->Prog, M, /*Externs=*/nullptr, RO);
   Interp.setCompiled(Code->Code);
@@ -673,6 +710,10 @@ Reply Server::process(Job &J) {
     return Rep;
   }
   Rep.Out = Outcome::Served;
+  // The interpreter's own record of which engine executed is
+  // authoritative (a native run that fell back mid-dispatch reports
+  // bytecode here).
+  Rep.Tele.Engine = interp::engineName(Out->EngineUsed);
   Rep.Tele.FuelSpent = Out->Stats.Instructions;
   Rep.Tele.CyclesSpent = Out->Stats.Cycles;
   // Feed the profile from probe runs only: an exploit variant's loops

@@ -53,6 +53,7 @@
 #include "serve/TenantRegistry.h"
 
 #include <chrono>
+#include <deque>
 #include <future>
 #include <map>
 #include <thread>
@@ -134,6 +135,17 @@ struct ServerOptions {
   /// window and the decision snapshot beyond which the server
   /// re-decides.
   double AdaptiveDriftThreshold = 0.25;
+  /// Recency window for drift detection (flattend --adaptive-window).
+  /// 0 (the default) keeps the legacy behaviour: probe observations
+  /// accumulate from the last decision onward, so a drift that has
+  /// long since receded still weighs on the comparison. N > 0 keeps
+  /// only the N most recent probe runs in a ring; the drift
+  /// total-variation test sees just their merged histogram, so the
+  /// server re-decides on what the workload looks like *now* and a
+  /// transient spike ages out instead of poisoning the window forever.
+  /// AdaptiveMinSamples still gates each evaluation, so N must admit
+  /// at least that many dominant-nest samples for drift to ever fire.
+  int64_t AdaptiveWindow = 0;
   /// After a decision, probe (and profile) every Nth request; the rest
   /// exploit the decided strategy. 0 freezes the choice: no probes, no
   /// drift detection, until the server restarts. Irrelevant while the
@@ -212,8 +224,13 @@ private:
   /// one profile).
   struct AdaptiveState {
     /// Probe-observed per-nest trip stats since the last decision (the
-    /// drift evaluation window; cleared at each decision).
+    /// drift evaluation window; cleared at each decision). With
+    /// ServerOptions::AdaptiveWindow > 0 this is rebuilt from Ring on
+    /// every probe instead of accumulating forever.
     std::vector<interp::NestTripStats> Window;
+    /// The most recent probe runs' per-nest trip stats, newest last;
+    /// bounded by ServerOptions::AdaptiveWindow (unused when 0).
+    std::deque<std::vector<interp::NestTripStats>> Ring;
     /// Dominant-nest histogram the current policy was decided on.
     interp::TripHistogram Snapshot;
     /// Current policy; nullopt until the first decision (every request

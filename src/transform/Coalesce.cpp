@@ -145,16 +145,29 @@ CoalesceResult transform::coalesceNest(Program &P,
   }
 
   Builder B(P);
-  const std::string &IV = Outer->indexVar();
-  const std::string &JV = Inner->indexVar();
-  VarDecl &Total = P.addFreshVar("coalT", ScalarKind::Int);
-  VarDecl &Offs = P.addFreshVar("coalOffs", ScalarKind::Int);
-  Offs.Dims = {MaxOuterIterations};
-  Offs.Distribution = Dist::Distributed;
-  VarDecl &Row = P.addFreshVar("coalRow", ScalarKind::Int);
-  Row.Dims = {MaxTotalIterations};
-  Row.Distribution = Dist::Distributed;
-  VarDecl &T = P.addFreshVar("coalt", ScalarKind::Int);
+  const std::string IV = Outer->indexVar();
+  const std::string JV = Inner->indexVar();
+  // addFreshVar returns a reference into the program's declaration
+  // vector; each later addFreshVar may reallocate it. Configure every
+  // declaration while its reference is still fresh and keep only the
+  // names.
+  struct Names {
+    std::string Total, Offs, Row, T;
+  } N;
+  N.Total = P.addFreshVar("coalT", ScalarKind::Int).Name;
+  {
+    VarDecl &Offs = P.addFreshVar("coalOffs", ScalarKind::Int);
+    Offs.Dims = {MaxOuterIterations};
+    Offs.Distribution = Dist::Distributed;
+    N.Offs = Offs.Name;
+  }
+  {
+    VarDecl &Row = P.addFreshVar("coalRow", ScalarKind::Int);
+    Row.Dims = {MaxTotalIterations};
+    Row.Distribution = Dist::Distributed;
+    N.Row = Row.Name;
+  }
+  N.T = P.addFreshVar("coalt", ScalarKind::Int).Name;
 
   // trips(i) = MAX(0, hi - lo + 1)
   auto Trips = [&]() {
@@ -165,30 +178,30 @@ CoalesceResult transform::coalesceNest(Program &P,
 
   Body Out;
   // Inspector: prefix offsets and total.
-  Out.push_back(B.set(Total.Name, B.lit(0)));
+  Out.push_back(B.set(N.Total, B.lit(0)));
   Out.push_back(B.doLoop(
       IV, B.lit(1), cloneExpr(Outer->hi()),
       Builder::body(
-          B.assign(B.at(Offs.Name, B.var(IV)), B.var(Total.Name)),
-          B.set(Total.Name, B.add(B.var(Total.Name), Trips())))));
+          B.assign(B.at(N.Offs, B.var(IV)), B.var(N.Total)),
+          B.set(N.Total, B.add(B.var(N.Total), Trips())))));
   // Row map: coalRow(offs(i) + j) = i for local j = 1..trips(i).
   Out.push_back(B.doLoop(
       IV, B.lit(1), cloneExpr(Outer->hi()),
       Builder::body(B.doLoop(
-          T.Name, B.lit(1), Trips(),
+          N.T, B.lit(1), Trips(),
           Builder::body(B.assign(
-              B.at(Row.Name, B.add(B.at(Offs.Name, B.var(IV)), B.var(T.Name))),
+              B.at(N.Row, B.add(B.at(N.Offs, B.var(IV)), B.var(N.T))),
               B.var(IV)))))));
   // Executor: a single coalesced DOALL over 1..coalT.
   Body Exec;
-  Exec.push_back(B.set(IV, B.at(Row.Name, B.var(T.Name))));
+  Exec.push_back(B.set(IV, B.at(N.Row, B.var(N.T))));
   Exec.push_back(B.set(
       JV, B.sub(B.add(cloneExpr(Inner->lo()),
-                      B.sub(B.var(T.Name), B.at(Offs.Name, B.var(IV)))),
+                      B.sub(B.var(N.T), B.at(N.Offs, B.var(IV)))),
                 B.lit(1))));
   for (const StmtPtr &S : Inner->body())
     Exec.push_back(cloneStmt(*S));
-  Out.push_back(B.doLoop(T.Name, B.lit(1), B.var(Total.Name),
+  Out.push_back(B.doLoop(N.T, B.lit(1), B.var(N.Total),
                          std::move(Exec), nullptr, /*IsParallel=*/true));
 
   Parent->erase(Parent->begin() + static_cast<long>(Idx));
@@ -196,6 +209,6 @@ CoalesceResult transform::coalesceNest(Program &P,
     Parent->insert(Parent->begin() + static_cast<long>(Idx + I),
                    std::move(Out[I]));
   R.Changed = true;
-  R.TotalVar = Total.Name;
+  R.TotalVar = N.Total;
   return R;
 }

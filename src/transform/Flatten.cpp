@@ -308,25 +308,36 @@ private:
       return true;
     }
     // Block: lane p handles a contiguous chunk with a per-lane bound.
-    VarDecl &Chunk = P.addFreshVar(IV + "chunk", ScalarKind::Int);
-    VarDecl &MyHi = P.addFreshVar(IV + "hi", ScalarKind::Int);
-    Chunk.Distribution = Dist::Control;
-    MyHi.Distribution = Dist::Control;
+    // addFreshVar returns a reference into the program's declaration
+    // vector; a later addFreshVar may reallocate it, so configure each
+    // declaration while its reference is still fresh and keep only the
+    // name.
+    std::string Chunk, MyHi;
+    {
+      VarDecl &CD = P.addFreshVar(IV + "chunk", ScalarKind::Int);
+      CD.Distribution = Dist::Control;
+      Chunk = CD.Name;
+    }
+    {
+      VarDecl &HD = P.addFreshVar(IV + "hi", ScalarKind::Int);
+      HD.Distribution = Dist::Control;
+      MyHi = HD.Name;
+    }
     // chunk = (hi - lo + NUMLANES()) / NUMLANES()   (= ceil(count / P))
     OC.Prelude.push_back(B.set(
-        Chunk.Name,
+        Chunk,
         B.div(B.add(B.sub(cloneExpr(D->hi()), cloneExpr(D->lo())),
                     B.numLanes()),
               B.numLanes())));
     OC.Init.push_back(B.set(
         IV, B.add(cloneExpr(D->lo()),
                   B.mul(B.sub(B.laneIndex(), B.lit(1)),
-                        B.var(Chunk.Name)))));
+                        B.var(Chunk)))));
     OC.Init.push_back(B.set(
-        MyHi.Name,
+        MyHi,
         B.min(cloneExpr(D->hi()),
-              B.sub(B.add(B.var(IV), B.var(Chunk.Name)), B.lit(1)))));
-    OC.Test = B.le(B.var(IV), B.var(MyHi.Name));
+              B.sub(B.add(B.var(IV), B.var(Chunk)), B.lit(1)))));
+    OC.Test = B.le(B.var(IV), B.var(MyHi));
     OC.Increment.push_back(B.set(IV, B.add(B.var(IV), B.lit(1))));
     return true;
   }
@@ -398,26 +409,29 @@ private:
 
   Body emitGeneral(OuterControl &OC, const Body &Init2, const Body &Post,
                    const LoopNormalForm &InnerNF) {
-    VarDecl &T1 = P.addFreshVar("t1", ScalarKind::Bool);
-    VarDecl &T2 = P.addFreshVar("t2", ScalarKind::Bool);
+    // Same reallocation hazard as in the block-layout path above: the
+    // second addFreshVar may invalidate the first reference, so take
+    // the names, not the VarDecl references.
+    const std::string T1 = P.addFreshVar("t1", ScalarKind::Bool).Name;
+    const std::string T2 = P.addFreshVar("t2", ScalarKind::Bool).Name;
 
     Body Out = std::move(OC.Prelude);
     for (StmtPtr &S : OC.Init)
       Out.push_back(std::move(S));
     // t1 = test1 ; IF (t1) init2
-    Out.push_back(B.set(T1.Name, cloneExpr(*OC.Test)));
+    Out.push_back(B.set(T1, cloneExpr(*OC.Test)));
     if (!Init2.empty())
-      Out.push_back(B.ifStmt(B.var(T1.Name), cloneBody(Init2)));
+      Out.push_back(B.ifStmt(B.var(T1), cloneBody(Init2)));
 
     // Catch-up: advance outer control until useful work or exhaustion.
     Body CatchUp = cloneBody(Post);
     for (const StmtPtr &S : OC.Increment)
       CatchUp.push_back(cloneStmt(*S));
-    CatchUp.push_back(B.set(T1.Name, cloneExpr(*OC.Test)));
+    CatchUp.push_back(B.set(T1, cloneExpr(*OC.Test)));
     {
       Body Reinit = cloneBody(Init2);
-      Reinit.push_back(B.set(T2.Name, cloneExpr(*InnerNF.Test)));
-      CatchUp.push_back(B.ifStmt(B.var(T1.Name), std::move(Reinit)));
+      Reinit.push_back(B.set(T2, cloneExpr(*InnerNF.Test)));
+      CatchUp.push_back(B.ifStmt(B.var(T1), std::move(Reinit)));
     }
 
     Body WorkStmts = cloneBody(InnerNF.BodyStmts);
@@ -425,13 +439,13 @@ private:
       WorkStmts.push_back(cloneStmt(*S));
 
     Body MainBody;
-    MainBody.push_back(B.set(T2.Name, cloneExpr(*InnerNF.Test)));
+    MainBody.push_back(B.set(T2, cloneExpr(*InnerNF.Test)));
     MainBody.push_back(B.whileLoop(
-        B.land(B.var(T1.Name), B.lnot(B.var(T2.Name))),
+        B.land(B.var(T1), B.lnot(B.var(T2))),
         std::move(CatchUp)));
-    MainBody.push_back(B.ifStmt(B.var(T1.Name), std::move(WorkStmts)));
+    MainBody.push_back(B.ifStmt(B.var(T1), std::move(WorkStmts)));
 
-    Out.push_back(B.whileLoop(B.var(T1.Name), std::move(MainBody)));
+    Out.push_back(B.whileLoop(B.var(T1), std::move(MainBody)));
     return Out;
   }
 };

@@ -26,12 +26,15 @@ public:
         auto *W = cast<WhileStmt>(&S);
         processBody(W->body());
         ++Count;
-        VarDecl &T = P.addFreshVar("t", ScalarKind::Bool);
+        // Keep the fresh temporary's name, not the VarDecl reference -
+        // addFreshVar hands out references into the declaration vector
+        // that later insertions may invalidate.
+        const std::string T = P.addFreshVar("t", ScalarKind::Bool).Name;
         // t = test ; WHILE (t) { body ; t = test }
-        Out.push_back(B.set(T.Name, cloneExpr(W->cond())));
+        Out.push_back(B.set(T, cloneExpr(W->cond())));
         Body WB = std::move(W->body());
-        WB.push_back(B.set(T.Name, cloneExpr(W->cond())));
-        Out.push_back(B.whileLoop(B.var(T.Name), std::move(WB)));
+        WB.push_back(B.set(T, cloneExpr(W->cond())));
+        Out.push_back(B.whileLoop(B.var(T), std::move(WB)));
         break;
       }
       case Stmt::Kind::Do:

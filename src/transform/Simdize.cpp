@@ -295,27 +295,32 @@ private:
     ExprPtr Blocks = B.div(
         B.add(B.sub(cloneExpr(D.hi()), cloneExpr(D.lo())), B.numLanes()),
         B.numLanes());
-    VarDecl &Blk = P.addFreshVar(IV + "blk", ScalarKind::Int);
+    // addFreshVar returns a reference into the program's declaration
+    // vector; any later addFreshVar (including those made while
+    // converting the nested body below) may reallocate it, so keep only
+    // the name.
+    const std::string Blk = P.addFreshVar(IV + "blk", ScalarKind::Int).Name;
     Body LoopBody;
     if (Opts.DoAllLayout == machine::Layout::Cyclic) {
       // i = lo + (blk-1)*NUMLANES() + LANEINDEX() - 1
       LoopBody.push_back(B.set(
           IV, B.add(cloneExpr(D.lo()),
-                    B.sub(B.add(B.mul(B.sub(B.var(Blk.Name), B.lit(1)),
+                    B.sub(B.add(B.mul(B.sub(B.var(Blk), B.lit(1)),
                                       B.numLanes()),
                                 B.laneIndex()),
                           B.lit(1)))));
     } else {
       // Block layout: lane p owns a contiguous chunk of `blocks` rows:
       // i = lo + (LANEINDEX()-1)*blocks + blk - 1
-      VarDecl &Chunk = P.addFreshVar(IV + "chunk", ScalarKind::Int);
-      Out.push_back(B.set(Chunk.Name, cloneExpr(*Blocks)));
-      Blocks = B.var(Chunk.Name);
+      const std::string Chunk =
+          P.addFreshVar(IV + "chunk", ScalarKind::Int).Name;
+      Out.push_back(B.set(Chunk, cloneExpr(*Blocks)));
+      Blocks = B.var(Chunk);
       LoopBody.push_back(B.set(
           IV, B.add(cloneExpr(D.lo()),
                     B.sub(B.add(B.mul(B.sub(B.laneIndex(), B.lit(1)),
-                                      B.var(Chunk.Name)),
-                                B.var(Blk.Name)),
+                                      B.var(Chunk)),
+                                B.var(Blk)),
                           B.lit(1)))));
     }
     markVarying(IV);
@@ -329,7 +334,7 @@ private:
     for (StmtPtr &GS : Guarded)
       LoopBody.push_back(std::move(GS));
     (void)Ctx;
-    Out.push_back(B.doLoop(Blk.Name, B.lit(1), std::move(Blocks),
+    Out.push_back(B.doLoop(Blk, B.lit(1), std::move(Blocks),
                            std::move(LoopBody)));
   }
 };

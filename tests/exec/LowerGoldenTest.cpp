@@ -91,6 +91,59 @@ TEST(LowerGolden, TinySimdWhere) {
             "   10: halt               0      0      0      0\n");
 }
 
+/// DO i = 1, 2: IF (X > 0) GOTO 10  (F90simd dialect). Exercises every
+/// opcode whose pool-index operands the disassembler symbolizes: the
+/// simd DO bounds carry uniformity messages in C (ctl.fromreg), the IF
+/// lowers to ubr.false with its violation message in B, and the GOTO
+/// lowers to a trap whose A operand is a TrapKind - not a register.
+Program makeTinyTrap() {
+  Program P("TINYTRAP");
+  P.setDialect(Dialect::F90Simd);
+  P.addVar("X", ScalarKind::Int, {}, Dist::Replicated);
+  P.addVar("i", ScalarKind::Int);
+  Builder B(P);
+  P.body().push_back(B.doLoop(
+      "i", B.lit(1), B.lit(2),
+      Builder::body(B.ifStmt(B.gt(B.var("X"), B.lit(0)),
+                             Builder::body(B.gotoStmt(10))))));
+  return P;
+}
+
+TEST(LowerGolden, TinySimdTrapOperandsAreSymbolized) {
+  exec::Program EP = exec::lower(makeTinyTrap(), exec::Mode::Simd);
+  EXPECT_EQ(
+      exec::disassemble(EP),
+      "program 'TINYTRAP' mode=simd regs=3 ctl=5 code=22\n"
+      "    0: ld.int             0      0      0      0 ; 1\n"
+      "    1: ctl.fromreg        0      0      0      0 ; "
+      "\"DO lower bound\"\n"
+      "    2: ld.int             0      1      0      0 ; 2\n"
+      "    3: ctl.fromreg        1      0      1      0 ; "
+      "\"DO upper bound\"\n"
+      "    4: ctl.imm            2      0      0      0 ; 1\n"
+      "    5: check.step         2      2      0      0 ; "
+      "\"DO step of zero\"\n"
+      "    6: ctl.imm            4      2      0      0 ; 0\n"
+      "    7: do.test            0      0      0     19\n"
+      "    8: loop.iter          0      0      0      0\n"
+      "    9: ctl.inc            4      0      0      0\n"
+      "   10: set.idx            0      0      0      0 ; i\n"
+      "   11: charge             2      0      0      0\n"
+      "   12: ld.var             1      1      0      0 ; X\n"
+      "   13: ld.int             2      2      0      0 ; 0\n"
+      "   14: cmp.gt             0      1      2      0\n"
+      "   15: ubr.false          0      3      0     17 ; "
+      "\"IF condition\"\n"
+      "   16: trap               8      4      0      0 ; "
+      "invalid-program \"GOTO-form control flow is not executable on "
+      "the SIMD machine; run the front end's loop recovery first\"\n"
+      "   17: do.step            0      0      0      0\n"
+      "   18: jmp                0      0      0      7\n"
+      "   19: trip.rec           4      0      0      0 ; L0 do i\n"
+      "   20: set.idx            0      0      0      0 ; i\n"
+      "   21: halt               0      0      0      0\n");
+}
+
 TEST(LowerGolden, LiteralPoolsDeduplicate) {
   // The same literal appearing many times lowers to one pool entry.
   Program P("POOLS");

@@ -263,4 +263,82 @@ TEST(ProgramCache, MeasuredCostsDriveTheBudgetWithoutOverride) {
   EXPECT_TRUE(C.getOrCompile(2, okCompiler()).Hit);
 }
 
+TEST(ProgramCache, RespecializationCostChangeNeverLeaksBytes) {
+  // The respecialization pattern the adaptive server drives: the same
+  // key is evicted and re-published with a *different* measured cost
+  // (a strategy change compiles a structurally different program).
+  // Byte accounting must track the live entry exactly - the old cost
+  // is credited back in full, the new cost is charged in full, and no
+  // reserved bytes leak through any number of round trips. Measured
+  // costs, no override: this is the accounting path production runs.
+  frontend::ParseResult Big = frontend::parseProgram(
+      "PROGRAM BIGFIX\n"
+      "INTEGER K\n"
+      "DISTRIBUTED INTEGER L(8)\n"
+      "DISTRIBUTED INTEGER X(8, 4)\n"
+      "INTEGER i\n"
+      "INTEGER j\n"
+      "BEGIN\n"
+      "  DOALL i = 1, K\n"
+      "    DO j = 1, L(i)\n"
+      "      X(i, j) = i * j + L(i)\n"
+      "    ENDDO\n"
+      "  ENDDO\n"
+      "END\n");
+  ASSERT_TRUE(Big.ok()) << Big.Diags.renderAll();
+  ProgramCache::Compiler BigCompiler = [&Big](int &Attempts) {
+    ++Attempts;
+    auto C = transform::compileForSimdExec(*Big.Prog);
+    EXPECT_TRUE(static_cast<bool>(C));
+    return Expected<transform::CompiledSimdProgram, CompileFailure>(
+        std::move(*C));
+  };
+  const size_t SmallCost = programCostBytes(compiledFixture());
+  size_t BigCost = 0;
+  {
+    auto C = transform::compileForSimdExec(*Big.Prog);
+    ASSERT_TRUE(static_cast<bool>(C));
+    BigCost = programCostBytes(*C);
+  }
+  ASSERT_NE(SmallCost, BigCost)
+      << "fixtures must differ in measured cost for this test to bite";
+
+  ProgramCache::Options O;
+  O.MaxEntries = 8;
+  ProgramCache C(O);
+
+  ASSERT_NE(C.getOrCompile(42, okCompiler(), "acme").Prog, nullptr);
+  EXPECT_EQ(C.bytesResident(), SmallCost);
+  EXPECT_EQ(C.tenantBytes("acme"), SmallCost);
+
+  // Eviction credits every byte back, globally and per tenant.
+  C.evict(42);
+  EXPECT_EQ(C.bytesResident(), 0u);
+  EXPECT_EQ(C.tenantBytes("acme"), 0u);
+
+  // Re-publish the same key at the new (bigger) cost: the ledger holds
+  // exactly the new cost - a stale small-cost reservation would show
+  // up here as a shortfall or an accumulation.
+  ASSERT_NE(C.getOrCompile(42, BigCompiler, "acme").Prog, nullptr);
+  EXPECT_EQ(C.bytesResident(), BigCost);
+  EXPECT_EQ(C.tenantBytes("acme"), BigCost);
+  EXPECT_EQ(C.stats().BytesResident, (int64_t)BigCost);
+
+  // Churn the same key through both costs repeatedly: accounting is
+  // exact after every round trip, not just the first.
+  for (int I = 0; I < 4; ++I) {
+    C.evict(42);
+    const bool BigRound = (I % 2) == 0;
+    ASSERT_NE(C.getOrCompile(42, BigRound ? okCompiler() : BigCompiler,
+                             "acme")
+                  .Prog,
+              nullptr);
+    const size_t Want = BigRound ? SmallCost : BigCost;
+    EXPECT_EQ(C.bytesResident(), Want) << "round " << I;
+    EXPECT_EQ(C.tenantBytes("acme"), Want) << "round " << I;
+  }
+  EXPECT_EQ(C.stats().ByteEvictions, 0)
+      << "explicit evictions must not count as byte-budget evictions";
+}
+
 } // namespace

@@ -11,6 +11,8 @@
 
 #include "serve/Server.h"
 
+#include "codegen/NativeEngine.h"
+
 #include "interp/Trap.h"
 
 #include <gtest/gtest.h>
@@ -18,6 +20,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -968,6 +971,123 @@ TEST(Server, AdaptiveSurvivesCachePressureAndEviction) {
   EXPECT_TRUE(St.tenantsConsistent());
   EXPECT_LE(St.CacheBytesResident, (int64_t)SO.CacheMaxBytes);
   EXPECT_GE(St.AdaptiveDecisions, 1);
+}
+
+TEST(Server, NativeEngineServesWithAuthoritativeTag) {
+  // --engine=native end to end: the reply's engine tag is what the
+  // interpreter actually executed, never an assumption. On a build
+  // with a toolchain the request runs native; without one it degrades
+  // to bytecode and the fallback is counted. Answers are identical
+  // either way.
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Eng = interp::Engine::Native;
+  Server S(SO);
+  Request R = exampleRequest();
+  R.WantArrays = true;
+  Reply Rep = getReply(S.submit(std::move(R)));
+  ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+  ServerStats St = S.stats();
+  if (codegen::nativeAvailable()) {
+    EXPECT_EQ(Rep.Tele.Engine, "native");
+    EXPECT_EQ(St.NativeFallbacks, 0);
+  } else {
+    EXPECT_EQ(Rep.Tele.Engine, "bytecode");
+    EXPECT_EQ(St.NativeFallbacks, 1);
+  }
+  // The answers match a bytecode serve of the same request.
+  ServerOptions BO;
+  BO.Workers = 1;
+  Server SB(BO);
+  Request RB = exampleRequest();
+  RB.WantArrays = true;
+  Reply ByteRep = getReply(SB.submit(std::move(RB)));
+  ASSERT_EQ(ByteRep.Out, Outcome::Served) << ByteRep.Error;
+  EXPECT_EQ(Rep.IntArrays.at("X"), ByteRep.IntArrays.at("X"));
+}
+
+TEST(Server, NativeCompileFailureDegradesToBytecodeServe) {
+  // A native tier that cannot produce an artifact (compiler missing,
+  // artifact dir unwritable) must not fail or delay the request
+  // beyond one compile attempt: the serve completes on bytecode, the
+  // telemetry says so, and NativeFallbacks counts it. A distinct lane
+  // count keeps this program out of every other test's memoized
+  // native module.
+  ::setenv("SIMDFLAT_JIT_CC", "/nonexistent/cxx-for-serve-test", 1);
+  ::setenv("SIMDFLAT_JIT_DIR", "/dev/null/no-jit-dir", 1);
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Eng = interp::Engine::Native;
+  Server S(SO);
+  Request R = exampleRequest();
+  R.Lanes = 6;
+  R.WantArrays = true;
+  Reply Rep = getReply(S.submit(std::move(R)));
+  ::unsetenv("SIMDFLAT_JIT_CC");
+  ::unsetenv("SIMDFLAT_JIT_DIR");
+  ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+  EXPECT_EQ(Rep.Tele.Engine, "bytecode");
+  ServerStats St = S.stats();
+  EXPECT_EQ(St.NativeFallbacks, 1);
+  EXPECT_EQ(St.Served, 1);
+  EXPECT_TRUE(St.consistent());
+}
+
+TEST(Server, AdaptiveWindowAgesOutTransientDrift) {
+  // Recency-weighted drift detection (--adaptive-window): the drift
+  // test sees only the last AdaptiveWindow probe runs. A one-request
+  // spike ages out of the ring before it can force a respecialization
+  // (legacy accumulate-forever mode would keep its weight until the
+  // next decision); sustained drift fills the whole window and still
+  // respecializes. Each probe run of WIDE at 4 lanes records two
+  // dominant-nest samples (one per SIMD layer), so MinSamples = 7
+  // demands a full 4-run window before any evaluation - which also
+  // keeps the freshly-cleared post-decision ring from re-deciding on
+  // a single run.
+  ServerOptions SO;
+  SO.Workers = 1;
+  SO.Adaptive = true;
+  SO.AdaptiveWindow = 4;
+  SO.AdaptiveMinSamples = 7; // 4 probe runs x 2 layer samples = 8
+  SO.AdaptiveDriftThreshold = 0.4;
+  SO.AdaptiveProbeEvery = 1; // every request probes: ring advances
+  Server S(SO);
+
+  const std::vector<int64_t> Uniform = {6, 6, 6, 6, 6, 6, 6, 6};
+  const std::vector<int64_t> Skewed = {60, 1, 1, 1, 1, 1, 1, 1};
+  auto Serve = [&](const std::vector<int64_t> &Trips) {
+    Reply Rep = getReply(S.submit(wideRequest(Trips)));
+    ASSERT_EQ(Rep.Out, Outcome::Served) << Rep.Error;
+    const std::vector<int64_t> &X = Rep.IntArrays["X"];
+    EXPECT_EQ(std::accumulate(X.begin(), X.end(), int64_t{0}),
+              wideExpectedSum(Trips))
+        << "answer changed under strategy " << Rep.Tele.Strategy;
+  };
+
+  // Warm up on uniform traffic to the first decision.
+  for (int I = 0; I < 6; ++I)
+    Serve(Uniform);
+  ServerStats Warm = S.stats();
+  ASSERT_GE(Warm.AdaptiveDecisions, 1);
+  ASSERT_EQ(Warm.Respecializations, 0);
+
+  // One-request spike, then uniform again: by the time the window
+  // has MinSamples the spike is 1 run in 4 (TV = 0.25 < 0.4), and
+  // four uniform runs later it has aged out entirely.
+  Serve(Skewed);
+  for (int I = 0; I < 6; ++I)
+    Serve(Uniform);
+  EXPECT_EQ(S.stats().Respecializations, 0)
+      << "a transient spike respecialized despite the recency window";
+
+  // Sustained drift fills the ring with skewed runs: TV 1.0 fires.
+  for (int I = 0; I < 8; ++I)
+    Serve(Skewed);
+  ServerStats St = S.stats();
+  EXPECT_GE(St.Respecializations, 1)
+      << "sustained drift never respecialized in windowed mode";
+  EXPECT_TRUE(St.consistent());
+  EXPECT_TRUE(St.tenantsConsistent());
 }
 
 } // namespace

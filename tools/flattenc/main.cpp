@@ -95,11 +95,13 @@ void usage() {
       "                         pick the strategy, then build and run it\n"
       "  --analyze              print the loop-nest analysis and exit\n"
       "  --run                  execute on the SIMD simulator\n"
-      "  --engine=tree|bytecode|hostsimd\n"
+      "  --engine=tree|bytecode|hostsimd|native\n"
       "                         interpreter engine for --run (default\n"
       "                         bytecode; tree is the reference oracle,\n"
       "                         hostsimd maps lanes onto host vector\n"
-      "                         lanes)\n"
+      "                         lanes, native JIT-compiles the schedule\n"
+      "                         to host loops and falls back to\n"
+      "                         bytecode without a toolchain)\n"
       "  --dump-bytecode        disassemble the lowered bytecode of the\n"
       "                         emitted program to stdout\n"
       "  --lanes=N              simulator lanes (with --run, N >= 1)\n"
@@ -194,7 +196,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (A.rfind("--engine", 0) == 0) {
       if (!optionValue(A, V) || !interp::engineFromName(V, Opts.Eng))
         return cliError("flattenc: --engine expects "
-                        "tree|bytecode|hostsimd, "
+                        "tree|bytecode|hostsimd|native, "
                         "got '%s'",
                         A);
     } else if (A.rfind("--lanes", 0) == 0) {
@@ -369,6 +371,9 @@ int realMain(int Argc, char **Argv) {
   // writeStats() at the successful exits.
   std::optional<transform::PipelineReport> PipelineRep;
   std::optional<interp::RunStats> RunStats;
+  // Engine that actually ran, not the one requested: a native request
+  // without a toolchain degrades to bytecode, and telemetry must say so.
+  std::optional<interp::Engine> EngineRan;
   std::optional<json::Value> AdaptiveJson;
   auto writeStats = [&]() -> bool {
     if (Opts.StatsJsonPath.empty())
@@ -382,8 +387,9 @@ int realMain(int Argc, char **Argv) {
     if (AdaptiveJson)
       Doc.set("adaptive", *AdaptiveJson);
     if (RunStats) {
-      Doc.set("engine", interp::engineName(Opts.Eng));
-      Doc.set("run_stats", interp::toJson(*RunStats, Opts.Eng));
+      interp::Engine Eng = EngineRan.value_or(Opts.Eng);
+      Doc.set("engine", interp::engineName(Eng));
+      Doc.set("run_stats", interp::toJson(*RunStats, Eng));
     }
     if (!json::writeFile(Opts.StatsJsonPath, Doc)) {
       std::fprintf(stderr, "flattenc: cannot write '%s'\n",
@@ -625,6 +631,7 @@ int realMain(int Argc, char **Argv) {
   }
   const interp::SimdRunResult &R = *Out;
   RunStats = R.Stats;
+  EngineRan = R.EngineUsed;
   std::fprintf(stderr,
                "flattenc: executed on %lld lanes: %lld instructions, "
                "%.1f cycles, comm accesses %lld\n",

@@ -134,11 +134,17 @@ void usage() {
       "                           total-variation distance from the\n"
       "                           decision snapshot exceeds N%% (default\n"
       "                           25)\n"
+      "  --adaptive-window=N      keep only the last N probe runs when\n"
+      "                           measuring drift, so transient spikes\n"
+      "                           age out (default 0: accumulate every\n"
+      "                           probe since the last decision)\n"
       "  --layout=cyclic|block    lane layout (default cyclic)\n"
-      "  --engine=tree|bytecode|hostsimd\n"
+      "  --engine=tree|bytecode|hostsimd|native\n"
       "                           execution engine (default bytecode;\n"
       "                           hostsimd maps lanes onto host vector\n"
-      "                           lanes)\n"
+      "                           lanes, native JIT-compiles schedules\n"
+      "                           to host loops and degrades to\n"
+      "                           bytecode without a toolchain)\n"
       "  --telemetry=PATH         append one accounting record per reply\n"
       "  --health                 self-check (compile + run a probe\n"
       "                           program), print one status line, exit\n"
@@ -255,6 +261,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
        [](CliOptions &O, int64_t N) {
          O.Server.AdaptiveDriftThreshold = (double)N / 100.0;
        }},
+      {"--adaptive-window", 0,
+       [](CliOptions &O, int64_t N) { O.Server.AdaptiveWindow = N; }},
       {"--fault-compile-failures", 0,
        [](CliOptions &O, int64_t N) {
          O.Server.Faults.CompileFailures = (int)N;
@@ -301,7 +309,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     } else if (A.rfind("--engine", 0) == 0) {
       if (!optionValue(A, V) || !interp::engineFromName(V, Opts.Server.Eng))
         return cliError("flattend: --engine expects "
-                        "tree|bytecode|hostsimd, got '%s'",
+                        "tree|bytecode|hostsimd|native, got '%s'",
                         A);
     } else if (A.rfind("--telemetry", 0) == 0) {
       if (!optionValue(A, V) || V.empty())

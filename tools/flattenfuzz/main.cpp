@@ -55,6 +55,7 @@ struct CliOptions {
   std::string Campaign;          // "" or "faults"
   std::string OutDir = "";       // where shrunk divergences are written
   bool BreakGuardCache = false;  // seeded-bug demonstration switch
+  bool Native = false;           // quad-engine oracle (JIT per case)
 };
 
 void usage() {
@@ -81,6 +82,11 @@ void usage() {
       "  --break-guard-cache\n"
       "                     seed the known GuardIntro-cache bug (the\n"
       "                     oracle must catch it; for demonstration)\n"
+      "  --native           quad-engine oracle: also run every variant\n"
+      "                     under Engine::Native (one host-compiler\n"
+      "                     invocation per distinct program shape -\n"
+      "                     keep --count small; degrades to bytecode\n"
+      "                     on toolchain-less builds)\n"
       "exit codes: 0 success, 1 divergence/verdict mismatch, 2 bad\n"
       "command line or unreadable file\n");
 }
@@ -166,6 +172,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.OutDir = V;
     } else if (A == "--break-guard-cache") {
       Opts.BreakGuardCache = true;
+    } else if (A == "--native") {
+      Opts.Native = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       return false;
@@ -199,6 +207,7 @@ int runReplay(const CliOptions &Opts) {
   }
   OracleOptions OO;
   OO.BreakGuardSideEffectCache = Opts.BreakGuardCache;
+  OO.Native = Opts.Native;
   OracleResult OR = runOracle(*C, OO);
   if (OR.Diverged) {
     std::fprintf(stderr, "flattenfuzz: %s diverged:\n%s",
@@ -311,6 +320,7 @@ int runExport(const CliOptions &Opts) {
 int runFuzz(const CliOptions &Opts) {
   OracleOptions OO;
   OO.BreakGuardSideEffectCache = Opts.BreakGuardCache;
+  OO.Native = Opts.Native;
   GeneratorOptions GO;
   // The seeded-bug demonstration needs the guard's side effect present,
   // or the broken cache is unobservable.
